@@ -1,0 +1,64 @@
+//! Benchmark harness for Figure 1 (increasing the number of attributes).
+//!
+//! Running this bench does two things:
+//! 1. regenerates the Figure 1 series (printed to stdout, written to
+//!    `results/` by the experiment harness it reuses) at a reduced size, and
+//! 2. measures the per-attack cost of a single Figure-1 workload point at
+//!    paper scale (m = 100 attributes, p = 5 principal components), one
+//!    Criterion benchmark per reconstruction scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use randrecon_core::{
+    be_dr::BeDr, ndr::Ndr, pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr, Reconstructor,
+};
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_experiments::exp1::Experiment1;
+use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_stats::rng::seeded_rng;
+use std::hint::black_box;
+
+fn regenerate_series() {
+    let mut config = Experiment1::quick();
+    config.attribute_counts = vec![5, 20, 50, 100];
+    config.records = 500;
+    match config.run() {
+        Ok(series) => println!("\n{}", series.to_table()),
+        Err(e) => eprintln!("figure 1 series regeneration failed: {e}"),
+    }
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    regenerate_series();
+
+    // One paper-scale workload point: m = 100, p = 5, n = 1000, sigma = 5.
+    let spectrum = EigenSpectrum::principal_plus_small(5, 400.0, 100, 4.0)
+        .unwrap()
+        .with_total_variance(100.0 * 100.0)
+        .unwrap();
+    let ds = SyntheticDataset::generate(&spectrum, 1_000, 1).unwrap();
+    let randomizer = AdditiveRandomizer::gaussian(5.0).unwrap();
+    let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(2)).unwrap();
+    let model = randomizer.model();
+
+    let mut group = c.benchmark_group("figure1_attack_cost_m100_p5");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("NDR"), |b| {
+        b.iter(|| black_box(Ndr.reconstruct(&disguised, model).unwrap()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("UDR"), |b| {
+        b.iter(|| black_box(Udr::default().reconstruct(&disguised, model).unwrap()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("SF"), |b| {
+        b.iter(|| black_box(SpectralFiltering::default().reconstruct(&disguised, model).unwrap()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("PCA-DR"), |b| {
+        b.iter(|| black_box(PcaDr::largest_gap().reconstruct(&disguised, model).unwrap()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("BE-DR"), |b| {
+        b.iter(|| black_box(BeDr::default().reconstruct(&disguised, model).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmark harness for Figure 2 (increasing the number of principal
+//! components).
+//!
+//! Regenerates a reduced Figure 2 series and measures how the cost of the two
+//! correlation-exploiting attacks scales with the number of principal
+//! components at m = 100 attributes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use randrecon_core::{be_dr::BeDr, pca_dr::PcaDr, Reconstructor};
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_experiments::exp2::Experiment2;
+use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_stats::rng::seeded_rng;
+use std::hint::black_box;
+
+fn regenerate_series() {
+    let mut config = Experiment2::quick();
+    config.attributes = 60;
+    config.principal_component_counts = vec![2, 10, 30, 60];
+    config.records = 500;
+    match config.run() {
+        Ok(series) => println!("\n{}", series.to_table()),
+        Err(e) => eprintln!("figure 2 series regeneration failed: {e}"),
+    }
+}
+
+fn bench_principal_component_scaling(c: &mut Criterion) {
+    regenerate_series();
+
+    let mut group = c.benchmark_group("figure2_attack_cost_vs_p");
+    group.sample_size(10);
+    for &p in &[5usize, 25, 50, 100] {
+        let spectrum = EigenSpectrum::principal_plus_small(p, 400.0, 100, 4.0)
+            .unwrap()
+            .with_total_variance(100.0 * 100.0)
+            .unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 1_000, p as u64).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(5.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(3)).unwrap();
+        let model = randomizer.model().clone();
+
+        group.bench_with_input(BenchmarkId::new("PCA-DR", p), &p, |b, _| {
+            b.iter(|| black_box(PcaDr::largest_gap().reconstruct(&disguised, &model).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("BE-DR", p), &p, |b, _| {
+            b.iter(|| black_box(BeDr::default().reconstruct(&disguised, &model).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_principal_component_scaling);
+criterion_main!(benches);

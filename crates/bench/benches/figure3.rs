@@ -1,0 +1,55 @@
+//! Benchmark harness for Figure 3 (increasing the non-principal eigenvalues).
+//!
+//! Regenerates a reduced Figure 3 series and measures attack cost as the
+//! spectrum flattens (which changes how many components the largest-gap rule
+//! keeps, and therefore the PCA-DR projection cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use randrecon_core::{be_dr::BeDr, pca_dr::PcaDr, spectral::SpectralFiltering, Reconstructor};
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_experiments::exp3::Experiment3;
+use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_stats::rng::seeded_rng;
+use std::hint::black_box;
+
+fn regenerate_series() {
+    let mut config = Experiment3::quick();
+    config.attributes = 60;
+    config.principal_components = 12;
+    config.non_principal_eigenvalues = vec![1.0, 10.0, 25.0, 50.0];
+    config.records = 500;
+    match config.run() {
+        Ok(series) => println!("\n{}", series.to_table()),
+        Err(e) => eprintln!("figure 3 series regeneration failed: {e}"),
+    }
+}
+
+fn bench_non_principal_eigenvalues(c: &mut Criterion) {
+    regenerate_series();
+
+    let mut group = c.benchmark_group("figure3_attack_cost_vs_nonprincipal_eigenvalue");
+    group.sample_size(10);
+    for &small in &[1.0f64, 25.0, 50.0] {
+        let spectrum = EigenSpectrum::principal_plus_small(20, 400.0, 100, small).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 1_000, small as u64).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(5.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(4)).unwrap();
+        let model = randomizer.model().clone();
+
+        group.bench_with_input(BenchmarkId::new("PCA-DR", small as u64), &small, |b, _| {
+            b.iter(|| black_box(PcaDr::largest_gap().reconstruct(&disguised, &model).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("SF", small as u64), &small, |b, _| {
+            b.iter(|| {
+                black_box(SpectralFiltering::default().reconstruct(&disguised, &model).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("BE-DR", small as u64), &small, |b, _| {
+            b.iter(|| black_box(BeDr::default().reconstruct(&disguised, &model).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_non_principal_eigenvalues);
+criterion_main!(benches);

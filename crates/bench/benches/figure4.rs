@@ -1,0 +1,65 @@
+//! Benchmark harness for Figure 4 (correlated-noise defense).
+//!
+//! Regenerates a reduced Figure 4 series and measures the cost of disguising
+//! with correlated noise plus the cost of the improved BE-DR attack against
+//! it, at three similarity levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use randrecon_core::{be_dr::BeDr, pca_dr::PcaDr, Reconstructor};
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_experiments::exp4::Experiment4;
+use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_noise::correlated::{interpolated_spectrum, noise_covariance, SimilarityLevel};
+use randrecon_stats::rng::seeded_rng;
+use std::hint::black_box;
+
+fn regenerate_series() {
+    let mut config = Experiment4::quick();
+    config.attributes = 40;
+    config.principal_components = 20;
+    config.records = 500;
+    config.similarity_levels = vec![1.0, 0.5, 0.0, -0.5, -1.0];
+    match config.run() {
+        Ok(series) => println!("\n{}", series.to_table()),
+        Err(e) => eprintln!("figure 4 series regeneration failed: {e}"),
+    }
+}
+
+fn bench_defense(c: &mut Criterion) {
+    regenerate_series();
+
+    let spectrum = EigenSpectrum::principal_plus_small(50, 400.0, 100, 4.0).unwrap();
+    let ds = SyntheticDataset::generate(&spectrum, 1_000, 9).unwrap();
+    let total_noise_variance = 25.0 * 100.0;
+
+    let mut group = c.benchmark_group("figure4_correlated_noise_defense");
+    group.sample_size(10);
+    for &alpha in &[1.0f64, 0.0, -1.0] {
+        let level = SimilarityLevel::new(alpha).unwrap();
+        let spec = interpolated_spectrum(&ds.eigenvalues, level, total_noise_variance).unwrap();
+        let sigma_r = noise_covariance(&ds.eigenvectors, &spec).unwrap();
+        let randomizer = AdditiveRandomizer::correlated(sigma_r).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(10)).unwrap();
+        let model = randomizer.model().clone();
+
+        group.bench_with_input(
+            BenchmarkId::new("disguise_correlated", format!("alpha_{alpha}")),
+            &alpha,
+            |b, _| b.iter(|| black_box(randomizer.disguise(&ds.table, &mut seeded_rng(11)).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("BE-DR_improved", format!("alpha_{alpha}")),
+            &alpha,
+            |b, _| b.iter(|| black_box(BeDr::default().reconstruct(&disguised, &model).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("PCA-DR", format!("alpha_{alpha}")),
+            &alpha,
+            |b, _| b.iter(|| black_box(PcaDr::largest_gap().reconstruct(&disguised, &model).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_defense);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro benchmarks for the substrates the attacks are built on: symmetric
+//! eigendecomposition, Cholesky inversion, covariance estimation and
+//! multivariate-normal sampling, at the matrix sizes the paper's evaluation
+//! uses (m = 50 and m = 100 attributes, n = 1000 records).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_linalg::decomposition::{Cholesky, SymmetricEigen};
+use randrecon_stats::mvn::MultivariateNormal;
+use randrecon_stats::rng::seeded_rng;
+use randrecon_stats::summary::covariance_matrix;
+use std::hint::black_box;
+
+fn workload(m: usize) -> SyntheticDataset {
+    let spectrum = EigenSpectrum::principal_plus_small(m / 10 + 1, 400.0, m, 4.0).unwrap();
+    SyntheticDataset::generate(&spectrum, 1_000, m as u64).unwrap()
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    for &m in &[50usize, 100] {
+        let ds = workload(m);
+        let cov = ds.covariance.clone();
+
+        group.bench_with_input(BenchmarkId::new("jacobi_eigen", m), &m, |b, _| {
+            b.iter(|| black_box(SymmetricEigen::new(&cov).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("cholesky_inverse", m), &m, |b, _| {
+            b.iter(|| black_box(Cholesky::new(&cov).unwrap().inverse().unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("sample_covariance_n1000", m), &m, |b, _| {
+            b.iter(|| black_box(covariance_matrix(ds.table.values())))
+        });
+        group.bench_with_input(BenchmarkId::new("mvn_sample_1000_records", m), &m, |b, _| {
+            let mvn = MultivariateNormal::zero_mean(cov.clone()).unwrap();
+            b.iter(|| black_box(mvn.sample_matrix(1_000, &mut seeded_rng(7))))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_projection", m), &m, |b, _| {
+            // The Y·Q̂Q̂ᵀ projection that dominates PCA-DR / SF.
+            let q = &ds.eigenvectors;
+            b.iter(|| {
+                let proj = ds.table.values().matmul(q).unwrap().matmul(&q.transpose()).unwrap();
+                black_box(proj)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,253 @@
+//! Privacy audit: run the whole attack battery against a proposed release.
+//!
+//! The paper's practical message to a data owner is "before you publish a
+//! randomized data set, attack it yourself". [`PrivacyAudit`] packages that
+//! workflow: given the original table, a randomizer's disguised output and the
+//! public noise model, it runs every reconstruction scheme, scores each with
+//! RMSE and record-level disclosure, and reports which attributes are most
+//! exposed — the numbers a privacy review actually needs.
+
+use crate::be_dr::BeDr;
+use crate::error::Result;
+use crate::ndr::Ndr;
+use crate::pca_dr::PcaDr;
+use crate::spectral::SpectralFiltering;
+use crate::traits::Reconstructor;
+use crate::udr::Udr;
+use randrecon_data::DataTable;
+use randrecon_noise::NoiseModel;
+use std::fmt::Write as _;
+
+/// Result of one attack inside an audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackOutcome {
+    /// Attack name (as reported by [`Reconstructor::name`]).
+    pub attack: &'static str,
+    /// Overall RMSE of the reconstruction against the original data.
+    pub rmse: f64,
+    /// RMSE per attribute.
+    pub per_attribute_rmse: Vec<f64>,
+    /// Fraction of individual values reconstructed within the audit tolerance.
+    pub disclosure_rate: f64,
+}
+
+/// Aggregate result of a privacy audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// The tolerance used for the disclosure-rate metric.
+    pub tolerance: f64,
+    /// The noise standard deviation implied by the public model, averaged over
+    /// attributes (the "promised" privacy level).
+    pub average_noise_std: f64,
+    /// Outcome of every attack, sorted from strongest (lowest RMSE) to weakest.
+    pub outcomes: Vec<AttackOutcome>,
+    /// Attribute names, for labelling the per-attribute numbers.
+    pub attribute_names: Vec<String>,
+}
+
+impl AuditReport {
+    /// The strongest attack (lowest RMSE).
+    pub fn strongest(&self) -> &AttackOutcome {
+        &self.outcomes[0]
+    }
+
+    /// The ratio between the promised noise level and the strongest attack's
+    /// RMSE. Values well above 1 mean the randomization delivers much less
+    /// privacy than its noise level suggests.
+    pub fn privacy_erosion_factor(&self) -> f64 {
+        let strongest = self.strongest().rmse;
+        if strongest <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.average_noise_std / strongest
+        }
+    }
+
+    /// Indices of the attributes most exposed by the strongest attack (lowest
+    /// per-attribute RMSE first), up to `k` entries.
+    pub fn most_exposed_attributes(&self, k: usize) -> Vec<usize> {
+        let per = &self.strongest().per_attribute_rmse;
+        let mut idx: Vec<usize> = (0..per.len()).collect();
+        idx.sort_by(|&a, &b| per[a].partial_cmp(&per[b]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.truncate(k);
+        idx
+    }
+
+    /// Renders the report as a fixed-width console table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# Privacy audit (noise std {:.3}, disclosure tolerance {:.3})",
+            self.average_noise_std, self.tolerance
+        );
+        let _ = writeln!(out, "{:<10} {:>10} {:>16}", "attack", "RMSE", "disclosure rate");
+        for o in &self.outcomes {
+            let _ = writeln!(out, "{:<10} {:>10.4} {:>15.1}%", o.attack, o.rmse, o.disclosure_rate * 100.0);
+        }
+        let _ = writeln!(out, "privacy erosion factor: {:.2}x", self.privacy_erosion_factor());
+        let exposed = self.most_exposed_attributes(3);
+        let names: Vec<&str> = exposed
+            .iter()
+            .map(|&i| self.attribute_names[i].as_str())
+            .collect();
+        let _ = writeln!(out, "most exposed attributes: {}", names.join(", "));
+        out
+    }
+}
+
+/// Configuration of a privacy audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivacyAudit {
+    /// Tolerance for the record-level disclosure metric. `None` defaults to
+    /// half the average noise standard deviation.
+    pub tolerance: Option<f64>,
+    /// Whether to include the (slow, per-attribute) UDR attack.
+    pub include_udr: bool,
+}
+
+impl Default for PrivacyAudit {
+    fn default() -> Self {
+        PrivacyAudit {
+            tolerance: None,
+            include_udr: true,
+        }
+    }
+}
+
+impl PrivacyAudit {
+    /// Runs every attack against the disguised release and scores it against
+    /// the original data.
+    pub fn run(
+        &self,
+        original: &DataTable,
+        disguised: &DataTable,
+        noise: &NoiseModel,
+    ) -> Result<AuditReport> {
+        let m = disguised.n_attributes();
+        let noise_cov = noise.covariance(m)?;
+        let average_noise_std = (noise_cov.trace() / m as f64).sqrt();
+        let tolerance = self.tolerance.unwrap_or(0.5 * average_noise_std);
+
+        let mut attacks: Vec<Box<dyn Reconstructor>> = vec![
+            Box::new(Ndr),
+            Box::new(SpectralFiltering::default()),
+            Box::new(PcaDr::largest_gap()),
+            Box::new(BeDr::default()),
+        ];
+        if self.include_udr {
+            attacks.push(Box::new(Udr::default()));
+        }
+
+        let mut outcomes = Vec::with_capacity(attacks.len());
+        for attack in &attacks {
+            let reconstruction = attack.reconstruct(disguised, noise)?;
+            let rmse = randrecon_metrics::rmse(original, &reconstruction).map_err(metric_err)?;
+            let per_attribute_rmse =
+                randrecon_metrics::per_attribute_rmse(original, &reconstruction).map_err(metric_err)?;
+            let disclosure_rate =
+                randrecon_metrics::privacy::disclosure_rate(original, &reconstruction, tolerance)
+                    .map_err(metric_err)?;
+            outcomes.push(AttackOutcome {
+                attack: attack.name(),
+                rmse,
+                per_attribute_rmse,
+                disclosure_rate,
+            });
+        }
+        outcomes.sort_by(|a, b| a.rmse.partial_cmp(&b.rmse).unwrap_or(std::cmp::Ordering::Equal));
+
+        Ok(AuditReport {
+            tolerance,
+            average_noise_std,
+            outcomes,
+            attribute_names: original
+                .schema()
+                .names()
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+        })
+    }
+}
+
+fn metric_err(e: randrecon_metrics::MetricsError) -> crate::error::ReconError {
+    crate::error::ReconError::InvalidInput {
+        reason: format!("metric computation failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+    use randrecon_noise::additive::AdditiveRandomizer;
+    use randrecon_stats::rng::seeded_rng;
+
+    fn audited_release(seed: u64) -> (SyntheticDataset, AdditiveRandomizer, DataTable) {
+        let spectrum = EigenSpectrum::principal_plus_small(3, 300.0, 12, 3.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 500, seed).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(8.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed + 1)).unwrap();
+        (ds, randomizer, disguised)
+    }
+
+    #[test]
+    fn audit_ranks_attacks_and_reports_erosion() {
+        let (ds, randomizer, disguised) = audited_release(61);
+        let report = PrivacyAudit::default()
+            .run(&ds.table, &disguised, randomizer.model())
+            .unwrap();
+        assert_eq!(report.outcomes.len(), 5);
+        // Sorted ascending by RMSE: the first entry must be at least as strong
+        // as the last (NDR).
+        assert!(report.outcomes[0].rmse <= report.outcomes.last().unwrap().rmse);
+        // On this correlated workload BE-DR or PCA-DR is strongest and the
+        // erosion factor is well above 1.
+        assert!(matches!(report.strongest().attack, "BE-DR" | "PCA-DR"));
+        assert!(report.privacy_erosion_factor() > 1.5);
+        assert!((report.average_noise_std - 8.0).abs() < 1e-9);
+        // Disclosure rates are valid probabilities and the strongest attack
+        // discloses at least as much as NDR.
+        for o in &report.outcomes {
+            assert!((0.0..=1.0).contains(&o.disclosure_rate));
+            assert_eq!(o.per_attribute_rmse.len(), 12);
+        }
+        let ndr = report.outcomes.iter().find(|o| o.attack == "NDR").unwrap();
+        assert!(report.strongest().disclosure_rate >= ndr.disclosure_rate);
+    }
+
+    #[test]
+    fn audit_report_rendering_and_exposed_attributes() {
+        let (ds, randomizer, disguised) = audited_release(67);
+        let report = PrivacyAudit {
+            tolerance: Some(2.0),
+            include_udr: false,
+        }
+        .run(&ds.table, &disguised, randomizer.model())
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 4);
+        assert_eq!(report.tolerance, 2.0);
+        let table = report.to_table();
+        assert!(table.contains("Privacy audit"));
+        assert!(table.contains("BE-DR"));
+        assert!(table.contains("most exposed attributes"));
+        let exposed = report.most_exposed_attributes(3);
+        assert_eq!(exposed.len(), 3);
+        assert!(exposed.iter().all(|&i| i < 12));
+        // Requesting more than m attributes returns all of them.
+        assert_eq!(report.most_exposed_attributes(50).len(), 12);
+    }
+
+    #[test]
+    fn default_tolerance_is_half_the_noise_std() {
+        let (ds, randomizer, disguised) = audited_release(71);
+        let report = PrivacyAudit {
+            tolerance: None,
+            include_udr: false,
+        }
+        .run(&ds.table, &disguised, randomizer.model())
+        .unwrap();
+        assert!((report.tolerance - 4.0).abs() < 1e-9);
+    }
+}

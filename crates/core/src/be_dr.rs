@@ -1,0 +1,270 @@
+//! BE-DR — Bayes-Estimate-based Data Reconstruction (Sections 6 and 8).
+//!
+//! BE-DR treats reconstruction as maximum-a-posteriori estimation under a
+//! multivariate-normal prior on the original record vector. For independent
+//! Gaussian noise with variance `σ²` the estimator is Equation (11):
+//!
+//! ```text
+//! x̂ = (Σ_x⁻¹ + σ⁻² I)⁻¹ (Σ_x⁻¹ μ_x + y / σ²)
+//! ```
+//!
+//! and for the improved (correlated-noise) randomization it is Theorem 8.1:
+//!
+//! ```text
+//! x̂ = (Σ_x⁻¹ + Σ_r⁻¹)⁻¹ (Σ_x⁻¹ μ_x − Σ_r⁻¹ μ_r + Σ_r⁻¹ y)
+//! ```
+//!
+//! with `μ_r = 0` in every scheme this workspace implements. Equation (11) is
+//! the special case `Σ_r = σ² I`, so a single implementation covers both; the
+//! noise covariance is taken from the public [`NoiseModel`].
+//!
+//! Unlike the PCA-based schemes, BE-DR uses *all* components — the prior
+//! simply shrinks low-signal directions harder — which is why the paper finds
+//! it at least as accurate as PCA-DR everywhere and converging to UDR when the
+//! attributes are uncorrelated.
+
+use crate::covariance::{default_eigenvalue_floor, estimate_original_covariance_spd};
+use crate::error::Result;
+use crate::traits::{validate_input, Reconstructor};
+use randrecon_data::DataTable;
+use randrecon_linalg::decomposition::Cholesky;
+use randrecon_linalg::Matrix;
+use randrecon_noise::NoiseModel;
+
+/// The Bayes-estimate reconstruction attack (Equation 11 / Theorem 8.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct BeDr {
+    /// Relative eigenvalue floor applied when regularizing the estimated
+    /// original covariance so it can be inverted. `None` uses the default
+    /// floor from [`default_eigenvalue_floor`].
+    pub eigenvalue_floor: Option<f64>,
+}
+
+
+/// Diagnostics from a BE-DR run.
+#[derive(Debug, Clone)]
+pub struct BeDrReport {
+    /// The reconstruction.
+    pub reconstruction: DataTable,
+    /// The estimated original covariance actually used (after regularization).
+    pub estimated_covariance: Matrix,
+    /// The estimated original mean vector.
+    pub estimated_mean: Vec<f64>,
+}
+
+impl BeDr {
+    /// BE-DR with an explicit eigenvalue floor for the covariance estimate.
+    pub fn with_eigenvalue_floor(floor: f64) -> Result<Self> {
+        if !(floor > 0.0 && floor.is_finite()) {
+            return Err(crate::error::ReconError::InvalidParameter {
+                reason: format!("eigenvalue floor must be positive, got {floor}"),
+            });
+        }
+        Ok(BeDr {
+            eigenvalue_floor: Some(floor),
+        })
+    }
+
+    /// Runs the attack and returns diagnostics alongside the reconstruction.
+    pub fn reconstruct_with_report(
+        &self,
+        disguised: &DataTable,
+        noise: &NoiseModel,
+    ) -> Result<BeDrReport> {
+        validate_input(disguised, noise)?;
+        let m = disguised.n_attributes();
+
+        // Step 1-2 (Section 6.1): estimate Σ_x via Theorem 5.1 / 8.2 and μ_x
+        // from the disguised means (the noise is zero-mean).
+        let floor = self
+            .eigenvalue_floor
+            .unwrap_or_else(|| default_eigenvalue_floor(disguised));
+        let sigma_x = estimate_original_covariance_spd(disguised, noise, floor)?;
+        let mu_x = disguised.mean_vector();
+
+        // Noise covariance Σ_r (σ²I for the independent schemes).
+        let sigma_r = noise.covariance(m)?;
+
+        let sigma_x_inv = Cholesky::new(&sigma_x)?.inverse()?;
+        let sigma_r_inv = Cholesky::new(&sigma_r.symmetrize()?)?.inverse()?;
+
+        // A = (Σ_x⁻¹ + Σ_r⁻¹)⁻¹ — the posterior covariance of each record.
+        let precision_sum = sigma_x_inv.add(&sigma_r_inv)?.symmetrize()?;
+        let a = Cholesky::new(&precision_sum)?.inverse()?;
+
+        // x̂ = A Σ_x⁻¹ μ_x + A Σ_r⁻¹ y  for every record y.
+        let prior_pull = a.matmul(&sigma_x_inv)?.matvec(&mu_x)?;
+        let data_pull = a.matmul(&sigma_r_inv)?; // m × m
+
+        // Vectorized over records: X̂ = Y (A Σ_r⁻¹)ᵀ + 1 · prior_pullᵀ.
+        let mut reconstructed = disguised.values().matmul(&data_pull.transpose())?;
+        for i in 0..reconstructed.rows() {
+            for j in 0..m {
+                reconstructed.set(i, j, reconstructed.get(i, j) + prior_pull[j]);
+            }
+        }
+
+        Ok(BeDrReport {
+            reconstruction: disguised.with_values(reconstructed)?,
+            estimated_covariance: sigma_x,
+            estimated_mean: mu_x,
+        })
+    }
+}
+
+impl Reconstructor for BeDr {
+    fn name(&self) -> &'static str {
+        "BE-DR"
+    }
+
+    fn reconstruct(&self, disguised: &DataTable, noise: &NoiseModel) -> Result<DataTable> {
+        Ok(self.reconstruct_with_report(disguised, noise)?.reconstruction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndr::Ndr;
+    use crate::pca_dr::PcaDr;
+    use crate::udr::Udr;
+    use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+    use randrecon_metrics::rmse;
+    use randrecon_noise::additive::AdditiveRandomizer;
+    use randrecon_stats::rng::seeded_rng;
+
+    fn workload(m: usize, p: usize, small: f64, n: usize, seed: u64) -> SyntheticDataset {
+        let spectrum = EigenSpectrum::principal_plus_small(p, 400.0, m, small).unwrap();
+        SyntheticDataset::generate(&spectrum, n, seed).unwrap()
+    }
+
+    #[test]
+    fn beats_every_other_scheme_on_correlated_data() {
+        let ds = workload(30, 4, 4.0, 1_500, 301);
+        let randomizer = AdditiveRandomizer::gaussian(10.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(302)).unwrap();
+        let model = randomizer.model();
+
+        let be = rmse(&ds.table, &BeDr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        let pca = rmse(&ds.table, &PcaDr::largest_gap().reconstruct(&disguised, model).unwrap()).unwrap();
+        let udr = rmse(&ds.table, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        let ndr = rmse(&ds.table, &Ndr.reconstruct(&disguised, model).unwrap()).unwrap();
+
+        assert!(be <= pca * 1.05, "BE-DR ({be}) should be at least as good as PCA-DR ({pca})");
+        assert!(be < udr, "BE-DR ({be}) should beat UDR ({udr})");
+        assert!(be < ndr, "BE-DR ({be}) should beat NDR ({ndr})");
+    }
+
+    #[test]
+    fn converges_to_udr_when_attributes_are_uncorrelated() {
+        // p = m: every attribute carries the same variance and there is no
+        // cross-attribute redundancy to exploit, so BE-DR ≈ UDR (Section 6.1).
+        let ds = workload(10, 10, 400.0, 3_000, 311);
+        let randomizer = AdditiveRandomizer::gaussian(15.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(312)).unwrap();
+        let model = randomizer.model();
+        let be = rmse(&ds.table, &BeDr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        let udr = rmse(&ds.table, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        assert!(
+            (be - udr).abs() / udr < 0.05,
+            "BE-DR ({be}) and UDR ({udr}) should nearly coincide on uncorrelated data"
+        );
+    }
+
+    #[test]
+    fn exact_bayes_estimate_on_known_two_attribute_system() {
+        // Hand-check Equation (11) on a tiny system with known Σ_x, σ², μ_x = 0.
+        // With Σ_x = [[4, 2], [2, 4]] and σ² = 2 the posterior matrix
+        // M = (Σ_x⁻¹ + I/2)⁻¹ / 2 can be verified numerically here.
+        let sigma_x = Matrix::from_rows(&[&[4.0, 2.0][..], &[2.0, 4.0][..]]).unwrap();
+        let sigma_r = Matrix::identity(2).scale(2.0);
+        let sigma_x_inv = Cholesky::new(&sigma_x).unwrap().inverse().unwrap();
+        let sigma_r_inv = Cholesky::new(&sigma_r).unwrap().inverse().unwrap();
+        let a = Cholesky::new(&sigma_x_inv.add(&sigma_r_inv).unwrap())
+            .unwrap()
+            .inverse()
+            .unwrap();
+        let m2 = a.matmul(&sigma_r_inv).unwrap();
+        let y = vec![3.0, -1.0];
+        let expected = m2.matvec(&y).unwrap();
+
+        // Drive the same numbers through the public API: generate data whose
+        // sample covariance we then override via a large sample so the estimate
+        // is close, and compare the linear map applied to a record.
+        // (The map is deterministic given Σ_x, σ², μ_x, so we just verify the
+        //  algebra performed above is self-consistent: A(Σ_x⁻¹ + Σ_r⁻¹) = I.)
+        let identity_check = a.matmul(&sigma_x_inv.add(&sigma_r_inv).unwrap()).unwrap();
+        assert!(identity_check.approx_eq(&Matrix::identity(2), 1e-10));
+        // Shrinkage: the estimate must lie strictly between 0 (prior mean) and y.
+        assert!(expected[0] > 0.0 && expected[0] < y[0]);
+        assert!(expected[1] < 0.0 && expected[1] > y[1]);
+    }
+
+    #[test]
+    fn improved_scheme_defeats_be_dr_less_when_noise_is_dissimilar() {
+        // Correlated noise similar to the data should hurt BE-DR more than
+        // independent noise of the same total power (the Section 8 result).
+        let ds = workload(20, 5, 4.0, 2_000, 321);
+        let total_noise_variance = 100.0 * 20.0; // σ² = 100 per attribute on average.
+
+        // Independent noise baseline.
+        let independent = AdditiveRandomizer::gaussian(10.0).unwrap();
+        let disguised_ind = independent.disguise(&ds.table, &mut seeded_rng(322)).unwrap();
+        let rmse_ind = rmse(
+            &ds.table,
+            &BeDr::default().reconstruct(&disguised_ind, independent.model()).unwrap(),
+        )
+        .unwrap();
+
+        // Correlated noise proportional to the data covariance, same total power.
+        let ratio = total_noise_variance / ds.covariance.trace();
+        let correlated_cov = ds.covariance.scale(ratio);
+        let correlated = AdditiveRandomizer::correlated(correlated_cov).unwrap();
+        let disguised_cor = correlated.disguise(&ds.table, &mut seeded_rng(323)).unwrap();
+        let rmse_cor = rmse(
+            &ds.table,
+            &BeDr::default().reconstruct(&disguised_cor, correlated.model()).unwrap(),
+        )
+        .unwrap();
+
+        assert!(
+            rmse_cor > rmse_ind,
+            "correlated noise (RMSE {rmse_cor}) should preserve more privacy than independent noise (RMSE {rmse_ind})"
+        );
+    }
+
+    #[test]
+    fn report_exposes_estimates() {
+        let ds = workload(6, 2, 4.0, 800, 331);
+        let randomizer = AdditiveRandomizer::gaussian(5.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(332)).unwrap();
+        let report = BeDr::default()
+            .reconstruct_with_report(&disguised, randomizer.model())
+            .unwrap();
+        assert_eq!(report.estimated_covariance.shape(), (6, 6));
+        assert_eq!(report.estimated_mean.len(), 6);
+        assert_eq!(report.reconstruction.values().shape(), (800, 6));
+        assert!(!report.reconstruction.values().has_non_finite());
+    }
+
+    #[test]
+    fn floor_constructor_validation() {
+        assert!(BeDr::with_eigenvalue_floor(0.0).is_err());
+        assert!(BeDr::with_eigenvalue_floor(f64::NAN).is_err());
+        let be = BeDr::with_eigenvalue_floor(1e-3).unwrap();
+        assert_eq!(be.eigenvalue_floor, Some(1e-3));
+        assert_eq!(be.name(), "BE-DR");
+    }
+
+    #[test]
+    fn survives_small_noisy_samples() {
+        // Few records and strong noise: the covariance estimate is indefinite
+        // before regularization; BE-DR must still produce finite output.
+        let ds = workload(12, 3, 2.0, 40, 341);
+        let randomizer = AdditiveRandomizer::gaussian(25.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(342)).unwrap();
+        let est = BeDr::default().reconstruct(&disguised, randomizer.model()).unwrap();
+        assert!(!est.values().has_non_finite());
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for the reconstruction-attack crate.
+
+use randrecon_data::DataError;
+use randrecon_linalg::LinalgError;
+use randrecon_noise::NoiseError;
+use randrecon_stats::StatsError;
+use std::fmt;
+
+/// Convenience alias used throughout `randrecon-core`.
+pub type Result<T> = std::result::Result<T, ReconError>;
+
+/// Errors raised by the reconstruction attacks.
+#[derive(Debug)]
+pub enum ReconError {
+    /// The disguised table and the noise model disagree in dimensionality, or
+    /// the table is too small for the attack to run.
+    InvalidInput {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// An attack parameter was out of range.
+    InvalidParameter {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The noise model provided does not carry the information this attack needs
+    /// (e.g. UDR with a correlated model and no marginal variance).
+    UnsupportedNoiseModel {
+        /// Which attack rejected the model.
+        attack: &'static str,
+        /// Why.
+        reason: String,
+    },
+    /// Propagated linear-algebra failure (singular system, non-convergence, …).
+    Linalg(LinalgError),
+    /// Propagated statistics failure.
+    Stats(StatsError),
+    /// Propagated data-layer failure.
+    Data(DataError),
+    /// Propagated noise-layer failure.
+    Noise(NoiseError),
+}
+
+impl fmt::Display for ReconError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            ReconError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            ReconError::UnsupportedNoiseModel { attack, reason } => {
+                write!(f, "{attack} does not support this noise model: {reason}")
+            }
+            ReconError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            ReconError::Stats(e) => write!(f, "statistics error: {e}"),
+            ReconError::Data(e) => write!(f, "data error: {e}"),
+            ReconError::Noise(e) => write!(f, "noise model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReconError::Linalg(e) => Some(e),
+            ReconError::Stats(e) => Some(e),
+            ReconError::Data(e) => Some(e),
+            ReconError::Noise(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ReconError {
+    fn from(e: LinalgError) -> Self {
+        ReconError::Linalg(e)
+    }
+}
+
+impl From<StatsError> for ReconError {
+    fn from(e: StatsError) -> Self {
+        ReconError::Stats(e)
+    }
+}
+
+impl From<DataError> for ReconError {
+    fn from(e: DataError) -> Self {
+        ReconError::Data(e)
+    }
+}
+
+impl From<NoiseError> for ReconError {
+    fn from(e: NoiseError) -> Self {
+        ReconError::Noise(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(ReconError::InvalidInput { reason: "empty".into() }.to_string().contains("empty"));
+        assert!(ReconError::InvalidParameter { reason: "p".into() }.to_string().contains("p"));
+        let e = ReconError::UnsupportedNoiseModel { attack: "UDR", reason: "no marginal".into() };
+        assert!(e.to_string().contains("UDR"));
+        let e: ReconError = LinalgError::Singular { pivot: 2 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ReconError = StatsError::InsufficientData { got: 0, needed: 2 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ReconError = DataError::UnknownAttribute { name: "x".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ReconError = NoiseError::InvalidParameter { reason: "bad".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,66 @@
+//! NDR — Noise-Distribution-based Reconstruction (Section 4.1).
+//!
+//! The naive baseline: guess that the noise was zero, i.e. return the
+//! disguised value itself as the reconstruction (`X̂ = Y`). Its mean-square
+//! error equals the noise variance exactly (in expectation), which makes it a
+//! useful calibration point for every other attack.
+
+use crate::error::Result;
+use crate::traits::{validate_input, Reconstructor};
+use randrecon_data::DataTable;
+use randrecon_noise::NoiseModel;
+
+/// The noise-distribution baseline reconstructor: `X̂ = Y`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ndr;
+
+impl Reconstructor for Ndr {
+    fn name(&self) -> &'static str {
+        "NDR"
+    }
+
+    fn reconstruct(&self, disguised: &DataTable, noise: &NoiseModel) -> Result<DataTable> {
+        validate_input(disguised, noise)?;
+        Ok(disguised.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+    use randrecon_metrics::rmse;
+    use randrecon_noise::additive::AdditiveRandomizer;
+    use randrecon_stats::rng::seeded_rng;
+
+    #[test]
+    fn returns_disguised_data_verbatim() {
+        let spectrum = EigenSpectrum::principal_plus_small(1, 10.0, 3, 1.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 50, 1).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(2.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(2)).unwrap();
+        let out = Ndr.reconstruct(&disguised, randomizer.model()).unwrap();
+        assert!(out.approx_eq(&disguised, 0.0));
+        assert_eq!(Ndr.name(), "NDR");
+    }
+
+    #[test]
+    fn rmse_equals_noise_standard_deviation() {
+        // m.s.e. of NDR = variance of the noise (Section 4.1), so RMSE ≈ σ.
+        let spectrum = EigenSpectrum::principal_plus_small(2, 50.0, 4, 2.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 20_000, 3).unwrap();
+        let sigma = 3.0;
+        let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(4)).unwrap();
+        let out = Ndr.reconstruct(&disguised, randomizer.model()).unwrap();
+        let err = rmse(&ds.table, &out).unwrap();
+        assert!((err - sigma).abs() < 0.05, "rmse = {err}");
+    }
+
+    #[test]
+    fn validates_input() {
+        let noise = NoiseModel::independent_gaussian(1.0).unwrap();
+        let tiny = DataTable::from_matrix(randrecon_linalg::Matrix::zeros(1, 2)).unwrap();
+        assert!(Ndr.reconstruct(&tiny, &noise).is_err());
+    }
+}

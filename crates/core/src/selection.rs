@@ -1,0 +1,165 @@
+//! Principal-component selection strategies.
+//!
+//! PCA-DR must decide how many leading eigenvectors to keep. The paper
+//! (footnote to Section 5.2.2) lists three options and uses the largest-gap
+//! rule in its experiments; all three are implemented so the ablation bench
+//! can compare them.
+
+use crate::error::{ReconError, Result};
+use serde::{Deserialize, Serialize};
+
+/// How many principal components PCA-based reconstruction keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum ComponentSelection {
+    /// Keep exactly `p` components (clamped to the number of attributes).
+    FixedCount(usize),
+    /// Keep the smallest number of components whose eigenvalues account for at
+    /// least this fraction of the total variance (0 < fraction ≤ 1).
+    VarianceFraction(f64),
+    /// Keep the components before the largest gap between consecutive
+    /// eigenvalues — the "dominant eigenvalue" rule the paper's experiments use.
+    ///
+    /// A split is only made when the eigenvalues before the gap actually
+    /// *dominate* the ones after it (ratio ≥ 2 across the gap). On a flat
+    /// spectrum — no dominant components at all, the `p = m` corner of
+    /// Figures 1 and 2 — every component is kept, so the projection degrades
+    /// gracefully to returning the disguised data instead of discarding an
+    /// arbitrary half of it.
+    #[default]
+    LargestGap,
+}
+
+/// Minimum ratio across the candidate gap for the largest-gap rule to accept a
+/// split; below this the spectrum is treated as having no dominant components.
+const DOMINANCE_RATIO: f64 = 2.0;
+
+
+impl ComponentSelection {
+    /// Returns the number of components to keep for the given descending
+    /// eigenvalue spectrum (always at least 1 and at most `eigenvalues.len()`).
+    pub fn select(&self, eigenvalues: &[f64]) -> Result<usize> {
+        if eigenvalues.is_empty() {
+            return Err(ReconError::InvalidInput {
+                reason: "cannot select components from an empty spectrum".to_string(),
+            });
+        }
+        let m = eigenvalues.len();
+        match *self {
+            ComponentSelection::FixedCount(p) => {
+                if p == 0 {
+                    return Err(ReconError::InvalidParameter {
+                        reason: "FixedCount must keep at least one component".to_string(),
+                    });
+                }
+                Ok(p.min(m))
+            }
+            ComponentSelection::VarianceFraction(f) => {
+                if !(f > 0.0 && f <= 1.0) {
+                    return Err(ReconError::InvalidParameter {
+                        reason: format!("VarianceFraction must be in (0, 1], got {f}"),
+                    });
+                }
+                // Negative eigenvalues (possible in noisy estimates) contribute
+                // nothing to the cumulative fraction.
+                let total: f64 = eigenvalues.iter().map(|&l| l.max(0.0)).sum();
+                if total <= 0.0 {
+                    return Ok(1);
+                }
+                let mut acc = 0.0;
+                for (i, &l) in eigenvalues.iter().enumerate() {
+                    acc += l.max(0.0);
+                    if acc / total >= f {
+                        return Ok(i + 1);
+                    }
+                }
+                Ok(m)
+            }
+            ComponentSelection::LargestGap => {
+                if m == 1 {
+                    return Ok(1);
+                }
+                // Consider only splits where the eigenvalue before the gap
+                // dominates the one after it; among those take the largest
+                // absolute gap. No dominant split -> keep every component.
+                let mut best_idx = None;
+                let mut best_gap = f64::NEG_INFINITY;
+                for i in 0..m - 1 {
+                    let before = eigenvalues[i];
+                    let after = eigenvalues[i + 1];
+                    let dominant = after <= 0.0 || (before > 0.0 && before / after >= DOMINANCE_RATIO);
+                    if !dominant {
+                        continue;
+                    }
+                    let gap = before - after;
+                    if gap > best_gap {
+                        best_gap = gap;
+                        best_idx = Some(i + 1);
+                    }
+                }
+                Ok(best_idx.unwrap_or(m))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPECTRUM: [f64; 6] = [400.0, 398.0, 396.0, 10.0, 8.0, 6.0];
+
+    #[test]
+    fn fixed_count_clamps() {
+        assert_eq!(ComponentSelection::FixedCount(2).select(&SPECTRUM).unwrap(), 2);
+        assert_eq!(ComponentSelection::FixedCount(50).select(&SPECTRUM).unwrap(), 6);
+        assert!(ComponentSelection::FixedCount(0).select(&SPECTRUM).is_err());
+    }
+
+    #[test]
+    fn variance_fraction_accumulates() {
+        // First three eigenvalues carry 1194 of 1218 total ≈ 98%.
+        let sel = ComponentSelection::VarianceFraction(0.95);
+        assert_eq!(sel.select(&SPECTRUM).unwrap(), 3);
+        assert_eq!(ComponentSelection::VarianceFraction(1.0).select(&SPECTRUM).unwrap(), 6);
+        assert_eq!(ComponentSelection::VarianceFraction(0.01).select(&SPECTRUM).unwrap(), 1);
+        assert!(ComponentSelection::VarianceFraction(0.0).select(&SPECTRUM).is_err());
+        assert!(ComponentSelection::VarianceFraction(1.5).select(&SPECTRUM).is_err());
+    }
+
+    #[test]
+    fn variance_fraction_with_negative_tail() {
+        let noisy = [10.0, 5.0, -0.5, -1.0];
+        assert_eq!(ComponentSelection::VarianceFraction(0.99).select(&noisy).unwrap(), 2);
+        let all_negative = [-1.0, -2.0];
+        assert_eq!(ComponentSelection::VarianceFraction(0.5).select(&all_negative).unwrap(), 1);
+    }
+
+    #[test]
+    fn largest_gap_finds_dominant_block() {
+        assert_eq!(ComponentSelection::LargestGap.select(&SPECTRUM).unwrap(), 3);
+        assert_eq!(ComponentSelection::LargestGap.select(&[5.0]).unwrap(), 1);
+        assert_eq!(ComponentSelection::default().select(&SPECTRUM).unwrap(), 3);
+    }
+
+    #[test]
+    fn largest_gap_keeps_everything_on_flat_spectra() {
+        // A flat (or nearly flat) spectrum has no dominant components: keep all
+        // of them rather than splitting at an arbitrary sampling-noise gap.
+        let flat = [100.0, 99.0, 97.5, 96.0, 95.0];
+        assert_eq!(ComponentSelection::LargestGap.select(&flat).unwrap(), flat.len());
+
+        // A spectrum with a dominant block followed by a noisy tail still splits.
+        let dominant = [400.0, 395.0, 30.0, 28.0, 1.0];
+        assert_eq!(ComponentSelection::LargestGap.select(&dominant).unwrap(), 2);
+
+        // Negative tail (possible after noise subtraction) counts as dominated.
+        let with_negative = [50.0, 40.0, -0.5];
+        assert_eq!(ComponentSelection::LargestGap.select(&with_negative).unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_spectrum_rejected() {
+        assert!(ComponentSelection::LargestGap.select(&[]).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Temporal (sample-dependency) reconstruction.
+//!
+//! Section 3 of the paper points out that time-series data leaks through a
+//! second channel: even if the *attributes* are independent, consecutive
+//! *samples* of the same attribute are correlated, and standard denoising can
+//! strip the randomization. This module implements that attack as a windowed
+//! Bayes estimate — the exact same machinery as BE-DR, but applied along the
+//! time axis instead of across attributes:
+//!
+//! 1. estimate the lag-1 autocorrelation `φ̂` and the stationary variance of
+//!    the original series from the disguised series (the disguised lag-k
+//!    autocovariances equal the original ones for k ≥ 1, and the variance
+//!    follows from Theorem 5.1);
+//! 2. model each window of `w` consecutive original samples as a multivariate
+//!    normal with the implied AR(1) Toeplitz covariance;
+//! 3. estimate the window's centre sample with the Bayes formula
+//!    `x̂ = (Σ_x⁻¹ + σ⁻²I)⁻¹ (Σ_x⁻¹ μ + y/σ²)` and slide the window along the
+//!    series.
+//!
+//! The stronger the serial correlation, the more of the noise the window
+//! cancels — the temporal analogue of the paper's central claim about
+//! attribute correlation.
+
+use crate::error::{ReconError, Result};
+use crate::traits::{validate_input, Reconstructor};
+use randrecon_data::timeseries::lag1_autocorrelation;
+use randrecon_data::DataTable;
+use randrecon_linalg::decomposition::Cholesky;
+use randrecon_linalg::Matrix;
+use randrecon_noise::NoiseModel;
+
+/// Windowed Bayes smoother exploiting serial (sample) dependency.
+///
+/// Treats every column of the table as an independent time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalSmoother {
+    /// Number of consecutive samples in each estimation window (odd; the
+    /// centre sample is the one being estimated). Larger windows cancel more
+    /// noise on strongly autocorrelated series but react more slowly.
+    pub window: usize,
+}
+
+impl Default for TemporalSmoother {
+    fn default() -> Self {
+        TemporalSmoother { window: 7 }
+    }
+}
+
+impl TemporalSmoother {
+    /// Creates a smoother with the given (odd, ≥ 3) window length.
+    pub fn new(window: usize) -> Result<Self> {
+        if window < 3 || window % 2 == 0 {
+            return Err(ReconError::InvalidParameter {
+                reason: format!("window must be an odd number >= 3, got {window}"),
+            });
+        }
+        Ok(TemporalSmoother { window })
+    }
+
+    /// Smooths one disguised series with a known per-sample noise variance.
+    fn smooth_series(&self, series: &[f64], noise_variance: f64) -> Result<Vec<f64>> {
+        let n = series.len();
+        let w = self.window.min(if n % 2 == 0 { n - 1 } else { n }).max(1);
+        if w < 3 {
+            // Series too short to exploit any serial structure.
+            return Ok(series.to_vec());
+        }
+        let half = w / 2;
+
+        // Estimate the original series' second-order structure from the
+        // disguised one. For Y = X + R with white noise R:
+        //   var(Y) = var(X) + σ²           (Theorem 5.1 on the diagonal)
+        //   cov(Y_t, Y_{t+1}) = cov(X_t, X_{t+1})   (noise is independent over time)
+        // so φ̂ = lag1(Y)·var(Y)/var(X).
+        let mean: f64 = series.iter().sum::<f64>() / n as f64;
+        let var_y: f64 =
+            series.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+        let var_x = (var_y - noise_variance).max(1e-9);
+        let lag1_y = lag1_autocorrelation(series);
+        // Autocovariance at lag 1 of Y equals that of X; convert to X's correlation.
+        let phi = (lag1_y * var_y / var_x).clamp(-0.999, 0.999);
+
+        // Prior covariance of a window of original samples: AR(1) Toeplitz.
+        let sigma_x = Matrix::from_fn(w, w, |i, j| var_x * phi.powi(i.abs_diff(j) as i32));
+        let sigma_x_inv = Cholesky::new(&sigma_x)
+            .or_else(|_| {
+                // Extremely high |phi| can make the Toeplitz matrix borderline;
+                // regularize and retry.
+                Cholesky::new(&sigma_x.add(&Matrix::identity(w).scale(1e-6 * var_x))?)
+            })?
+            .inverse()?;
+        let noise_inv = Matrix::identity(w).scale(1.0 / noise_variance);
+        let posterior = Cholesky::new(&sigma_x_inv.add(&noise_inv)?.symmetrize()?)?.inverse()?;
+        let prior_weight = posterior.matmul(&sigma_x_inv)?; // applied to the window prior mean
+        let data_weight = posterior.scale(1.0 / noise_variance); // applied to the window observation
+        let prior_mean = vec![mean; w];
+        let from_prior = prior_weight.matvec(&prior_mean)?;
+
+        let mut out = Vec::with_capacity(n);
+        for t in 0..n {
+            // Clamp the window inside the series; the sample's position within
+            // the window is the centre except near the edges.
+            let start = t.saturating_sub(half).min(n - w);
+            let idx = (t - start).min(w - 1);
+            let window_y: Vec<f64> = series[start..start + w].to_vec();
+            let from_data = data_weight.matvec(&window_y)?;
+            out.push(from_prior[idx] + from_data[idx]);
+        }
+        Ok(out)
+    }
+}
+
+impl Reconstructor for TemporalSmoother {
+    fn name(&self) -> &'static str {
+        "Temporal-BE"
+    }
+
+    fn reconstruct(&self, disguised: &DataTable, noise: &NoiseModel) -> Result<DataTable> {
+        validate_input(disguised, noise)?;
+        let (n, m) = disguised.values().shape();
+        let mut out = Matrix::zeros(n, m);
+        for j in 0..m {
+            let noise_variance = noise.marginal_variance(j, m)?;
+            let smoothed = self.smooth_series(&disguised.column(j), noise_variance)?;
+            out.set_column(j, &smoothed);
+        }
+        Ok(disguised.with_values(out)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ndr::Ndr;
+    use crate::udr::Udr;
+    use randrecon_data::timeseries::Ar1Spec;
+    use randrecon_metrics::rmse;
+    use randrecon_noise::additive::AdditiveRandomizer;
+    use randrecon_stats::rng::seeded_rng;
+
+    fn disguised_series(
+        phi: f64,
+        sigma: f64,
+        seed: u64,
+    ) -> (DataTable, AdditiveRandomizer, DataTable) {
+        let spec = Ar1Spec::new(phi, 3.0, 10.0).unwrap();
+        let original = spec.generate_table(3_000, 2, seed).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
+        let disguised = randomizer.disguise(&original, &mut seeded_rng(seed + 1)).unwrap();
+        (original, randomizer, disguised)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(TemporalSmoother::new(2).is_err());
+        assert!(TemporalSmoother::new(4).is_err());
+        assert!(TemporalSmoother::new(1).is_err());
+        assert_eq!(TemporalSmoother::new(5).unwrap().window, 5);
+        assert_eq!(TemporalSmoother::default().name(), "Temporal-BE");
+    }
+
+    #[test]
+    fn beats_ndr_and_udr_on_strongly_autocorrelated_series() {
+        // phi = 0.95: smooth series, serial dependency carries a lot of
+        // information about each sample.
+        let (original, randomizer, disguised) = disguised_series(0.95, 6.0, 11);
+        let model = randomizer.model();
+        let temporal = rmse(
+            &original,
+            &TemporalSmoother::default().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
+        let ndr = rmse(&original, &Ndr.reconstruct(&disguised, model).unwrap()).unwrap();
+        let udr = rmse(&original, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        assert!(temporal < ndr, "temporal {temporal} vs NDR {ndr}");
+        assert!(
+            temporal < udr,
+            "serial structure should beat the memoryless UDR: {temporal} vs {udr}"
+        );
+    }
+
+    #[test]
+    fn degrades_gracefully_on_weakly_autocorrelated_series() {
+        // phi = 0.1: little serial structure; the smoother should still not be
+        // (much) worse than UDR, which is the memoryless optimum.
+        let (original, randomizer, disguised) = disguised_series(0.1, 6.0, 13);
+        let model = randomizer.model();
+        let temporal = rmse(
+            &original,
+            &TemporalSmoother::default().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
+        let udr = rmse(&original, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        assert!(temporal <= udr * 1.1, "temporal {temporal} vs UDR {udr}");
+    }
+
+    #[test]
+    fn larger_windows_help_when_correlation_is_high() {
+        let (original, randomizer, disguised) = disguised_series(0.97, 8.0, 17);
+        let model = randomizer.model();
+        let narrow = rmse(
+            &original,
+            &TemporalSmoother::new(3).unwrap().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
+        let wide = rmse(
+            &original,
+            &TemporalSmoother::new(11).unwrap().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
+        assert!(wide < narrow, "wide window {wide} should beat narrow {narrow}");
+    }
+
+    #[test]
+    fn output_is_finite_and_shaped_for_short_series() {
+        let spec = Ar1Spec::new(0.8, 2.0, 0.0).unwrap();
+        let original = spec.generate_table(5, 1, 3).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(1.0).unwrap();
+        let disguised = randomizer.disguise(&original, &mut seeded_rng(4)).unwrap();
+        let out = TemporalSmoother::new(9)
+            .unwrap()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
+        assert_eq!(out.values().shape(), (5, 1));
+        assert!(!out.values().has_non_finite());
+    }
+}

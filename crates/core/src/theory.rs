@@ -1,0 +1,161 @@
+//! Closed-form predictions from the paper's theorems.
+//!
+//! These functions give the analytic error levels the experiments should
+//! observe; the property tests and the micro benches compare measured errors
+//! against them, which is the strongest correctness check the workspace has.
+
+use crate::error::{ReconError, Result};
+use randrecon_linalg::decomposition::Cholesky;
+use randrecon_linalg::Matrix;
+
+/// Expected mean-square error of the NDR baseline (Section 4.1): exactly the
+/// noise variance.
+pub fn ndr_expected_mse(noise_variance: f64) -> Result<f64> {
+    validate_variance("noise_variance", noise_variance)?;
+    Ok(noise_variance)
+}
+
+/// Expected per-attribute mean-square error of the univariate Bayes estimator
+/// when both the data and the noise are Gaussian:
+/// `var_x · var_r / (var_x + var_r)` (the posterior variance).
+pub fn udr_gaussian_expected_mse(data_variance: f64, noise_variance: f64) -> Result<f64> {
+    validate_variance("data_variance", data_variance)?;
+    validate_variance("noise_variance", noise_variance)?;
+    Ok(data_variance * noise_variance / (data_variance + noise_variance))
+}
+
+/// Theorem 5.2: the mean-square error PCA-DR suffers from the *noise* term
+/// `R Q̂ Q̂ᵀ` when keeping `p` of `m` components is `σ² · p / m`.
+pub fn pca_noise_mse(noise_variance: f64, components_kept: usize, attributes: usize) -> Result<f64> {
+    validate_variance("noise_variance", noise_variance)?;
+    if attributes == 0 || components_kept == 0 || components_kept > attributes {
+        return Err(ReconError::InvalidParameter {
+            reason: format!(
+                "need 1 <= p <= m, got p = {components_kept}, m = {attributes}"
+            ),
+        });
+    }
+    Ok(noise_variance * components_kept as f64 / attributes as f64)
+}
+
+/// Theorem 5.2's other half: the fraction of the information about the
+/// original data retained when keeping the `p` leading eigenvalues of the
+/// given (descending) spectrum.
+pub fn retained_variance_fraction(eigenvalues: &[f64], components_kept: usize) -> Result<f64> {
+    if eigenvalues.is_empty() || components_kept == 0 || components_kept > eigenvalues.len() {
+        return Err(ReconError::InvalidParameter {
+            reason: format!(
+                "need 1 <= p <= m with a non-empty spectrum, got p = {components_kept}, m = {}",
+                eigenvalues.len()
+            ),
+        });
+    }
+    let total: f64 = eigenvalues.iter().map(|&l| l.max(0.0)).sum();
+    if total <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok(eigenvalues
+        .iter()
+        .take(components_kept)
+        .map(|&l| l.max(0.0))
+        .sum::<f64>()
+        / total)
+}
+
+/// Expected per-attribute mean-square error of the multivariate Bayes estimate
+/// under a Gaussian prior with covariance `Σ_x` and Gaussian noise with
+/// covariance `Σ_r`: `trace((Σ_x⁻¹ + Σ_r⁻¹)⁻¹) / m` (the posterior covariance
+/// averaged over attributes).
+pub fn be_dr_expected_mse(sigma_x: &Matrix, sigma_r: &Matrix) -> Result<f64> {
+    if sigma_x.shape() != sigma_r.shape() || !sigma_x.is_square() {
+        return Err(ReconError::InvalidParameter {
+            reason: format!(
+                "covariance matrices must be square and the same size, got {}x{} and {}x{}",
+                sigma_x.rows(),
+                sigma_x.cols(),
+                sigma_r.rows(),
+                sigma_r.cols()
+            ),
+        });
+    }
+    let m = sigma_x.rows();
+    let sx_inv = Cholesky::new(sigma_x)?.inverse()?;
+    let sr_inv = Cholesky::new(sigma_r)?.inverse()?;
+    let posterior = Cholesky::new(&sx_inv.add(&sr_inv)?.symmetrize()?)?.inverse()?;
+    Ok(posterior.trace() / m as f64)
+}
+
+fn validate_variance(name: &'static str, value: f64) -> Result<()> {
+    if !(value > 0.0 && value.is_finite()) {
+        return Err(ReconError::InvalidParameter {
+            reason: format!("{name} must be positive and finite, got {value}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndr_mse_is_noise_variance() {
+        assert_eq!(ndr_expected_mse(25.0).unwrap(), 25.0);
+        assert!(ndr_expected_mse(0.0).is_err());
+    }
+
+    #[test]
+    fn udr_mse_is_posterior_variance() {
+        let mse = udr_gaussian_expected_mse(400.0, 100.0).unwrap();
+        assert!((mse - 80.0).abs() < 1e-12);
+        // Symmetric in its arguments.
+        assert_eq!(
+            udr_gaussian_expected_mse(3.0, 7.0).unwrap(),
+            udr_gaussian_expected_mse(7.0, 3.0).unwrap()
+        );
+        assert!(udr_gaussian_expected_mse(-1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn pca_noise_mse_scales_linearly_in_p() {
+        assert_eq!(pca_noise_mse(100.0, 5, 100).unwrap(), 5.0);
+        assert_eq!(pca_noise_mse(100.0, 100, 100).unwrap(), 100.0);
+        assert!(pca_noise_mse(100.0, 0, 10).is_err());
+        assert!(pca_noise_mse(100.0, 11, 10).is_err());
+    }
+
+    #[test]
+    fn retained_fraction_behaviour() {
+        let spectrum = [400.0, 400.0, 4.0, 4.0];
+        assert!((retained_variance_fraction(&spectrum, 2).unwrap() - 800.0 / 808.0).abs() < 1e-12);
+        assert_eq!(retained_variance_fraction(&spectrum, 4).unwrap(), 1.0);
+        assert!(retained_variance_fraction(&spectrum, 0).is_err());
+        assert!(retained_variance_fraction(&[], 1).is_err());
+    }
+
+    #[test]
+    fn be_dr_mse_reduces_to_udr_for_diagonal_covariances() {
+        // With Σ_x = v·I and Σ_r = s·I the posterior trace/m is v·s/(v+s),
+        // i.e. exactly the univariate answer.
+        let v = 400.0;
+        let s = 100.0;
+        let sigma_x = Matrix::identity(5).scale(v);
+        let sigma_r = Matrix::identity(5).scale(s);
+        let be = be_dr_expected_mse(&sigma_x, &sigma_r).unwrap();
+        let udr = udr_gaussian_expected_mse(v, s).unwrap();
+        assert!((be - udr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn be_dr_mse_benefits_from_correlation() {
+        // Strongly correlated Σ_x with the same total variance should yield a
+        // smaller posterior error than the uncorrelated case.
+        let uncorrelated = Matrix::identity(2).scale(100.0);
+        let correlated = Matrix::from_rows(&[&[100.0, 95.0][..], &[95.0, 100.0][..]]).unwrap();
+        let noise = Matrix::identity(2).scale(50.0);
+        let e_uncorr = be_dr_expected_mse(&uncorrelated, &noise).unwrap();
+        let e_corr = be_dr_expected_mse(&correlated, &noise).unwrap();
+        assert!(e_corr < e_uncorr, "{e_corr} should be < {e_uncorr}");
+        assert!(be_dr_expected_mse(&uncorrelated, &Matrix::identity(3)).is_err());
+    }
+}

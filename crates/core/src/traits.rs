@@ -1,0 +1,81 @@
+//! The common interface every reconstruction attack implements.
+
+use crate::error::Result;
+use randrecon_data::DataTable;
+use randrecon_noise::NoiseModel;
+
+/// A data-reconstruction attack.
+///
+/// Implementations receive the disguised data set `Y = X + R` and the public
+/// noise model, and return their best estimate `X̂` of the original data set.
+/// The estimate always has exactly the same shape and schema as the input.
+pub trait Reconstructor {
+    /// Short human-readable name used in reports and figures
+    /// (e.g. `"PCA-DR"`, `"BE-DR"`).
+    fn name(&self) -> &'static str;
+
+    /// Reconstructs an estimate of the original data from the disguised data.
+    fn reconstruct(&self, disguised: &DataTable, noise: &NoiseModel) -> Result<DataTable>;
+}
+
+/// Validates the common preconditions shared by all attacks: a non-empty table
+/// with at least two records (needed for any covariance estimate) and a noise
+/// model whose dimensionality matches the table.
+pub fn validate_input(disguised: &DataTable, noise: &NoiseModel) -> Result<()> {
+    use crate::error::ReconError;
+    if disguised.n_records() < 2 {
+        return Err(ReconError::InvalidInput {
+            reason: format!(
+                "need at least 2 records to estimate statistics, got {}",
+                disguised.n_records()
+            ),
+        });
+    }
+    if disguised.n_attributes() == 0 {
+        return Err(ReconError::InvalidInput {
+            reason: "disguised table has no attributes".to_string(),
+        });
+    }
+    // Covariance lookup doubles as a dimensionality check for correlated noise.
+    noise.covariance(disguised.n_attributes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randrecon_linalg::Matrix;
+
+    struct Identity;
+    impl Reconstructor for Identity {
+        fn name(&self) -> &'static str {
+            "identity"
+        }
+        fn reconstruct(&self, disguised: &DataTable, noise: &NoiseModel) -> Result<DataTable> {
+            validate_input(disguised, noise)?;
+            Ok(disguised.clone())
+        }
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let table = DataTable::from_matrix(Matrix::zeros(3, 2)).unwrap();
+        let noise = NoiseModel::independent_gaussian(1.0).unwrap();
+        let attack: Box<dyn Reconstructor> = Box::new(Identity);
+        assert_eq!(attack.name(), "identity");
+        let out = attack.reconstruct(&table, &noise).unwrap();
+        assert_eq!(out.values().shape(), (3, 2));
+    }
+
+    #[test]
+    fn validate_rejects_small_or_mismatched_inputs() {
+        let noise = NoiseModel::independent_gaussian(1.0).unwrap();
+        let single = DataTable::from_matrix(Matrix::zeros(1, 2)).unwrap();
+        assert!(validate_input(&single, &noise).is_err());
+
+        let table = DataTable::from_matrix(Matrix::zeros(5, 2)).unwrap();
+        let wrong_dim = NoiseModel::correlated(Matrix::identity(3)).unwrap();
+        assert!(validate_input(&table, &wrong_dim).is_err());
+        assert!(validate_input(&table, &noise).is_ok());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the reconstruction attacks: structural invariants
+//! that must hold for any workload shape, noise level, and noise model.
+
+use proptest::prelude::*;
+use randrecon_core::{
+    be_dr::BeDr, ndr::Ndr, pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr,
+    ComponentSelection, Reconstructor,
+};
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_stats::rng::seeded_rng;
+
+fn attacks() -> Vec<Box<dyn Reconstructor>> {
+    vec![
+        Box::new(Ndr),
+        Box::new(Udr::default()),
+        Box::new(SpectralFiltering::default()),
+        Box::new(PcaDr::largest_gap()),
+        Box::new(BeDr::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every attack, on every workload and noise configuration in range,
+    /// returns a finite table of exactly the input shape and schema.
+    #[test]
+    fn attacks_preserve_shape_and_finiteness(
+        m in 2usize..10,
+        p in 1usize..5,
+        n in 30usize..200,
+        sigma in 0.5f64..25.0,
+        uniform_noise in proptest::bool::ANY,
+        seed in 0u64..5_000,
+    ) {
+        let p = p.min(m);
+        let spectrum = EigenSpectrum::principal_plus_small(p, 250.0, m, 5.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, n, seed).unwrap();
+        let randomizer = if uniform_noise {
+            AdditiveRandomizer::uniform(sigma).unwrap()
+        } else {
+            AdditiveRandomizer::gaussian(sigma).unwrap()
+        };
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed + 1)).unwrap();
+        for attack in attacks() {
+            let out = attack.reconstruct(&disguised, randomizer.model()).unwrap();
+            prop_assert_eq!(out.values().shape(), (n, m), "{}", attack.name());
+            prop_assert_eq!(out.schema(), ds.table.schema(), "{}", attack.name());
+            prop_assert!(!out.values().has_non_finite(), "{}", attack.name());
+        }
+    }
+
+    /// PCA-DR keeping all m components reproduces the disguised data exactly
+    /// (Q Qᵀ = I), for any workload.
+    #[test]
+    fn pca_with_all_components_is_identity(
+        m in 2usize..8,
+        sigma in 1.0f64..10.0,
+        seed in 0u64..5_000,
+    ) {
+        let spectrum = EigenSpectrum::principal_plus_small(1, 200.0, m, 4.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 100, seed).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed + 2)).unwrap();
+        let full = PcaDr::with_fixed_components(m)
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
+        prop_assert!(full.values().approx_eq(disguised.values(), 1e-6));
+    }
+
+    /// Every selection rule returns a component count in [1, m] on arbitrary
+    /// descending spectra (including noisy tails).
+    #[test]
+    fn selection_rules_stay_in_bounds(
+        mut eigenvalues in proptest::collection::vec(-5.0f64..500.0, 1..20),
+        fixed in 1usize..25,
+        fraction in 0.01f64..1.0,
+    ) {
+        eigenvalues.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let m = eigenvalues.len();
+        for rule in [
+            ComponentSelection::FixedCount(fixed),
+            ComponentSelection::VarianceFraction(fraction),
+            ComponentSelection::LargestGap,
+        ] {
+            let p = rule.select(&eigenvalues).unwrap();
+            prop_assert!(p >= 1 && p <= m, "{rule:?} gave {p} for m = {m}");
+        }
+    }
+
+    /// Attacks are deterministic: the same disguised input and noise model give
+    /// byte-identical reconstructions.
+    #[test]
+    fn attacks_are_deterministic(seed in 0u64..5_000) {
+        let spectrum = EigenSpectrum::principal_plus_small(2, 300.0, 6, 3.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 120, seed).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(5.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed + 3)).unwrap();
+        for attack in attacks() {
+            let a = attack.reconstruct(&disguised, randomizer.model()).unwrap();
+            let b = attack.reconstruct(&disguised, randomizer.model()).unwrap();
+            prop_assert!(a.approx_eq(&b, 0.0), "{}", attack.name());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal CSV serialization for [`DataTable`]s.
+//!
+//! The examples persist generated and reconstructed data sets so they can be
+//! inspected with external tooling; a hand-rolled writer/reader keeps the
+//! workspace free of extra dependencies. Only the subset of CSV this crate
+//! produces is supported: a header row of attribute names followed by rows of
+//! decimal numbers, comma-separated, no quoting or escaping.
+
+use crate::error::{DataError, Result};
+use crate::schema::{Attribute, Schema};
+use crate::table::DataTable;
+use randrecon_linalg::Matrix;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Serializes a table to CSV text (header + one line per record).
+pub fn to_csv_string(table: &DataTable) -> String {
+    let mut out = String::new();
+    out.push_str(&table.schema().names().join(","));
+    out.push('\n');
+    for record in table.records() {
+        let row: Vec<String> = record.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a table as CSV to any writer.
+pub fn write_csv<W: Write>(table: &DataTable, writer: &mut W) -> Result<()> {
+    writer.write_all(to_csv_string(table).as_bytes())?;
+    Ok(())
+}
+
+/// Writes a table as CSV to a file path.
+pub fn write_csv_file<P: AsRef<Path>>(table: &DataTable, path: P) -> Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    write_csv(table, &mut file)
+}
+
+/// Parses a table from CSV text.
+pub fn from_csv_string(text: &str) -> Result<DataTable> {
+    read_csv(&mut text.as_bytes())
+}
+
+/// Reads a table from any reader producing CSV.
+pub fn read_csv<R: Read>(reader: &mut R) -> Result<DataTable> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => {
+            return Err(DataError::Parse {
+                line: 1,
+                reason: "empty input (missing header row)".to_string(),
+            })
+        }
+    };
+    let names: Vec<&str> = header.split(',').map(|s| s.trim()).collect();
+    if names.iter().any(|n| n.is_empty()) {
+        return Err(DataError::Parse {
+            line: 1,
+            reason: "header contains an empty attribute name".to_string(),
+        });
+    }
+    let schema = Schema::new(names.iter().map(|&n| Attribute::sensitive(n)).collect())?;
+    let m = schema.len();
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        let line_no = idx + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(|s| s.trim()).collect();
+        if fields.len() != m {
+            return Err(DataError::Parse {
+                line: line_no,
+                reason: format!("expected {m} fields, found {}", fields.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(m);
+        for f in fields {
+            let v: f64 = f.parse().map_err(|_| DataError::Parse {
+                line: line_no,
+                reason: format!("'{f}' is not a number"),
+            })?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(DataError::Parse {
+            line: 2,
+            reason: "no data rows".to_string(),
+        });
+    }
+    let values = Matrix::from_row_vecs(rows)?;
+    DataTable::new(schema, values)
+}
+
+/// Reads a table from a CSV file.
+pub fn read_csv_file<P: AsRef<Path>>(path: P) -> Result<DataTable> {
+    let mut file = std::fs::File::open(path)?;
+    read_csv(&mut file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataTable {
+        DataTable::from_named_columns(&[
+            ("x", vec![1.0, 2.5, -3.0]),
+            ("y", vec![0.5, 0.0, 10.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_through_string() {
+        let t = sample();
+        let text = to_csv_string(&t);
+        assert!(text.starts_with("x,y\n"));
+        let parsed = from_csv_string(&text).unwrap();
+        assert!(parsed.approx_eq(&t, 1e-12));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let t = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join("randrecon_csv_roundtrip_test.csv");
+        write_csv_file(&t, &path).unwrap();
+        let parsed = read_csv_file(&path).unwrap();
+        assert!(parsed.approx_eq(&t, 1e-12));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        assert!(matches!(
+            from_csv_string(""),
+            Err(DataError::Parse { line: 1, .. })
+        ));
+        let bad_field = "a,b\n1.0,2.0\n1.0,not_a_number\n";
+        match from_csv_string(bad_field) {
+            Err(DataError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let wrong_arity = "a,b\n1.0\n";
+        assert!(matches!(
+            from_csv_string(wrong_arity),
+            Err(DataError::Parse { line: 2, .. })
+        ));
+        assert!(from_csv_string("a,b\n").is_err());
+        assert!(from_csv_string("a,,c\n1,2,3\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "a,b\n1,2\n\n3,4\n";
+        let t = from_csv_string(text).unwrap();
+        assert_eq!(t.n_records(), 2);
+        assert_eq!(t.record(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn duplicate_header_names_rejected() {
+        assert!(from_csv_string("a,a\n1,2\n").is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Attribute schemas.
+//!
+//! A schema names each attribute and records whether it is *sensitive* —
+//! i.e. whether the data owner intends it to be protected by randomization.
+//! The attack code does not need this distinction (it reconstructs every
+//! column it is given), but the examples and privacy reports use it to talk
+//! about which attributes an adversary actually learned.
+
+use crate::error::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Description of a single attribute (column).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Column name.
+    pub name: String,
+    /// Whether the attribute holds private information the owner wants disguised.
+    pub sensitive: bool,
+}
+
+impl Attribute {
+    /// Creates a sensitive attribute with the given name.
+    pub fn sensitive(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            sensitive: true,
+        }
+    }
+
+    /// Creates a non-sensitive (public) attribute with the given name.
+    pub fn public(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            sensitive: false,
+        }
+    }
+}
+
+/// An ordered collection of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from a list of attributes; names must be unique and non-empty.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self> {
+        if attributes.is_empty() {
+            return Err(DataError::SchemaMismatch {
+                reason: "schema must have at least one attribute".to_string(),
+            });
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if a.name.is_empty() {
+                return Err(DataError::SchemaMismatch {
+                    reason: format!("attribute {i} has an empty name"),
+                });
+            }
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(DataError::SchemaMismatch {
+                    reason: format!("duplicate attribute name '{}'", a.name),
+                });
+            }
+        }
+        Ok(Schema { attributes })
+    }
+
+    /// A schema of `m` sensitive attributes named `a0, a1, …` — the shape used
+    /// by all synthetic workloads.
+    pub fn anonymous(m: usize) -> Result<Self> {
+        Schema::new((0..m).map(|i| Attribute::sensitive(format!("a{i}"))).collect())
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True if the schema has no attributes (never true for a constructed schema).
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// The attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Attribute names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attributes.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// Index of the attribute with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| DataError::UnknownAttribute {
+                name: name.to_string(),
+            })
+    }
+
+    /// Indices of all sensitive attributes.
+    pub fn sensitive_indices(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.sensitive)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_indexes() {
+        let s = Schema::new(vec![
+            Attribute::sensitive("income"),
+            Attribute::public("zip"),
+            Attribute::sensitive("diagnosis"),
+        ])
+        .unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.index_of("zip").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+        assert_eq!(s.sensitive_indices(), vec![0, 2]);
+        assert_eq!(s.names(), vec!["income", "zip", "diagnosis"]);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        assert!(Schema::new(vec![]).is_err());
+        assert!(Schema::new(vec![Attribute::sensitive("")]).is_err());
+        assert!(Schema::new(vec![
+            Attribute::sensitive("x"),
+            Attribute::public("x")
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn anonymous_schema() {
+        let s = Schema::anonymous(4).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.names(), vec!["a0", "a1", "a2", "a3"]);
+        assert_eq!(s.sensitive_indices().len(), 4);
+        assert!(Schema::anonymous(0).is_err());
+    }
+}

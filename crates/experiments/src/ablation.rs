@@ -1,0 +1,379 @@
+//! Ablation studies over design choices the paper leaves implicit.
+//!
+//! * [`SelectionAblation`] — how the principal-component selection rule
+//!   (largest gap vs fixed count vs variance fraction) changes PCA-DR accuracy.
+//! * [`NoiseLevelAblation`] — how the disguising noise level σ moves every
+//!   scheme (all of them degrade, but the correlation-based schemes keep their
+//!   relative advantage).
+//! * [`SampleSizeAblation`] — how many records the adversary needs before the
+//!   covariance estimate (Theorem 5.1) is good enough for the attacks to work.
+//! * [`NoiseShapeAblation`] — Gaussian versus uniform disguising noise at the
+//!   same variance (the attacks only use second moments, so the results barely
+//!   change — which is itself a finding worth demonstrating).
+
+use crate::config::{ExperimentSeries, SchemeKind, SeriesPoint};
+use crate::error::{ExperimentError, Result};
+use crate::runner::parallel_map;
+use crate::workload::evaluate_schemes;
+use randrecon_core::{pca_dr::PcaDr, ComponentSelection, Reconstructor};
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_metrics::rmse;
+use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_stats::rng::{child_seed, seeded_rng};
+use serde::{Deserialize, Serialize};
+
+/// A labelled single-number result, used by the ablations that do not sweep a
+/// numeric axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Human-readable description of the variant.
+    pub label: String,
+    /// RMSE of the variant.
+    pub rmse: f64,
+}
+
+/// A labelled table of ablation rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationTable {
+    /// Name of the ablation.
+    pub name: String,
+    /// The rows.
+    pub rows: Vec<AblationRow>,
+}
+
+impl AblationTable {
+    /// Renders the table as fixed-width text.
+    pub fn to_table(&self) -> String {
+        let mut out = format!("# {}\n", self.name);
+        for row in &self.rows {
+            out.push_str(&format!("{:<40} {:>10.4}\n", row.label, row.rmse));
+        }
+        out
+    }
+}
+
+/// Shared workload parameters for the ablations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationWorkload {
+    /// Number of attributes.
+    pub attributes: usize,
+    /// Number of principal components.
+    pub principal_components: usize,
+    /// Principal eigenvalue.
+    pub principal_eigenvalue: f64,
+    /// Non-principal eigenvalue.
+    pub small_eigenvalue: f64,
+    /// Records per data set.
+    pub records: usize,
+    /// Noise standard deviation.
+    pub noise_sigma: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for AblationWorkload {
+    fn default() -> Self {
+        AblationWorkload {
+            attributes: 50,
+            principal_components: 5,
+            principal_eigenvalue: 400.0,
+            small_eigenvalue: 4.0,
+            records: 1_000,
+            noise_sigma: 10.0,
+            seed: 0x5EED_00AB,
+        }
+    }
+}
+
+impl AblationWorkload {
+    /// A smaller workload for tests.
+    pub fn quick() -> Self {
+        AblationWorkload {
+            attributes: 16,
+            principal_components: 3,
+            records: 300,
+            ..Self::default()
+        }
+    }
+
+    fn generate(&self) -> Result<(SyntheticDataset, AdditiveRandomizer, randrecon_data::DataTable)> {
+        let spectrum = EigenSpectrum::principal_plus_small(
+            self.principal_components,
+            self.principal_eigenvalue,
+            self.attributes,
+            self.small_eigenvalue,
+        )?;
+        let ds = SyntheticDataset::generate(&spectrum, self.records, self.seed)?;
+        let randomizer = AdditiveRandomizer::gaussian(self.noise_sigma)?;
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(self.seed, 1)))?;
+        Ok((ds, randomizer, disguised))
+    }
+}
+
+/// Ablation over the principal-component selection rule used by PCA-DR.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionAblation {
+    /// Workload to evaluate on.
+    pub workload: AblationWorkload,
+}
+
+impl SelectionAblation {
+    /// Runs PCA-DR with each selection rule on the same disguised data set.
+    pub fn run(&self) -> Result<AblationTable> {
+        let (ds, randomizer, disguised) = self.workload.generate()?;
+        let p_true = self.workload.principal_components;
+        let variants: Vec<(String, ComponentSelection)> = vec![
+            ("largest gap (paper default)".to_string(), ComponentSelection::LargestGap),
+            (format!("fixed count p = {p_true} (oracle)"), ComponentSelection::FixedCount(p_true)),
+            (
+                format!("fixed count p = {} (too many)", (p_true * 3).min(self.workload.attributes)),
+                ComponentSelection::FixedCount((p_true * 3).min(self.workload.attributes)),
+            ),
+            ("fixed count p = 1 (too few)".to_string(), ComponentSelection::FixedCount(1)),
+            ("variance fraction 0.90".to_string(), ComponentSelection::VarianceFraction(0.90)),
+            ("variance fraction 0.99".to_string(), ComponentSelection::VarianceFraction(0.99)),
+        ];
+        let mut rows = Vec::with_capacity(variants.len());
+        for (label, selection) in variants {
+            let attack = PcaDr { selection };
+            let reconstruction = attack.reconstruct(&disguised, randomizer.model())?;
+            rows.push(AblationRow {
+                label,
+                rmse: rmse(&ds.table, &reconstruction)?,
+            });
+        }
+        Ok(AblationTable {
+            name: "PCA-DR component-selection ablation".to_string(),
+            rows,
+        })
+    }
+}
+
+/// Ablation over the disguising-noise standard deviation.
+#[derive(Debug, Clone)]
+pub struct NoiseLevelAblation {
+    /// Workload to evaluate on (its `noise_sigma` field is ignored).
+    pub workload: AblationWorkload,
+    /// Noise standard deviations to sweep.
+    pub sigmas: Vec<f64>,
+    /// Schemes to evaluate.
+    pub schemes: Vec<SchemeKind>,
+}
+
+impl Default for NoiseLevelAblation {
+    fn default() -> Self {
+        NoiseLevelAblation {
+            workload: AblationWorkload::default(),
+            sigmas: vec![2.0, 5.0, 10.0, 20.0, 40.0],
+            schemes: SchemeKind::figure_1_to_3_set(),
+        }
+    }
+}
+
+impl NoiseLevelAblation {
+    /// A smaller configuration for tests.
+    pub fn quick() -> Self {
+        NoiseLevelAblation {
+            workload: AblationWorkload::quick(),
+            sigmas: vec![2.0, 20.0],
+            ..Self::default()
+        }
+    }
+
+    /// Runs the sweep, returning a series with σ on the x-axis.
+    pub fn run(&self) -> Result<ExperimentSeries> {
+        if self.sigmas.is_empty() || self.sigmas.iter().any(|&s| !(s > 0.0 && s.is_finite())) {
+            return Err(ExperimentError::InvalidConfig {
+                reason: "noise sigmas must be a non-empty list of positive numbers".to_string(),
+            });
+        }
+        let spectrum = EigenSpectrum::principal_plus_small(
+            self.workload.principal_components,
+            self.workload.principal_eigenvalue,
+            self.workload.attributes,
+            self.workload.small_eigenvalue,
+        )?;
+        let ds = SyntheticDataset::generate(&spectrum, self.workload.records, self.workload.seed)?;
+        let points = parallel_map(self.sigmas.clone(), |&sigma| {
+            let randomizer = AdditiveRandomizer::gaussian(sigma)?;
+            let disguised = randomizer.disguise(
+                &ds.table,
+                &mut seeded_rng(child_seed(self.workload.seed, sigma.to_bits())),
+            )?;
+            Ok(SeriesPoint {
+                x: sigma,
+                rmse: evaluate_schemes(&ds.table, &disguised, randomizer.model(), &self.schemes)?,
+            })
+        })?;
+        Ok(ExperimentSeries {
+            name: "Ablation: disguising-noise level".to_string(),
+            x_label: "noise standard deviation".to_string(),
+            points,
+        })
+    }
+}
+
+/// Ablation over the number of records available to the adversary.
+#[derive(Debug, Clone)]
+pub struct SampleSizeAblation {
+    /// Workload to evaluate on (its `records` field is ignored).
+    pub workload: AblationWorkload,
+    /// Record counts to sweep.
+    pub record_counts: Vec<usize>,
+    /// Schemes to evaluate.
+    pub schemes: Vec<SchemeKind>,
+}
+
+impl Default for SampleSizeAblation {
+    fn default() -> Self {
+        SampleSizeAblation {
+            workload: AblationWorkload::default(),
+            record_counts: vec![100, 300, 1_000, 3_000, 10_000],
+            schemes: vec![SchemeKind::Udr, SchemeKind::PcaDr, SchemeKind::BeDr],
+        }
+    }
+}
+
+impl SampleSizeAblation {
+    /// A smaller configuration for tests.
+    pub fn quick() -> Self {
+        SampleSizeAblation {
+            workload: AblationWorkload::quick(),
+            record_counts: vec![100, 1_000],
+            ..Self::default()
+        }
+    }
+
+    /// Runs the sweep, returning a series with the record count on the x-axis.
+    pub fn run(&self) -> Result<ExperimentSeries> {
+        if self.record_counts.is_empty() || self.record_counts.iter().any(|&n| n < 2) {
+            return Err(ExperimentError::InvalidConfig {
+                reason: "record counts must be a non-empty list of values >= 2".to_string(),
+            });
+        }
+        let points = parallel_map(self.record_counts.clone(), |&n| {
+            let spectrum = EigenSpectrum::principal_plus_small(
+                self.workload.principal_components,
+                self.workload.principal_eigenvalue,
+                self.workload.attributes,
+                self.workload.small_eigenvalue,
+            )?;
+            let seed = child_seed(self.workload.seed, n as u64);
+            let ds = SyntheticDataset::generate(&spectrum, n, seed)?;
+            let randomizer = AdditiveRandomizer::gaussian(self.workload.noise_sigma)?;
+            let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))?;
+            Ok(SeriesPoint {
+                x: n as f64,
+                rmse: evaluate_schemes(&ds.table, &disguised, randomizer.model(), &self.schemes)?,
+            })
+        })?;
+        Ok(ExperimentSeries {
+            name: "Ablation: adversary sample size".to_string(),
+            x_label: "number of records".to_string(),
+            points,
+        })
+    }
+}
+
+/// Ablation comparing Gaussian and uniform disguising noise at equal variance.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseShapeAblation {
+    /// Workload to evaluate on.
+    pub workload: AblationWorkload,
+}
+
+impl NoiseShapeAblation {
+    /// Runs BE-DR and UDR against both noise shapes.
+    pub fn run(&self) -> Result<AblationTable> {
+        let spectrum = EigenSpectrum::principal_plus_small(
+            self.workload.principal_components,
+            self.workload.principal_eigenvalue,
+            self.workload.attributes,
+            self.workload.small_eigenvalue,
+        )?;
+        let ds = SyntheticDataset::generate(&spectrum, self.workload.records, self.workload.seed)?;
+        let schemes = [SchemeKind::Udr, SchemeKind::BeDr];
+        let mut rows = Vec::new();
+        for (label, randomizer) in [
+            ("gaussian noise", AdditiveRandomizer::gaussian(self.workload.noise_sigma)?),
+            ("uniform noise", AdditiveRandomizer::uniform(self.workload.noise_sigma)?),
+        ] {
+            let disguised =
+                randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(self.workload.seed, 2)))?;
+            for &scheme in &schemes {
+                let result = evaluate_schemes(&ds.table, &disguised, randomizer.model(), &[scheme])?;
+                rows.push(AblationRow {
+                    label: format!("{label} / {}", scheme.label()),
+                    rmse: result[0].1,
+                });
+            }
+        }
+        Ok(AblationTable {
+            name: "Noise-shape ablation (equal variance)".to_string(),
+            rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_ablation_oracle_and_gap_agree() {
+        let ablation = SelectionAblation {
+            workload: AblationWorkload::quick(),
+        };
+        let table = ablation.run().unwrap();
+        assert_eq!(table.rows.len(), 6);
+        let gap = table.rows[0].rmse;
+        let oracle = table.rows[1].rmse;
+        // The largest-gap rule should find (approximately) the oracle count on
+        // this clean spectrum.
+        assert!((gap - oracle).abs() / oracle < 0.05, "gap {gap} vs oracle {oracle}");
+        // Keeping only 1 component discards real information and is worse.
+        let too_few = &table.rows[3];
+        assert!(too_few.rmse > oracle);
+        assert!(table.to_table().contains("largest gap"));
+    }
+
+    #[test]
+    fn noise_level_ablation_errors_increase_with_sigma() {
+        let series = NoiseLevelAblation::quick().run().unwrap();
+        assert_eq!(series.points.len(), 2);
+        for scheme in [SchemeKind::Udr, SchemeKind::BeDr] {
+            let s = series.series_for(scheme);
+            assert!(s[1].1 > s[0].1, "{scheme:?} should degrade with more noise: {s:?}");
+        }
+        let mut bad = NoiseLevelAblation::quick();
+        bad.sigmas = vec![];
+        assert!(bad.run().is_err());
+    }
+
+    #[test]
+    fn sample_size_ablation_more_records_help_be_dr() {
+        let series = SampleSizeAblation::quick().run().unwrap();
+        let be = series.series_for(SchemeKind::BeDr);
+        assert!(
+            be[1].1 <= be[0].1 * 1.05,
+            "BE-DR should not get worse with 10x more records: {be:?}"
+        );
+        let mut bad = SampleSizeAblation::quick();
+        bad.record_counts = vec![1];
+        assert!(bad.run().is_err());
+    }
+
+    #[test]
+    fn noise_shape_ablation_runs_and_is_comparable() {
+        let ablation = NoiseShapeAblation {
+            workload: AblationWorkload::quick(),
+        };
+        let table = ablation.run().unwrap();
+        assert_eq!(table.rows.len(), 4);
+        // BE-DR under gaussian vs uniform noise of the same variance should be
+        // in the same ballpark (both rely only on second moments).
+        let be_gauss = table.rows.iter().find(|r| r.label.contains("gaussian") && r.label.contains("BE-DR")).unwrap().rmse;
+        let be_unif = table.rows.iter().find(|r| r.label.contains("uniform") && r.label.contains("BE-DR")).unwrap().rmse;
+        assert!((be_gauss - be_unif).abs() / be_gauss < 0.25, "{be_gauss} vs {be_unif}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Runs the ablation studies (component selection, noise level, sample size,
+//! noise shape) and prints their tables.
+//!
+//! Usage: `cargo run --release -p randrecon-experiments --bin ablation [--quick]`
+
+use randrecon_experiments::ablation::{
+    AblationWorkload, NoiseLevelAblation, NoiseShapeAblation, SampleSizeAblation, SelectionAblation,
+};
+use randrecon_experiments::report::write_report_csvs;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let workload = if quick {
+        AblationWorkload::quick()
+    } else {
+        AblationWorkload::default()
+    };
+
+    let selection = SelectionAblation {
+        workload: workload.clone(),
+    };
+    let noise_shape = NoiseShapeAblation {
+        workload: workload.clone(),
+    };
+    let noise_level = if quick {
+        NoiseLevelAblation::quick()
+    } else {
+        NoiseLevelAblation::default()
+    };
+    let sample_size = if quick {
+        SampleSizeAblation::quick()
+    } else {
+        SampleSizeAblation::default()
+    };
+
+    let mut failed = false;
+    match selection.run() {
+        Ok(t) => println!("{}", t.to_table()),
+        Err(e) => {
+            eprintln!("selection ablation failed: {e}");
+            failed = true;
+        }
+    }
+    match noise_shape.run() {
+        Ok(t) => println!("{}", t.to_table()),
+        Err(e) => {
+            eprintln!("noise-shape ablation failed: {e}");
+            failed = true;
+        }
+    }
+    let mut series = Vec::new();
+    match noise_level.run() {
+        Ok(s) => {
+            println!("{}", s.to_table());
+            series.push(s);
+        }
+        Err(e) => {
+            eprintln!("noise-level ablation failed: {e}");
+            failed = true;
+        }
+    }
+    match sample_size.run() {
+        Ok(s) => {
+            println!("{}", s.to_table());
+            series.push(s);
+        }
+        Err(e) => {
+            eprintln!("sample-size ablation failed: {e}");
+            failed = true;
+        }
+    }
+    if !series.is_empty() {
+        if let Err(e) = write_report_csvs(&series, "results") {
+            eprintln!("warning: could not write CSVs: {e}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

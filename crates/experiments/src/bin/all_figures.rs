@@ -1,0 +1,48 @@
+//! Runs Experiments 1–4 back to back and writes all CSVs — the one-shot
+//! reproduction of the paper's whole evaluation section.
+//!
+//! Usage: `cargo run --release -p randrecon-experiments --bin all_figures [--quick]`
+
+use randrecon_experiments::report::{render_report, write_report_csvs};
+use randrecon_experiments::{
+    exp1::Experiment1, exp2::Experiment2, exp3::Experiment3, exp4::Experiment4, ExperimentError,
+    ExperimentSeries,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let start = std::time::Instant::now();
+
+    let runs: Vec<(&str, Result<ExperimentSeries, ExperimentError>)> = vec![
+        ("figure 1", if quick { Experiment1::quick() } else { Experiment1::full() }.run()),
+        ("figure 2", if quick { Experiment2::quick() } else { Experiment2::full() }.run()),
+        ("figure 3", if quick { Experiment3::quick() } else { Experiment3::full() }.run()),
+        ("figure 4", if quick { Experiment4::quick() } else { Experiment4::full() }.run()),
+    ];
+
+    let mut series = Vec::new();
+    let mut failed = false;
+    for (name, outcome) in runs {
+        match outcome {
+            Ok(s) => series.push(s),
+            Err(e) => {
+                eprintln!("{name} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    println!("{}", render_report(&series));
+    match write_report_csvs(&series, "results") {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not write CSVs: {e}"),
+    }
+    println!("total wall time: {:.1?}", start.elapsed());
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 2 of the paper (RMSE vs number of principal components).
+//!
+//! Usage: `cargo run --release -p randrecon-experiments --bin figure2 [--quick]`
+
+use randrecon_experiments::exp2::Experiment2;
+use randrecon_experiments::report::write_report_csvs;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { Experiment2::quick() } else { Experiment2::full() };
+    match config.run() {
+        Ok(series) => {
+            println!("{}", series.to_table());
+            match write_report_csvs(&[series], "results") {
+                Ok(paths) => println!("wrote {}", paths[0].display()),
+                Err(e) => eprintln!("warning: could not write CSV: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("figure2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

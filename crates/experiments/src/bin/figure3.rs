@@ -1,0 +1,24 @@
+//! Regenerates Figure 3 of the paper (RMSE vs non-principal eigenvalues).
+//!
+//! Usage: `cargo run --release -p randrecon-experiments --bin figure3 [--quick]`
+
+use randrecon_experiments::exp3::Experiment3;
+use randrecon_experiments::report::write_report_csvs;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { Experiment3::quick() } else { Experiment3::full() };
+    match config.run() {
+        Ok(series) => {
+            println!("{}", series.to_table());
+            match write_report_csvs(&[series], "results") {
+                Ok(paths) => println!("wrote {}", paths[0].display()),
+                Err(e) => eprintln!("warning: could not write CSV: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("figure3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

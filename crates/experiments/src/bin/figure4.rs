@@ -1,0 +1,25 @@
+//! Regenerates Figure 4 of the paper (RMSE vs correlation dissimilarity of the
+//! correlated-noise defense).
+//!
+//! Usage: `cargo run --release -p randrecon-experiments --bin figure4 [--quick]`
+
+use randrecon_experiments::exp4::Experiment4;
+use randrecon_experiments::report::write_report_csvs;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { Experiment4::quick() } else { Experiment4::full() };
+    match config.run() {
+        Ok(series) => {
+            println!("{}", series.to_table());
+            match write_report_csvs(&[series], "results") {
+                Ok(paths) => println!("wrote {}", paths[0].display()),
+                Err(e) => eprintln!("warning: could not write CSV: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("figure4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for the experiment harness.
+
+use randrecon_core::ReconError;
+use randrecon_data::DataError;
+use randrecon_metrics::MetricsError;
+use randrecon_noise::NoiseError;
+use std::fmt;
+
+/// Convenience alias used throughout `randrecon-experiments`.
+pub type Result<T> = std::result::Result<T, ExperimentError>;
+
+/// Errors raised while configuring or running an experiment.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The experiment configuration is inconsistent (empty sweep, bad sizes, …).
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A worker thread panicked or a parallel task failed to produce a result.
+    WorkerFailed {
+        /// Description of the failure.
+        reason: String,
+    },
+    /// I/O failure while writing reports.
+    Io(std::io::Error),
+    /// Propagated failure from workload generation.
+    Data(DataError),
+    /// Propagated failure from the randomization layer.
+    Noise(NoiseError),
+    /// Propagated failure from a reconstruction attack.
+    Recon(ReconError),
+    /// Propagated failure from a metric computation.
+    Metrics(MetricsError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::InvalidConfig { reason } => write!(f, "invalid experiment config: {reason}"),
+            ExperimentError::WorkerFailed { reason } => write!(f, "experiment worker failed: {reason}"),
+            ExperimentError::Io(e) => write!(f, "I/O error: {e}"),
+            ExperimentError::Data(e) => write!(f, "data error: {e}"),
+            ExperimentError::Noise(e) => write!(f, "noise error: {e}"),
+            ExperimentError::Recon(e) => write!(f, "reconstruction error: {e}"),
+            ExperimentError::Metrics(e) => write!(f, "metrics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Io(e) => Some(e),
+            ExperimentError::Data(e) => Some(e),
+            ExperimentError::Noise(e) => Some(e),
+            ExperimentError::Recon(e) => Some(e),
+            ExperimentError::Metrics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ExperimentError {
+    fn from(e: std::io::Error) -> Self {
+        ExperimentError::Io(e)
+    }
+}
+
+impl From<DataError> for ExperimentError {
+    fn from(e: DataError) -> Self {
+        ExperimentError::Data(e)
+    }
+}
+
+impl From<NoiseError> for ExperimentError {
+    fn from(e: NoiseError) -> Self {
+        ExperimentError::Noise(e)
+    }
+}
+
+impl From<ReconError> for ExperimentError {
+    fn from(e: ReconError) -> Self {
+        ExperimentError::Recon(e)
+    }
+}
+
+impl From<MetricsError> for ExperimentError {
+    fn from(e: MetricsError) -> Self {
+        ExperimentError::Metrics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(ExperimentError::InvalidConfig { reason: "empty sweep".into() }
+            .to_string()
+            .contains("empty sweep"));
+        assert!(ExperimentError::WorkerFailed { reason: "panic".into() }
+            .to_string()
+            .contains("panic"));
+        let e: ExperimentError = MetricsError::EmptyInput { metric: "rmse" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ExperimentError = DataError::UnknownAttribute { name: "x".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ExperimentError = std::io::Error::other("disk").into();
+        assert!(e.to_string().contains("disk"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Experiment 3 (Figure 3): increasing the eigenvalues of the non-principal
+//! components.
+//!
+//! The spectrum keeps 20 large principal eigenvalues (λ = 400) while the
+//! remaining eigenvalues grow from small toward λ. Larger non-principal
+//! eigenvalues mean the data are less concentrated in the principal subspace:
+//! the PCA-based schemes (and SF) discard more and more real information and
+//! eventually become *worse* than the UDR baseline, while BE-DR — which never
+//! discards components — degrades gracefully and converges to UDR.
+
+use crate::config::{ExperimentSeries, SchemeKind, SeriesPoint};
+use crate::error::{ExperimentError, Result};
+use crate::runner::parallel_map;
+use crate::workload::{average_trials, evaluate_schemes};
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_stats::rng::{child_seed, seeded_rng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of Experiment 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment3 {
+    /// Number of attributes (fixed; the paper uses 100).
+    pub attributes: usize,
+    /// Number of principal components with the large eigenvalue (paper: 20).
+    pub principal_components: usize,
+    /// The (fixed) principal eigenvalue λ (paper: 400).
+    pub principal_eigenvalue: f64,
+    /// Sweep over the non-principal eigenvalue.
+    pub non_principal_eigenvalues: Vec<f64>,
+    /// Records per generated data set.
+    pub records: usize,
+    /// Standard deviation of the independent Gaussian disguising noise.
+    pub noise_sigma: f64,
+    /// Independent repetitions averaged per sweep point.
+    pub trials: usize,
+    /// Base random seed.
+    pub seed: u64,
+    /// Schemes to evaluate.
+    pub schemes: Vec<SchemeKind>,
+}
+
+impl Default for Experiment3 {
+    fn default() -> Self {
+        Experiment3 {
+            attributes: 100,
+            principal_components: 20,
+            principal_eigenvalue: 400.0,
+            non_principal_eigenvalues: vec![1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0],
+            records: 1_000,
+            noise_sigma: 5.0,
+            trials: 3,
+            seed: 0x5EED_0003,
+            schemes: SchemeKind::figure_1_to_3_set(),
+        }
+    }
+}
+
+impl Experiment3 {
+    /// The full-size configuration used by the `figure3` binary and bench.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// A scaled-down configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Experiment3 {
+            attributes: 25,
+            principal_components: 5,
+            non_principal_eigenvalues: vec![1.0, 25.0, 60.0],
+            records: 300,
+            trials: 1,
+            ..Self::default()
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.non_principal_eigenvalues.is_empty() {
+            return Err(ExperimentError::InvalidConfig {
+                reason: "non_principal_eigenvalues must not be empty".to_string(),
+            });
+        }
+        if self
+            .non_principal_eigenvalues
+            .iter()
+            .any(|&e| !(e > 0.0 && e.is_finite()))
+        {
+            return Err(ExperimentError::InvalidConfig {
+                reason: "non-principal eigenvalues must be positive and finite".to_string(),
+            });
+        }
+        if self.principal_components == 0 || self.principal_components >= self.attributes {
+            return Err(ExperimentError::InvalidConfig {
+                reason: format!(
+                    "need 1 <= principal components < attributes, got {} of {}",
+                    self.principal_components, self.attributes
+                ),
+            });
+        }
+        if self.trials == 0 || self.records < 2 || self.schemes.is_empty() {
+            return Err(ExperimentError::InvalidConfig {
+                reason: "need at least 1 trial, 2 records and 1 scheme".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the sweep and returns the Figure 3 series.
+    pub fn run(&self) -> Result<ExperimentSeries> {
+        self.validate()?;
+        let sweep: Vec<(usize, f64)> = self
+            .non_principal_eigenvalues
+            .iter()
+            .copied()
+            .enumerate()
+            .collect();
+        let points = parallel_map(sweep, |&(idx, small)| {
+            let mut trial_results = Vec::with_capacity(self.trials);
+            for t in 0..self.trials {
+                let seed = child_seed(self.seed, (idx as u64) * 1_000 + t as u64);
+                let spectrum = EigenSpectrum::principal_plus_small(
+                    self.principal_components,
+                    self.principal_eigenvalue,
+                    self.attributes,
+                    small,
+                )?;
+                let ds = SyntheticDataset::generate(&spectrum, self.records, seed)?;
+                let randomizer = AdditiveRandomizer::gaussian(self.noise_sigma)?;
+                let disguised =
+                    randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))?;
+                trial_results.push(evaluate_schemes(
+                    &ds.table,
+                    &disguised,
+                    randomizer.model(),
+                    &self.schemes,
+                )?);
+            }
+            Ok(SeriesPoint {
+                x: small,
+                rmse: average_trials(&trial_results),
+            })
+        })?;
+
+        Ok(ExperimentSeries {
+            name: "Figure 3: increasing the eigenvalues of the non-principal components".to_string(),
+            x_label: "non-principal eigenvalue".to_string(),
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = Experiment3::quick();
+        c.non_principal_eigenvalues.clear();
+        assert!(c.run().is_err());
+        let mut c = Experiment3::quick();
+        c.non_principal_eigenvalues = vec![-1.0];
+        assert!(c.run().is_err());
+        let mut c = Experiment3::quick();
+        c.principal_components = c.attributes;
+        assert!(c.run().is_err());
+    }
+
+    #[test]
+    fn quick_run_reproduces_figure_3_shape() {
+        let series = Experiment3::quick().run().unwrap();
+        assert_eq!(series.points.len(), 3);
+
+        // PCA-DR degrades as the non-principal eigenvalues grow.
+        let pca = series.series_for(SchemeKind::PcaDr);
+        assert!(pca.last().unwrap().1 > pca.first().unwrap().1, "{pca:?}");
+
+        // At the largest non-principal eigenvalue the PCA-based scheme discards
+        // so much information that it falls behind UDR, while BE-DR does not
+        // fall meaningfully behind UDR.
+        let last = series.points.last().unwrap();
+        let udr = last.rmse_of(SchemeKind::Udr).unwrap();
+        let pca_last = last.rmse_of(SchemeKind::PcaDr).unwrap();
+        let be_last = last.rmse_of(SchemeKind::BeDr).unwrap();
+        assert!(pca_last > udr, "PCA-DR ({pca_last}) should cross above UDR ({udr})");
+        assert!(be_last <= udr * 1.05, "BE-DR ({be_last}) should stay at or below UDR ({udr})");
+
+        // At the smallest non-principal eigenvalue everything beats UDR.
+        let first = series.points.first().unwrap();
+        assert!(first.rmse_of(SchemeKind::PcaDr).unwrap() < first.rmse_of(SchemeKind::Udr).unwrap());
+        assert!(first.rmse_of(SchemeKind::BeDr).unwrap() < first.rmse_of(SchemeKind::Udr).unwrap());
+    }
+}

@@ -1,0 +1,48 @@
+//! # randrecon-experiments
+//!
+//! The experiment harness that regenerates every figure in the evaluation
+//! section of *"Deriving Private Information from Randomized Data"*
+//! (SIGMOD 2005), plus ablations over the design choices the paper leaves
+//! implicit.
+//!
+//! | Module | Paper figure | Sweep |
+//! |---|---|---|
+//! | [`exp1`] | Figure 1 | number of attributes `m` (fixed `p = 5` principal components) |
+//! | [`exp2`] | Figure 2 | number of principal components `p` (fixed `m = 100`) |
+//! | [`exp3`] | Figure 3 | eigenvalues of the non-principal components |
+//! | [`exp4`] | Figure 4 | correlation dissimilarity between noise and data |
+//! | [`ablation`] | — | PC-selection rule, noise level, sample size, noise shape |
+//!
+//! Each experiment produces an [`config::ExperimentSeries`] that can be
+//! rendered as a console table (the same rows the paper plots) or written to
+//! CSV. The `figure1` … `figure4`, `ablation` and `all_figures` binaries are
+//! thin wrappers around these modules; the Criterion benches in
+//! `randrecon-bench` reuse the same configurations.
+//!
+//! ## Example
+//!
+//! ```
+//! use randrecon_experiments::exp1::Experiment1;
+//!
+//! // A scaled-down version of Figure 1 (full size lives in the binaries).
+//! let series = Experiment1::quick().run().unwrap();
+//! assert!(!series.points.is_empty());
+//! println!("{}", series.to_table());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod config;
+pub mod error;
+pub mod exp1;
+pub mod exp2;
+pub mod exp3;
+pub mod exp4;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use config::{ExperimentSeries, SchemeKind, SeriesPoint};
+pub use error::{ExperimentError, Result};

@@ -1,0 +1,83 @@
+//! Rendering and persisting experiment results.
+
+use crate::config::ExperimentSeries;
+use crate::error::Result;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes an experiment series to a CSV file.
+pub fn write_series_csv<P: AsRef<Path>>(series: &ExperimentSeries, path: P) -> Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(series.to_csv().as_bytes())?;
+    Ok(())
+}
+
+/// Renders a set of series as one console report, separated by blank lines.
+pub fn render_report(series: &[ExperimentSeries]) -> String {
+    let mut out = String::new();
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&s.to_table());
+    }
+    out
+}
+
+/// Writes every series to `<dir>/<slug>.csv`, creating the directory if
+/// needed, and returns the written paths.
+pub fn write_report_csvs<P: AsRef<Path>>(
+    series: &[ExperimentSeries],
+    dir: P,
+) -> Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(&dir)?;
+    let mut paths = Vec::with_capacity(series.len());
+    for s in series {
+        let slug: String = s
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|p| !p.is_empty())
+            .collect::<Vec<_>>()
+            .join("_");
+        let path = dir.as_ref().join(format!("{slug}.csv"));
+        write_series_csv(s, &path)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SchemeKind, SeriesPoint};
+
+    fn sample() -> ExperimentSeries {
+        ExperimentSeries {
+            name: "Figure 9: made up".to_string(),
+            x_label: "x".to_string(),
+            points: vec![SeriesPoint {
+                x: 1.0,
+                rmse: vec![(SchemeKind::Udr, 2.0)],
+            }],
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("randrecon_report_test");
+        let paths = write_report_csvs(&[sample()], &dir).unwrap();
+        assert_eq!(paths.len(), 1);
+        let content = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(content.contains("UDR"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn render_report_concatenates() {
+        let text = render_report(&[sample(), sample()]);
+        assert_eq!(text.matches("Figure 9").count(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Parallel sweep execution.
+//!
+//! Every figure is a sweep over an independent list of x-axis points, so the
+//! points are evaluated on a scoped thread pool (one OS thread per point up to
+//! the available parallelism). Determinism is preserved because each point
+//! derives its own RNG stream from the experiment seed.
+
+use crate::error::{ExperimentError, Result};
+use std::sync::Mutex;
+
+/// Runs `f` over `items` in parallel (bounded by the machine's available
+/// parallelism) and returns the results in the original item order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Result<Vec<R>>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> Result<R> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1);
+
+    let results: Mutex<Vec<Option<Result<R>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let next: Mutex<usize> = Mutex::new(0);
+    let items_ref = &items;
+    let f_ref = &f;
+    let results_ref = &results;
+    let next_ref = &next;
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                let idx = {
+                    let mut guard = next_ref.lock().expect("index lock poisoned");
+                    if *guard >= n {
+                        break;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let outcome = f_ref(&items_ref[idx]);
+                results_ref.lock().expect("result lock poisoned")[idx] = Some(outcome);
+            });
+        }
+    })
+    .map_err(|_| ExperimentError::WorkerFailed {
+        reason: "a worker thread panicked during the sweep".to_string(),
+    })?;
+
+    let collected = results.into_inner().expect("result lock poisoned");
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in collected.into_iter().enumerate() {
+        match slot {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(ExperimentError::WorkerFailed {
+                    reason: format!("sweep point {i} produced no result"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(items, |&x| Ok(x * 2)).unwrap();
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), |&x| Ok(x)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let items: Vec<u64> = (0..10).collect();
+        let err = parallel_map(items, |&x| {
+            if x == 7 {
+                Err(ExperimentError::InvalidConfig {
+                    reason: "boom".into(),
+                })
+            } else {
+                Ok(x)
+            }
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn heavier_work_still_ordered() {
+        let items: Vec<u64> = (0..16).collect();
+        let out = parallel_map(items, |&x| {
+            // Unequal amounts of work to encourage out-of-order completion.
+            let mut acc = 0u64;
+            for i in 0..(x * 10_000) {
+                acc = acc.wrapping_add(i);
+            }
+            Ok((x, acc))
+        })
+        .unwrap();
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(i as u64, x);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` of an SPD matrix `A = L Lᵀ`.
+///
+/// Used for two things in this workspace:
+/// 1. sampling from a multivariate normal with covariance `Σ` (draw `z ~ N(0, I)`
+///    and return `μ + L z`), which is how the synthetic workloads of Section 7.1
+///    and the correlated-noise defense of Section 8 are generated;
+/// 2. solving / inverting the SPD systems that appear in the Bayes-estimate
+///    reconstruction, e.g. `(Σ_x⁻¹ + σ⁻² I)⁻¹` in Equation (11).
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a`, which must be square, symmetric (within `1e-8` relative
+    /// tolerance) and positive definite.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let tol = 1e-8 * a.max_abs().max(1.0);
+        if !a.is_symmetric(tol) {
+            return Err(LinalgError::NotSymmetric {
+                max_asymmetry: a.max_asymmetry(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a.get(j, j);
+            for k in 0..j {
+                let ljk = l.get(j, k);
+                diag -= ljk * ljk;
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j, value: diag });
+            }
+            let ljj = diag.sqrt();
+            l.set(j, j, ljj);
+            for i in (j + 1)..n {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, sum / ljj);
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * y[k];
+            }
+            y[i] = sum / self.l.get(i, i);
+        }
+        // Back substitution: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.column(j);
+            let x = self.solve_vec(&col)?;
+            out.set_column(j, &x);
+        }
+        Ok(out)
+    }
+
+    /// Computes `A⁻¹`.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve(&Matrix::identity(self.dim()))
+    }
+
+    /// Log-determinant of `A` (= 2 Σ log Lᵢᵢ), useful for multivariate-normal
+    /// log densities.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+
+    /// Determinant of `A`.
+    pub fn determinant(&self) -> f64 {
+        self.log_determinant().exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for a fixed B, guaranteed SPD.
+        Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6][..],
+            &[2.0, 5.0, 1.0][..],
+            &[0.6, 1.0, 3.0][..],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factorization_recomposes() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.l();
+        let rebuilt = l.matmul(&l.transpose()).unwrap();
+        assert!(rebuilt.approx_eq(&a, 1e-10));
+        // L is lower triangular.
+        assert_eq!(l.get(0, 1), 0.0);
+        assert_eq!(l.get(0, 2), 0.0);
+        assert_eq!(l.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn solve_matches_direct_substitution() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = ch.solve_vec(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn determinant_of_diagonal() {
+        let d = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::new(&d).unwrap();
+        assert!((ch.determinant() - 24.0).abs() < 1e-9);
+        assert!((ch.log_determinant() - 24.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let not_pd = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 1.0][..]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&not_pd),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::new(&rect), Err(LinalgError::NotSquare { .. })));
+        let asym = Matrix::from_rows(&[&[2.0, 1.0][..], &[0.0, 2.0][..]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&asym),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_size() {
+        let ch = Cholesky::new(&spd3()).unwrap();
+        assert!(ch.solve_vec(&[1.0, 2.0]).is_err());
+        assert!(ch.solve(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_right_hand_side() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_rows(&[
+            &[1.0, 0.0][..],
+            &[0.0, 1.0][..],
+            &[1.0, 1.0][..],
+        ])
+        .unwrap();
+        let x = ch.solve(&b).unwrap();
+        let ax = a.matmul(&x).unwrap();
+        assert!(ax.approx_eq(&b, 1e-10));
+    }
+}

@@ -1,0 +1,312 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Eigendecomposition `A = Q Λ Qᵀ` of a symmetric matrix.
+///
+/// Eigenpairs are sorted by **descending** eigenvalue, matching the paper's
+/// convention (λ₁ ≥ λ₂ ≥ … ≥ λ_m); column `k` of [`SymmetricEigen::eigenvectors`]
+/// is the eigenvector for [`SymmetricEigen::eigenvalues`]`[k]`.
+///
+/// The cyclic Jacobi method is chosen deliberately: it is simple, numerically
+/// robust for the dense, well-conditioned covariance matrices this workspace
+/// produces (m ≤ a few hundred attributes), and every rotation is easy to
+/// audit — which matters because PCA-DR's entire claim rests on the spectrum
+/// being estimated faithfully.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Matrix whose columns are the corresponding (orthonormal) eigenvectors.
+    pub eigenvectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+impl SymmetricEigen {
+    /// Decomposes a symmetric matrix with the default convergence tolerance
+    /// (off-diagonal Frobenius norm below `1e-12 * ‖A‖_F`, floor `1e-300`).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        Self::with_tolerance(a, 1e-12)
+    }
+
+    /// Decomposes a symmetric matrix, declaring convergence when the
+    /// off-diagonal Frobenius norm drops below `rel_tol * ‖A‖_F`.
+    pub fn with_tolerance(a: &Matrix, rel_tol: f64) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty { op: "symmetric eigen" });
+        }
+        let sym_tol = 1e-8 * a.max_abs().max(1.0);
+        if !a.is_symmetric(sym_tol) {
+            return Err(LinalgError::NotSymmetric {
+                max_asymmetry: a.max_asymmetry(),
+            });
+        }
+
+        // Work on the symmetrized copy so tiny fp asymmetries cannot bias rotations.
+        let mut m = a.symmetrize()?;
+        let mut q = Matrix::identity(n);
+        let target = (rel_tol * m.frobenius_norm()).max(1e-300);
+
+        let mut sweeps = 0;
+        loop {
+            let off = off_diagonal_norm(&m);
+            if off <= target {
+                break;
+            }
+            if sweeps >= MAX_SWEEPS {
+                return Err(LinalgError::EigenDidNotConverge {
+                    sweeps,
+                    off_diagonal_norm: off,
+                });
+            }
+            sweeps += 1;
+            for p in 0..n - 1 {
+                for r in (p + 1)..n {
+                    let apr = m.get(p, r);
+                    if apr.abs() <= f64::MIN_POSITIVE {
+                        continue;
+                    }
+                    let app = m.get(p, p);
+                    let arr = m.get(r, r);
+                    // Compute the Jacobi rotation (c, s) that zeroes m[p][r].
+                    let theta = (arr - app) / (2.0 * apr);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Update rows/columns p and r of m.
+                    for k in 0..n {
+                        let mkp = m.get(k, p);
+                        let mkr = m.get(k, r);
+                        m.set(k, p, c * mkp - s * mkr);
+                        m.set(k, r, s * mkp + c * mkr);
+                    }
+                    for k in 0..n {
+                        let mpk = m.get(p, k);
+                        let mrk = m.get(r, k);
+                        m.set(p, k, c * mpk - s * mrk);
+                        m.set(r, k, s * mpk + c * mrk);
+                    }
+                    // Accumulate the rotation into Q.
+                    for k in 0..n {
+                        let qkp = q.get(k, p);
+                        let qkr = q.get(k, r);
+                        q.set(k, p, c * qkp - s * qkr);
+                        q.set(k, r, s * qkp + c * qkr);
+                    }
+                }
+            }
+        }
+
+        // Extract and sort eigenpairs (descending).
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
+        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let eigenvalues: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
+        let order: Vec<usize> = pairs.iter().map(|&(_, i)| i).collect();
+        let eigenvectors = q.select_columns(&order)?;
+
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Rebuilds `Q Λ Qᵀ` (useful for round-trip tests and for constructing
+    /// covariance matrices from a prescribed spectrum).
+    pub fn recompose(&self) -> Matrix {
+        recompose(&self.eigenvalues, &self.eigenvectors)
+    }
+
+    /// Sum of all eigenvalues (equals the trace of the original matrix).
+    pub fn total_variance(&self) -> f64 {
+        self.eigenvalues.iter().sum()
+    }
+
+    /// Fraction of total variance captured by the leading `p` eigenvalues.
+    pub fn explained_variance_ratio(&self, p: usize) -> f64 {
+        let total = self.total_variance();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.eigenvalues.iter().take(p).sum::<f64>() / total
+    }
+
+    /// Index `p` (1-based count) at which the largest *gap* between consecutive
+    /// eigenvalues occurs; the paper's experiments use this "dominant
+    /// eigenvalue" rule to pick how many principal components to keep.
+    pub fn largest_gap_split(&self) -> usize {
+        if self.eigenvalues.len() <= 1 {
+            return self.eigenvalues.len();
+        }
+        let mut best_idx = 1;
+        let mut best_gap = f64::NEG_INFINITY;
+        for i in 0..self.eigenvalues.len() - 1 {
+            let gap = self.eigenvalues[i] - self.eigenvalues[i + 1];
+            if gap > best_gap {
+                best_gap = gap;
+                best_idx = i + 1;
+            }
+        }
+        best_idx
+    }
+}
+
+/// Rebuilds a symmetric matrix `Q Λ Qᵀ` from a spectrum and an orthonormal basis.
+pub fn recompose(eigenvalues: &[f64], eigenvectors: &Matrix) -> Matrix {
+    let lambda = Matrix::from_diag(eigenvalues);
+    let ql = eigenvectors.matmul(&lambda).expect("shape mismatch in recompose");
+    ql.matmul(&eigenvectors.transpose())
+        .expect("shape mismatch in recompose")
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let v = m.get(i, j);
+                sum += v * v;
+            }
+        }
+    }
+    sum.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::qr::orthonormality_defect;
+
+    fn sym3() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5][..],
+            &[1.0, 3.0, -0.7][..],
+            &[0.5, -0.7, 2.0][..],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_sorted_diagonal() {
+        let d = Matrix::from_diag(&[1.0, 5.0, 3.0]);
+        let eig = SymmetricEigen::new(&d).unwrap();
+        assert_eq!(eig.eigenvalues, vec![5.0, 3.0, 1.0]);
+        assert!(orthonormality_defect(&eig.eigenvectors) < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0][..], &[1.0, 2.0][..]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues[0] - 3.0).abs() < 1e-10);
+        assert!((eig.eigenvalues[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn recompose_roundtrip() {
+        let a = sym3();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!(eig.recompose().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let a = sym3();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for k in 0..3 {
+            let v = eig.eigenvectors.column(k);
+            let av = a.matvec(&v).unwrap();
+            let lv = crate::vector::scale(&v, eig.eigenvalues[k]);
+            for (x, y) in av.iter().zip(lv.iter()) {
+                assert!((x - y).abs() < 1e-8, "A v != lambda v for k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = sym3();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.total_variance() - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explained_variance_ratio_monotone() {
+        let a = Matrix::from_diag(&[10.0, 5.0, 1.0]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let r1 = eig.explained_variance_ratio(1);
+        let r2 = eig.explained_variance_ratio(2);
+        let r3 = eig.explained_variance_ratio(3);
+        assert!(r1 < r2 && r2 < r3);
+        assert!((r3 - 1.0).abs() < 1e-12);
+        assert!((r1 - 10.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn largest_gap_split_finds_dominant_block() {
+        let d = Matrix::from_diag(&[400.0, 400.0, 399.0, 5.0, 4.0, 3.0]);
+        let eig = SymmetricEigen::new(&d).unwrap();
+        assert_eq!(eig.largest_gap_split(), 3);
+
+        let single = Matrix::from_diag(&[2.0]);
+        assert_eq!(SymmetricEigen::new(&single).unwrap().largest_gap_split(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+        let asym = Matrix::from_rows(&[&[1.0, 2.0][..], &[0.0, 1.0][..]]).unwrap();
+        assert!(matches!(
+            SymmetricEigen::new(&asym),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn handles_negative_eigenvalues() {
+        // [[0,2],[2,0]] has eigenvalues +2 and -2.
+        let a = Matrix::from_rows(&[&[0.0, 2.0][..], &[2.0, 0.0][..]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues[0] - 2.0).abs() < 1e-10);
+        assert!((eig.eigenvalues[1] + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn moderately_large_matrix_converges() {
+        // Deterministic 40x40 symmetric matrix.
+        let n = 40;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = ((i * 7 + j * 13) % 17) as f64 / 17.0;
+                a.set(i, j, v);
+            }
+        }
+        let a = a.symmetrize().unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!(eig.recompose().approx_eq(&a, 1e-7));
+        assert!(orthonormality_defect(&eig.eigenvectors) < 1e-9);
+        // Sorted descending.
+        for w in eig.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+}

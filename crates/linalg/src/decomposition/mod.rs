@@ -1,0 +1,19 @@
+//! Matrix decompositions.
+//!
+//! * [`Cholesky`] — for sampling from multivariate normals and for inverting
+//!   the SPD matrices that show up in the Bayes-estimate reconstruction.
+//! * [`Lu`] — general linear solves / inverses / determinants.
+//! * [`Qr`] — Householder QR, used for orthogonality checks and as an
+//!   alternative orthonormalization path.
+//! * [`SymmetricEigen`] — cyclic Jacobi eigendecomposition of symmetric
+//!   matrices; this is the workhorse behind PCA-DR and Spectral Filtering.
+
+mod cholesky;
+mod eigen;
+mod lu;
+mod qr;
+
+pub use cholesky::Cholesky;
+pub use eigen::{recompose, SymmetricEigen};
+pub use lu::{invert, Lu};
+pub use qr::{orthonormality_defect, Qr};

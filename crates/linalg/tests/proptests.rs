@@ -1,0 +1,125 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These exercise the algebraic invariants the reconstruction attacks rely on:
+//! transpose/involution, associativity-ish identities, factorization
+//! round-trips, spectral properties, and orthonormality of Gram–Schmidt bases.
+
+use proptest::prelude::*;
+use randrecon_linalg::decomposition::{orthonormality_defect, Cholesky, Lu, SymmetricEigen};
+use randrecon_linalg::gram_schmidt::orthonormalize_columns;
+use randrecon_linalg::Matrix;
+
+/// Strategy: a small matrix with entries in [-10, 10].
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_flat(rows, cols, data).unwrap())
+}
+
+/// Strategy: a symmetric positive-definite matrix built as A Aᵀ + εI.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    small_matrix(n, n).prop_map(move |a| {
+        let aat = a.matmul(&a.transpose()).unwrap();
+        let eye = Matrix::identity(n).scale(0.5);
+        aat.add(&eye).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in small_matrix(4, 3)) {
+        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn transpose_of_product_reverses((a, b) in (small_matrix(3, 4), small_matrix(4, 2))) {
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn addition_commutes((a, b) in (small_matrix(3, 3), small_matrix(3, 3))) {
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.approx_eq(&ba, 1e-12));
+    }
+
+    #[test]
+    fn scale_distributes_over_add((a, b) in (small_matrix(3, 3), small_matrix(3, 3))) {
+        let s = 2.5;
+        let left = a.add(&b).unwrap().scale(s);
+        let right = a.scale(s).add(&b.scale(s)).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn trace_is_linear((a, b) in (small_matrix(4, 4), small_matrix(4, 4))) {
+        let sum_trace = a.add(&b).unwrap().trace();
+        prop_assert!((sum_trace - (a.trace() + b.trace())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_roundtrip(a in spd_matrix(4)) {
+        let ch = Cholesky::new(&a).unwrap();
+        let rebuilt = ch.l().matmul(&ch.l().transpose()).unwrap();
+        prop_assert!(rebuilt.approx_eq(&a, 1e-7 * a.max_abs().max(1.0)));
+    }
+
+    #[test]
+    fn cholesky_solve_is_correct(a in spd_matrix(4), b in proptest::collection::vec(-5.0f64..5.0, 4)) {
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve_vec(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(b.iter()) {
+            prop_assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip(a in spd_matrix(4)) {
+        // SPD matrices are invertible, so LU must succeed on them too.
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        prop_assert!(prod.approx_eq(&Matrix::identity(4), 1e-6));
+    }
+
+    #[test]
+    fn eigen_recomposes_and_sorts(a in spd_matrix(5)) {
+        let eig = SymmetricEigen::new(&a).unwrap();
+        prop_assert!(eig.recompose().approx_eq(&a, 1e-6 * a.max_abs().max(1.0)));
+        for w in eig.eigenvalues.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        // SPD => all eigenvalues positive.
+        prop_assert!(eig.eigenvalues.iter().all(|&l| l > 0.0));
+        // Trace preserved.
+        prop_assert!((eig.total_variance() - a.trace()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal(a in spd_matrix(5)) {
+        let eig = SymmetricEigen::new(&a).unwrap();
+        prop_assert!(orthonormality_defect(&eig.eigenvectors) < 1e-8);
+    }
+
+    #[test]
+    fn gram_schmidt_produces_orthonormal_columns(a in small_matrix(6, 4)) {
+        // Random matrices are almost surely full rank; skip degenerate draws.
+        if let Ok(q) = orthonormalize_columns(&a) {
+            prop_assert!(orthonormality_defect(&q) < 1e-8);
+            prop_assert_eq!(q.shape(), (6, 4));
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul(a in small_matrix(4, 3), v in proptest::collection::vec(-5.0f64..5.0, 3)) {
+        let as_matrix = Matrix::from_columns(&[v.clone()]).unwrap();
+        let prod = a.matmul(&as_matrix).unwrap();
+        let direct = a.matvec(&v).unwrap();
+        for i in 0..4 {
+            prop_assert!((prod.get(i, 0) - direct[i]).abs() < 1e-9);
+        }
+    }
+}

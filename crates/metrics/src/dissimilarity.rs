@@ -1,0 +1,147 @@
+//! Correlation dissimilarity (Definition 8.1 of the paper).
+//!
+//! Given the matrices of correlation coefficients `C_X` of the original data
+//! and `C_R` of the random noise, the dissimilarity is the root-mean-square
+//! difference over the off-diagonal entries:
+//!
+//! ```text
+//! Dis(X, R) = sqrt( 1/(m² − m) · Σ_{i≠j} (C_X(i,j) − C_R(i,j))² )
+//! ```
+//!
+//! The diagonal is excluded because correlation matrices always carry 1 there.
+//! Experiment 4 sweeps this quantity on the x-axis: smaller dissimilarity
+//! (noise correlations resemble the data) means better privacy.
+//!
+//! Note on the normalization: Definition 8.1 as printed in the paper places
+//! the `1/(m² − m)` factor *outside* the square root, but with `m = 100`
+//! attributes that formula cannot reach the 0.04–0.2 range shown on the
+//! Figure 4 x-axis (it would be bounded by ~0.01). The RMS form used here —
+//! the factor inside the root — reproduces the figure's scale, so we treat
+//! the printed formula as a typo and document the choice in DESIGN.md.
+
+use crate::error::{MetricsError, Result};
+use randrecon_data::DataTable;
+use randrecon_linalg::Matrix;
+use randrecon_stats::summary::covariance_to_correlation;
+
+/// Correlation dissimilarity between two correlation-coefficient matrices.
+pub fn correlation_dissimilarity_matrices(cx: &Matrix, cr: &Matrix) -> Result<f64> {
+    if cx.shape() != cr.shape() {
+        return Err(MetricsError::ShapeMismatch {
+            left: cx.shape(),
+            right: cr.shape(),
+        });
+    }
+    if !cx.is_square() {
+        return Err(MetricsError::InvalidParameter {
+            reason: format!(
+                "correlation matrices must be square, got {}x{}",
+                cx.rows(),
+                cx.cols()
+            ),
+        });
+    }
+    let m = cx.rows();
+    if m < 2 {
+        return Err(MetricsError::InvalidParameter {
+            reason: "correlation dissimilarity needs at least 2 attributes".to_string(),
+        });
+    }
+    let mut sum = 0.0;
+    for i in 0..m {
+        for j in 0..m {
+            if i == j {
+                continue;
+            }
+            let d = cx.get(i, j) - cr.get(i, j);
+            sum += d * d;
+        }
+    }
+    Ok((sum / (m * m - m) as f64).sqrt())
+}
+
+/// Correlation dissimilarity between an original data table and a noise table,
+/// computed from their sample correlation matrices.
+pub fn correlation_dissimilarity(original: &DataTable, noise: &DataTable) -> Result<f64> {
+    correlation_dissimilarity_matrices(&original.correlation_matrix(), &noise.correlation_matrix())
+}
+
+/// Correlation dissimilarity computed from *covariance* matrices (converted to
+/// correlation form first). Convenient when the exact covariances are known
+/// analytically, as they are for synthetic workloads.
+pub fn correlation_dissimilarity_from_covariances(
+    cov_x: &Matrix,
+    cov_r: &Matrix,
+) -> Result<f64> {
+    correlation_dissimilarity_matrices(
+        &covariance_to_correlation(cov_x),
+        &covariance_to_correlation(cov_r),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_correlations_have_zero_dissimilarity() {
+        let c = Matrix::from_rows(&[
+            &[1.0, 0.7, 0.2][..],
+            &[0.7, 1.0, -0.1][..],
+            &[0.2, -0.1, 1.0][..],
+        ])
+        .unwrap();
+        assert_eq!(correlation_dissimilarity_matrices(&c, &c).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_value() {
+        // m = 2, off-diagonal difference of 0.5 in both symmetric positions:
+        // the RMS of the off-diagonal differences is exactly 0.5.
+        let cx = Matrix::from_rows(&[&[1.0, 0.9][..], &[0.9, 1.0][..]]).unwrap();
+        let cr = Matrix::from_rows(&[&[1.0, 0.4][..], &[0.4, 1.0][..]]).unwrap();
+        let d = correlation_dissimilarity_matrices(&cx, &cr).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_is_ignored() {
+        // Same off-diagonals, wildly different diagonals: dissimilarity still 0.
+        let cx = Matrix::from_rows(&[&[1.0, 0.3][..], &[0.3, 1.0][..]]).unwrap();
+        let cr = Matrix::from_rows(&[&[5.0, 0.3][..], &[0.3, -2.0][..]]).unwrap();
+        assert_eq!(correlation_dissimilarity_matrices(&cx, &cr).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let c2 = Matrix::identity(2);
+        let c3 = Matrix::identity(3);
+        assert!(correlation_dissimilarity_matrices(&c2, &c3).is_err());
+        assert!(correlation_dissimilarity_matrices(&Matrix::identity(1), &Matrix::identity(1)).is_err());
+        let rect = Matrix::zeros(2, 3);
+        assert!(correlation_dissimilarity_matrices(&rect, &rect).is_err());
+    }
+
+    #[test]
+    fn from_tables_and_covariances_agree() {
+        // Highly correlated data vs independent noise.
+        let original = DataTable::from_named_columns(&[
+            ("a", vec![1.0, 2.0, 3.0, 4.0]),
+            ("b", vec![2.1, 3.9, 6.2, 7.8]),
+        ])
+        .unwrap();
+        let noise = DataTable::from_named_columns(&[
+            ("a", vec![0.3, -0.2, 0.1, -0.4]),
+            ("b", vec![-0.1, 0.4, -0.3, 0.05]),
+        ])
+        .unwrap();
+        let d_tables = correlation_dissimilarity(&original, &noise).unwrap();
+        let d_cov = correlation_dissimilarity_from_covariances(
+            &original.covariance_matrix(),
+            &noise.covariance_matrix(),
+        )
+        .unwrap();
+        assert!((d_tables - d_cov).abs() < 1e-12);
+        assert!(d_tables > 0.0);
+    }
+}

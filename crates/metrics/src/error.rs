@@ -1,0 +1,57 @@
+//! Error type for the metrics crate.
+
+use std::fmt;
+
+/// Convenience alias used throughout `randrecon-metrics`.
+pub type Result<T> = std::result::Result<T, MetricsError>;
+
+/// Errors raised by metric computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricsError {
+    /// The two inputs being compared have different shapes.
+    ShapeMismatch {
+        /// Shape of the first input.
+        left: (usize, usize),
+        /// Shape of the second input.
+        right: (usize, usize),
+    },
+    /// An input was empty where data is required.
+    EmptyInput {
+        /// Which metric rejected the input.
+        metric: &'static str,
+    },
+    /// A parameter was out of range (e.g. a negative tolerance).
+    InvalidParameter {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MetricsError::EmptyInput { metric } => write!(f, "empty input for metric {metric}"),
+            MetricsError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MetricsError::ShapeMismatch { left: (2, 3), right: (3, 2) };
+        assert!(e.to_string().contains("2x3"));
+        assert!(MetricsError::EmptyInput { metric: "rmse" }.to_string().contains("rmse"));
+        assert!(MetricsError::InvalidParameter { reason: "neg".into() }.to_string().contains("neg"));
+    }
+}

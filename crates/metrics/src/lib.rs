@@ -1,0 +1,27 @@
+//! # randrecon-metrics
+//!
+//! Privacy and accuracy metrics used by the evaluation.
+//!
+//! * [`accuracy`] — mean-square error and root-mean-square error between an
+//!   original table and a reconstruction; this is the paper's privacy measure
+//!   (the further the reconstruction is from the original, the more privacy is
+//!   preserved).
+//! * [`dissimilarity`] — the correlation-dissimilarity metric of
+//!   Definition 8.1, used on the x-axis of Figure 4.
+//! * [`privacy`] — record-level disclosure measures (fraction of values
+//!   reconstructed within a tolerance, per-attribute disclosure risk).
+//! * [`utility`] — how well the disguised data preserves the aggregate
+//!   statistics miners actually need (mean vector and covariance structure).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accuracy;
+pub mod dissimilarity;
+pub mod error;
+pub mod privacy;
+pub mod utility;
+
+pub use accuracy::{mse, per_attribute_rmse, rmse};
+pub use dissimilarity::correlation_dissimilarity;
+pub use error::{MetricsError, Result};

@@ -1,0 +1,79 @@
+//! Data-mining utility metrics.
+//!
+//! Randomization is only worthwhile if the disguised data still supports the
+//! aggregate computations miners need. Section 8.1 argues the improved
+//! (correlated-noise) scheme keeps this utility because `Σ_y = Σ_x + Σ_r`
+//! still lets the miner recover the original distribution. These metrics
+//! quantify how faithfully the original aggregates can be recovered from a
+//! disguised data set given the public noise model.
+
+use crate::error::{MetricsError, Result};
+use randrecon_linalg::Matrix;
+
+/// Relative Frobenius-norm error between a true covariance matrix and an
+/// estimate recovered from disguised data:
+/// `‖Σ̂ − Σ‖_F / ‖Σ‖_F`.
+pub fn covariance_recovery_error(true_cov: &Matrix, estimated_cov: &Matrix) -> Result<f64> {
+    if true_cov.shape() != estimated_cov.shape() {
+        return Err(MetricsError::ShapeMismatch {
+            left: true_cov.shape(),
+            right: estimated_cov.shape(),
+        });
+    }
+    let denom = true_cov.frobenius_norm();
+    if denom <= 0.0 {
+        return Err(MetricsError::InvalidParameter {
+            reason: "true covariance has zero norm".to_string(),
+        });
+    }
+    let diff = true_cov
+        .sub(estimated_cov)
+        .map_err(|_| MetricsError::ShapeMismatch {
+            left: true_cov.shape(),
+            right: estimated_cov.shape(),
+        })?;
+    Ok(diff.frobenius_norm() / denom)
+}
+
+/// Maximum absolute error between the true mean vector and the mean vector
+/// estimated from the disguised data.
+pub fn mean_recovery_error(true_mean: &[f64], estimated_mean: &[f64]) -> Result<f64> {
+    if true_mean.len() != estimated_mean.len() {
+        return Err(MetricsError::ShapeMismatch {
+            left: (true_mean.len(), 1),
+            right: (estimated_mean.len(), 1),
+        });
+    }
+    if true_mean.is_empty() {
+        return Err(MetricsError::EmptyInput {
+            metric: "mean_recovery_error",
+        });
+    }
+    Ok(true_mean
+        .iter()
+        .zip(estimated_mean.iter())
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_recovery_perfect_and_scaled() {
+        let cov = Matrix::from_rows(&[&[4.0, 1.0][..], &[1.0, 2.0][..]]).unwrap();
+        assert_eq!(covariance_recovery_error(&cov, &cov).unwrap(), 0.0);
+        let half = cov.scale(0.5);
+        assert!((covariance_recovery_error(&cov, &half).unwrap() - 0.5).abs() < 1e-12);
+        assert!(covariance_recovery_error(&cov, &Matrix::zeros(3, 3)).is_err());
+        assert!(covariance_recovery_error(&Matrix::zeros(2, 2), &Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn mean_recovery_is_max_abs() {
+        assert_eq!(mean_recovery_error(&[1.0, 2.0], &[1.5, 1.9]).unwrap(), 0.5);
+        assert!(mean_recovery_error(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mean_recovery_error(&[], &[]).is_err());
+    }
+}

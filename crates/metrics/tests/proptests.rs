@@ -1,0 +1,101 @@
+//! Property-based tests for the metric definitions.
+
+use proptest::prelude::*;
+use randrecon_data::DataTable;
+use randrecon_linalg::Matrix;
+use randrecon_metrics::accuracy::{mse, per_attribute_rmse, rmse};
+use randrecon_metrics::dissimilarity::correlation_dissimilarity_matrices;
+use randrecon_metrics::privacy::{disclosure_rate, privacy_gain};
+
+fn table_pair(rows: usize, cols: usize) -> impl Strategy<Value = (DataTable, DataTable)> {
+    (
+        proptest::collection::vec(-100.0f64..100.0, rows * cols),
+        proptest::collection::vec(-100.0f64..100.0, rows * cols),
+    )
+        .prop_map(move |(a, b)| {
+            (
+                DataTable::from_matrix(Matrix::from_flat(rows, cols, a).unwrap()).unwrap(),
+                DataTable::from_matrix(Matrix::from_flat(rows, cols, b).unwrap()).unwrap(),
+            )
+        })
+}
+
+/// Builds a valid correlation matrix from a vector of off-diagonal entries in [-1, 1].
+fn correlation_matrix_3(offdiag: [f64; 3]) -> Matrix {
+    let mut m = Matrix::identity(3);
+    m.set(0, 1, offdiag[0]);
+    m.set(1, 0, offdiag[0]);
+    m.set(0, 2, offdiag[1]);
+    m.set(2, 0, offdiag[1]);
+    m.set(1, 2, offdiag[2]);
+    m.set(2, 1, offdiag[2]);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// RMSE is a metric-like quantity: zero iff identical inputs (for these
+    /// generated pairs), symmetric, and equal to sqrt(MSE).
+    #[test]
+    fn rmse_basic_properties((a, b) in table_pair(6, 3)) {
+        let forward = rmse(&a, &b).unwrap();
+        let backward = rmse(&b, &a).unwrap();
+        prop_assert!((forward - backward).abs() < 1e-12);
+        prop_assert!(forward >= 0.0);
+        prop_assert!((forward * forward - mse(&a, &b).unwrap()).abs() < 1e-9);
+        prop_assert_eq!(rmse(&a, &a).unwrap(), 0.0);
+    }
+
+    /// The overall MSE equals the mean of the per-attribute squared RMSEs.
+    #[test]
+    fn per_attribute_rmse_aggregates((a, b) in table_pair(5, 4)) {
+        let per = per_attribute_rmse(&a, &b).unwrap();
+        let mean_of_squares: f64 = per.iter().map(|&v| v * v).sum::<f64>() / per.len() as f64;
+        prop_assert!((mean_of_squares - mse(&a, &b).unwrap()).abs() < 1e-9);
+    }
+
+    /// Disclosure rate is monotone in the tolerance and bounded in [0, 1].
+    #[test]
+    fn disclosure_rate_monotone((a, b) in table_pair(6, 2), t1 in 0.0f64..50.0, t2 in 0.0f64..50.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let r_lo = disclosure_rate(&a, &b, lo).unwrap();
+        let r_hi = disclosure_rate(&a, &b, hi).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r_lo));
+        prop_assert!((0.0..=1.0).contains(&r_hi));
+        prop_assert!(r_hi + 1e-12 >= r_lo);
+        // Tolerance large enough to cover the value range discloses everything.
+        prop_assert_eq!(disclosure_rate(&a, &b, 1_000.0).unwrap(), 1.0);
+    }
+
+    /// Correlation dissimilarity is symmetric, non-negative, zero on identical
+    /// matrices, and bounded by 2 (correlations live in [-1, 1]).
+    #[test]
+    fn dissimilarity_properties(
+        x in [-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0],
+        r in [-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0],
+    ) {
+        let cx = correlation_matrix_3(x);
+        let cr = correlation_matrix_3(r);
+        let d_xy = correlation_dissimilarity_matrices(&cx, &cr).unwrap();
+        let d_yx = correlation_dissimilarity_matrices(&cr, &cx).unwrap();
+        prop_assert!((d_xy - d_yx).abs() < 1e-12);
+        prop_assert!(d_xy >= 0.0);
+        prop_assert!(d_xy <= 2.0 + 1e-12);
+        prop_assert_eq!(correlation_dissimilarity_matrices(&cx, &cx).unwrap(), 0.0);
+    }
+
+    /// Privacy gain is antisymmetric around zero in the expected way: improving
+    /// privacy gives a positive gain, weakening it gives a negative one.
+    #[test]
+    fn privacy_gain_signs(baseline in 0.1f64..50.0, factor in 0.1f64..5.0) {
+        let defended = baseline * factor;
+        let gain = privacy_gain(baseline, defended).unwrap();
+        if factor > 1.0 {
+            prop_assert!(gain > 0.0);
+        } else if factor < 1.0 {
+            prop_assert!(gain < 0.0);
+        }
+        prop_assert!((gain - (factor - 1.0)).abs() < 1e-9);
+    }
+}

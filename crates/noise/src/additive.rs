@@ -1,0 +1,205 @@
+//! Additive randomization: `Y = X + R`.
+//!
+//! This is the scheme whose privacy the paper studies. The original variant
+//! adds independent zero-mean noise to every value (Agrawal–Srikant); the
+//! improved variant of Section 8.1 draws the noise vector for each record from
+//! a multivariate normal whose correlation structure resembles the original
+//! data, which defeats the correlation-exploiting attacks.
+
+use crate::error::{NoiseError, Result};
+use crate::model::NoiseModel;
+use rand::Rng;
+use randrecon_data::DataTable;
+use randrecon_linalg::Matrix;
+use randrecon_stats::distributions::{ContinuousDistribution, Normal, Uniform};
+use randrecon_stats::mvn::MultivariateNormal;
+
+/// A randomizer that disguises a table by adding noise drawn from a
+/// [`NoiseModel`].
+#[derive(Debug, Clone)]
+pub struct AdditiveRandomizer {
+    model: NoiseModel,
+}
+
+impl AdditiveRandomizer {
+    /// Independent zero-mean Gaussian noise with standard deviation `sigma`.
+    pub fn gaussian(sigma: f64) -> Result<Self> {
+        Ok(AdditiveRandomizer {
+            model: NoiseModel::independent_gaussian(sigma)?,
+        })
+    }
+
+    /// Independent zero-mean uniform noise with standard deviation `sigma`.
+    pub fn uniform(sigma: f64) -> Result<Self> {
+        Ok(AdditiveRandomizer {
+            model: NoiseModel::independent_uniform(sigma)?,
+        })
+    }
+
+    /// Correlated Gaussian noise with covariance `covariance` — the improved
+    /// randomization scheme of Section 8.1.
+    pub fn correlated(covariance: Matrix) -> Result<Self> {
+        Ok(AdditiveRandomizer {
+            model: NoiseModel::correlated(covariance)?,
+        })
+    }
+
+    /// Builds a randomizer directly from a [`NoiseModel`].
+    pub fn from_model(model: NoiseModel) -> Self {
+        AdditiveRandomizer { model }
+    }
+
+    /// The public noise model (what an adversary is assumed to know).
+    pub fn model(&self) -> &NoiseModel {
+        &self.model
+    }
+
+    /// Generates the noise matrix `R` (same shape as the data) without adding it.
+    pub fn sample_noise<R: Rng + ?Sized>(&self, n: usize, m: usize, rng: &mut R) -> Result<Matrix> {
+        match &self.model {
+            NoiseModel::IndependentGaussian { sigma } => {
+                let dist = Normal::new(0.0, *sigma).map_err(NoiseError::Stats)?;
+                Ok(Matrix::from_fn(n, m, |_, _| dist.sample(rng)))
+            }
+            NoiseModel::IndependentUniform { sigma } => {
+                let dist = Uniform::centered_with_std(*sigma).map_err(NoiseError::Stats)?;
+                Ok(Matrix::from_fn(n, m, |_, _| dist.sample(rng)))
+            }
+            NoiseModel::Correlated { covariance } => {
+                if covariance.rows() != m {
+                    return Err(NoiseError::DimensionMismatch {
+                        reason: format!(
+                            "noise covariance is {}x{} but the data has {m} attributes",
+                            covariance.rows(),
+                            covariance.cols()
+                        ),
+                    });
+                }
+                let mvn = MultivariateNormal::zero_mean(covariance.clone())?;
+                Ok(mvn.sample_matrix(n, rng))
+            }
+        }
+    }
+
+    /// Disguises a table: returns `Y = X + R` with fresh noise.
+    pub fn disguise<R: Rng + ?Sized>(&self, table: &DataTable, rng: &mut R) -> Result<DataTable> {
+        let (n, m) = table.values().shape();
+        let noise = self.sample_noise(n, m, rng)?;
+        let disguised = table.values().add(&noise)?;
+        Ok(table.with_values(disguised)?)
+    }
+
+    /// Disguises a table and also returns the exact noise matrix that was
+    /// added. Experiments use this to verify theoretical error decompositions
+    /// (e.g. Theorem 5.2).
+    pub fn disguise_with_noise<R: Rng + ?Sized>(
+        &self,
+        table: &DataTable,
+        rng: &mut R,
+    ) -> Result<(DataTable, Matrix)> {
+        let (n, m) = table.values().shape();
+        let noise = self.sample_noise(n, m, rng)?;
+        let disguised = table.values().add(&noise)?;
+        Ok((table.with_values(disguised)?, noise))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+    use randrecon_stats::rng::seeded_rng;
+    use randrecon_stats::summary;
+
+    fn dataset(n: usize, seed: u64) -> SyntheticDataset {
+        let spectrum = EigenSpectrum::principal_plus_small(2, 50.0, 5, 2.0).unwrap();
+        SyntheticDataset::generate(&spectrum, n, seed).unwrap()
+    }
+
+    #[test]
+    fn gaussian_noise_has_requested_variance() {
+        let r = AdditiveRandomizer::gaussian(3.0).unwrap();
+        let noise = r.sample_noise(20_000, 2, &mut seeded_rng(1)).unwrap();
+        let var0 = summary::variance(&noise.column(0));
+        let var1 = summary::variance(&noise.column(1));
+        assert!((var0 - 9.0).abs() < 0.4, "var0 = {var0}");
+        assert!((var1 - 9.0).abs() < 0.4, "var1 = {var1}");
+        let mean0 = summary::mean(&noise.column(0));
+        assert!(mean0.abs() < 0.1);
+    }
+
+    #[test]
+    fn uniform_noise_bounded_and_has_requested_variance() {
+        let r = AdditiveRandomizer::uniform(2.0).unwrap();
+        let noise = r.sample_noise(20_000, 1, &mut seeded_rng(2)).unwrap();
+        let col = noise.column(0);
+        let half_width = 2.0 * 3.0_f64.sqrt();
+        assert!(col.iter().all(|&v| v.abs() <= half_width));
+        let var = summary::variance(&col);
+        assert!((var - 4.0).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    fn disguise_preserves_shape_and_changes_values() {
+        let ds = dataset(100, 7);
+        let r = AdditiveRandomizer::gaussian(2.0).unwrap();
+        let disguised = r.disguise(&ds.table, &mut seeded_rng(3)).unwrap();
+        assert_eq!(disguised.n_records(), 100);
+        assert_eq!(disguised.n_attributes(), 5);
+        assert!(!disguised.approx_eq(&ds.table, 1e-9));
+        assert_eq!(disguised.schema(), ds.table.schema());
+    }
+
+    #[test]
+    fn disguise_with_noise_is_consistent() {
+        let ds = dataset(50, 9);
+        let r = AdditiveRandomizer::gaussian(1.5).unwrap();
+        let (disguised, noise) = r.disguise_with_noise(&ds.table, &mut seeded_rng(4)).unwrap();
+        let reconstructed_noise = disguised.values().sub(ds.table.values()).unwrap();
+        assert!(reconstructed_noise.approx_eq(&noise, 1e-12));
+    }
+
+    #[test]
+    fn disguised_covariance_gains_sigma_squared_on_diagonal() {
+        // Theorem 5.1: Cov(Y) ≈ Cov(X) + σ² I.
+        let ds = dataset(20_000, 11);
+        let sigma = 4.0;
+        let r = AdditiveRandomizer::gaussian(sigma).unwrap();
+        let disguised = r.disguise(&ds.table, &mut seeded_rng(5)).unwrap();
+        let cov_x = ds.table.covariance_matrix();
+        let cov_y = disguised.covariance_matrix();
+        for i in 0..5 {
+            let expected = cov_x.get(i, i) + sigma * sigma;
+            assert!(
+                (cov_y.get(i, i) - expected).abs() < 2.0,
+                "diagonal {i}: got {}, expected {expected}",
+                cov_y.get(i, i)
+            );
+            for j in 0..5 {
+                if i != j {
+                    assert!((cov_y.get(i, j) - cov_x.get(i, j)).abs() < 2.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_noise_matches_requested_covariance() {
+        let ds = dataset(10_000, 13);
+        let target_cov = ds.covariance.scale(0.25);
+        let r = AdditiveRandomizer::correlated(target_cov.clone()).unwrap();
+        let noise = r.sample_noise(10_000, 5, &mut seeded_rng(6)).unwrap();
+        let est = summary::covariance_matrix(&noise);
+        let rel = est.sub(&target_cov).unwrap().frobenius_norm() / target_cov.frobenius_norm();
+        assert!(rel < 0.1, "relative error {rel}");
+        // Wrong dimension rejected.
+        assert!(r.sample_noise(10, 3, &mut seeded_rng(1)).is_err());
+    }
+
+    #[test]
+    fn model_accessor_and_from_model() {
+        let model = NoiseModel::independent_gaussian(2.0).unwrap();
+        let r = AdditiveRandomizer::from_model(model.clone());
+        assert_eq!(r.model(), &model);
+    }
+}

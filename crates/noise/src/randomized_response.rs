@@ -1,0 +1,164 @@
+//! Warner's randomized-response scheme for binary attributes.
+//!
+//! The paper's related-work section contrasts the additive random-perturbation
+//! scheme it attacks with the randomized-response family used for categorical
+//! data (Warner 1965; MASK; privacy-preserving decision trees). This module
+//! implements the classic binary variant so the workspace can also demonstrate
+//! the categorical side of the randomization approach: each 0/1 value is
+//! reported truthfully with probability `p` and flipped with probability
+//! `1 − p`, and aggregate proportions are recovered with the unbiased
+//! estimator `π̂ = (λ̂ + p − 1) / (2p − 1)`.
+
+use crate::error::{NoiseError, Result};
+use rand::Rng;
+use randrecon_data::DataTable;
+use randrecon_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Binary randomized response with truth-telling probability `p ≠ 0.5`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomizedResponse {
+    /// Probability of reporting the true value.
+    truth_probability: f64,
+}
+
+impl RandomizedResponse {
+    /// Creates a scheme with the given truth-telling probability.
+    ///
+    /// `p` must lie in `(0, 1)` and differ from `0.5` (at exactly `0.5` the
+    /// output carries no information and the proportion estimator is undefined).
+    pub fn new(truth_probability: f64) -> Result<Self> {
+        if !(truth_probability > 0.0 && truth_probability < 1.0) {
+            return Err(NoiseError::InvalidParameter {
+                reason: format!(
+                    "truth probability must be strictly between 0 and 1, got {truth_probability}"
+                ),
+            });
+        }
+        if (truth_probability - 0.5).abs() < 1e-9 {
+            return Err(NoiseError::InvalidParameter {
+                reason: "truth probability of exactly 0.5 destroys all information".to_string(),
+            });
+        }
+        Ok(RandomizedResponse { truth_probability })
+    }
+
+    /// The truth-telling probability `p`.
+    pub fn truth_probability(&self) -> f64 {
+        self.truth_probability
+    }
+
+    /// Randomizes a single binary value (anything > 0.5 is treated as 1).
+    pub fn randomize_value<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        let bit = if value > 0.5 { 1.0 } else { 0.0 };
+        if rng.gen::<f64>() < self.truth_probability {
+            bit
+        } else {
+            1.0 - bit
+        }
+    }
+
+    /// Randomizes every value of a binary table.
+    pub fn disguise<R: Rng + ?Sized>(&self, table: &DataTable, rng: &mut R) -> Result<DataTable> {
+        let (n, m) = table.values().shape();
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                out.set(i, j, self.randomize_value(table.values().get(i, j), rng));
+            }
+        }
+        Ok(table.with_values(out)?)
+    }
+
+    /// Unbiased estimate of the true proportion of 1s given the observed
+    /// proportion of 1s in the randomized data.
+    ///
+    /// The estimate is clamped to `[0, 1]`.
+    pub fn estimate_proportion(&self, observed_proportion: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&observed_proportion) {
+            return Err(NoiseError::InvalidParameter {
+                reason: format!("observed proportion must be in [0, 1], got {observed_proportion}"),
+            });
+        }
+        let p = self.truth_probability;
+        let raw = (observed_proportion + p - 1.0) / (2.0 * p - 1.0);
+        Ok(raw.clamp(0.0, 1.0))
+    }
+
+    /// Per-response probability that an adversary's best guess (majority
+    /// decoding) recovers the true value: `max(p, 1 − p)`.
+    pub fn disclosure_probability(&self) -> f64 {
+        self.truth_probability.max(1.0 - self.truth_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randrecon_stats::rng::seeded_rng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(RandomizedResponse::new(0.0).is_err());
+        assert!(RandomizedResponse::new(1.0).is_err());
+        assert!(RandomizedResponse::new(0.5).is_err());
+        assert!(RandomizedResponse::new(0.8).is_ok());
+    }
+
+    #[test]
+    fn proportion_estimator_is_unbiased() {
+        let rr = RandomizedResponse::new(0.8).unwrap();
+        let true_pi = 0.3;
+        // Expected observed proportion: p*pi + (1-p)*(1-pi).
+        let observed = 0.8 * true_pi + 0.2 * (1.0 - true_pi);
+        let est = rr.estimate_proportion(observed).unwrap();
+        assert!((est - true_pi).abs() < 1e-12);
+        assert!(rr.estimate_proportion(1.5).is_err());
+        // Clamping.
+        assert_eq!(rr.estimate_proportion(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_proportion_recovery() {
+        let rr = RandomizedResponse::new(0.75).unwrap();
+        let mut rng = seeded_rng(21);
+        let n = 20_000;
+        let true_pi = 0.4;
+        let column: Vec<f64> = (0..n).map(|i| if (i as f64 / n as f64) < true_pi { 1.0 } else { 0.0 }).collect();
+        let table = DataTable::from_named_columns(&[("smoker", column)]).unwrap();
+        let disguised = rr.disguise(&table, &mut rng).unwrap();
+        let observed = disguised.column(0).iter().sum::<f64>() / n as f64;
+        let est = rr.estimate_proportion(observed).unwrap();
+        assert!((est - true_pi).abs() < 0.02, "estimate {est}");
+        // Individual records are heavily perturbed: roughly 25% flipped.
+        let flips = disguised
+            .column(0)
+            .iter()
+            .zip(table.column(0).iter())
+            .filter(|(a, b)| (*a - *b).abs() > 0.5)
+            .count();
+        let flip_rate = flips as f64 / n as f64;
+        assert!((flip_rate - 0.25).abs() < 0.02, "flip rate {flip_rate}");
+    }
+
+    #[test]
+    fn disclosure_probability_symmetry() {
+        assert_eq!(RandomizedResponse::new(0.9).unwrap().disclosure_probability(), 0.9);
+        assert_eq!(RandomizedResponse::new(0.1).unwrap().disclosure_probability(), 0.9);
+        assert_eq!(RandomizedResponse::new(0.9).unwrap().truth_probability(), 0.9);
+    }
+
+    #[test]
+    fn randomize_value_thresholds_input() {
+        let rr = RandomizedResponse::new(0.99).unwrap();
+        let mut rng = seeded_rng(3);
+        // With p = 0.99 nearly every response is truthful; 0.7 is treated as 1.
+        let mut ones = 0;
+        for _ in 0..100 {
+            if rr.randomize_value(0.7, &mut rng) > 0.5 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 90);
+    }
+}

@@ -1,0 +1,85 @@
+//! Simple 1-D numerical integration.
+//!
+//! The univariate Bayes reconstruction (UDR, Section 4.2) evaluates
+//! `E[X | Y = y] = ∫ x f_X(x) f_R(y − x) dx / f_Y(y)` — these quadrature
+//! helpers compute those integrals on a regular grid.
+
+/// Integrates `f` over `[a, b]` with the composite trapezoid rule using `n`
+/// sub-intervals (`n ≥ 1`).
+pub fn trapezoid<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    let n = n.max(1);
+    let h = (b - a) / n as f64;
+    let mut sum = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        sum += f(a + i as f64 * h);
+    }
+    sum * h
+}
+
+/// Integrates `f` over `[a, b]` with composite Simpson's rule using `n`
+/// sub-intervals (`n` is rounded up to the next even number, minimum 2).
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    let mut n = n.max(2);
+    if n % 2 == 1 {
+        n += 1;
+    }
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let coeff = if i % 2 == 1 { 4.0 } else { 2.0 };
+        sum += coeff * f(a + i as f64 * h);
+    }
+    sum * h / 3.0
+}
+
+/// Integrates tabulated values `ys` sampled on a uniform grid of spacing `h`
+/// with the trapezoid rule.
+pub fn trapezoid_tabulated(ys: &[f64], h: f64) -> f64 {
+    if ys.len() < 2 {
+        return 0.0;
+    }
+    let interior: f64 = ys[1..ys.len() - 1].iter().sum();
+    (0.5 * (ys[0] + ys[ys.len() - 1]) + interior) * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_integrates_polynomials() {
+        // ∫₀¹ x dx = 1/2 is exact for the trapezoid rule.
+        assert!((trapezoid(|x| x, 0.0, 1.0, 10) - 0.5).abs() < 1e-12);
+        // ∫₀¹ x² dx = 1/3 converges with n.
+        assert!((trapezoid(|x| x * x, 0.0, 1.0, 2_000) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simpson_is_exact_for_cubics() {
+        assert!((simpson(|x| x * x * x, 0.0, 2.0, 2) - 4.0).abs() < 1e-12);
+        assert!((simpson(|x| x * x, -1.0, 1.0, 4) - 2.0 / 3.0).abs() < 1e-12);
+        // Odd n is rounded up rather than producing garbage.
+        assert!((simpson(|x| x * x, 0.0, 1.0, 3) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_density_integrates_to_one() {
+        let pdf = |x: f64| (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        assert!((simpson(pdf, -8.0, 8.0, 400) - 1.0).abs() < 1e-9);
+        assert!((trapezoid(pdf, -8.0, 8.0, 2_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tabulated_matches_functional() {
+        let n = 100;
+        let h = 1.0 / n as f64;
+        let ys: Vec<f64> = (0..=n).map(|i| {
+            let x = i as f64 * h;
+            x * x
+        }).collect();
+        let tab = trapezoid_tabulated(&ys, h);
+        let fun = trapezoid(|x| x * x, 0.0, 1.0, n);
+        assert!((tab - fun).abs() < 1e-12);
+        assert_eq!(trapezoid_tabulated(&[1.0], 0.1), 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Multivariate normal distribution.
+//!
+//! Equivalent of Matlab's `mvnrnd`, which the paper uses to generate both the
+//! synthetic original data (Section 7.1, step 4) and the correlated noise of
+//! the improved randomization scheme (Section 8.1). Sampling is Cholesky-based:
+//! `x = μ + L z` with `z ~ N(0, I)` and `Σ = L Lᵀ`.
+
+use crate::error::{Result, StatsError};
+use crate::rng::standard_normal_vec;
+use rand::Rng;
+use randrecon_linalg::decomposition::Cholesky;
+use randrecon_linalg::Matrix;
+
+/// A multivariate normal distribution `N(μ, Σ)`.
+#[derive(Debug, Clone)]
+pub struct MultivariateNormal {
+    mean: Vec<f64>,
+    covariance: Matrix,
+    cholesky: Cholesky,
+}
+
+impl MultivariateNormal {
+    /// Creates a multivariate normal from a mean vector and covariance matrix.
+    ///
+    /// The covariance must be square, symmetric, positive definite, and its
+    /// dimension must match the mean's length.
+    pub fn new(mean: Vec<f64>, covariance: Matrix) -> Result<Self> {
+        if covariance.rows() != mean.len() {
+            return Err(StatsError::DimensionMismatch {
+                context: format!(
+                    "mean has length {}, covariance is {}x{}",
+                    mean.len(),
+                    covariance.rows(),
+                    covariance.cols()
+                ),
+            });
+        }
+        let cholesky = Cholesky::new(&covariance)?;
+        Ok(MultivariateNormal {
+            mean,
+            covariance,
+            cholesky,
+        })
+    }
+
+    /// A standard multivariate normal `N(0, I_dim)`.
+    pub fn standard(dim: usize) -> Result<Self> {
+        MultivariateNormal::new(vec![0.0; dim], Matrix::identity(dim))
+    }
+
+    /// Creates a zero-mean multivariate normal with the given covariance.
+    pub fn zero_mean(covariance: Matrix) -> Result<Self> {
+        let dim = covariance.rows();
+        MultivariateNormal::new(vec![0.0; dim], covariance)
+    }
+
+    /// Dimensionality (number of attributes).
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Covariance matrix.
+    pub fn covariance(&self) -> &Matrix {
+        &self.covariance
+    }
+
+    /// Draws a single sample vector.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let z = standard_normal_vec(self.dim(), rng);
+        let lz = lower_triangular_matvec(self.cholesky.l(), &z);
+        self.mean
+            .iter()
+            .zip(lz.iter())
+            .map(|(&m, &v)| m + v)
+            .collect()
+    }
+
+    /// Draws `n` samples as an `n × dim` matrix (records are rows), the layout
+    /// the rest of the workspace uses for data sets.
+    pub fn sample_matrix<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Matrix {
+        let dim = self.dim();
+        let mut out = Matrix::zeros(n, dim);
+        for i in 0..n {
+            let row = self.sample(rng);
+            out.set_row(i, &row);
+        }
+        out
+    }
+
+    /// Log probability density at `x`.
+    pub fn log_pdf(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.dim() {
+            return Err(StatsError::DimensionMismatch {
+                context: format!("point has length {}, distribution is {}-dimensional", x.len(), self.dim()),
+            });
+        }
+        let diff: Vec<f64> = x
+            .iter()
+            .zip(self.mean.iter())
+            .map(|(&a, &b)| a - b)
+            .collect();
+        let solved = self.cholesky.solve_vec(&diff)?;
+        let quad: f64 = diff.iter().zip(solved.iter()).map(|(&d, &s)| d * s).sum();
+        let dim = self.dim() as f64;
+        Ok(-0.5 * (quad + self.cholesky.log_determinant() + dim * (2.0 * std::f64::consts::PI).ln()))
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: &[f64]) -> Result<f64> {
+        Ok(self.log_pdf(x)?.exp())
+    }
+}
+
+/// Computes `L v` exploiting the lower-triangular structure of `L`.
+fn lower_triangular_matvec(l: &Matrix, v: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    let mut out = vec![0.0; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut sum = 0.0;
+        for (j, &vj) in v.iter().enumerate().take(i + 1) {
+            sum += l.get(i, j) * vj;
+        }
+        *o = sum;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::summary;
+
+    fn cov2() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 1.5][..], &[1.5, 2.0][..]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_dimensions() {
+        assert!(MultivariateNormal::new(vec![0.0], cov2()).is_err());
+        assert!(MultivariateNormal::new(vec![0.0, 0.0], cov2()).is_ok());
+        // Non-PD covariance rejected.
+        let bad = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 1.0][..]]).unwrap();
+        assert!(MultivariateNormal::zero_mean(bad).is_err());
+    }
+
+    #[test]
+    fn sample_moments_match_parameters() {
+        let mvn = MultivariateNormal::new(vec![1.0, -2.0], cov2()).unwrap();
+        let mut rng = seeded_rng(2024);
+        let samples = mvn.sample_matrix(20_000, &mut rng);
+        let means = summary::mean_vector(&samples);
+        assert!((means[0] - 1.0).abs() < 0.06, "mean0 = {}", means[0]);
+        assert!((means[1] + 2.0).abs() < 0.06, "mean1 = {}", means[1]);
+        let cov = summary::covariance_matrix(&samples);
+        assert!((cov.get(0, 0) - 4.0).abs() < 0.15);
+        assert!((cov.get(1, 1) - 2.0).abs() < 0.10);
+        assert!((cov.get(0, 1) - 1.5).abs() < 0.10);
+    }
+
+    #[test]
+    fn standard_mvn_is_uncorrelated() {
+        let mvn = MultivariateNormal::standard(3).unwrap();
+        let mut rng = seeded_rng(5);
+        let samples = mvn.sample_matrix(10_000, &mut rng);
+        let cov = summary::covariance_matrix(&samples);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((cov.get(i, j) - expected).abs() < 0.08);
+            }
+        }
+    }
+
+    #[test]
+    fn log_pdf_of_standard_normal_at_origin() {
+        let mvn = MultivariateNormal::standard(2).unwrap();
+        let lp = mvn.log_pdf(&[0.0, 0.0]).unwrap();
+        // -log(2π) for the 2-d standard normal at the mean.
+        assert!((lp + (2.0 * std::f64::consts::PI).ln()).abs() < 1e-10);
+        assert!(mvn.pdf(&[0.0, 0.0]).unwrap() > mvn.pdf(&[1.0, 1.0]).unwrap());
+        assert!(mvn.log_pdf(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_roughly_one_on_grid() {
+        // Coarse 2-d grid integration sanity check.
+        let mvn = MultivariateNormal::standard(2).unwrap();
+        let step = 0.1;
+        let mut total = 0.0;
+        let mut x = -5.0;
+        while x < 5.0 {
+            let mut y = -5.0;
+            while y < 5.0 {
+                total += mvn.pdf(&[x, y]).unwrap() * step * step;
+                y += step;
+            }
+            x += step;
+        }
+        assert!((total - 1.0).abs() < 0.01, "total = {total}");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mvn = MultivariateNormal::zero_mean(cov2()).unwrap();
+        let a = mvn.sample_matrix(10, &mut seeded_rng(1));
+        let b = mvn.sample_matrix(10, &mut seeded_rng(1));
+        assert!(a.approx_eq(&b, 0.0));
+    }
+}

@@ -1,0 +1,190 @@
+//! Univariate posterior expectation `E[X | Y = y]`.
+//!
+//! Theorem 4.1 of the paper shows that the mean-square-error-optimal guess for
+//! a single disguised value is the posterior mean
+//!
+//! ```text
+//! E[X | Y = y] = ∫ x f_X(x) f_R(y − x) dx / ∫ f_X(x) f_R(y − x) dx
+//! ```
+//!
+//! This module evaluates that expectation in two ways: a closed form when both
+//! the prior and the noise are Gaussian, and a grid quadrature against an
+//! arbitrary prior density (e.g. the Agrawal–Srikant reconstructed histogram).
+
+use crate::density::HistogramDensity;
+use crate::distributions::ContinuousDistribution;
+use crate::error::{Result, StatsError};
+
+/// Posterior mean when `X ~ N(mean_x, var_x)` and `R ~ N(0, var_r)`:
+///
+/// `E[X | Y = y] = μ_x + var_x / (var_x + var_r) · (y − μ_x)`
+///
+/// This is the textbook shrinkage estimator; UDR reduces to it for Gaussian
+/// data with Gaussian noise.
+pub fn gaussian_posterior_mean(y: f64, mean_x: f64, var_x: f64, var_r: f64) -> Result<f64> {
+    if var_x < 0.0 || !var_x.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "var_x",
+            value: var_x,
+            requirement: "non-negative and finite",
+        });
+    }
+    if var_r <= 0.0 || !var_r.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "var_r",
+            value: var_r,
+            requirement: "positive and finite",
+        });
+    }
+    Ok(mean_x + var_x / (var_x + var_r) * (y - mean_x))
+}
+
+/// Posterior mean with an arbitrary prior density given as a histogram and an
+/// arbitrary noise distribution, evaluated by summing over bin centers.
+pub fn histogram_posterior_mean<D: ContinuousDistribution>(
+    y: f64,
+    prior: &HistogramDensity,
+    noise: &D,
+) -> f64 {
+    let centers = prior.centers();
+    let masses = prior.masses();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&c, &m) in centers.iter().zip(masses.iter()) {
+        let w = m * noise.pdf(y - c);
+        num += c * w;
+        den += w;
+    }
+    if den <= f64::MIN_POSITIVE {
+        // Degenerate posterior (y far outside the prior's support convolved
+        // with the noise): fall back to the prior mean, the best blind guess.
+        prior.mean()
+    } else {
+        num / den
+    }
+}
+
+/// Posterior mean with an arbitrary callable prior density, integrated on a
+/// uniform grid of `grid_points` points over `[low, high]`.
+pub fn grid_posterior_mean<D, F>(
+    y: f64,
+    prior_pdf: F,
+    noise: &D,
+    low: f64,
+    high: f64,
+    grid_points: usize,
+) -> Result<f64>
+where
+    D: ContinuousDistribution,
+    F: Fn(f64) -> f64,
+{
+    if !(high > low) || grid_points < 2 {
+        return Err(StatsError::InvalidParameter {
+            name: "grid",
+            value: grid_points as f64,
+            requirement: "high > low and at least 2 grid points",
+        });
+    }
+    let h = (high - low) / (grid_points - 1) as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..grid_points {
+        let x = low + i as f64 * h;
+        // Trapezoid end-point weights.
+        let w_trap = if i == 0 || i == grid_points - 1 { 0.5 } else { 1.0 };
+        let w = w_trap * prior_pdf(x) * noise.pdf(y - x);
+        num += x * w;
+        den += w;
+    }
+    if den <= f64::MIN_POSITIVE {
+        return Err(StatsError::DidNotConverge {
+            what: "grid posterior mean (zero posterior mass on the grid)",
+            iterations: grid_points,
+        });
+    }
+    Ok(num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::Normal;
+
+    #[test]
+    fn gaussian_posterior_shrinks_toward_prior_mean() {
+        // Equal variances: posterior mean is halfway between y and the prior mean.
+        let est = gaussian_posterior_mean(10.0, 0.0, 4.0, 4.0).unwrap();
+        assert!((est - 5.0).abs() < 1e-12);
+        // Tiny noise: estimate ~ y.
+        let est = gaussian_posterior_mean(10.0, 0.0, 4.0, 1e-9).unwrap();
+        assert!((est - 10.0).abs() < 1e-6);
+        // Huge noise: estimate ~ prior mean.
+        let est = gaussian_posterior_mean(10.0, 2.0, 4.0, 1e9).unwrap();
+        assert!((est - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_posterior_rejects_bad_variances() {
+        assert!(gaussian_posterior_mean(0.0, 0.0, -1.0, 1.0).is_err());
+        assert!(gaussian_posterior_mean(0.0, 0.0, 1.0, 0.0).is_err());
+        assert!(gaussian_posterior_mean(0.0, 0.0, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn histogram_posterior_matches_gaussian_closed_form() {
+        // Build a fine histogram of N(0, 4) and check the posterior mean against
+        // the analytic shrinkage formula for several observations.
+        let prior_normal = Normal::new(0.0, 2.0).unwrap();
+        let bins = 400;
+        let low = -10.0;
+        let width = 20.0 / bins as f64;
+        let masses: Vec<f64> = (0..bins)
+            .map(|i| {
+                let c = low + (i as f64 + 0.5) * width;
+                prior_normal.pdf(c) * width
+            })
+            .collect();
+        let prior = HistogramDensity::from_masses(low, width, masses).unwrap();
+        let noise = Normal::new(0.0, 1.0).unwrap();
+        for &y in &[-3.0, -1.0, 0.0, 0.5, 2.5] {
+            let grid = histogram_posterior_mean(y, &prior, &noise);
+            let exact = gaussian_posterior_mean(y, 0.0, 4.0, 1.0).unwrap();
+            assert!((grid - exact).abs() < 0.02, "y={y}: grid={grid} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn histogram_posterior_far_outside_support_falls_back_to_prior_mean() {
+        let prior = HistogramDensity::from_masses(0.0, 1.0, vec![1.0, 1.0]).unwrap();
+        let noise = Normal::new(0.0, 0.1).unwrap();
+        let est = histogram_posterior_mean(1e6, &prior, &noise);
+        assert!((est - prior.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_posterior_matches_closed_form() {
+        let prior_normal = Normal::new(1.0, 3.0).unwrap();
+        let noise = Normal::new(0.0, 2.0).unwrap();
+        let y = 4.0;
+        let grid = grid_posterior_mean(
+            y,
+            |x| prior_normal.pdf(x),
+            &noise,
+            -20.0,
+            20.0,
+            2_000,
+        )
+        .unwrap();
+        let exact = gaussian_posterior_mean(y, 1.0, 9.0, 4.0).unwrap();
+        assert!((grid - exact).abs() < 1e-3);
+    }
+
+    #[test]
+    fn grid_posterior_rejects_bad_grid() {
+        let noise = Normal::standard();
+        assert!(grid_posterior_mean(0.0, |_| 1.0, &noise, 1.0, 0.0, 100).is_err());
+        assert!(grid_posterior_mean(0.0, |_| 1.0, &noise, 0.0, 1.0, 1).is_err());
+        // Zero prior everywhere -> error.
+        assert!(grid_posterior_mean(0.0, |_| 0.0, &noise, 0.0, 1.0, 100).is_err());
+    }
+}

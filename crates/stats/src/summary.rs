@@ -1,0 +1,264 @@
+//! Summary statistics: moments, covariance and correlation matrices.
+//!
+//! Theorem 5.1 of the paper relates the covariance matrix of the disguised
+//! data to that of the original data (`Cov(Y) = Cov(X) + σ²I` for independent
+//! noise, `Σ_y = Σ_x + Σ_r` in general, Theorem 8.2). These estimators are
+//! what both sides of that relationship are computed with.
+
+use randrecon_linalg::Matrix;
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (divides by `n - 1`); 0 if fewer than 2 samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Unbiased sample covariance between two equal-length slices; 0 if fewer than 2 samples.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(&xs[..n]);
+    let my = mean(&ys[..n]);
+    xs[..n]
+        .iter()
+        .zip(ys[..n].iter())
+        .map(|(&x, &y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (n - 1) as f64
+}
+
+/// Pearson correlation coefficient; 0 if either side has zero variance.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    if sx <= f64::EPSILON || sy <= f64::EPSILON {
+        return 0.0;
+    }
+    covariance(xs, ys) / (sx * sy)
+}
+
+/// Sample covariance matrix of the columns of `data` (records are rows,
+/// attributes are columns), using the unbiased `n - 1` normalization.
+pub fn covariance_matrix(data: &Matrix) -> Matrix {
+    let (n, m) = data.shape();
+    let mut cov = Matrix::zeros(m, m);
+    if n < 2 {
+        return cov;
+    }
+    let (centered, _) = data.center_columns();
+    // cov = centeredᵀ · centered / (n - 1); exploit symmetry.
+    for i in 0..m {
+        for j in i..m {
+            let mut sum = 0.0;
+            for r in 0..n {
+                sum += centered.get(r, i) * centered.get(r, j);
+            }
+            let v = sum / (n - 1) as f64;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
+        }
+    }
+    cov
+}
+
+/// Sample correlation-coefficient matrix of the columns of `data`.
+///
+/// Attributes with zero variance get zero correlation with everything (and 1
+/// with themselves), mirroring how the paper's correlation-dissimilarity
+/// metric treats the diagonal.
+pub fn correlation_matrix(data: &Matrix) -> Matrix {
+    let cov = covariance_matrix(data);
+    covariance_to_correlation(&cov)
+}
+
+/// Converts a covariance matrix into a correlation-coefficient matrix.
+pub fn covariance_to_correlation(cov: &Matrix) -> Matrix {
+    let m = cov.rows();
+    let mut corr = Matrix::zeros(m, m);
+    for i in 0..m {
+        for j in 0..m {
+            if i == j {
+                corr.set(i, j, 1.0);
+                continue;
+            }
+            let denom = (cov.get(i, i) * cov.get(j, j)).sqrt();
+            let v = if denom <= f64::EPSILON {
+                0.0
+            } else {
+                cov.get(i, j) / denom
+            };
+            corr.set(i, j, v);
+        }
+    }
+    corr
+}
+
+/// Mean of each column of `data` (records are rows).
+pub fn mean_vector(data: &Matrix) -> Vec<f64> {
+    data.column_means()
+}
+
+/// Per-column sample variances of `data`.
+pub fn variance_vector(data: &Matrix) -> Vec<f64> {
+    let (n, m) = data.shape();
+    if n < 2 {
+        return vec![0.0; m];
+    }
+    (0..m).map(|j| variance(&data.column(j))).collect()
+}
+
+/// Five-number-style summary of a slice, useful for reporting workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std_dev: f64,
+}
+
+/// Computes a [`Summary`] of a slice. Empty input yields zeros/NaN-free defaults.
+pub fn summarize(xs: &[f64]) -> Summary {
+    if xs.is_empty() {
+        return Summary {
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            std_dev: 0.0,
+        };
+    }
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        count: xs.len(),
+        min,
+        max,
+        mean: mean(xs),
+        std_dev: std_dev(xs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 4.571428571).abs() < 1e-6);
+        assert!((std_dev(&xs) - 4.571428571_f64.sqrt()).abs() < 1e-9);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn covariance_and_correlation_of_linear_relation() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 1.0).collect();
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|&x| -2.0 * x).collect();
+        assert!((correlation(&xs, &neg) + 1.0).abs() < 1e-12);
+        // Constant series: correlation defined as 0.
+        assert_eq!(correlation(&xs, &vec![5.0; 50]), 0.0);
+    }
+
+    #[test]
+    fn covariance_matrix_hand_checked() {
+        // Two columns: [1,2,3] and [2,4,6] -> var1 = 1, var2 = 4, cov = 2.
+        let data = Matrix::from_rows(&[
+            &[1.0, 2.0][..],
+            &[2.0, 4.0][..],
+            &[3.0, 6.0][..],
+        ])
+        .unwrap();
+        let cov = covariance_matrix(&data);
+        assert!((cov.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((cov.get(1, 1) - 4.0).abs() < 1e-12);
+        assert!((cov.get(0, 1) - 2.0).abs() < 1e-12);
+        assert!(cov.is_symmetric(1e-12));
+
+        let corr = correlation_matrix(&data);
+        assert!((corr.get(0, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(corr.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn covariance_matrix_of_single_row_is_zero() {
+        let data = Matrix::from_rows(&[&[1.0, 2.0][..]]).unwrap();
+        let cov = covariance_matrix(&data);
+        assert_eq!(cov, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn correlation_matrix_handles_constant_column() {
+        let data = Matrix::from_rows(&[
+            &[1.0, 5.0][..],
+            &[2.0, 5.0][..],
+            &[3.0, 5.0][..],
+        ])
+        .unwrap();
+        let corr = correlation_matrix(&data);
+        assert_eq!(corr.get(0, 1), 0.0);
+        assert_eq!(corr.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn mean_and_variance_vectors() {
+        let data = Matrix::from_rows(&[
+            &[1.0, 10.0][..],
+            &[3.0, 30.0][..],
+        ])
+        .unwrap();
+        assert_eq!(mean_vector(&data), vec![2.0, 20.0]);
+        let v = variance_vector(&data);
+        assert!((v[0] - 2.0).abs() < 1e-12);
+        assert!((v[1] - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_extremes() {
+        let s = summarize(&[3.0, -1.0, 4.0, 1.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 1.75).abs() < 1e-12);
+        let empty = summarize(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.min, 0.0);
+    }
+
+    #[test]
+    fn covariance_to_correlation_unit_diagonal() {
+        let cov = Matrix::from_rows(&[&[4.0, 2.0][..], &[2.0, 9.0][..]]).unwrap();
+        let corr = covariance_to_correlation(&cov);
+        assert_eq!(corr.get(0, 0), 1.0);
+        assert_eq!(corr.get(1, 1), 1.0);
+        assert!((corr.get(0, 1) - 2.0 / 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use randrecon_stats::distributions::{ContinuousDistribution, Normal, Uniform};
+use randrecon_stats::integrate::{simpson, trapezoid};
+use randrecon_stats::posterior::gaussian_posterior_mean;
+use randrecon_stats::rng::{child_seed, seeded_rng};
+use randrecon_stats::summary;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The normal pdf is symmetric around its mean and maximal at the mean.
+    #[test]
+    fn normal_pdf_symmetry(mu in -50.0f64..50.0, sigma in 0.1f64..20.0, dx in 0.0f64..30.0) {
+        let n = Normal::new(mu, sigma).unwrap();
+        let left = n.pdf(mu - dx);
+        let right = n.pdf(mu + dx);
+        prop_assert!((left - right).abs() <= 1e-12 * left.max(1e-300));
+        prop_assert!(n.pdf(mu) >= left);
+    }
+
+    /// The normal CDF is monotone and maps the real line into [0, 1].
+    #[test]
+    fn normal_cdf_monotone(mu in -10.0f64..10.0, sigma in 0.1f64..10.0, a in -40.0f64..40.0, b in -40.0f64..40.0) {
+        let n = Normal::new(mu, sigma).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let cl = n.cdf(lo);
+        let ch = n.cdf(hi);
+        prop_assert!((0.0..=1.0).contains(&cl));
+        prop_assert!((0.0..=1.0).contains(&ch));
+        prop_assert!(ch + 1e-9 >= cl);
+    }
+
+    /// Uniform samples stay inside the support and the pdf integrates to 1.
+    #[test]
+    fn uniform_support_and_normalization(low in -100.0f64..0.0, width in 0.5f64..100.0, seed in 0u64..10_000) {
+        let u = Uniform::new(low, low + width).unwrap();
+        let mut rng = seeded_rng(seed);
+        for _ in 0..100 {
+            let x = u.sample(&mut rng);
+            prop_assert!(x >= low && x < low + width);
+            prop_assert!(u.pdf(x) > 0.0);
+        }
+        let integral = trapezoid(|x| u.pdf(x), low - 1.0, low + width + 1.0, 4_000);
+        prop_assert!((integral - 1.0).abs() < 1e-2);
+    }
+
+    /// variance(c * x) = c^2 * variance(x); mean is linear.
+    #[test]
+    fn summary_scaling_laws(xs in proptest::collection::vec(-100.0f64..100.0, 3..50), c in -5.0f64..5.0) {
+        let scaled: Vec<f64> = xs.iter().map(|&x| c * x).collect();
+        let v = summary::variance(&xs);
+        let vs = summary::variance(&scaled);
+        prop_assert!((vs - c * c * v).abs() < 1e-6 * (1.0 + vs.abs()));
+        let m = summary::mean(&xs);
+        let ms = summary::mean(&scaled);
+        prop_assert!((ms - c * m).abs() < 1e-9 * (1.0 + ms.abs()));
+    }
+
+    /// Correlation is bounded by 1 in absolute value and invariant to positive
+    /// affine transformations.
+    #[test]
+    fn correlation_bounds_and_invariance(
+        xs in proptest::collection::vec(-50.0f64..50.0, 5..40),
+        shift in -10.0f64..10.0,
+        scale in 0.1f64..10.0,
+    ) {
+        // Build a second series deterministically correlated with the first.
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| 0.5 * x + (i as f64 % 7.0)).collect();
+        let r = summary::correlation(&xs, &ys);
+        prop_assert!(r.abs() <= 1.0 + 1e-12);
+        let ys_affine: Vec<f64> = ys.iter().map(|&y| scale * y + shift).collect();
+        let r2 = summary::correlation(&xs, &ys_affine);
+        prop_assert!((r - r2).abs() < 1e-8);
+    }
+
+    /// Covariance matrices estimated from any finite sample are symmetric with
+    /// non-negative diagonals, and the correlation matrix has a unit diagonal.
+    #[test]
+    fn covariance_matrix_invariants(rows in 2usize..30, cols in 1usize..6, seed in 0u64..10_000) {
+        let mut rng = seeded_rng(seed);
+        let data = randrecon_linalg::Matrix::from_fn(rows, cols, |_, _| {
+            randrecon_stats::rng::standard_normal(&mut rng) * 3.0
+        });
+        let cov = summary::covariance_matrix(&data);
+        prop_assert!(cov.is_symmetric(1e-9));
+        for j in 0..cols {
+            prop_assert!(cov.get(j, j) >= -1e-12);
+        }
+        let corr = summary::correlation_matrix(&data);
+        for j in 0..cols {
+            prop_assert!((corr.get(j, j) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// The Gaussian posterior mean always lies between the prior mean and the
+    /// observation (shrinkage), and moves toward the observation as the noise
+    /// variance shrinks.
+    #[test]
+    fn posterior_mean_shrinkage(
+        mu in -20.0f64..20.0,
+        var_x in 0.1f64..100.0,
+        var_r in 0.1f64..100.0,
+        y in -50.0f64..50.0,
+    ) {
+        let est = gaussian_posterior_mean(y, mu, var_x, var_r).unwrap();
+        let (lo, hi) = if mu <= y { (mu, y) } else { (y, mu) };
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
+        let est_less_noise = gaussian_posterior_mean(y, mu, var_x, var_r * 0.5).unwrap();
+        prop_assert!((est_less_noise - y).abs() <= (est - y).abs() + 1e-9);
+    }
+
+    /// Simpson and trapezoid agree on smooth integrands.
+    #[test]
+    fn quadrature_rules_agree(a in -5.0f64..0.0, b in 0.5f64..5.0) {
+        let f = |x: f64| (x * 0.7).sin() + 0.3 * x * x;
+        let t = trapezoid(f, a, b, 4_000);
+        let s = simpson(f, a, b, 4_000);
+        prop_assert!((t - s).abs() < 1e-4 * (1.0 + s.abs()));
+    }
+
+    /// Child seeds derived from different streams never collide for small stream
+    /// counts (sanity check on the splitting function).
+    #[test]
+    fn child_seeds_do_not_collide(base in 0u64..u64::MAX / 2) {
+        let seeds: Vec<u64> = (0..32).map(|s| child_seed(base, s)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), seeds.len());
+    }
+}

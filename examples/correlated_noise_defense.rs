@@ -1,0 +1,97 @@
+//! Scenario: deploying the paper's correlated-noise defense (Section 8).
+//!
+//! The same data owner as in the quickstart compares three ways of disguising
+//! a highly correlated data set with the *same total noise budget*:
+//!
+//! 1. independent Gaussian noise (the classic scheme),
+//! 2. correlated noise whose covariance mimics the data (the paper's improved
+//!    scheme),
+//! 3. anti-correlated noise concentrated on the non-principal components
+//!    (what *not* to do).
+//!
+//! For each variant the example reports the best attack's RMSE (privacy) and
+//! how well the original covariance can still be recovered for mining
+//! (utility), demonstrating the paper's claim that the defense costs no
+//! aggregate utility.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example correlated_noise_defense
+//! ```
+
+use randrecon::core::covariance::estimate_original_covariance;
+use randrecon::core::{be_dr::BeDr, pca_dr::PcaDr, spectral::SpectralFiltering, Reconstructor};
+use randrecon::data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon::metrics::dissimilarity::correlation_dissimilarity_from_covariances;
+use randrecon::metrics::rmse;
+use randrecon::metrics::utility::covariance_recovery_error;
+use randrecon::noise::additive::AdditiveRandomizer;
+use randrecon::noise::correlated::{interpolated_spectrum, noise_covariance, SimilarityLevel};
+use randrecon::stats::rng::seeded_rng;
+
+fn main() {
+    // Highly correlated data: 50 dominant directions out of 100 attributes.
+    let spectrum = EigenSpectrum::principal_plus_small(50, 400.0, 100, 4.0).expect("spectrum");
+    let ds = SyntheticDataset::generate(&spectrum, 1_000, 1234).expect("workload");
+    let per_attribute_noise_variance = 25.0; // same budget as sigma = 5 i.i.d.
+    let total_noise_variance = per_attribute_noise_variance * ds.n_attributes() as f64;
+
+    println!(
+        "data set: {} records x {} attributes; noise budget = {:.0} variance per attribute\n",
+        ds.n_records(),
+        ds.n_attributes(),
+        per_attribute_noise_variance
+    );
+    println!(
+        "{:<28} {:>14} {:>10} {:>10} {:>10} {:>12}",
+        "randomization", "dissimilarity", "SF", "PCA-DR", "BE-DR", "utility err"
+    );
+
+    let variants = [
+        ("independent (classic)", SimilarityLevel::independent()),
+        ("correlated, similar", SimilarityLevel::similar()),
+        ("correlated, anti-similar", SimilarityLevel::anti_similar()),
+    ];
+
+    for (label, level) in variants {
+        let noise_spec = interpolated_spectrum(&ds.eigenvalues, level, total_noise_variance)
+            .expect("noise spectrum");
+        let sigma_r = noise_covariance(&ds.eigenvectors, &noise_spec).expect("noise covariance");
+        let dissimilarity =
+            correlation_dissimilarity_from_covariances(&ds.covariance, &sigma_r).expect("dissimilarity");
+
+        let randomizer = AdditiveRandomizer::correlated(sigma_r).expect("randomizer");
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(55))
+            .expect("disguise");
+        let model = randomizer.model();
+
+        let sf = rmse(&ds.table, &SpectralFiltering::default().reconstruct(&disguised, model).expect("SF"))
+            .expect("rmse");
+        let pca = rmse(&ds.table, &PcaDr::largest_gap().reconstruct(&disguised, model).expect("PCA"))
+            .expect("rmse");
+        let be = rmse(&ds.table, &BeDr::default().reconstruct(&disguised, model).expect("BE"))
+            .expect("rmse");
+
+        // Utility: the miner estimates the original covariance via Theorem 8.2.
+        let estimated = estimate_original_covariance(&disguised, model).expect("covariance estimate");
+        let utility_err = covariance_recovery_error(&ds.covariance, &estimated).expect("utility");
+
+        println!(
+            "{:<28} {:>14.4} {:>10.3} {:>10.3} {:>10.3} {:>11.1}%",
+            label,
+            dissimilarity,
+            sf,
+            pca,
+            be,
+            utility_err * 100.0
+        );
+    }
+
+    println!(
+        "\nWith the same noise budget, making the noise correlations mimic the\n\
+         data (smallest dissimilarity) pushes every attack's error up towards\n\
+         the noise level, while the covariance needed for mining is recovered\n\
+         about as well as before — the paper's Section 8 result."
+    );
+}

@@ -1,0 +1,100 @@
+//! Scenario: the data-mining side of randomization.
+//!
+//! Randomization is only interesting because miners can still learn *aggregate*
+//! structure from the disguised data. This example shows both halves of that
+//! bargain on one attribute:
+//!
+//! * the miner recovers the original distribution from the disguised values
+//!   with the Agrawal–Srikant reconstruction (good for mining), and
+//! * the adversary goes further and recovers *individual* values with the
+//!   posterior-mean attack (bad for privacy), which is exactly the gap the
+//!   paper formalizes.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example distribution_recovery
+//! ```
+
+use randrecon::stats::distributions::{ContinuousDistribution, Normal};
+use randrecon::stats::posterior::histogram_posterior_mean;
+use randrecon::stats::reconstruction::{reconstruct_distribution, ReconstructionConfig};
+use randrecon::stats::rng::seeded_rng;
+use randrecon::stats::summary;
+
+fn main() {
+    let mut rng = seeded_rng(31_337);
+
+    // Original attribute: annual income-like, bimodal (two populations).
+    let low_income = Normal::new(32_000.0, 6_000.0).expect("dist");
+    let high_income = Normal::new(95_000.0, 12_000.0).expect("dist");
+    let n = 6_000;
+    let originals: Vec<f64> = (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                high_income.sample(&mut rng)
+            } else {
+                low_income.sample(&mut rng)
+            }
+        })
+        .collect();
+
+    // Randomization: add zero-mean Gaussian noise with sigma = 15,000 — large
+    // enough that any individual disguised value looks uninformative.
+    let noise = Normal::new(0.0, 15_000.0).expect("noise");
+    let disguised: Vec<f64> = originals.iter().map(|&x| x + noise.sample(&mut rng)).collect();
+
+    println!("original mean {:>12.0}  std {:>10.0}", summary::mean(&originals), summary::std_dev(&originals));
+    println!("disguised mean {:>11.0}  std {:>10.0}", summary::mean(&disguised), summary::std_dev(&disguised));
+
+    // --- Miner's view: recover the distribution (aggregate utility). ---
+    let config = ReconstructionConfig {
+        bins: 120,
+        max_iterations: 300,
+        tolerance: 1e-5,
+    };
+    let recovered = reconstruct_distribution(&disguised, &noise, &config).expect("AS reconstruction");
+    println!(
+        "\nAgrawal-Srikant distribution reconstruction: {} iterations, converged = {}",
+        recovered.iterations, recovered.converged
+    );
+    println!("reconstructed distribution, probability mass by income band:");
+    let bands = [(20_000.0, 45_000.0), (45_000.0, 70_000.0), (70_000.0, 120_000.0)];
+    for (lo, hi) in bands {
+        let mass: f64 = recovered
+            .density
+            .centers()
+            .iter()
+            .zip(recovered.density.masses().iter())
+            .filter(|(&c, _)| c >= lo && c < hi)
+            .map(|(_, &m)| m)
+            .sum();
+        let true_frac = originals.iter().filter(|&&x| x >= lo && x < hi).count() as f64 / n as f64;
+        println!(
+            "  {lo:>8.0} - {hi:>8.0}: reconstructed {:>5.1}%  (true {:>5.1}%)",
+            mass * 100.0,
+            true_frac * 100.0
+        );
+    }
+
+    // --- Adversary's view: recover individual values (privacy loss). ---
+    let estimates: Vec<f64> = disguised
+        .iter()
+        .map(|&y| histogram_posterior_mean(y, &recovered.density, &noise))
+        .collect();
+    let naive_rmse = rmse(&originals, &disguised);
+    let attack_rmse = rmse(&originals, &estimates);
+    println!("\nper-record error (RMSE):");
+    println!("  reading the disguised value directly : {naive_rmse:>10.0}");
+    println!("  posterior-mean attack                : {attack_rmse:>10.0}");
+    println!(
+        "\nThe same machinery that restores the distribution for the miner also\n\
+         shrinks each individual's error well below the injected noise level —\n\
+         the univariate baseline (UDR) of the paper. Exploiting cross-attribute\n\
+         correlation (PCA-DR/BE-DR) tightens it further; see the other examples."
+    );
+}
+
+fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    let sum: f64 = a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum();
+    (sum / a.len() as f64).sqrt()
+}

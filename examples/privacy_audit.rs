@@ -1,0 +1,61 @@
+//! Scenario: auditing a proposed randomized release before publishing it.
+//!
+//! The paper's practical advice to a data owner is to attack their own release
+//! before sharing it. `PrivacyAudit` packages that workflow: it runs the whole
+//! attack battery (NDR, UDR, SF, PCA-DR, BE-DR), measures RMSE and record-level
+//! disclosure for each, and reports how much the promised noise level is eroded
+//! by correlation. The example audits the same data set disguised two ways —
+//! the classic i.i.d. scheme and the paper's correlated-noise defense — and
+//! prints both reports side by side.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example privacy_audit
+//! ```
+
+use randrecon::core::audit::PrivacyAudit;
+use randrecon::data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon::noise::additive::AdditiveRandomizer;
+use randrecon::stats::rng::seeded_rng;
+
+fn main() {
+    // The release candidate: 30 attributes driven by 4 latent factors.
+    let spectrum = EigenSpectrum::principal_plus_small(4, 400.0, 30, 4.0).expect("spectrum");
+    let ds = SyntheticDataset::generate(&spectrum, 1_000, 7_777).expect("workload");
+    let sigma = 8.0;
+    let audit = PrivacyAudit::default();
+
+    // Proposal 1: classic independent Gaussian noise.
+    let classic = AdditiveRandomizer::gaussian(sigma).expect("classic randomizer");
+    let classic_release = classic
+        .disguise(&ds.table, &mut seeded_rng(1))
+        .expect("classic disguise");
+    let classic_report = audit
+        .run(&ds.table, &classic_release, classic.model())
+        .expect("classic audit");
+
+    // Proposal 2: the Section 8 defense — noise covariance proportional to the
+    // data covariance, same total noise power.
+    let ratio = sigma * sigma * ds.n_attributes() as f64 / ds.covariance.trace();
+    let defended = AdditiveRandomizer::correlated(ds.covariance.scale(ratio))
+        .expect("correlated randomizer");
+    let defended_release = defended
+        .disguise(&ds.table, &mut seeded_rng(2))
+        .expect("defended disguise");
+    let defended_report = audit
+        .run(&ds.table, &defended_release, defended.model())
+        .expect("defended audit");
+
+    println!("=== proposal 1: independent Gaussian noise (sigma = {sigma}) ===");
+    println!("{}", classic_report.to_table());
+    println!("=== proposal 2: correlated noise, same total power ===");
+    println!("{}", defended_report.to_table());
+
+    let improvement = defended_report.strongest().rmse / classic_report.strongest().rmse;
+    println!(
+        "strongest attack error grows by a factor of {improvement:.2} under the\n\
+         correlated-noise defense; the data owner should prefer proposal 2 (or a\n\
+         mechanism with formal guarantees — this attack is exactly why the field\n\
+         moved to differential privacy)."
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: disguise a small data set with additive noise, attack it with
+//! every reconstruction scheme, and see how much of the "private" data leaks.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use randrecon::core::{
+    be_dr::BeDr, ndr::Ndr, pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr, Reconstructor,
+};
+use randrecon::data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon::metrics::{accuracy::normalized_rmse, rmse};
+use randrecon::noise::additive::AdditiveRandomizer;
+use randrecon::stats::rng::seeded_rng;
+
+fn main() {
+    // 1. A correlated data set: 40 attributes but only 5 independent "factors"
+    //    (the situation the paper warns about — lots of redundancy).
+    let spectrum = EigenSpectrum::principal_plus_small(5, 400.0, 40, 4.0)
+        .expect("valid spectrum");
+    let dataset = SyntheticDataset::generate(&spectrum, 1_000, 42).expect("workload generation");
+    println!(
+        "original data: {} records x {} attributes, total variance {:.1}",
+        dataset.n_records(),
+        dataset.n_attributes(),
+        dataset.covariance.trace()
+    );
+
+    // 2. The data owner disguises it with the classic scheme: independent
+    //    zero-mean Gaussian noise, sigma = 10 (variance 100 per attribute).
+    let randomizer = AdditiveRandomizer::gaussian(10.0).expect("valid noise level");
+    let disguised = randomizer
+        .disguise(&dataset.table, &mut seeded_rng(7))
+        .expect("disguising");
+    println!(
+        "disguised with independent Gaussian noise, sigma = 10 (the adversary knows this)\n"
+    );
+
+    // 3. The adversary only sees `disguised` and the public noise model.
+    let model = randomizer.model();
+    let attacks: Vec<Box<dyn Reconstructor>> = vec![
+        Box::new(Ndr),
+        Box::new(Udr::default()),
+        Box::new(SpectralFiltering::default()),
+        Box::new(PcaDr::largest_gap()),
+        Box::new(BeDr::default()),
+    ];
+
+    println!("{:<10} {:>12} {:>18}", "attack", "RMSE", "normalized RMSE");
+    for attack in &attacks {
+        let reconstruction = attack
+            .reconstruct(&disguised, model)
+            .expect("reconstruction");
+        let err = rmse(&dataset.table, &reconstruction).expect("rmse");
+        let nerr = normalized_rmse(&dataset.table, &reconstruction).expect("normalized rmse");
+        println!("{:<10} {:>12.3} {:>18.3}", attack.name(), err, nerr);
+    }
+
+    println!(
+        "\nThe noise standard deviation is 10.0, yet the correlation-exploiting\n\
+         attacks (PCA-DR, BE-DR) reconstruct the data to within a fraction of\n\
+         that — exactly the privacy breach the paper demonstrates."
+    );
+}

@@ -1,0 +1,23 @@
+//! # randrecon — Deriving Private Information from Randomized Data
+//!
+//! Facade crate re-exporting the whole workspace. See the crate-level docs of
+//! the individual sub-crates for details; the README and DESIGN.md map each
+//! subsystem back to the SIGMOD 2005 paper it reproduces.
+//!
+//! ```
+//! // The facade simply re-exports the sub-crates under shorter names.
+//! use randrecon::linalg::Matrix;
+//! let eye = Matrix::identity(3);
+//! assert_eq!(eye.trace(), 3.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use randrecon_core as core;
+pub use randrecon_data as data;
+pub use randrecon_experiments as experiments;
+pub use randrecon_linalg as linalg;
+pub use randrecon_metrics as metrics;
+pub use randrecon_noise as noise;
+pub use randrecon_stats as stats;

@@ -1,0 +1,149 @@
+//! Cross-crate integration tests: the full disguise → attack → measure
+//! pipeline through the public facade, checking the paper's qualitative
+//! claims end to end.
+
+use randrecon::core::{
+    be_dr::BeDr, ndr::Ndr, pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr, Reconstructor,
+};
+use randrecon::data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon::metrics::privacy::disclosure_rate;
+use randrecon::metrics::rmse;
+use randrecon::noise::additive::AdditiveRandomizer;
+use randrecon::stats::rng::seeded_rng;
+
+fn correlated_workload(m: usize, p: usize, n: usize, seed: u64) -> SyntheticDataset {
+    let spectrum = EigenSpectrum::principal_plus_small(p, 400.0, m, 4.0).unwrap();
+    SyntheticDataset::generate(&spectrum, n, seed).unwrap()
+}
+
+/// The paper's core ordering on correlated data:
+/// BE-DR ≤ PCA-DR < UDR < NDR (all well below the noise level).
+#[test]
+fn attack_hierarchy_on_correlated_data() {
+    let ds = correlated_workload(40, 5, 1_200, 9001);
+    let sigma = 10.0;
+    let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
+    let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(9002)).unwrap();
+    let model = randomizer.model();
+
+    let ndr = rmse(&ds.table, &Ndr.reconstruct(&disguised, model).unwrap()).unwrap();
+    let udr = rmse(&ds.table, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+    let sf = rmse(&ds.table, &SpectralFiltering::default().reconstruct(&disguised, model).unwrap()).unwrap();
+    let pca = rmse(&ds.table, &PcaDr::largest_gap().reconstruct(&disguised, model).unwrap()).unwrap();
+    let be = rmse(&ds.table, &BeDr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+
+    // NDR error is the noise level itself.
+    assert!((ndr - sigma).abs() < 0.5, "NDR {ndr} should be ~ sigma {sigma}");
+    // Correlation-based attacks all beat the univariate baseline.
+    assert!(sf < udr, "SF {sf} < UDR {udr}");
+    assert!(pca < udr, "PCA {pca} < UDR {udr}");
+    assert!(be < udr, "BE {be} < UDR {udr}");
+    // BE-DR is the strongest (allowing a tiny numerical margin vs PCA-DR).
+    assert!(be <= pca * 1.05, "BE {be} should be <= PCA {pca}");
+    // And the strongest attack removes most of the noise.
+    assert!(be < 0.4 * sigma, "BE-DR should cancel most of the noise, got {be}");
+}
+
+/// Disguising and attacking must preserve shape, schema and finiteness.
+#[test]
+fn shapes_and_schemas_survive_the_pipeline() {
+    let ds = correlated_workload(12, 3, 300, 77);
+    let randomizer = AdditiveRandomizer::uniform(6.0).unwrap();
+    let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(78)).unwrap();
+    assert_eq!(disguised.schema(), ds.table.schema());
+
+    let attacks: Vec<Box<dyn Reconstructor>> = vec![
+        Box::new(Ndr),
+        Box::new(Udr::default()),
+        Box::new(SpectralFiltering::default()),
+        Box::new(PcaDr::largest_gap()),
+        Box::new(BeDr::default()),
+    ];
+    for attack in attacks {
+        let out = attack.reconstruct(&disguised, randomizer.model()).unwrap();
+        assert_eq!(out.values().shape(), ds.table.values().shape(), "{}", attack.name());
+        assert_eq!(out.schema(), ds.table.schema(), "{}", attack.name());
+        assert!(!out.values().has_non_finite(), "{}", attack.name());
+    }
+}
+
+/// More noise means more privacy for every scheme — errors grow monotonically
+/// with sigma.
+#[test]
+fn noise_level_controls_privacy() {
+    let ds = correlated_workload(20, 4, 800, 555);
+    let mut previous_be = 0.0;
+    let mut previous_udr = 0.0;
+    for (i, &sigma) in [2.0, 8.0, 32.0].iter().enumerate() {
+        let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(556 + i as u64)).unwrap();
+        let model = randomizer.model();
+        let be = rmse(&ds.table, &BeDr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        let udr = rmse(&ds.table, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        if i > 0 {
+            assert!(be > previous_be, "BE-DR error should grow with sigma");
+            assert!(udr > previous_udr, "UDR error should grow with sigma");
+        }
+        previous_be = be;
+        previous_udr = udr;
+    }
+}
+
+/// The correlated-noise defense (Section 8) raises the best attack's error at
+/// equal noise budget, and record-level disclosure drops accordingly.
+#[test]
+fn correlated_noise_defense_end_to_end() {
+    let ds = correlated_workload(30, 10, 1_000, 31_415);
+    let sigma = 6.0;
+
+    // Classic scheme.
+    let classic = AdditiveRandomizer::gaussian(sigma).unwrap();
+    let disguised_classic = classic.disguise(&ds.table, &mut seeded_rng(1)).unwrap();
+    let be_classic = rmse(
+        &ds.table,
+        &BeDr::default().reconstruct(&disguised_classic, classic.model()).unwrap(),
+    )
+    .unwrap();
+    let disclosure_classic =
+        disclosure_rate(&ds.table, &BeDr::default().reconstruct(&disguised_classic, classic.model()).unwrap(), 2.0)
+            .unwrap();
+
+    // Defense: noise covariance proportional to the data covariance with the
+    // same total power (sigma^2 per attribute on average).
+    let ratio = sigma * sigma * ds.n_attributes() as f64 / ds.covariance.trace();
+    let defended = AdditiveRandomizer::correlated(ds.covariance.scale(ratio)).unwrap();
+    let disguised_defended = defended.disguise(&ds.table, &mut seeded_rng(2)).unwrap();
+    let be_defended = rmse(
+        &ds.table,
+        &BeDr::default().reconstruct(&disguised_defended, defended.model()).unwrap(),
+    )
+    .unwrap();
+    let disclosure_defended =
+        disclosure_rate(&ds.table, &BeDr::default().reconstruct(&disguised_defended, defended.model()).unwrap(), 2.0)
+            .unwrap();
+
+    assert!(
+        be_defended > be_classic,
+        "defense should raise BE-DR error: classic {be_classic}, defended {be_defended}"
+    );
+    assert!(
+        disclosure_defended < disclosure_classic,
+        "defense should reduce disclosure: classic {disclosure_classic}, defended {disclosure_defended}"
+    );
+}
+
+/// Determinism: the same seeds produce byte-identical pipelines.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let ds = correlated_workload(10, 2, 200, 8);
+        let randomizer = AdditiveRandomizer::gaussian(4.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(9)).unwrap();
+        BeDr::default()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.approx_eq(&b, 0.0));
+}

@@ -1,0 +1,75 @@
+//! Integration tests for the experiment harness: the quick configurations of
+//! every figure must reproduce the qualitative shape the paper reports, and
+//! results must round-trip through the CSV reporting path.
+
+use randrecon::experiments::exp1::Experiment1;
+use randrecon::experiments::exp2::Experiment2;
+use randrecon::experiments::exp3::Experiment3;
+use randrecon::experiments::exp4::Experiment4;
+use randrecon::experiments::report::{render_report, write_report_csvs};
+use randrecon::experiments::SchemeKind;
+
+#[test]
+fn figure1_shape_correlation_helps_more_with_more_attributes() {
+    let series = Experiment1::quick().run().unwrap();
+    // BE-DR's advantage over UDR widens as m grows.
+    let first = &series.points[0];
+    let last = series.points.last().unwrap();
+    let gap_first =
+        first.rmse_of(SchemeKind::Udr).unwrap() - first.rmse_of(SchemeKind::BeDr).unwrap();
+    let gap_last =
+        last.rmse_of(SchemeKind::Udr).unwrap() - last.rmse_of(SchemeKind::BeDr).unwrap();
+    assert!(
+        gap_last > gap_first,
+        "BE-DR's advantage should widen with m: first {gap_first}, last {gap_last}"
+    );
+}
+
+#[test]
+fn figure2_shape_advantage_shrinks_as_p_grows() {
+    let series = Experiment2::quick().run().unwrap();
+    let first = &series.points[0];
+    let last = series.points.last().unwrap();
+    let gap_first =
+        first.rmse_of(SchemeKind::Udr).unwrap() - first.rmse_of(SchemeKind::BeDr).unwrap();
+    let gap_last =
+        last.rmse_of(SchemeKind::Udr).unwrap() - last.rmse_of(SchemeKind::BeDr).unwrap();
+    assert!(
+        gap_first > gap_last,
+        "BE-DR's advantage should shrink as p -> m: first {gap_first}, last {gap_last}"
+    );
+}
+
+#[test]
+fn figure3_shape_pca_crosses_udr_but_be_does_not() {
+    let series = Experiment3::quick().run().unwrap();
+    let last = series.points.last().unwrap();
+    let udr = last.rmse_of(SchemeKind::Udr).unwrap();
+    assert!(last.rmse_of(SchemeKind::PcaDr).unwrap() > udr);
+    assert!(last.rmse_of(SchemeKind::BeDr).unwrap() <= udr * 1.05);
+}
+
+#[test]
+fn figure4_shape_similar_noise_preserves_most_privacy() {
+    let series = Experiment4::quick().run().unwrap();
+    let be = series.series_for(SchemeKind::BeDr);
+    assert!(
+        be.first().unwrap().1 > be.last().unwrap().1,
+        "most-similar noise (lowest dissimilarity) should give the highest BE-DR error: {be:?}"
+    );
+}
+
+#[test]
+fn reporting_round_trip() {
+    let series = Experiment1::quick().run().unwrap();
+    let text = render_report(std::slice::from_ref(&series));
+    assert!(text.contains("Figure 1"));
+    assert!(text.contains("BE-DR"));
+
+    let dir = std::env::temp_dir().join("randrecon_integration_report");
+    let paths = write_report_csvs(std::slice::from_ref(&series), &dir).unwrap();
+    assert_eq!(paths.len(), 1);
+    let csv = std::fs::read_to_string(&paths[0]).unwrap();
+    assert!(csv.lines().count() > series.points.len());
+    std::fs::remove_dir_all(&dir).ok();
+}

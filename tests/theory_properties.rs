@@ -1,0 +1,113 @@
+//! Property-based integration tests tying the measured behaviour of the
+//! attacks to the paper's closed-form theory (Theorems 4.1, 5.1, 5.2) across
+//! randomized workloads.
+
+use proptest::prelude::*;
+use randrecon::core::covariance::estimate_original_covariance;
+use randrecon::core::theory::{ndr_expected_mse, pca_noise_mse, udr_gaussian_expected_mse};
+use randrecon::core::{ndr::Ndr, udr::Udr, Reconstructor};
+use randrecon::data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon::metrics::{mse, rmse};
+use randrecon::noise::additive::AdditiveRandomizer;
+use randrecon::stats::rng::seeded_rng;
+
+proptest! {
+    // These property tests run full pipelines, so keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 5.1: subtracting sigma^2 from the disguised covariance diagonal
+    /// recovers the original covariance (within sampling error), for any
+    /// workload shape and noise level in a reasonable range.
+    #[test]
+    fn covariance_estimate_tracks_truth(
+        m in 4usize..10,
+        p in 1usize..4,
+        sigma in 2.0f64..12.0,
+        seed in 0u64..1_000,
+    ) {
+        let p = p.min(m);
+        let spectrum = EigenSpectrum::principal_plus_small(p, 300.0, m, 5.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 4_000, seed).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed ^ 0xABCD)).unwrap();
+        let est = estimate_original_covariance(&disguised, randomizer.model()).unwrap();
+        let rel = est.sub(&ds.covariance).unwrap().frobenius_norm() / ds.covariance.frobenius_norm();
+        prop_assert!(rel < 0.25, "relative covariance error {rel} too large (m={m}, p={p}, sigma={sigma})");
+    }
+
+    /// Section 4.1: the NDR baseline's MSE equals the noise variance.
+    #[test]
+    fn ndr_mse_matches_theory(sigma in 1.0f64..15.0, seed in 0u64..1_000) {
+        let spectrum = EigenSpectrum::principal_plus_small(2, 200.0, 6, 4.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 3_000, seed).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed + 1)).unwrap();
+        let measured = mse(&ds.table, &Ndr.reconstruct(&disguised, randomizer.model()).unwrap()).unwrap();
+        let expected = ndr_expected_mse(sigma * sigma).unwrap();
+        prop_assert!((measured - expected).abs() / expected < 0.15,
+            "NDR mse {measured} vs theory {expected}");
+    }
+
+    /// Theorem 4.1 (via the Gaussian closed form): UDR's error on an
+    /// uncorrelated Gaussian workload matches v*s/(v+s).
+    #[test]
+    fn udr_mse_matches_theory_on_uncorrelated_data(sigma in 5.0f64..20.0, seed in 0u64..1_000) {
+        let m = 6usize;
+        let variance = 300.0;
+        // p = m: flat spectrum, so attributes are (nearly) uncorrelated and the
+        // univariate theory applies exactly.
+        let spectrum = EigenSpectrum::principal_plus_small(m, variance, m, variance).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 4_000, seed).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed + 2)).unwrap();
+        let measured = mse(&ds.table, &Udr::default().reconstruct(&disguised, randomizer.model()).unwrap()).unwrap();
+        let expected = udr_gaussian_expected_mse(variance, sigma * sigma).unwrap();
+        prop_assert!((measured - expected).abs() / expected < 0.2,
+            "UDR mse {measured} vs theory {expected} (sigma={sigma})");
+    }
+
+    /// Theorem 5.2: projecting pure noise onto p of m principal directions
+    /// keeps exactly p/m of its energy.
+    #[test]
+    fn projected_noise_energy_matches_theorem_5_2(
+        m in 6usize..14,
+        sigma in 2.0f64..10.0,
+        seed in 0u64..1_000,
+    ) {
+        let p = (m / 3).max(1);
+        let spectrum = EigenSpectrum::principal_plus_small(p, 400.0, m, 2.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 2_500, seed).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
+        let (_, noise_matrix) = randomizer.disguise_with_noise(&ds.table, &mut seeded_rng(seed + 3)).unwrap();
+
+        // Project the noise onto the data's true principal subspace.
+        let q_hat = ds.eigenvectors.leading_columns(p).unwrap();
+        let projected = noise_matrix.matmul(&q_hat).unwrap().matmul(&q_hat.transpose()).unwrap();
+        let measured: f64 = projected.as_slice().iter().map(|&v| v * v).sum::<f64>()
+            / (projected.rows() * projected.cols()) as f64;
+        let expected = pca_noise_mse(sigma * sigma, p, m).unwrap();
+        prop_assert!((measured - expected).abs() / expected < 0.2,
+            "projected noise mse {measured} vs theory {expected} (m={m}, p={p})");
+    }
+
+    /// Reconstructions never blow up: for any workload in range, BE-DR's error
+    /// is bounded above by (roughly) the NDR error — exploiting structure can
+    /// only help.
+    #[test]
+    fn be_dr_is_never_much_worse_than_ndr(
+        m in 4usize..12,
+        p in 1usize..5,
+        sigma in 1.0f64..20.0,
+        seed in 0u64..1_000,
+    ) {
+        let p = p.min(m);
+        let spectrum = EigenSpectrum::principal_plus_small(p, 350.0, m, 10.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 600, seed).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed + 4)).unwrap();
+        let be = rmse(&ds.table, &randrecon::core::be_dr::BeDr::default()
+            .reconstruct(&disguised, randomizer.model()).unwrap()).unwrap();
+        let ndr = rmse(&ds.table, &Ndr.reconstruct(&disguised, randomizer.model()).unwrap()).unwrap();
+        prop_assert!(be <= ndr * 1.1, "BE-DR ({be}) should not be much worse than NDR ({ndr})");
+    }
+}
