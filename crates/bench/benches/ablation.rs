@@ -48,7 +48,13 @@ fn bench_variants(c: &mut Criterion) {
     }
 
     group.bench_function(BenchmarkId::new("udr_prior", "gaussian_moments"), |b| {
-        b.iter(|| black_box(Udr::gaussian_prior().reconstruct(&disguised, &model).unwrap()))
+        b.iter(|| {
+            black_box(
+                Udr::gaussian_prior()
+                    .reconstruct(&disguised, &model)
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function(BenchmarkId::new("udr_prior", "agrawal_srikant"), |b| {
         let attack = Udr::agrawal_srikant_prior(ReconstructionConfig {

@@ -49,7 +49,13 @@ fn bench_schemes(c: &mut Criterion) {
         b.iter(|| black_box(Udr::default().reconstruct(&disguised, model).unwrap()))
     });
     group.bench_function(BenchmarkId::from_parameter("SF"), |b| {
-        b.iter(|| black_box(SpectralFiltering::default().reconstruct(&disguised, model).unwrap()))
+        b.iter(|| {
+            black_box(
+                SpectralFiltering::default()
+                    .reconstruct(&disguised, model)
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function(BenchmarkId::from_parameter("PCA-DR"), |b| {
         b.iter(|| black_box(PcaDr::largest_gap().reconstruct(&disguised, model).unwrap()))

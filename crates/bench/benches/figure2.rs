@@ -40,7 +40,13 @@ fn bench_principal_component_scaling(c: &mut Criterion) {
         let model = randomizer.model().clone();
 
         group.bench_with_input(BenchmarkId::new("PCA-DR", p), &p, |b, _| {
-            b.iter(|| black_box(PcaDr::largest_gap().reconstruct(&disguised, &model).unwrap()))
+            b.iter(|| {
+                black_box(
+                    PcaDr::largest_gap()
+                        .reconstruct(&disguised, &model)
+                        .unwrap(),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("BE-DR", p), &p, |b, _| {
             b.iter(|| black_box(BeDr::default().reconstruct(&disguised, &model).unwrap()))

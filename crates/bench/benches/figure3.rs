@@ -37,11 +37,21 @@ fn bench_non_principal_eigenvalues(c: &mut Criterion) {
         let model = randomizer.model().clone();
 
         group.bench_with_input(BenchmarkId::new("PCA-DR", small as u64), &small, |b, _| {
-            b.iter(|| black_box(PcaDr::largest_gap().reconstruct(&disguised, &model).unwrap()))
+            b.iter(|| {
+                black_box(
+                    PcaDr::largest_gap()
+                        .reconstruct(&disguised, &model)
+                        .unwrap(),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("SF", small as u64), &small, |b, _| {
             b.iter(|| {
-                black_box(SpectralFiltering::default().reconstruct(&disguised, &model).unwrap())
+                black_box(
+                    SpectralFiltering::default()
+                        .reconstruct(&disguised, &model)
+                        .unwrap(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("BE-DR", small as u64), &small, |b, _| {

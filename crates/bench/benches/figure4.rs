@@ -45,7 +45,9 @@ fn bench_defense(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("disguise_correlated", format!("alpha_{alpha}")),
             &alpha,
-            |b, _| b.iter(|| black_box(randomizer.disguise(&ds.table, &mut seeded_rng(11)).unwrap())),
+            |b, _| {
+                b.iter(|| black_box(randomizer.disguise(&ds.table, &mut seeded_rng(11)).unwrap()))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("BE-DR_improved", format!("alpha_{alpha}")),
@@ -55,7 +57,15 @@ fn bench_defense(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("PCA-DR", format!("alpha_{alpha}")),
             &alpha,
-            |b, _| b.iter(|| black_box(PcaDr::largest_gap().reconstruct(&disguised, &model).unwrap())),
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        PcaDr::largest_gap()
+                            .reconstruct(&disguised, &model)
+                            .unwrap(),
+                    )
+                })
+            },
         );
     }
     group.finish();

@@ -1,11 +1,26 @@
-//! Micro benchmarks for the substrates the attacks are built on: symmetric
-//! eigendecomposition, Cholesky inversion, covariance estimation and
-//! multivariate-normal sampling, at the matrix sizes the paper's evaluation
-//! uses (m = 50 and m = 100 attributes, n = 1000 records).
+//! Micro benchmarks for the substrates the attacks are built on.
+//!
+//! Two groups:
+//!
+//! * `substrates` — eigendecomposition, Cholesky, covariance and
+//!   multivariate-normal sampling at the paper's evaluation sizes
+//!   (m = 50 and m = 100 attributes, n = 1000 records).
+//! * `kernels_v1` — the PR-1 perf-trajectory group: matmul,
+//!   cholesky-solve and BE-DR end-to-end throughput at
+//!   n ∈ {500, 5 000, 50 000} records × 64 attributes, with `*_seed`
+//!   entries running the preserved seed implementations
+//!   (`randrecon_bench::*_seed`, `Matrix::matmul_naive`) so speedups are
+//!   measured inside one binary. `scripts/bench_to_json.sh` dumps this
+//!   group to `BENCH_1.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use randrecon_bench::{be_dr_seed, cholesky_solve_seed, covariance_matrix_seed};
+use randrecon_core::be_dr::BeDr;
+use randrecon_core::Reconstructor;
 use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_data::DataTable;
 use randrecon_linalg::decomposition::{Cholesky, SymmetricEigen};
+use randrecon_noise::additive::AdditiveRandomizer;
 use randrecon_stats::mvn::MultivariateNormal;
 use randrecon_stats::rng::seeded_rng;
 use randrecon_stats::summary::covariance_matrix;
@@ -29,18 +44,30 @@ fn bench_substrates(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cholesky_inverse", m), &m, |b, _| {
             b.iter(|| black_box(Cholesky::new(&cov).unwrap().inverse().unwrap()))
         });
-        group.bench_with_input(BenchmarkId::new("sample_covariance_n1000", m), &m, |b, _| {
-            b.iter(|| black_box(covariance_matrix(ds.table.values())))
-        });
-        group.bench_with_input(BenchmarkId::new("mvn_sample_1000_records", m), &m, |b, _| {
-            let mvn = MultivariateNormal::zero_mean(cov.clone()).unwrap();
-            b.iter(|| black_box(mvn.sample_matrix(1_000, &mut seeded_rng(7))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sample_covariance_n1000", m),
+            &m,
+            |b, _| b.iter(|| black_box(covariance_matrix(ds.table.values()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mvn_sample_1000_records", m),
+            &m,
+            |b, _| {
+                let mvn = MultivariateNormal::zero_mean(cov.clone()).unwrap();
+                b.iter(|| black_box(mvn.sample_matrix(1_000, &mut seeded_rng(7))))
+            },
+        );
         group.bench_with_input(BenchmarkId::new("matmul_projection", m), &m, |b, _| {
             // The Y·Q̂Q̂ᵀ projection that dominates PCA-DR / SF.
             let q = &ds.eigenvectors;
             b.iter(|| {
-                let proj = ds.table.values().matmul(q).unwrap().matmul(&q.transpose()).unwrap();
+                let proj = ds
+                    .table
+                    .values()
+                    .matmul(q)
+                    .unwrap()
+                    .matmul_transpose_b(q)
+                    .unwrap();
                 black_box(proj)
             })
         });
@@ -48,5 +75,66 @@ fn bench_substrates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_substrates);
+/// The PR-1 perf-trajectory sizes: n records × 64 attributes.
+const KERNEL_ROWS: [usize; 3] = [500, 5_000, 50_000];
+const KERNEL_ATTRS: usize = 64;
+
+fn kernel_workload(n: usize) -> (DataTable, AdditiveRandomizer) {
+    let spectrum = EigenSpectrum::principal_plus_small(6, 400.0, KERNEL_ATTRS, 4.0).unwrap();
+    let ds = SyntheticDataset::generate(&spectrum, n, n as u64).unwrap();
+    let randomizer = AdditiveRandomizer::gaussian(10.0).unwrap();
+    let disguised = randomizer
+        .disguise(&ds.table, &mut seeded_rng(n as u64 + 1))
+        .unwrap();
+    (disguised, randomizer)
+}
+
+fn bench_kernels_v1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_v1");
+    group.sample_size(10);
+
+    for &n in &KERNEL_ROWS {
+        let (disguised, randomizer) = kernel_workload(n);
+        let model = randomizer.model();
+        let y = disguised.values().clone();
+        let square = covariance_matrix(&y); // 64×64 SPD multiplier / RHS
+
+        // (n×64)·(64×64): the reconstruction-projection shape.
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |b, _| {
+            b.iter(|| black_box(y.matmul(&square).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_seed", n), &n, |b, _| {
+            b.iter(|| black_box(y.matmul_naive(&square).unwrap()))
+        });
+
+        // A X = B with a 64×64 SPD system and an n-column right-hand side.
+        let chol = Cholesky::new(&square).unwrap();
+        let rhs = y.transpose(); // 64×n
+        group.bench_with_input(BenchmarkId::new("cholesky_solve", n), &n, |b, _| {
+            b.iter(|| black_box(chol.solve_matrix(&rhs).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("cholesky_solve_seed", n), &n, |b, _| {
+            b.iter(|| black_box(cholesky_solve_seed(&chol, &rhs)))
+        });
+
+        // Single-pass covariance vs the seed's strided per-pair version.
+        group.bench_with_input(BenchmarkId::new("covariance", n), &n, |b, _| {
+            b.iter(|| black_box(covariance_matrix(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("covariance_seed", n), &n, |b, _| {
+            b.iter(|| black_box(covariance_matrix_seed(&y)))
+        });
+
+        // BE-DR end to end: the acceptance benchmark of PR 1.
+        group.bench_with_input(BenchmarkId::new("be_dr", n), &n, |b, _| {
+            b.iter(|| black_box(BeDr::default().reconstruct(&disguised, model).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("be_dr_seed", n), &n, |b, _| {
+            b.iter(|| black_box(be_dr_seed(&disguised, model)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates, bench_kernels_v1);
 criterion_main!(benches);

@@ -1,1 +1,225 @@
-//! Benchmark-only crate; see the `benches/` directory.
+//! Benchmark support crate.
+//!
+//! Besides hosting the `benches/` harnesses, this crate preserves the **seed
+//! implementations** of the numeric hot path (the unblocked matmul is kept in
+//! `randrecon-linalg` as `matmul_naive`; the strided covariance, the
+//! get/set Jacobi eigensolver, and the three-inverse BE-DR live here), so the
+//! micro benchmarks can report current-vs-seed speedups from one binary and
+//! the perf trajectory in `BENCH_1.json` stays reproducible.
+
+use randrecon_core::covariance::default_eigenvalue_floor;
+use randrecon_data::DataTable;
+use randrecon_linalg::decomposition::Cholesky;
+use randrecon_linalg::Matrix;
+use randrecon_noise::NoiseModel;
+
+/// Seed-path sample covariance: centered clone plus per-pair strided column
+/// dot products (the original `summary::covariance_matrix`).
+pub fn covariance_matrix_seed(data: &Matrix) -> Matrix {
+    let (n, m) = data.shape();
+    let mut cov = Matrix::zeros(m, m);
+    if n < 2 {
+        return cov;
+    }
+    let (centered, _) = data.center_columns();
+    for i in 0..m {
+        for j in i..m {
+            let mut sum = 0.0;
+            for r in 0..n {
+                sum += centered.get(r, i) * centered.get(r, j);
+            }
+            let v = sum / (n - 1) as f64;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
+        }
+    }
+    cov
+}
+
+/// Seed-path cyclic Jacobi eigendecomposition with per-element `get`/`set`
+/// column rotations (the original `SymmetricEigen` inner loop). Returns
+/// `(eigenvalues_desc, eigenvectors)`.
+pub fn symmetric_eigen_seed(a: &Matrix) -> (Vec<f64>, Matrix) {
+    let n = a.rows();
+    let mut m = a.symmetrize().expect("seed eigen expects a square matrix");
+    let mut q = Matrix::identity(n);
+    let target = (1e-12 * m.frobenius_norm()).max(1e-300);
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let v = m.get(i, j);
+                    off += v * v;
+                }
+            }
+        }
+        if off.sqrt() <= target {
+            break;
+        }
+        for p in 0..n - 1 {
+            for r in (p + 1)..n {
+                let apr = m.get(p, r);
+                if apr.abs() <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let arr = m.get(r, r);
+                let theta = (arr - app) / (2.0 * apr);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkr = m.get(k, r);
+                    m.set(k, p, c * mkp - s * mkr);
+                    m.set(k, r, s * mkp + c * mkr);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mrk = m.get(r, k);
+                    m.set(p, k, c * mpk - s * mrk);
+                    m.set(r, k, s * mpk + c * mrk);
+                }
+                for k in 0..n {
+                    let qkp = q.get(k, p);
+                    let qkr = q.get(k, r);
+                    q.set(k, p, c * qkp - s * qkr);
+                    q.set(k, r, s * qkp + c * qkr);
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let eigenvalues: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
+    let order: Vec<usize> = pairs.iter().map(|&(_, i)| i).collect();
+    let eigenvectors = q.select_columns(&order).expect("indices in range");
+    (eigenvalues, eigenvectors)
+}
+
+/// Seed-path eigenvalue clipping (seed Jacobi + `Q Λ Qᵀ` through a diagonal
+/// matrix product and an explicit transpose).
+pub fn clip_eigenvalues_seed(matrix: &Matrix, floor: f64) -> Matrix {
+    let (eigenvalues, eigenvectors) = symmetric_eigen_seed(matrix);
+    let clipped: Vec<f64> = eigenvalues
+        .iter()
+        .map(|&l| if l < floor { floor } else { l })
+        .collect();
+    let lambda = Matrix::from_diag(&clipped);
+    let ql = eigenvectors.matmul_naive(&lambda).expect("shapes agree");
+    ql.matmul_naive(&eigenvectors.transpose())
+        .expect("shapes agree")
+}
+
+/// Seed-path Cholesky inverse: `A⁻¹` recovered column by column against the
+/// identity (the original `Cholesky::inverse` shape of work).
+pub fn cholesky_inverse_seed(a: &Matrix) -> Matrix {
+    let ch = Cholesky::new(a).expect("seed inverse expects SPD input");
+    let n = a.rows();
+    let identity = Matrix::identity(n);
+    let mut out = Matrix::zeros(n, n);
+    for j in 0..n {
+        let col = identity.column(j);
+        let x = ch.solve_vec(&col).expect("solve succeeds for SPD input");
+        out.set_column(j, &x);
+    }
+    out
+}
+
+/// Seed-path column-by-column matrix solve (the original `Cholesky::solve`).
+pub fn cholesky_solve_seed(ch: &Cholesky, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(ch.dim(), b.cols());
+    for j in 0..b.cols() {
+        let col = b.column(j);
+        let x = ch.solve_vec(&col).expect("solve succeeds for SPD input");
+        out.set_column(j, &x);
+    }
+    out
+}
+
+/// Seed-path BE-DR: strided covariance, seed Jacobi regularization, three
+/// explicit Cholesky inverses, naive matmuls and a per-element broadcast —
+/// the exact chain of work the seed's `BeDr::reconstruct_with_report` did.
+#[allow(clippy::needless_range_loop)] // faithful copy of the seed's index loops
+pub fn be_dr_seed(disguised: &DataTable, noise: &NoiseModel) -> DataTable {
+    let m = disguised.n_attributes();
+    let floor = default_eigenvalue_floor(disguised);
+
+    let sigma_y = covariance_matrix_seed(disguised.values());
+    let sigma_r = noise.covariance(m).expect("noise covariance");
+    let raw = sigma_y
+        .sub(&sigma_r)
+        .expect("shapes agree")
+        .symmetrize()
+        .expect("square");
+    let sigma_x = clip_eigenvalues_seed(&raw, floor);
+    let mu_x = disguised.mean_vector();
+
+    let sigma_x_inv = cholesky_inverse_seed(&sigma_x);
+    let sigma_r_inv = cholesky_inverse_seed(&sigma_r.symmetrize().expect("square"));
+    let precision_sum = sigma_x_inv
+        .add(&sigma_r_inv)
+        .expect("shapes agree")
+        .symmetrize()
+        .expect("square");
+    let a = cholesky_inverse_seed(&precision_sum);
+
+    let prior_pull = a
+        .matmul_naive(&sigma_x_inv)
+        .expect("shapes agree")
+        .matvec(&mu_x)
+        .expect("shapes agree");
+    let data_pull = a.matmul_naive(&sigma_r_inv).expect("shapes agree");
+
+    let mut reconstructed = disguised
+        .values()
+        .matmul_naive(&data_pull.transpose())
+        .expect("shapes agree");
+    for i in 0..reconstructed.rows() {
+        for j in 0..m {
+            reconstructed.set(i, j, reconstructed.get(i, j) + prior_pull[j]);
+        }
+    }
+    disguised
+        .with_values(reconstructed)
+        .expect("shape preserved")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randrecon_core::be_dr::BeDr;
+    use randrecon_core::Reconstructor;
+    use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+    use randrecon_noise::additive::AdditiveRandomizer;
+    use randrecon_stats::rng::seeded_rng;
+
+    #[test]
+    fn seed_reference_agrees_with_optimized_pipeline() {
+        let spectrum = EigenSpectrum::principal_plus_small(3, 120.0, 12, 2.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 400, 77).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(6.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(78)).unwrap();
+        let model = randomizer.model();
+
+        let seed = be_dr_seed(&disguised, model);
+        let optimized = BeDr::default().reconstruct(&disguised, model).unwrap();
+        // Same estimator, different factorization route: agreement far below
+        // any statistically meaningful scale.
+        assert!(seed.values().approx_eq(optimized.values(), 1e-6));
+    }
+
+    #[test]
+    fn seed_covariance_agrees_with_single_pass() {
+        let spectrum = EigenSpectrum::principal_plus_small(2, 50.0, 8, 1.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 300, 9).unwrap();
+        let seed = covariance_matrix_seed(ds.table.values());
+        let fast = ds.table.covariance_matrix();
+        assert!(seed.approx_eq(&fast, 1e-9));
+    }
+}

@@ -1,0 +1,296 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the API surface the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`, `black_box`) on top of a plain
+//! wall-clock harness: each benchmark is warmed up, then timed over
+//! `sample_size` samples whose iteration counts are sized so a sample takes
+//! a measurable slice of time. Results print to stdout and, when the
+//! `CRITERION_JSON` environment variable names a file, are also appended to
+//! it as a JSON array — that is what `scripts/bench_to_json.sh` uses to
+//! produce `BENCH_1.json`.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One timed measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub bench: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Top-level harness handle passed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Registers a group-less benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        run_bench(self, "", &id.id, 20, f);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes results as a JSON array to the `CRITERION_JSON` path, if set.
+    pub fn flush_json(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}, \"samples\": {}}}",
+                r.group, r.bench, r.mean_ns, r.iterations, r.samples
+            ));
+        }
+        out.push_str("\n]\n");
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => eprintln!("criterion: wrote {} results to {path}", self.results.len()),
+            Err(e) => eprintln!("criterion: failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let (name, samples) = (self.name.clone(), self.sample_size);
+        run_bench(self.criterion, &name, &id.id, samples, f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; results are already recorded).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, called in batches across `samples` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: time single calls until we know roughly how
+        // long one iteration takes (bounded so very slow benches stay cheap).
+        let calib_start = Instant::now();
+        black_box(f());
+        let mut per_iter = calib_start.elapsed().max(Duration::from_nanos(1));
+        if per_iter < Duration::from_millis(1) {
+            let n =
+                (Duration::from_millis(2).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            per_iter = (start.elapsed() / n as u32).max(Duration::from_nanos(1));
+        }
+
+        // Budget ~2s total (or sample_size iterations for slow benches).
+        let budget = Duration::from_secs(2);
+        let total_iters = ((budget.as_nanos() / per_iter.as_nanos()).clamp(1, u128::MAX) as u64)
+            .max(self.samples as u64);
+        let iters_per_sample = (total_iters / self.samples as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iterations += iters_per_sample;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iterations as f64;
+        self.iterations = iterations;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    criterion: &mut Criterion,
+    group: &str,
+    bench: &str,
+    samples: usize,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples,
+        mean_ns: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        bench.to_string()
+    } else {
+        format!("{group}/{bench}")
+    };
+    println!(
+        "bench {label}: {} per iter ({} iterations, {} samples)",
+        format_ns(bencher.mean_ns),
+        bencher.iterations,
+        samples
+    );
+    criterion.results.push(BenchResult {
+        group: group.to_string(),
+        bench: bench.to_string(),
+        mean_ns: bencher.mean_ns,
+        iterations: bencher.iterations,
+        samples,
+    });
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.flush_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+                b.iter(|| black_box(1 + 1))
+            });
+            g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+                b.iter(|| black_box(x * x))
+            });
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results()[0].mean_ns > 0.0);
+        assert_eq!(c.results()[1].bench, "sq/4");
+    }
+}

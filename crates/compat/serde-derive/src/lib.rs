@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde stub.
+//!
+//! The derives intentionally expand to nothing: no workspace code takes
+//! `T: Serialize` bounds or calls serialization methods, so an empty
+//! expansion keeps `#[derive(Serialize, Deserialize)]` annotations compiling
+//! without syn/quote (which are unavailable offline).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; keeps `#[derive(Serialize)]` valid.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; keeps `#[derive(Deserialize)]` valid.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,17 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The build environment for this workspace has no crates.io access, so this
+//! crate provides exactly the surface the workspace uses: the `Serialize` /
+//! `Deserialize` marker traits and the matching no-op derive macros. Nothing
+//! in the workspace performs actual serialization through serde yet (reports
+//! are written with hand-rolled formatters); when a networked build swaps in
+//! the real serde, the derives on workspace types become functional without
+//! any source change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

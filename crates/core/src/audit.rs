@@ -68,7 +68,11 @@ impl AuditReport {
     pub fn most_exposed_attributes(&self, k: usize) -> Vec<usize> {
         let per = &self.strongest().per_attribute_rmse;
         let mut idx: Vec<usize> = (0..per.len()).collect();
-        idx.sort_by(|&a, &b| per[a].partial_cmp(&per[b]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| {
+            per[a]
+                .partial_cmp(&per[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         idx.truncate(k);
         idx
     }
@@ -81,11 +85,25 @@ impl AuditReport {
             "# Privacy audit (noise std {:.3}, disclosure tolerance {:.3})",
             self.average_noise_std, self.tolerance
         );
-        let _ = writeln!(out, "{:<10} {:>10} {:>16}", "attack", "RMSE", "disclosure rate");
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>16}",
+            "attack", "RMSE", "disclosure rate"
+        );
         for o in &self.outcomes {
-            let _ = writeln!(out, "{:<10} {:>10.4} {:>15.1}%", o.attack, o.rmse, o.disclosure_rate * 100.0);
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10.4} {:>15.1}%",
+                o.attack,
+                o.rmse,
+                o.disclosure_rate * 100.0
+            );
         }
-        let _ = writeln!(out, "privacy erosion factor: {:.2}x", self.privacy_erosion_factor());
+        let _ = writeln!(
+            out,
+            "privacy erosion factor: {:.2}x",
+            self.privacy_erosion_factor()
+        );
         let exposed = self.most_exposed_attributes(3);
         let names: Vec<&str> = exposed
             .iter()
@@ -144,7 +162,8 @@ impl PrivacyAudit {
             let reconstruction = attack.reconstruct(disguised, noise)?;
             let rmse = randrecon_metrics::rmse(original, &reconstruction).map_err(metric_err)?;
             let per_attribute_rmse =
-                randrecon_metrics::per_attribute_rmse(original, &reconstruction).map_err(metric_err)?;
+                randrecon_metrics::per_attribute_rmse(original, &reconstruction)
+                    .map_err(metric_err)?;
             let disclosure_rate =
                 randrecon_metrics::privacy::disclosure_rate(original, &reconstruction, tolerance)
                     .map_err(metric_err)?;
@@ -155,7 +174,11 @@ impl PrivacyAudit {
                 disclosure_rate,
             });
         }
-        outcomes.sort_by(|a, b| a.rmse.partial_cmp(&b.rmse).unwrap_or(std::cmp::Ordering::Equal));
+        outcomes.sort_by(|a, b| {
+            a.rmse
+                .partial_cmp(&b.rmse)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         Ok(AuditReport {
             tolerance,
@@ -188,7 +211,9 @@ mod tests {
         let spectrum = EigenSpectrum::principal_plus_small(3, 300.0, 12, 3.0).unwrap();
         let ds = SyntheticDataset::generate(&spectrum, 500, seed).unwrap();
         let randomizer = AdditiveRandomizer::gaussian(8.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed + 1)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(seed + 1))
+            .unwrap();
         (ds, randomizer, disguised)
     }
 

@@ -32,15 +32,13 @@ use randrecon_linalg::Matrix;
 use randrecon_noise::NoiseModel;
 
 /// The Bayes-estimate reconstruction attack (Equation 11 / Theorem 8.1).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BeDr {
     /// Relative eigenvalue floor applied when regularizing the estimated
     /// original covariance so it can be inverted. `None` uses the default
     /// floor from [`default_eigenvalue_floor`].
     pub eigenvalue_floor: Option<f64>,
 }
-
 
 /// Diagnostics from a BE-DR run.
 #[derive(Debug, Clone)]
@@ -86,24 +84,31 @@ impl BeDr {
         // Noise covariance Σ_r (σ²I for the independent schemes).
         let sigma_r = noise.covariance(m)?;
 
-        let sigma_x_inv = Cholesky::new(&sigma_x)?.inverse()?;
-        let sigma_r_inv = Cholesky::new(&sigma_r.symmetrize()?)?.inverse()?;
+        // Let A = (Σ_x⁻¹ + Σ_r⁻¹)⁻¹ be the posterior covariance of each
+        // record, and T = Σ_x + Σ_r. The two matrices Equation (11) /
+        // Theorem 8.1 actually need follow from A = Σ_x T⁻¹ Σ_r = Σ_r T⁻¹ Σ_x:
+        //
+        //     A Σ_r⁻¹ = Σ_x T⁻¹      (the per-record data pull), and
+        //     A Σ_x⁻¹ = Σ_r T⁻¹      (the prior pull),
+        //
+        // so a single Cholesky factorization of T replaces the three
+        // factor-and-invert rounds of the textbook form: no matrix inverse is
+        // ever materialized, and Σ_x / Σ_r are never factored at all.
+        let mut t = sigma_x.clone();
+        t.add_assign_matrix(&sigma_r)?;
+        // Guard against fp asymmetry in user-supplied noise covariances
+        // without allocating another matrix.
+        t.symmetrize_in_place()?;
+        let t_chol = Cholesky::new(&t)?;
 
-        // A = (Σ_x⁻¹ + Σ_r⁻¹)⁻¹ — the posterior covariance of each record.
-        let precision_sum = sigma_x_inv.add(&sigma_r_inv)?.symmetrize()?;
-        let a = Cholesky::new(&precision_sum)?.inverse()?;
-
-        // x̂ = A Σ_x⁻¹ μ_x + A Σ_r⁻¹ y  for every record y.
-        let prior_pull = a.matmul(&sigma_x_inv)?.matvec(&mu_x)?;
-        let data_pull = a.matmul(&sigma_r_inv)?; // m × m
+        // data_pullᵀ = (Σ_x T⁻¹)ᵀ = T⁻¹ Σ_x, straight from one matrix solve.
+        let data_pull_t = t_chol.solve_matrix(&sigma_x)?;
+        // prior_pull = Σ_r T⁻¹ μ_x.
+        let prior_pull = sigma_r.matvec(&t_chol.solve_vec(&mu_x)?)?;
 
         // Vectorized over records: X̂ = Y (A Σ_r⁻¹)ᵀ + 1 · prior_pullᵀ.
-        let mut reconstructed = disguised.values().matmul(&data_pull.transpose())?;
-        for i in 0..reconstructed.rows() {
-            for j in 0..m {
-                reconstructed.set(i, j, reconstructed.get(i, j) + prior_pull[j]);
-            }
-        }
+        let mut reconstructed = disguised.values().matmul(&data_pull_t)?;
+        reconstructed.add_row_broadcast(&prior_pull)?;
 
         Ok(BeDrReport {
             reconstruction: disguised.with_values(reconstructed)?,
@@ -119,7 +124,9 @@ impl Reconstructor for BeDr {
     }
 
     fn reconstruct(&self, disguised: &DataTable, noise: &NoiseModel) -> Result<DataTable> {
-        Ok(self.reconstruct_with_report(disguised, noise)?.reconstruction)
+        Ok(self
+            .reconstruct_with_report(disguised, noise)?
+            .reconstruction)
     }
 }
 
@@ -143,15 +150,32 @@ mod tests {
     fn beats_every_other_scheme_on_correlated_data() {
         let ds = workload(30, 4, 4.0, 1_500, 301);
         let randomizer = AdditiveRandomizer::gaussian(10.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(302)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(302))
+            .unwrap();
         let model = randomizer.model();
 
-        let be = rmse(&ds.table, &BeDr::default().reconstruct(&disguised, model).unwrap()).unwrap();
-        let pca = rmse(&ds.table, &PcaDr::largest_gap().reconstruct(&disguised, model).unwrap()).unwrap();
-        let udr = rmse(&ds.table, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        let be = rmse(
+            &ds.table,
+            &BeDr::default().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
+        let pca = rmse(
+            &ds.table,
+            &PcaDr::largest_gap().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
+        let udr = rmse(
+            &ds.table,
+            &Udr::default().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
         let ndr = rmse(&ds.table, &Ndr.reconstruct(&disguised, model).unwrap()).unwrap();
 
-        assert!(be <= pca * 1.05, "BE-DR ({be}) should be at least as good as PCA-DR ({pca})");
+        assert!(
+            be <= pca * 1.05,
+            "BE-DR ({be}) should be at least as good as PCA-DR ({pca})"
+        );
         assert!(be < udr, "BE-DR ({be}) should beat UDR ({udr})");
         assert!(be < ndr, "BE-DR ({be}) should beat NDR ({ndr})");
     }
@@ -162,10 +186,20 @@ mod tests {
         // cross-attribute redundancy to exploit, so BE-DR ≈ UDR (Section 6.1).
         let ds = workload(10, 10, 400.0, 3_000, 311);
         let randomizer = AdditiveRandomizer::gaussian(15.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(312)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(312))
+            .unwrap();
         let model = randomizer.model();
-        let be = rmse(&ds.table, &BeDr::default().reconstruct(&disguised, model).unwrap()).unwrap();
-        let udr = rmse(&ds.table, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        let be = rmse(
+            &ds.table,
+            &BeDr::default().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
+        let udr = rmse(
+            &ds.table,
+            &Udr::default().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
         assert!(
             (be - udr).abs() / udr < 0.05,
             "BE-DR ({be}) and UDR ({udr}) should nearly coincide on uncorrelated data"
@@ -210,10 +244,14 @@ mod tests {
 
         // Independent noise baseline.
         let independent = AdditiveRandomizer::gaussian(10.0).unwrap();
-        let disguised_ind = independent.disguise(&ds.table, &mut seeded_rng(322)).unwrap();
+        let disguised_ind = independent
+            .disguise(&ds.table, &mut seeded_rng(322))
+            .unwrap();
         let rmse_ind = rmse(
             &ds.table,
-            &BeDr::default().reconstruct(&disguised_ind, independent.model()).unwrap(),
+            &BeDr::default()
+                .reconstruct(&disguised_ind, independent.model())
+                .unwrap(),
         )
         .unwrap();
 
@@ -221,10 +259,14 @@ mod tests {
         let ratio = total_noise_variance / ds.covariance.trace();
         let correlated_cov = ds.covariance.scale(ratio);
         let correlated = AdditiveRandomizer::correlated(correlated_cov).unwrap();
-        let disguised_cor = correlated.disguise(&ds.table, &mut seeded_rng(323)).unwrap();
+        let disguised_cor = correlated
+            .disguise(&ds.table, &mut seeded_rng(323))
+            .unwrap();
         let rmse_cor = rmse(
             &ds.table,
-            &BeDr::default().reconstruct(&disguised_cor, correlated.model()).unwrap(),
+            &BeDr::default()
+                .reconstruct(&disguised_cor, correlated.model())
+                .unwrap(),
         )
         .unwrap();
 
@@ -238,7 +280,9 @@ mod tests {
     fn report_exposes_estimates() {
         let ds = workload(6, 2, 4.0, 800, 331);
         let randomizer = AdditiveRandomizer::gaussian(5.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(332)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(332))
+            .unwrap();
         let report = BeDr::default()
             .reconstruct_with_report(&disguised, randomizer.model())
             .unwrap();
@@ -263,8 +307,12 @@ mod tests {
         // before regularization; BE-DR must still produce finite output.
         let ds = workload(12, 3, 2.0, 40, 341);
         let randomizer = AdditiveRandomizer::gaussian(25.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(342)).unwrap();
-        let est = BeDr::default().reconstruct(&disguised, randomizer.model()).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(342))
+            .unwrap();
+        let est = BeDr::default()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
         assert!(!est.values().has_non_finite());
     }
 }

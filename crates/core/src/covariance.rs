@@ -28,11 +28,29 @@ use randrecon_noise::NoiseModel;
 /// symmetrized but not otherwise adjusted — small negative eigenvalues can
 /// remain.
 pub fn estimate_original_covariance(disguised: &DataTable, noise: &NoiseModel) -> Result<Matrix> {
-    let m = disguised.n_attributes();
-    let sigma_y = disguised.covariance_matrix();
-    let sigma_r = noise.covariance(m)?;
-    let diff = sigma_y.sub(&sigma_r)?;
-    Ok(diff.symmetrize()?)
+    let mut est = disguised.covariance_matrix();
+    subtract_noise_in_place(&mut est, noise)?;
+    Ok(est)
+}
+
+/// Like [`estimate_original_covariance`] but starting from an
+/// already-centered value matrix, so callers that need the centered data
+/// anyway (PCA-DR, spectral filtering) pay for exactly one pass over the
+/// records.
+pub fn estimate_original_covariance_centered(
+    centered_values: &Matrix,
+    noise: &NoiseModel,
+) -> Result<Matrix> {
+    let mut est = randrecon_stats::summary::covariance_matrix_centered(centered_values);
+    subtract_noise_in_place(&mut est, noise)?;
+    Ok(est)
+}
+
+fn subtract_noise_in_place(estimate: &mut Matrix, noise: &NoiseModel) -> Result<()> {
+    let sigma_r = noise.covariance(estimate.rows())?;
+    estimate.sub_assign_matrix(&sigma_r)?;
+    estimate.symmetrize_in_place()?;
+    Ok(())
 }
 
 /// Like [`estimate_original_covariance`] but clips eigenvalues from below at
@@ -87,7 +105,8 @@ mod tests {
         let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(4)).unwrap();
 
         let est = estimate_original_covariance(&disguised, randomizer.model()).unwrap();
-        let rel = est.sub(&ds.covariance).unwrap().frobenius_norm() / ds.covariance.frobenius_norm();
+        let rel =
+            est.sub(&ds.covariance).unwrap().frobenius_norm() / ds.covariance.frobenius_norm();
         assert!(rel < 0.1, "relative covariance estimation error {rel}");
         assert!(est.is_symmetric(1e-9));
     }
@@ -101,7 +120,8 @@ mod tests {
         let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(6)).unwrap();
 
         let est = estimate_original_covariance(&disguised, randomizer.model()).unwrap();
-        let rel = est.sub(&ds.covariance).unwrap().frobenius_norm() / ds.covariance.frobenius_norm();
+        let rel =
+            est.sub(&ds.covariance).unwrap().frobenius_norm() / ds.covariance.frobenius_norm();
         assert!(rel < 0.1, "relative covariance estimation error {rel}");
     }
 

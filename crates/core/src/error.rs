@@ -99,9 +99,18 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        assert!(ReconError::InvalidInput { reason: "empty".into() }.to_string().contains("empty"));
-        assert!(ReconError::InvalidParameter { reason: "p".into() }.to_string().contains("p"));
-        let e = ReconError::UnsupportedNoiseModel { attack: "UDR", reason: "no marginal".into() };
+        assert!(ReconError::InvalidInput {
+            reason: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
+        assert!(ReconError::InvalidParameter { reason: "p".into() }
+            .to_string()
+            .contains("p"));
+        let e = ReconError::UnsupportedNoiseModel {
+            attack: "UDR",
+            reason: "no marginal".into(),
+        };
         assert!(e.to_string().contains("UDR"));
         let e: ReconError = LinalgError::Singular { pivot: 2 }.into();
         assert!(std::error::Error::source(&e).is_some());
@@ -109,7 +118,10 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: ReconError = DataError::UnknownAttribute { name: "x".into() }.into();
         assert!(std::error::Error::source(&e).is_some());
-        let e: ReconError = NoiseError::InvalidParameter { reason: "bad".into() }.into();
+        let e: ReconError = NoiseError::InvalidParameter {
+            reason: "bad".into(),
+        }
+        .into();
         assert!(std::error::Error::source(&e).is_some());
     }
 }

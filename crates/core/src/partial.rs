@@ -123,42 +123,53 @@ impl PartialKnowledgeBeDr {
 
         // Conditional covariance Σ_u|k = Σ_uu − Σ_uk Σ_kk⁻¹ Σ_ku (regularized so
         // it stays invertible even when the known attributes explain almost all
-        // of the unknown ones' variance).
-        let kk_chol = Cholesky::new(&sigma_kk.symmetrize()?)?;
-        let kk_inv = kk_chol.inverse()?;
-        let gain = sigma_uk.matmul(&kk_inv)?; // Σ_uk Σ_kk⁻¹, the regression coefficients.
-        let explained = gain.matmul(&sigma_uk.transpose())?;
-        let conditional_cov =
-            crate::covariance::clip_eigenvalues(&sigma_uu.sub(&explained)?.symmetrize()?, floor)?;
+        // of the unknown ones' variance). The regression coefficients come from
+        // one solve against the factored Σ_kk — no inverse is materialized.
+        let mut sigma_kk_sym = sigma_kk;
+        sigma_kk_sym.symmetrize_in_place()?;
+        let kk_chol = Cholesky::new(&sigma_kk_sym)?;
+        // gain = Σ_uk Σ_kk⁻¹ = (Σ_kk⁻¹ Σ_ukᵀ)ᵀ.
+        let gain = kk_chol.solve_matrix(&sigma_uk.transpose())?.transpose();
+        let explained = gain.matmul_transpose_b(&sigma_uk)?; // gain Σ_ku
+        let mut residual = sigma_uu;
+        residual.sub_assign_matrix(&explained)?;
+        residual.symmetrize_in_place()?;
+        let conditional_cov = crate::covariance::clip_eigenvalues(&residual, floor)?;
 
-        // Posterior map for the unknown block: combine the conditional prior
-        // with the disguised observation of the unknown attributes.
-        let cond_inv = Cholesky::new(&conditional_cov)?.inverse()?;
-        let noise_uu_inv = Cholesky::new(&sigma_r_uu.symmetrize()?)?.inverse()?;
-        let posterior_cov =
-            Cholesky::new(&cond_inv.add(&noise_uu_inv)?.symmetrize()?)?.inverse()?;
-        let prior_weight = posterior_cov.matmul(&cond_inv)?; // maps conditional mean
-        let data_weight = posterior_cov.matmul(&noise_uu_inv)?; // maps disguised y_u
+        // Posterior map for the unknown block: with C = Σ_u|k, N = Σ_r,uu and
+        // T = C + N, the two weights follow from one factorization of T:
+        //   prior_weight = (C⁻¹ + N⁻¹)⁻¹ C⁻¹ = N T⁻¹,
+        //   data_weight  = (C⁻¹ + N⁻¹)⁻¹ N⁻¹ = C T⁻¹.
+        let mut sigma_r_uu_sym = sigma_r_uu;
+        sigma_r_uu_sym.symmetrize_in_place()?;
+        let mut t = conditional_cov.clone();
+        t.add_assign_matrix(&sigma_r_uu_sym)?;
+        t.symmetrize_in_place()?;
+        let t_chol = Cholesky::new(&t)?;
+        let prior_weight_t = t_chol.solve_matrix(&sigma_r_uu_sym)?; // T⁻¹ N = prior_weightᵀ
+        let data_weight_t = t_chol.solve_matrix(&conditional_cov)?; // T⁻¹ C = data_weightᵀ
+
+        // Batched over records: with D = X_k − 1 μ_kᵀ,
+        //   cond_means = 1 μ_uᵀ + D gainᵀ,
+        //   X̂_u = cond_means prior_weightᵀ + Y_u data_weightᵀ,
+        // each term one blocked matmul instead of per-record matvecs.
+        let mut deviations = known_values.clone();
+        for row in 0..n {
+            for (v, &mk) in deviations.row_mut(row).iter_mut().zip(mu_k.iter()) {
+                *v -= mk;
+            }
+        }
+        let mut cond_means = deviations.matmul_transpose_b(&gain)?;
+        cond_means.add_row_broadcast(&mu_u)?;
+        let y_u = disguised.values().select_columns(&unknown_idx)?;
+        let mut estimates = cond_means.matmul(&prior_weight_t)?;
+        estimates.add_assign_matrix(&y_u.matmul(&data_weight_t)?)?;
 
         let mut out = disguised.values().clone();
         for record in 0..n {
-            // Conditional prior mean for this record.
-            let xk: Vec<f64> = (0..known_idx.len()).map(|c| known_values.get(record, c)).collect();
-            let deviation: Vec<f64> = xk.iter().zip(mu_k.iter()).map(|(&a, &b)| a - b).collect();
-            let shift = gain.matvec(&deviation)?;
-            let cond_mean: Vec<f64> = mu_u.iter().zip(shift.iter()).map(|(&a, &b)| a + b).collect();
-
-            // Disguised observation of the unknown attributes.
-            let y_u: Vec<f64> = unknown_idx
-                .iter()
-                .map(|&j| disguised.values().get(record, j))
-                .collect();
-
-            let estimate_prior = prior_weight.matvec(&cond_mean)?;
-            let estimate_data = data_weight.matvec(&y_u)?;
-
+            let est_row = estimates.row(record);
             for (slot, &j) in unknown_idx.iter().enumerate() {
-                out.set(record, j, estimate_prior[slot] + estimate_data[slot]);
+                out.set(record, j, est_row[slot]);
             }
             for (c, &j) in known_idx.iter().enumerate() {
                 out.set(record, j, known_values.get(record, c));
@@ -189,7 +200,9 @@ mod tests {
         let spectrum = EigenSpectrum::principal_plus_small(2, 300.0, 8, 3.0).unwrap();
         let ds = SyntheticDataset::generate(&spectrum, 800, seed).unwrap();
         let randomizer = AdditiveRandomizer::gaussian(10.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed + 1)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(seed + 1))
+            .unwrap();
         (ds, randomizer, disguised)
     }
 
@@ -208,7 +221,9 @@ mod tests {
         let partial = PartialKnowledgeBeDr::default()
             .reconstruct(&disguised, randomizer.model(), &known, &kv)
             .unwrap();
-        let plain = BeDr::default().reconstruct(&disguised, randomizer.model()).unwrap();
+        let plain = BeDr::default()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
 
         let partial_rmse = rmse(&ds.table, &partial).unwrap();
         let plain_rmse = rmse(&ds.table, &plain).unwrap();
@@ -233,7 +248,9 @@ mod tests {
         let partial = PartialKnowledgeBeDr::default()
             .reconstruct(&disguised, randomizer.model(), &known, &kv)
             .unwrap();
-        let plain = BeDr::default().reconstruct(&disguised, randomizer.model()).unwrap();
+        let plain = BeDr::default()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
         let per_partial = per_attribute_rmse(&ds.table, &partial).unwrap();
         let per_plain = per_attribute_rmse(&ds.table, &plain).unwrap();
         // Averaged over the unknown attributes, knowing attribute 0 must not hurt

@@ -14,7 +14,7 @@
 //! 4. with `Q̂` = the first `p` eigenvectors, return `X̂ = Y Q̂ Q̂ᵀ`
 //!    (on mean-centered data, adding the means back afterwards).
 
-use crate::covariance::estimate_original_covariance;
+use crate::covariance::estimate_original_covariance_centered;
 use crate::error::Result;
 use crate::selection::ComponentSelection;
 use crate::traits::{validate_input, Reconstructor};
@@ -73,19 +73,22 @@ impl PcaDr {
 
         // PCA requires zero-mean data (Section 5.1.1); because the noise has a
         // zero mean, the disguised column means are consistent estimates of the
-        // original means and are added back at the end.
+        // original means and are added back at the end. The centered matrix is
+        // computed once and reused for both the covariance estimate and the
+        // projection, so the records are materialized exactly once.
         let (centered, means) = disguised.centered();
 
-        let sigma_x = estimate_original_covariance(disguised, noise)?;
+        let sigma_x = estimate_original_covariance_centered(centered.values(), noise)?;
         let eigen = SymmetricEigen::new(&sigma_x)?;
         let p = self.selection.select(&eigen.eigenvalues)?;
 
         let q_hat = eigen.eigenvectors.leading_columns(p)?;
-        // X̂_c = Y_c Q̂ Q̂ᵀ — project onto the principal subspace.
+        // X̂_c = (Y_c Q̂) Q̂ᵀ — project onto the principal subspace. The second
+        // factor runs through the fused A·Bᵀ kernel, so Q̂ᵀ is never formed.
         let projected = centered
             .values()
             .matmul(&q_hat)?
-            .matmul(&q_hat.transpose())?;
+            .matmul_transpose_b(&q_hat)?;
         let centered_reconstruction = disguised.with_values(projected)?;
         let reconstruction = centered_reconstruction.with_means_added(&means)?;
 
@@ -103,7 +106,9 @@ impl Reconstructor for PcaDr {
     }
 
     fn reconstruct(&self, disguised: &DataTable, noise: &NoiseModel) -> Result<DataTable> {
-        Ok(self.reconstruct_with_report(disguised, noise)?.reconstruction)
+        Ok(self
+            .reconstruct_with_report(disguised, noise)?
+            .reconstruction)
     }
 }
 
@@ -132,10 +137,16 @@ mod tests {
         // 5 principal components out of 40 attributes: strong correlation.
         let ds = correlated_workload(40, 5, 101);
         let randomizer = AdditiveRandomizer::gaussian(10.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(102)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(102))
+            .unwrap();
 
-        let pca = PcaDr::largest_gap().reconstruct(&disguised, randomizer.model()).unwrap();
-        let udr = Udr::default().reconstruct(&disguised, randomizer.model()).unwrap();
+        let pca = PcaDr::largest_gap()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
+        let udr = Udr::default()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
         let ndr = Ndr.reconstruct(&disguised, randomizer.model()).unwrap();
 
         let pca_rmse = rmse(&ds.table, &pca).unwrap();
@@ -151,7 +162,9 @@ mod tests {
     fn largest_gap_recovers_true_component_count() {
         let ds = correlated_workload(30, 4, 111);
         let randomizer = AdditiveRandomizer::gaussian(10.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(112)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(112))
+            .unwrap();
         let report = PcaDr::largest_gap()
             .reconstruct_with_report(&disguised, randomizer.model())
             .unwrap();
@@ -168,7 +181,9 @@ mod tests {
         // p = m means Q̂ Q̂ᵀ = I, so the reconstruction is exactly Y (nothing filtered).
         let ds = correlated_workload(8, 2, 121);
         let randomizer = AdditiveRandomizer::gaussian(5.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(122)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(122))
+            .unwrap();
         let full = PcaDr::with_fixed_components(8)
             .reconstruct(&disguised, randomizer.model())
             .unwrap();
@@ -191,10 +206,16 @@ mod tests {
             .unwrap();
         // Recompute the projected noise R Q̂ Q̂ᵀ using the same eigenvectors by
         // re-deriving them here (white-box check of Theorem 5.2).
-        let sigma_x = crate::covariance::estimate_original_covariance(&disguised, randomizer.model()).unwrap();
+        let sigma_x =
+            crate::covariance::estimate_original_covariance(&disguised, randomizer.model())
+                .unwrap();
         let eig = randrecon_linalg::decomposition::SymmetricEigen::new(&sigma_x).unwrap();
         let q_hat = eig.eigenvectors.leading_columns(p).unwrap();
-        let projected_noise = noise_matrix.matmul(&q_hat).unwrap().matmul(&q_hat.transpose()).unwrap();
+        let projected_noise = noise_matrix
+            .matmul(&q_hat)
+            .unwrap()
+            .matmul(&q_hat.transpose())
+            .unwrap();
         let mse: f64 = projected_noise
             .as_slice()
             .iter()
@@ -214,8 +235,12 @@ mod tests {
         let ds = correlated_workload(10, 2, 141);
         let noise_cov = ds.covariance.scale(0.1);
         let randomizer = AdditiveRandomizer::correlated(noise_cov).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(142)).unwrap();
-        let est = PcaDr::largest_gap().reconstruct(&disguised, randomizer.model()).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(142))
+            .unwrap();
+        let est = PcaDr::largest_gap()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
         assert_eq!(est.values().shape(), disguised.values().shape());
         assert!(!est.values().has_non_finite());
     }
@@ -226,7 +251,10 @@ mod tests {
             PcaDr::with_variance_fraction(0.9).selection,
             ComponentSelection::VarianceFraction(0.9)
         );
-        assert_eq!(PcaDr::largest_gap().selection, ComponentSelection::LargestGap);
+        assert_eq!(
+            PcaDr::largest_gap().selection,
+            ComponentSelection::LargestGap
+        );
         assert_eq!(PcaDr::default().name(), "PCA-DR");
     }
 }

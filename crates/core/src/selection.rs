@@ -9,8 +9,7 @@ use crate::error::{ReconError, Result};
 use serde::{Deserialize, Serialize};
 
 /// How many principal components PCA-based reconstruction keeps.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ComponentSelection {
     /// Keep exactly `p` components (clamped to the number of attributes).
     FixedCount(usize),
@@ -33,7 +32,6 @@ pub enum ComponentSelection {
 /// Minimum ratio across the candidate gap for the largest-gap rule to accept a
 /// split; below this the spectrum is treated as having no dominant components.
 const DOMINANCE_RATIO: f64 = 2.0;
-
 
 impl ComponentSelection {
     /// Returns the number of components to keep for the given descending
@@ -87,7 +85,8 @@ impl ComponentSelection {
                 for i in 0..m - 1 {
                     let before = eigenvalues[i];
                     let after = eigenvalues[i + 1];
-                    let dominant = after <= 0.0 || (before > 0.0 && before / after >= DOMINANCE_RATIO);
+                    let dominant =
+                        after <= 0.0 || (before > 0.0 && before / after >= DOMINANCE_RATIO);
                     if !dominant {
                         continue;
                     }
@@ -111,8 +110,16 @@ mod tests {
 
     #[test]
     fn fixed_count_clamps() {
-        assert_eq!(ComponentSelection::FixedCount(2).select(&SPECTRUM).unwrap(), 2);
-        assert_eq!(ComponentSelection::FixedCount(50).select(&SPECTRUM).unwrap(), 6);
+        assert_eq!(
+            ComponentSelection::FixedCount(2).select(&SPECTRUM).unwrap(),
+            2
+        );
+        assert_eq!(
+            ComponentSelection::FixedCount(50)
+                .select(&SPECTRUM)
+                .unwrap(),
+            6
+        );
         assert!(ComponentSelection::FixedCount(0).select(&SPECTRUM).is_err());
     }
 
@@ -121,18 +128,42 @@ mod tests {
         // First three eigenvalues carry 1194 of 1218 total ≈ 98%.
         let sel = ComponentSelection::VarianceFraction(0.95);
         assert_eq!(sel.select(&SPECTRUM).unwrap(), 3);
-        assert_eq!(ComponentSelection::VarianceFraction(1.0).select(&SPECTRUM).unwrap(), 6);
-        assert_eq!(ComponentSelection::VarianceFraction(0.01).select(&SPECTRUM).unwrap(), 1);
-        assert!(ComponentSelection::VarianceFraction(0.0).select(&SPECTRUM).is_err());
-        assert!(ComponentSelection::VarianceFraction(1.5).select(&SPECTRUM).is_err());
+        assert_eq!(
+            ComponentSelection::VarianceFraction(1.0)
+                .select(&SPECTRUM)
+                .unwrap(),
+            6
+        );
+        assert_eq!(
+            ComponentSelection::VarianceFraction(0.01)
+                .select(&SPECTRUM)
+                .unwrap(),
+            1
+        );
+        assert!(ComponentSelection::VarianceFraction(0.0)
+            .select(&SPECTRUM)
+            .is_err());
+        assert!(ComponentSelection::VarianceFraction(1.5)
+            .select(&SPECTRUM)
+            .is_err());
     }
 
     #[test]
     fn variance_fraction_with_negative_tail() {
         let noisy = [10.0, 5.0, -0.5, -1.0];
-        assert_eq!(ComponentSelection::VarianceFraction(0.99).select(&noisy).unwrap(), 2);
+        assert_eq!(
+            ComponentSelection::VarianceFraction(0.99)
+                .select(&noisy)
+                .unwrap(),
+            2
+        );
         let all_negative = [-1.0, -2.0];
-        assert_eq!(ComponentSelection::VarianceFraction(0.5).select(&all_negative).unwrap(), 1);
+        assert_eq!(
+            ComponentSelection::VarianceFraction(0.5)
+                .select(&all_negative)
+                .unwrap(),
+            1
+        );
     }
 
     #[test]
@@ -147,7 +178,10 @@ mod tests {
         // A flat (or nearly flat) spectrum has no dominant components: keep all
         // of them rather than splitting at an arbitrary sampling-noise gap.
         let flat = [100.0, 99.0, 97.5, 96.0, 95.0];
-        assert_eq!(ComponentSelection::LargestGap.select(&flat).unwrap(), flat.len());
+        assert_eq!(
+            ComponentSelection::LargestGap.select(&flat).unwrap(),
+            flat.len()
+        );
 
         // A spectrum with a dominant block followed by a noisy tail still splits.
         let dominant = [400.0, 395.0, 30.0, 28.0, 1.0];
@@ -155,7 +189,12 @@ mod tests {
 
         // Negative tail (possible after noise subtraction) counts as dominated.
         let with_negative = [50.0, 40.0, -0.5];
-        assert_eq!(ComponentSelection::LargestGap.select(&with_negative).unwrap(), 2);
+        assert_eq!(
+            ComponentSelection::LargestGap
+                .select(&with_negative)
+                .unwrap(),
+            2
+        );
     }
 
     #[test]

@@ -96,17 +96,15 @@ impl SpectralFiltering {
         // mismatch that makes SF erratic on the defended scheme.
         let noise_cov = noise.covariance(m)?;
         let avg_noise_variance = noise_cov.trace() / m as f64;
-        let bound = self.bound_multiplier
-            * Self::noise_eigenvalue_upper_bound(avg_noise_variance, n, m);
+        let bound =
+            self.bound_multiplier * Self::noise_eigenvalue_upper_bound(avg_noise_variance, n, m);
 
+        // The centered matrix feeds both the disguised-covariance estimate and
+        // the projection below — one pass over the records, not two.
         let (centered, means) = disguised.centered();
-        let sigma_y = disguised.covariance_matrix();
+        let sigma_y = randrecon_stats::summary::covariance_matrix_centered(centered.values());
         let eigen = SymmetricEigen::new(&sigma_y)?;
-        let signal_components = eigen
-            .eigenvalues
-            .iter()
-            .take_while(|&&l| l > bound)
-            .count();
+        let signal_components = eigen.eigenvalues.iter().take_while(|&&l| l > bound).count();
 
         let reconstruction = if signal_components == 0 {
             // Nothing is distinguishable from noise: the best SF can do is
@@ -115,10 +113,11 @@ impl SpectralFiltering {
             disguised.with_values(zero)?.with_means_added(&means)?
         } else {
             let q_signal = eigen.eigenvectors.leading_columns(signal_components)?;
+            // (Y_c Q̂) Q̂ᵀ through the fused A·Bᵀ kernel — no transposed copy.
             let projected = centered
                 .values()
                 .matmul(&q_signal)?
-                .matmul(&q_signal.transpose())?;
+                .matmul_transpose_b(&q_signal)?;
             disguised.with_values(projected)?.with_means_added(&means)?
         };
 
@@ -137,7 +136,9 @@ impl Reconstructor for SpectralFiltering {
     }
 
     fn reconstruct(&self, disguised: &DataTable, noise: &NoiseModel) -> Result<DataTable> {
-        Ok(self.reconstruct_with_report(disguised, noise)?.reconstruction)
+        Ok(self
+            .reconstruct_with_report(disguised, noise)?
+            .reconstruction)
     }
 }
 
@@ -169,12 +170,18 @@ mod tests {
     fn identifies_signal_components_on_correlated_data() {
         let ds = workload(20, 3, 1.0, 201);
         let randomizer = AdditiveRandomizer::gaussian(5.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(202)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(202))
+            .unwrap();
         let report = SpectralFiltering::default()
             .reconstruct_with_report(&disguised, randomizer.model())
             .unwrap();
         // The three dominant directions tower over the noise bound.
-        assert!(report.signal_components >= 3, "kept {}", report.signal_components);
+        assert!(
+            report.signal_components >= 3,
+            "kept {}",
+            report.signal_components
+        );
         assert!(report.signal_components <= 6);
         assert!(report.noise_eigenvalue_bound > 25.0 * 0.9);
     }
@@ -183,8 +190,12 @@ mod tests {
     fn beats_ndr_on_correlated_data() {
         let ds = workload(30, 4, 1.0, 211);
         let randomizer = AdditiveRandomizer::gaussian(10.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(212)).unwrap();
-        let sf = SpectralFiltering::default().reconstruct(&disguised, randomizer.model()).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(212))
+            .unwrap();
+        let sf = SpectralFiltering::default()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
         let ndr = Ndr.reconstruct(&disguised, randomizer.model()).unwrap();
         let sf_rmse = rmse(&ds.table, &sf).unwrap();
         let ndr_rmse = rmse(&ds.table, &ndr).unwrap();
@@ -198,7 +209,9 @@ mod tests {
         let spectrum = EigenSpectrum::principal_plus_small(1, 0.5, 4, 0.1).unwrap();
         let ds = SyntheticDataset::generate(&spectrum, 400, 221).unwrap();
         let randomizer = AdditiveRandomizer::gaussian(20.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(222)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(222))
+            .unwrap();
         let report = SpectralFiltering::default()
             .reconstruct_with_report(&disguised, randomizer.model())
             .unwrap();
@@ -224,7 +237,9 @@ mod tests {
     fn larger_multiplier_keeps_fewer_components() {
         let ds = workload(20, 5, 20.0, 231);
         let randomizer = AdditiveRandomizer::gaussian(8.0).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(232)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(232))
+            .unwrap();
         let loose = SpectralFiltering::default()
             .reconstruct_with_report(&disguised, randomizer.model())
             .unwrap();

@@ -49,7 +49,7 @@ impl Default for TemporalSmoother {
 impl TemporalSmoother {
     /// Creates a smoother with the given (odd, ≥ 3) window length.
     pub fn new(window: usize) -> Result<Self> {
-        if window < 3 || window % 2 == 0 {
+        if window < 3 || window.is_multiple_of(2) {
             return Err(ReconError::InvalidParameter {
                 reason: format!("window must be an odd number >= 3, got {window}"),
             });
@@ -60,7 +60,10 @@ impl TemporalSmoother {
     /// Smooths one disguised series with a known per-sample noise variance.
     fn smooth_series(&self, series: &[f64], noise_variance: f64) -> Result<Vec<f64>> {
         let n = series.len();
-        let w = self.window.min(if n % 2 == 0 { n - 1 } else { n }).max(1);
+        let w = self
+            .window
+            .min(if n.is_multiple_of(2) { n - 1 } else { n })
+            .max(1);
         if w < 3 {
             // Series too short to exploit any serial structure.
             return Ok(series.to_vec());
@@ -81,30 +84,42 @@ impl TemporalSmoother {
         let phi = (lag1_y * var_y / var_x).clamp(-0.999, 0.999);
 
         // Prior covariance of a window of original samples: AR(1) Toeplitz.
+        // With Σ_r = σ²I and T = Σ_x + σ²I (always better conditioned than
+        // Σ_x itself), the posterior weights follow from one factorization:
+        //   prior_weight = (Σ_x⁻¹ + I/σ²)⁻¹ Σ_x⁻¹ = σ² T⁻¹,
+        //   data_weight  = (Σ_x⁻¹ + I/σ²)⁻¹ / σ²  = Σ_x T⁻¹.
         let sigma_x = Matrix::from_fn(w, w, |i, j| var_x * phi.powi(i.abs_diff(j) as i32));
-        let sigma_x_inv = Cholesky::new(&sigma_x)
-            .or_else(|_| {
-                // Extremely high |phi| can make the Toeplitz matrix borderline;
-                // regularize and retry.
-                Cholesky::new(&sigma_x.add(&Matrix::identity(w).scale(1e-6 * var_x))?)
-            })?
-            .inverse()?;
-        let noise_inv = Matrix::identity(w).scale(1.0 / noise_variance);
-        let posterior = Cholesky::new(&sigma_x_inv.add(&noise_inv)?.symmetrize()?)?.inverse()?;
-        let prior_weight = posterior.matmul(&sigma_x_inv)?; // applied to the window prior mean
-        let data_weight = posterior.scale(1.0 / noise_variance); // applied to the window observation
-        let prior_mean = vec![mean; w];
-        let from_prior = prior_weight.matvec(&prior_mean)?;
+        let mut t_mat = sigma_x.clone();
+        for d in 0..w {
+            t_mat[(d, d)] += noise_variance;
+        }
+        let t_chol = Cholesky::new(&t_mat)?;
+        // data_weight = Σ_x T⁻¹ = (T⁻¹ Σ_x)ᵀ; each smoothed sample needs one
+        // row of it dotted with the observed window.
+        let data_weight = t_chol.solve_matrix(&sigma_x)?.transpose();
+        // from_prior = σ² T⁻¹ (mean·1).
+        let from_prior: Vec<f64> = t_chol
+            .solve_vec(&vec![mean; w])?
+            .into_iter()
+            .map(|v| v * noise_variance)
+            .collect();
 
         let mut out = Vec::with_capacity(n);
         for t in 0..n {
             // Clamp the window inside the series; the sample's position within
-            // the window is the centre except near the edges.
+            // the window is the centre except near the edges. Only the sample's
+            // own row of the weight matrix is needed — one dot product per
+            // sample instead of a full window matvec.
             let start = t.saturating_sub(half).min(n - w);
             let idx = (t - start).min(w - 1);
-            let window_y: Vec<f64> = series[start..start + w].to_vec();
-            let from_data = data_weight.matvec(&window_y)?;
-            out.push(from_prior[idx] + from_data[idx]);
+            let window_y = &series[start..start + w];
+            let from_data: f64 = data_weight
+                .row(idx)
+                .iter()
+                .zip(window_y.iter())
+                .map(|(&a, &b)| a * b)
+                .sum();
+            out.push(from_prior[idx] + from_data);
         }
         Ok(out)
     }
@@ -146,7 +161,9 @@ mod tests {
         let spec = Ar1Spec::new(phi, 3.0, 10.0).unwrap();
         let original = spec.generate_table(3_000, 2, seed).unwrap();
         let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
-        let disguised = randomizer.disguise(&original, &mut seeded_rng(seed + 1)).unwrap();
+        let disguised = randomizer
+            .disguise(&original, &mut seeded_rng(seed + 1))
+            .unwrap();
         (original, randomizer, disguised)
     }
 
@@ -167,11 +184,17 @@ mod tests {
         let model = randomizer.model();
         let temporal = rmse(
             &original,
-            &TemporalSmoother::default().reconstruct(&disguised, model).unwrap(),
+            &TemporalSmoother::default()
+                .reconstruct(&disguised, model)
+                .unwrap(),
         )
         .unwrap();
         let ndr = rmse(&original, &Ndr.reconstruct(&disguised, model).unwrap()).unwrap();
-        let udr = rmse(&original, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        let udr = rmse(
+            &original,
+            &Udr::default().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
         assert!(temporal < ndr, "temporal {temporal} vs NDR {ndr}");
         assert!(
             temporal < udr,
@@ -187,10 +210,16 @@ mod tests {
         let model = randomizer.model();
         let temporal = rmse(
             &original,
-            &TemporalSmoother::default().reconstruct(&disguised, model).unwrap(),
+            &TemporalSmoother::default()
+                .reconstruct(&disguised, model)
+                .unwrap(),
         )
         .unwrap();
-        let udr = rmse(&original, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        let udr = rmse(
+            &original,
+            &Udr::default().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
         assert!(temporal <= udr * 1.1, "temporal {temporal} vs UDR {udr}");
     }
 
@@ -200,15 +229,24 @@ mod tests {
         let model = randomizer.model();
         let narrow = rmse(
             &original,
-            &TemporalSmoother::new(3).unwrap().reconstruct(&disguised, model).unwrap(),
+            &TemporalSmoother::new(3)
+                .unwrap()
+                .reconstruct(&disguised, model)
+                .unwrap(),
         )
         .unwrap();
         let wide = rmse(
             &original,
-            &TemporalSmoother::new(11).unwrap().reconstruct(&disguised, model).unwrap(),
+            &TemporalSmoother::new(11)
+                .unwrap()
+                .reconstruct(&disguised, model)
+                .unwrap(),
         )
         .unwrap();
-        assert!(wide < narrow, "wide window {wide} should beat narrow {narrow}");
+        assert!(
+            wide < narrow,
+            "wide window {wide} should beat narrow {narrow}"
+        );
     }
 
     #[test]

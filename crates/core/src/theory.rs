@@ -26,13 +26,15 @@ pub fn udr_gaussian_expected_mse(data_variance: f64, noise_variance: f64) -> Res
 
 /// Theorem 5.2: the mean-square error PCA-DR suffers from the *noise* term
 /// `R Q̂ Q̂ᵀ` when keeping `p` of `m` components is `σ² · p / m`.
-pub fn pca_noise_mse(noise_variance: f64, components_kept: usize, attributes: usize) -> Result<f64> {
+pub fn pca_noise_mse(
+    noise_variance: f64,
+    components_kept: usize,
+    attributes: usize,
+) -> Result<f64> {
     validate_variance("noise_variance", noise_variance)?;
     if attributes == 0 || components_kept == 0 || components_kept > attributes {
         return Err(ReconError::InvalidParameter {
-            reason: format!(
-                "need 1 <= p <= m, got p = {components_kept}, m = {attributes}"
-            ),
+            reason: format!("need 1 <= p <= m, got p = {components_kept}, m = {attributes}"),
         });
     }
     Ok(noise_variance * components_kept as f64 / attributes as f64)
@@ -79,9 +81,13 @@ pub fn be_dr_expected_mse(sigma_x: &Matrix, sigma_r: &Matrix) -> Result<f64> {
         });
     }
     let m = sigma_x.rows();
-    let sx_inv = Cholesky::new(sigma_x)?.inverse()?;
-    let sr_inv = Cholesky::new(sigma_r)?.inverse()?;
-    let posterior = Cholesky::new(&sx_inv.add(&sr_inv)?.symmetrize()?)?.inverse()?;
+    // (Σ_x⁻¹ + Σ_r⁻¹)⁻¹ = Σ_x (Σ_x + Σ_r)⁻¹ Σ_r: one factorization of the
+    // sum and one solve, instead of three factor-and-invert rounds.
+    let mut t = sigma_x.clone();
+    t.add_assign_matrix(sigma_r)?;
+    t.symmetrize_in_place()?;
+    let w = Cholesky::new(&t)?.solve_matrix(sigma_r)?; // T⁻¹ Σ_r
+    let posterior = sigma_x.matmul(&w)?;
     Ok(posterior.trace() / m as f64)
 }
 

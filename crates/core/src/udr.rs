@@ -25,13 +25,14 @@ use randrecon_data::DataTable;
 use randrecon_linalg::Matrix;
 use randrecon_noise::NoiseModel;
 use randrecon_stats::distributions::{ContinuousDistribution, Normal, Uniform};
-use randrecon_stats::posterior::{gaussian_posterior_mean, grid_posterior_mean, histogram_posterior_mean};
+use randrecon_stats::posterior::{
+    gaussian_posterior_mean, grid_posterior_mean, histogram_posterior_mean,
+};
 use randrecon_stats::reconstruction::{reconstruct_distribution, ReconstructionConfig};
 use randrecon_stats::summary;
 
 /// How UDR estimates the per-attribute prior `f_X`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum PriorEstimation {
     /// Gaussian prior with moments estimated from the disguised data
     /// (`μ̂_x = mean(Y)`, `σ̂²_x = var(Y) − σ²_r`).
@@ -40,7 +41,6 @@ pub enum PriorEstimation {
     /// Non-parametric prior reconstructed with the Agrawal–Srikant iteration.
     AgrawalSrikant(ReconstructionConfig),
 }
-
 
 /// The univariate (per-attribute) Bayes reconstruction attack.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -66,7 +66,12 @@ impl Udr {
     }
 
     /// Reconstructs a single attribute.
-    fn reconstruct_column(&self, column: &[f64], noise_variance: f64, gaussian_noise: bool) -> Result<Vec<f64>> {
+    fn reconstruct_column(
+        &self,
+        column: &[f64],
+        noise_variance: f64,
+        gaussian_noise: bool,
+    ) -> Result<Vec<f64>> {
         let sigma_r = noise_variance.sqrt();
         match self.prior {
             PriorEstimation::GaussianMoments => {
@@ -95,8 +100,15 @@ impl Udr {
                     column
                         .iter()
                         .map(|&y| {
-                            grid_posterior_mean(y, |x| prior.pdf(x), &noise, mu - span, mu + span, 600)
-                                .map_err(ReconError::from)
+                            grid_posterior_mean(
+                                y,
+                                |x| prior.pdf(x),
+                                &noise,
+                                mu - span,
+                                mu + span,
+                                600,
+                            )
+                            .map_err(ReconError::from)
                         })
                         .collect()
                 }
@@ -162,7 +174,9 @@ mod tests {
         let randomizer = AdditiveRandomizer::gaussian(8.0).unwrap();
         let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(22)).unwrap();
 
-        let udr_est = Udr::default().reconstruct(&disguised, randomizer.model()).unwrap();
+        let udr_est = Udr::default()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
         let ndr_est = Ndr.reconstruct(&disguised, randomizer.model()).unwrap();
         let udr_rmse = rmse(&ds.table, &udr_est).unwrap();
         let ndr_rmse = rmse(&ds.table, &ndr_est).unwrap();
@@ -181,7 +195,9 @@ mod tests {
         let sigma = 10.0;
         let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
         let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(32)).unwrap();
-        let est = Udr::default().reconstruct(&disguised, randomizer.model()).unwrap();
+        let est = Udr::default()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
         let got = rmse(&ds.table, &est).unwrap();
         // Per-attribute variance of the data ≈ 400 (4 equal eigenvalues of 400
         // spread over 4 attributes keeps the average diagonal at 400... actually
@@ -200,9 +216,15 @@ mod tests {
         let ds = workload(4, 1, 800, 41);
         let randomizer = AdditiveRandomizer::uniform(10.0).unwrap();
         let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(42)).unwrap();
-        let udr_est = Udr::default().reconstruct(&disguised, randomizer.model()).unwrap();
+        let udr_est = Udr::default()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
         let udr_rmse = rmse(&ds.table, &udr_est).unwrap();
-        let ndr_rmse = rmse(&ds.table, &Ndr.reconstruct(&disguised, randomizer.model()).unwrap()).unwrap();
+        let ndr_rmse = rmse(
+            &ds.table,
+            &Ndr.reconstruct(&disguised, randomizer.model()).unwrap(),
+        )
+        .unwrap();
         assert!(udr_rmse < ndr_rmse, "UDR {udr_rmse} vs NDR {ndr_rmse}");
     }
 
@@ -219,8 +241,15 @@ mod tests {
         let attack = Udr::agrawal_srikant_prior(config);
         let est = attack.reconstruct(&disguised, randomizer.model()).unwrap();
         let as_rmse = rmse(&ds.table, &est).unwrap();
-        let ndr_rmse = rmse(&ds.table, &Ndr.reconstruct(&disguised, randomizer.model()).unwrap()).unwrap();
-        assert!(as_rmse < ndr_rmse, "AS-prior UDR {as_rmse} vs NDR {ndr_rmse}");
+        let ndr_rmse = rmse(
+            &ds.table,
+            &Ndr.reconstruct(&disguised, randomizer.model()).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            as_rmse < ndr_rmse,
+            "AS-prior UDR {as_rmse} vs NDR {ndr_rmse}"
+        );
     }
 
     #[test]
@@ -229,7 +258,9 @@ mod tests {
         let noise_cov = ds.covariance.scale(0.2);
         let randomizer = AdditiveRandomizer::correlated(noise_cov).unwrap();
         let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(62)).unwrap();
-        let est = Udr::default().reconstruct(&disguised, randomizer.model()).unwrap();
+        let est = Udr::default()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
         assert_eq!(est.values().shape(), (1_000, 4));
         assert!(!est.values().has_non_finite());
     }
@@ -242,13 +273,18 @@ mod tests {
         let ds = SyntheticDataset::generate(&spectrum, 500, 71).unwrap();
         let randomizer = AdditiveRandomizer::gaussian(50.0).unwrap();
         let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(72)).unwrap();
-        let est = Udr::default().reconstruct(&disguised, randomizer.model()).unwrap();
+        let est = Udr::default()
+            .reconstruct(&disguised, randomizer.model())
+            .unwrap();
         let spread = est
             .column(0)
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max)
             - est.column(0).iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread < 5.0, "estimates should cluster near the mean, spread = {spread}");
+        assert!(
+            spread < 5.0,
+            "estimates should cluster near the mean, spread = {spread}"
+        );
     }
 }

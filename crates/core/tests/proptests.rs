@@ -89,6 +89,44 @@ proptest! {
         }
     }
 
+    /// BE-DR's solve-based posterior (one factorization of Σ_x + Σ_r) agrees
+    /// with the textbook three-inverse form of Equation (11) / Theorem 8.1 to
+    /// numerical precision on arbitrary workloads.
+    #[test]
+    fn be_dr_solve_path_matches_inverse_path(
+        m in 2usize..9,
+        sigma in 1.0f64..15.0,
+        seed in 0u64..5_000,
+    ) {
+        use randrecon_linalg::decomposition::Cholesky;
+
+        let spectrum = EigenSpectrum::principal_plus_small(2.min(m), 200.0, m, 4.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 150, seed).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed + 4)).unwrap();
+        let model = randomizer.model();
+
+        let report = BeDr::default().reconstruct_with_report(&disguised, model).unwrap();
+
+        // Textbook route, reconstructed from the report's own Σ̂_x estimate.
+        let sigma_x = &report.estimated_covariance;
+        let sigma_r = model.covariance(m).unwrap();
+        let sigma_x_inv = Cholesky::new(sigma_x).unwrap().inverse().unwrap();
+        let sigma_r_inv = Cholesky::new(&sigma_r).unwrap().inverse().unwrap();
+        let precision_sum = sigma_x_inv.add(&sigma_r_inv).unwrap().symmetrize().unwrap();
+        let a = Cholesky::new(&precision_sum).unwrap().inverse().unwrap();
+        let prior_pull = a.matmul(&sigma_x_inv).unwrap().matvec(&report.estimated_mean).unwrap();
+        let data_pull = a.matmul(&sigma_r_inv).unwrap();
+        let mut expected = disguised.values().matmul_naive(&data_pull.transpose()).unwrap();
+        expected.add_row_broadcast(&prior_pull).unwrap();
+
+        let scale = expected.max_abs().max(1.0);
+        prop_assert!(
+            report.reconstruction.values().approx_eq(&expected, 1e-8 * scale),
+            "solve-based and inverse-based BE-DR disagree"
+        );
+    }
+
     /// Attacks are deterministic: the same disguised input and noise model give
     /// byte-identical reconstructions.
     #[test]

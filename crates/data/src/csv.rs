@@ -111,11 +111,8 @@ mod tests {
     use super::*;
 
     fn sample() -> DataTable {
-        DataTable::from_named_columns(&[
-            ("x", vec![1.0, 2.5, -3.0]),
-            ("y", vec![0.5, 0.0, 10.0]),
-        ])
-        .unwrap()
+        DataTable::from_named_columns(&[("x", vec![1.0, 2.5, -3.0]), ("y", vec![0.5, 0.0, 10.0])])
+            .unwrap()
     }
 
     #[test]

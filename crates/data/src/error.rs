@@ -45,7 +45,9 @@ impl fmt::Display for DataError {
         match self {
             DataError::SchemaMismatch { reason } => write!(f, "schema mismatch: {reason}"),
             DataError::UnknownAttribute { name } => write!(f, "unknown attribute: {name}"),
-            DataError::Parse { line, reason } => write!(f, "CSV parse error at line {line}: {reason}"),
+            DataError::Parse { line, reason } => {
+                write!(f, "CSV parse error at line {line}: {reason}")
+            }
             DataError::InvalidWorkload { reason } => write!(f, "invalid workload: {reason}"),
             DataError::Io(e) => write!(f, "I/O error: {e}"),
             DataError::Linalg(e) => write!(f, "linear algebra error: {e}"),
@@ -89,10 +91,23 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DataError::SchemaMismatch { reason: "x".into() }.to_string().contains("schema"));
-        assert!(DataError::UnknownAttribute { name: "age".into() }.to_string().contains("age"));
-        assert!(DataError::Parse { line: 3, reason: "bad".into() }.to_string().contains("line 3"));
-        assert!(DataError::InvalidWorkload { reason: "empty".into() }.to_string().contains("empty"));
+        assert!(DataError::SchemaMismatch { reason: "x".into() }
+            .to_string()
+            .contains("schema"));
+        assert!(DataError::UnknownAttribute { name: "age".into() }
+            .to_string()
+            .contains("age"));
+        assert!(DataError::Parse {
+            line: 3,
+            reason: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(DataError::InvalidWorkload {
+            reason: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl Schema {
     /// A schema of `m` sensitive attributes named `a0, a1, …` — the shape used
     /// by all synthetic workloads.
     pub fn anonymous(m: usize) -> Result<Self> {
-        Schema::new((0..m).map(|i| Attribute::sensitive(format!("a{i}"))).collect())
+        Schema::new(
+            (0..m)
+                .map(|i| Attribute::sensitive(format!("a{i}")))
+                .collect(),
+        )
     }
 
     /// Number of attributes.
@@ -136,11 +140,7 @@ mod tests {
     fn rejects_duplicates_and_empty() {
         assert!(Schema::new(vec![]).is_err());
         assert!(Schema::new(vec![Attribute::sensitive("")]).is_err());
-        assert!(Schema::new(vec![
-            Attribute::sensitive("x"),
-            Attribute::public("x")
-        ])
-        .is_err());
+        assert!(Schema::new(vec![Attribute::sensitive("x"), Attribute::public("x")]).is_err());
     }
 
     #[test]

@@ -81,9 +81,14 @@ impl EigenSpectrum {
                 reason: format!("need 1 <= p <= m, got p = {p}, m = {m}"),
             });
         }
-        if !(small > 0.0 && small.is_finite()) || !(total_variance > 0.0 && total_variance.is_finite()) {
+        if small <= 0.0
+            || !small.is_finite()
+            || total_variance <= 0.0
+            || !total_variance.is_finite()
+        {
             return Err(DataError::InvalidWorkload {
-                reason: "small eigenvalue and total variance must be positive and finite".to_string(),
+                reason: "small eigenvalue and total variance must be positive and finite"
+                    .to_string(),
             });
         }
         let remaining = total_variance - small * (m - p) as f64;
@@ -333,7 +338,10 @@ mod tests {
         let rel = diff / ds.covariance.frobenius_norm();
         assert!(rel < 0.15, "relative covariance error {rel}");
         // Trace of the sample covariance close to the spectrum total.
-        assert!((sample_cov.trace() - spectrum.total_variance()).abs() / spectrum.total_variance() < 0.15);
+        assert!(
+            (sample_cov.trace() - spectrum.total_variance()).abs() / spectrum.total_variance()
+                < 0.15
+        );
     }
 
     #[test]
@@ -349,7 +357,8 @@ mod tests {
     #[test]
     fn generate_with_mean_and_validation() {
         let spectrum = EigenSpectrum::principal_plus_small(1, 5.0, 3, 1.0).unwrap();
-        let ds = SyntheticDataset::generate_with_mean(&spectrum, &[10.0, -5.0, 0.0], 2_000, 3).unwrap();
+        let ds =
+            SyntheticDataset::generate_with_mean(&spectrum, &[10.0, -5.0, 0.0], 2_000, 3).unwrap();
         let means = ds.table.mean_vector();
         assert!((means[0] - 10.0).abs() < 0.3);
         assert!((means[1] + 5.0).abs() < 0.3);

@@ -146,11 +146,9 @@ impl DataTable {
             });
         }
         let mut values = self.values.clone();
-        for i in 0..values.rows() {
-            for (j, &m) in means.iter().enumerate() {
-                values.set(i, j, values.get(i, j) + m);
-            }
-        }
+        values
+            .add_row_broadcast(means)
+            .expect("length checked above");
         Ok(DataTable {
             schema: self.schema.clone(),
             values,
@@ -230,7 +228,10 @@ mod tests {
         let means = t.mean_vector();
         assert_eq!(means[0], 45.0);
         let cov = t.covariance_matrix();
-        assert!(cov.get(0, 1) > 0.0, "age and income are positively correlated");
+        assert!(
+            cov.get(0, 1) > 0.0,
+            "age and income are positively correlated"
+        );
         let corr = t.correlation_matrix();
         assert!(corr.get(0, 1) > 0.99);
         assert!(t.variance_vector()[0] > 0.0);

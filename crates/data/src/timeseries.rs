@@ -36,7 +36,7 @@ impl Ar1Spec {
                 reason: format!("AR(1) coefficient must satisfy |phi| < 1, got {phi}"),
             });
         }
-        if !(innovation_std > 0.0 && innovation_std.is_finite()) || !mean.is_finite() {
+        if innovation_std <= 0.0 || !innovation_std.is_finite() || !mean.is_finite() {
             return Err(DataError::InvalidWorkload {
                 reason: "innovation standard deviation must be positive and the mean finite"
                     .to_string(),

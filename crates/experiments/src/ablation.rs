@@ -96,7 +96,13 @@ impl AblationWorkload {
         }
     }
 
-    fn generate(&self) -> Result<(SyntheticDataset, AdditiveRandomizer, randrecon_data::DataTable)> {
+    fn generate(
+        &self,
+    ) -> Result<(
+        SyntheticDataset,
+        AdditiveRandomizer,
+        randrecon_data::DataTable,
+    )> {
         let spectrum = EigenSpectrum::principal_plus_small(
             self.principal_components,
             self.principal_eigenvalue,
@@ -105,7 +111,8 @@ impl AblationWorkload {
         )?;
         let ds = SyntheticDataset::generate(&spectrum, self.records, self.seed)?;
         let randomizer = AdditiveRandomizer::gaussian(self.noise_sigma)?;
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(self.seed, 1)))?;
+        let disguised =
+            randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(self.seed, 1)))?;
         Ok((ds, randomizer, disguised))
     }
 }
@@ -123,15 +130,33 @@ impl SelectionAblation {
         let (ds, randomizer, disguised) = self.workload.generate()?;
         let p_true = self.workload.principal_components;
         let variants: Vec<(String, ComponentSelection)> = vec![
-            ("largest gap (paper default)".to_string(), ComponentSelection::LargestGap),
-            (format!("fixed count p = {p_true} (oracle)"), ComponentSelection::FixedCount(p_true)),
             (
-                format!("fixed count p = {} (too many)", (p_true * 3).min(self.workload.attributes)),
+                "largest gap (paper default)".to_string(),
+                ComponentSelection::LargestGap,
+            ),
+            (
+                format!("fixed count p = {p_true} (oracle)"),
+                ComponentSelection::FixedCount(p_true),
+            ),
+            (
+                format!(
+                    "fixed count p = {} (too many)",
+                    (p_true * 3).min(self.workload.attributes)
+                ),
                 ComponentSelection::FixedCount((p_true * 3).min(self.workload.attributes)),
             ),
-            ("fixed count p = 1 (too few)".to_string(), ComponentSelection::FixedCount(1)),
-            ("variance fraction 0.90".to_string(), ComponentSelection::VarianceFraction(0.90)),
-            ("variance fraction 0.99".to_string(), ComponentSelection::VarianceFraction(0.99)),
+            (
+                "fixed count p = 1 (too few)".to_string(),
+                ComponentSelection::FixedCount(1),
+            ),
+            (
+                "variance fraction 0.90".to_string(),
+                ComponentSelection::VarianceFraction(0.90),
+            ),
+            (
+                "variance fraction 0.99".to_string(),
+                ComponentSelection::VarianceFraction(0.99),
+            ),
         ];
         let mut rows = Vec::with_capacity(variants.len());
         for (label, selection) in variants {
@@ -295,13 +320,22 @@ impl NoiseShapeAblation {
         let schemes = [SchemeKind::Udr, SchemeKind::BeDr];
         let mut rows = Vec::new();
         for (label, randomizer) in [
-            ("gaussian noise", AdditiveRandomizer::gaussian(self.workload.noise_sigma)?),
-            ("uniform noise", AdditiveRandomizer::uniform(self.workload.noise_sigma)?),
+            (
+                "gaussian noise",
+                AdditiveRandomizer::gaussian(self.workload.noise_sigma)?,
+            ),
+            (
+                "uniform noise",
+                AdditiveRandomizer::uniform(self.workload.noise_sigma)?,
+            ),
         ] {
-            let disguised =
-                randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(self.workload.seed, 2)))?;
+            let disguised = randomizer.disguise(
+                &ds.table,
+                &mut seeded_rng(child_seed(self.workload.seed, 2)),
+            )?;
             for &scheme in &schemes {
-                let result = evaluate_schemes(&ds.table, &disguised, randomizer.model(), &[scheme])?;
+                let result =
+                    evaluate_schemes(&ds.table, &disguised, randomizer.model(), &[scheme])?;
                 rows.push(AblationRow {
                     label: format!("{label} / {}", scheme.label()),
                     rmse: result[0].1,
@@ -330,7 +364,10 @@ mod tests {
         let oracle = table.rows[1].rmse;
         // The largest-gap rule should find (approximately) the oracle count on
         // this clean spectrum.
-        assert!((gap - oracle).abs() / oracle < 0.05, "gap {gap} vs oracle {oracle}");
+        assert!(
+            (gap - oracle).abs() / oracle < 0.05,
+            "gap {gap} vs oracle {oracle}"
+        );
         // Keeping only 1 component discards real information and is worse.
         let too_few = &table.rows[3];
         assert!(too_few.rmse > oracle);
@@ -343,7 +380,10 @@ mod tests {
         assert_eq!(series.points.len(), 2);
         for scheme in [SchemeKind::Udr, SchemeKind::BeDr] {
             let s = series.series_for(scheme);
-            assert!(s[1].1 > s[0].1, "{scheme:?} should degrade with more noise: {s:?}");
+            assert!(
+                s[1].1 > s[0].1,
+                "{scheme:?} should degrade with more noise: {s:?}"
+            );
         }
         let mut bad = NoiseLevelAblation::quick();
         bad.sigmas = vec![];
@@ -372,8 +412,21 @@ mod tests {
         assert_eq!(table.rows.len(), 4);
         // BE-DR under gaussian vs uniform noise of the same variance should be
         // in the same ballpark (both rely only on second moments).
-        let be_gauss = table.rows.iter().find(|r| r.label.contains("gaussian") && r.label.contains("BE-DR")).unwrap().rmse;
-        let be_unif = table.rows.iter().find(|r| r.label.contains("uniform") && r.label.contains("BE-DR")).unwrap().rmse;
-        assert!((be_gauss - be_unif).abs() / be_gauss < 0.25, "{be_gauss} vs {be_unif}");
+        let be_gauss = table
+            .rows
+            .iter()
+            .find(|r| r.label.contains("gaussian") && r.label.contains("BE-DR"))
+            .unwrap()
+            .rmse;
+        let be_unif = table
+            .rows
+            .iter()
+            .find(|r| r.label.contains("uniform") && r.label.contains("BE-DR"))
+            .unwrap()
+            .rmse;
+        assert!(
+            (be_gauss - be_unif).abs() / be_gauss < 0.25,
+            "{be_gauss} vs {be_unif}"
+        );
     }
 }

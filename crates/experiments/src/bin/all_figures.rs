@@ -14,10 +14,42 @@ fn main() {
     let start = std::time::Instant::now();
 
     let runs: Vec<(&str, Result<ExperimentSeries, ExperimentError>)> = vec![
-        ("figure 1", if quick { Experiment1::quick() } else { Experiment1::full() }.run()),
-        ("figure 2", if quick { Experiment2::quick() } else { Experiment2::full() }.run()),
-        ("figure 3", if quick { Experiment3::quick() } else { Experiment3::full() }.run()),
-        ("figure 4", if quick { Experiment4::quick() } else { Experiment4::full() }.run()),
+        (
+            "figure 1",
+            if quick {
+                Experiment1::quick()
+            } else {
+                Experiment1::full()
+            }
+            .run(),
+        ),
+        (
+            "figure 2",
+            if quick {
+                Experiment2::quick()
+            } else {
+                Experiment2::full()
+            }
+            .run(),
+        ),
+        (
+            "figure 3",
+            if quick {
+                Experiment3::quick()
+            } else {
+                Experiment3::full()
+            }
+            .run(),
+        ),
+        (
+            "figure 4",
+            if quick {
+                Experiment4::quick()
+            } else {
+                Experiment4::full()
+            }
+            .run(),
+        ),
     ];
 
     let mut series = Vec::new();

@@ -7,7 +7,11 @@ use randrecon_experiments::report::write_report_csvs;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick { Experiment3::quick() } else { Experiment3::full() };
+    let config = if quick {
+        Experiment3::quick()
+    } else {
+        Experiment3::full()
+    };
     match config.run() {
         Ok(series) => {
             println!("{}", series.to_table());

@@ -8,7 +8,11 @@ use randrecon_experiments::report::write_report_csvs;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick { Experiment4::quick() } else { Experiment4::full() };
+    let config = if quick {
+        Experiment4::quick()
+    } else {
+        Experiment4::full()
+    };
     match config.run() {
         Ok(series) => {
             println!("{}", series.to_table());

@@ -65,7 +65,10 @@ pub struct SeriesPoint {
 impl SeriesPoint {
     /// RMSE of a given scheme at this point, if it was evaluated.
     pub fn rmse_of(&self, scheme: SchemeKind) -> Option<f64> {
-        self.rmse.iter().find(|(s, _)| *s == scheme).map(|&(_, v)| v)
+        self.rmse
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|&(_, v)| v)
     }
 }
 

@@ -37,8 +37,12 @@ pub enum ExperimentError {
 impl fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExperimentError::InvalidConfig { reason } => write!(f, "invalid experiment config: {reason}"),
-            ExperimentError::WorkerFailed { reason } => write!(f, "experiment worker failed: {reason}"),
+            ExperimentError::InvalidConfig { reason } => {
+                write!(f, "invalid experiment config: {reason}")
+            }
+            ExperimentError::WorkerFailed { reason } => {
+                write!(f, "experiment worker failed: {reason}")
+            }
             ExperimentError::Io(e) => write!(f, "I/O error: {e}"),
             ExperimentError::Data(e) => write!(f, "data error: {e}"),
             ExperimentError::Noise(e) => write!(f, "noise error: {e}"),
@@ -97,12 +101,16 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        assert!(ExperimentError::InvalidConfig { reason: "empty sweep".into() }
-            .to_string()
-            .contains("empty sweep"));
-        assert!(ExperimentError::WorkerFailed { reason: "panic".into() }
-            .to_string()
-            .contains("panic"));
+        assert!(ExperimentError::InvalidConfig {
+            reason: "empty sweep".into()
+        }
+        .to_string()
+        .contains("empty sweep"));
+        assert!(ExperimentError::WorkerFailed {
+            reason: "panic".into()
+        }
+        .to_string()
+        .contains("panic"));
         let e: ExperimentError = MetricsError::EmptyInput { metric: "rmse" }.into();
         assert!(std::error::Error::source(&e).is_some());
         let e: ExperimentError = DataError::UnknownAttribute { name: "x".into() }.into();

@@ -118,7 +118,8 @@ impl Experiment1 {
                 )?;
                 let ds = SyntheticDataset::generate(&spectrum, self.records, seed)?;
                 let randomizer = AdditiveRandomizer::gaussian(self.noise_sigma)?;
-                let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))?;
+                let disguised =
+                    randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))?;
                 trial_results.push(evaluate_schemes(
                     &ds.table,
                     &disguised,
@@ -166,7 +167,10 @@ mod tests {
         // variance, which is held constant).
         let udr = series.series_for(SchemeKind::Udr);
         let udr_min = udr.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
-        let udr_max = udr.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+        let udr_max = udr
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(udr_max - udr_min < 0.6, "UDR should be flat: {udr:?}");
 
         // The correlation-based schemes improve as m grows: error at the largest
@@ -181,9 +185,7 @@ mod tests {
 
         // At the most correlated point BE-DR beats UDR decisively.
         let last = series.points.last().unwrap();
-        assert!(
-            last.rmse_of(SchemeKind::BeDr).unwrap() < last.rmse_of(SchemeKind::Udr).unwrap()
-        );
+        assert!(last.rmse_of(SchemeKind::BeDr).unwrap() < last.rmse_of(SchemeKind::Udr).unwrap());
     }
 
     #[test]

@@ -181,12 +181,16 @@ mod tests {
         let last = series.points.last().unwrap();
         let be = last.rmse_of(SchemeKind::BeDr).unwrap();
         let udr = last.rmse_of(SchemeKind::Udr).unwrap();
-        assert!((be - udr).abs() / udr < 0.15, "BE-DR {be} vs UDR {udr} at p = m");
+        assert!(
+            (be - udr).abs() / udr < 0.15,
+            "BE-DR {be} vs UDR {udr} at p = m"
+        );
 
         // At the most correlated point (p = 2) BE-DR clearly beats UDR.
         let first = series.points.first().unwrap();
         assert!(
-            first.rmse_of(SchemeKind::BeDr).unwrap() < 0.8 * first.rmse_of(SchemeKind::Udr).unwrap()
+            first.rmse_of(SchemeKind::BeDr).unwrap()
+                < 0.8 * first.rmse_of(SchemeKind::Udr).unwrap()
         );
     }
 }

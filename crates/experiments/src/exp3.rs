@@ -46,7 +46,9 @@ impl Default for Experiment3 {
             attributes: 100,
             principal_components: 20,
             principal_eigenvalue: 400.0,
-            non_principal_eigenvalues: vec![1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0],
+            non_principal_eigenvalues: vec![
+                1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0,
+            ],
             records: 1_000,
             noise_sigma: 5.0,
             trials: 3,
@@ -142,7 +144,8 @@ impl Experiment3 {
         })?;
 
         Ok(ExperimentSeries {
-            name: "Figure 3: increasing the eigenvalues of the non-principal components".to_string(),
+            name: "Figure 3: increasing the eigenvalues of the non-principal components"
+                .to_string(),
             x_label: "non-principal eigenvalue".to_string(),
             points,
         })
@@ -182,12 +185,20 @@ mod tests {
         let udr = last.rmse_of(SchemeKind::Udr).unwrap();
         let pca_last = last.rmse_of(SchemeKind::PcaDr).unwrap();
         let be_last = last.rmse_of(SchemeKind::BeDr).unwrap();
-        assert!(pca_last > udr, "PCA-DR ({pca_last}) should cross above UDR ({udr})");
-        assert!(be_last <= udr * 1.05, "BE-DR ({be_last}) should stay at or below UDR ({udr})");
+        assert!(
+            pca_last > udr,
+            "PCA-DR ({pca_last}) should cross above UDR ({udr})"
+        );
+        assert!(
+            be_last <= udr * 1.05,
+            "BE-DR ({be_last}) should stay at or below UDR ({udr})"
+        );
 
         // At the smallest non-principal eigenvalue everything beats UDR.
         let first = series.points.first().unwrap();
-        assert!(first.rmse_of(SchemeKind::PcaDr).unwrap() < first.rmse_of(SchemeKind::Udr).unwrap());
+        assert!(
+            first.rmse_of(SchemeKind::PcaDr).unwrap() < first.rmse_of(SchemeKind::Udr).unwrap()
+        );
         assert!(first.rmse_of(SchemeKind::BeDr).unwrap() < first.rmse_of(SchemeKind::Udr).unwrap());
     }
 }

@@ -111,7 +111,12 @@ impl Experiment4 {
                 ),
             });
         }
-        if !(self.noise_variance > 0.0) || self.trials == 0 || self.records < 2 || self.schemes.is_empty() {
+        if self.noise_variance.is_nan()
+            || self.noise_variance <= 0.0
+            || self.trials == 0
+            || self.records < 2
+            || self.schemes.is_empty()
+        {
             return Err(ExperimentError::InvalidConfig {
                 reason: "need positive noise variance, at least 1 trial, 2 records and 1 scheme"
                     .to_string(),

@@ -36,7 +36,13 @@ pub fn write_report_csvs<P: AsRef<Path>>(
         let slug: String = s
             .name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|p| !p.is_empty())

@@ -1,74 +1,41 @@
 //! Parallel sweep execution.
 //!
-//! Every figure is a sweep over an independent list of x-axis points, so the
-//! points are evaluated on a scoped thread pool (one OS thread per point up to
-//! the available parallelism). Determinism is preserved because each point
-//! derives its own RNG stream from the experiment seed.
+//! Every figure is a sweep over an independent list of x-axis points. Sweep
+//! points are dispatched onto the **shared** workspace thread pool
+//! ([`randrecon_parallel`]), the same pool the cache-blocked linalg kernels
+//! use. Sharing one pool means a sweep point that triggers a parallel matmul
+//! does not oversubscribe the machine: the nested call claims indices from
+//! the same workers, and the calling thread always participates, so nesting
+//! cannot deadlock. Determinism is preserved because each point derives its
+//! own RNG stream from the experiment seed.
 
 use crate::error::{ExperimentError, Result};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Runs `f` over `items` in parallel (bounded by the machine's available
-/// parallelism) and returns the results in the original item order.
+/// Runs `f` over `items` in parallel on the shared workspace pool and returns
+/// the results in the original item order.
+///
+/// Errors are propagated in item order (the error of the lowest-indexed
+/// failing item wins, matching sequential semantics); a panicking worker is
+/// reported as [`ExperimentError::WorkerFailed`].
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Result<Vec<R>>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> Result<R> + Sync,
 {
-    let n = items.len();
-    if n == 0 {
+    if items.is_empty() {
         return Ok(Vec::new());
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
-        .max(1);
-
-    let results: Mutex<Vec<Option<Result<R>>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    let next: Mutex<usize> = Mutex::new(0);
-    let items_ref = &items;
-    let f_ref = &f;
-    let results_ref = &results;
-    let next_ref = &next;
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(move |_| loop {
-                let idx = {
-                    let mut guard = next_ref.lock().expect("index lock poisoned");
-                    if *guard >= n {
-                        break;
-                    }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
-                let outcome = f_ref(&items_ref[idx]);
-                results_ref.lock().expect("result lock poisoned")[idx] = Some(outcome);
-            });
-        }
-    })
-    .map_err(|_| ExperimentError::WorkerFailed {
-        reason: "a worker thread panicked during the sweep".to_string(),
-    })?;
-
-    let collected = results.into_inner().expect("result lock poisoned");
-    let mut out = Vec::with_capacity(n);
-    for (i, slot) in collected.into_iter().enumerate() {
-        match slot {
-            Some(Ok(v)) => out.push(v),
-            Some(Err(e)) => return Err(e),
-            None => {
-                return Err(ExperimentError::WorkerFailed {
-                    reason: format!("sweep point {i} produced no result"),
-                })
-            }
-        }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        randrecon_parallel::parallel_map_result(&items, |item| f(item))
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(_) => Err(ExperimentError::WorkerFailed {
+            reason: "a worker thread panicked during the sweep".to_string(),
+        }),
     }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -104,6 +71,18 @@ mod tests {
     }
 
     #[test]
+    fn panics_are_reported_as_worker_failures() {
+        let items: Vec<u64> = (0..10).collect();
+        let err = parallel_map(items, |&x| {
+            if x == 3 {
+                panic!("sweep point exploded");
+            }
+            Ok(x)
+        });
+        assert!(matches!(err, Err(ExperimentError::WorkerFailed { .. })));
+    }
+
+    #[test]
     fn heavier_work_still_ordered() {
         let items: Vec<u64> = (0..16).collect();
         let out = parallel_map(items, |&x| {
@@ -118,5 +97,23 @@ mod tests {
         for (i, &(x, _)) in out.iter().enumerate() {
             assert_eq!(i as u64, x);
         }
+    }
+
+    #[test]
+    fn nested_parallelism_shares_the_pool() {
+        // A sweep point that itself fans out onto the shared pool must complete.
+        let items: Vec<u64> = (0..8).collect();
+        let out = parallel_map(items, |&x| {
+            let mut inner = vec![0u64; 64];
+            randrecon_parallel::parallel_chunks_mut(&mut inner, 8, 8, |start, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = x + (start + k) as u64;
+                }
+            });
+            Ok(inner.iter().sum::<u64>())
+        })
+        .unwrap();
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[0], (0..64).sum::<u64>());
     }
 }

@@ -78,7 +78,8 @@ mod tests {
             SchemeKind::PcaDr,
             SchemeKind::BeDr,
         ];
-        let results = evaluate_schemes(&ds.table, &disguised, randomizer.model(), &schemes).unwrap();
+        let results =
+            evaluate_schemes(&ds.table, &disguised, randomizer.model(), &schemes).unwrap();
         assert_eq!(results.len(), 5);
         for (i, &(s, v)) in results.iter().enumerate() {
             assert_eq!(s, schemes[i]);

@@ -40,7 +40,9 @@ impl SymmetricEigen {
         }
         let n = a.rows();
         if n == 0 {
-            return Err(LinalgError::Empty { op: "symmetric eigen" });
+            return Err(LinalgError::Empty {
+                op: "symmetric eigen",
+            });
         }
         let sym_tol = 1e-8 * a.max_abs().max(1.0);
         if !a.is_symmetric(sym_tol) {
@@ -51,7 +53,10 @@ impl SymmetricEigen {
 
         // Work on the symmetrized copy so tiny fp asymmetries cannot bias rotations.
         let mut m = a.symmetrize()?;
-        let mut q = Matrix::identity(n);
+        // Accumulate Qᵀ (rows are eigenvector candidates): the Jacobi rotation
+        // then updates two contiguous *rows* of both matrices instead of two
+        // strided columns, which is what keeps the sweep vectorizable.
+        let mut qt = Matrix::identity(n);
         let target = (rel_tol * m.frobenius_norm()).max(1e-300);
 
         let mut sweeps = 0;
@@ -85,25 +90,39 @@ impl SymmetricEigen {
                     let c = 1.0 / (1.0 + t * t).sqrt();
                     let s = t * c;
 
-                    // Update rows/columns p and r of m.
-                    for k in 0..n {
-                        let mkp = m.get(k, p);
-                        let mkr = m.get(k, r);
-                        m.set(k, p, c * mkp - s * mkr);
-                        m.set(k, r, s * mkp + c * mkr);
+                    // Two-sided update exploiting symmetry: rotate rows p and
+                    // r (contiguous), patch the 2×2 pivot block analytically,
+                    // then mirror the rows into columns p and r.
+                    let app_new = app - t * apr;
+                    let arr_new = arr + t * apr;
+                    {
+                        let (row_p, row_r) = two_rows_mut(&mut m, p, r);
+                        for (vp, vr) in row_p.iter_mut().zip(row_r.iter_mut()) {
+                            let mpk = *vp;
+                            let mrk = *vr;
+                            *vp = c * mpk - s * mrk;
+                            *vr = s * mpk + c * mrk;
+                        }
+                        row_p[p] = app_new;
+                        row_r[r] = arr_new;
+                        row_p[r] = 0.0;
+                        row_r[p] = 0.0;
                     }
                     for k in 0..n {
-                        let mpk = m.get(p, k);
-                        let mrk = m.get(r, k);
-                        m.set(p, k, c * mpk - s * mrk);
-                        m.set(r, k, s * mpk + c * mrk);
+                        if k != p && k != r {
+                            let mpk = m.get(p, k);
+                            let mrk = m.get(r, k);
+                            m.set(k, p, mpk);
+                            m.set(k, r, mrk);
+                        }
                     }
-                    // Accumulate the rotation into Q.
-                    for k in 0..n {
-                        let qkp = q.get(k, p);
-                        let qkr = q.get(k, r);
-                        q.set(k, p, c * qkp - s * qkr);
-                        q.set(k, r, s * qkp + c * qkr);
+                    // Accumulate the rotation into Qᵀ (rows p and r).
+                    let (qt_p, qt_r) = two_rows_mut(&mut qt, p, r);
+                    for (vp, vr) in qt_p.iter_mut().zip(qt_r.iter_mut()) {
+                        let qpk = *vp;
+                        let qrk = *vr;
+                        *vp = c * qpk - s * qrk;
+                        *vr = s * qpk + c * qrk;
                     }
                 }
             }
@@ -113,8 +132,13 @@ impl SymmetricEigen {
         let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
         pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let eigenvalues: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
-        let order: Vec<usize> = pairs.iter().map(|&(_, i)| i).collect();
-        let eigenvectors = q.select_columns(&order)?;
+        // Gather the sorted eigenvector rows of Qᵀ, then transpose once to the
+        // columns-are-eigenvectors convention.
+        let mut sorted_rows = Matrix::zeros(n, n);
+        for (dst, &(_, src)) in pairs.iter().enumerate() {
+            sorted_rows.row_mut(dst).copy_from_slice(qt.row(src));
+        }
+        let eigenvectors = sorted_rows.transpose();
 
         Ok(SymmetricEigen {
             eigenvalues,
@@ -168,20 +192,40 @@ impl SymmetricEigen {
 }
 
 /// Rebuilds a symmetric matrix `Q Λ Qᵀ` from a spectrum and an orthonormal basis.
+///
+/// `Q Λ` is formed by scaling the columns of `Q` directly (no diagonal-matrix
+/// product), and the final factor is applied through the fused
+/// [`Matrix::matmul_transpose_b`] kernel, so no transpose is materialized.
 pub fn recompose(eigenvalues: &[f64], eigenvectors: &Matrix) -> Matrix {
-    let lambda = Matrix::from_diag(eigenvalues);
-    let ql = eigenvectors.matmul(&lambda).expect("shape mismatch in recompose");
-    ql.matmul(&eigenvectors.transpose())
+    assert_eq!(
+        eigenvalues.len(),
+        eigenvectors.cols(),
+        "shape mismatch in recompose"
+    );
+    let mut q_scaled = eigenvectors.clone();
+    for i in 0..q_scaled.rows() {
+        for (v, &l) in q_scaled.row_mut(i).iter_mut().zip(eigenvalues.iter()) {
+            *v *= l;
+        }
+    }
+    q_scaled
+        .matmul_transpose_b(eigenvectors)
         .expect("shape mismatch in recompose")
 }
 
+/// Mutable views of rows `p` and `r` (`p < r`) of a square matrix.
+fn two_rows_mut(m: &mut Matrix, p: usize, r: usize) -> (&mut [f64], &mut [f64]) {
+    debug_assert!(p < r);
+    let n = m.cols();
+    let (head, tail) = m.as_mut_slice().split_at_mut(r * n);
+    (&mut head[p * n..p * n + n], &mut tail[..n])
+}
+
 fn off_diagonal_norm(m: &Matrix) -> f64 {
-    let n = m.rows();
     let mut sum = 0.0;
-    for i in 0..n {
-        for j in 0..n {
+    for (i, row) in m.row_iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
             if i != j {
-                let v = m.get(i, j);
                 sum += v * v;
             }
         }

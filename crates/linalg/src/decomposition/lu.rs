@@ -72,7 +72,11 @@ impl Lu {
 
     /// Determinant of the original matrix.
     pub fn determinant(&self) -> f64 {
-        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         sign * (0..self.dim()).map(|i| self.lu.get(i, i)).product::<f64>()
     }
 
@@ -187,7 +191,10 @@ mod tests {
     #[test]
     fn rejects_singular_and_rectangular() {
         let singular = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0][..]]).unwrap();
-        assert!(matches!(Lu::new(&singular), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            Lu::new(&singular),
+            Err(LinalgError::Singular { .. })
+        ));
         assert!(matches!(
             Lu::new(&Matrix::zeros(2, 3)),
             Err(LinalgError::NotSquare { .. })
@@ -214,6 +221,9 @@ mod tests {
     fn invert_helper() {
         let a = sample();
         let inv = invert(&a).unwrap();
-        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-10));
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-10));
     }
 }

@@ -113,14 +113,22 @@ mod tests {
 
     #[test]
     fn display_not_positive_definite() {
-        let err = LinalgError::NotPositiveDefinite { pivot: 3, value: -0.5 };
+        let err = LinalgError::NotPositiveDefinite {
+            pivot: 3,
+            value: -0.5,
+        };
         assert!(err.to_string().contains("pivot 3"));
     }
 
     #[test]
     fn display_singular_and_eigen() {
-        assert!(LinalgError::Singular { pivot: 1 }.to_string().contains("singular"));
-        let e = LinalgError::EigenDidNotConverge { sweeps: 10, off_diagonal_norm: 1.0 };
+        assert!(LinalgError::Singular { pivot: 1 }
+            .to_string()
+            .contains("singular"));
+        let e = LinalgError::EigenDidNotConverge {
+            sweeps: 10,
+            off_diagonal_norm: 1.0,
+        };
         assert!(e.to_string().contains("10 sweeps"));
     }
 

@@ -24,9 +24,7 @@ pub fn orthonormalize_columns(a: &Matrix) -> Result<Matrix> {
     }
     if cols > rows {
         return Err(LinalgError::InvalidData {
-            reason: format!(
-                "cannot orthonormalize {cols} columns in {rows}-dimensional space"
-            ),
+            reason: format!("cannot orthonormalize {cols} columns in {rows}-dimensional space"),
         });
     }
     let mut columns: Vec<Vec<f64>> = (0..cols).map(|j| a.column(j)).collect();

@@ -1,0 +1,173 @@
+//! Low-level slice kernels behind [`crate::Matrix`]'s hot operations.
+//!
+//! Design notes (see the crate docs for the full rationale):
+//!
+//! * **Blocking**: `matmul_blocked` is a GEBP-style kernel. The right operand
+//!   is packed once into panel-major layout (`KC × NC` panels, `KC = 64` rows
+//!   by `NC = 256` columns ⇒ a 128 KiB panel that lives in L2, with each
+//!   packed panel row of 2 KiB streaming through L1). Workers then sweep
+//!   `k`-stripes so every `C` row accumulates its `k` contributions in
+//!   ascending order — which makes the blocked result bit-identical to the
+//!   naive i-k-j loop and independent of thread count.
+//! * **Parallelism**: row-chunks of the output are dispatched onto the shared
+//!   [`randrecon_parallel`] pool once a product exceeds
+//!   [`PARALLEL_MIN_FLOPS`] multiply-adds; below [`BLOCKED_MIN_FLOPS`] the
+//!   caller should use the plain triple loop (packing costs more than it
+//!   saves).
+//! * **No per-element bounds checks**: all inner loops run over subslices
+//!   obtained once per row/panel, so the optimizer sees contiguous,
+//!   bounds-check-free iteration it can vectorize.
+
+/// Below this many multiply-adds, `Matrix::matmul` uses the naive loop.
+pub(crate) const BLOCKED_MIN_FLOPS: usize = 1 << 15;
+
+/// At or above this many multiply-adds, kernels fan out across the pool
+/// (shared workspace-wide threshold).
+pub(crate) const PARALLEL_MIN_FLOPS: usize = randrecon_parallel::PARALLEL_MIN_FLOPS;
+
+/// Rows of the right operand per packed panel (`k`-blocking factor).
+const KC: usize = 64;
+
+/// Columns per packed panel (`n`-blocking factor).
+const NC: usize = 256;
+
+/// Dot product with four independent accumulators so the reduction
+/// vectorizes; used by `matmul_transpose_b`, Cholesky and the solvers.
+#[inline]
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let mut a_it = a.chunks_exact(4);
+    let mut b_it = b.chunks_exact(4);
+    for (ca, cb) in (&mut a_it).zip(&mut b_it) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in a_it.remainder().iter().zip(b_it.remainder()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// `y += alpha * x` over equal-length slices; the compiler vectorizes this.
+#[inline]
+pub(crate) fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (o, &v) in y.iter_mut().zip(x.iter()) {
+        *o += alpha * v;
+    }
+}
+
+/// Packs `b` (`k × n`, row-major) into panel-major layout: `k`-stripes of
+/// `KC` rows, each stripe holding consecutive `KC × NC` panels. Panel
+/// `(kb, jb)` starts at `kb * n + kc_cur * jb`, and its rows are contiguous
+/// `nc_cur`-length runs.
+fn pack_b(b: &[f64], k: usize, n: usize) -> Vec<f64> {
+    let mut packed = vec![0.0; k * n];
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        let stripe = &mut packed[kb * n..kb * n + kc * n];
+        for jb in (0..n).step_by(NC) {
+            let nc = NC.min(n - jb);
+            let panel = &mut stripe[kc * jb..kc * jb + kc * nc];
+            for kk in 0..kc {
+                let src = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + nc];
+                panel[kk * nc..(kk + 1) * nc].copy_from_slice(src);
+            }
+        }
+    }
+    packed
+}
+
+/// Cache-blocked, transpose-packed `C = A · B` over row-major slices.
+///
+/// `a` is `m × k`, `b` is `k × n`, `c` is `m × n` and must be zeroed.
+pub(crate) fn matmul_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let packed = pack_b(b, k, n);
+
+    let row_block = |row0: usize, c_chunk: &mut [f64]| {
+        let rows = c_chunk.len() / n;
+        for kb in (0..k).step_by(KC) {
+            let kc = KC.min(k - kb);
+            let stripe = &packed[kb * n..kb * n + kc * n];
+            for i in 0..rows {
+                let a_seg = &a[(row0 + i) * k + kb..(row0 + i) * k + kb + kc];
+                for jb in (0..n).step_by(NC) {
+                    let nc = NC.min(n - jb);
+                    let panel = &stripe[kc * jb..kc * jb + kc * nc];
+                    let c_seg = &mut c_chunk[i * n + jb..i * n + jb + nc];
+                    for (kk, &aik) in a_seg.iter().enumerate() {
+                        // Zero-skip mirrors the naive loop exactly (it has the
+                        // same skip), so blocked and naive stay bit-identical;
+                        // like the naive loop it assumes finite inputs.
+                        if aik != 0.0 {
+                            axpy(c_seg, aik, &panel[kk * nc..kk * nc + nc]);
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    let pieces = randrecon_parallel::max_threads();
+    if m * k * n >= PARALLEL_MIN_FLOPS && pieces > 1 {
+        randrecon_parallel::parallel_row_chunks_mut(c, n, 8, pieces, row_block);
+    } else {
+        row_block(0, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_sequential() {
+        let a: Vec<f64> = (0..131).map(|i| (i as f64) * 0.25 - 3.0).collect();
+        let b: Vec<f64> = (0..131).map(|i| 1.5 - (i as f64) * 0.125).collect();
+        let expected: f64 = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+        assert!((dot(&a, &b) - expected).abs() < 1e-9 * expected.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(&mut y, 2.0, &x);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_odd_shapes() {
+        // Shapes straddling the block sizes: remainders in both k and n.
+        for &(m, k, n) in &[(3usize, 70usize, 300usize), (17, 65, 257), (40, 128, 256)] {
+            let a: Vec<f64> = (0..m * k)
+                .map(|i| ((i * 31 % 97) as f64) / 9.0 - 5.0)
+                .collect();
+            let b: Vec<f64> = (0..k * n)
+                .map(|i| ((i * 17 % 89) as f64) / 7.0 - 6.0)
+                .collect();
+            let mut c = vec![0.0; m * n];
+            matmul_blocked(&a, &b, &mut c, m, k, n);
+            // Naive i-k-j with the same k-ascending accumulation order.
+            let mut expected = vec![0.0; m * n];
+            for i in 0..m {
+                for kk in 0..k {
+                    let aik = a[i * k + kk];
+                    for j in 0..n {
+                        expected[i * n + j] += aik * b[kk * n + j];
+                    }
+                }
+            }
+            for (got, want) in c.iter().zip(expected.iter()) {
+                assert_eq!(got, want, "blocked kernel must be bit-identical");
+            }
+        }
+    }
+}

@@ -27,6 +27,36 @@
 //!   random orthogonal eigenvector bases exactly as the paper's experiment
 //!   methodology prescribes.
 //!
+//! ## Kernel design
+//!
+//! The hot operations run on slice kernels (in the private `kernels` module)
+//! rather than per-element `get`/`set`:
+//!
+//! * **Blocked, packed matmul.** [`Matrix::matmul`] packs the right operand
+//!   once into panel-major layout (`KC = 64` × `NC = 256` panels: a 128 KiB
+//!   panel streams through L2 while each 2 KiB packed row stays in L1) and
+//!   sweeps `k`-stripes with contiguous `axpy` rows. Products below ~32 K
+//!   multiply-adds keep the plain i-k-j loop — packing would cost more than
+//!   it saves. Per-element accumulation order over `k` is unchanged, so the
+//!   blocked result is bit-identical to the naive loop
+//!   ([`Matrix::matmul_naive`], kept public as the reference).
+//! * **Parallelism.** Products at or above ~4 M multiply-adds split the
+//!   output row-wise across the **shared** workspace pool
+//!   (`randrecon_parallel`, the same pool the experiment sweeps use; rayon is
+//!   not available in the offline build environment, so the pool provides the
+//!   rayon-equivalent bridge). Each output row is owned by exactly one
+//!   worker, so results do not depend on thread count.
+//! * **Transpose-free projections.** [`Matrix::matmul_transpose_b`] computes
+//!   `A·Bᵀ` as row-by-row dot products — the natural kernel for the
+//!   `(Y Q̂) Q̂ᵀ` projections of PCA-DR / spectral filtering — without ever
+//!   materializing `Bᵀ`.
+//! * **Solve, don't invert.** [`decomposition::Cholesky::solve_matrix`]
+//!   applies forward/back substitution to whole right-hand-side rows with
+//!   contiguous `axpy`s. Every reconstruction path in the workspace is
+//!   expressed through solves against a single factorization (e.g. BE-DR
+//!   factors `Σ_x + Σ_r` exactly once); `inverse()` exists for callers that
+//!   genuinely need the matrix, but nothing on the attack pipeline uses it.
+//!
 //! ## Example
 //!
 //! ```
@@ -50,6 +80,7 @@
 pub mod decomposition;
 pub mod error;
 pub mod gram_schmidt;
+mod kernels;
 pub mod matrix;
 pub mod vector;
 

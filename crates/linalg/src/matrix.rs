@@ -6,9 +6,10 @@
 //! operations defined here.
 
 use crate::error::{LinalgError, Result};
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -96,11 +97,7 @@ impl Matrix {
         for (i, row) in rows.iter().enumerate() {
             if row.len() != cols {
                 return Err(LinalgError::InvalidData {
-                    reason: format!(
-                        "row {i} has {} columns, expected {}",
-                        row.len(),
-                        cols
-                    ),
+                    reason: format!("row {i} has {} columns, expected {}", row.len(), cols),
                 });
             }
             data.extend_from_slice(row);
@@ -188,7 +185,10 @@ impl Matrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.cols + j]
     }
 
@@ -198,7 +198,10 @@ impl Matrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.cols + j] = value;
     }
 
@@ -258,7 +261,9 @@ impl Matrix {
 
     /// Returns the main diagonal as a vector (length `min(rows, cols)`).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Swaps rows `a` and `b` in place.
@@ -278,11 +283,23 @@ impl Matrix {
     // ------------------------------------------------------------------
 
     /// Returns the transpose.
+    ///
+    /// Uses a tiled walk so both the source rows and destination columns are
+    /// visited in cache-line-sized blocks instead of one full strided pass.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.set(j, i, self.get(i, j));
+        const TILE: usize = 32;
+        let (r, c) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(c, r);
+        for i0 in (0..r).step_by(TILE) {
+            let i1 = (i0 + TILE).min(r);
+            for j0 in (0..c).step_by(TILE) {
+                let j1 = (j0 + TILE).min(c);
+                for i in i0..i1 {
+                    let src = &self.data[i * c + j0..i * c + j1];
+                    for (j, &v) in (j0..j1).zip(src.iter()) {
+                        out.data[j * r + i] = v;
+                    }
+                }
             }
         }
         out
@@ -417,6 +434,64 @@ impl Matrix {
         })
     }
 
+    /// In-place element-wise addition (`self += other`), no allocation.
+    pub fn add_assign_matrix(&mut self, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add_assign",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        for (o, &v) in self.data.iter_mut().zip(other.data.iter()) {
+            *o += v;
+        }
+        Ok(())
+    }
+
+    /// In-place element-wise subtraction (`self -= other`), no allocation.
+    pub fn sub_assign_matrix(&mut self, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sub_assign",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        for (o, &v) in self.data.iter_mut().zip(other.data.iter()) {
+            *o -= v;
+        }
+        Ok(())
+    }
+
+    /// In-place scaling (`self *= scalar`), no allocation.
+    pub fn scale_in_place(&mut self, scalar: f64) {
+        for v in &mut self.data {
+            *v *= scalar;
+        }
+    }
+
+    /// Adds `row` to every row of the matrix in place.
+    ///
+    /// This is the broadcast the reconstruction schemes use to add column
+    /// means (or the BE-DR prior pull) back to every record without cloning
+    /// the data matrix.
+    pub fn add_row_broadcast(&mut self, row: &[f64]) -> Result<()> {
+        if row.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add_row_broadcast",
+                left: self.shape(),
+                right: (1, row.len()),
+            });
+        }
+        for r in self.data.chunks_exact_mut(self.cols) {
+            for (o, &v) in r.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+        Ok(())
+    }
+
     /// Multiplies every entry by `scalar`.
     pub fn scale(&self, scalar: f64) -> Matrix {
         Matrix {
@@ -436,7 +511,41 @@ impl Matrix {
     }
 
     /// Matrix product `self * other`.
+    ///
+    /// Dispatches to a cache-blocked, packed kernel (parallelized across the
+    /// shared workspace pool) once the operand sizes justify it; tiny products
+    /// use the plain i-k-j loop. Accumulation order over `k` is identical in
+    /// both paths, so results are deterministic and independent of the
+    /// machine's thread count.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        // Tiny problems: the blocked kernel's packing overhead isn't worth it.
+        if self.rows * self.cols * other.cols < kernels::BLOCKED_MIN_FLOPS {
+            return self.matmul_naive(other);
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        kernels::matmul_blocked(
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+        Ok(out)
+    }
+
+    /// Reference matrix product: the unblocked i-k-j triple loop.
+    ///
+    /// Kept public so property tests and benchmarks can compare the blocked
+    /// kernel against a straightforward implementation.
+    pub fn matmul_naive(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
                 op: "matmul",
@@ -446,8 +555,7 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
         // i-k-j loop order keeps the inner loop contiguous over both `other`
-        // and `out` rows, which matters for the n x m (n in the thousands)
-        // disguised-data matrices the reconstruction schemes multiply.
+        // and `out` rows.
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.get(i, k);
@@ -460,6 +568,43 @@ impl Matrix {
                     *o += a * b;
                 }
             }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product with a transposed right operand: `self * otherᵀ`.
+    ///
+    /// Every output entry is a dot product of two *rows*, so both operands are
+    /// read contiguously and no transposed copy of `other` is ever formed.
+    /// This is the natural kernel for the `(Y Q̂) Q̂ᵀ` projections in PCA-DR /
+    /// spectral filtering and the `Y (A Σ_r⁻¹)ᵀ` map in BE-DR.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_transpose_b",
+                left: self.shape(),
+                right: (other.cols, other.rows),
+            });
+        }
+        let (m, k) = (self.rows, self.cols);
+        let n = other.rows;
+        let mut out = Matrix::zeros(m, n);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let pieces = randrecon_parallel::max_threads();
+        let parallel = m * n * k >= kernels::PARALLEL_MIN_FLOPS && pieces > 1;
+        let row_work = |i0: usize, rows_out: &mut [f64]| {
+            for (di, out_row) in rows_out.chunks_exact_mut(n).enumerate() {
+                let a_row = &a[(i0 + di) * k..(i0 + di + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = kernels::dot(a_row, &b[j * k..(j + 1) * k]);
+                }
+            }
+        };
+        if parallel {
+            randrecon_parallel::parallel_row_chunks_mut(out.as_mut_slice(), n, 8, pieces, row_work);
+        } else {
+            row_work(0, out.as_mut_slice());
         }
         Ok(out)
     }
@@ -549,9 +694,9 @@ impl Matrix {
     pub fn center_columns(&self) -> (Matrix, Vec<f64>) {
         let means = self.column_means();
         let mut out = self.clone();
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.set(i, j, self.get(i, j) - means[j]);
+        for row in out.data.chunks_exact_mut(self.cols) {
+            for (v, &m) in row.iter_mut().zip(means.iter()) {
+                *v -= m;
             }
         }
         (out, means)
@@ -596,11 +741,28 @@ impl Matrix {
     /// Sample covariance matrices computed in floating point can pick up tiny
     /// asymmetries; decompositions that require exact symmetry call this first.
     pub fn symmetrize(&self) -> Result<Matrix> {
+        let mut out = self.clone();
+        out.symmetrize_in_place()?;
+        Ok(out)
+    }
+
+    /// Replaces the matrix with `(A + Aᵀ) / 2` in place, touching only the
+    /// off-diagonal pairs — no transpose or sum matrix is allocated.
+    pub fn symmetrize_in_place(&mut self) -> Result<()> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
-        let t = self.transpose();
-        Ok(self.add(&t)?.scale(0.5))
+        let n = self.rows;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (self.data[i * n + j] + self.data[j * n + i]);
+                self.data[i * n + j] = avg;
+                self.data[j * n + i] = avg;
+            }
+        }
+        Ok(())
     }
 
     /// True if any entry is NaN or infinite.
@@ -662,6 +824,26 @@ impl Neg for &Matrix {
 
     fn neg(self) -> Matrix {
         self.scale(-1.0)
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.add_assign_matrix(rhs)
+            .expect("matrix += shape mismatch")
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        self.sub_assign_matrix(rhs)
+            .expect("matrix -= shape mismatch")
+    }
+}
+
+impl MulAssign<f64> for Matrix {
+    fn mul_assign(&mut self, rhs: f64) {
+        self.scale_in_place(rhs)
     }
 }
 
@@ -929,6 +1111,63 @@ mod tests {
     }
 
     #[test]
+    fn in_place_ops() {
+        let m = sample();
+        let mut a = m.clone();
+        a += &m;
+        assert_eq!(a.get(1, 2), 12.0);
+        a -= &m;
+        assert!(a.approx_eq(&m, 0.0));
+        a *= 3.0;
+        assert_eq!(a.get(0, 0), 3.0);
+        assert!(a.add_assign_matrix(&Matrix::zeros(1, 1)).is_err());
+        assert!(a.sub_assign_matrix(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn row_broadcast() {
+        let mut m = sample();
+        m.add_row_broadcast(&[10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(m.row(0), &[11.0, 22.0, 33.0]);
+        assert_eq!(m.row(1), &[14.0, 25.0, 36.0]);
+        assert!(m.add_row_broadcast(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn symmetrize_in_place_matches_allocating_version() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0][..], &[1.5, 3.0][..]]).unwrap();
+        let mut b = a.clone();
+        b.symmetrize_in_place().unwrap();
+        assert!(b.approx_eq(&a.symmetrize().unwrap(), 0.0));
+        let mut rect = Matrix::zeros(2, 3);
+        assert!(rect.symmetrize_in_place().is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_at_scale() {
+        // Big enough to cross the blocked-kernel threshold, with non-multiple
+        // dimensions to exercise panel remainders.
+        let a = Matrix::from_fn(37, 130, |i, j| ((i * 13 + j * 7) % 23) as f64 - 11.0);
+        let b = Matrix::from_fn(130, 301, |i, j| ((i * 5 + j * 11) % 19) as f64 - 9.0);
+        let blocked = a.matmul(&b).unwrap();
+        let naive = a.matmul_naive(&b).unwrap();
+        assert!(
+            blocked.approx_eq(&naive, 0.0),
+            "blocked kernel must be exact"
+        );
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = Matrix::from_fn(9, 14, |i, j| (i as f64) - 0.5 * j as f64);
+        let b = Matrix::from_fn(6, 14, |i, j| 0.25 * (i as f64) * (j as f64) - 1.0);
+        let fused = a.matmul_transpose_b(&b).unwrap();
+        let explicit = a.matmul_naive(&b.transpose()).unwrap();
+        assert!(fused.approx_eq(&explicit, 1e-12));
+        assert!(a.matmul_transpose_b(&Matrix::zeros(3, 5)).is_err());
+    }
+
+    #[test]
     fn serde_roundtrip() {
         let m = sample();
         let json = serde_json_like(&m);
@@ -939,6 +1178,11 @@ mod tests {
     // via the `serde` test-friendly `serde::Serialize` trait using a tiny
     // hand-rolled writer in the data crate. Here we only check it derives.
     fn serde_json_like(m: &Matrix) -> String {
-        format!("rows={} cols={} len={}", m.rows(), m.cols(), m.as_slice().len())
+        format!(
+            "rows={} cols={} len={}",
+            m.rows(),
+            m.cols(),
+            m.as_slice().len()
+        )
     }
 }

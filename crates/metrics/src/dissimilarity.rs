@@ -69,10 +69,7 @@ pub fn correlation_dissimilarity(original: &DataTable, noise: &DataTable) -> Res
 /// Correlation dissimilarity computed from *covariance* matrices (converted to
 /// correlation form first). Convenient when the exact covariances are known
 /// analytically, as they are for synthetic workloads.
-pub fn correlation_dissimilarity_from_covariances(
-    cov_x: &Matrix,
-    cov_r: &Matrix,
-) -> Result<f64> {
+pub fn correlation_dissimilarity_from_covariances(cov_x: &Matrix, cov_r: &Matrix) -> Result<f64> {
     correlation_dissimilarity_matrices(
         &covariance_to_correlation(cov_x),
         &covariance_to_correlation(cov_r),
@@ -117,7 +114,9 @@ mod tests {
         let c2 = Matrix::identity(2);
         let c3 = Matrix::identity(3);
         assert!(correlation_dissimilarity_matrices(&c2, &c3).is_err());
-        assert!(correlation_dissimilarity_matrices(&Matrix::identity(1), &Matrix::identity(1)).is_err());
+        assert!(
+            correlation_dissimilarity_matrices(&Matrix::identity(1), &Matrix::identity(1)).is_err()
+        );
         let rect = Matrix::zeros(2, 3);
         assert!(correlation_dissimilarity_matrices(&rect, &rect).is_err());
     }

@@ -49,9 +49,18 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = MetricsError::ShapeMismatch { left: (2, 3), right: (3, 2) };
+        let e = MetricsError::ShapeMismatch {
+            left: (2, 3),
+            right: (3, 2),
+        };
         assert!(e.to_string().contains("2x3"));
-        assert!(MetricsError::EmptyInput { metric: "rmse" }.to_string().contains("rmse"));
-        assert!(MetricsError::InvalidParameter { reason: "neg".into() }.to_string().contains("neg"));
+        assert!(MetricsError::EmptyInput { metric: "rmse" }
+            .to_string()
+            .contains("rmse"));
+        assert!(MetricsError::InvalidParameter {
+            reason: "neg".into()
+        }
+        .to_string()
+        .contains("neg"));
     }
 }

@@ -9,7 +9,11 @@ use randrecon_data::DataTable;
 
 /// Fraction of values reconstructed within `tolerance` of the original
 /// (over every cell of the table).
-pub fn disclosure_rate(original: &DataTable, reconstructed: &DataTable, tolerance: f64) -> Result<f64> {
+pub fn disclosure_rate(
+    original: &DataTable,
+    reconstructed: &DataTable,
+    tolerance: f64,
+) -> Result<f64> {
     validate_pair(original, reconstructed)?;
     if !(tolerance >= 0.0 && tolerance.is_finite()) {
         return Err(MetricsError::InvalidParameter {
@@ -58,7 +62,7 @@ pub fn per_attribute_disclosure_rate(
 /// Positive values mean the defense helped; the paper's Section 8 results are
 /// exactly this comparison between correlated and independent noise.
 pub fn privacy_gain(rmse_baseline: f64, rmse_defended: f64) -> Result<f64> {
-    if !(rmse_baseline > 0.0 && rmse_baseline.is_finite()) || !rmse_defended.is_finite() {
+    if rmse_baseline <= 0.0 || !rmse_baseline.is_finite() || !rmse_defended.is_finite() {
         return Err(MetricsError::InvalidParameter {
             reason: format!(
                 "RMSE values must be finite with a positive baseline, got baseline {rmse_baseline}, defended {rmse_defended}"
@@ -76,7 +80,9 @@ fn validate_pair(original: &DataTable, reconstructed: &DataTable) -> Result<()> 
         });
     }
     if original.n_records() == 0 {
-        return Err(MetricsError::EmptyInput { metric: "disclosure" });
+        return Err(MetricsError::EmptyInput {
+            metric: "disclosure",
+        });
     }
     Ok(())
 }

@@ -154,7 +154,9 @@ mod tests {
     fn disguise_with_noise_is_consistent() {
         let ds = dataset(50, 9);
         let r = AdditiveRandomizer::gaussian(1.5).unwrap();
-        let (disguised, noise) = r.disguise_with_noise(&ds.table, &mut seeded_rng(4)).unwrap();
+        let (disguised, noise) = r
+            .disguise_with_noise(&ds.table, &mut seeded_rng(4))
+            .unwrap();
         let reconstructed_noise = disguised.values().sub(ds.table.values()).unwrap();
         assert!(reconstructed_noise.approx_eq(&noise, 1e-12));
     }

@@ -77,7 +77,10 @@ pub fn interpolated_spectrum(
             reason: "data eigenvalue spectrum is empty".to_string(),
         });
     }
-    if data_eigenvalues.iter().any(|&l| !(l > 0.0 && l.is_finite())) {
+    if data_eigenvalues
+        .iter()
+        .any(|&l| !(l > 0.0 && l.is_finite()))
+    {
         return Err(NoiseError::InvalidParameter {
             reason: "data eigenvalues must be positive and finite".to_string(),
         });
@@ -96,7 +99,11 @@ pub fn interpolated_spectrum(
     let shaped: Vec<f64> = if alpha >= 0.0 {
         data_eigenvalues.iter().map(|&l| l / data_total).collect()
     } else {
-        data_eigenvalues.iter().rev().map(|&l| l / data_total).collect()
+        data_eigenvalues
+            .iter()
+            .rev()
+            .map(|&l| l / data_total)
+            .collect()
     };
     let flat = 1.0 / m as f64;
 
@@ -201,12 +208,9 @@ mod tests {
         let spectrum = EigenSpectrum::principal_plus_small(2, 100.0, 6, 1.0).unwrap();
         let mut rng = seeded_rng(4);
         let q = random_orthogonal(6, &mut rng).unwrap();
-        let noise_spec = interpolated_spectrum(
-            spectrum.values(),
-            SimilarityLevel::new(0.7).unwrap(),
-            60.0,
-        )
-        .unwrap();
+        let noise_spec =
+            interpolated_spectrum(spectrum.values(), SimilarityLevel::new(0.7).unwrap(), 60.0)
+                .unwrap();
         let cov = noise_covariance(&q, &noise_spec).unwrap();
         assert!(cov.is_symmetric(1e-9));
         assert!((cov.trace() - 60.0).abs() < 1e-8);

@@ -32,7 +32,9 @@ pub enum NoiseError {
 impl fmt::Display for NoiseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NoiseError::InvalidParameter { reason } => write!(f, "invalid noise parameter: {reason}"),
+            NoiseError::InvalidParameter { reason } => {
+                write!(f, "invalid noise parameter: {reason}")
+            }
             NoiseError::DimensionMismatch { reason } => write!(f, "dimension mismatch: {reason}"),
             NoiseError::Data(e) => write!(f, "data error: {e}"),
             NoiseError::Stats(e) => write!(f, "statistics error: {e}"),
@@ -76,7 +78,9 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        let e = NoiseError::InvalidParameter { reason: "sigma <= 0".into() };
+        let e = NoiseError::InvalidParameter {
+            reason: "sigma <= 0".into(),
+        };
         assert!(e.to_string().contains("sigma"));
         let e: NoiseError = StatsError::InsufficientData { got: 0, needed: 1 }.into();
         assert!(std::error::Error::source(&e).is_some());

@@ -75,9 +75,8 @@ impl NoiseModel {
     /// (`None` for the correlated model, whose variance varies per attribute).
     pub fn iid_variance(&self) -> Option<f64> {
         match self {
-            NoiseModel::IndependentGaussian { sigma } | NoiseModel::IndependentUniform { sigma } => {
-                Some(sigma * sigma)
-            }
+            NoiseModel::IndependentGaussian { sigma }
+            | NoiseModel::IndependentUniform { sigma } => Some(sigma * sigma),
             NoiseModel::Correlated { .. } => None,
         }
     }
@@ -88,7 +87,8 @@ impl NoiseModel {
     /// the stored Σ_r (whose dimension must equal `m`).
     pub fn covariance(&self, m: usize) -> Result<Matrix> {
         match self {
-            NoiseModel::IndependentGaussian { sigma } | NoiseModel::IndependentUniform { sigma } => {
+            NoiseModel::IndependentGaussian { sigma }
+            | NoiseModel::IndependentUniform { sigma } => {
                 Ok(Matrix::identity(m).scale(sigma * sigma))
             }
             NoiseModel::Correlated { covariance } => {
@@ -109,7 +109,8 @@ impl NoiseModel {
     /// Marginal noise variance of attribute `j` in an `m`-attribute data set.
     pub fn marginal_variance(&self, j: usize, m: usize) -> Result<f64> {
         match self {
-            NoiseModel::IndependentGaussian { sigma } | NoiseModel::IndependentUniform { sigma } => {
+            NoiseModel::IndependentGaussian { sigma }
+            | NoiseModel::IndependentUniform { sigma } => {
                 if j >= m {
                     return Err(NoiseError::DimensionMismatch {
                         reason: format!("attribute index {j} out of bounds for m = {m}"),

@@ -124,7 +124,15 @@ mod tests {
         let mut rng = seeded_rng(21);
         let n = 20_000;
         let true_pi = 0.4;
-        let column: Vec<f64> = (0..n).map(|i| if (i as f64 / n as f64) < true_pi { 1.0 } else { 0.0 }).collect();
+        let column: Vec<f64> = (0..n)
+            .map(|i| {
+                if (i as f64 / n as f64) < true_pi {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let table = DataTable::from_named_columns(&[("smoker", column)]).unwrap();
         let disguised = rr.disguise(&table, &mut rng).unwrap();
         let observed = disguised.column(0).iter().sum::<f64>() / n as f64;
@@ -143,9 +151,22 @@ mod tests {
 
     #[test]
     fn disclosure_probability_symmetry() {
-        assert_eq!(RandomizedResponse::new(0.9).unwrap().disclosure_probability(), 0.9);
-        assert_eq!(RandomizedResponse::new(0.1).unwrap().disclosure_probability(), 0.9);
-        assert_eq!(RandomizedResponse::new(0.9).unwrap().truth_probability(), 0.9);
+        assert_eq!(
+            RandomizedResponse::new(0.9)
+                .unwrap()
+                .disclosure_probability(),
+            0.9
+        );
+        assert_eq!(
+            RandomizedResponse::new(0.1)
+                .unwrap()
+                .disclosure_probability(),
+            0.9
+        );
+        assert_eq!(
+            RandomizedResponse::new(0.9).unwrap().truth_probability(),
+            0.9
+        );
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! Shared persistent thread pool with scoped, index-based parallel dispatch.
+//!
+//! Every data-parallel computation in the workspace — the cache-blocked
+//! matmul in `randrecon-linalg`, the single-pass covariance in
+//! `randrecon-stats`, and the experiment sweeps in `randrecon-experiments` —
+//! funnels through the **one** global pool owned by this crate, so nested
+//! parallelism (a sweep point running a parallel matmul) shares workers
+//! instead of oversubscribing the machine. The design mirrors rayon's
+//! bridge: a job is "run `f(i)` for `i in 0..total`", workers claim indices
+//! from an atomic counter, and the caller participates in its own job, which
+//! makes nested [`parallel_for`] calls deadlock-free by construction (the
+//! caller can always drain its own indices even if every worker is busy).
+//!
+//! rayon itself is not a dependency because the build environment is fully
+//! offline; this module provides the small subset the workspace needs.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+/// Workspace-wide threshold (in multiply-adds or equivalent inner-loop
+/// operations) above which data-parallel kernels fan out across the pool.
+/// Shared by the linalg matmul kernels and the stats covariance pass so a
+/// retune applies everywhere at once.
+pub const PARALLEL_MIN_FLOPS: usize = 1 << 22;
+
+/// First panic payload captured during a parallel job.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A scoped index job: run `func(i)` for every `i < total`.
+///
+/// The function pointer is lifetime-erased so it can cross the channel to the
+/// persistent workers. Safety rests on two invariants:
+///
+/// 1. `func` is only dereferenced for claimed indices `i < total`, and
+/// 2. [`parallel_for`] blocks until `remaining == 0`, i.e. until every claimed
+///    index has finished executing, before the borrowed closure can go out of
+///    scope. A worker that receives the job afterwards claims an index
+///    `>= total` and returns without touching `func`.
+struct Job {
+    func: *const (dyn Fn(usize) + Sync),
+    next: AtomicUsize,
+    total: usize,
+    remaining: AtomicUsize,
+    panic_payload: Mutex<Option<PanicPayload>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `func` points at a `Sync` closure that outlives the job (enforced by
+// `parallel_for` blocking until all executions complete), and all counters are
+// atomics; see the struct-level invariants.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs indices until the job is exhausted.
+    fn run(&self) {
+        loop {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.total {
+                break;
+            }
+            // SAFETY: idx < total, so the closure is still alive (invariant 2).
+            let f = unsafe { &*self.func };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(idx))) {
+                let mut slot = self.panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every index has finished executing.
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct Pool {
+    sender: Mutex<mpsc::Sender<Arc<Job>>>,
+    workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get().saturating_sub(1))
+            .unwrap_or(0);
+        let (sender, receiver) = mpsc::channel::<Arc<Job>>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for i in 0..workers {
+            let receiver = Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("randrecon-worker-{i}"))
+                .spawn(move || loop {
+                    let job = {
+                        let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => job.run(),
+                        Err(_) => break, // channel closed: process is exiting
+                    }
+                })
+                .expect("failed to spawn randrecon worker thread");
+        }
+        Pool {
+            sender: Mutex::new(sender),
+            workers,
+        }
+    })
+}
+
+/// Number of threads that participate in a [`parallel_for`] call (pool workers
+/// plus the calling thread).
+pub fn max_threads() -> usize {
+    pool().workers + 1
+}
+
+/// Runs `f(i)` for every `i in 0..total` across the shared pool, blocking
+/// until all calls complete. The calling thread participates, so nested calls
+/// from inside a worker make progress even when every other worker is busy.
+///
+/// Panics (after all indices finish) if any `f(i)` panicked.
+pub fn parallel_for<F: Fn(usize) + Sync>(total: usize, f: F) {
+    if total == 0 {
+        return;
+    }
+    let p = pool();
+    let helpers = p.workers.min(total - 1);
+    if helpers == 0 {
+        // No workers (single-core machine) or a single task: run inline, with
+        // the same "finish everything, then report" panic semantics as the
+        // parallel path so callers observe identical behaviour.
+        let mut first_panic: Option<PanicPayload> = None;
+        for i in 0..total {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        return;
+    }
+
+    let local: &(dyn Fn(usize) + Sync) = &f;
+    // SAFETY: transmuting only the lifetime of the wide reference; `job.wait()`
+    // below keeps `f` alive until every execution has finished (see `Job`
+    // invariants).
+    let erased: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(local) };
+    let job = Arc::new(Job {
+        func: erased,
+        next: AtomicUsize::new(0),
+        total,
+        remaining: AtomicUsize::new(total),
+        panic_payload: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+
+    {
+        let sender = p.sender.lock().unwrap_or_else(|e| e.into_inner());
+        for _ in 0..helpers {
+            let _ = sender.send(Arc::clone(&job));
+        }
+    }
+    job.run();
+    job.wait();
+    let payload = job
+        .panic_payload
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    if let Some(payload) = payload {
+        // Re-raise the first captured panic with its original payload, as the
+        // sequential path would.
+        resume_unwind(payload);
+    }
+}
+
+/// A claimable chunk: the starting element/row index plus the mutable slice,
+/// handed to exactly one worker via `Option::take`.
+type ChunkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+
+/// Splits `data` into at most `pieces` contiguous chunks of at least
+/// `min_chunk` elements and runs `f(start_index, chunk)` on each in parallel.
+///
+/// The chunk boundaries are deterministic, so deterministic per-chunk work
+/// stays reproducible regardless of thread scheduling.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], min_chunk: usize, pieces: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let min_chunk = min_chunk.max(1);
+    let pieces = pieces.clamp(1, len.div_ceil(min_chunk));
+    let chunk = len.div_ceil(pieces);
+
+    // Pre-split into disjoint &mut chunks, then hand them out by index.
+    let mut slots: Vec<ChunkSlot<'_, T>> = Vec::with_capacity(pieces);
+    let mut rest = data;
+    let mut offset = 0;
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        slots.push(Mutex::new(Some((offset, head))));
+        offset += take;
+        rest = tail;
+    }
+
+    parallel_for(slots.len(), |i| {
+        let (start, chunk) = slots[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("chunk already taken");
+        f(start, chunk);
+    });
+}
+
+/// Like [`parallel_chunks_mut`] but with chunk boundaries aligned to
+/// multiples of `row_len` elements, for row-major matrix buffers. `f`
+/// receives the starting *row* index and the chunk of whole rows.
+pub fn parallel_row_chunks_mut<T, F>(
+    data: &mut [T],
+    row_len: usize,
+    min_rows: usize,
+    pieces: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    debug_assert_eq!(data.len() % row_len, 0, "buffer is not whole rows");
+    let rows = data.len() / row_len;
+    if rows == 0 {
+        return;
+    }
+    let min_rows = min_rows.max(1);
+    let pieces = pieces.clamp(1, rows.div_ceil(min_rows));
+    let rows_per_piece = rows.div_ceil(pieces);
+
+    let mut slots: Vec<ChunkSlot<'_, T>> = Vec::with_capacity(pieces);
+    let mut rest = data;
+    let mut row = 0;
+    while !rest.is_empty() {
+        let take_rows = rows_per_piece.min(rest.len() / row_len);
+        let (head, tail) = rest.split_at_mut(take_rows * row_len);
+        slots.push(Mutex::new(Some((row, head))));
+        row += take_rows;
+        rest = tail;
+    }
+
+    parallel_for(slots.len(), |i| {
+        let (start_row, chunk) = slots[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("chunk already taken");
+        f(start_row, chunk);
+    });
+}
+
+/// Runs `f` over `items` in parallel, preserving item order in the output,
+/// and propagating the first error (by index) if any call fails.
+pub fn parallel_map_result<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<Mutex<Option<Result<R, E>>>> = Vec::with_capacity(n);
+    out.resize_with(n, || Mutex::new(None));
+    parallel_for(n, |i| {
+        *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(f(&items[i]));
+    });
+    let mut results = Vec::with_capacity(n);
+    for slot in out {
+        match slot
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("parallel_map_result slot not filled")
+        {
+            Ok(v) => results.push(v),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_and_one_tasks() {
+        parallel_for(0, |_| panic!("must not run"));
+        let ran = AtomicUsize::new(0);
+        parallel_for(1, |i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn nested_calls_complete() {
+        let total = AtomicU64::new(0);
+        parallel_for(8, |_| {
+            parallel_for(16, |j| {
+                total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn chunks_partition_the_slice() {
+        let mut data: Vec<u64> = vec![0; 10_000];
+        parallel_chunks_mut(&mut data, 64, 13, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (start + k) as u64;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn row_chunks_align_to_rows() {
+        let row_len = 7;
+        let mut data: Vec<u64> = vec![0; row_len * 100];
+        parallel_row_chunks_mut(&mut data, row_len, 3, 9, |start_row, chunk| {
+            assert_eq!(chunk.len() % row_len, 0);
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (start_row * row_len + k) as u64;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn map_result_preserves_order_and_errors() {
+        let items: Vec<u64> = (0..100).collect();
+        let ok: Result<Vec<u64>, String> = parallel_map_result(&items, |&x| Ok(x * 3));
+        assert_eq!(ok.unwrap(), (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        let err: Result<Vec<u64>, String> =
+            parallel_map_result(
+                &items,
+                |&x| if x == 31 { Err("boom".into()) } else { Ok(x) },
+            );
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    #[should_panic(expected = "inner failure")]
+    fn panics_propagate() {
+        parallel_for(64, |i| {
+            if i == 17 {
+                panic!("inner failure");
+            }
+        });
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -194,9 +194,8 @@ impl GaussianKde {
 
     /// Density estimate at `x`.
     pub fn pdf(&self, x: f64) -> f64 {
-        let norm = 1.0 / (self.samples.len() as f64
-            * self.bandwidth
-            * (2.0 * std::f64::consts::PI).sqrt());
+        let norm = 1.0
+            / (self.samples.len() as f64 * self.bandwidth * (2.0 * std::f64::consts::PI).sqrt());
         self.samples
             .iter()
             .map(|&s| {

@@ -48,9 +48,15 @@ impl fmt::Display for StatsError {
                 name,
                 value,
                 requirement,
-            } => write!(f, "invalid parameter {name} = {value}: must be {requirement}"),
+            } => write!(
+                f,
+                "invalid parameter {name} = {value}: must be {requirement}"
+            ),
             StatsError::InsufficientData { got, needed } => {
-                write!(f, "insufficient data: got {got} samples, need at least {needed}")
+                write!(
+                    f,
+                    "insufficient data: got {got} samples, need at least {needed}"
+                )
             }
             StatsError::DimensionMismatch { context } => {
                 write!(f, "dimension mismatch: {context}")
@@ -92,7 +98,10 @@ mod tests {
         assert!(e.to_string().contains("sigma"));
         let e = StatsError::InsufficientData { got: 1, needed: 2 };
         assert!(e.to_string().contains("1 samples"));
-        let e = StatsError::DidNotConverge { what: "EM", iterations: 5 };
+        let e = StatsError::DidNotConverge {
+            what: "EM",
+            iterations: 5,
+        };
         assert!(e.to_string().contains("EM"));
     }
 

@@ -73,10 +73,12 @@ mod tests {
     fn tabulated_matches_functional() {
         let n = 100;
         let h = 1.0 / n as f64;
-        let ys: Vec<f64> = (0..=n).map(|i| {
-            let x = i as f64 * h;
-            x * x
-        }).collect();
+        let ys: Vec<f64> = (0..=n)
+            .map(|i| {
+                let x = i as f64 * h;
+                x * x
+            })
+            .collect();
         let tab = trapezoid_tabulated(&ys, h);
         let fun = trapezoid(|x| x * x, 0.0, 1.0, n);
         assert!((tab - fun).abs() < 1e-12);

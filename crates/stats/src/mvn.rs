@@ -82,12 +82,24 @@ impl MultivariateNormal {
 
     /// Draws `n` samples as an `n × dim` matrix (records are rows), the layout
     /// the rest of the workspace uses for data sets.
+    ///
+    /// The standard-normal draws fill one `n × dim` matrix `Z` (row-major, so
+    /// the stream order matches drawing record by record), and the covariance
+    /// is applied as a single batched product `Z Lᵀ` through the blocked
+    /// matmul kernel — the Cholesky factor is computed once at construction
+    /// and reused for every batch.
     pub fn sample_matrix<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Matrix {
         let dim = self.dim();
-        let mut out = Matrix::zeros(n, dim);
-        for i in 0..n {
-            let row = self.sample(rng);
-            out.set_row(i, &row);
+        let mut z = Matrix::zeros(n, dim);
+        for v in z.as_mut_slice().iter_mut() {
+            *v = crate::rng::standard_normal(rng);
+        }
+        let mut out = z
+            .matmul_transpose_b(self.cholesky.l())
+            .expect("sample_matrix shapes always agree");
+        if self.mean.iter().any(|&m| m != 0.0) {
+            out.add_row_broadcast(&self.mean)
+                .expect("mean length always matches");
         }
         out
     }
@@ -96,7 +108,11 @@ impl MultivariateNormal {
     pub fn log_pdf(&self, x: &[f64]) -> Result<f64> {
         if x.len() != self.dim() {
             return Err(StatsError::DimensionMismatch {
-                context: format!("point has length {}, distribution is {}-dimensional", x.len(), self.dim()),
+                context: format!(
+                    "point has length {}, distribution is {}-dimensional",
+                    x.len(),
+                    self.dim()
+                ),
             });
         }
         let diff: Vec<f64> = x
@@ -107,7 +123,8 @@ impl MultivariateNormal {
         let solved = self.cholesky.solve_vec(&diff)?;
         let quad: f64 = diff.iter().zip(solved.iter()).map(|(&d, &s)| d * s).sum();
         let dim = self.dim() as f64;
-        Ok(-0.5 * (quad + self.cholesky.log_determinant() + dim * (2.0 * std::f64::consts::PI).ln()))
+        Ok(-0.5
+            * (quad + self.cholesky.log_determinant() + dim * (2.0 * std::f64::consts::PI).ln()))
     }
 
     /// Probability density at `x`.
@@ -116,16 +133,14 @@ impl MultivariateNormal {
     }
 }
 
-/// Computes `L v` exploiting the lower-triangular structure of `L`.
+/// Computes `L v` exploiting the lower-triangular structure of `L`:
+/// each entry is a dot of L's contiguous row prefix with the prefix of `v`.
 fn lower_triangular_matvec(l: &Matrix, v: &[f64]) -> Vec<f64> {
     let n = l.rows();
     let mut out = vec![0.0; n];
     for (i, o) in out.iter_mut().enumerate() {
-        let mut sum = 0.0;
-        for (j, &vj) in v.iter().enumerate().take(i + 1) {
-            sum += l.get(i, j) * vj;
-        }
-        *o = sum;
+        let row = &l.row(i)[..=i];
+        *o = row.iter().zip(&v[..=i]).map(|(&a, &b)| a * b).sum();
     }
     out
 }

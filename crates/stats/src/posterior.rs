@@ -78,7 +78,7 @@ where
     D: ContinuousDistribution,
     F: Fn(f64) -> f64,
 {
-    if !(high > low) || grid_points < 2 {
+    if high.is_nan() || low.is_nan() || high <= low || grid_points < 2 {
         return Err(StatsError::InvalidParameter {
             name: "grid",
             value: grid_points as f64,
@@ -91,7 +91,11 @@ where
     for i in 0..grid_points {
         let x = low + i as f64 * h;
         // Trapezoid end-point weights.
-        let w_trap = if i == 0 || i == grid_points - 1 { 0.5 } else { 1.0 };
+        let w_trap = if i == 0 || i == grid_points - 1 {
+            0.5
+        } else {
+            1.0
+        };
         let w = w_trap * prior_pdf(x) * noise.pdf(y - x);
         num += x * w;
         den += w;
@@ -149,7 +153,10 @@ mod tests {
         for &y in &[-3.0, -1.0, 0.0, 0.5, 2.5] {
             let grid = histogram_posterior_mean(y, &prior, &noise);
             let exact = gaussian_posterior_mean(y, 0.0, 4.0, 1.0).unwrap();
-            assert!((grid - exact).abs() < 0.02, "y={y}: grid={grid} exact={exact}");
+            assert!(
+                (grid - exact).abs() < 0.02,
+                "y={y}: grid={grid} exact={exact}"
+            );
         }
     }
 
@@ -166,15 +173,8 @@ mod tests {
         let prior_normal = Normal::new(1.0, 3.0).unwrap();
         let noise = Normal::new(0.0, 2.0).unwrap();
         let y = 4.0;
-        let grid = grid_posterior_mean(
-            y,
-            |x| prior_normal.pdf(x),
-            &noise,
-            -20.0,
-            20.0,
-            2_000,
-        )
-        .unwrap();
+        let grid =
+            grid_posterior_mean(y, |x| prior_normal.pdf(x), &noise, -20.0, 20.0, 2_000).unwrap();
         let exact = gaussian_posterior_mean(y, 1.0, 9.0, 4.0).unwrap();
         assert!((grid - exact).abs() < 1e-3);
     }

@@ -104,11 +104,7 @@ pub fn reconstruct_distribution<D: ContinuousDistribution>(
         let mut next = vec![0.0; config.bins];
         for row in &kernel {
             // Denominator: Σ_j f_R(y_i − a_j) f_X(a_j)
-            let denom: f64 = row
-                .iter()
-                .zip(masses.iter())
-                .map(|(&k, &m)| k * m)
-                .sum();
+            let denom: f64 = row.iter().zip(masses.iter()).map(|(&k, &m)| k * m).sum();
             if denom <= f64::MIN_POSITIVE {
                 continue;
             }
@@ -179,7 +175,11 @@ mod tests {
         let rec = reconstruct_distribution(&ys, &noise, &config).unwrap();
         // The reconstructed density should centre near 10 with variance near 4,
         // i.e. much tighter than the disguised data's variance of 4 + 16 = 20.
-        assert!((rec.density.mean() - 10.0).abs() < 0.5, "mean = {}", rec.density.mean());
+        assert!(
+            (rec.density.mean() - 10.0).abs() < 0.5,
+            "mean = {}",
+            rec.density.mean()
+        );
         assert!(
             rec.density.variance() < 10.0,
             "variance = {} should be well below the disguised variance of 20",
@@ -204,8 +204,7 @@ mod tests {
             };
             ys.push(x + noise.sample(&mut rng));
         }
-        let rec =
-            reconstruct_distribution(&ys, &noise, &ReconstructionConfig::default()).unwrap();
+        let rec = reconstruct_distribution(&ys, &noise, &ReconstructionConfig::default()).unwrap();
         // Density near the two modes should dominate density at the midpoint.
         let p_mode0 = rec.density.pdf(0.0);
         let p_mode1 = rec.density.pdf(20.0);
@@ -217,7 +216,9 @@ mod tests {
     #[test]
     fn rejects_insufficient_data_and_bad_config() {
         let noise = Normal::standard();
-        assert!(reconstruct_distribution(&[1.0], &noise, &ReconstructionConfig::default()).is_err());
+        assert!(
+            reconstruct_distribution(&[1.0], &noise, &ReconstructionConfig::default()).is_err()
+        );
         let bad = ReconstructionConfig {
             bins: 0,
             ..Default::default()
@@ -230,8 +231,7 @@ mod tests {
         let x_dist = Uniform::new(0.0, 10.0).unwrap();
         let noise = Normal::new(0.0, 1.0).unwrap();
         let (_, ys) = disguise(&x_dist, &noise, 1_000, 3);
-        let rec =
-            reconstruct_distribution(&ys, &noise, &ReconstructionConfig::default()).unwrap();
+        let rec = reconstruct_distribution(&ys, &noise, &ReconstructionConfig::default()).unwrap();
         let total: f64 = rec.density.masses().iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
     }

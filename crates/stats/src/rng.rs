@@ -17,8 +17,7 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 /// sweep points does not perturb the random draws of the other points.
 pub fn child_seed(base: u64, stream: u64) -> u64 {
     // SplitMix64 finalizer — good avalanche behaviour, cheap, and dependency-free.
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

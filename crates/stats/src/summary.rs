@@ -58,21 +58,91 @@ pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
 
 /// Sample covariance matrix of the columns of `data` (records are rows,
 /// attributes are columns), using the unbiased `n - 1` normalization.
+///
+/// Implemented as a single symmetric-rank-update pass: each record
+/// contributes `(x − μ)(x − μ)ᵀ` to the upper triangle through contiguous
+/// row `axpy`s, so the data matrix is read exactly once, no centered copy is
+/// materialized, and large inputs fan out across the shared thread pool
+/// (per-chunk partial triangles, deterministically reduced in chunk order).
 pub fn covariance_matrix(data: &Matrix) -> Matrix {
+    let means = data.column_means();
+    covariance_from_rows(data, Some(&means))
+}
+
+/// Like [`covariance_matrix`] but for data whose columns are already
+/// centered (mean zero), skipping the extra mean pass. PCA-DR and spectral
+/// filtering call this with the centered matrix they need anyway.
+pub fn covariance_matrix_centered(data: &Matrix) -> Matrix {
+    covariance_from_rows(data, None)
+}
+
+fn covariance_from_rows(data: &Matrix, means: Option<&[f64]>) -> Matrix {
     let (n, m) = data.shape();
     let mut cov = Matrix::zeros(m, m);
     if n < 2 {
         return cov;
     }
-    let (centered, _) = data.center_columns();
-    // cov = centeredᵀ · centered / (n - 1); exploit symmetry.
+
+    // Upper-triangle accumulation over a row chunk; `scratch` holds the
+    // centered record so the inner axpy reads one contiguous slice.
+    let accumulate = |rows: std::ops::Range<usize>| -> Vec<f64> {
+        let mut acc = vec![0.0; m * m];
+        let mut scratch = vec![0.0; m];
+        for r in rows {
+            let row = data.row(r);
+            match means {
+                Some(mu) => {
+                    for ((s, &x), &mv) in scratch.iter_mut().zip(row).zip(mu) {
+                        *s = x - mv;
+                    }
+                }
+                None => scratch.copy_from_slice(row),
+            }
+            for i in 0..m {
+                let v = scratch[i];
+                for (o, &w) in acc[i * m + i..(i + 1) * m].iter_mut().zip(&scratch[i..]) {
+                    *o += v * w;
+                }
+            }
+        }
+        acc
+    };
+
+    // Chunk boundaries are a fixed row count — never a function of the
+    // machine's core count — and partial triangles are reduced in chunk
+    // order on both the sequential and parallel paths, so the result is
+    // bit-identical regardless of how many threads (if any) computed it.
+    const CHUNK_ROWS: usize = 2048;
+    let flops = n * m * (m + 1) / 2;
+    let acc = if n <= CHUNK_ROWS {
+        accumulate(0..n)
+    } else {
+        let ranges: Vec<std::ops::Range<usize>> = (0..n)
+            .step_by(CHUNK_ROWS)
+            .map(|start| start..(start + CHUNK_ROWS).min(n))
+            .collect();
+        let partials: Vec<Vec<f64>> = if randrecon_parallel::max_threads() > 1
+            && flops >= randrecon_parallel::PARALLEL_MIN_FLOPS
+        {
+            let result: Result<Vec<Vec<f64>>, ()> =
+                randrecon_parallel::parallel_map_result(&ranges, |r| Ok(accumulate(r.clone())));
+            result.expect("covariance accumulation cannot fail")
+        } else {
+            ranges.into_iter().map(&accumulate).collect()
+        };
+        let mut total = vec![0.0; m * m];
+        for part in partials {
+            for (o, &v) in total.iter_mut().zip(part.iter()) {
+                *o += v;
+            }
+        }
+        total
+    };
+
+    let norm = 1.0 / (n - 1) as f64;
     for i in 0..m {
         for j in i..m {
-            let mut sum = 0.0;
-            for r in 0..n {
-                sum += centered.get(r, i) * centered.get(r, j);
-            }
-            let v = sum / (n - 1) as f64;
+            let v = acc[i * m + j] * norm;
             cov.set(i, j, v);
             cov.set(j, i, v);
         }
@@ -117,13 +187,26 @@ pub fn mean_vector(data: &Matrix) -> Vec<f64> {
     data.column_means()
 }
 
-/// Per-column sample variances of `data`.
+/// Per-column sample variances of `data`, computed in one row-major pass
+/// (no strided column extraction).
 pub fn variance_vector(data: &Matrix) -> Vec<f64> {
     let (n, m) = data.shape();
     if n < 2 {
         return vec![0.0; m];
     }
-    (0..m).map(|j| variance(&data.column(j))).collect()
+    let means = data.column_means();
+    let mut acc = vec![0.0; m];
+    for row in data.row_iter() {
+        for ((a, &x), &mu) in acc.iter_mut().zip(row).zip(&means) {
+            let d = x - mu;
+            *a += d * d;
+        }
+    }
+    let norm = 1.0 / (n - 1) as f64;
+    for a in &mut acc {
+        *a *= norm;
+    }
+    acc
 }
 
 /// Five-number-style summary of a slice, useful for reporting workloads.
@@ -191,12 +274,7 @@ mod tests {
     #[test]
     fn covariance_matrix_hand_checked() {
         // Two columns: [1,2,3] and [2,4,6] -> var1 = 1, var2 = 4, cov = 2.
-        let data = Matrix::from_rows(&[
-            &[1.0, 2.0][..],
-            &[2.0, 4.0][..],
-            &[3.0, 6.0][..],
-        ])
-        .unwrap();
+        let data = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0][..], &[3.0, 6.0][..]]).unwrap();
         let cov = covariance_matrix(&data);
         assert!((cov.get(0, 0) - 1.0).abs() < 1e-12);
         assert!((cov.get(1, 1) - 4.0).abs() < 1e-12);
@@ -209,6 +287,21 @@ mod tests {
     }
 
     #[test]
+    fn centered_variant_matches_full_computation() {
+        let data = Matrix::from_rows(&[
+            &[1.0, 2.0, -3.0][..],
+            &[2.0, 4.0, 1.0][..],
+            &[3.0, 6.0, 0.5][..],
+            &[-1.0, 1.5, 2.0][..],
+        ])
+        .unwrap();
+        let (centered, _) = data.center_columns();
+        let via_centered = covariance_matrix_centered(&centered);
+        let full = covariance_matrix(&data);
+        assert!(via_centered.approx_eq(&full, 1e-12));
+    }
+
+    #[test]
     fn covariance_matrix_of_single_row_is_zero() {
         let data = Matrix::from_rows(&[&[1.0, 2.0][..]]).unwrap();
         let cov = covariance_matrix(&data);
@@ -217,12 +310,7 @@ mod tests {
 
     #[test]
     fn correlation_matrix_handles_constant_column() {
-        let data = Matrix::from_rows(&[
-            &[1.0, 5.0][..],
-            &[2.0, 5.0][..],
-            &[3.0, 5.0][..],
-        ])
-        .unwrap();
+        let data = Matrix::from_rows(&[&[1.0, 5.0][..], &[2.0, 5.0][..], &[3.0, 5.0][..]]).unwrap();
         let corr = correlation_matrix(&data);
         assert_eq!(corr.get(0, 1), 0.0);
         assert_eq!(corr.get(1, 1), 1.0);
@@ -230,11 +318,7 @@ mod tests {
 
     #[test]
     fn mean_and_variance_vectors() {
-        let data = Matrix::from_rows(&[
-            &[1.0, 10.0][..],
-            &[3.0, 30.0][..],
-        ])
-        .unwrap();
+        let data = Matrix::from_rows(&[&[1.0, 10.0][..], &[3.0, 30.0][..]]).unwrap();
         assert_eq!(mean_vector(&data), vec![2.0, 20.0]);
         let v = variance_vector(&data);
         assert!((v[0] - 2.0).abs() < 1e-12);

@@ -57,8 +57,8 @@ fn main() {
         let noise_spec = interpolated_spectrum(&ds.eigenvalues, level, total_noise_variance)
             .expect("noise spectrum");
         let sigma_r = noise_covariance(&ds.eigenvectors, &noise_spec).expect("noise covariance");
-        let dissimilarity =
-            correlation_dissimilarity_from_covariances(&ds.covariance, &sigma_r).expect("dissimilarity");
+        let dissimilarity = correlation_dissimilarity_from_covariances(&ds.covariance, &sigma_r)
+            .expect("dissimilarity");
 
         let randomizer = AdditiveRandomizer::correlated(sigma_r).expect("randomizer");
         let disguised = randomizer
@@ -66,15 +66,29 @@ fn main() {
             .expect("disguise");
         let model = randomizer.model();
 
-        let sf = rmse(&ds.table, &SpectralFiltering::default().reconstruct(&disguised, model).expect("SF"))
-            .expect("rmse");
-        let pca = rmse(&ds.table, &PcaDr::largest_gap().reconstruct(&disguised, model).expect("PCA"))
-            .expect("rmse");
-        let be = rmse(&ds.table, &BeDr::default().reconstruct(&disguised, model).expect("BE"))
-            .expect("rmse");
+        let sf = rmse(
+            &ds.table,
+            &SpectralFiltering::default()
+                .reconstruct(&disguised, model)
+                .expect("SF"),
+        )
+        .expect("rmse");
+        let pca = rmse(
+            &ds.table,
+            &PcaDr::largest_gap()
+                .reconstruct(&disguised, model)
+                .expect("PCA"),
+        )
+        .expect("rmse");
+        let be = rmse(
+            &ds.table,
+            &BeDr::default().reconstruct(&disguised, model).expect("BE"),
+        )
+        .expect("rmse");
 
         // Utility: the miner estimates the original covariance via Theorem 8.2.
-        let estimated = estimate_original_covariance(&disguised, model).expect("covariance estimate");
+        let estimated =
+            estimate_original_covariance(&disguised, model).expect("covariance estimate");
         let utility_err = covariance_recovery_error(&ds.covariance, &estimated).expect("utility");
 
         println!(

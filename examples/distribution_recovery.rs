@@ -41,10 +41,21 @@ fn main() {
     // Randomization: add zero-mean Gaussian noise with sigma = 15,000 — large
     // enough that any individual disguised value looks uninformative.
     let noise = Normal::new(0.0, 15_000.0).expect("noise");
-    let disguised: Vec<f64> = originals.iter().map(|&x| x + noise.sample(&mut rng)).collect();
+    let disguised: Vec<f64> = originals
+        .iter()
+        .map(|&x| x + noise.sample(&mut rng))
+        .collect();
 
-    println!("original mean {:>12.0}  std {:>10.0}", summary::mean(&originals), summary::std_dev(&originals));
-    println!("disguised mean {:>11.0}  std {:>10.0}", summary::mean(&disguised), summary::std_dev(&disguised));
+    println!(
+        "original mean {:>12.0}  std {:>10.0}",
+        summary::mean(&originals),
+        summary::std_dev(&originals)
+    );
+    println!(
+        "disguised mean {:>11.0}  std {:>10.0}",
+        summary::mean(&disguised),
+        summary::std_dev(&disguised)
+    );
 
     // --- Miner's view: recover the distribution (aggregate utility). ---
     let config = ReconstructionConfig {
@@ -52,13 +63,18 @@ fn main() {
         max_iterations: 300,
         tolerance: 1e-5,
     };
-    let recovered = reconstruct_distribution(&disguised, &noise, &config).expect("AS reconstruction");
+    let recovered =
+        reconstruct_distribution(&disguised, &noise, &config).expect("AS reconstruction");
     println!(
         "\nAgrawal-Srikant distribution reconstruction: {} iterations, converged = {}",
         recovered.iterations, recovered.converged
     );
     println!("reconstructed distribution, probability mass by income band:");
-    let bands = [(20_000.0, 45_000.0), (45_000.0, 70_000.0), (70_000.0, 120_000.0)];
+    let bands = [
+        (20_000.0, 45_000.0),
+        (45_000.0, 70_000.0),
+        (70_000.0, 120_000.0),
+    ];
     for (lo, hi) in bands {
         let mass: f64 = recovered
             .density
@@ -95,6 +111,10 @@ fn main() {
 }
 
 fn rmse(a: &[f64], b: &[f64]) -> f64 {
-    let sum: f64 = a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum();
+    let sum: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum();
     (sum / a.len() as f64).sqrt()
 }

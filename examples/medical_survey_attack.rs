@@ -82,12 +82,18 @@ fn main() {
     let naive = disclosure_rate(&survey, &disguised, tolerance).expect("naive disclosure");
     let attacked = disclosure_rate(&survey, &reconstruction, tolerance).expect("attack disclosure");
     println!("\nfraction of values within +/-{tolerance} of the truth:");
-    println!("  reading the disguised release directly : {:.1}%", naive * 100.0);
-    println!("  after the BE-DR attack                 : {:.1}%", attacked * 100.0);
+    println!(
+        "  reading the disguised release directly : {:.1}%",
+        naive * 100.0
+    );
+    println!(
+        "  after the BE-DR attack                 : {:.1}%",
+        attacked * 100.0
+    );
 
     println!("\nper-attribute disclosure after the attack (+/-{tolerance}):");
-    let per_attr_disc =
-        per_attribute_disclosure_rate(&survey, &reconstruction, tolerance).expect("per-attr disclosure");
+    let per_attr_disc = per_attribute_disclosure_rate(&survey, &reconstruction, tolerance)
+        .expect("per-attr disclosure");
     for (attr, rate) in survey.schema().names().iter().zip(per_attr_disc.iter()) {
         println!("  {attr:<14} {:>6.1}%", rate * 100.0);
     }

@@ -37,8 +37,8 @@ fn main() {
     // Proposal 2: the Section 8 defense — noise covariance proportional to the
     // data covariance, same total noise power.
     let ratio = sigma * sigma * ds.n_attributes() as f64 / ds.covariance.trace();
-    let defended = AdditiveRandomizer::correlated(ds.covariance.scale(ratio))
-        .expect("correlated randomizer");
+    let defended =
+        AdditiveRandomizer::correlated(ds.covariance.scale(ratio)).expect("correlated randomizer");
     let defended_release = defended
         .disguise(&ds.table, &mut seeded_rng(2))
         .expect("defended disguise");

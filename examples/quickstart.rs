@@ -17,8 +17,7 @@ use randrecon::stats::rng::seeded_rng;
 fn main() {
     // 1. A correlated data set: 40 attributes but only 5 independent "factors"
     //    (the situation the paper warns about — lots of redundancy).
-    let spectrum = EigenSpectrum::principal_plus_small(5, 400.0, 40, 4.0)
-        .expect("valid spectrum");
+    let spectrum = EigenSpectrum::principal_plus_small(5, 400.0, 40, 4.0).expect("valid spectrum");
     let dataset = SyntheticDataset::generate(&spectrum, 1_000, 42).expect("workload generation");
     println!(
         "original data: {} records x {} attributes, total variance {:.1}",
@@ -33,9 +32,7 @@ fn main() {
     let disguised = randomizer
         .disguise(&dataset.table, &mut seeded_rng(7))
         .expect("disguising");
-    println!(
-        "disguised with independent Gaussian noise, sigma = 10 (the adversary knows this)\n"
-    );
+    println!("disguised with independent Gaussian noise, sigma = 10 (the adversary knows this)\n");
 
     // 3. The adversary only sees `disguised` and the public noise model.
     let model = randomizer.model();

@@ -10,11 +10,19 @@ use randrecon::metrics::rmse;
 use randrecon::noise::additive::AdditiveRandomizer;
 use randrecon::stats::rng::seeded_rng;
 
-fn release(seed: u64) -> (SyntheticDataset, AdditiveRandomizer, randrecon::data::DataTable) {
+fn release(
+    seed: u64,
+) -> (
+    SyntheticDataset,
+    AdditiveRandomizer,
+    randrecon::data::DataTable,
+) {
     let spectrum = EigenSpectrum::principal_plus_small(3, 300.0, 15, 3.0).unwrap();
     let ds = SyntheticDataset::generate(&spectrum, 600, seed).unwrap();
     let randomizer = AdditiveRandomizer::gaussian(9.0).unwrap();
-    let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(seed + 1)).unwrap();
+    let disguised = randomizer
+        .disguise(&ds.table, &mut seeded_rng(seed + 1))
+        .unwrap();
     (ds, randomizer, disguised)
 }
 
@@ -26,9 +34,16 @@ fn privacy_audit_flags_correlated_release_as_weak() {
         .unwrap();
 
     // The promised privacy (noise std 9) is eroded substantially.
-    assert!(report.privacy_erosion_factor() > 1.5, "erosion factor {}", report.privacy_erosion_factor());
+    assert!(
+        report.privacy_erosion_factor() > 1.5,
+        "erosion factor {}",
+        report.privacy_erosion_factor()
+    );
     // The strongest attack is one of the correlation-exploiting schemes.
-    assert!(matches!(report.strongest().attack, "BE-DR" | "PCA-DR" | "SF"));
+    assert!(matches!(
+        report.strongest().attack,
+        "BE-DR" | "PCA-DR" | "SF"
+    ));
     // Every attack outcome carries per-attribute detail for all 15 attributes.
     for outcome in &report.outcomes {
         assert_eq!(outcome.per_attribute_rmse.len(), 15);
@@ -46,13 +61,17 @@ fn audit_on_uncorrelated_release_reports_little_erosion() {
     let spectrum = EigenSpectrum::principal_plus_small(10, 150.0, 10, 150.0).unwrap();
     let ds = SyntheticDataset::generate(&spectrum, 600, 202).unwrap();
     let randomizer = AdditiveRandomizer::gaussian(9.0).unwrap();
-    let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(203)).unwrap();
+    let disguised = randomizer
+        .disguise(&ds.table, &mut seeded_rng(203))
+        .unwrap();
     let report = PrivacyAudit::default()
         .run(&ds.table, &disguised, randomizer.model())
         .unwrap();
     let correlated_release = {
         let (ds_c, r_c, d_c) = release(204);
-        PrivacyAudit::default().run(&ds_c.table, &d_c, r_c.model()).unwrap()
+        PrivacyAudit::default()
+            .run(&ds_c.table, &d_c, r_c.model())
+            .unwrap()
     };
     assert!(
         report.privacy_erosion_factor() < correlated_release.privacy_erosion_factor(),
@@ -65,7 +84,9 @@ fn audit_on_uncorrelated_release_reports_little_erosion() {
 #[test]
 fn partial_knowledge_strictly_improves_the_attack() {
     let (ds, randomizer, disguised) = release(303);
-    let plain = BeDr::default().reconstruct(&disguised, randomizer.model()).unwrap();
+    let plain = BeDr::default()
+        .reconstruct(&disguised, randomizer.model())
+        .unwrap();
     let plain_rmse = rmse(&ds.table, &plain).unwrap();
 
     // Adversary learns three attributes of every record through a side channel.
@@ -84,8 +105,11 @@ fn partial_knowledge_strictly_improves_the_attack() {
     );
     // The audit's strongest attack is still an upper bound on what the
     // partial-knowledge adversary achieves without side information.
-    let report = PrivacyAudit { tolerance: Some(3.0), include_udr: false }
-        .run(&ds.table, &disguised, randomizer.model())
-        .unwrap();
+    let report = PrivacyAudit {
+        tolerance: Some(3.0),
+        include_udr: false,
+    }
+    .run(&ds.table, &disguised, randomizer.model())
+    .unwrap();
     assert!(partial_rmse <= report.strongest().rmse * 1.01);
 }

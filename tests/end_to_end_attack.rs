@@ -23,17 +23,40 @@ fn attack_hierarchy_on_correlated_data() {
     let ds = correlated_workload(40, 5, 1_200, 9001);
     let sigma = 10.0;
     let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
-    let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(9002)).unwrap();
+    let disguised = randomizer
+        .disguise(&ds.table, &mut seeded_rng(9002))
+        .unwrap();
     let model = randomizer.model();
 
     let ndr = rmse(&ds.table, &Ndr.reconstruct(&disguised, model).unwrap()).unwrap();
-    let udr = rmse(&ds.table, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
-    let sf = rmse(&ds.table, &SpectralFiltering::default().reconstruct(&disguised, model).unwrap()).unwrap();
-    let pca = rmse(&ds.table, &PcaDr::largest_gap().reconstruct(&disguised, model).unwrap()).unwrap();
-    let be = rmse(&ds.table, &BeDr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+    let udr = rmse(
+        &ds.table,
+        &Udr::default().reconstruct(&disguised, model).unwrap(),
+    )
+    .unwrap();
+    let sf = rmse(
+        &ds.table,
+        &SpectralFiltering::default()
+            .reconstruct(&disguised, model)
+            .unwrap(),
+    )
+    .unwrap();
+    let pca = rmse(
+        &ds.table,
+        &PcaDr::largest_gap().reconstruct(&disguised, model).unwrap(),
+    )
+    .unwrap();
+    let be = rmse(
+        &ds.table,
+        &BeDr::default().reconstruct(&disguised, model).unwrap(),
+    )
+    .unwrap();
 
     // NDR error is the noise level itself.
-    assert!((ndr - sigma).abs() < 0.5, "NDR {ndr} should be ~ sigma {sigma}");
+    assert!(
+        (ndr - sigma).abs() < 0.5,
+        "NDR {ndr} should be ~ sigma {sigma}"
+    );
     // Correlation-based attacks all beat the univariate baseline.
     assert!(sf < udr, "SF {sf} < UDR {udr}");
     assert!(pca < udr, "PCA {pca} < UDR {udr}");
@@ -41,7 +64,10 @@ fn attack_hierarchy_on_correlated_data() {
     // BE-DR is the strongest (allowing a tiny numerical margin vs PCA-DR).
     assert!(be <= pca * 1.05, "BE {be} should be <= PCA {pca}");
     // And the strongest attack removes most of the noise.
-    assert!(be < 0.4 * sigma, "BE-DR should cancel most of the noise, got {be}");
+    assert!(
+        be < 0.4 * sigma,
+        "BE-DR should cancel most of the noise, got {be}"
+    );
 }
 
 /// Disguising and attacking must preserve shape, schema and finiteness.
@@ -61,7 +87,12 @@ fn shapes_and_schemas_survive_the_pipeline() {
     ];
     for attack in attacks {
         let out = attack.reconstruct(&disguised, randomizer.model()).unwrap();
-        assert_eq!(out.values().shape(), ds.table.values().shape(), "{}", attack.name());
+        assert_eq!(
+            out.values().shape(),
+            ds.table.values().shape(),
+            "{}",
+            attack.name()
+        );
         assert_eq!(out.schema(), ds.table.schema(), "{}", attack.name());
         assert!(!out.values().has_non_finite(), "{}", attack.name());
     }
@@ -76,10 +107,20 @@ fn noise_level_controls_privacy() {
     let mut previous_udr = 0.0;
     for (i, &sigma) in [2.0, 8.0, 32.0].iter().enumerate() {
         let randomizer = AdditiveRandomizer::gaussian(sigma).unwrap();
-        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(556 + i as u64)).unwrap();
+        let disguised = randomizer
+            .disguise(&ds.table, &mut seeded_rng(556 + i as u64))
+            .unwrap();
         let model = randomizer.model();
-        let be = rmse(&ds.table, &BeDr::default().reconstruct(&disguised, model).unwrap()).unwrap();
-        let udr = rmse(&ds.table, &Udr::default().reconstruct(&disguised, model).unwrap()).unwrap();
+        let be = rmse(
+            &ds.table,
+            &BeDr::default().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
+        let udr = rmse(
+            &ds.table,
+            &Udr::default().reconstruct(&disguised, model).unwrap(),
+        )
+        .unwrap();
         if i > 0 {
             assert!(be > previous_be, "BE-DR error should grow with sigma");
             assert!(udr > previous_udr, "UDR error should grow with sigma");
@@ -101,12 +142,19 @@ fn correlated_noise_defense_end_to_end() {
     let disguised_classic = classic.disguise(&ds.table, &mut seeded_rng(1)).unwrap();
     let be_classic = rmse(
         &ds.table,
-        &BeDr::default().reconstruct(&disguised_classic, classic.model()).unwrap(),
+        &BeDr::default()
+            .reconstruct(&disguised_classic, classic.model())
+            .unwrap(),
     )
     .unwrap();
-    let disclosure_classic =
-        disclosure_rate(&ds.table, &BeDr::default().reconstruct(&disguised_classic, classic.model()).unwrap(), 2.0)
-            .unwrap();
+    let disclosure_classic = disclosure_rate(
+        &ds.table,
+        &BeDr::default()
+            .reconstruct(&disguised_classic, classic.model())
+            .unwrap(),
+        2.0,
+    )
+    .unwrap();
 
     // Defense: noise covariance proportional to the data covariance with the
     // same total power (sigma^2 per attribute on average).
@@ -115,12 +163,19 @@ fn correlated_noise_defense_end_to_end() {
     let disguised_defended = defended.disguise(&ds.table, &mut seeded_rng(2)).unwrap();
     let be_defended = rmse(
         &ds.table,
-        &BeDr::default().reconstruct(&disguised_defended, defended.model()).unwrap(),
+        &BeDr::default()
+            .reconstruct(&disguised_defended, defended.model())
+            .unwrap(),
     )
     .unwrap();
-    let disclosure_defended =
-        disclosure_rate(&ds.table, &BeDr::default().reconstruct(&disguised_defended, defended.model()).unwrap(), 2.0)
-            .unwrap();
+    let disclosure_defended = disclosure_rate(
+        &ds.table,
+        &BeDr::default()
+            .reconstruct(&disguised_defended, defended.model())
+            .unwrap(),
+        2.0,
+    )
+    .unwrap();
 
     assert!(
         be_defended > be_classic,

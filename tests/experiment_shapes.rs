@@ -17,8 +17,7 @@ fn figure1_shape_correlation_helps_more_with_more_attributes() {
     let last = series.points.last().unwrap();
     let gap_first =
         first.rmse_of(SchemeKind::Udr).unwrap() - first.rmse_of(SchemeKind::BeDr).unwrap();
-    let gap_last =
-        last.rmse_of(SchemeKind::Udr).unwrap() - last.rmse_of(SchemeKind::BeDr).unwrap();
+    let gap_last = last.rmse_of(SchemeKind::Udr).unwrap() - last.rmse_of(SchemeKind::BeDr).unwrap();
     assert!(
         gap_last > gap_first,
         "BE-DR's advantage should widen with m: first {gap_first}, last {gap_last}"
@@ -32,8 +31,7 @@ fn figure2_shape_advantage_shrinks_as_p_grows() {
     let last = series.points.last().unwrap();
     let gap_first =
         first.rmse_of(SchemeKind::Udr).unwrap() - first.rmse_of(SchemeKind::BeDr).unwrap();
-    let gap_last =
-        last.rmse_of(SchemeKind::Udr).unwrap() - last.rmse_of(SchemeKind::BeDr).unwrap();
+    let gap_last = last.rmse_of(SchemeKind::Udr).unwrap() - last.rmse_of(SchemeKind::BeDr).unwrap();
     assert!(
         gap_first > gap_last,
         "BE-DR's advantage should shrink as p -> m: first {gap_first}, last {gap_last}"
