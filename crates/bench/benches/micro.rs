@@ -10,16 +10,24 @@
 //!   n ∈ {500, 5 000, 50 000} records × 64 attributes, with `*_seed`
 //!   entries running the preserved seed implementations
 //!   (`randrecon_bench::*_seed`, `Matrix::matmul_naive`) so speedups are
-//!   measured inside one binary. `scripts/bench_to_json.sh` dumps this
+//!   measured inside one binary. `scripts/bench_to_json.sh` dumped this
 //!   group to `BENCH_1.json`.
+//! * `kernels_v2` — the PR-2 perf-trajectory group: the Householder +
+//!   implicit-shift QL eigensolver against the pinned Jacobi reference at
+//!   m ∈ {64, 128, 256}, and batched Box–Muller MVN sampling against the
+//!   scalar seed transform at 50 000 records. `scripts/bench_to_json.sh`
+//!   dumps everything to `BENCH_2.json`; `eigen/256` vs `eigen_jacobi/256`
+//!   is the tracked ≥5× acceptance ratio.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use randrecon_bench::{be_dr_seed, cholesky_solve_seed, covariance_matrix_seed};
+use randrecon_bench::{
+    be_dr_seed, cholesky_solve_seed, covariance_matrix_seed, mvn_sample_matrix_seed,
+};
 use randrecon_core::be_dr::BeDr;
 use randrecon_core::Reconstructor;
 use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
 use randrecon_data::DataTable;
-use randrecon_linalg::decomposition::{Cholesky, SymmetricEigen};
+use randrecon_linalg::decomposition::{eigen_jacobi, Cholesky, SymmetricEigen};
 use randrecon_noise::additive::AdditiveRandomizer;
 use randrecon_stats::mvn::MultivariateNormal;
 use randrecon_stats::rng::seeded_rng;
@@ -38,7 +46,7 @@ fn bench_substrates(c: &mut Criterion) {
         let ds = workload(m);
         let cov = ds.covariance.clone();
 
-        group.bench_with_input(BenchmarkId::new("jacobi_eigen", m), &m, |b, _| {
+        group.bench_with_input(BenchmarkId::new("eigen", m), &m, |b, _| {
             b.iter(|| black_box(SymmetricEigen::new(&cov).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("cholesky_inverse", m), &m, |b, _| {
@@ -136,5 +144,47 @@ fn bench_kernels_v1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_substrates, bench_kernels_v1);
+/// The PR-2 perf-trajectory group: the eigensolver swap and the batched
+/// sampler, new path vs preserved seed path inside one binary.
+fn bench_kernels_v2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_v2");
+    group.sample_size(10);
+
+    // Eigendecomposition at the attribute counts the tridiagonal pipeline
+    // unlocks. Both paths consume the identical covariance matrix.
+    for &m in &[64usize, 128, 256] {
+        let ds = workload(m);
+        let cov = ds.covariance.clone();
+        group.bench_with_input(BenchmarkId::new("eigen", m), &m, |b, _| {
+            b.iter(|| black_box(SymmetricEigen::householder_ql(&cov).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("eigen_jacobi", m), &m, |b, _| {
+            b.iter(|| black_box(eigen_jacobi(&cov).unwrap()))
+        });
+    }
+
+    // MVN sampling at the 50k-row bench-setup size (ROADMAP open item):
+    // batched Box–Muller vs the scalar seed transform, same Cholesky factor.
+    let ds = workload(KERNEL_ATTRS);
+    let mvn = MultivariateNormal::zero_mean(ds.covariance.clone()).unwrap();
+    let chol_l = Cholesky::new(&ds.covariance).unwrap().l().clone();
+    group.bench_with_input(
+        BenchmarkId::new("mvn_sample_matrix", 50_000usize),
+        &50_000usize,
+        |b, _| b.iter(|| black_box(mvn.sample_matrix(50_000, &mut seeded_rng(11)))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("mvn_sample_matrix_seed", 50_000usize),
+        &50_000usize,
+        |b, _| b.iter(|| black_box(mvn_sample_matrix_seed(&chol_l, 50_000, &mut seeded_rng(11)))),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_substrates,
+    bench_kernels_v1,
+    bench_kernels_v2
+);
 criterion_main!(benches);

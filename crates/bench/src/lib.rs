@@ -131,6 +131,25 @@ pub fn cholesky_inverse_seed(a: &Matrix) -> Matrix {
     out
 }
 
+/// Seed-path multivariate-normal sampling transform: per-element **scalar**
+/// Box–Muller draws (one normal per uniform pair, discarding the sine
+/// branch) followed by the same batched `Z Lᵀ` product the current path
+/// uses — so the bench isolates exactly the sampling change (batched
+/// Box–Muller with fused `sin_cos`) that PR 2 landed.
+pub fn mvn_sample_matrix_seed<R: rand::Rng + ?Sized>(
+    chol_l: &Matrix,
+    n: usize,
+    rng: &mut R,
+) -> Matrix {
+    let dim = chol_l.rows();
+    let mut z = Matrix::zeros(n, dim);
+    for v in z.as_mut_slice().iter_mut() {
+        *v = randrecon_stats::rng::standard_normal(rng);
+    }
+    z.matmul_transpose_b(chol_l)
+        .expect("mvn seed sample shapes always agree")
+}
+
 /// Seed-path column-by-column matrix solve (the original `Cholesky::solve`).
 pub fn cholesky_solve_seed(ch: &Cholesky, b: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(ch.dim(), b.cols());

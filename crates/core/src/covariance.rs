@@ -152,6 +152,32 @@ mod tests {
     }
 
     #[test]
+    fn clip_eigenvalues_agrees_with_jacobi_reference_path() {
+        // The production clip routes through the Householder + QL pipeline
+        // (m = 20 is above the dispatch threshold); rebuilding the same clip
+        // from the pinned Jacobi reference must give the same matrix, which
+        // pins the consumer-level equivalence of the eigensolver swap.
+        let spectrum = EigenSpectrum::principal_plus_small(3, 50.0, 20, 0.5).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 80, 21).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(6.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(22)).unwrap();
+        let raw = estimate_original_covariance(&disguised, randomizer.model()).unwrap();
+
+        let floor = default_eigenvalue_floor(&disguised);
+        let clipped = clip_eigenvalues(&raw, floor).unwrap();
+
+        let reference = randrecon_linalg::decomposition::eigen_jacobi(&raw).unwrap();
+        let ref_clipped: Vec<f64> = reference
+            .eigenvalues
+            .iter()
+            .map(|&l| if l < floor { floor } else { l })
+            .collect();
+        let rebuilt = recompose(&ref_clipped, &reference.eigenvectors);
+        let rel = clipped.sub(&rebuilt).unwrap().frobenius_norm() / rebuilt.frobenius_norm();
+        assert!(rel < 1e-9, "clip paths diverged: relative error {rel}");
+    }
+
+    #[test]
     fn default_floor_is_small_but_positive() {
         let spectrum = EigenSpectrum::principal_plus_small(1, 10.0, 3, 1.0).unwrap();
         let ds = SyntheticDataset::generate(&spectrum, 100, 9).unwrap();

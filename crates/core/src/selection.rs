@@ -85,8 +85,12 @@ impl ComponentSelection {
                 for i in 0..m - 1 {
                     let before = eigenvalues[i];
                     let after = eigenvalues[i + 1];
+                    // The kept side of the split must carry positive variance:
+                    // on a noise-dominated spectrum whose tail went negative,
+                    // a gap *between two negative eigenvalues* must never win
+                    // (it would keep pure-noise directions as "principal").
                     let dominant =
-                        after <= 0.0 || (before > 0.0 && before / after >= DOMINANCE_RATIO);
+                        before > 0.0 && (after <= 0.0 || before / after >= DOMINANCE_RATIO);
                     if !dominant {
                         continue;
                     }
@@ -200,5 +204,58 @@ mod tests {
     #[test]
     fn empty_spectrum_rejected() {
         assert!(ComponentSelection::LargestGap.select(&[]).is_err());
+    }
+
+    #[test]
+    fn all_equal_eigenvalues_do_not_panic_and_keep_everything() {
+        // Perfectly flat spectrum: there is no gap at all, let alone a
+        // dominant one. Largest-gap must not split (or panic on the 0/0
+        // dominance ratio) — every component is kept.
+        let flat = [7.0; 9];
+        assert_eq!(ComponentSelection::LargestGap.select(&flat).unwrap(), 9);
+        assert_eq!(
+            ComponentSelection::VarianceFraction(0.5)
+                .select(&flat)
+                .unwrap(),
+            5
+        );
+        assert_eq!(ComponentSelection::FixedCount(3).select(&flat).unwrap(), 3);
+
+        // All-zero spectrum (noise exactly cancelled the estimate): still no
+        // panic, still no arbitrary split.
+        let zeros = [0.0; 4];
+        assert_eq!(ComponentSelection::LargestGap.select(&zeros).unwrap(), 4);
+        assert_eq!(
+            ComponentSelection::VarianceFraction(0.9)
+                .select(&zeros)
+                .unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn noise_dominated_spectrum_with_negative_bulk() {
+        // Noise ≫ signal: after noise subtraction most estimated eigenvalues
+        // go negative and only a sliver of signal survives. The selection
+        // rules must stay inside [1, m] and pick the surviving sliver.
+        let noisy = [0.3, -0.1, -0.2, -0.4, -0.9];
+        let gap = ComponentSelection::LargestGap.select(&noisy).unwrap();
+        assert_eq!(gap, 1);
+        let frac = ComponentSelection::VarianceFraction(0.99)
+            .select(&noisy)
+            .unwrap();
+        assert_eq!(frac, 1);
+        assert_eq!(ComponentSelection::FixedCount(9).select(&noisy).unwrap(), 5);
+    }
+
+    #[test]
+    fn single_component_spectra_across_all_rules() {
+        for rule in [
+            ComponentSelection::FixedCount(1),
+            ComponentSelection::VarianceFraction(0.5),
+            ComponentSelection::LargestGap,
+        ] {
+            assert_eq!(rule.select(&[42.0]).unwrap(), 1);
+        }
     }
 }

@@ -153,6 +153,66 @@ mod tests {
     }
 
     #[test]
+    fn zero_noise_variance_is_rejected_everywhere() {
+        // σ² = 0 means "no randomization at all"; every theory curve treats
+        // it as a caller error rather than silently returning 0.
+        assert!(ndr_expected_mse(0.0).is_err());
+        assert!(udr_gaussian_expected_mse(100.0, 0.0).is_err());
+        assert!(pca_noise_mse(0.0, 1, 4).is_err());
+        assert!(ndr_expected_mse(f64::NAN).is_err());
+        assert!(pca_noise_mse(f64::INFINITY, 1, 4).is_err());
+    }
+
+    #[test]
+    fn noise_dominating_signal_saturates_at_the_signal_variance() {
+        // With σ_r² ≫ σ_x² the disguised data is pure noise: the best Bayes
+        // estimate collapses to the prior mean and its MSE approaches the
+        // data variance itself (and never exceeds it).
+        let data_var = 4.0;
+        let mse = udr_gaussian_expected_mse(data_var, 1e9).unwrap();
+        assert!(mse < data_var);
+        assert!((mse - data_var).abs() / data_var < 1e-6, "mse = {mse}");
+
+        let sigma_x = Matrix::identity(3).scale(data_var);
+        let sigma_r = Matrix::identity(3).scale(1e9);
+        let be = be_dr_expected_mse(&sigma_x, &sigma_r).unwrap();
+        assert!(be < data_var);
+        assert!((be - data_var).abs() / data_var < 1e-5, "be = {be}");
+    }
+
+    #[test]
+    fn retained_fraction_on_flat_spectrum_is_p_over_m() {
+        let flat = [6.0; 8];
+        for p in 1..=8 {
+            let got = retained_variance_fraction(&flat, p).unwrap();
+            assert!((got - p as f64 / 8.0).abs() < 1e-12, "p = {p}: {got}");
+        }
+    }
+
+    #[test]
+    fn retained_fraction_boundaries() {
+        let spectrum = [10.0, 5.0, 1.0];
+        // p = 0 is rejected (keeping nothing is not a reconstruction)…
+        assert!(retained_variance_fraction(&spectrum, 0).is_err());
+        // …p = m retains everything exactly…
+        assert_eq!(retained_variance_fraction(&spectrum, 3).unwrap(), 1.0);
+        // …and p > m is rejected.
+        assert!(retained_variance_fraction(&spectrum, 4).is_err());
+        // An all-clipped (non-positive) spectrum retains nothing.
+        assert_eq!(retained_variance_fraction(&[-1.0, -2.0], 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pca_noise_mse_boundaries() {
+        // p = m keeps every component: the full noise variance comes through.
+        assert_eq!(pca_noise_mse(25.0, 7, 7).unwrap(), 25.0);
+        // p = 1 on one attribute is the same corner.
+        assert_eq!(pca_noise_mse(25.0, 1, 1).unwrap(), 25.0);
+        // m = 0 is rejected outright.
+        assert!(pca_noise_mse(25.0, 0, 0).is_err());
+    }
+
+    #[test]
     fn be_dr_mse_benefits_from_correlation() {
         // Strongly correlated Σ_x with the same total variance should yield a
         // smaller posterior error than the uncorrelated case.

@@ -24,7 +24,7 @@ use randrecon_linalg::decomposition::recompose;
 use randrecon_linalg::gram_schmidt::orthonormalize_columns;
 use randrecon_linalg::Matrix;
 use randrecon_stats::mvn::MultivariateNormal;
-use randrecon_stats::rng::{seeded_rng, standard_normal};
+use randrecon_stats::rng::{seeded_rng, standard_normal_fill};
 use serde::{Deserialize, Serialize};
 
 /// An eigenvalue spectrum for a synthetic covariance matrix.
@@ -158,7 +158,8 @@ pub fn random_orthogonal<R: Rng + ?Sized>(m: usize, rng: &mut R) -> Result<Matri
     }
     // A Gaussian matrix is almost surely full rank; retry a few times to be safe.
     for _ in 0..8 {
-        let candidate = Matrix::from_fn(m, m, |_, _| standard_normal(rng));
+        let mut candidate = Matrix::zeros(m, m);
+        standard_normal_fill(candidate.as_mut_slice(), rng);
         if let Ok(q) = orthonormalize_columns(&candidate) {
             return Ok(q);
         }

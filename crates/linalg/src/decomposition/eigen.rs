@@ -1,19 +1,33 @@
-//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//! Symmetric eigendecomposition.
+//!
+//! Two solvers share one result type and one sorting/sign convention:
+//!
+//! * **Householder + implicit-shift QL** ([`SymmetricEigen::householder_ql`],
+//!   the default behind [`SymmetricEigen::new`] above a small-dimension
+//!   threshold): the classic one-shot `O(n³)` pipeline in
+//!   [`super::tridiagonal`]. This is the production path for every spectral
+//!   consumer — PCA-DR, spectral filtering, covariance clipping, bandwidth
+//!   selection, and the theory curves.
+//! * **Cyclic Jacobi** ([`eigen_jacobi`] / [`SymmetricEigen::jacobi`]): the
+//!   original solver, retained as the pinned reference the same way
+//!   `matmul_naive` anchors `matmul`. Every rotation is easy to audit and the
+//!   property tests assert the QL path matches it to 1e-9, which is what
+//!   lets the fast path be trusted on the attack pipeline. It also serves as
+//!   the small-m fallback, where its simplicity beats the tridiagonal
+//!   pipeline's setup cost.
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
+
+use super::tridiagonal::{householder_tridiagonalize, ql_implicit_shift};
 
 /// Eigendecomposition `A = Q Λ Qᵀ` of a symmetric matrix.
 ///
 /// Eigenpairs are sorted by **descending** eigenvalue, matching the paper's
 /// convention (λ₁ ≥ λ₂ ≥ … ≥ λ_m); column `k` of [`SymmetricEigen::eigenvectors`]
-/// is the eigenvector for [`SymmetricEigen::eigenvalues`]`[k]`.
-///
-/// The cyclic Jacobi method is chosen deliberately: it is simple, numerically
-/// robust for the dense, well-conditioned covariance matrices this workspace
-/// produces (m ≤ a few hundred attributes), and every rotation is easy to
-/// audit — which matters because PCA-DR's entire claim rests on the spectrum
-/// being estimated faithfully.
+/// is the eigenvector for [`SymmetricEigen::eigenvalues`]`[k]`. Each
+/// eigenvector's sign is normalized so its largest-magnitude component is
+/// positive, making results comparable across solver paths.
 #[derive(Debug, Clone)]
 pub struct SymmetricEigen {
     /// Eigenvalues in descending order.
@@ -25,31 +39,50 @@ pub struct SymmetricEigen {
 /// Maximum number of full Jacobi sweeps before giving up.
 const MAX_SWEEPS: usize = 100;
 
+/// Below this dimension [`SymmetricEigen::new`] stays on the Jacobi path: for
+/// tiny matrices the quadratic-convergence sweeps finish in microseconds and
+/// the tridiagonal pipeline's reflector setup is pure overhead.
+const TRIDIAGONAL_MIN_DIM: usize = 12;
+
 impl SymmetricEigen {
-    /// Decomposes a symmetric matrix with the default convergence tolerance
-    /// (off-diagonal Frobenius norm below `1e-12 * ‖A‖_F`, floor `1e-300`).
+    /// Decomposes a symmetric matrix.
+    ///
+    /// Dispatches to the Householder + implicit-shift QL pipeline, falling
+    /// back to cyclic Jacobi below [`TRIDIAGONAL_MIN_DIM`]. Both paths
+    /// produce the same sorted, sign-normalized eigenpairs (to numerical
+    /// precision; the property tests pin the agreement at 1e-9).
     pub fn new(a: &Matrix) -> Result<Self> {
+        // Both targets validate the input themselves; no pre-check here.
+        if a.rows() < TRIDIAGONAL_MIN_DIM {
+            Self::jacobi(a)
+        } else {
+            Self::householder_ql(a)
+        }
+    }
+
+    /// Decomposes a symmetric matrix with the Householder + implicit-shift QL
+    /// pipeline regardless of size (see [`super::tridiagonal`]).
+    pub fn householder_ql(a: &Matrix) -> Result<Self> {
+        // Validation (square, non-empty, symmetric) happens inside the
+        // reduction, so it runs exactly once per decomposition.
+        let mut tri = householder_tridiagonalize(a)?;
+        let mut qt = tri.q_transposed;
+        ql_implicit_shift(&mut tri.diagonal, &tri.subdiagonal, &mut qt)?;
+        Ok(finish_sorted(tri.diagonal, qt))
+    }
+
+    /// Decomposes a symmetric matrix with cyclic Jacobi sweeps and the default
+    /// convergence tolerance (off-diagonal Frobenius norm below
+    /// `1e-12 · ‖A‖_F`, floor `1e-300`). Pinned reference path.
+    pub fn jacobi(a: &Matrix) -> Result<Self> {
         Self::with_tolerance(a, 1e-12)
     }
 
-    /// Decomposes a symmetric matrix, declaring convergence when the
-    /// off-diagonal Frobenius norm drops below `rel_tol * ‖A‖_F`.
+    /// Jacobi decomposition declaring convergence when the off-diagonal
+    /// Frobenius norm drops below `rel_tol * ‖A‖_F`.
     pub fn with_tolerance(a: &Matrix, rel_tol: f64) -> Result<Self> {
-        if !a.is_square() {
-            return Err(LinalgError::NotSquare { shape: a.shape() });
-        }
+        validate(a)?;
         let n = a.rows();
-        if n == 0 {
-            return Err(LinalgError::Empty {
-                op: "symmetric eigen",
-            });
-        }
-        let sym_tol = 1e-8 * a.max_abs().max(1.0);
-        if !a.is_symmetric(sym_tol) {
-            return Err(LinalgError::NotSymmetric {
-                max_asymmetry: a.max_asymmetry(),
-            });
-        }
 
         // Work on the symmetrized copy so tiny fp asymmetries cannot bias rotations.
         let mut m = a.symmetrize()?;
@@ -128,22 +161,8 @@ impl SymmetricEigen {
             }
         }
 
-        // Extract and sort eigenpairs (descending).
-        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
-        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        let eigenvalues: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
-        // Gather the sorted eigenvector rows of Qᵀ, then transpose once to the
-        // columns-are-eigenvectors convention.
-        let mut sorted_rows = Matrix::zeros(n, n);
-        for (dst, &(_, src)) in pairs.iter().enumerate() {
-            sorted_rows.row_mut(dst).copy_from_slice(qt.row(src));
-        }
-        let eigenvectors = sorted_rows.transpose();
-
-        Ok(SymmetricEigen {
-            eigenvalues,
-            eigenvectors,
-        })
+        let eigenvalues: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+        Ok(finish_sorted(eigenvalues, qt))
     }
 
     /// Dimension of the decomposed matrix.
@@ -188,6 +207,68 @@ impl SymmetricEigen {
             }
         }
         best_idx
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition — the pinned reference solver.
+///
+/// Free-function spelling of [`SymmetricEigen::jacobi`], mirroring how
+/// `matmul_naive` anchors the blocked `matmul`: benches and property tests
+/// call this to cross-check the Householder + QL production path.
+pub fn eigen_jacobi(a: &Matrix) -> Result<SymmetricEigen> {
+    SymmetricEigen::jacobi(a)
+}
+
+/// Shared input validation for every eigensolver entry point (Jacobi,
+/// Householder + QL, and the eigenvalues-only path): square, non-empty,
+/// symmetric (to a scaled tolerance).
+pub(crate) fn validate(a: &Matrix) -> Result<()> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if a.rows() == 0 {
+        return Err(LinalgError::Empty {
+            op: "symmetric eigen",
+        });
+    }
+    let sym_tol = 1e-8 * a.max_abs().max(1.0);
+    if !a.is_symmetric(sym_tol) {
+        return Err(LinalgError::NotSymmetric {
+            max_asymmetry: a.max_asymmetry(),
+        });
+    }
+    Ok(())
+}
+
+/// Shared finisher for both solver paths: sorts eigenpairs descending,
+/// applies the sign convention (largest-magnitude component of each
+/// eigenvector positive; first such component on exact ties), and transposes
+/// the row-stored candidates into the columns-are-eigenvectors convention.
+fn finish_sorted(eigenvalues: Vec<f64>, qt: Matrix) -> SymmetricEigen {
+    let n = eigenvalues.len();
+    let mut pairs: Vec<(f64, usize)> = eigenvalues.into_iter().zip(0..n).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let eigenvalues: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
+    let mut sorted_rows = Matrix::zeros(n, n);
+    for (dst, &(_, src)) in pairs.iter().enumerate() {
+        let row = sorted_rows.row_mut(dst);
+        row.copy_from_slice(qt.row(src));
+        let mut lead = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v.abs() > row[lead].abs() {
+                lead = j;
+            }
+        }
+        if row[lead] < 0.0 {
+            for v in row.iter_mut() {
+                *v = -*v;
+            }
+        }
+    }
+    let eigenvectors = sorted_rows.transpose();
+    SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
     }
 }
 
@@ -322,6 +403,14 @@ mod tests {
             SymmetricEigen::new(&asym),
             Err(LinalgError::NotSymmetric { .. })
         ));
+        assert!(matches!(
+            SymmetricEigen::householder_ql(&asym),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+        assert!(matches!(
+            eigen_jacobi(&asym),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
     }
 
     #[test]
@@ -335,7 +424,7 @@ mod tests {
 
     #[test]
     fn moderately_large_matrix_converges() {
-        // Deterministic 40x40 symmetric matrix.
+        // Deterministic 40x40 symmetric matrix; exercises the QL path.
         let n = 40;
         let mut a = Matrix::zeros(n, n);
         for i in 0..n {
@@ -351,6 +440,45 @@ mod tests {
         // Sorted descending.
         for w in eig.eigenvalues.windows(2) {
             assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn ql_and_jacobi_agree_across_the_dispatch_threshold() {
+        for n in [2usize, 5, 11, 12, 13, 24, 40] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a.set(i, j, ((i * 5 + j * 11 + 3) % 13) as f64 - 6.0);
+                }
+            }
+            let a = a.symmetrize().unwrap();
+            let scale = a.frobenius_norm().max(1.0);
+            let ql = SymmetricEigen::householder_ql(&a).unwrap();
+            let jac = eigen_jacobi(&a).unwrap();
+            for (l_ql, l_j) in ql.eigenvalues.iter().zip(jac.eigenvalues.iter()) {
+                assert!((l_ql - l_j).abs() <= 1e-9 * scale, "n={n}: {l_ql} vs {l_j}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_convention_is_applied_on_both_paths() {
+        let a = sym3();
+        for eig in [
+            SymmetricEigen::householder_ql(&a).unwrap(),
+            eigen_jacobi(&a).unwrap(),
+        ] {
+            for k in 0..eig.dim() {
+                let v = eig.eigenvectors.column(k);
+                let mut lead = 0;
+                for (i, x) in v.iter().enumerate() {
+                    if x.abs() > v[lead].abs() {
+                        lead = i;
+                    }
+                }
+                assert!(v[lead] > 0.0, "column {k} leading component not positive");
+            }
         }
     }
 }

@@ -5,15 +5,20 @@
 //! * [`Lu`] — general linear solves / inverses / determinants.
 //! * [`Qr`] — Householder QR, used for orthogonality checks and as an
 //!   alternative orthonormalization path.
-//! * [`SymmetricEigen`] — cyclic Jacobi eigendecomposition of symmetric
-//!   matrices; this is the workhorse behind PCA-DR and Spectral Filtering.
+//! * [`SymmetricEigen`] — symmetric eigendecomposition; the workhorse behind
+//!   PCA-DR and Spectral Filtering. The default path is Householder
+//!   tridiagonalization + implicit-shift QL ([`tridiagonal`]); the original
+//!   cyclic Jacobi solver survives as the pinned reference
+//!   ([`eigen_jacobi`]) and as the small-m fallback.
 
 mod cholesky;
 mod eigen;
 mod lu;
 mod qr;
+pub mod tridiagonal;
 
 pub use cholesky::Cholesky;
-pub use eigen::{recompose, SymmetricEigen};
+pub use eigen::{eigen_jacobi, recompose, SymmetricEigen};
 pub use lu::{invert, Lu};
 pub use qr::{orthonormality_defect, Qr};
+pub use tridiagonal::{symmetric_eigenvalues, Tridiagonal};

@@ -10,6 +10,9 @@
 //!   Definition 8.1, used on the x-axis of Figure 4.
 //! * [`privacy`] — record-level disclosure measures (fraction of values
 //!   reconstructed within a tolerance, per-attribute disclosure risk).
+//! * [`spectral`] — eigenvalue-spectrum recovery error and leading-subspace
+//!   alignment, the metrics that audit the spectral core of the attacks
+//!   (routed through the same `SymmetricEigen` pipeline the attacks use).
 //! * [`utility`] — how well the disguised data preserves the aggregate
 //!   statistics miners actually need (mean vector and covariance structure).
 
@@ -20,8 +23,10 @@ pub mod accuracy;
 pub mod dissimilarity;
 pub mod error;
 pub mod privacy;
+pub mod spectral;
 pub mod utility;
 
 pub use accuracy::{mse, per_attribute_rmse, rmse};
 pub use dissimilarity::correlation_dissimilarity;
 pub use error::{MetricsError, Result};
+pub use spectral::{leading_subspace_alignment, spectrum_recovery_error};

@@ -1,0 +1,163 @@
+//! Spectrum-level audit metrics.
+//!
+//! The covariance attacks are spectral at their core, so the most direct way
+//! to audit an estimated covariance — or an eigensolver swap — is to compare
+//! spectra and leading eigenspaces rather than raw matrix entries. Both
+//! metrics route through the Householder + implicit-shift QL pipeline the
+//! attacks use: [`leading_subspace_alignment`] through the full
+//! [`SymmetricEigen`] decomposition, [`spectrum_recovery_error`] through its
+//! cheaper eigenvalues-only path — so they observe exactly what the attacks
+//! observe.
+
+use crate::error::{MetricsError, Result};
+use randrecon_linalg::decomposition::SymmetricEigen;
+use randrecon_linalg::Matrix;
+
+/// Relative ℓ₂ distance between the (descending) eigenvalue spectra of two
+/// symmetric matrices:
+///
+/// ```text
+/// ‖λ(true) − λ(estimated)‖₂ / ‖λ(true)‖₂
+/// ```
+///
+/// Because eigenvalues are compared position-wise after sorting, this is
+/// invariant to the eigenbasis — it measures how faithfully the *energy
+/// profile* of the covariance was recovered, which is what bandwidth
+/// selection and the theory curves actually consume.
+pub fn spectrum_recovery_error(true_cov: &Matrix, estimated_cov: &Matrix) -> Result<f64> {
+    if true_cov.shape() != estimated_cov.shape() {
+        return Err(MetricsError::ShapeMismatch {
+            left: true_cov.shape(),
+            right: estimated_cov.shape(),
+        });
+    }
+    let spectrum_true = eigenvalues(true_cov)?;
+    let spectrum_est = eigenvalues(estimated_cov)?;
+    let norm_sq: f64 = spectrum_true.iter().map(|&l| l * l).sum();
+    if norm_sq <= 0.0 {
+        return Err(MetricsError::InvalidParameter {
+            reason: "true covariance has a zero spectrum".to_string(),
+        });
+    }
+    let diff_sq: f64 = spectrum_true
+        .iter()
+        .zip(spectrum_est.iter())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum();
+    Ok((diff_sq / norm_sq).sqrt())
+}
+
+/// Alignment of the leading `p`-dimensional eigenspaces of two symmetric
+/// matrices: the mean squared principal-angle cosine
+///
+/// ```text
+/// ‖Q_pᵀ Q̂_p‖_F² / p   ∈ [0, 1]
+/// ```
+///
+/// `1` means the estimated leading subspace coincides with the true one (the
+/// PCA-DR projector is then exact); `p/m` is the expectation for a random
+/// subspace. Individual eigenvector signs and rotations *within* a
+/// degenerate cluster do not affect the value, so this is the right notion of
+/// "the eigenvectors came out the same".
+pub fn leading_subspace_alignment(
+    true_cov: &Matrix,
+    estimated_cov: &Matrix,
+    p: usize,
+) -> Result<f64> {
+    if true_cov.shape() != estimated_cov.shape() {
+        return Err(MetricsError::ShapeMismatch {
+            left: true_cov.shape(),
+            right: estimated_cov.shape(),
+        });
+    }
+    let m = true_cov.rows();
+    if p == 0 || p > m {
+        return Err(MetricsError::InvalidParameter {
+            reason: format!("need 1 <= p <= m, got p = {p}, m = {m}"),
+        });
+    }
+    let q_true = decompose(true_cov)?.eigenvectors;
+    let q_est = decompose(estimated_cov)?.eigenvectors;
+    let qp = q_true.leading_columns(p).map_err(to_metrics_error)?;
+    let qp_hat = q_est.leading_columns(p).map_err(to_metrics_error)?;
+    let overlap = qp.transpose().matmul(&qp_hat).map_err(to_metrics_error)?;
+    let fro_sq: f64 = overlap.as_slice().iter().map(|&v| v * v).sum();
+    Ok(fro_sq / p as f64)
+}
+
+/// Descending eigenvalue spectrum of a symmetric matrix.
+///
+/// Uses the eigenvalues-only QL path (no eigenvector accumulation), which is
+/// several times cheaper than the full decomposition — this is what keeps
+/// [`spectrum_recovery_error`] affordable inside experiment sweeps.
+pub fn eigenvalues(cov: &Matrix) -> Result<Vec<f64>> {
+    randrecon_linalg::decomposition::symmetric_eigenvalues(cov).map_err(to_metrics_error)
+}
+
+fn decompose(cov: &Matrix) -> Result<SymmetricEigen> {
+    SymmetricEigen::new(cov).map_err(to_metrics_error)
+}
+
+fn to_metrics_error(e: randrecon_linalg::LinalgError) -> MetricsError {
+    MetricsError::InvalidParameter {
+        reason: format!("spectral metric input rejected: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cov_pair() -> (Matrix, Matrix) {
+        let a = Matrix::from_rows(&[
+            &[9.0, 2.0, 0.0][..],
+            &[2.0, 5.0, 1.0][..],
+            &[0.0, 1.0, 2.0][..],
+        ])
+        .unwrap();
+        let mut b = a.clone();
+        b.set(0, 0, 9.4);
+        b.set(2, 2, 1.8);
+        (a, b)
+    }
+
+    #[test]
+    fn identical_matrices_have_zero_error_and_full_alignment() {
+        let (a, _) = cov_pair();
+        assert!(spectrum_recovery_error(&a, &a).unwrap() < 1e-12);
+        let align = leading_subspace_alignment(&a, &a, 2).unwrap();
+        assert!((align - 1.0).abs() < 1e-10, "alignment = {align}");
+    }
+
+    #[test]
+    fn perturbation_gives_small_error_and_high_alignment() {
+        let (a, b) = cov_pair();
+        let err = spectrum_recovery_error(&a, &b).unwrap();
+        assert!(err > 0.0 && err < 0.1, "spectrum error = {err}");
+        let align = leading_subspace_alignment(&a, &b, 1).unwrap();
+        assert!(align > 0.99, "alignment = {align}");
+    }
+
+    #[test]
+    fn orthogonal_subspaces_have_zero_alignment() {
+        // Leading eigenvector of d1 is e1, of d2 is e2.
+        let d1 = Matrix::from_diag(&[10.0, 1.0, 0.1]);
+        let d2 = Matrix::from_diag(&[1.0, 10.0, 0.1]);
+        let align = leading_subspace_alignment(&d1, &d2, 1).unwrap();
+        assert!(align < 1e-12, "alignment = {align}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (a, _) = cov_pair();
+        let small = Matrix::identity(2);
+        assert!(matches!(
+            spectrum_recovery_error(&a, &small),
+            Err(MetricsError::ShapeMismatch { .. })
+        ));
+        assert!(leading_subspace_alignment(&a, &a, 0).is_err());
+        assert!(leading_subspace_alignment(&a, &a, 4).is_err());
+        let zero = Matrix::zeros(3, 3);
+        assert!(spectrum_recovery_error(&zero, &a).is_err());
+    }
+}

@@ -6,7 +6,7 @@
 //! `x = μ + L z` with `z ~ N(0, I)` and `Σ = L Lᵀ`.
 
 use crate::error::{Result, StatsError};
-use crate::rng::standard_normal_vec;
+use crate::rng::{standard_normal_fill, standard_normal_vec};
 use rand::Rng;
 use randrecon_linalg::decomposition::Cholesky;
 use randrecon_linalg::Matrix;
@@ -83,17 +83,16 @@ impl MultivariateNormal {
     /// Draws `n` samples as an `n × dim` matrix (records are rows), the layout
     /// the rest of the workspace uses for data sets.
     ///
-    /// The standard-normal draws fill one `n × dim` matrix `Z` (row-major, so
-    /// the stream order matches drawing record by record), and the covariance
-    /// is applied as a single batched product `Z Lᵀ` through the blocked
-    /// matmul kernel — the Cholesky factor is computed once at construction
-    /// and reused for every batch.
+    /// The standard-normal draws fill one `n × dim` matrix `Z` in a single
+    /// batched Box–Muller pass ([`standard_normal_fill`]: two normals per
+    /// uniform pair, fused `sin_cos`), and the covariance is applied as a
+    /// single batched product `Z Lᵀ` through the blocked matmul kernel — the
+    /// Cholesky factor is computed once at construction and reused for every
+    /// batch.
     pub fn sample_matrix<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Matrix {
         let dim = self.dim();
         let mut z = Matrix::zeros(n, dim);
-        for v in z.as_mut_slice().iter_mut() {
-            *v = crate::rng::standard_normal(rng);
-        }
+        standard_normal_fill(z.as_mut_slice(), rng);
         let mut out = z
             .matmul_transpose_b(self.cholesky.l())
             .expect("sample_matrix shapes always agree");

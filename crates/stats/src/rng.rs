@@ -35,9 +35,35 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
-/// Fills a vector with `n` independent standard-normal draws.
+/// Fills a slice with independent standard-normal draws using the **batched**
+/// Box–Muller transform.
+///
+/// Each pair of uniforms yields *two* normals (`r·cos θ`, `r·sin θ` via one
+/// fused `sin_cos`), so bulk generation — the 50k-row MVN workload setup that
+/// dominated bench preparation — does half the `ln`/`sqrt` work and half the
+/// trig calls per normal compared with the scalar path. Even-indexed
+/// outputs reproduce the scalar [`standard_normal`] stream for the same rng
+/// state; odd-indexed outputs consume no extra uniforms.
+pub fn standard_normal_fill<R: Rng + ?Sized>(out: &mut [f64], rng: &mut R) {
+    let mut chunks = out.chunks_exact_mut(2);
+    for pair in &mut chunks {
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+        pair[0] = r * cos;
+        pair[1] = r * sin;
+    }
+    if let [last] = chunks.into_remainder() {
+        *last = standard_normal(rng);
+    }
+}
+
+/// Returns `n` independent standard-normal draws (batched Box–Muller).
 pub fn standard_normal_vec<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
-    (0..n).map(|_| standard_normal(rng)).collect()
+    let mut out = vec![0.0; n];
+    standard_normal_fill(&mut out, rng);
+    out
 }
 
 #[cfg(test)]
@@ -90,5 +116,49 @@ mod tests {
         for _ in 0..1_000 {
             assert!(standard_normal(&mut rng).is_finite());
         }
+    }
+
+    #[test]
+    fn batched_fill_matches_scalar_stream_on_even_indices() {
+        let mut a = seeded_rng(77);
+        let mut b = seeded_rng(77);
+        let batched = standard_normal_vec(64, &mut a);
+        let scalar: Vec<f64> = (0..64).map(|_| standard_normal(&mut b)).collect();
+        // Each uniform pair produces the same cosine-branch normal in both
+        // paths; the batched sine-branch outputs consume no extra uniforms.
+        for k in (0..64).step_by(2) {
+            assert_eq!(batched[k], scalar[k / 2], "index {k}");
+        }
+    }
+
+    #[test]
+    fn batched_fill_handles_odd_lengths_and_is_deterministic() {
+        let mut a = seeded_rng(9);
+        let mut b = seeded_rng(9);
+        let x = standard_normal_vec(17, &mut a);
+        let y = standard_normal_vec(17, &mut b);
+        assert_eq!(x, y);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn chi_squared_marginal_moments() {
+        // If the marginals are standard normal, s = Σ_{i<k} z_i² over k = 16
+        // components is χ²(16): mean 16, variance 32. With 4 000 replicates
+        // the mean estimator has sd ≈ √(32/4000) ≈ 0.09 and the variance
+        // estimator sd ≈ √(2·32²/4000) ≈ 0.7; use 5σ-ish tolerances.
+        let k = 16;
+        let reps = 4_000;
+        let mut rng = seeded_rng(2025);
+        let mut stats = Vec::with_capacity(reps);
+        let mut buf = vec![0.0; k];
+        for _ in 0..reps {
+            standard_normal_fill(&mut buf, &mut rng);
+            stats.push(buf.iter().map(|z| z * z).sum::<f64>());
+        }
+        let mean = stats.iter().sum::<f64>() / reps as f64;
+        let var = stats.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (reps - 1) as f64;
+        assert!((mean - 16.0).abs() < 0.5, "chi2 mean = {mean}");
+        assert!((var - 32.0).abs() < 4.0, "chi2 var = {var}");
     }
 }

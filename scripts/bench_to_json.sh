@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # Runs the `micro` benchmark harness and dumps every measurement to a JSON
-# file (default BENCH_1.json at the repo root) for the perf trajectory.
+# file (default BENCH_2.json at the repo root) for the perf trajectory.
 #
 # Usage: scripts/bench_to_json.sh [output.json]
 #
 # The criterion-compatible harness honours CRITERION_JSON: when set, it
 # writes a JSON array of {group, bench, mean_ns, iterations, samples}
 # objects after all groups have run. The `kernels_v1` group carries the
-# PR-1 acceptance numbers: `be_dr/5000` vs `be_dr_seed/5000` is the
-# tracked end-to-end speedup.
+# PR-1 acceptance numbers (`be_dr/5000` vs `be_dr_seed/5000`); the
+# `kernels_v2` group carries the PR-2 numbers — `eigen/256` vs
+# `eigen_jacobi/256` is the tracked eigensolver speedup (acceptance ≥5×)
+# and `mvn_sample_matrix/50000` vs its `_seed` twin the batched Box–Muller
+# speedup. BENCH_1.json remains the frozen PR-1 record; pass it as the
+# argument only to regenerate history deliberately.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_1.json}"
+out="${1:-BENCH_2.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -30,7 +34,7 @@ mv "$tmp" "$out"
 trap - EXIT
 echo "wrote $out"
 
-# Print the headline ratio so CI logs capture it.
+# Print the headline ratios so CI logs capture them.
 python3 - "$out" <<'EOF' 2>/dev/null || true
 import json, sys
 results = {(r["group"], r["bench"]): r["mean_ns"] for r in json.load(open(sys.argv[1]))}
@@ -39,4 +43,13 @@ for n in (500, 5000, 50000):
     old = results.get(("kernels_v1", f"be_dr_seed/{n}"))
     if new and old:
         print(f"be_dr {n} rows: seed {old/1e6:.2f} ms -> now {new/1e6:.2f} ms  ({old/new:.2f}x)")
+for m in (64, 128, 256):
+    new = results.get(("kernels_v2", f"eigen/{m}"))
+    old = results.get(("kernels_v2", f"eigen_jacobi/{m}"))
+    if new and old:
+        print(f"eigen m={m}: jacobi {old/1e6:.2f} ms -> householder+QL {new/1e6:.2f} ms  ({old/new:.2f}x)")
+new = results.get(("kernels_v2", "mvn_sample_matrix/50000"))
+old = results.get(("kernels_v2", "mvn_sample_matrix_seed/50000"))
+if new and old:
+    print(f"mvn 50k rows: scalar {old/1e6:.2f} ms -> batched {new/1e6:.2f} ms  ({old/new:.2f}x)")
 EOF

@@ -1,0 +1,157 @@
+//! End-to-end statistical regression tests against golden values.
+//!
+//! Seeded BE-DR and PCA-DR runs at (n = 2000, m ∈ {16, 64}) whose
+//! reconstruction MSE must stay within ±2% of the values checked into
+//! `tests/golden/attack_mse.json`. The attacks are spectral at their core, so
+//! any change to the eigensolver (or the covariance estimation, or the
+//! sampling streams feeding them) that shifts attack accuracy — rather than
+//! merely reordering floating-point noise — trips these tests instead of
+//! silently degrading the reproduction.
+//!
+//! To regenerate the goldens after an *intentional* statistical change, run
+//! `cargo test --test statistical_regression -- --ignored --nocapture` and
+//! copy the printed JSON into `tests/golden/attack_mse.json`.
+
+use randrecon::core::{be_dr::BeDr, pca_dr::PcaDr, Reconstructor};
+use randrecon::data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon::metrics::mse;
+use randrecon::noise::additive::AdditiveRandomizer;
+use randrecon::stats::rng::seeded_rng;
+
+/// Tolerance around each golden value: the runs are fully seeded, so 2%
+/// headroom is pure slack for cross-platform libm differences.
+const REL_TOL: f64 = 0.02;
+
+const N_RECORDS: usize = 2_000;
+const NOISE_SIGMA: f64 = 10.0;
+
+/// One seeded disguise → attack → MSE measurement.
+fn attack_mse(m: usize, attack: &dyn Reconstructor) -> f64 {
+    // Paper-shaped workload: m/8 principal components at 400, bulk at 4.
+    let spectrum = EigenSpectrum::principal_plus_small(m / 8, 400.0, m, 4.0).unwrap();
+    let ds = SyntheticDataset::generate(&spectrum, N_RECORDS, 1_000 + m as u64).unwrap();
+    let randomizer = AdditiveRandomizer::gaussian(NOISE_SIGMA).unwrap();
+    let disguised = randomizer
+        .disguise(&ds.table, &mut seeded_rng(2_000 + m as u64))
+        .unwrap();
+    let reconstructed = attack.reconstruct(&disguised, randomizer.model()).unwrap();
+    mse(&ds.table, &reconstructed).unwrap()
+}
+
+/// Runs (and caches) the four seeded pipelines, so the goldens test and the
+/// ordering test share one set of measurements instead of re-running the
+/// attacks per test.
+fn measure_all() -> &'static [(String, f64)] {
+    static MEASURED: std::sync::OnceLock<Vec<(String, f64)>> = std::sync::OnceLock::new();
+    MEASURED.get_or_init(|| {
+        let mut out = Vec::new();
+        for m in [16usize, 64] {
+            out.push((format!("be_dr_n2000_m{m}"), attack_mse(m, &BeDr::default())));
+            out.push((
+                format!("pca_dr_n2000_m{m}"),
+                attack_mse(m, &PcaDr::largest_gap()),
+            ));
+        }
+        out
+    })
+}
+
+/// Minimal parser for the flat `{"key": number, ...}` golden file (the
+/// workspace's serde is an offline stub without JSON support).
+fn parse_goldens(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for part in text.split(',') {
+        let Some((key_part, value_part)) = part.split_once(':') else {
+            continue;
+        };
+        let key: String = key_part
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let value: String = value_part
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '}')
+            .collect();
+        if key.is_empty() {
+            continue;
+        }
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad golden value for {key}: {value}"));
+        out.push((key, value));
+    }
+    out
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("attack_mse.json")
+}
+
+#[test]
+fn attack_mse_matches_goldens() {
+    let text = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let goldens = parse_goldens(&text);
+    assert_eq!(goldens.len(), 4, "expected 4 golden entries");
+    let measured = measure_all();
+    for (key, value) in measured {
+        let golden = goldens
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("no golden entry for {key}"))
+            .1;
+        let rel = (value - golden).abs() / golden;
+        assert!(
+            rel <= REL_TOL,
+            "{key}: measured MSE {value} drifted {:.2}% from golden {golden}",
+            rel * 100.0
+        );
+    }
+}
+
+/// The qualitative ordering the goldens encode must also hold outright:
+/// BE-DR beats PCA-DR (Section 6), and both beat the raw noise level σ².
+#[test]
+fn attack_mse_ordering_is_preserved() {
+    let measured = measure_all();
+    let get = |key: &str| {
+        measured
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap()
+    };
+    let noise_mse = NOISE_SIGMA * NOISE_SIGMA;
+    for m in [16, 64] {
+        let be = get(&format!("be_dr_n2000_m{m}"));
+        let pca = get(&format!("pca_dr_n2000_m{m}"));
+        assert!(
+            be <= pca * 1.05,
+            "m={m}: BE-DR ({be}) should be ≤ PCA-DR ({pca})"
+        );
+        assert!(
+            be < noise_mse,
+            "m={m}: BE-DR ({be}) should beat σ² = {noise_mse}"
+        );
+        assert!(
+            pca < noise_mse,
+            "m={m}: PCA-DR ({pca}) should beat σ² = {noise_mse}"
+        );
+    }
+}
+
+/// Golden regeneration helper — prints the JSON to paste into
+/// `tests/golden/attack_mse.json` after an intentional statistical change.
+#[test]
+#[ignore = "golden regeneration helper; run with -- --ignored --nocapture"]
+fn print_current_goldens() {
+    let measured = measure_all();
+    println!("{{");
+    for (i, (key, value)) in measured.iter().enumerate() {
+        let comma = if i + 1 < measured.len() { "," } else { "" };
+        println!("  \"{key}\": {value:.12}{comma}");
+    }
+    println!("}}");
+}
