@@ -15,20 +15,35 @@
 //! * `kernels_v2` — the PR-2 perf-trajectory group: the Householder +
 //!   implicit-shift QL eigensolver against the pinned Jacobi reference at
 //!   m ∈ {64, 128, 256}, and batched Box–Muller MVN sampling against the
-//!   scalar seed transform at 50 000 records. `scripts/bench_to_json.sh`
-//!   dumps everything to `BENCH_2.json`; `eigen/256` vs `eigen_jacobi/256`
-//!   is the tracked ≥5× acceptance ratio.
+//!   scalar seed transform at 50 000 records. `eigen/256` vs
+//!   `eigen_jacobi/256` is the tracked ≥5× PR-2 acceptance ratio.
+//! * `kernels_v3` — the PR-3 microkernel group: the 4×8 register-blocked
+//!   `Matrix::matmul` against the preserved PR-1 axpy-sweep blocked kernel
+//!   (`randrecon_bench::matmul_blocked_axpy_seed`) at 256² and 512²;
+//!   `matmul_micro/512` vs `matmul_blocked_seed/512` is the tracked ≥1.5×
+//!   acceptance ratio.
+//! * `streaming` — the PR-3 bounded-memory group: in-memory BE-DR vs the
+//!   two-pass streaming engine over the same 50 k × 64 disguised table
+//!   (`be_dr_in_memory/50000` vs `be_dr_streaming/50000`, the tracked
+//!   ≥0.8× throughput ratio), plus the 500 k × 64 flagship where
+//!   generation, disguising and both attack passes all stream chunk by
+//!   chunk with no `n × m` allocation. `scripts/bench_to_json.sh` dumps
+//!   everything to `BENCH_3.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use randrecon_bench::{
-    be_dr_seed, cholesky_solve_seed, covariance_matrix_seed, mvn_sample_matrix_seed,
+    be_dr_seed, cholesky_solve_seed, covariance_matrix_seed, matmul_blocked_axpy_seed,
+    mvn_sample_matrix_seed,
 };
 use randrecon_core::be_dr::BeDr;
+use randrecon_core::streaming::{DiscardSink, StreamingBeDr, TableSink};
 use randrecon_core::Reconstructor;
+use randrecon_data::chunks::{SyntheticChunkSource, TableChunkSource};
 use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
 use randrecon_data::DataTable;
 use randrecon_linalg::decomposition::{eigen_jacobi, Cholesky, SymmetricEigen};
-use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_linalg::Matrix;
+use randrecon_noise::additive::{AdditiveRandomizer, DisguisedChunkSource};
 use randrecon_stats::mvn::MultivariateNormal;
 use randrecon_stats::rng::seeded_rng;
 use randrecon_stats::summary::covariance_matrix;
@@ -181,10 +196,83 @@ fn bench_kernels_v2(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR-3 microkernel group: register-blocked matmul vs the preserved
+/// axpy-sweep blocked kernel, same operands, one binary.
+fn bench_kernels_v3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_v3");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 7) % 97) as f64 / 9.0 - 5.0);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 5 + j * 11) % 89) as f64 / 7.0 - 6.0);
+        group.bench_with_input(BenchmarkId::new("matmul_micro", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_blocked_seed", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul_blocked_axpy_seed(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+/// The PR-3 streaming group: bounded-memory two-pass BE-DR against the
+/// in-memory pipeline at 50 k × 64 (same disguised records via a chunked
+/// view), plus the 500 k × 64 fully-streamed flagship.
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+
+    // 50 k × 64: identical records through both pipelines. The streaming
+    // run includes its pass-1 accumulation *and* materializes the result
+    // through a TableSink, so the comparison is end-to-end fair.
+    let n = 50_000usize;
+    let (disguised, randomizer) = kernel_workload(n);
+    let model = randomizer.model();
+    group.bench_with_input(BenchmarkId::new("be_dr_in_memory", n), &n, |b, _| {
+        b.iter(|| black_box(BeDr::default().reconstruct(&disguised, model).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::new("be_dr_streaming", n), &n, |b, _| {
+        b.iter(|| {
+            let mut source = TableChunkSource::new(&disguised, 4_096).unwrap();
+            let mut sink = TableSink::new(KERNEL_ATTRS);
+            StreamingBeDr::default()
+                .run(&mut source, model, &mut sink)
+                .unwrap();
+            black_box(sink.into_matrix().unwrap())
+        })
+    });
+
+    // 500 k × 64: generation, disguising and both passes stream chunk by
+    // chunk — peak memory is a few 8192-row buffers plus m × m state. Two
+    // samples keep the ~6 s end-to-end runs affordable on the 1-core
+    // container.
+    group.sample_size(2);
+    let n = 500_000usize;
+    let spectrum = EigenSpectrum::principal_plus_small(6, 400.0, KERNEL_ATTRS, 4.0).unwrap();
+    group.bench_with_input(BenchmarkId::new("be_dr_streaming", n), &n, |b, _| {
+        b.iter(|| {
+            let original = SyntheticChunkSource::generate(&spectrum, n, 8_192, n as u64).unwrap();
+            let mut source = DisguisedChunkSource::new(
+                original,
+                AdditiveRandomizer::gaussian(10.0).unwrap(),
+                n as u64 + 1,
+            );
+            let noise = source.model().clone();
+            let mut sink = DiscardSink::default();
+            let report = StreamingBeDr::default()
+                .run(&mut source, &noise, &mut sink)
+                .unwrap();
+            black_box(report.n_records)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_substrates,
     bench_kernels_v1,
-    bench_kernels_v2
+    bench_kernels_v2,
+    bench_kernels_v3,
+    bench_streaming
 );
 criterion_main!(benches);

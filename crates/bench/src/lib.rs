@@ -36,6 +36,62 @@ pub fn covariance_matrix_seed(data: &Matrix) -> Matrix {
     cov
 }
 
+/// Seed-path blocked matmul: the PR-1/PR-2 cache-blocked, transpose-packed
+/// kernel **without** the PR-3 register microkernel — panel-major packing of
+/// `B` (`KC = 64 × NC = 256`, the production kernel's geometry) and a
+/// per-output-row `axpy` sweep that re-reads the `C` row on every rank-1
+/// update. Preserved here so the microkernel speedup is measured inside one
+/// binary (the `matmul_naive` pattern). Single-threaded, matching the
+/// 1-core bench container where the production kernel also runs
+/// single-threaded.
+pub fn matmul_blocked_axpy_seed(a: &Matrix, b: &Matrix) -> Matrix {
+    const KC: usize = 64;
+    const NC: usize = 256;
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let a = a.as_slice();
+    let b = b.as_slice();
+
+    // Pack B into panel-major layout (identical to the production pack).
+    let mut packed = vec![0.0; k * n];
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        let stripe = &mut packed[kb * n..kb * n + kc * n];
+        for jb in (0..n).step_by(NC) {
+            let nc = NC.min(n - jb);
+            let panel = &mut stripe[kc * jb..kc * jb + kc * nc];
+            for kk in 0..kc {
+                let src = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + nc];
+                panel[kk * nc..(kk + 1) * nc].copy_from_slice(src);
+            }
+        }
+    }
+
+    let mut c = vec![0.0; m * n];
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        let stripe = &packed[kb * n..kb * n + kc * n];
+        for i in 0..m {
+            let a_seg = &a[i * k + kb..i * k + kb + kc];
+            for jb in (0..n).step_by(NC) {
+                let nc = NC.min(n - jb);
+                let panel = &stripe[kc * jb..kc * jb + kc * nc];
+                let c_seg = &mut c[i * n + jb..i * n + jb + nc];
+                for (kk, &aik) in a_seg.iter().enumerate() {
+                    if aik != 0.0 {
+                        let x = &panel[kk * nc..kk * nc + nc];
+                        for (o, &v) in c_seg.iter_mut().zip(x.iter()) {
+                            *o += aik * v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Matrix::from_flat(m, n, c).expect("shape is consistent by construction")
+}
+
 /// Seed-path cyclic Jacobi eigendecomposition with per-element `get`/`set`
 /// column rotations (the original `SymmetricEigen` inner loop). Returns
 /// `(eigenvalues_desc, eigenvectors)`.
@@ -240,5 +296,16 @@ mod tests {
         let seed = covariance_matrix_seed(ds.table.values());
         let fast = ds.table.covariance_matrix();
         assert!(seed.approx_eq(&fast, 1e-9));
+    }
+
+    #[test]
+    fn seed_blocked_matmul_agrees_with_microkernel_path() {
+        // Odd shape, above the blocked threshold: the seed axpy kernel and
+        // the production microkernel kernel must agree exactly.
+        let a = Matrix::from_fn(37, 130, |i, j| ((i * 13 + j * 7) % 23) as f64 - 11.0);
+        let b = Matrix::from_fn(130, 301, |i, j| ((i * 5 + j * 11) % 19) as f64 - 9.0);
+        let seed = matmul_blocked_axpy_seed(&a, &b);
+        let production = a.matmul(&b).unwrap();
+        assert!(seed.approx_eq(&production, 0.0));
     }
 }

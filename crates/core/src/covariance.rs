@@ -81,6 +81,257 @@ pub fn clip_eigenvalues(matrix: &Matrix, floor: f64) -> Result<Matrix> {
     Ok(recompose(&clipped, &eig.eigenvectors))
 }
 
+/// Mergeable streaming accumulator for the sample mean and covariance.
+///
+/// This is the pass-1 workhorse of the streaming attack engine: records
+/// arrive chunk by chunk, each chunk contributes one symmetric rank-update
+/// sweep (the same contiguous-`axpy` kernel shape as the in-memory
+/// `covariance_matrix`), and partial accumulators — e.g. one per chunk,
+/// computed across the `randrecon-parallel` pool — merge *exactly* (a
+/// closed-form O(m²) combination, no data re-read). Peak state is O(m²)
+/// regardless of how many records flow through.
+///
+/// # Centering and numerical behaviour
+///
+/// The true mean is unknown until the stream ends, so single-pass
+/// accumulation centers every record against a fixed **shift anchor** `k`
+/// (captured from the first record seen) and applies the exact correction
+/// `Σ(x−μ)(x−μ)ᵀ = Σ(x−k)(x−k)ᵀ − n(μ−k)(μ−k)ᵀ` when
+/// [`covariance`](CovarianceAccumulator::covariance) is read out. Anchoring
+/// at a data point
+/// keeps the comoments well-scaled (the classic stability fix over raw
+/// `Σxxᵀ` accumulation), and the result matches the two-sweep in-memory
+/// estimator to ~1e-15 relative.
+///
+/// When the means *are* known up front (a second sweep, or a caller that
+/// already has them), [`CovarianceAccumulator::with_means`] pins the anchor
+/// to the mean vector and the correction term vanishes. Because same-anchor
+/// partials merge by plain elementwise addition, building one mean-anchored
+/// partial per 2048-row chunk and merging them in chunk order reproduces the
+/// in-memory `covariance_matrix` (which reduces its own 2048-row partial
+/// triangles the same way) **bit for bit**.
+#[derive(Debug, Clone)]
+pub struct CovarianceAccumulator {
+    m: usize,
+    count: usize,
+    /// Column sums Σx.
+    sum: Vec<f64>,
+    /// Upper triangle (row-major, full m×m storage) of Σ (x−k)(x−k)ᵀ.
+    cross: Vec<f64>,
+    /// The shift anchor k; `None` until the first record arrives, unless it
+    /// was pinned up front via `with_means` / `with_shift`.
+    shift: Option<Vec<f64>>,
+}
+
+impl CovarianceAccumulator {
+    /// A fresh single-pass accumulator for `m` attributes. The shift anchor
+    /// is captured from the first record that flows in.
+    pub fn new(m: usize) -> Self {
+        CovarianceAccumulator {
+            m,
+            count: 0,
+            sum: vec![0.0; m],
+            cross: vec![0.0; m * m],
+            shift: None,
+        }
+    }
+
+    /// An accumulator whose centering anchor is pinned to `means` (typically
+    /// exact column means from a previous sweep). With chunked input merged
+    /// in order, this mode is bit-identical to the in-memory
+    /// `covariance_matrix` computed from the same means.
+    pub fn with_means(means: &[f64]) -> Self {
+        CovarianceAccumulator {
+            m: means.len(),
+            count: 0,
+            sum: vec![0.0; means.len()],
+            cross: vec![0.0; means.len() * means.len()],
+            shift: Some(means.to_vec()),
+        }
+    }
+
+    /// An accumulator sharing an existing anchor, for building per-chunk
+    /// partials that merge into a parent without any anchor translation.
+    pub fn with_shift(shift: Vec<f64>) -> Self {
+        CovarianceAccumulator {
+            m: shift.len(),
+            count: 0,
+            sum: vec![0.0; shift.len()],
+            cross: vec![0.0; shift.len() * shift.len()],
+            shift: Some(shift),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.m
+    }
+
+    /// Records accumulated so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The current shift anchor, if one is set.
+    pub fn shift(&self) -> Option<&[f64]> {
+        self.shift.as_deref()
+    }
+
+    /// Accumulates one chunk of records (rows) with a symmetric rank-update
+    /// sweep over the upper triangle.
+    pub fn update_chunk(&mut self, chunk: &Matrix) -> Result<()> {
+        if chunk.cols() != self.m {
+            return Err(crate::error::ReconError::InvalidInput {
+                reason: format!(
+                    "chunk has {} attributes, accumulator expects {}",
+                    chunk.cols(),
+                    self.m
+                ),
+            });
+        }
+        if chunk.rows() == 0 {
+            return Ok(());
+        }
+        if self.shift.is_none() {
+            self.shift = Some(chunk.row(0).to_vec());
+        }
+        let shift = self.shift.as_deref().expect("anchor set above");
+        let m = self.m;
+        let mut scratch = vec![0.0; m];
+        for row in chunk.row_iter() {
+            for ((s, &x), &k) in scratch.iter_mut().zip(row).zip(shift) {
+                *s = x - k;
+            }
+            for (o, &x) in self.sum.iter_mut().zip(row) {
+                *o += x;
+            }
+            for i in 0..m {
+                let v = scratch[i];
+                for (o, &w) in self.cross[i * m + i..(i + 1) * m]
+                    .iter_mut()
+                    .zip(&scratch[i..])
+                {
+                    *o += v * w;
+                }
+            }
+        }
+        self.count += chunk.rows();
+        Ok(())
+    }
+
+    /// Merges another partial accumulator into this one — exact, O(m²), no
+    /// data re-read.
+    ///
+    /// If the anchors differ, `other`'s comoments are translated to this
+    /// accumulator's anchor with the identity
+    /// `Σ_B (x−k_A)(x−k_A)ᵀ = C_B + d t_Bᵀ + t_B dᵀ + n_B d dᵀ`
+    /// where `d = k_B − k_A` and `t_B = Σ_B x − n_B k_B`. When the anchors
+    /// are identical (per-chunk partials built via
+    /// [`with_shift`](CovarianceAccumulator::with_shift)), the merge is a
+    /// plain elementwise add, so chunk-ordered merging is bit-identical to
+    /// sequentially accumulating the same chunks.
+    pub fn merge(&mut self, other: &CovarianceAccumulator) -> Result<()> {
+        if other.m != self.m {
+            return Err(crate::error::ReconError::InvalidInput {
+                reason: format!(
+                    "cannot merge a {}-attribute accumulator into a {}-attribute one",
+                    other.m, self.m
+                ),
+            });
+        }
+        if other.count == 0 {
+            return Ok(());
+        }
+        let m = self.m;
+        if self.shift.is_none() {
+            // Nothing accumulated here yet: adopt the other side wholesale.
+            self.shift = other.shift.clone();
+            self.sum.copy_from_slice(&other.sum);
+            self.cross.copy_from_slice(&other.cross);
+            self.count = other.count;
+            return Ok(());
+        }
+        let k_a = self.shift.as_deref().expect("checked above");
+        let k_b = other
+            .shift
+            .as_deref()
+            .expect("non-empty accumulator always has an anchor");
+        let identical = k_a == k_b;
+        if identical {
+            // Upper triangles add elementwise; same order as sequential
+            // accumulation, hence bit-identical.
+            for i in 0..m {
+                for (o, &v) in self.cross[i * m + i..(i + 1) * m]
+                    .iter_mut()
+                    .zip(&other.cross[i * m + i..(i + 1) * m])
+                {
+                    *o += v;
+                }
+            }
+        } else {
+            let n_b = other.count as f64;
+            let d: Vec<f64> = k_b.iter().zip(k_a).map(|(&b, &a)| b - a).collect();
+            let t_b: Vec<f64> = other
+                .sum
+                .iter()
+                .zip(k_b)
+                .map(|(&s, &k)| s - n_b * k)
+                .collect();
+            for i in 0..m {
+                for j in i..m {
+                    self.cross[i * m + j] +=
+                        other.cross[i * m + j] + d[i] * t_b[j] + t_b[i] * d[j] + n_b * d[i] * d[j];
+                }
+            }
+        }
+        for (o, &v) in self.sum.iter_mut().zip(&other.sum) {
+            *o += v;
+        }
+        self.count += other.count;
+        Ok(())
+    }
+
+    /// The accumulated column means (zeros before any record arrives).
+    pub fn mean(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.m];
+        }
+        let n = self.count as f64;
+        self.sum.iter().map(|&s| s / n).collect()
+    }
+
+    /// The unbiased (`n − 1`) sample covariance of everything accumulated.
+    ///
+    /// Returns the zero matrix for fewer than two records, matching the
+    /// in-memory estimator.
+    pub fn covariance(&self) -> Matrix {
+        let m = self.m;
+        let mut cov = Matrix::zeros(m, m);
+        if self.count < 2 {
+            return cov;
+        }
+        let shift = self.shift.as_deref().expect("count ≥ 2 implies an anchor");
+        let n = self.count as f64;
+        let mean = self.mean();
+        let d: Vec<f64> = mean.iter().zip(shift).map(|(&mu, &k)| mu - k).collect();
+        let correcting = d.iter().any(|&v| v != 0.0);
+        let norm = 1.0 / (self.count - 1) as f64;
+        for i in 0..m {
+            for j in i..m {
+                let raw = if correcting {
+                    self.cross[i * m + j] - n * d[i] * d[j]
+                } else {
+                    self.cross[i * m + j]
+                };
+                let v = raw * norm;
+                cov.set(i, j, v);
+                cov.set(j, i, v);
+            }
+        }
+        cov
+    }
+}
+
 /// Default eigenvalue floor used when regularizing estimated covariances:
 /// `1e-6 ×` the mean per-attribute variance of the disguised data (with an
 /// absolute floor of `1e-9`).
@@ -175,6 +426,137 @@ mod tests {
         let rebuilt = recompose(&ref_clipped, &reference.eigenvectors);
         let rel = clipped.sub(&rebuilt).unwrap().frobenius_norm() / rebuilt.frobenius_norm();
         assert!(rel < 1e-9, "clip paths diverged: relative error {rel}");
+    }
+
+    #[test]
+    fn accumulator_matches_in_memory_covariance_across_chunkings() {
+        let spectrum = EigenSpectrum::principal_plus_small(2, 60.0, 6, 1.5).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 533, 91).unwrap();
+        let values = ds.table.values();
+        let expected_cov = ds.table.covariance_matrix();
+        let expected_mean = ds.table.mean_vector();
+        let scale = expected_cov.max_abs().max(1.0);
+
+        for &chunk in &[1usize, 7, 100, 533, 1000] {
+            let mut acc = CovarianceAccumulator::new(6);
+            let mut start = 0;
+            while start < values.rows() {
+                let end = (start + chunk).min(values.rows());
+                let c = values.submatrix(start, end, 0, 6).unwrap();
+                acc.update_chunk(&c).unwrap();
+                start = end;
+            }
+            assert_eq!(acc.count(), 533);
+            assert!(
+                acc.covariance().approx_eq(&expected_cov, 1e-12 * scale),
+                "chunk size {chunk}"
+            );
+            for (got, want) in acc.mean().iter().zip(expected_mean.iter()) {
+                assert!((got - want).abs() < 1e-12, "chunk size {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_with_means_is_bit_identical_to_one_shot_path() {
+        // The in-memory kernel reduces independent 2048-row partial
+        // triangles in chunk order. Reproduce exactly that structure — one
+        // mean-anchored partial per 2048-row chunk, merged in order — and
+        // the accumulated covariance must match bit for bit.
+        let spectrum = EigenSpectrum::principal_plus_small(3, 80.0, 5, 2.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 5_000, 93).unwrap();
+        let values = ds.table.values();
+        let means = values.column_means();
+
+        let mut acc = CovarianceAccumulator::with_means(&means);
+        let mut start = 0;
+        while start < values.rows() {
+            let end = (start + 2048).min(values.rows());
+            let mut partial = CovarianceAccumulator::with_means(&means);
+            partial
+                .update_chunk(&values.submatrix(start, end, 0, 5).unwrap())
+                .unwrap();
+            acc.merge(&partial).unwrap();
+            start = end;
+        }
+        let streamed = acc.covariance();
+        let one_shot = ds.table.covariance_matrix();
+        assert!(
+            streamed.approx_eq(&one_shot, 0.0),
+            "mean-anchored partials merged in chunk order must be bit-identical to the one-shot kernel"
+        );
+    }
+
+    #[test]
+    fn accumulator_merge_is_exact_across_anchors() {
+        // Split the records across two accumulators with *different* anchors
+        // (each captures its own first record); the merged result must match
+        // a single sequential accumulator to ~machine precision.
+        let spectrum = EigenSpectrum::principal_plus_small(2, 40.0, 4, 1.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 400, 95).unwrap();
+        let values = ds.table.values();
+        let left = values.submatrix(0, 170, 0, 4).unwrap();
+        let right = values.submatrix(170, 400, 0, 4).unwrap();
+
+        let mut a = CovarianceAccumulator::new(4);
+        a.update_chunk(&left).unwrap();
+        let mut b = CovarianceAccumulator::new(4);
+        b.update_chunk(&right).unwrap();
+        a.merge(&b).unwrap();
+
+        let mut sequential = CovarianceAccumulator::new(4);
+        sequential.update_chunk(&left).unwrap();
+        sequential.update_chunk(&right).unwrap();
+
+        let scale = sequential.covariance().max_abs().max(1.0);
+        assert_eq!(a.count(), 400);
+        assert!(a
+            .covariance()
+            .approx_eq(&sequential.covariance(), 1e-12 * scale));
+
+        // Shared-anchor partials merge by plain elementwise addition, so two
+        // different merge groupings of the same partials agree bit for bit.
+        let shift = sequential.shift().unwrap().to_vec();
+        let mut c = CovarianceAccumulator::with_shift(shift.clone());
+        c.update_chunk(&left).unwrap();
+        let mut d = CovarianceAccumulator::with_shift(shift.clone());
+        d.update_chunk(&right).unwrap();
+        let mut merged = CovarianceAccumulator::with_shift(shift);
+        merged.merge(&c).unwrap();
+        merged.merge(&d).unwrap();
+        c.merge(&d).unwrap();
+        assert!(merged.covariance().approx_eq(&c.covariance(), 0.0));
+        assert!(c
+            .covariance()
+            .approx_eq(&sequential.covariance(), 1e-12 * scale));
+    }
+
+    #[test]
+    fn accumulator_edge_cases() {
+        let mut acc = CovarianceAccumulator::new(3);
+        assert_eq!(acc.covariance(), Matrix::zeros(3, 3));
+        assert_eq!(acc.mean(), vec![0.0; 3]);
+        assert!(acc.update_chunk(&Matrix::zeros(2, 4)).is_err());
+        // Zero-row chunks are no-ops.
+        acc.update_chunk(&Matrix::zeros(0, 3)).unwrap();
+        assert_eq!(acc.count(), 0);
+        assert!(acc.shift().is_none());
+        // Merging an empty accumulator is a no-op; into an empty one adopts.
+        let mut other = CovarianceAccumulator::new(3);
+        other
+            .update_chunk(
+                &Matrix::from_rows(&[&[1.0, 2.0, 3.0][..], &[2.0, 1.0, 0.0][..]]).unwrap(),
+            )
+            .unwrap();
+        acc.merge(&other).unwrap();
+        assert_eq!(acc.count(), 2);
+        assert!(acc.merge(&CovarianceAccumulator::new(2)).is_err());
+        // Single record: covariance still zero (n − 1 normalization).
+        let mut one = CovarianceAccumulator::new(2);
+        one.update_chunk(&Matrix::from_rows(&[&[5.0, -1.0][..]]).unwrap())
+            .unwrap();
+        assert_eq!(one.covariance(), Matrix::zeros(2, 2));
+        assert_eq!(one.mean(), vec![5.0, -1.0]);
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //! | [`spectral::SpectralFiltering`] | Kargupta et al. | random-matrix bound separates signal from noise eigenvalues |
 //! | [`be_dr::BeDr`] | §6 & §8 | multivariate Bayes estimate (Eq. 11 / Eq. 13) |
 //!
+//! For record sets too large to hold in memory, the [`streaming`] module
+//! runs BE-DR and PCA-DR in two passes over a chunked record source
+//! (`randrecon_data::chunks::RecordChunkSource`) with peak memory
+//! `O(chunk · m + m²)`: pass 1 feeds a mergeable [`CovarianceAccumulator`],
+//! pass 2 sweeps chunks through the cached factorization into a pluggable
+//! sink.
+//!
 //! ## Example
 //!
 //! ```
@@ -51,11 +58,14 @@ pub mod partial;
 pub mod pca_dr;
 pub mod selection;
 pub mod spectral;
+pub mod streaming;
 pub mod temporal;
 pub mod theory;
 pub mod traits;
 pub mod udr;
 
+pub use covariance::CovarianceAccumulator;
 pub use error::{ReconError, Result};
 pub use selection::ComponentSelection;
+pub use streaming::{RecordSink, StreamingBeDr, StreamingPcaDr};
 pub use traits::Reconstructor;

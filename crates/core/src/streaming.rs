@@ -1,0 +1,706 @@
+//! Streaming attack engine: BE-DR and PCA-DR over chunked record sources
+//! with peak memory `O(chunk · m + m²)`, independent of `n`.
+//!
+//! The in-memory attacks materialize the full `n × m` disguised matrix plus
+//! an `n × m` reconstruction; once the kernels are fast (PR 1/PR 2), memory
+//! — not FLOPs — is what caps `n`. This engine removes that cap by running
+//! each attack in **two passes** over a restartable
+//! [`RecordChunkSource`]:
+//!
+//! 1. **Accumulate**: sweep the chunks once through a mergeable
+//!    [`CovarianceAccumulator`] (per-chunk partials are computed across the
+//!    `randrecon-parallel` pool and merged in chunk order, so the result is
+//!    independent of thread count). This yields `n`, `μ̂_y` and `Σ̂_y` in
+//!    `O(m²)` state.
+//! 2. **Sweep**: derive the attack's per-record linear map from the
+//!    estimates — BE-DR factors `Σ̂_x + Σ_r` **once** and keeps the cached
+//!    Cholesky solve products; PCA-DR eigendecomposes `Σ̂_x` once and keeps
+//!    `Q̂` — then re-sweeps the source, pushing each reconstructed chunk
+//!    into a pluggable [`RecordSink`] (in-memory table, buffered CSV file,
+//!    or a metrics-only MSE accumulator).
+//!
+//! Because every reconstruction map is per-record, the streamed output rows
+//! are computed by exactly the same kernels as the in-memory attacks; the
+//! only differences are the 1e-15-level rounding differences in `μ̂`/`Σ̂`
+//! accumulation order. The equivalence tests pin agreement at ≤ 1e-12 for
+//! chunk sizes {1, 7, 1000, n}.
+
+use crate::covariance::{clip_eigenvalues, CovarianceAccumulator};
+use crate::error::{ReconError, Result};
+use crate::selection::ComponentSelection;
+use randrecon_data::chunks::RecordChunkSource;
+use randrecon_data::csv::CsvChunkWriter;
+use randrecon_linalg::decomposition::{Cholesky, SymmetricEigen};
+use randrecon_linalg::Matrix;
+use randrecon_noise::NoiseModel;
+use std::io::Write;
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Consumer of reconstructed record chunks (pass 2's output side).
+pub trait RecordSink {
+    /// Receives the next chunk of reconstructed records, in stream order.
+    fn consume_chunk(&mut self, chunk: &Matrix) -> Result<()>;
+}
+
+/// Collects the reconstruction into one in-memory matrix.
+///
+/// This reintroduces the `n × m` allocation, of course — it exists for the
+/// equivalence tests and for callers that want the streaming estimator but a
+/// materialized result.
+#[derive(Debug, Clone)]
+pub struct TableSink {
+    m: usize,
+    rows: usize,
+    data: Vec<f64>,
+}
+
+impl TableSink {
+    /// A sink for `m`-attribute records.
+    pub fn new(m: usize) -> Self {
+        TableSink {
+            m,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Rows collected so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The collected records as an `n × m` matrix.
+    pub fn into_matrix(self) -> Result<Matrix> {
+        Ok(Matrix::from_flat(self.rows, self.m, self.data)?)
+    }
+}
+
+impl RecordSink for TableSink {
+    fn consume_chunk(&mut self, chunk: &Matrix) -> Result<()> {
+        if chunk.cols() != self.m {
+            return Err(ReconError::InvalidInput {
+                reason: format!(
+                    "sink expects {} attributes, chunk has {}",
+                    self.m,
+                    chunk.cols()
+                ),
+            });
+        }
+        self.rows += chunk.rows();
+        self.data.extend_from_slice(chunk.as_slice());
+        Ok(())
+    }
+}
+
+/// Buffered CSV files are sinks: the streaming engine can reconstruct
+/// straight to disk without ever holding more than one chunk.
+impl<W: Write> RecordSink for CsvChunkWriter<W> {
+    fn consume_chunk(&mut self, chunk: &Matrix) -> Result<()> {
+        self.write_chunk(chunk)?;
+        Ok(())
+    }
+}
+
+/// Counts rows and discards the values — the zero-overhead sink for pure
+/// throughput measurements.
+#[derive(Debug, Clone, Default)]
+pub struct DiscardSink {
+    rows: usize,
+}
+
+impl DiscardSink {
+    /// Rows consumed so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+impl RecordSink for DiscardSink {
+    fn consume_chunk(&mut self, chunk: &Matrix) -> Result<()> {
+        self.rows += chunk.rows();
+        Ok(())
+    }
+}
+
+/// Metrics-only sink: accumulates the squared error between the
+/// reconstruction stream and a reference source of *original* records,
+/// without storing either.
+///
+/// The reference is reset at construction and consumed row-aligned with the
+/// reconstruction (chunk boundaries on the two sides may differ; a carry
+/// buffer of at most one reference chunk bridges them).
+pub struct MseSink<'a> {
+    reference: &'a mut dyn RecordChunkSource,
+    m: usize,
+    carry: Option<Matrix>,
+    carry_offset: usize,
+    sum_sq: f64,
+    rows: usize,
+}
+
+impl<'a> MseSink<'a> {
+    /// Creates the sink and rewinds the reference source.
+    pub fn new(reference: &'a mut dyn RecordChunkSource) -> Result<Self> {
+        reference.reset()?;
+        let m = reference.n_attributes();
+        Ok(MseSink {
+            reference,
+            m,
+            carry: None,
+            carry_offset: 0,
+            sum_sq: 0.0,
+            rows: 0,
+        })
+    }
+
+    fn accumulate_row(&mut self, row: &[f64]) -> Result<()> {
+        loop {
+            if let Some(c) = &self.carry {
+                if self.carry_offset < c.rows() {
+                    let reference_row = c.row(self.carry_offset);
+                    let mut s = 0.0;
+                    for (&a, &b) in row.iter().zip(reference_row) {
+                        let d = a - b;
+                        s += d * d;
+                    }
+                    self.sum_sq += s;
+                    self.carry_offset += 1;
+                    self.rows += 1;
+                    return Ok(());
+                }
+            }
+            match self.reference.next_chunk()? {
+                Some(c) => {
+                    if c.cols() != self.m {
+                        return Err(ReconError::InvalidInput {
+                            reason: format!(
+                                "reference chunk has {} attributes, expected {}",
+                                c.cols(),
+                                self.m
+                            ),
+                        });
+                    }
+                    self.carry = Some(c);
+                    self.carry_offset = 0;
+                }
+                None => {
+                    return Err(ReconError::InvalidInput {
+                        reason: "reference source exhausted before the reconstruction stream"
+                            .to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Rows compared so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total squared error accumulated so far.
+    pub fn sum_squared_error(&self) -> f64 {
+        self.sum_sq
+    }
+
+    /// Mean squared error per value (0 before any row arrives).
+    pub fn mse(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.sum_sq / (self.rows * self.m) as f64
+        }
+    }
+
+    /// Root-mean-square error per value.
+    pub fn rmse(&self) -> f64 {
+        self.mse().sqrt()
+    }
+}
+
+impl RecordSink for MseSink<'_> {
+    fn consume_chunk(&mut self, chunk: &Matrix) -> Result<()> {
+        if chunk.cols() != self.m {
+            return Err(ReconError::InvalidInput {
+                reason: format!(
+                    "reconstruction chunk has {} attributes, expected {}",
+                    chunk.cols(),
+                    self.m
+                ),
+            });
+        }
+        for r in 0..chunk.rows() {
+            self.accumulate_row(chunk.row(r))?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: parallel accumulation
+// ---------------------------------------------------------------------------
+
+/// Sweeps the source once into a [`CovarianceAccumulator`].
+///
+/// Chunks are pulled in batches of up to `max_threads()` and turned into
+/// per-chunk partial accumulators on the shared pool; the partials merge in
+/// chunk order. **Every** chunk — regardless of batch size or thread count
+/// — takes the identical path: a fresh partial pinned to the stream-global
+/// anchor (the first record of the first non-empty chunk), merged into the
+/// parent by plain elementwise addition. The per-chunk partials are
+/// functions of their chunk alone and the merge sequence is the chunk
+/// sequence, so the result is bit-identical on a 1-core laptop and a
+/// many-core server.
+pub fn accumulate_source<S: RecordChunkSource + ?Sized>(
+    source: &mut S,
+) -> Result<(CovarianceAccumulator, usize)> {
+    accumulate_source_with_batch(source, randrecon_parallel::max_threads().max(1))
+}
+
+/// [`accumulate_source`] with an explicit batch size (exposed so tests can
+/// pin that the result does not depend on it).
+pub fn accumulate_source_with_batch<S: RecordChunkSource + ?Sized>(
+    source: &mut S,
+    batch_size: usize,
+) -> Result<(CovarianceAccumulator, usize)> {
+    let m = source.n_attributes();
+    let batch_size = batch_size.max(1);
+    let mut acc = CovarianceAccumulator::new(m);
+    let mut n_chunks = 0usize;
+    loop {
+        let mut batch: Vec<Matrix> = Vec::with_capacity(batch_size);
+        while batch.len() < batch_size {
+            match source.next_chunk()? {
+                Some(c) => batch.push(c),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        n_chunks += batch.len();
+        // The global anchor: already established, or the first record of
+        // this batch. A batch of entirely empty chunks contributes nothing
+        // and leaves the anchor for a later batch to establish.
+        let anchor: Vec<f64> = match acc.shift() {
+            Some(s) => s.to_vec(),
+            None => match batch.iter().find(|c| c.rows() > 0) {
+                Some(c) => c.row(0).to_vec(),
+                None => continue,
+            },
+        };
+        let partials: Vec<CovarianceAccumulator> =
+            randrecon_parallel::parallel_map_result(&batch, |chunk| {
+                let mut partial = CovarianceAccumulator::with_shift(anchor.clone());
+                partial.update_chunk(chunk)?;
+                Ok::<_, ReconError>(partial)
+            })?;
+        for partial in &partials {
+            acc.merge(partial)?;
+        }
+    }
+    Ok((acc, n_chunks))
+}
+
+// ---------------------------------------------------------------------------
+// Streaming attacks
+// ---------------------------------------------------------------------------
+
+/// Diagnostics shared by the streaming attacks.
+#[derive(Debug, Clone)]
+pub struct StreamingReport {
+    /// Records processed (both passes agreed on this count).
+    pub n_records: usize,
+    /// Chunks the source produced in pass 1.
+    pub n_chunks: usize,
+    /// Estimated original mean `μ̂_x` (= disguised mean; the noise is
+    /// zero-mean).
+    pub estimated_mean: Vec<f64>,
+    /// Estimated original covariance actually used by the attack (clipped
+    /// SPD for BE-DR, raw symmetrized for PCA-DR).
+    pub estimated_covariance: Matrix,
+    /// Principal components kept (PCA-DR only).
+    pub components_kept: Option<usize>,
+    /// Eigenvalues of the covariance estimate, descending (PCA-DR only).
+    pub eigenvalues: Option<Vec<f64>>,
+}
+
+fn validate_stream(m: usize, n: usize) -> Result<()> {
+    if m == 0 {
+        return Err(ReconError::InvalidInput {
+            reason: "record source has no attributes".to_string(),
+        });
+    }
+    if n < 2 {
+        return Err(ReconError::InvalidInput {
+            reason: format!("need at least 2 records to estimate statistics, got {n}"),
+        });
+    }
+    Ok(())
+}
+
+/// Mirrors `default_eigenvalue_floor` for the streaming path: the disguised
+/// per-attribute variances are the diagonal of the accumulated `Σ̂_y`.
+fn default_floor_from_disguised_covariance(sigma_y: &Matrix) -> f64 {
+    let m = sigma_y.rows().max(1);
+    let mean_var = sigma_y.diagonal().iter().sum::<f64>() / m as f64;
+    (1e-6 * mean_var).max(1e-9)
+}
+
+/// Runs pass 2: applies `chunk ↦ chunk · mapᵀ (+ offset)` to every chunk and
+/// feeds the sink, verifying the source replays the same record count.
+fn sweep_linear_map<S: RecordChunkSource + ?Sized, K: RecordSink + ?Sized>(
+    source: &mut S,
+    sink: &mut K,
+    expected_rows: usize,
+    mut apply: impl FnMut(Matrix) -> Result<Matrix>,
+) -> Result<()> {
+    source.reset()?;
+    let mut swept = 0usize;
+    while let Some(chunk) = source.next_chunk()? {
+        swept += chunk.rows();
+        let out = apply(chunk)?;
+        sink.consume_chunk(&out)?;
+    }
+    if swept != expected_rows {
+        return Err(ReconError::InvalidInput {
+            reason: format!(
+                "source produced {swept} records on pass 2 but {expected_rows} on pass 1 — \
+                 chunk sources must replay identically after reset"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Streaming BE-DR (Equation 11 / Theorem 8.1) over a chunked source.
+///
+/// Pass 1 accumulates `μ̂_y`, `Σ̂_y`; the posterior maps
+/// `data_pullᵀ = T⁻¹ Σ̂_x` and `prior_pull = Σ_r T⁻¹ μ̂_x` (with
+/// `T = Σ̂_x + Σ_r`) come from **one** Cholesky factorization, exactly like
+/// the in-memory [`crate::be_dr::BeDr`]; pass 2 sweeps chunks through the
+/// cached solve products. Peak memory: one chunk plus a handful of `m × m`
+/// matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamingBeDr {
+    /// Eigenvalue floor for regularizing `Σ̂_x`; `None` uses the same default
+    /// rule as the in-memory attack (1e-6 × mean disguised variance).
+    pub eigenvalue_floor: Option<f64>,
+}
+
+impl StreamingBeDr {
+    /// Streaming BE-DR with an explicit eigenvalue floor.
+    pub fn with_eigenvalue_floor(floor: f64) -> Result<Self> {
+        if !(floor > 0.0 && floor.is_finite()) {
+            return Err(ReconError::InvalidParameter {
+                reason: format!("eigenvalue floor must be positive, got {floor}"),
+            });
+        }
+        Ok(StreamingBeDr {
+            eigenvalue_floor: Some(floor),
+        })
+    }
+
+    /// Runs the attack end to end: two passes over `source`, reconstruction
+    /// streamed into `sink`.
+    pub fn run<S: RecordChunkSource + ?Sized, K: RecordSink + ?Sized>(
+        &self,
+        source: &mut S,
+        noise: &NoiseModel,
+        sink: &mut K,
+    ) -> Result<StreamingReport> {
+        let m = source.n_attributes();
+        let sigma_r = noise.covariance(m)?;
+
+        source.reset()?;
+        let (acc, n_chunks) = accumulate_source(source)?;
+        let n = acc.count();
+        validate_stream(m, n)?;
+        let mu = acc.mean();
+        let sigma_y = acc.covariance();
+
+        let mut raw = sigma_y.clone();
+        raw.sub_assign_matrix(&sigma_r)?;
+        raw.symmetrize_in_place()?;
+        let floor = self
+            .eigenvalue_floor
+            .unwrap_or_else(|| default_floor_from_disguised_covariance(&sigma_y));
+        let sigma_x = clip_eigenvalues(&raw, floor)?;
+
+        // One factorization of T = Σ̂_x + Σ_r serves every chunk of pass 2.
+        let mut t = sigma_x.clone();
+        t.add_assign_matrix(&sigma_r)?;
+        t.symmetrize_in_place()?;
+        let t_chol = Cholesky::new(&t)?;
+        let data_pull_t = t_chol.solve_matrix(&sigma_x)?;
+        let prior_pull = sigma_r.matvec(&t_chol.solve_vec(&mu)?)?;
+
+        sweep_linear_map(source, sink, n, |chunk| {
+            let mut rec = chunk.matmul(&data_pull_t)?;
+            rec.add_row_broadcast(&prior_pull)?;
+            Ok(rec)
+        })?;
+
+        Ok(StreamingReport {
+            n_records: n,
+            n_chunks,
+            estimated_mean: mu,
+            estimated_covariance: sigma_x,
+            components_kept: None,
+            eigenvalues: None,
+        })
+    }
+}
+
+/// Streaming PCA-DR (Section 5) over a chunked source.
+///
+/// Pass 1 accumulates `μ̂_y`, `Σ̂_y`; the eigenbasis of `Σ̂_x = Σ̂_y − Σ_r`
+/// is computed once and the leading `p` eigenvectors cached; pass 2 centers
+/// each chunk, projects it onto the principal subspace
+/// (`(Y_c Q̂) Q̂ᵀ`, through the fused `A·Bᵀ` kernel) and adds the means back.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamingPcaDr {
+    /// How many principal components to keep.
+    pub selection: ComponentSelection,
+}
+
+impl StreamingPcaDr {
+    /// Streaming PCA-DR with the largest-gap selection rule (the paper's
+    /// choice).
+    pub fn largest_gap() -> Self {
+        StreamingPcaDr {
+            selection: ComponentSelection::LargestGap,
+        }
+    }
+
+    /// Streaming PCA-DR keeping exactly `p` components.
+    pub fn with_fixed_components(p: usize) -> Self {
+        StreamingPcaDr {
+            selection: ComponentSelection::FixedCount(p),
+        }
+    }
+
+    /// Runs the attack end to end: two passes over `source`, reconstruction
+    /// streamed into `sink`.
+    pub fn run<S: RecordChunkSource + ?Sized, K: RecordSink + ?Sized>(
+        &self,
+        source: &mut S,
+        noise: &NoiseModel,
+        sink: &mut K,
+    ) -> Result<StreamingReport> {
+        let m = source.n_attributes();
+        let sigma_r = noise.covariance(m)?;
+
+        source.reset()?;
+        let (acc, n_chunks) = accumulate_source(source)?;
+        let n = acc.count();
+        validate_stream(m, n)?;
+        let mu = acc.mean();
+
+        let mut sigma_x = acc.covariance();
+        sigma_x.sub_assign_matrix(&sigma_r)?;
+        sigma_x.symmetrize_in_place()?;
+
+        let eigen = SymmetricEigen::new(&sigma_x)?;
+        let p = self.selection.select(&eigen.eigenvalues)?;
+        let q_hat = eigen.eigenvectors.leading_columns(p)?;
+        let neg_mu: Vec<f64> = mu.iter().map(|&v| -v).collect();
+
+        sweep_linear_map(source, sink, n, |mut chunk| {
+            chunk.add_row_broadcast(&neg_mu)?;
+            let mut projected = chunk.matmul(&q_hat)?.matmul_transpose_b(&q_hat)?;
+            projected.add_row_broadcast(&mu)?;
+            Ok(projected)
+        })?;
+
+        Ok(StreamingReport {
+            n_records: n,
+            n_chunks,
+            estimated_mean: mu,
+            estimated_covariance: sigma_x,
+            components_kept: Some(p),
+            eigenvalues: Some(eigen.eigenvalues),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randrecon_data::chunks::{SyntheticChunkSource, TableChunkSource};
+    use randrecon_data::synthetic::EigenSpectrum;
+    use randrecon_noise::additive::{AdditiveRandomizer, DisguisedChunkSource};
+
+    fn disguised_synthetic(
+        n: usize,
+        m: usize,
+        chunk: usize,
+        sigma: f64,
+        seed: u64,
+    ) -> DisguisedChunkSource<SyntheticChunkSource> {
+        let spectrum = EigenSpectrum::principal_plus_small(3, 200.0, m, 2.0).unwrap();
+        let original = SyntheticChunkSource::generate(&spectrum, n, chunk, seed).unwrap();
+        DisguisedChunkSource::new(
+            original,
+            AdditiveRandomizer::gaussian(sigma).unwrap(),
+            seed + 1,
+        )
+    }
+
+    #[test]
+    fn streaming_be_dr_reduces_noise_against_original_stream() {
+        let n = 4_000;
+        let m = 12;
+        let sigma = 8.0;
+        let mut disguised = disguised_synthetic(n, m, 256, sigma, 41);
+        let mut original = disguised.inner().clone();
+        let noise = disguised.model().clone();
+
+        let mut sink = MseSink::new(&mut original).unwrap();
+        let report = StreamingBeDr::default()
+            .run(&mut disguised, &noise, &mut sink)
+            .unwrap();
+        assert_eq!(report.n_records, n);
+        assert_eq!(report.n_chunks, n.div_ceil(256));
+        assert_eq!(sink.rows(), n);
+        // The attack must beat the raw noise floor σ² by a wide margin on
+        // this highly correlated workload.
+        let mse = sink.mse();
+        assert!(
+            mse < 0.5 * sigma * sigma,
+            "BE-DR mse {mse} should be far below σ² = {}",
+            sigma * sigma
+        );
+        assert!(report.estimated_covariance.is_symmetric(1e-9));
+        assert_eq!(report.estimated_mean.len(), m);
+    }
+
+    #[test]
+    fn streaming_pca_dr_recovers_component_count() {
+        let n = 3_000;
+        let m = 16;
+        let mut disguised = disguised_synthetic(n, m, 500, 6.0, 43);
+        let noise = disguised.model().clone();
+        let mut sink = DiscardSink::default();
+        let report = StreamingPcaDr::largest_gap()
+            .run(&mut disguised, &noise, &mut sink)
+            .unwrap();
+        assert_eq!(report.components_kept, Some(3));
+        assert_eq!(sink.rows(), n);
+        let eigenvalues = report.eigenvalues.unwrap();
+        assert_eq!(eigenvalues.len(), m);
+        for w in eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn csv_sink_streams_reconstruction_to_disk() {
+        let mut disguised = disguised_synthetic(300, 5, 64, 4.0, 45);
+        let noise = disguised.model().clone();
+        let path = std::env::temp_dir().join(format!(
+            "randrecon_streaming_sink_{}.csv",
+            std::process::id()
+        ));
+        let schema = randrecon_data::Schema::anonymous(5).unwrap();
+        let mut sink = CsvChunkWriter::create(&path, &schema).unwrap();
+        StreamingBeDr::default()
+            .run(&mut disguised, &noise, &mut sink)
+            .unwrap();
+        assert_eq!(sink.rows_written(), 300);
+        sink.finish().unwrap();
+        let written = randrecon_data::csv::read_csv_file(&path).unwrap();
+        assert_eq!(written.values().shape(), (300, 5));
+        assert!(!written.values().has_non_finite());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mse_sink_bridges_mismatched_chunk_boundaries() {
+        // Reference chunked by 7, reconstruction chunked by 5: the carry
+        // buffer has to split and stitch chunks. Identical streams → MSE 0.
+        let values = Matrix::from_fn(23, 3, |i, j| (i * 3 + j) as f64);
+        let table = randrecon_data::DataTable::from_matrix(values.clone()).unwrap();
+        let mut reference = TableChunkSource::new(&table, 7).unwrap();
+        let mut sink = MseSink::new(&mut reference).unwrap();
+        let mut start = 0;
+        while start < 23 {
+            let end = (start + 5).min(23);
+            sink.consume_chunk(&values.submatrix(start, end, 0, 3).unwrap())
+                .unwrap();
+            start = end;
+        }
+        assert_eq!(sink.rows(), 23);
+        assert_eq!(sink.mse(), 0.0);
+        assert_eq!(sink.rmse(), 0.0);
+
+        // A shifted stream yields the exact per-value offset squared.
+        let mut reference = TableChunkSource::new(&table, 7).unwrap();
+        let mut sink = MseSink::new(&mut reference).unwrap();
+        let shifted = values.map(|v| v + 2.0);
+        sink.consume_chunk(&shifted).unwrap();
+        assert!((sink.mse() - 4.0).abs() < 1e-12);
+        // Overrunning the reference errors out.
+        assert!(sink.consume_chunk(&shifted).is_err());
+    }
+
+    #[test]
+    fn engine_rejects_tiny_streams_and_bad_floors() {
+        let values = Matrix::from_fn(1, 3, |_, j| j as f64);
+        let table = randrecon_data::DataTable::from_matrix(values).unwrap();
+        let mut source = TableChunkSource::new(&table, 8).unwrap();
+        let noise = NoiseModel::independent_gaussian(1.0).unwrap();
+        let mut sink = DiscardSink::default();
+        assert!(StreamingBeDr::default()
+            .run(&mut source, &noise, &mut sink)
+            .is_err());
+        assert!(StreamingBeDr::with_eigenvalue_floor(0.0).is_err());
+        assert!(StreamingBeDr::with_eigenvalue_floor(f64::NAN).is_err());
+        assert!(StreamingBeDr::with_eigenvalue_floor(1e-4).is_ok());
+    }
+
+    #[test]
+    fn accumulation_is_bit_identical_across_batch_sizes() {
+        // The batch size is `max_threads()` in production, i.e. machine-
+        // dependent — so the accumulated statistics must not depend on it.
+        // Every chunk becomes a partial pinned to the stream-global anchor
+        // and merges in chunk order, whatever the batching.
+        let spectrum = EigenSpectrum::principal_plus_small(2, 90.0, 6, 1.0).unwrap();
+        let source = SyntheticChunkSource::generate(&spectrum, 700, 64, 17).unwrap();
+        let mut reference: Option<(Matrix, Vec<f64>)> = None;
+        for batch_size in [1usize, 2, 3, 8, 64] {
+            let mut src = source.clone();
+            src.reset().unwrap();
+            let (acc, chunks) = super::accumulate_source_with_batch(&mut src, batch_size).unwrap();
+            assert_eq!(acc.count(), 700);
+            assert_eq!(chunks, 700usize.div_ceil(64));
+            let cov = acc.covariance();
+            let mean = acc.mean();
+            match &reference {
+                None => reference = Some((cov, mean)),
+                Some((ref_cov, ref_mean)) => {
+                    assert!(
+                        cov.approx_eq(ref_cov, 0.0),
+                        "covariance changed with batch size {batch_size}"
+                    );
+                    assert_eq!(&mean, ref_mean, "mean changed with batch size {batch_size}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_sink_roundtrips_and_validates() {
+        let mut sink = TableSink::new(2);
+        sink.consume_chunk(&Matrix::from_fn(3, 2, |i, j| (i + j) as f64))
+            .unwrap();
+        assert!(sink.consume_chunk(&Matrix::zeros(1, 3)).is_err());
+        assert_eq!(sink.rows(), 3);
+        let m = sink.into_matrix().unwrap();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.get(2, 1), 3.0);
+    }
+}

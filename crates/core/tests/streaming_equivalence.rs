@@ -1,0 +1,165 @@
+//! Streaming vs in-memory equivalence.
+//!
+//! The streaming engine must be an *estimator-preserving* refactor: for the
+//! same disguised records, streaming covariance accumulation and streaming
+//! BE-DR / PCA-DR must agree with the in-memory paths to ≤ 1e-12 (relative
+//! to the result scale) for every chunking, including pathological ones
+//! (chunk = 1) and the degenerate single-chunk case (chunk = n). The only
+//! permitted differences are rounding-order effects in the `μ̂`/`Σ̂`
+//! accumulation; the per-record reconstruction kernels are identical.
+
+use randrecon_core::be_dr::BeDr;
+use randrecon_core::covariance::default_eigenvalue_floor;
+use randrecon_core::pca_dr::PcaDr;
+use randrecon_core::streaming::{accumulate_source, StreamingBeDr, StreamingPcaDr, TableSink};
+use randrecon_data::chunks::TableChunkSource;
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_data::DataTable;
+use randrecon_linalg::Matrix;
+use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_stats::rng::seeded_rng;
+
+const N: usize = 1_500;
+const M: usize = 16;
+const CHUNK_SIZES: [usize; 4] = [1, 7, 1_000, N];
+
+fn disguised_workload(seed: u64) -> (DataTable, AdditiveRandomizer) {
+    let spectrum = EigenSpectrum::principal_plus_small(4, 300.0, M, 2.0).unwrap();
+    let ds = SyntheticDataset::generate(&spectrum, N, seed).unwrap();
+    let randomizer = AdditiveRandomizer::gaussian(8.0).unwrap();
+    let disguised = randomizer
+        .disguise(&ds.table, &mut seeded_rng(seed + 1))
+        .unwrap();
+    (disguised, randomizer)
+}
+
+fn assert_close(streamed: &Matrix, in_memory: &Matrix, what: &str, chunk: usize) {
+    let scale = in_memory.max_abs().max(1.0);
+    assert_eq!(streamed.shape(), in_memory.shape());
+    let mut worst = 0.0f64;
+    for (a, b) in streamed.as_slice().iter().zip(in_memory.as_slice()) {
+        worst = worst.max((a - b).abs());
+    }
+    assert!(
+        worst <= 1e-12 * scale,
+        "{what} diverged at chunk size {chunk}: max |Δ| = {worst:e} (scale {scale:e})"
+    );
+}
+
+#[test]
+fn streaming_covariance_matches_in_memory_for_every_chunking() {
+    let (disguised, _) = disguised_workload(1201);
+    let expected_cov = disguised.covariance_matrix();
+    let expected_mean = disguised.mean_vector();
+
+    for &chunk in &CHUNK_SIZES {
+        let mut source = TableChunkSource::new(&disguised, chunk).unwrap();
+        let (acc, n_chunks) = accumulate_source(&mut source).unwrap();
+        assert_eq!(acc.count(), N, "chunk size {chunk}");
+        assert_eq!(n_chunks, N.div_ceil(chunk), "chunk size {chunk}");
+        assert_close(&acc.covariance(), &expected_cov, "covariance", chunk);
+        for (got, want) in acc.mean().iter().zip(expected_mean.iter()) {
+            assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "mean diverged at chunk size {chunk}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_be_dr_matches_in_memory_for_every_chunking() {
+    let (disguised, randomizer) = disguised_workload(1301);
+    let noise = randomizer.model();
+    // Pin the same eigenvalue floor on both sides so the comparison isolates
+    // the streaming estimator itself.
+    let floor = default_eigenvalue_floor(&disguised);
+    let in_memory = BeDr::with_eigenvalue_floor(floor)
+        .unwrap()
+        .reconstruct_with_report(&disguised, noise)
+        .unwrap();
+
+    for &chunk in &CHUNK_SIZES {
+        let mut source = TableChunkSource::new(&disguised, chunk).unwrap();
+        let mut sink = TableSink::new(M);
+        let report = StreamingBeDr::with_eigenvalue_floor(floor)
+            .unwrap()
+            .run(&mut source, noise, &mut sink)
+            .unwrap();
+        assert_eq!(report.n_records, N);
+        let streamed = sink.into_matrix().unwrap();
+        assert_close(
+            &streamed,
+            in_memory.reconstruction.values(),
+            "BE-DR reconstruction",
+            chunk,
+        );
+        assert_close(
+            &report.estimated_covariance,
+            &in_memory.estimated_covariance,
+            "BE-DR covariance estimate",
+            chunk,
+        );
+    }
+}
+
+#[test]
+fn streaming_pca_dr_matches_in_memory_for_every_chunking() {
+    let (disguised, randomizer) = disguised_workload(1401);
+    let noise = randomizer.model();
+    let in_memory = PcaDr::largest_gap()
+        .reconstruct_with_report(&disguised, noise)
+        .unwrap();
+
+    for &chunk in &CHUNK_SIZES {
+        let mut source = TableChunkSource::new(&disguised, chunk).unwrap();
+        let mut sink = TableSink::new(M);
+        let report = StreamingPcaDr::largest_gap()
+            .run(&mut source, noise, &mut sink)
+            .unwrap();
+        assert_eq!(
+            report.components_kept,
+            Some(in_memory.components_kept),
+            "component selection diverged at chunk size {chunk}"
+        );
+        let streamed = sink.into_matrix().unwrap();
+        assert_close(
+            &streamed,
+            in_memory.reconstruction.values(),
+            "PCA-DR reconstruction",
+            chunk,
+        );
+        // Spectra agree too (they drive the selection rule).
+        let eigenvalues = report.eigenvalues.unwrap();
+        for (got, want) in eigenvalues.iter().zip(in_memory.eigenvalues.iter()) {
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "eigenvalue diverged at chunk size {chunk}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_be_dr_is_chunk_size_stable() {
+    // Beyond matching the in-memory path, different chunkings of the same
+    // stream must agree with each other (the estimator is a function of the
+    // record multiset, not of chunk boundaries).
+    let (disguised, randomizer) = disguised_workload(1501);
+    let noise = randomizer.model();
+    let floor = default_eigenvalue_floor(&disguised);
+    let mut reference: Option<Matrix> = None;
+    for &chunk in &CHUNK_SIZES {
+        let mut source = TableChunkSource::new(&disguised, chunk).unwrap();
+        let mut sink = TableSink::new(M);
+        StreamingBeDr::with_eigenvalue_floor(floor)
+            .unwrap()
+            .run(&mut source, noise, &mut sink)
+            .unwrap();
+        let streamed = sink.into_matrix().unwrap();
+        match &reference {
+            None => reference = Some(streamed),
+            Some(r) => assert_close(&streamed, r, "cross-chunking BE-DR", chunk),
+        }
+    }
+}

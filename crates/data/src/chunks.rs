@@ -1,0 +1,290 @@
+//! Chunked record sources — bounded-memory access to large record sets.
+//!
+//! The streaming attack engine in `randrecon-core` never materializes an
+//! `n × m` record matrix: it sweeps a [`RecordChunkSource`] twice (pass 1
+//! accumulates means and covariance, pass 2 reconstructs chunk by chunk), so
+//! its peak memory is `O(chunk · m + m²)` regardless of `n`. This module
+//! defines the source abstraction and the two in-crate implementations:
+//!
+//! * [`TableChunkSource`] — chunked views over an in-memory [`DataTable`]
+//!   (the adapter the streaming-vs-in-memory equivalence tests use, because
+//!   both paths then consume the *same* records);
+//! * [`SyntheticChunkSource`] — the Section 7.1 workload generator emitting
+//!   records chunk by chunk, so a 500 k-record benchmark never allocates
+//!   more than one chunk of rows.
+//!
+//! The chunked CSV reader ([`crate::csv::CsvChunkReader`]) and the
+//! chunk-wise disguising adapter (`randrecon-noise`) implement the same
+//! trait.
+
+use crate::error::{DataError, Result};
+use crate::synthetic::{covariance_from_spectrum, random_orthogonal, EigenSpectrum};
+use crate::table::DataTable;
+use randrecon_linalg::Matrix;
+use randrecon_stats::mvn::{MultivariateNormal, MvnChunkSampler};
+use randrecon_stats::rng::seeded_rng;
+
+/// A restartable source of record chunks.
+///
+/// Implementations hand out the records of one logical `n × m` data set as a
+/// sequence of `rows × m` matrices (every chunk has the full attribute width;
+/// only the row count varies, and only the final chunk may be short).
+///
+/// # Contract
+///
+/// * [`reset`](RecordChunkSource::reset) rewinds to the beginning, and the
+///   subsequent sweep must produce the **identical** chunk sequence — same
+///   boundaries, same values. The two-pass streaming engine estimates
+///   statistics on the first sweep and reconstructs on the second, so a
+///   source that resamples on reset would silently corrupt the attack.
+/// * `next_chunk` returns `Ok(None)` exactly once the source is exhausted;
+///   calling it again keeps returning `Ok(None)` until the next `reset`.
+pub trait RecordChunkSource {
+    /// Number of attributes (columns) of every chunk.
+    fn n_attributes(&self) -> usize;
+
+    /// Total record count if it is known up front (`None` for sources that
+    /// only discover their length by sweeping, e.g. CSV files).
+    fn n_records_hint(&self) -> Option<usize>;
+
+    /// Rewinds to the first chunk. The next sweep must replay the identical
+    /// chunk sequence (see the trait-level contract).
+    fn reset(&mut self) -> Result<()>;
+
+    /// Returns the next chunk, or `None` when the source is exhausted.
+    fn next_chunk(&mut self) -> Result<Option<Matrix>>;
+}
+
+/// Chunked views over an in-memory table (or bare record matrix).
+///
+/// Each chunk is a copy of `chunk_rows` consecutive rows, so the streaming
+/// engine exercises exactly the same code path it would against a disk or
+/// generator source while consuming records that also exist in memory —
+/// which is what the equivalence tests compare against.
+#[derive(Debug, Clone)]
+pub struct TableChunkSource<'a> {
+    values: &'a Matrix,
+    chunk_rows: usize,
+    cursor: usize,
+}
+
+impl<'a> TableChunkSource<'a> {
+    /// Chunked source over a table's records.
+    pub fn new(table: &'a DataTable, chunk_rows: usize) -> Result<Self> {
+        Self::from_matrix(table.values(), chunk_rows)
+    }
+
+    /// Chunked source over a bare record matrix (rows are records).
+    pub fn from_matrix(values: &'a Matrix, chunk_rows: usize) -> Result<Self> {
+        if chunk_rows == 0 {
+            return Err(DataError::Stream {
+                reason: "chunk_rows must be at least 1".to_string(),
+            });
+        }
+        Ok(TableChunkSource {
+            values,
+            chunk_rows,
+            cursor: 0,
+        })
+    }
+}
+
+impl RecordChunkSource for TableChunkSource<'_> {
+    fn n_attributes(&self) -> usize {
+        self.values.cols()
+    }
+
+    fn n_records_hint(&self) -> Option<usize> {
+        Some(self.values.rows())
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Matrix>> {
+        let n = self.values.rows();
+        if self.cursor >= n {
+            return Ok(None);
+        }
+        let end = (self.cursor + self.chunk_rows).min(n);
+        let chunk = self
+            .values
+            .submatrix(self.cursor, end, 0, self.values.cols())?;
+        self.cursor = end;
+        Ok(Some(chunk))
+    }
+}
+
+/// The Section 7.1 synthetic workload as a chunked source.
+///
+/// Builds the same ground-truth structure as
+/// [`crate::synthetic::SyntheticDataset`] — a random orthogonal eigenbasis
+/// `Q`, the covariance `C = Q Λ Qᵀ` — but samples the multivariate-normal
+/// records lazily through a restartable [`MvnChunkSampler`], so generating a
+/// 500 k-record workload allocates one chunk at a time instead of the full
+/// table. The record *stream* differs from `SyntheticDataset::generate` for
+/// the same seed (chunks are sampled from child-seeded RNGs so resets
+/// replay exactly); the distribution is identical.
+#[derive(Debug, Clone)]
+pub struct SyntheticChunkSource {
+    sampler: MvnChunkSampler,
+    covariance: Matrix,
+    eigenvectors: Matrix,
+    eigenvalues: Vec<f64>,
+}
+
+impl SyntheticChunkSource {
+    /// Creates a chunked zero-mean synthetic workload from an eigenvalue
+    /// spectrum (the paper's generation procedure, steps 1–4).
+    pub fn generate(
+        spectrum: &EigenSpectrum,
+        n: usize,
+        chunk_rows: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if n < 2 {
+            return Err(DataError::InvalidWorkload {
+                reason: format!("need at least 2 records, got {n}"),
+            });
+        }
+        let mut rng = seeded_rng(seed);
+        let q = random_orthogonal(spectrum.len(), &mut rng)?;
+        let covariance = covariance_from_spectrum(spectrum, &q)?;
+        let mvn = MultivariateNormal::zero_mean(covariance.clone())?;
+        let sampler = MvnChunkSampler::new(mvn, n, chunk_rows, seed)?;
+        Ok(SyntheticChunkSource {
+            sampler,
+            covariance,
+            eigenvectors: q,
+            eigenvalues: spectrum.values().to_vec(),
+        })
+    }
+
+    /// The exact covariance the records are drawn from.
+    pub fn covariance(&self) -> &Matrix {
+        &self.covariance
+    }
+
+    /// The orthonormal eigenvector basis `Q` (columns are eigenvectors).
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+
+    /// The eigenvalue spectrum `Λ`.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+}
+
+impl RecordChunkSource for SyntheticChunkSource {
+    fn n_attributes(&self) -> usize {
+        self.sampler.dim()
+    }
+
+    fn n_records_hint(&self) -> Option<usize> {
+        Some(self.sampler.n_records())
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        self.sampler.reset();
+        Ok(())
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Matrix>> {
+        Ok(self.sampler.next_chunk())
+    }
+}
+
+/// Drains a source into a single in-memory table (anonymous schema).
+///
+/// Convenience for tests and small workloads; it defeats the purpose of
+/// streaming for large `n`, and says so in the name.
+pub fn materialize(source: &mut dyn RecordChunkSource) -> Result<DataTable> {
+    source.reset()?;
+    let m = source.n_attributes();
+    let mut rows: Vec<f64> = Vec::new();
+    let mut n = 0usize;
+    while let Some(chunk) = source.next_chunk()? {
+        if chunk.cols() != m {
+            return Err(DataError::Stream {
+                reason: format!("chunk has {} columns, source promised {m}", chunk.cols()),
+            });
+        }
+        n += chunk.rows();
+        rows.extend_from_slice(chunk.as_slice());
+    }
+    DataTable::from_matrix(Matrix::from_flat(n, m, rows)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> DataTable {
+        let values = Matrix::from_fn(13, 3, |i, j| (i * 3 + j) as f64);
+        DataTable::from_matrix(values).unwrap()
+    }
+
+    #[test]
+    fn table_source_covers_rows_in_order() {
+        let t = table();
+        let mut src = TableChunkSource::new(&t, 5).unwrap();
+        assert_eq!(src.n_attributes(), 3);
+        assert_eq!(src.n_records_hint(), Some(13));
+        let mut seen = 0;
+        let mut sizes = Vec::new();
+        while let Some(chunk) = src.next_chunk().unwrap() {
+            for r in 0..chunk.rows() {
+                assert_eq!(chunk.row(r), t.record(seen + r));
+            }
+            seen += chunk.rows();
+            sizes.push(chunk.rows());
+        }
+        assert_eq!(seen, 13);
+        assert_eq!(sizes, vec![5, 5, 3]);
+        // Exhausted stays exhausted until reset.
+        assert!(src.next_chunk().unwrap().is_none());
+        src.reset().unwrap();
+        assert_eq!(src.next_chunk().unwrap().unwrap().rows(), 5);
+    }
+
+    #[test]
+    fn table_source_rejects_zero_chunk() {
+        let t = table();
+        assert!(TableChunkSource::new(&t, 0).is_err());
+    }
+
+    #[test]
+    fn synthetic_source_replays_identically_after_reset() {
+        let spectrum = EigenSpectrum::principal_plus_small(2, 50.0, 5, 1.0).unwrap();
+        let mut src = SyntheticChunkSource::generate(&spectrum, 250, 64, 11).unwrap();
+        assert_eq!(src.n_attributes(), 5);
+        assert_eq!(src.n_records_hint(), Some(250));
+        assert_eq!(src.eigenvalues().len(), 5);
+        assert_eq!(src.eigenvectors().shape(), (5, 5));
+        let first = materialize(&mut src).unwrap();
+        let second = materialize(&mut src).unwrap();
+        assert_eq!(first.n_records(), 250);
+        assert!(first.approx_eq(&second, 0.0));
+    }
+
+    #[test]
+    fn synthetic_source_matches_requested_covariance() {
+        let spectrum = EigenSpectrum::principal_plus_small(2, 50.0, 6, 1.0).unwrap();
+        let mut src = SyntheticChunkSource::generate(&spectrum, 8_000, 512, 3).unwrap();
+        let expected = src.covariance().clone();
+        let all = materialize(&mut src).unwrap();
+        let sample_cov = all.covariance_matrix();
+        let rel = sample_cov.sub(&expected).unwrap().frobenius_norm() / expected.frobenius_norm();
+        assert!(rel < 0.15, "relative covariance error {rel}");
+    }
+
+    #[test]
+    fn synthetic_source_validates_input() {
+        let spectrum = EigenSpectrum::principal_plus_small(1, 5.0, 3, 1.0).unwrap();
+        assert!(SyntheticChunkSource::generate(&spectrum, 1, 10, 1).is_err());
+        assert!(SyntheticChunkSource::generate(&spectrum, 10, 0, 1).is_err());
+    }
+}

@@ -5,13 +5,23 @@
 //! workspace free of extra dependencies. Only the subset of CSV this crate
 //! produces is supported: a header row of attribute names followed by rows of
 //! decimal numbers, comma-separated, no quoting or escaping.
+//!
+//! Two access granularities share one parser:
+//!
+//! * [`read_csv`] / [`from_csv_string`] build the whole [`DataTable`] — fine
+//!   for the paper-scale experiments.
+//! * [`CsvChunkReader`] iterates the same format `chunk_rows` records at a
+//!   time and implements [`RecordChunkSource`], so the streaming attack
+//!   engine can sweep a file twice with bounded memory. [`CsvChunkWriter`]
+//!   is the matching buffered sink: header once, then appended chunks.
 
+use crate::chunks::RecordChunkSource;
 use crate::error::{DataError, Result};
 use crate::schema::{Attribute, Schema};
 use crate::table::DataTable;
 use randrecon_linalg::Matrix;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::path::Path;
+use std::io::{BufRead, BufReader, BufWriter, Lines, Read, Write};
+use std::path::{Path, PathBuf};
 
 /// Serializes a table to CSV text (header + one line per record).
 pub fn to_csv_string(table: &DataTable) -> String {
@@ -38,6 +48,46 @@ pub fn write_csv_file<P: AsRef<Path>>(table: &DataTable, path: P) -> Result<()> 
     write_csv(table, &mut file)
 }
 
+/// Parses a header line into a schema (every attribute marked sensitive).
+fn parse_header(header: &str) -> Result<Schema> {
+    let names: Vec<&str> = header.split(',').map(|s| s.trim()).collect();
+    if names.iter().any(|n| n.is_empty()) {
+        return Err(DataError::Parse {
+            line: 1,
+            reason: "header contains an empty attribute name".to_string(),
+        });
+    }
+    Schema::new(names.iter().map(|&n| Attribute::sensitive(n)).collect())
+}
+
+/// Parses one record line into `m` numbers, appending them to `out`.
+/// `line_no` is the 1-based physical line for error reporting. On any error
+/// the partial row is rolled back, so `out` always holds whole rows.
+fn parse_record(line: &str, m: usize, line_no: usize, out: &mut Vec<f64>) -> Result<()> {
+    let start = out.len();
+    let fields = line.split(',').count();
+    if fields != m {
+        return Err(DataError::Parse {
+            line: line_no,
+            reason: format!("expected {m} fields, found {fields}"),
+        });
+    }
+    for f in line.split(',') {
+        let f = f.trim();
+        match f.parse::<f64>() {
+            Ok(v) => out.push(v),
+            Err(_) => {
+                out.truncate(start);
+                return Err(DataError::Parse {
+                    line: line_no,
+                    reason: format!("'{f}' is not a number"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Parses a table from CSV text.
 pub fn from_csv_string(text: &str) -> Result<DataTable> {
     read_csv(&mut text.as_bytes())
@@ -56,47 +106,27 @@ pub fn read_csv<R: Read>(reader: &mut R) -> Result<DataTable> {
             })
         }
     };
-    let names: Vec<&str> = header.split(',').map(|s| s.trim()).collect();
-    if names.iter().any(|n| n.is_empty()) {
-        return Err(DataError::Parse {
-            line: 1,
-            reason: "header contains an empty attribute name".to_string(),
-        });
-    }
-    let schema = Schema::new(names.iter().map(|&n| Attribute::sensitive(n)).collect())?;
+    let schema = parse_header(&header)?;
     let m = schema.len();
 
-    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut data: Vec<f64> = Vec::new();
+    let mut n = 0usize;
     for (idx, line) in lines.enumerate() {
         let line = line?;
         let line_no = idx + 2;
         if line.trim().is_empty() {
             continue;
         }
-        let fields: Vec<&str> = line.split(',').map(|s| s.trim()).collect();
-        if fields.len() != m {
-            return Err(DataError::Parse {
-                line: line_no,
-                reason: format!("expected {m} fields, found {}", fields.len()),
-            });
-        }
-        let mut row = Vec::with_capacity(m);
-        for f in fields {
-            let v: f64 = f.parse().map_err(|_| DataError::Parse {
-                line: line_no,
-                reason: format!("'{f}' is not a number"),
-            })?;
-            row.push(v);
-        }
-        rows.push(row);
+        parse_record(&line, m, line_no, &mut data)?;
+        n += 1;
     }
-    if rows.is_empty() {
+    if n == 0 {
         return Err(DataError::Parse {
             line: 2,
             reason: "no data rows".to_string(),
         });
     }
-    let values = Matrix::from_row_vecs(rows)?;
+    let values = Matrix::from_flat(n, m, data)?;
     DataTable::new(schema, values)
 }
 
@@ -104,6 +134,180 @@ pub fn read_csv<R: Read>(reader: &mut R) -> Result<DataTable> {
 pub fn read_csv_file<P: AsRef<Path>>(path: P) -> Result<DataTable> {
     let mut file = std::fs::File::open(path)?;
     read_csv(&mut file)
+}
+
+/// Chunked CSV reader: iterates a CSV file `chunk_rows` records at a time
+/// through the same parser as [`read_csv`].
+///
+/// Implements [`RecordChunkSource`]; [`reset`](RecordChunkSource::reset)
+/// reopens the file, so the two-pass streaming engine can sweep it twice.
+/// Unlike [`read_csv`], a file with a header and zero data rows is not an
+/// error here — the stream is simply empty (the attack engines reject
+/// sources with fewer than two records themselves).
+#[derive(Debug)]
+pub struct CsvChunkReader {
+    path: PathBuf,
+    chunk_rows: usize,
+    schema: Schema,
+    lines: Lines<BufReader<std::fs::File>>,
+    /// 1-based physical line number of the last line consumed (header = 1).
+    line_no: usize,
+}
+
+impl CsvChunkReader {
+    /// Opens a CSV file and parses its header.
+    pub fn open<P: AsRef<Path>>(path: P, chunk_rows: usize) -> Result<Self> {
+        if chunk_rows == 0 {
+            return Err(DataError::Stream {
+                reason: "chunk_rows must be at least 1".to_string(),
+            });
+        }
+        let path = path.as_ref().to_path_buf();
+        let (schema, lines) = Self::open_file(&path)?;
+        Ok(CsvChunkReader {
+            path,
+            chunk_rows,
+            schema,
+            lines,
+            line_no: 1,
+        })
+    }
+
+    fn open_file(path: &Path) -> Result<(Schema, Lines<BufReader<std::fs::File>>)> {
+        let file = std::fs::File::open(path)?;
+        let mut lines = BufReader::new(file).lines();
+        let header = match lines.next() {
+            Some(h) => h?,
+            None => {
+                return Err(DataError::Parse {
+                    line: 1,
+                    reason: "empty input (missing header row)".to_string(),
+                })
+            }
+        };
+        Ok((parse_header(&header)?, lines))
+    }
+
+    /// The schema parsed from the header row.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+impl RecordChunkSource for CsvChunkReader {
+    fn n_attributes(&self) -> usize {
+        self.schema.len()
+    }
+
+    fn n_records_hint(&self) -> Option<usize> {
+        None
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        let (schema, lines) = Self::open_file(&self.path)?;
+        if schema != self.schema {
+            return Err(DataError::Stream {
+                reason: format!(
+                    "file '{}' changed schema between sweeps",
+                    self.path.display()
+                ),
+            });
+        }
+        self.lines = lines;
+        self.line_no = 1;
+        Ok(())
+    }
+
+    fn next_chunk(&mut self) -> Result<Option<Matrix>> {
+        let m = self.schema.len();
+        let mut data: Vec<f64> = Vec::with_capacity(self.chunk_rows * m);
+        let mut rows = 0usize;
+        while rows < self.chunk_rows {
+            let line = match self.lines.next() {
+                Some(l) => l?,
+                None => break,
+            };
+            self.line_no += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            parse_record(&line, m, self.line_no, &mut data)?;
+            rows += 1;
+        }
+        if rows == 0 {
+            return Ok(None);
+        }
+        Ok(Some(Matrix::from_flat(rows, m, data)?))
+    }
+}
+
+/// Buffered chunk-wise CSV writer: header once at construction, then rows
+/// appended chunk by chunk — the file sink of the streaming attack engine.
+#[derive(Debug)]
+pub struct CsvChunkWriter<W: Write> {
+    writer: W,
+    n_attributes: usize,
+    rows_written: usize,
+}
+
+impl CsvChunkWriter<BufWriter<std::fs::File>> {
+    /// Creates (truncating) a CSV file and writes the header row.
+    pub fn create<P: AsRef<Path>>(path: P, schema: &Schema) -> Result<Self> {
+        let file = std::fs::File::create(path)?;
+        CsvChunkWriter::new(BufWriter::new(file), schema)
+    }
+}
+
+impl<W: Write> CsvChunkWriter<W> {
+    /// Wraps any writer (callers supply their own buffering) and writes the
+    /// header row immediately.
+    pub fn new(mut writer: W, schema: &Schema) -> Result<Self> {
+        writer.write_all(schema.names().join(",").as_bytes())?;
+        writer.write_all(b"\n")?;
+        Ok(CsvChunkWriter {
+            writer,
+            n_attributes: schema.len(),
+            rows_written: 0,
+        })
+    }
+
+    /// Appends one chunk of records (columns must match the schema width).
+    pub fn write_chunk(&mut self, chunk: &Matrix) -> Result<()> {
+        if chunk.cols() != self.n_attributes {
+            return Err(DataError::SchemaMismatch {
+                reason: format!(
+                    "chunk has {} columns but the header has {} attributes",
+                    chunk.cols(),
+                    self.n_attributes
+                ),
+            });
+        }
+        let mut line = String::new();
+        for row in chunk.row_iter() {
+            line.clear();
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("{v}"));
+            }
+            line.push('\n');
+            self.writer.write_all(line.as_bytes())?;
+        }
+        self.rows_written += chunk.rows();
+        Ok(())
+    }
+
+    /// Total record rows written so far (excluding the header).
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
 }
 
 #[cfg(test)]
@@ -166,5 +370,100 @@ mod tests {
     #[test]
     fn duplicate_header_names_rejected() {
         assert!(from_csv_string("a,a\n1,2\n").is_err());
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("randrecon_csv_{name}_{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn chunked_reader_matches_whole_file_parse() {
+        // 11 records in chunks of 4 → sizes 4, 4, 3; same values as read_csv.
+        let values = Matrix::from_fn(11, 3, |i, j| (i as f64) * 1.5 - (j as f64) * 0.25);
+        let t = DataTable::from_matrix(values).unwrap();
+        let path = temp_path("chunked_roundtrip");
+        write_csv_file(&t, &path).unwrap();
+
+        let mut reader = CsvChunkReader::open(&path, 4).unwrap();
+        assert_eq!(reader.n_attributes(), 3);
+        assert_eq!(reader.schema().names(), t.schema().names());
+        assert_eq!(reader.n_records_hint(), None);
+        let mut sizes = Vec::new();
+        let mut rows: Vec<f64> = Vec::new();
+        while let Some(chunk) = reader.next_chunk().unwrap() {
+            sizes.push(chunk.rows());
+            rows.extend_from_slice(chunk.as_slice());
+        }
+        assert_eq!(sizes, vec![4, 4, 3]);
+        let streamed = Matrix::from_flat(11, 3, rows).unwrap();
+        let whole = read_csv_file(&path).unwrap();
+        assert!(streamed.approx_eq(whole.values(), 0.0));
+
+        // Reset replays the identical sweep (the two-pass engine contract).
+        reader.reset().unwrap();
+        let first_again = reader.next_chunk().unwrap().unwrap();
+        assert!(first_again.approx_eq(&whole.values().submatrix(0, 4, 0, 3).unwrap(), 0.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_reader_reports_malformed_rows_with_line_numbers() {
+        let path = temp_path("malformed");
+        std::fs::write(&path, "a,b\n1,2\n3,4\n5,not_a_number\n7,8\n").unwrap();
+        let mut reader = CsvChunkReader::open(&path, 2).unwrap();
+        // First chunk (lines 2-3) parses fine.
+        assert_eq!(reader.next_chunk().unwrap().unwrap().rows(), 2);
+        // Second chunk hits the malformed value on physical line 4.
+        match reader.next_chunk() {
+            Err(DataError::Parse { line, reason }) => {
+                assert_eq!(line, 4);
+                assert!(reason.contains("not_a_number"));
+            }
+            other => panic!("expected a located parse error, got {other:?}"),
+        }
+
+        // Wrong arity is also located, and blank lines don't shift the count.
+        std::fs::write(&path, "a,b\n1,2\n\n3\n").unwrap();
+        let mut reader = CsvChunkReader::open(&path, 8).unwrap();
+        match reader.next_chunk() {
+            Err(DataError::Parse { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected a located parse error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_reader_open_validation() {
+        let path = temp_path("open_validation");
+        std::fs::write(&path, "a,b\n1,2\n").unwrap();
+        assert!(CsvChunkReader::open(&path, 0).is_err());
+        assert!(CsvChunkReader::open(temp_path("does_not_exist"), 4).is_err());
+        // Header-only file opens fine and yields an empty stream.
+        std::fs::write(&path, "a,b\n").unwrap();
+        let mut reader = CsvChunkReader::open(&path, 4).unwrap();
+        assert!(reader.next_chunk().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunk_writer_roundtrips_through_chunk_reader() {
+        let t = sample();
+        let path = temp_path("writer");
+        let mut writer = CsvChunkWriter::create(&path, t.schema()).unwrap();
+        // Write the three records as two chunks.
+        writer
+            .write_chunk(&t.values().submatrix(0, 2, 0, 2).unwrap())
+            .unwrap();
+        writer
+            .write_chunk(&t.values().submatrix(2, 3, 0, 2).unwrap())
+            .unwrap();
+        assert_eq!(writer.rows_written(), 3);
+        // Wrong width rejected before anything is written.
+        assert!(writer.write_chunk(&Matrix::zeros(1, 3)).is_err());
+        writer.finish().unwrap();
+
+        let parsed = read_csv_file(&path).unwrap();
+        assert!(parsed.approx_eq(&t, 1e-12));
+        std::fs::remove_file(&path).ok();
     }
 }

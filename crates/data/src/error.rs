@@ -32,6 +32,12 @@ pub enum DataError {
         /// What went wrong.
         reason: String,
     },
+    /// A chunked record source failed mid-stream (e.g. a wrapped generator or
+    /// randomizer reported an error while producing a chunk).
+    Stream {
+        /// What went wrong.
+        reason: String,
+    },
     /// An I/O error from reading or writing CSV files.
     Io(std::io::Error),
     /// Propagated linear-algebra failure.
@@ -49,6 +55,7 @@ impl fmt::Display for DataError {
                 write!(f, "CSV parse error at line {line}: {reason}")
             }
             DataError::InvalidWorkload { reason } => write!(f, "invalid workload: {reason}"),
+            DataError::Stream { reason } => write!(f, "record stream error: {reason}"),
             DataError::Io(e) => write!(f, "I/O error: {e}"),
             DataError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             DataError::Stats(e) => write!(f, "statistics error: {e}"),

@@ -11,7 +11,11 @@
 //!   orthogonal eigenbasis with Gram–Schmidt, form `C = Q Λ Qᵀ`, and sample a
 //!   multivariate normal data set from it.
 //! * [`csv`] — minimal CSV reading/writing so examples can persist data sets
-//!   without extra dependencies.
+//!   without extra dependencies, including a chunked reader/writer pair for
+//!   streaming workloads.
+//! * [`chunks`] — the [`chunks::RecordChunkSource`] abstraction behind the
+//!   bounded-memory streaming attack engine, with in-memory and synthetic
+//!   chunk sources.
 //!
 //! ## Example
 //!
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chunks;
 pub mod csv;
 pub mod error;
 pub mod schema;
@@ -35,6 +40,7 @@ pub mod synthetic;
 pub mod table;
 pub mod timeseries;
 
+pub use chunks::RecordChunkSource;
 pub use error::{DataError, Result};
 pub use schema::Schema;
 pub use table::DataTable;

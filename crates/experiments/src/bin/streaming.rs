@@ -1,0 +1,31 @@
+//! Runs the bounded-memory streaming attack scenarios.
+//!
+//! Usage: `cargo run --release -p randrecon-experiments --bin streaming
+//! [--quick | --large]`
+//!
+//! * `--quick` — 10 k × 16 smoke scenario.
+//! * default — the 50 k × 64 trajectory scenario.
+//! * `--large` — the 500 k × 64 flagship (no `n × m` allocation anywhere:
+//!   generation, disguising, both attack passes and the MSE scoring all
+//!   stream chunk by chunk).
+
+use randrecon_experiments::streaming::StreamingScenario;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let large = std::env::args().any(|a| a == "--large");
+    let scenario = if quick {
+        StreamingScenario::quick()
+    } else if large {
+        StreamingScenario::large_500k()
+    } else {
+        StreamingScenario::standard_50k()
+    };
+    match scenario.run() {
+        Ok(outcome) => println!("{outcome}"),
+        Err(e) => {
+            eprintln!("streaming scenario failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

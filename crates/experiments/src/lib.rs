@@ -12,6 +12,7 @@
 //! | [`exp3`] | Figure 3 | eigenvalues of the non-principal components |
 //! | [`exp4`] | Figure 4 | correlation dissimilarity between noise and data |
 //! | [`ablation`] | — | PC-selection rule, noise level, sample size, noise shape |
+//! | [`streaming`] | — | bounded-memory streaming attacks at 50 k–500 k records |
 //!
 //! Each experiment produces an [`config::ExperimentSeries`] that can be
 //! rendered as a console table (the same rows the paper plots) or written to
@@ -42,6 +43,7 @@ pub mod exp3;
 pub mod exp4;
 pub mod report;
 pub mod runner;
+pub mod streaming;
 pub mod workload;
 
 pub use config::{ExperimentSeries, SchemeKind, SeriesPoint};

@@ -1,0 +1,256 @@
+//! Streaming workload scenarios: attack pipelines at record counts that are
+//! generated, disguised, attacked and scored **without ever materializing an
+//! `n × m` matrix**.
+//!
+//! A [`StreamingScenario`] wires together the chunked synthetic generator
+//! (`randrecon_data::chunks::SyntheticChunkSource`), the chunk-wise
+//! disguising adapter (`randrecon_noise::additive::DisguisedChunkSource`),
+//! the two-pass streaming attacks (`randrecon_core::streaming`) and the
+//! metrics-only MSE sink. Peak memory is a few chunks plus `m × m` state,
+//! so the 500 k-record scenario runs comfortably where the in-memory
+//! pipeline would need hundreds of megabytes of record storage.
+
+use crate::error::{ExperimentError, Result};
+use randrecon_core::streaming::{MseSink, StreamingBeDr, StreamingPcaDr};
+use randrecon_data::chunks::SyntheticChunkSource;
+use randrecon_data::synthetic::EigenSpectrum;
+use randrecon_noise::additive::{AdditiveRandomizer, DisguisedChunkSource};
+use std::fmt;
+use std::time::Instant;
+
+/// Configuration of one streaming attack scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingScenario {
+    /// Records to stream.
+    pub n_records: usize,
+    /// Attributes per record.
+    pub n_attributes: usize,
+    /// Rows per chunk (the memory knob).
+    pub chunk_rows: usize,
+    /// Principal components of the synthetic workload.
+    pub principal_components: usize,
+    /// Standard deviation of the independent Gaussian noise.
+    pub noise_sigma: f64,
+    /// Base seed (generator and noise derive child seeds from it).
+    pub seed: u64,
+}
+
+impl StreamingScenario {
+    /// A small smoke-sized scenario for tests.
+    pub fn quick() -> Self {
+        StreamingScenario {
+            n_records: 10_000,
+            n_attributes: 16,
+            chunk_rows: 2_048,
+            principal_components: 3,
+            noise_sigma: 8.0,
+            seed: 7,
+        }
+    }
+
+    /// The PR-3 trajectory size shared with the in-memory benches:
+    /// 50 k × 64.
+    pub fn standard_50k() -> Self {
+        StreamingScenario {
+            n_records: 50_000,
+            n_attributes: 64,
+            chunk_rows: 4_096,
+            principal_components: 6,
+            noise_sigma: 10.0,
+            seed: 50,
+        }
+    }
+
+    /// The bounded-memory flagship: 500 k × 64 (an in-memory run would need
+    /// ~256 MB per record matrix; streaming peaks at a few chunk buffers).
+    pub fn large_500k() -> Self {
+        StreamingScenario {
+            n_records: 500_000,
+            n_attributes: 64,
+            chunk_rows: 8_192,
+            principal_components: 6,
+            noise_sigma: 10.0,
+            seed: 500,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.n_records < 2
+            || self.n_attributes == 0
+            || self.chunk_rows == 0
+            || self.principal_components == 0
+            || self.principal_components > self.n_attributes
+            || !(self.noise_sigma > 0.0 && self.noise_sigma.is_finite())
+        {
+            return Err(ExperimentError::InvalidConfig {
+                reason: format!("invalid streaming scenario: {self:?}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs streaming BE-DR and PCA-DR end to end against this scenario,
+    /// scoring both with a metrics-only sink against the original record
+    /// stream.
+    pub fn run(&self) -> Result<StreamingOutcome> {
+        self.validate()?;
+        let spectrum = EigenSpectrum::principal_plus_small(
+            self.principal_components,
+            400.0,
+            self.n_attributes,
+            4.0,
+        )?;
+        let original =
+            SyntheticChunkSource::generate(&spectrum, self.n_records, self.chunk_rows, self.seed)?;
+        let randomizer = AdditiveRandomizer::gaussian(self.noise_sigma)?;
+        let mut disguised = DisguisedChunkSource::new(original.clone(), randomizer, self.seed + 1);
+        let noise = disguised.model().clone();
+
+        let be_dr = {
+            let mut reference = original.clone();
+            let mut sink = MseSink::new(&mut reference)?;
+            let start = Instant::now();
+            let report = StreamingBeDr::default().run(&mut disguised, &noise, &mut sink)?;
+            SchemeOutcome::from_run(start, self.n_records, sink.mse(), report.components_kept)
+        };
+        let pca_dr = {
+            let mut reference = original.clone();
+            let mut sink = MseSink::new(&mut reference)?;
+            let start = Instant::now();
+            let report = StreamingPcaDr::largest_gap().run(&mut disguised, &noise, &mut sink)?;
+            SchemeOutcome::from_run(start, self.n_records, sink.mse(), report.components_kept)
+        };
+
+        Ok(StreamingOutcome {
+            scenario: *self,
+            be_dr,
+            pca_dr,
+        })
+    }
+}
+
+/// Timing and accuracy of one streaming attack run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeOutcome {
+    /// Mean squared error per value against the original stream.
+    pub mse: f64,
+    /// Wall-clock seconds for the full two-pass run (including chunk
+    /// generation and disguising, which stream through the same sweep).
+    pub seconds: f64,
+    /// Records per second of end-to-end throughput.
+    pub records_per_second: f64,
+    /// Principal components kept (PCA-DR only).
+    pub components_kept: Option<usize>,
+}
+
+impl SchemeOutcome {
+    fn from_run(
+        start: Instant,
+        n_records: usize,
+        mse: f64,
+        components_kept: Option<usize>,
+    ) -> Self {
+        let seconds = start.elapsed().as_secs_f64();
+        SchemeOutcome {
+            mse,
+            seconds,
+            records_per_second: n_records as f64 / seconds.max(1e-9),
+            components_kept,
+        }
+    }
+
+    /// Root-mean-square error per value.
+    pub fn rmse(&self) -> f64 {
+        self.mse.sqrt()
+    }
+}
+
+/// Results of a [`StreamingScenario`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingOutcome {
+    /// The configuration that produced these numbers.
+    pub scenario: StreamingScenario,
+    /// Streaming BE-DR results.
+    pub be_dr: SchemeOutcome,
+    /// Streaming PCA-DR results.
+    pub pca_dr: SchemeOutcome,
+}
+
+impl StreamingOutcome {
+    /// The MSE an attacker gets for free by returning the disguised data
+    /// unchanged (NDR): the per-value noise variance σ².
+    pub fn noise_floor_mse(&self) -> f64 {
+        self.scenario.noise_sigma * self.scenario.noise_sigma
+    }
+}
+
+impl fmt::Display for StreamingOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = &self.scenario;
+        writeln!(
+            f,
+            "streaming scenario: {} records x {} attributes, chunk {}, sigma {}",
+            s.n_records, s.n_attributes, s.chunk_rows, s.noise_sigma
+        )?;
+        writeln!(f, "  noise floor (NDR) MSE: {:.4}", self.noise_floor_mse())?;
+        writeln!(
+            f,
+            "  BE-DR : MSE {:.4}  ({:.2} s, {:.0} records/s)",
+            self.be_dr.mse, self.be_dr.seconds, self.be_dr.records_per_second
+        )?;
+        writeln!(
+            f,
+            "  PCA-DR: MSE {:.4}  ({:.2} s, {:.0} records/s, p = {})",
+            self.pca_dr.mse,
+            self.pca_dr.seconds,
+            self.pca_dr.records_per_second,
+            self.pca_dr
+                .components_kept
+                .map_or_else(|| "?".to_string(), |p| p.to_string())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scenario_attacks_beat_the_noise_floor() {
+        let outcome = StreamingScenario::quick().run().unwrap();
+        let floor = outcome.noise_floor_mse();
+        assert!(
+            outcome.be_dr.mse < 0.5 * floor,
+            "BE-DR mse {} vs noise floor {floor}",
+            outcome.be_dr.mse
+        );
+        assert!(
+            outcome.pca_dr.mse < floor,
+            "PCA-DR mse {} vs noise floor {floor}",
+            outcome.pca_dr.mse
+        );
+        // BE-DR is at least as strong as PCA-DR (the paper's Section 6 result).
+        assert!(outcome.be_dr.mse <= outcome.pca_dr.mse * 1.05);
+        assert_eq!(outcome.pca_dr.components_kept, Some(3));
+        assert!(outcome.be_dr.records_per_second > 0.0);
+        let rendered = outcome.to_string();
+        assert!(rendered.contains("BE-DR"));
+        assert!(rendered.contains("records/s"));
+    }
+
+    #[test]
+    fn scenario_validation_rejects_nonsense() {
+        let mut s = StreamingScenario::quick();
+        s.n_records = 1;
+        assert!(s.run().is_err());
+        let mut s = StreamingScenario::quick();
+        s.chunk_rows = 0;
+        assert!(s.run().is_err());
+        let mut s = StreamingScenario::quick();
+        s.principal_components = 0;
+        assert!(s.run().is_err());
+        let mut s = StreamingScenario::quick();
+        s.noise_sigma = -1.0;
+        assert!(s.run().is_err());
+    }
+}

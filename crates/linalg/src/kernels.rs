@@ -9,6 +9,17 @@
 //!   `k`-stripes so every `C` row accumulates its `k` contributions in
 //!   ascending order — which makes the blocked result bit-identical to the
 //!   naive i-k-j loop and independent of thread count.
+//! * **Register microkernel**: inside each panel, output rows are processed
+//!   `MR = 4` at a time and columns `NR = 8` at a time. The 4×8 accumulator
+//!   block is loaded into locals once per (`k`-stripe, column block), swept
+//!   over the whole `kc` extent while it stays in registers, then stored —
+//!   so each `C` element is read/written once per stripe instead of once per
+//!   `k` iteration (the former `axpy` sweep re-read the `C` row from L1 on
+//!   every rank-1 update). Row tails (< 4) and column tails (< 8) fall back
+//!   to the `axpy` sweep. Per-element accumulation order over `k` is the
+//!   same in every path, and the exact-zero products the naive loop's
+//!   zero-skip would drop cannot change any finite value, so results stay
+//!   numerically identical (`==` per element) to the naive loop.
 //! * **Parallelism**: row-chunks of the output are dispatched onto the shared
 //!   [`randrecon_parallel`] pool once a product exceeds
 //!   [`PARALLEL_MIN_FLOPS`] multiply-adds; below [`BLOCKED_MIN_FLOPS`] the
@@ -30,6 +41,13 @@ const KC: usize = 64;
 
 /// Columns per packed panel (`n`-blocking factor).
 const NC: usize = 256;
+
+/// Output rows per register-microkernel call.
+const MR: usize = 4;
+
+/// Output columns per register-microkernel call (NC is a multiple of NR, so
+/// only the final panel of a non-multiple-of-8 matrix has a column tail).
+const NR: usize = 8;
 
 /// Dot product with four independent accumulators so the reduction
 /// vectorizes; used by `matmul_transpose_b`, Cholesky and the solvers.
@@ -82,6 +100,63 @@ fn pack_b(b: &[f64], k: usize, n: usize) -> Vec<f64> {
     packed
 }
 
+/// The `axpy`-sweep fallback for output-row tails: accumulates one `C` row
+/// segment against a packed panel, `k` ascending, with the naive loop's
+/// zero-skip.
+#[inline]
+fn panel_row_axpy(a_seg: &[f64], panel: &[f64], c_seg: &mut [f64], nc: usize) {
+    for (kk, &aik) in a_seg.iter().enumerate() {
+        // Zero-skip mirrors the naive loop exactly (it has the same skip),
+        // so blocked and naive stay bit-identical; like the naive loop it
+        // assumes finite inputs.
+        if aik != 0.0 {
+            axpy(c_seg, aik, &panel[kk * nc..kk * nc + nc]);
+        }
+    }
+}
+
+/// 4×8 register microkernel: accumulates the `MR × NR` block of `C` at
+/// column `j0` of the panel across the full `kc` extent.
+///
+/// The block lives in `acc` (registers) for the whole `kk` loop, so `C`
+/// traffic drops from one load+store per `k` iteration to one per stripe.
+/// Each element still receives its `a_ik · b_kj` contributions one at a
+/// time in ascending `k` order, so the result is numerically identical
+/// (`==` per element) to the `axpy` sweep and the naive loop. The naive
+/// loop's zero-skip is *not* replicated here — a straight-line inner loop
+/// is what lets the 32 multiply-adds vectorize — and for the finite inputs
+/// every kernel assumes, adding an exact-zero product can only flip the
+/// sign of an exact zero, never change a value.
+#[inline]
+fn microkernel_4x8(
+    a_rows: [&[f64]; MR],
+    panel: &[f64],
+    nc: usize,
+    j0: usize,
+    acc: &mut [[f64; NR]; MR],
+) {
+    let [a0, a1, a2, a3] = a_rows;
+    let kc = a0.len();
+    debug_assert!(a1.len() == kc && a2.len() == kc && a3.len() == kc);
+    for (kk, (((&a0k, &a1k), &a2k), &a3k)) in a0
+        .iter()
+        .zip(a1.iter())
+        .zip(a2.iter())
+        .zip(a3.iter())
+        .enumerate()
+    {
+        let b: &[f64; NR] = panel[kk * nc + j0..kk * nc + j0 + NR]
+            .try_into()
+            .expect("panel row block is exactly NR wide");
+        let av = [a0k, a1k, a2k, a3k];
+        for (row_acc, &ark) in acc.iter_mut().zip(av.iter()) {
+            for (o, &bv) in row_acc.iter_mut().zip(b.iter()) {
+                *o += ark * bv;
+            }
+        }
+    }
+}
+
 /// Cache-blocked, transpose-packed `C = A · B` over row-major slices.
 ///
 /// `a` is `m × k`, `b` is `k × n`, `c` is `m × n` and must be zeroed.
@@ -96,20 +171,52 @@ pub(crate) fn matmul_blocked(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: u
         for kb in (0..k).step_by(KC) {
             let kc = KC.min(k - kb);
             let stripe = &packed[kb * n..kb * n + kc * n];
-            for i in 0..rows {
+            let mut i = 0;
+            // Full 4-row blocks ride the register microkernel.
+            while i + MR <= rows {
+                let a_rows: [&[f64]; MR] = std::array::from_fn(|r| {
+                    let base = (row0 + i + r) * k + kb;
+                    &a[base..base + kc]
+                });
+                for jb in (0..n).step_by(NC) {
+                    let nc = NC.min(n - jb);
+                    let panel = &stripe[kc * jb..kc * jb + kc * nc];
+                    let mut j = 0;
+                    while j + NR <= nc {
+                        let mut acc = [[0.0f64; NR]; MR];
+                        for (r, row_acc) in acc.iter_mut().enumerate() {
+                            let base = (i + r) * n + jb + j;
+                            row_acc.copy_from_slice(&c_chunk[base..base + NR]);
+                        }
+                        microkernel_4x8(a_rows, panel, nc, j, &mut acc);
+                        for (r, row_acc) in acc.iter().enumerate() {
+                            let base = (i + r) * n + jb + j;
+                            c_chunk[base..base + NR].copy_from_slice(row_acc);
+                        }
+                        j += NR;
+                    }
+                    // Column tail (< NR): per-row axpy sweep, same k order.
+                    if j < nc {
+                        for r in 0..MR {
+                            let c_seg = &mut c_chunk[(i + r) * n + jb + j..(i + r) * n + jb + nc];
+                            for (kk, &aik) in a_rows[r].iter().enumerate() {
+                                if aik != 0.0 {
+                                    axpy(c_seg, aik, &panel[kk * nc + j..kk * nc + nc]);
+                                }
+                            }
+                        }
+                    }
+                }
+                i += MR;
+            }
+            // Row tail (< MR): the original axpy sweep.
+            for i in i..rows {
                 let a_seg = &a[(row0 + i) * k + kb..(row0 + i) * k + kb + kc];
                 for jb in (0..n).step_by(NC) {
                     let nc = NC.min(n - jb);
                     let panel = &stripe[kc * jb..kc * jb + kc * nc];
                     let c_seg = &mut c_chunk[i * n + jb..i * n + jb + nc];
-                    for (kk, &aik) in a_seg.iter().enumerate() {
-                        // Zero-skip mirrors the naive loop exactly (it has the
-                        // same skip), so blocked and naive stay bit-identical;
-                        // like the naive loop it assumes finite inputs.
-                        if aik != 0.0 {
-                            axpy(c_seg, aik, &panel[kk * nc..kk * nc + nc]);
-                        }
-                    }
+                    panel_row_axpy(a_seg, panel, c_seg, nc);
                 }
             }
         }
@@ -145,8 +252,22 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive_on_odd_shapes() {
-        // Shapes straddling the block sizes: remainders in both k and n.
-        for &(m, k, n) in &[(3usize, 70usize, 300usize), (17, 65, 257), (40, 128, 256)] {
+        // Shapes straddling the block and register-tile sizes: remainders in
+        // k and n, row counts hitting every microkernel row-tail (0..MR), and
+        // column counts hitting every column-tail (0..NR).
+        for &(m, k, n) in &[
+            (3usize, 70usize, 300usize),
+            (17, 65, 257),
+            (40, 128, 256),
+            (4, 64, 8),
+            (5, 64, 9),
+            (6, 67, 11),
+            (7, 130, 13),
+            (8, 64, 15),
+            (9, 33, 259),
+            (1, 64, 261),
+            (2, 200, 37),
+        ] {
             let a: Vec<f64> = (0..m * k)
                 .map(|i| ((i * 31 % 97) as f64) / 9.0 - 5.0)
                 .collect();
@@ -168,6 +289,42 @@ mod tests {
             for (got, want) in c.iter().zip(expected.iter()) {
                 assert_eq!(got, want, "blocked kernel must be bit-identical");
             }
+        }
+    }
+
+    #[test]
+    fn microkernel_zero_skip_matches_naive_on_sparse_input() {
+        // Zeros scattered through A exercise the microkernel's zero-skip on
+        // every row of the register block.
+        let (m, k, n) = (12usize, 70usize, 40usize);
+        let a: Vec<f64> = (0..m * k)
+            .map(|i| {
+                if i % 3 == 0 {
+                    0.0
+                } else {
+                    ((i * 31 % 97) as f64) / 9.0 - 5.0
+                }
+            })
+            .collect();
+        let b: Vec<f64> = (0..k * n)
+            .map(|i| ((i * 17 % 89) as f64) / 7.0 - 6.0)
+            .collect();
+        let mut c = vec![0.0; m * n];
+        matmul_blocked(&a, &b, &mut c, m, k, n);
+        let mut expected = vec![0.0; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    expected[i * n + j] += aik * b[kk * n + j];
+                }
+            }
+        }
+        for (got, want) in c.iter().zip(expected.iter()) {
+            assert_eq!(got, want, "zero-skip path must stay bit-identical");
         }
     }
 }

@@ -35,14 +35,28 @@
 //! The hot operations run on slice kernels (in the private `kernels` module)
 //! rather than per-element `get`/`set`:
 //!
-//! * **Blocked, packed matmul.** [`Matrix::matmul`] packs the right operand
-//!   once into panel-major layout (`KC = 64` × `NC = 256` panels: a 128 KiB
-//!   panel streams through L2 while each 2 KiB packed row stays in L1) and
-//!   sweeps `k`-stripes with contiguous `axpy` rows. Products below ~32 K
-//!   multiply-adds keep the plain i-k-j loop — packing would cost more than
-//!   it saves. Per-element accumulation order over `k` is unchanged, so the
-//!   blocked result is bit-identical to the naive loop
-//!   ([`Matrix::matmul_naive`], kept public as the reference).
+//! * **Blocked, packed matmul with a register microkernel.**
+//!   [`Matrix::matmul`] packs the right operand once into panel-major layout
+//!   (`KC = 64` × `NC = 256` panels: a 128 KiB panel streams through L2
+//!   while each 2 KiB packed row stays in L1) and sweeps `k`-stripes.
+//!   Inside each panel a **4×8 register microkernel** (`MR = 4` output rows
+//!   × `NR = 8` output columns) loads its block of `C` into locals once per
+//!   stripe, accumulates all `kc` rank-1 contributions while the block
+//!   lives in registers, then stores — cutting `C` traffic from one
+//!   load+store per `k` iteration (the old per-row `axpy` sweep, preserved
+//!   in `randrecon-bench` as `matmul_blocked_axpy_seed`) to one per stripe,
+//!   and giving the compiler a straight-line 32-multiply-add body it
+//!   vectorizes at the machine's native width (`.cargo/config.toml` sets
+//!   `target-cpu=native`; LLVM still performs no FMA contraction or
+//!   reassociation, so results are flag-independent). Row/column tails
+//!   fall back to the `axpy` sweep. Products below ~32 K multiply-adds
+//!   keep the plain i-k-j loop — packing would cost more than it saves.
+//!   Per-element accumulation order over `k` is identical in every path,
+//!   so the result equals the naive loop ([`Matrix::matmul_naive`], kept
+//!   public as the reference) element-for-element (`==`; the microkernel
+//!   skips the naive loop's zero-skip, which for finite inputs can only
+//!   flip the sign of an exact zero). Measured single-thread at 512×512:
+//!   ~2.4× over the axpy-sweep blocked kernel (see `BENCH_3.json`).
 //! * **Parallelism.** Products at or above ~4 M multiply-adds split the
 //!   output row-wise across the **shared** workspace pool
 //!   (`randrecon_parallel`, the same pool the experiment sweeps use; rayon is
@@ -76,6 +90,16 @@
 //!   expressed through solves against a single factorization (e.g. BE-DR
 //!   factors `Σ_x + Σ_r` exactly once); `inverse()` exists for callers that
 //!   genuinely need the matrix, but nothing on the attack pipeline uses it.
+//! * **Chunk sweeps compose with the kernels.** The streaming attack engine
+//!   (`randrecon-core::streaming`) feeds records through these kernels one
+//!   chunk at a time: pass 1 accumulates `Σ̂` with the same contiguous
+//!   rank-update rows, pass 2 multiplies each chunk against the cached
+//!   `m × m` solve products. Because every kernel's per-output-row
+//!   accumulation order is independent of the other rows, a chunked sweep
+//!   produces the same rows as one big product — the matmul dispatch
+//!   (naive below ~32 K multiply-adds, blocked above) never changes a
+//!   value, only the speed — which is what makes the streaming and
+//!   in-memory attacks numerically interchangeable.
 //!
 //! ## Example
 //!

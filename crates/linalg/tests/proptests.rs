@@ -140,6 +140,32 @@ proptest! {
         prop_assert!(blocked.approx_eq(&naive, 1e-10), "shape {m}x{k}x{n}");
     }
 
+    /// The register microkernel agrees with `matmul_naive` to the last bit
+    /// (`==` per element) on shapes that are guaranteed to cross the
+    /// blocked-kernel threshold. m, k and n are decomposed so every
+    /// microkernel tail is exercised: the row count sweeps all residues mod
+    /// the 4-row register block, the column count all residues mod the
+    /// 8-column block, and k straddles the 64-row packing stripe.
+    #[test]
+    fn microkernel_matmul_is_exact_on_odd_shapes(
+        row_blocks in 1usize..9,
+        row_tail in 0usize..4,
+        col_blocks in 32usize..38,
+        col_tail in 0usize..8,
+        k in 65usize..140,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = 4 * row_blocks + row_tail;
+        let n = 8 * col_blocks + col_tail;
+        // Smallest case is 4 × 65 × 256 ≈ 67 K multiply-adds, comfortably
+        // above the 32 K blocked-dispatch threshold.
+        let a = pseudo_random_matrix(m, k, seed);
+        let b = pseudo_random_matrix(k, n, seed ^ 0x5EED_BEEF);
+        let blocked = a.matmul(&b).unwrap();
+        let naive = a.matmul_naive(&b).unwrap();
+        prop_assert!(blocked.approx_eq(&naive, 0.0), "shape {m}x{k}x{n}");
+    }
+
     /// The fused A·Bᵀ kernel agrees with materializing the transpose.
     #[test]
     fn matmul_transpose_b_matches_naive(

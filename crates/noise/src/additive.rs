@@ -9,10 +9,12 @@
 use crate::error::{NoiseError, Result};
 use crate::model::NoiseModel;
 use rand::Rng;
-use randrecon_data::DataTable;
+use randrecon_data::chunks::RecordChunkSource;
+use randrecon_data::{DataError, DataTable};
 use randrecon_linalg::Matrix;
 use randrecon_stats::distributions::{ContinuousDistribution, Normal, Uniform};
 use randrecon_stats::mvn::MultivariateNormal;
+use randrecon_stats::rng::{child_seed, seeded_rng};
 
 /// A randomizer that disguises a table by adding noise drawn from a
 /// [`NoiseModel`].
@@ -104,11 +106,89 @@ impl AdditiveRandomizer {
     }
 }
 
+/// Chunk-wise disguising adapter: wraps any [`RecordChunkSource`] of
+/// *original* records and yields the same chunks with fresh additive noise —
+/// `Y = X + R` one chunk at a time, so the full noise matrix is never
+/// materialized.
+///
+/// Chunk `i`'s noise is drawn from a child-seeded RNG
+/// ([`child_seed`]`(base_seed, i)`), which keeps the stream **restartable**:
+/// after [`reset`](RecordChunkSource::reset) the adapter replays the
+/// identical disguised chunks, exactly what the two-pass streaming attack
+/// engine requires (pass 1 estimates Σ̂ and μ̂ from the same disguised values
+/// pass 2 reconstructs from).
+#[derive(Debug, Clone)]
+pub struct DisguisedChunkSource<S> {
+    inner: S,
+    randomizer: AdditiveRandomizer,
+    base_seed: u64,
+    chunk_index: u64,
+}
+
+impl<S: RecordChunkSource> DisguisedChunkSource<S> {
+    /// Wraps a source of original records.
+    pub fn new(inner: S, randomizer: AdditiveRandomizer, base_seed: u64) -> Self {
+        DisguisedChunkSource {
+            inner,
+            randomizer,
+            base_seed,
+            chunk_index: 0,
+        }
+    }
+
+    /// The public noise model of the wrapped randomizer.
+    pub fn model(&self) -> &NoiseModel {
+        self.randomizer.model()
+    }
+
+    /// The wrapped source of original records.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps back into the original-record source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: RecordChunkSource> RecordChunkSource for DisguisedChunkSource<S> {
+    fn n_attributes(&self) -> usize {
+        self.inner.n_attributes()
+    }
+
+    fn n_records_hint(&self) -> Option<usize> {
+        self.inner.n_records_hint()
+    }
+
+    fn reset(&mut self) -> randrecon_data::Result<()> {
+        self.inner.reset()?;
+        self.chunk_index = 0;
+        Ok(())
+    }
+
+    fn next_chunk(&mut self) -> randrecon_data::Result<Option<Matrix>> {
+        let chunk = match self.inner.next_chunk()? {
+            Some(c) => c,
+            None => return Ok(None),
+        };
+        let mut rng = seeded_rng(child_seed(self.base_seed, self.chunk_index));
+        self.chunk_index += 1;
+        let noise = self
+            .randomizer
+            .sample_noise(chunk.rows(), chunk.cols(), &mut rng)
+            .map_err(|e| DataError::Stream {
+                reason: format!("noise sampling failed: {e}"),
+            })?;
+        Ok(Some(chunk.add(&noise)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use randrecon_data::chunks::{materialize, TableChunkSource};
     use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
-    use randrecon_stats::rng::seeded_rng;
     use randrecon_stats::summary;
 
     fn dataset(n: usize, seed: u64) -> SyntheticDataset {
@@ -203,5 +283,44 @@ mod tests {
         let model = NoiseModel::independent_gaussian(2.0).unwrap();
         let r = AdditiveRandomizer::from_model(model.clone());
         assert_eq!(r.model(), &model);
+    }
+
+    #[test]
+    fn disguised_chunk_source_replays_identically_after_reset() {
+        let ds = dataset(120, 21);
+        let randomizer = AdditiveRandomizer::gaussian(2.0).unwrap();
+        let source = TableChunkSource::new(&ds.table, 32).unwrap();
+        let mut disguised = DisguisedChunkSource::new(source, randomizer, 77);
+        assert_eq!(disguised.n_attributes(), 5);
+        assert_eq!(disguised.n_records_hint(), Some(120));
+        assert_eq!(disguised.model().iid_variance(), Some(4.0));
+
+        let sweep1 = materialize(&mut disguised).unwrap();
+        let sweep2 = materialize(&mut disguised).unwrap();
+        assert!(sweep1.approx_eq(&sweep2, 0.0));
+        // Noise actually got added.
+        assert!(!sweep1.values().approx_eq(ds.table.values(), 1e-9));
+        // And it is zero-mean-ish: the disguised means track the originals.
+        let orig_means = ds.table.mean_vector();
+        for (got, want) in sweep1.mean_vector().iter().zip(orig_means.iter()) {
+            assert!((got - want).abs() < 1.5, "means drifted: {got} vs {want}");
+        }
+        let inner = disguised.into_inner();
+        assert_eq!(inner.n_records_hint(), Some(120));
+    }
+
+    #[test]
+    fn disguised_chunk_noise_has_requested_variance() {
+        // Big enough sample to pin the per-attribute noise variance.
+        let ds = dataset(20_000, 23);
+        let randomizer = AdditiveRandomizer::gaussian(3.0).unwrap();
+        let source = TableChunkSource::new(&ds.table, 1024).unwrap();
+        let mut disguised = DisguisedChunkSource::new(source, randomizer, 5);
+        let swept = materialize(&mut disguised).unwrap();
+        let noise = swept.values().sub(ds.table.values()).unwrap();
+        for j in 0..5 {
+            let var = summary::variance(&noise.column(j));
+            assert!((var - 9.0).abs() < 0.5, "attribute {j}: var = {var}");
+        }
     }
 }

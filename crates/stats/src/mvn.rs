@@ -132,6 +132,96 @@ impl MultivariateNormal {
     }
 }
 
+/// Deterministic chunked multivariate-normal record generator.
+///
+/// Produces the rows of an `n × dim` sample `chunk_rows` at a time without
+/// ever materializing the full matrix — the generator behind the streaming
+/// benchmarks, where a 500 k-record workload must never allocate an `n × m`
+/// buffer. Chunk `i` is sampled with its own child-seeded RNG
+/// ([`crate::rng::child_seed`]`(base_seed, i)`), which buys two properties:
+///
+/// * **Restartability** — after [`MvnChunkSampler::reset`] the exact same
+///   chunk sequence is produced again, which is what the two-pass streaming
+///   attack engine in `randrecon-core` requires of its record sources.
+/// * **Chunk-size stability of the seed layout** — chunk boundaries don't
+///   leak one chunk's draws into the next, so resets cannot drift.
+///
+/// Each chunk is drawn through the same batched Box–Muller + `Z Lᵀ` path as
+/// [`MultivariateNormal::sample_matrix`], reusing the Cholesky factor
+/// computed at construction.
+#[derive(Debug, Clone)]
+pub struct MvnChunkSampler {
+    mvn: MultivariateNormal,
+    n: usize,
+    chunk_rows: usize,
+    base_seed: u64,
+    cursor: usize,
+}
+
+impl MvnChunkSampler {
+    /// Creates a sampler that will emit `n` records in chunks of `chunk_rows`
+    /// (the final chunk may be shorter).
+    pub fn new(
+        mvn: MultivariateNormal,
+        n: usize,
+        chunk_rows: usize,
+        base_seed: u64,
+    ) -> Result<Self> {
+        if chunk_rows == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "chunk_rows",
+                value: 0.0,
+                requirement: "must be at least 1",
+            });
+        }
+        Ok(MvnChunkSampler {
+            mvn,
+            n,
+            chunk_rows,
+            base_seed,
+            cursor: 0,
+        })
+    }
+
+    /// Dimensionality of each record.
+    pub fn dim(&self) -> usize {
+        self.mvn.dim()
+    }
+
+    /// Total number of records the full sweep produces.
+    pub fn n_records(&self) -> usize {
+        self.n
+    }
+
+    /// Rows per chunk (the final chunk may be shorter).
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// The underlying distribution.
+    pub fn distribution(&self) -> &MultivariateNormal {
+        &self.mvn
+    }
+
+    /// Rewinds to the first chunk; the subsequent chunk sequence is
+    /// identical to the previous sweep.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Returns the next chunk (`rows × dim`), or `None` after the last one.
+    pub fn next_chunk(&mut self) -> Option<Matrix> {
+        if self.cursor >= self.n {
+            return None;
+        }
+        let rows = self.chunk_rows.min(self.n - self.cursor);
+        let chunk_index = (self.cursor / self.chunk_rows) as u64;
+        let mut rng = crate::rng::seeded_rng(crate::rng::child_seed(self.base_seed, chunk_index));
+        self.cursor += rows;
+        Some(self.mvn.sample_matrix(rows, &mut rng))
+    }
+}
+
 /// Computes `L v` exploiting the lower-triangular structure of `L`:
 /// each entry is a dot of L's contiguous row prefix with the prefix of `v`.
 fn lower_triangular_matvec(l: &Matrix, v: &[f64]) -> Vec<f64> {
@@ -225,5 +315,63 @@ mod tests {
         let a = mvn.sample_matrix(10, &mut seeded_rng(1));
         let b = mvn.sample_matrix(10, &mut seeded_rng(1));
         assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn chunk_sampler_is_restartable_and_covers_all_records() {
+        let mvn = MultivariateNormal::zero_mean(cov2()).unwrap();
+        // 23 records in chunks of 10: sizes 10, 10, 3.
+        let mut sampler = MvnChunkSampler::new(mvn, 23, 10, 99).unwrap();
+        assert_eq!(sampler.dim(), 2);
+        assert_eq!(sampler.n_records(), 23);
+        assert_eq!(sampler.chunk_rows(), 10);
+        let mut first_sweep = Vec::new();
+        let mut total = 0;
+        while let Some(chunk) = sampler.next_chunk() {
+            assert_eq!(chunk.cols(), 2);
+            total += chunk.rows();
+            first_sweep.push(chunk);
+        }
+        assert_eq!(total, 23);
+        assert_eq!(first_sweep.len(), 3);
+        assert_eq!(first_sweep[2].rows(), 3);
+
+        // Reset reproduces the identical chunk sequence bit for bit.
+        sampler.reset();
+        for prev in &first_sweep {
+            let again = sampler.next_chunk().unwrap();
+            assert!(again.approx_eq(prev, 0.0));
+        }
+        assert!(sampler.next_chunk().is_none());
+    }
+
+    #[test]
+    fn chunk_sampler_moments_match_distribution() {
+        let mvn = MultivariateNormal::zero_mean(cov2()).unwrap();
+        let mut sampler = MvnChunkSampler::new(mvn, 20_000, 1024, 7).unwrap();
+        // Accumulate the sample covariance chunk by chunk (zero mean).
+        let mut acc = Matrix::zeros(2, 2);
+        let mut n = 0usize;
+        while let Some(chunk) = sampler.next_chunk() {
+            n += chunk.rows();
+            for r in 0..chunk.rows() {
+                let row = chunk.row(r);
+                for i in 0..2 {
+                    for j in 0..2 {
+                        acc[(i, j)] += row[i] * row[j];
+                    }
+                }
+            }
+        }
+        let cov = acc.scale(1.0 / (n - 1) as f64);
+        assert!((cov.get(0, 0) - 4.0).abs() < 0.2);
+        assert!((cov.get(1, 1) - 2.0).abs() < 0.12);
+        assert!((cov.get(0, 1) - 1.5).abs() < 0.12);
+    }
+
+    #[test]
+    fn chunk_sampler_rejects_zero_chunk() {
+        let mvn = MultivariateNormal::zero_mean(cov2()).unwrap();
+        assert!(MvnChunkSampler::new(mvn, 10, 0, 1).is_err());
     }
 }

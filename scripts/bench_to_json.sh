@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the `micro` benchmark harness and dumps every measurement to a JSON
-# file (default BENCH_2.json at the repo root) for the perf trajectory.
+# file (default BENCH_3.json at the repo root) for the perf trajectory.
 #
 # Usage: scripts/bench_to_json.sh [output.json]
 #
@@ -8,16 +8,19 @@
 # writes a JSON array of {group, bench, mean_ns, iterations, samples}
 # objects after all groups have run. The `kernels_v1` group carries the
 # PR-1 acceptance numbers (`be_dr/5000` vs `be_dr_seed/5000`); the
-# `kernels_v2` group carries the PR-2 numbers — `eigen/256` vs
-# `eigen_jacobi/256` is the tracked eigensolver speedup (acceptance ≥5×)
-# and `mvn_sample_matrix/50000` vs its `_seed` twin the batched Box–Muller
-# speedup. BENCH_1.json remains the frozen PR-1 record; pass it as the
-# argument only to regenerate history deliberately.
+# `kernels_v2` group the PR-2 numbers (`eigen/256` vs `eigen_jacobi/256`,
+# acceptance >=5x); the `kernels_v3` group the PR-3 microkernel numbers
+# (`matmul_micro/512` vs `matmul_blocked_seed/512`, acceptance >=1.5x); and
+# the `streaming` group the PR-3 bounded-memory numbers
+# (`be_dr_streaming/50000` vs `be_dr_in_memory/50000`, acceptance >=0.8x
+# throughput, plus the fully-streamed `be_dr_streaming/500000` flagship).
+# BENCH_1.json / BENCH_2.json remain the frozen PR-1/PR-2 records; pass one
+# of them as the argument only to regenerate history deliberately.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_3.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -52,4 +55,16 @@ new = results.get(("kernels_v2", "mvn_sample_matrix/50000"))
 old = results.get(("kernels_v2", "mvn_sample_matrix_seed/50000"))
 if new and old:
     print(f"mvn 50k rows: scalar {old/1e6:.2f} ms -> batched {new/1e6:.2f} ms  ({old/new:.2f}x)")
+for n in (256, 512):
+    new = results.get(("kernels_v3", f"matmul_micro/{n}"))
+    old = results.get(("kernels_v3", f"matmul_blocked_seed/{n}"))
+    if new and old:
+        print(f"matmul {n}x{n}: axpy-blocked {old/1e6:.2f} ms -> microkernel {new/1e6:.2f} ms  ({old/new:.2f}x, acceptance >=1.5x at 512)")
+stream = results.get(("streaming", "be_dr_streaming/50000"))
+memory = results.get(("streaming", "be_dr_in_memory/50000"))
+if stream and memory:
+    print(f"be_dr 50k rows: in-memory {memory/1e6:.2f} ms vs streaming {stream/1e6:.2f} ms  (throughput ratio {memory/stream:.2f}x, acceptance >=0.8x)")
+big = results.get(("streaming", "be_dr_streaming/500000"))
+if big:
+    print(f"be_dr 500k rows fully streamed: {big/1e9:.2f} s end-to-end ({500000/(big/1e9):.0f} records/s, bounded memory)")
 EOF

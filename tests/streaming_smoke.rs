@@ -1,0 +1,41 @@
+//! Release-mode streaming smoke test (CI `--ignored` slow job).
+//!
+//! Runs the bounded-memory flagship scenario — 500 k × 64 records, fully
+//! streamed (generation, disguising, both attack passes and the metrics-only
+//! MSE sink all move chunk by chunk; no `n × m` matrix is ever allocated) —
+//! and checks the attacks actually work at that scale. Takes ~15 s in
+//! release and minutes in debug, hence `#[ignore]`: it rides the existing
+//! `cargo test --release -- --ignored` CI job.
+
+use randrecon::experiments::streaming::StreamingScenario;
+
+#[test]
+#[ignore = "release-mode 500k-record streaming smoke test; runs in the slow CI job"]
+fn streaming_attacks_survive_500k_by_64_with_bounded_memory() {
+    let scenario = StreamingScenario::large_500k();
+    assert_eq!(scenario.n_records, 500_000);
+    assert_eq!(scenario.n_attributes, 64);
+    let outcome = scenario.run().expect("500k streaming scenario must run");
+
+    // Both attacks must decisively beat the σ² = 100 noise floor on this
+    // highly correlated workload (6 principal components out of 64).
+    let floor = outcome.noise_floor_mse();
+    assert!(
+        outcome.be_dr.mse < 0.25 * floor,
+        "streaming BE-DR mse {} should be far below the noise floor {floor}",
+        outcome.be_dr.mse
+    );
+    assert!(
+        outcome.pca_dr.mse < 0.25 * floor,
+        "streaming PCA-DR mse {} should be far below the noise floor {floor}",
+        outcome.pca_dr.mse
+    );
+    // BE-DR at least as strong as PCA-DR (Section 6).
+    assert!(outcome.be_dr.mse <= outcome.pca_dr.mse * 1.05);
+    // The largest-gap rule recovers the planted component count at scale.
+    assert_eq!(outcome.pca_dr.components_kept, Some(6));
+    // Sanity on the throughput bookkeeping.
+    assert!(outcome.be_dr.records_per_second > 0.0);
+    assert!(outcome.be_dr.seconds > 0.0);
+    println!("{outcome}");
+}
