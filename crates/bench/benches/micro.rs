@@ -22,13 +22,19 @@
 //!   (`randrecon_bench::matmul_blocked_axpy_seed`) at 256² and 512²;
 //!   `matmul_micro/512` vs `matmul_blocked_seed/512` is the tracked ≥1.5×
 //!   acceptance ratio.
-//! * `streaming` — the PR-3 bounded-memory group: in-memory BE-DR vs the
+//! * `streaming` — the bounded-memory group. PR 3: in-memory BE-DR vs the
 //!   two-pass streaming engine over the same 50 k × 64 disguised table
 //!   (`be_dr_in_memory/50000` vs `be_dr_streaming/50000`, the tracked
 //!   ≥0.8× throughput ratio), plus the 500 k × 64 flagship where
 //!   generation, disguising and both attack passes all stream chunk by
-//!   chunk with no `n × m` allocation. `scripts/bench_to_json.sh` dumps
-//!   everything to `BENCH_3.json`.
+//!   chunk with no `n × m` allocation. PR 4: the remaining streaming
+//!   schemes through the unified driver (`ndr_streaming` / `udr_streaming`
+//!   / `sf_streaming` / `pca_dr_streaming` at 50 k × 64, per-scheme
+//!   throughput), and `be_dr_streaming_seq/50000` — the forced-sequential
+//!   pass 2 against the default double-buffered pipeline, the tracked
+//!   ≥0.95× PR-4 acceptance ratio. `scripts/bench_to_json.sh` dumps
+//!   everything to `BENCH_4.json` (`BENCH_3.json` stays the frozen PR-3
+//!   record).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use randrecon_bench::{
@@ -36,7 +42,10 @@ use randrecon_bench::{
     mvn_sample_matrix_seed,
 };
 use randrecon_core::be_dr::BeDr;
-use randrecon_core::streaming::{DiscardSink, StreamingBeDr, TableSink};
+use randrecon_core::streaming::{
+    ChunkReconstructor, DiscardSink, StreamingBeDr, StreamingDriver, StreamingNdr, StreamingPcaDr,
+    StreamingSf, StreamingUdr, TableSink,
+};
 use randrecon_core::Reconstructor;
 use randrecon_data::chunks::{SyntheticChunkSource, TableChunkSource};
 use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
@@ -240,6 +249,40 @@ fn bench_streaming(c: &mut Criterion) {
             black_box(sink.into_matrix().unwrap())
         })
     });
+    // The forced-sequential pass 2: the double-buffered default above must
+    // hold ≥0.95× of this throughput even on a 1-core box (the overlap is
+    // pure win on multicore, and the two-slot channel is nearly free).
+    group.bench_with_input(BenchmarkId::new("be_dr_streaming_seq", n), &n, |b, _| {
+        b.iter(|| {
+            let mut source = TableChunkSource::new(&disguised, 4_096).unwrap();
+            let mut sink = TableSink::new(KERNEL_ATTRS);
+            StreamingDriver::sequential()
+                .run(&StreamingBeDr::default(), &mut source, model, &mut sink)
+                .unwrap();
+            black_box(sink.into_matrix().unwrap())
+        })
+    });
+    // Per-scheme streaming throughput through the unified driver, same
+    // 50 k × 64 records and TableSink materialization as `be_dr_streaming`.
+    let driver = StreamingDriver::default();
+    let schemes: [(&str, Box<dyn ChunkReconstructor>); 4] = [
+        ("ndr_streaming", Box::new(StreamingNdr)),
+        ("udr_streaming", Box::new(StreamingUdr)),
+        ("sf_streaming", Box::new(StreamingSf::default())),
+        ("pca_dr_streaming", Box::new(StreamingPcaDr::largest_gap())),
+    ];
+    for (name, attack) in &schemes {
+        group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, _| {
+            b.iter(|| {
+                let mut source = TableChunkSource::new(&disguised, 4_096).unwrap();
+                let mut sink = TableSink::new(KERNEL_ATTRS);
+                driver
+                    .run(attack.as_ref(), &mut source, model, &mut sink)
+                    .unwrap();
+                black_box(sink.into_matrix().unwrap())
+            })
+        });
+    }
 
     // 500 k × 64: generation, disguising and both passes stream chunk by
     // chunk — peak memory is a few 8192-row buffers plus m × m state. Two

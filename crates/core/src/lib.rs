@@ -19,11 +19,14 @@
 //! | [`be_dr::BeDr`] | §6 & §8 | multivariate Bayes estimate (Eq. 11 / Eq. 13) |
 //!
 //! For record sets too large to hold in memory, the [`streaming`] module
-//! runs BE-DR and PCA-DR in two passes over a chunked record source
+//! runs **all five** attacks in two passes over a chunked record source
 //! (`randrecon_data::chunks::RecordChunkSource`) with peak memory
 //! `O(chunk · m + m²)`: pass 1 feeds a mergeable [`CovarianceAccumulator`],
-//! pass 2 sweeps chunks through the cached factorization into a pluggable
-//! sink.
+//! then each attack — a [`streaming::ChunkReconstructor`] — prepares its
+//! cached state once from the streamed moments and the generic
+//! [`streaming::StreamingDriver`] sweeps the chunks through it into a
+//! pluggable sink, double-buffering the sweep so sink I/O overlaps
+//! reconstruction.
 //!
 //! ## Example
 //!
@@ -67,5 +70,8 @@ pub mod udr;
 pub use covariance::CovarianceAccumulator;
 pub use error::{ReconError, Result};
 pub use selection::ComponentSelection;
-pub use streaming::{RecordSink, StreamingBeDr, StreamingPcaDr};
+pub use streaming::{
+    ChunkReconstructor, RecordSink, StreamingBeDr, StreamingDriver, StreamingNdr, StreamingPcaDr,
+    StreamingSf, StreamingUdr,
+};
 pub use traits::Reconstructor;

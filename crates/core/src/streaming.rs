@@ -1,29 +1,43 @@
-//! Streaming attack engine: BE-DR and PCA-DR over chunked record sources
-//! with peak memory `O(chunk · m + m²)`, independent of `n`.
+//! Streaming attack engine: all five reconstruction attacks (NDR, UDR,
+//! spectral filtering, PCA-DR, BE-DR) over chunked record sources with peak
+//! memory `O(chunk · m + m²)`, independent of `n`.
 //!
 //! The in-memory attacks materialize the full `n × m` disguised matrix plus
 //! an `n × m` reconstruction; once the kernels are fast (PR 1/PR 2), memory
 //! — not FLOPs — is what caps `n`. This engine removes that cap by running
-//! each attack in **two passes** over a restartable
-//! [`RecordChunkSource`]:
+//! each attack in **two passes** over a restartable [`RecordChunkSource`],
+//! orchestrated by one generic [`StreamingDriver`]:
 //!
 //! 1. **Accumulate**: sweep the chunks once through a mergeable
 //!    [`CovarianceAccumulator`] (per-chunk partials are computed across the
 //!    `randrecon-parallel` pool and merged in chunk order, so the result is
-//!    independent of thread count). This yields `n`, `μ̂_y` and `Σ̂_y` in
-//!    `O(m²)` state.
-//! 2. **Sweep**: derive the attack's per-record linear map from the
-//!    estimates — BE-DR factors `Σ̂_x + Σ_r` **once** and keeps the cached
-//!    Cholesky solve products; PCA-DR eigendecomposes `Σ̂_x` once and keeps
-//!    `Q̂` — then re-sweeps the source, pushing each reconstructed chunk
-//!    into a pluggable [`RecordSink`] (in-memory table, buffered CSV file,
-//!    or a metrics-only MSE accumulator).
+//!    independent of thread count). This yields the [`StreamMoments`] —
+//!    `n`, `μ̂_y` and `Σ̂_y` — in `O(m²)` state.
+//! 2. **Prepare, then sweep**: the attack — any [`ChunkReconstructor`] —
+//!    prepares its per-stream state **once** from the moments (BE-DR
+//!    factors `Σ̂_x + Σ_r` and keeps the cached Cholesky solve products;
+//!    PCA-DR and spectral filtering eigendecompose once and keep their
+//!    projection bases; UDR builds per-attribute prepared posteriors from
+//!    the marginal moments; NDR needs nothing), then the driver re-sweeps
+//!    the source, mapping each chunk independently through the prepared
+//!    state and pushing it into a pluggable [`RecordSink`] (in-memory
+//!    table, buffered CSV file, or a metrics-only MSE accumulator).
+//!
+//! Pass 2 is **double-buffered** by default
+//! ([`PipelineMode::DoubleBuffered`]): while the sink drains reconstructed
+//! chunk `i` on the calling thread, the next chunk is read and reconstructed
+//! on a dedicated producer thread (which draws on the shared pool for its
+//! kernels), so sink I/O overlaps compute. Chunks flow through a bounded
+//! two-slot channel in production order, which makes the output — and any
+//! error it stops on — identical to the [`PipelineMode::Sequential`]
+//! fallback, byte for byte, regardless of worker count.
 //!
 //! Because every reconstruction map is per-record, the streamed output rows
 //! are computed by exactly the same kernels as the in-memory attacks; the
 //! only differences are the 1e-15-level rounding differences in `μ̂`/`Σ̂`
 //! accumulation order. The equivalence tests pin agreement at ≤ 1e-12 for
-//! chunk sizes {1, 7, 1000, n}.
+//! chunk sizes {1, 7, 1000, n} for the linear-map attacks and ≤ 1e-9 for
+//! UDR's quadrature (uniform-noise) path.
 
 use crate::covariance::{clip_eigenvalues, CovarianceAccumulator};
 use crate::error::{ReconError, Result};
@@ -33,6 +47,9 @@ use randrecon_data::csv::CsvChunkWriter;
 use randrecon_linalg::decomposition::{Cholesky, SymmetricEigen};
 use randrecon_linalg::Matrix;
 use randrecon_noise::NoiseModel;
+use randrecon_parallel::pipeline_two_slot;
+pub use randrecon_parallel::PipelineMode;
+use randrecon_stats::posterior::PreparedPosterior;
 use std::io::Write;
 
 // ---------------------------------------------------------------------------
@@ -306,8 +323,116 @@ pub fn accumulate_source_with_batch<S: RecordChunkSource + ?Sized>(
 }
 
 // ---------------------------------------------------------------------------
-// Streaming attacks
+// The chunk-reconstructor abstraction and the generic two-pass driver
 // ---------------------------------------------------------------------------
+
+/// Pass-1 moment estimates of the disguised stream: everything a streaming
+/// attack is allowed to learn before mapping chunks.
+#[derive(Debug, Clone)]
+pub struct StreamMoments {
+    /// Records accumulated.
+    pub n_records: usize,
+    /// Chunks the source produced in pass 1.
+    pub n_chunks: usize,
+    /// Sample mean `μ̂_y` of the disguised records.
+    pub mean: Vec<f64>,
+    /// Unbiased sample covariance `Σ̂_y` of the disguised records.
+    pub covariance: Matrix,
+}
+
+impl StreamMoments {
+    /// Number of attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+/// A reconstruction attack expressed in streaming form: **prepare once**
+/// from the streamed moments `(n, μ̂_y, Σ̂_y)`, then **map chunks
+/// independently**.
+///
+/// Every attack in the paper's five-scheme comparison fits this contract —
+/// the per-record reconstruction never depends on other records once the
+/// stream-level statistics are fixed — which is what lets one generic
+/// [`StreamingDriver`] run all of them with `O(chunk · m + m²)` memory.
+pub trait ChunkReconstructor {
+    /// The scheme's display name (matches the in-memory
+    /// [`crate::traits::Reconstructor::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Derives the attack's cached per-stream state (factorizations,
+    /// eigenbases, prepared posteriors) from the pass-1 moments. Called
+    /// exactly once per run.
+    fn prepare(&self, moments: &StreamMoments, noise: &NoiseModel) -> Result<PreparedAttack>;
+
+    /// Runs the attack end to end with the default (double-buffered)
+    /// driver: two passes over `source`, reconstruction streamed into
+    /// `sink`. Provided once here so every attack shares it; use a
+    /// [`StreamingDriver`] directly to pick the pipeline mode or to share
+    /// pass-1 moments across attacks.
+    fn run<S, K>(&self, source: &mut S, noise: &NoiseModel, sink: &mut K) -> Result<StreamingReport>
+    where
+        Self: Sized,
+        S: RecordChunkSource + Send + ?Sized,
+        K: RecordSink + ?Sized,
+    {
+        StreamingDriver::default().run(self, source, noise, sink)
+    }
+}
+
+/// The per-stream state a [`ChunkReconstructor`] prepares: a chunk map plus
+/// the diagnostics that end up in the [`StreamingReport`].
+pub struct PreparedAttack {
+    /// The reconstruction applied independently to every chunk. `Send +
+    /// Sync` so the double-buffered pass 2 may evaluate it off-thread.
+    map: Box<dyn Fn(Matrix) -> Result<Matrix> + Send + Sync>,
+    /// Covariance estimate the attack derived (attack-specific: clipped SPD
+    /// `Σ̂_x` for BE-DR, raw symmetrized `Σ̂_x` for PCA-DR, disguised `Σ̂_y`
+    /// for SF/NDR, diagonal prior variances for UDR).
+    estimated_covariance: Matrix,
+    /// Principal/signal components kept (projection attacks only).
+    components_kept: Option<usize>,
+    /// Eigenvalues driving the component choice, descending (projection
+    /// attacks only).
+    eigenvalues: Option<Vec<f64>>,
+}
+
+impl PreparedAttack {
+    /// Wraps a chunk map and the covariance estimate it was derived from.
+    pub fn new(
+        estimated_covariance: Matrix,
+        map: impl Fn(Matrix) -> Result<Matrix> + Send + Sync + 'static,
+    ) -> Self {
+        PreparedAttack {
+            map: Box::new(map),
+            estimated_covariance,
+            components_kept: None,
+            eigenvalues: None,
+        }
+    }
+
+    /// Attaches the spectral diagnostics of a projection attack.
+    pub fn with_spectrum(mut self, components_kept: usize, eigenvalues: Vec<f64>) -> Self {
+        self.components_kept = Some(components_kept);
+        self.eigenvalues = Some(eigenvalues);
+        self
+    }
+
+    /// Applies the prepared reconstruction to one chunk of disguised
+    /// records.
+    pub fn map_chunk(&self, chunk: Matrix) -> Result<Matrix> {
+        (self.map)(chunk)
+    }
+}
+
+impl std::fmt::Debug for PreparedAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedAttack")
+            .field("estimated_covariance", &self.estimated_covariance.shape())
+            .field("components_kept", &self.components_kept)
+            .finish_non_exhaustive()
+    }
+}
 
 /// Diagnostics shared by the streaming attacks.
 #[derive(Debug, Clone)]
@@ -319,12 +444,14 @@ pub struct StreamingReport {
     /// Estimated original mean `μ̂_x` (= disguised mean; the noise is
     /// zero-mean).
     pub estimated_mean: Vec<f64>,
-    /// Estimated original covariance actually used by the attack (clipped
-    /// SPD for BE-DR, raw symmetrized for PCA-DR).
+    /// Estimated covariance actually used by the attack (clipped SPD `Σ̂_x`
+    /// for BE-DR, raw symmetrized `Σ̂_x` for PCA-DR, disguised `Σ̂_y` for
+    /// SF/NDR, diagonal prior variances for UDR).
     pub estimated_covariance: Matrix,
-    /// Principal components kept (PCA-DR only).
+    /// Principal/signal components kept (projection attacks only).
     pub components_kept: Option<usize>,
-    /// Eigenvalues of the covariance estimate, descending (PCA-DR only).
+    /// Eigenvalues of the covariance estimate, descending (projection
+    /// attacks only).
     pub eigenvalues: Option<Vec<f64>>,
 }
 
@@ -350,40 +477,296 @@ fn default_floor_from_disguised_covariance(sigma_y: &Matrix) -> f64 {
     (1e-6 * mean_var).max(1e-9)
 }
 
-/// Runs pass 2: applies `chunk ↦ chunk · mapᵀ (+ offset)` to every chunk and
-/// feeds the sink, verifying the source replays the same record count.
-fn sweep_linear_map<S: RecordChunkSource + ?Sized, K: RecordSink + ?Sized>(
-    source: &mut S,
-    sink: &mut K,
-    expected_rows: usize,
-    mut apply: impl FnMut(Matrix) -> Result<Matrix>,
-) -> Result<()> {
-    source.reset()?;
-    let mut swept = 0usize;
-    while let Some(chunk) = source.next_chunk()? {
-        swept += chunk.rows();
-        let out = apply(chunk)?;
-        sink.consume_chunk(&out)?;
+/// The generic two-pass streaming engine: accumulate moments, prepare the
+/// attack once, sweep the reconstructed chunks into the sink.
+///
+/// Pass 2 is double-buffered by default — the source is read and the chunk
+/// map evaluated on a dedicated producer thread while the calling thread
+/// drains the sink, overlapping sink I/O with compute. Chunks cross a
+/// bounded two-slot channel in production order, so the output is
+/// byte-identical to [`StreamingDriver::sequential`] and independent of the
+/// worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamingDriver {
+    /// Whether pass 2 overlaps reconstruction with sink I/O.
+    pub pipeline: PipelineMode,
+}
+
+impl StreamingDriver {
+    /// A driver whose pass 2 runs strictly sequentially (the
+    /// double-buffering fallback, kept selectable for the determinism tests
+    /// and for throughput comparisons).
+    pub fn sequential() -> Self {
+        StreamingDriver {
+            pipeline: PipelineMode::Sequential,
+        }
     }
-    if swept != expected_rows {
-        return Err(ReconError::InvalidInput {
-            reason: format!(
-                "source produced {swept} records on pass 2 but {expected_rows} on pass 1 — \
-                 chunk sources must replay identically after reset"
-            ),
-        });
+
+    /// Runs pass 1 only: sweeps the source once and returns its
+    /// [`StreamMoments`]. Exposed so callers that run several attacks over
+    /// the *same* stream (the five-scheme sweeps) accumulate once and share
+    /// the result via [`run_with_moments`](StreamingDriver::run_with_moments)
+    /// instead of re-sweeping per scheme.
+    pub fn accumulate_moments<S: RecordChunkSource + ?Sized>(
+        source: &mut S,
+    ) -> Result<StreamMoments> {
+        let m = source.n_attributes();
+        source.reset()?;
+        let (acc, n_chunks) = accumulate_source(source)?;
+        let n = acc.count();
+        validate_stream(m, n)?;
+        Ok(StreamMoments {
+            n_records: n,
+            n_chunks,
+            mean: acc.mean(),
+            covariance: acc.covariance(),
+        })
     }
-    Ok(())
+
+    /// Runs `attack` end to end: two passes over `source`, reconstruction
+    /// streamed into `sink`.
+    ///
+    /// The source must replay the identical chunk sequence after
+    /// [`reset`](RecordChunkSource::reset) (the trait contract); the driver
+    /// verifies at least that both passes agree on the record count.
+    pub fn run<A, S, K>(
+        &self,
+        attack: &A,
+        source: &mut S,
+        noise: &NoiseModel,
+        sink: &mut K,
+    ) -> Result<StreamingReport>
+    where
+        A: ChunkReconstructor + ?Sized,
+        S: RecordChunkSource + Send + ?Sized,
+        K: RecordSink + ?Sized,
+    {
+        let moments = Self::accumulate_moments(source)?;
+        self.run_with_moments(attack, &moments, source, noise, sink)
+    }
+
+    /// Runs prepare + pass 2 against moments accumulated earlier (by
+    /// [`accumulate_moments`](StreamingDriver::accumulate_moments)) from the
+    /// **same** source, sweeping the reconstructed chunks into the sink.
+    pub fn run_with_moments<A, S, K>(
+        &self,
+        attack: &A,
+        moments: &StreamMoments,
+        source: &mut S,
+        noise: &NoiseModel,
+        sink: &mut K,
+    ) -> Result<StreamingReport>
+    where
+        A: ChunkReconstructor + ?Sized,
+        S: RecordChunkSource + Send + ?Sized,
+        K: RecordSink + ?Sized,
+    {
+        let n = moments.n_records;
+        let prepared = attack.prepare(moments, noise)?;
+
+        source.reset()?;
+        let mut swept = 0usize;
+        match self.pipeline {
+            PipelineMode::Sequential => {
+                while let Some(chunk) = source.next_chunk()? {
+                    swept += chunk.rows();
+                    let out = prepared.map_chunk(chunk)?;
+                    sink.consume_chunk(&out)?;
+                }
+            }
+            PipelineMode::DoubleBuffered => {
+                let prepared_ref = &prepared;
+                let swept_ref = &mut swept;
+                let source_ref = &mut *source;
+                pipeline_two_slot(
+                    move || -> Result<Option<Matrix>> {
+                        match source_ref.next_chunk()? {
+                            Some(chunk) => {
+                                *swept_ref += chunk.rows();
+                                Ok(Some(prepared_ref.map_chunk(chunk)?))
+                            }
+                            None => Ok(None),
+                        }
+                    },
+                    |out| sink.consume_chunk(&out),
+                )?;
+            }
+        }
+        if swept != n {
+            return Err(ReconError::InvalidInput {
+                reason: format!(
+                    "source produced {swept} records on pass 2 but {n} on pass 1 — \
+                     chunk sources must replay identically after reset"
+                ),
+            });
+        }
+
+        Ok(StreamingReport {
+            n_records: n,
+            n_chunks: moments.n_chunks,
+            estimated_mean: moments.mean.clone(),
+            estimated_covariance: prepared.estimated_covariance,
+            components_kept: prepared.components_kept,
+            eigenvalues: prepared.eigenvalues,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The five streaming attacks
+// ---------------------------------------------------------------------------
+
+/// Streaming NDR (Section 4.1): the identity map `X̂ = Y`.
+///
+/// Worthless as an attack on its own, but the calibration baseline of every
+/// figure — its streamed MSE is the empirical noise floor `σ²` — and the
+/// degenerate corner of the [`ChunkReconstructor`] contract (prepare
+/// nothing, map chunks through unchanged).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamingNdr;
+
+impl ChunkReconstructor for StreamingNdr {
+    fn name(&self) -> &'static str {
+        "NDR"
+    }
+
+    fn prepare(&self, moments: &StreamMoments, _noise: &NoiseModel) -> Result<PreparedAttack> {
+        Ok(PreparedAttack::new(moments.covariance.clone(), Ok))
+    }
+}
+
+/// Streaming UDR (Section 4.2) with the Gaussian-moments prior.
+///
+/// Pass 1 streams the marginal moments; `prepare` builds one
+/// [`PreparedPosterior`] per attribute from `μ̂_j = mean(Y_j)` and
+/// `σ̂²_j = var(Y_j) − σ²_r,j` (Theorem 5.1 on the diagonal — exactly the
+/// in-memory [`crate::udr::Udr`] estimates, read off the accumulated
+/// moments instead of materialized columns); pass 2 maps every value
+/// through its attribute's posterior mean. Gaussian noise takes the
+/// closed-form shrinkage, uniform noise the grid-quadrature path.
+///
+/// The Agrawal–Srikant prior is deliberately absent here: it needs the full
+/// empirical distribution of each attribute, not just moments, so it does
+/// not fit the bounded-memory two-pass contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamingUdr;
+
+impl ChunkReconstructor for StreamingUdr {
+    fn name(&self) -> &'static str {
+        "UDR"
+    }
+
+    fn prepare(&self, moments: &StreamMoments, noise: &NoiseModel) -> Result<PreparedAttack> {
+        let m = moments.n_attributes();
+        let gaussian_noise = !matches!(noise, NoiseModel::IndependentUniform { .. });
+        let mut posteriors = Vec::with_capacity(m);
+        let mut prior_variances = Vec::with_capacity(m);
+        for j in 0..m {
+            let noise_variance = noise.marginal_variance(j, m)?;
+            let var_x = (moments.covariance.get(j, j) - noise_variance).max(0.0);
+            prior_variances.push(var_x);
+            posteriors.push(PreparedPosterior::gaussian_moments(
+                moments.mean[j],
+                var_x,
+                noise_variance,
+                gaussian_noise,
+            )?);
+        }
+        Ok(PreparedAttack::new(
+            Matrix::from_diag(&prior_variances),
+            move |mut chunk: Matrix| {
+                for i in 0..chunk.rows() {
+                    for (value, posterior) in chunk.row_mut(i).iter_mut().zip(&posteriors) {
+                        *value = posterior.apply(*value)?;
+                    }
+                }
+                Ok(chunk)
+            },
+        ))
+    }
+}
+
+/// Streaming Spectral Filtering (Kargupta et al.) over a chunked source.
+///
+/// Pass 1 streams the **disguised** covariance `Σ̂_y`; `prepare`
+/// eigendecomposes it once, classifies eigenvalues against the
+/// Marčenko–Pastur noise bound (via
+/// [`crate::spectral::SpectralFiltering::noise_eigenvalue_upper_bound`],
+/// the same rule as the in-memory attack) and caches the signal eigenbasis;
+/// pass 2 centers each chunk, projects it onto the signal subspace through
+/// the fused `A·Bᵀ` kernel and adds the means back. When nothing clears the
+/// bound, every chunk collapses to the mean vector — the in-memory
+/// behaviour, chunk by chunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingSf {
+    /// Multiplier applied to the Marčenko–Pastur upper edge (1.0 is the
+    /// textbook bound; see [`crate::spectral::SpectralFiltering`]).
+    pub bound_multiplier: f64,
+}
+
+impl Default for StreamingSf {
+    fn default() -> Self {
+        StreamingSf {
+            bound_multiplier: 1.0,
+        }
+    }
+}
+
+impl StreamingSf {
+    /// Streaming SF with a custom bound multiplier (must be positive; the
+    /// validation is the in-memory attack's, so the two can never diverge).
+    pub fn with_bound_multiplier(multiplier: f64) -> Result<Self> {
+        let sf = crate::spectral::SpectralFiltering::with_bound_multiplier(multiplier)?;
+        Ok(StreamingSf {
+            bound_multiplier: sf.bound_multiplier,
+        })
+    }
+}
+
+impl ChunkReconstructor for StreamingSf {
+    fn name(&self) -> &'static str {
+        "SF"
+    }
+
+    fn prepare(&self, moments: &StreamMoments, noise: &NoiseModel) -> Result<PreparedAttack> {
+        let m = moments.n_attributes();
+        let noise_cov = noise.covariance(m)?;
+        let avg_noise_variance = noise_cov.trace() / m as f64;
+        let bound = self.bound_multiplier
+            * crate::spectral::SpectralFiltering::noise_eigenvalue_upper_bound(
+                avg_noise_variance,
+                moments.n_records,
+                m,
+            );
+
+        let sigma_y = moments.covariance.clone();
+        let eigen = SymmetricEigen::new(&sigma_y)?;
+        let signal_components = eigen.eigenvalues.iter().take_while(|&&l| l > bound).count();
+        let mu = moments.mean.clone();
+
+        let prepared = if signal_components == 0 {
+            // Nothing is distinguishable from noise: predict the mean for
+            // every record of every chunk.
+            PreparedAttack::new(sigma_y, move |chunk: Matrix| {
+                let mut out = Matrix::zeros(chunk.rows(), mu.len());
+                out.add_row_broadcast(&mu)?;
+                Ok(out)
+            })
+        } else {
+            let q_signal = eigen.eigenvectors.leading_columns(signal_components)?;
+            PreparedAttack::new(sigma_y, centered_projection_map(q_signal, mu))
+        };
+        Ok(prepared.with_spectrum(signal_components, eigen.eigenvalues))
+    }
 }
 
 /// Streaming BE-DR (Equation 11 / Theorem 8.1) over a chunked source.
 ///
-/// Pass 1 accumulates `μ̂_y`, `Σ̂_y`; the posterior maps
-/// `data_pullᵀ = T⁻¹ Σ̂_x` and `prior_pull = Σ_r T⁻¹ μ̂_x` (with
-/// `T = Σ̂_x + Σ_r`) come from **one** Cholesky factorization, exactly like
-/// the in-memory [`crate::be_dr::BeDr`]; pass 2 sweeps chunks through the
-/// cached solve products. Peak memory: one chunk plus a handful of `m × m`
-/// matrices.
+/// `prepare` derives the posterior maps `data_pullᵀ = T⁻¹ Σ̂_x` and
+/// `prior_pull = Σ_r T⁻¹ μ̂_x` (with `T = Σ̂_x + Σ_r`) from **one** Cholesky
+/// factorization, exactly like the in-memory [`crate::be_dr::BeDr`]; pass 2
+/// sweeps chunks through the cached solve products. Peak memory: one chunk
+/// plus a handful of `m × m` matrices.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StreamingBeDr {
     /// Eigenvalue floor for regularizing `Σ̂_x`; `None` uses the same default
@@ -403,31 +786,24 @@ impl StreamingBeDr {
             eigenvalue_floor: Some(floor),
         })
     }
+}
 
-    /// Runs the attack end to end: two passes over `source`, reconstruction
-    /// streamed into `sink`.
-    pub fn run<S: RecordChunkSource + ?Sized, K: RecordSink + ?Sized>(
-        &self,
-        source: &mut S,
-        noise: &NoiseModel,
-        sink: &mut K,
-    ) -> Result<StreamingReport> {
-        let m = source.n_attributes();
+impl ChunkReconstructor for StreamingBeDr {
+    fn name(&self) -> &'static str {
+        "BE-DR"
+    }
+
+    fn prepare(&self, moments: &StreamMoments, noise: &NoiseModel) -> Result<PreparedAttack> {
+        let m = moments.n_attributes();
         let sigma_r = noise.covariance(m)?;
-
-        source.reset()?;
-        let (acc, n_chunks) = accumulate_source(source)?;
-        let n = acc.count();
-        validate_stream(m, n)?;
-        let mu = acc.mean();
-        let sigma_y = acc.covariance();
+        let sigma_y = &moments.covariance;
 
         let mut raw = sigma_y.clone();
         raw.sub_assign_matrix(&sigma_r)?;
         raw.symmetrize_in_place()?;
         let floor = self
             .eigenvalue_floor
-            .unwrap_or_else(|| default_floor_from_disguised_covariance(&sigma_y));
+            .unwrap_or_else(|| default_floor_from_disguised_covariance(sigma_y));
         let sigma_x = clip_eigenvalues(&raw, floor)?;
 
         // One factorization of T = Σ̂_x + Σ_r serves every chunk of pass 2.
@@ -436,31 +812,22 @@ impl StreamingBeDr {
         t.symmetrize_in_place()?;
         let t_chol = Cholesky::new(&t)?;
         let data_pull_t = t_chol.solve_matrix(&sigma_x)?;
-        let prior_pull = sigma_r.matvec(&t_chol.solve_vec(&mu)?)?;
+        let prior_pull = sigma_r.matvec(&t_chol.solve_vec(&moments.mean)?)?;
 
-        sweep_linear_map(source, sink, n, |chunk| {
+        Ok(PreparedAttack::new(sigma_x, move |chunk: Matrix| {
             let mut rec = chunk.matmul(&data_pull_t)?;
             rec.add_row_broadcast(&prior_pull)?;
             Ok(rec)
-        })?;
-
-        Ok(StreamingReport {
-            n_records: n,
-            n_chunks,
-            estimated_mean: mu,
-            estimated_covariance: sigma_x,
-            components_kept: None,
-            eigenvalues: None,
-        })
+        }))
     }
 }
 
 /// Streaming PCA-DR (Section 5) over a chunked source.
 ///
-/// Pass 1 accumulates `μ̂_y`, `Σ̂_y`; the eigenbasis of `Σ̂_x = Σ̂_y − Σ_r`
-/// is computed once and the leading `p` eigenvectors cached; pass 2 centers
-/// each chunk, projects it onto the principal subspace
-/// (`(Y_c Q̂) Q̂ᵀ`, through the fused `A·Bᵀ` kernel) and adds the means back.
+/// `prepare` eigendecomposes `Σ̂_x = Σ̂_y − Σ_r` once and caches the leading
+/// `p` eigenvectors; pass 2 centers each chunk, projects it onto the
+/// principal subspace (`(Y_c Q̂) Q̂ᵀ`, through the fused `A·Bᵀ` kernel) and
+/// adds the means back.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StreamingPcaDr {
     /// How many principal components to keep.
@@ -482,48 +849,46 @@ impl StreamingPcaDr {
             selection: ComponentSelection::FixedCount(p),
         }
     }
+}
 
-    /// Runs the attack end to end: two passes over `source`, reconstruction
-    /// streamed into `sink`.
-    pub fn run<S: RecordChunkSource + ?Sized, K: RecordSink + ?Sized>(
-        &self,
-        source: &mut S,
-        noise: &NoiseModel,
-        sink: &mut K,
-    ) -> Result<StreamingReport> {
-        let m = source.n_attributes();
+impl ChunkReconstructor for StreamingPcaDr {
+    fn name(&self) -> &'static str {
+        "PCA-DR"
+    }
+
+    fn prepare(&self, moments: &StreamMoments, noise: &NoiseModel) -> Result<PreparedAttack> {
+        let m = moments.n_attributes();
         let sigma_r = noise.covariance(m)?;
 
-        source.reset()?;
-        let (acc, n_chunks) = accumulate_source(source)?;
-        let n = acc.count();
-        validate_stream(m, n)?;
-        let mu = acc.mean();
-
-        let mut sigma_x = acc.covariance();
+        let mut sigma_x = moments.covariance.clone();
         sigma_x.sub_assign_matrix(&sigma_r)?;
         sigma_x.symmetrize_in_place()?;
 
         let eigen = SymmetricEigen::new(&sigma_x)?;
         let p = self.selection.select(&eigen.eigenvalues)?;
         let q_hat = eigen.eigenvectors.leading_columns(p)?;
-        let neg_mu: Vec<f64> = mu.iter().map(|&v| -v).collect();
+        let mu = moments.mean.clone();
 
-        sweep_linear_map(source, sink, n, |mut chunk| {
-            chunk.add_row_broadcast(&neg_mu)?;
-            let mut projected = chunk.matmul(&q_hat)?.matmul_transpose_b(&q_hat)?;
-            projected.add_row_broadcast(&mu)?;
-            Ok(projected)
-        })?;
+        Ok(
+            PreparedAttack::new(sigma_x, centered_projection_map(q_hat, mu))
+                .with_spectrum(p, eigen.eigenvalues),
+        )
+    }
+}
 
-        Ok(StreamingReport {
-            n_records: n,
-            n_chunks,
-            estimated_mean: mu,
-            estimated_covariance: sigma_x,
-            components_kept: Some(p),
-            eigenvalues: Some(eigen.eigenvalues),
-        })
+/// The chunk map both projection attacks (SF and PCA-DR) sweep with: center
+/// against the stream means, project onto the cached basis `Q` (through the
+/// fused `A·Bᵀ` kernel, so `Qᵀ` is never formed) and add the means back.
+fn centered_projection_map(
+    q: Matrix,
+    mu: Vec<f64>,
+) -> impl Fn(Matrix) -> Result<Matrix> + Send + Sync {
+    let neg_mu: Vec<f64> = mu.iter().map(|&v| -v).collect();
+    move |mut chunk: Matrix| {
+        chunk.add_row_broadcast(&neg_mu)?;
+        let mut projected = chunk.matmul(&q)?.matmul_transpose_b(&q)?;
+        projected.add_row_broadcast(&mu)?;
+        Ok(projected)
     }
 }
 

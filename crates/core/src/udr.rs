@@ -24,10 +24,8 @@ use crate::traits::{validate_input, Reconstructor};
 use randrecon_data::DataTable;
 use randrecon_linalg::Matrix;
 use randrecon_noise::NoiseModel;
-use randrecon_stats::distributions::{ContinuousDistribution, Normal, Uniform};
-use randrecon_stats::posterior::{
-    gaussian_posterior_mean, grid_posterior_mean, histogram_posterior_mean,
-};
+use randrecon_stats::distributions::{Normal, Uniform};
+use randrecon_stats::posterior::{histogram_posterior_mean, PreparedPosterior};
 use randrecon_stats::reconstruction::{reconstruct_distribution, ReconstructionConfig};
 use randrecon_stats::summary;
 
@@ -78,40 +76,17 @@ impl Udr {
                 let mu = summary::mean(column);
                 // Theorem 5.1 on the diagonal: var(X) ≈ var(Y) − σ²_r. Clamp at
                 // zero: a non-positive estimate means the attribute is pure
-                // noise, and the best guess is the mean.
+                // noise, and the best guess is the mean. The prepared
+                // posterior (closed-form shrinkage for Gaussian noise, grid
+                // quadrature for uniform) is the same kernel the streaming
+                // UDR maps over chunks.
                 let var_x = (summary::variance(column) - noise_variance).max(0.0);
-                if gaussian_noise {
-                    column
-                        .iter()
-                        .map(|&y| {
-                            gaussian_posterior_mean(y, mu, var_x, noise_variance)
-                                .map_err(ReconError::from)
-                        })
-                        .collect()
-                } else {
-                    // Uniform noise: integrate the Gaussian prior against the
-                    // true (uniform) noise density on a grid.
-                    if var_x <= 0.0 {
-                        return Ok(vec![mu; column.len()]);
-                    }
-                    let prior = Normal::new(mu, var_x.sqrt())?;
-                    let noise = Uniform::centered_with_std(sigma_r)?;
-                    let span = 6.0 * (var_x.sqrt() + sigma_r);
-                    column
-                        .iter()
-                        .map(|&y| {
-                            grid_posterior_mean(
-                                y,
-                                |x| prior.pdf(x),
-                                &noise,
-                                mu - span,
-                                mu + span,
-                                600,
-                            )
-                            .map_err(ReconError::from)
-                        })
-                        .collect()
-                }
+                let posterior =
+                    PreparedPosterior::gaussian_moments(mu, var_x, noise_variance, gaussian_noise)?;
+                column
+                    .iter()
+                    .map(|&y| posterior.apply(y).map_err(ReconError::from))
+                    .collect()
             }
             PriorEstimation::AgrawalSrikant(config) => {
                 if gaussian_noise {

@@ -2,13 +2,27 @@
 //! that must hold for any workload shape, noise level, and noise model.
 
 use proptest::prelude::*;
+use randrecon_core::streaming::accumulate_source_with_batch;
 use randrecon_core::{
     be_dr::BeDr, ndr::Ndr, pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr,
-    ComponentSelection, Reconstructor,
+    ComponentSelection, CovarianceAccumulator, Reconstructor,
 };
+use randrecon_data::chunks::TableChunkSource;
 use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_linalg::Matrix;
 use randrecon_noise::additive::AdditiveRandomizer;
 use randrecon_stats::rng::seeded_rng;
+
+/// Turns random cut points into a partition of `0..n` — consecutive row
+/// ranges, *including empty ones* (duplicate cuts), covering every record
+/// exactly once.
+fn partition_from_cuts(n: usize, cuts: &[usize]) -> Vec<std::ops::Range<usize>> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (n + 1)).collect();
+    bounds.push(0);
+    bounds.push(n);
+    bounds.sort_unstable();
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
 
 fn attacks() -> Vec<Box<dyn Reconstructor>> {
     vec![
@@ -124,6 +138,131 @@ proptest! {
         prop_assert!(
             report.reconstruction.values().approx_eq(&expected, 1e-8 * scale),
             "solve-based and inverse-based BE-DR disagree"
+        );
+    }
+
+    /// Sequential accumulation is a flat per-record fold, so chunk
+    /// boundaries cannot change a single bit: any partition of the stream —
+    /// random split points, empty chunks included — fed into one
+    /// accumulator is bit-identical to the one-shot single-chunk call.
+    #[test]
+    fn covariance_accumulator_is_partition_invariant(
+        m in 2usize..8,
+        n in 2usize..120,
+        cuts in proptest::collection::vec(0usize..200, 0..12),
+        seed in 0u64..5_000,
+    ) {
+        let spectrum = EigenSpectrum::principal_plus_small(1, 60.0, m, 2.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, n, seed).unwrap();
+        let values = ds.table.values();
+
+        let mut one_shot = CovarianceAccumulator::new(m);
+        one_shot.update_chunk(values).unwrap();
+
+        let mut partitioned = CovarianceAccumulator::new(m);
+        for r in partition_from_cuts(n, &cuts) {
+            let chunk = values.submatrix(r.start, r.end, 0, m).unwrap();
+            partitioned.update_chunk(&chunk).unwrap();
+        }
+
+        prop_assert_eq!(partitioned.count(), one_shot.count());
+        prop_assert_eq!(partitioned.mean(), one_shot.mean());
+        prop_assert!(
+            partitioned.covariance().approx_eq(&one_shot.covariance(), 0.0),
+            "sequential accumulation must be independent of chunk boundaries"
+        );
+    }
+
+    /// The merge algebra: one shared-anchor partial per partition cell,
+    /// merged in chunk order, reproduces the sequential fold to strict fp
+    /// reassociation slack — and with per-cell *self-captured* anchors the
+    /// O(m²) anchor-translation identity keeps the result exact too.
+    /// (Bit-identity across partitions is a sequential-fold property; the
+    /// merge reassociates per-cell sums, so it is pinned at ≤ 1e-12 · scale
+    /// here and bit-exactly against regroupings below.)
+    #[test]
+    fn covariance_accumulator_merge_is_exact_for_random_partitions(
+        m in 2usize..7,
+        n in 2usize..150,
+        cuts in proptest::collection::vec(0usize..300, 0..14),
+        seed in 0u64..5_000,
+    ) {
+        let spectrum = EigenSpectrum::principal_plus_small(1, 80.0, m, 1.5).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, n, seed).unwrap();
+        let values = ds.table.values();
+
+        let mut sequential = CovarianceAccumulator::new(m);
+        sequential.update_chunk(values).unwrap();
+        let reference_cov = sequential.covariance();
+        let reference_mean = sequential.mean();
+        let scale = reference_cov.max_abs().max(1.0);
+        let anchor = sequential.shift().unwrap().to_vec();
+
+        let cells: Vec<Matrix> = partition_from_cuts(n, &cuts)
+            .into_iter()
+            .map(|r| values.submatrix(r.start, r.end, 0, m).unwrap())
+            .collect();
+
+        // Shared stream anchor (the accumulate_source structure).
+        let mut shared = CovarianceAccumulator::new(m);
+        for cell in &cells {
+            let mut partial = CovarianceAccumulator::with_shift(anchor.clone());
+            partial.update_chunk(cell).unwrap();
+            shared.merge(&partial).unwrap();
+        }
+        prop_assert_eq!(shared.count(), n);
+        prop_assert!(
+            shared.covariance().approx_eq(&reference_cov, 1e-12 * scale),
+            "shared-anchor merge drifted beyond reassociation slack"
+        );
+        for (got, want) in shared.mean().iter().zip(&reference_mean) {
+            prop_assert!((got - want).abs() <= 1e-12 * want.abs().max(1.0));
+        }
+
+        // Per-cell anchors (each partial captures its own first record):
+        // the merge must translate every partial exactly.
+        let mut translated = CovarianceAccumulator::new(m);
+        for cell in &cells {
+            let mut partial = CovarianceAccumulator::new(m);
+            partial.update_chunk(cell).unwrap();
+            translated.merge(&partial).unwrap();
+        }
+        prop_assert_eq!(translated.count(), n);
+        prop_assert!(
+            translated.covariance().approx_eq(&reference_cov, 1e-11 * scale),
+            "anchor-translating merge drifted"
+        );
+    }
+
+    /// `accumulate_source` batches chunks by `max_threads()` — a
+    /// machine-dependent number — so its result must be bit-identical for
+    /// every batching of every chunking, not just the fixed sizes the unit
+    /// test pins: each chunk becomes one shared-anchor partial merged in
+    /// chunk order regardless of how chunks are grouped into batches.
+    #[test]
+    fn accumulate_source_is_batch_size_invariant_for_random_chunkings(
+        m in 2usize..7,
+        n in 2usize..150,
+        chunk_rows in 1usize..40,
+        batch_sizes in [1usize..12, 1usize..12],
+        seed in 0u64..5_000,
+    ) {
+        let spectrum = EigenSpectrum::principal_plus_small(1, 70.0, m, 2.5).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, n, seed).unwrap();
+
+        let run = |batch: usize| {
+            let mut source = TableChunkSource::new(&ds.table, chunk_rows).unwrap();
+            let (acc, chunks) = accumulate_source_with_batch(&mut source, batch).unwrap();
+            prop_assert_eq!(chunks, n.div_ceil(chunk_rows));
+            prop_assert_eq!(acc.count(), n);
+            (acc.covariance(), acc.mean())
+        };
+        let (cov_a, mean_a) = run(batch_sizes[0]);
+        let (cov_b, mean_b) = run(batch_sizes[1]);
+        prop_assert_eq!(mean_a, mean_b);
+        prop_assert!(
+            cov_a.approx_eq(&cov_b, 0.0),
+            "accumulated covariance changed with the batch size"
         );
     }
 

@@ -1,17 +1,26 @@
-//! Streaming vs in-memory equivalence.
+//! Streaming vs in-memory equivalence: the full five-scheme matrix.
 //!
 //! The streaming engine must be an *estimator-preserving* refactor: for the
-//! same disguised records, streaming covariance accumulation and streaming
-//! BE-DR / PCA-DR must agree with the in-memory paths to ≤ 1e-12 (relative
-//! to the result scale) for every chunking, including pathological ones
-//! (chunk = 1) and the degenerate single-chunk case (chunk = n). The only
+//! same disguised records, streaming covariance accumulation and every
+//! streaming attack (NDR / UDR / SF / BE-DR / PCA-DR) must agree with the
+//! in-memory paths for every chunking, including pathological ones
+//! (chunk = 1) and the degenerate single-chunk case (chunk = n) — to
+//! ≤ 1e-12 (relative to the result scale) for the linear-map attacks and
+//! ≤ 1e-9 for UDR's grid-quadrature (uniform-noise) path. The only
 //! permitted differences are rounding-order effects in the `μ̂`/`Σ̂`
 //! accumulation; the per-record reconstruction kernels are identical.
 
 use randrecon_core::be_dr::BeDr;
 use randrecon_core::covariance::default_eigenvalue_floor;
+use randrecon_core::ndr::Ndr;
 use randrecon_core::pca_dr::PcaDr;
-use randrecon_core::streaming::{accumulate_source, StreamingBeDr, StreamingPcaDr, TableSink};
+use randrecon_core::spectral::SpectralFiltering;
+use randrecon_core::streaming::{
+    accumulate_source, ChunkReconstructor, StreamingBeDr, StreamingNdr, StreamingPcaDr,
+    StreamingSf, StreamingUdr, TableSink,
+};
+use randrecon_core::udr::Udr;
+use randrecon_core::Reconstructor;
 use randrecon_data::chunks::TableChunkSource;
 use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
 use randrecon_data::DataTable;
@@ -23,6 +32,14 @@ const N: usize = 1_500;
 const M: usize = 16;
 const CHUNK_SIZES: [usize; 4] = [1, 7, 1_000, N];
 
+/// Tolerance for the attacks whose chunk map is linear in the disguised
+/// values (NDR, UDR's closed-form shrinkage, SF, BE-DR, PCA-DR).
+const LINEAR_TOL: f64 = 1e-12;
+/// Tolerance for UDR's grid-quadrature path (uniform noise): the quadrature
+/// bounds depend on the streamed moments, so rounding differences are
+/// amplified through the grid.
+const QUADRATURE_TOL: f64 = 1e-9;
+
 fn disguised_workload(seed: u64) -> (DataTable, AdditiveRandomizer) {
     let spectrum = EigenSpectrum::principal_plus_small(4, 300.0, M, 2.0).unwrap();
     let ds = SyntheticDataset::generate(&spectrum, N, seed).unwrap();
@@ -33,7 +50,7 @@ fn disguised_workload(seed: u64) -> (DataTable, AdditiveRandomizer) {
     (disguised, randomizer)
 }
 
-fn assert_close(streamed: &Matrix, in_memory: &Matrix, what: &str, chunk: usize) {
+fn assert_close_tol(streamed: &Matrix, in_memory: &Matrix, what: &str, chunk: usize, tol: f64) {
     let scale = in_memory.max_abs().max(1.0);
     assert_eq!(streamed.shape(), in_memory.shape());
     let mut worst = 0.0f64;
@@ -41,9 +58,13 @@ fn assert_close(streamed: &Matrix, in_memory: &Matrix, what: &str, chunk: usize)
         worst = worst.max((a - b).abs());
     }
     assert!(
-        worst <= 1e-12 * scale,
+        worst <= tol * scale,
         "{what} diverged at chunk size {chunk}: max |Δ| = {worst:e} (scale {scale:e})"
     );
+}
+
+fn assert_close(streamed: &Matrix, in_memory: &Matrix, what: &str, chunk: usize) {
+    assert_close_tol(streamed, in_memory, what, chunk, LINEAR_TOL);
 }
 
 #[test]
@@ -137,6 +158,149 @@ fn streaming_pca_dr_matches_in_memory_for_every_chunking() {
                 "eigenvalue diverged at chunk size {chunk}: {got} vs {want}"
             );
         }
+    }
+}
+
+#[test]
+fn streaming_ndr_matches_in_memory_for_every_chunking() {
+    let (disguised, randomizer) = disguised_workload(1601);
+    let noise = randomizer.model();
+    let in_memory = Ndr.reconstruct(&disguised, noise).unwrap();
+
+    for &chunk in &CHUNK_SIZES {
+        let mut source = TableChunkSource::new(&disguised, chunk).unwrap();
+        let mut sink = TableSink::new(M);
+        let report = StreamingNdr.run(&mut source, noise, &mut sink).unwrap();
+        assert_eq!(report.n_records, N);
+        let streamed = sink.into_matrix().unwrap();
+        // The identity map is chunked but otherwise untouched: exact.
+        assert!(
+            streamed.approx_eq(in_memory.values(), 0.0),
+            "NDR must stream the disguised records through bit-for-bit (chunk {chunk})"
+        );
+    }
+}
+
+#[test]
+fn streaming_udr_matches_in_memory_for_every_chunking() {
+    // Gaussian noise: the closed-form shrinkage path, linear in y.
+    let (disguised, randomizer) = disguised_workload(1701);
+    let noise = randomizer.model();
+    let in_memory = Udr::gaussian_prior()
+        .reconstruct(&disguised, noise)
+        .unwrap();
+
+    for &chunk in &CHUNK_SIZES {
+        let mut source = TableChunkSource::new(&disguised, chunk).unwrap();
+        let mut sink = TableSink::new(M);
+        let report = StreamingUdr.run(&mut source, noise, &mut sink).unwrap();
+        assert_eq!(report.n_records, N);
+        let streamed = sink.into_matrix().unwrap();
+        assert_close(&streamed, in_memory.values(), "UDR reconstruction", chunk);
+    }
+}
+
+#[test]
+fn streaming_udr_quadrature_matches_in_memory_under_uniform_noise() {
+    // Uniform noise routes every posterior through the 600-point grid
+    // quadrature; a smaller workload keeps the matrix affordable in debug.
+    let n = 400;
+    let m = 6;
+    let spectrum = EigenSpectrum::principal_plus_small(2, 300.0, m, 2.0).unwrap();
+    let ds = SyntheticDataset::generate(&spectrum, n, 1801).unwrap();
+    let randomizer = AdditiveRandomizer::uniform(8.0).unwrap();
+    let disguised = randomizer
+        .disguise(&ds.table, &mut seeded_rng(1802))
+        .unwrap();
+    let noise = randomizer.model();
+    let in_memory = Udr::gaussian_prior()
+        .reconstruct(&disguised, noise)
+        .unwrap();
+
+    for &chunk in &[1usize, 7, 250, n] {
+        let mut source = TableChunkSource::new(&disguised, chunk).unwrap();
+        let mut sink = TableSink::new(m);
+        let report = StreamingUdr.run(&mut source, noise, &mut sink).unwrap();
+        assert_eq!(report.n_records, n);
+        let streamed = sink.into_matrix().unwrap();
+        assert_close_tol(
+            &streamed,
+            in_memory.values(),
+            "UDR quadrature reconstruction",
+            chunk,
+            QUADRATURE_TOL,
+        );
+    }
+}
+
+#[test]
+fn streaming_sf_matches_in_memory_for_every_chunking() {
+    let (disguised, randomizer) = disguised_workload(1901);
+    let noise = randomizer.model();
+    let in_memory = SpectralFiltering::default()
+        .reconstruct_with_report(&disguised, noise)
+        .unwrap();
+    // The workload must actually exercise the projection path.
+    assert!(in_memory.signal_components > 0);
+
+    for &chunk in &CHUNK_SIZES {
+        let mut source = TableChunkSource::new(&disguised, chunk).unwrap();
+        let mut sink = TableSink::new(M);
+        let report = StreamingSf::default()
+            .run(&mut source, noise, &mut sink)
+            .unwrap();
+        assert_eq!(
+            report.components_kept,
+            Some(in_memory.signal_components),
+            "signal classification diverged at chunk size {chunk}"
+        );
+        let streamed = sink.into_matrix().unwrap();
+        assert_close(
+            &streamed,
+            in_memory.reconstruction.values(),
+            "SF reconstruction",
+            chunk,
+        );
+        let eigenvalues = report.eigenvalues.unwrap();
+        for (got, want) in eigenvalues.iter().zip(in_memory.eigenvalues.iter()) {
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "SF eigenvalue diverged at chunk size {chunk}: {got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_sf_collapses_to_means_like_the_in_memory_attack() {
+    // Tiny data variance under huge noise: nothing clears the bound, and
+    // both paths must answer the column means for every record.
+    let spectrum = EigenSpectrum::principal_plus_small(1, 0.5, 4, 0.1).unwrap();
+    let ds = SyntheticDataset::generate(&spectrum, 400, 2001).unwrap();
+    let randomizer = AdditiveRandomizer::gaussian(20.0).unwrap();
+    let disguised = randomizer
+        .disguise(&ds.table, &mut seeded_rng(2002))
+        .unwrap();
+    let noise = randomizer.model();
+    let in_memory = SpectralFiltering::default()
+        .reconstruct_with_report(&disguised, noise)
+        .unwrap();
+    assert_eq!(in_memory.signal_components, 0);
+
+    for &chunk in &[7usize, 400] {
+        let mut source = TableChunkSource::new(&disguised, chunk).unwrap();
+        let mut sink = TableSink::new(4);
+        let report = StreamingSf::default()
+            .run(&mut source, noise, &mut sink)
+            .unwrap();
+        assert_eq!(report.components_kept, Some(0));
+        let streamed = sink.into_matrix().unwrap();
+        assert_close(
+            &streamed,
+            in_memory.reconstruction.values(),
+            "SF mean collapse",
+            chunk,
+        );
     }
 }
 

@@ -1,0 +1,232 @@
+//! Pass-2 pipeline determinism and failure robustness.
+//!
+//! The double-buffered sweep must be a pure latency optimization: its output
+//! must be **byte-identical** to the sequential fallback and independent of
+//! the worker count, so the overlap can never reorder, drop, or duplicate a
+//! chunk. Worker-count independence is pinned by re-executing this test
+//! binary under `RANDRECON_THREADS` ∈ {1, 2, 4} (the pool reads the
+//! variable once at startup, so varying it takes a fresh process) and
+//! comparing reconstruction hashes across processes.
+//!
+//! The failure-path tests pin that an error from the sink mid-pipeline
+//! shuts the producer down and surfaces the located error instead of
+//! wedging the two-slot channel.
+
+use randrecon_core::streaming::{
+    ChunkReconstructor, PipelineMode, RecordSink, StreamingBeDr, StreamingDriver, StreamingNdr,
+    StreamingPcaDr, StreamingSf, StreamingUdr, TableSink,
+};
+use randrecon_core::{ReconError, Result};
+use randrecon_data::chunks::TableChunkSource;
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_data::DataTable;
+use randrecon_linalg::Matrix;
+use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_stats::rng::seeded_rng;
+
+const N: usize = 1_200;
+const M: usize = 12;
+const CHUNK: usize = 128;
+
+/// Environment guard: set by the parent test when re-executing this binary
+/// so only the child emits a hash.
+const CHILD_GUARD: &str = "RANDRECON_PIPELINE_CHILD";
+
+fn disguised_workload() -> (DataTable, AdditiveRandomizer) {
+    let spectrum = EigenSpectrum::principal_plus_small(3, 250.0, M, 2.0).unwrap();
+    let ds = SyntheticDataset::generate(&spectrum, N, 4242).unwrap();
+    let randomizer = AdditiveRandomizer::gaussian(7.0).unwrap();
+    let disguised = randomizer
+        .disguise(&ds.table, &mut seeded_rng(4243))
+        .unwrap();
+    (disguised, randomizer)
+}
+
+fn attacks() -> Vec<Box<dyn ChunkReconstructor>> {
+    vec![
+        Box::new(StreamingNdr),
+        Box::new(StreamingUdr),
+        Box::new(StreamingSf::default()),
+        Box::new(StreamingPcaDr::largest_gap()),
+        Box::new(StreamingBeDr::default()),
+    ]
+}
+
+fn fnv64(hash: &mut u64, bytes: impl IntoIterator<Item = u8>) {
+    for b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Reconstructs the fixed workload with every streaming attack under the
+/// given pipeline mode and folds every output bit into one hash.
+fn pipeline_hash(mode: PipelineMode) -> u64 {
+    let (disguised, randomizer) = disguised_workload();
+    let noise = randomizer.model();
+    let driver = StreamingDriver { pipeline: mode };
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for attack in attacks() {
+        let mut source = TableChunkSource::new(&disguised, CHUNK).unwrap();
+        let mut sink = TableSink::new(M);
+        let report = driver
+            .run(attack.as_ref(), &mut source, noise, &mut sink)
+            .unwrap();
+        assert_eq!(report.n_records, N, "{}", attack.name());
+        let matrix = sink.into_matrix().unwrap();
+        for &v in matrix.as_slice() {
+            fnv64(&mut hash, v.to_bits().to_le_bytes());
+        }
+    }
+    hash
+}
+
+#[test]
+fn double_buffered_output_is_byte_identical_to_sequential() {
+    assert_eq!(
+        pipeline_hash(PipelineMode::DoubleBuffered),
+        pipeline_hash(PipelineMode::Sequential),
+        "forcing the double-buffer on/off must not change a single output bit"
+    );
+}
+
+/// Child half of the worker-count matrix: under the guard variable, emit the
+/// pipeline hash for the parent to compare; otherwise pass trivially.
+#[test]
+fn child_emit_pipeline_hash() {
+    if std::env::var(CHILD_GUARD).is_err() {
+        return;
+    }
+    println!(
+        "PIPELINE_HASH={:016x}",
+        pipeline_hash(PipelineMode::DoubleBuffered)
+    );
+}
+
+#[test]
+fn pass2_output_is_byte_identical_across_worker_counts() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let reference = pipeline_hash(PipelineMode::DoubleBuffered);
+    for workers in [1usize, 2, 4] {
+        let output = std::process::Command::new(&exe)
+            .args(["--exact", "child_emit_pipeline_hash", "--nocapture"])
+            .env(CHILD_GUARD, "1")
+            .env("RANDRECON_THREADS", workers.to_string())
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            output.status.success(),
+            "child with {workers} workers failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        // libtest may glue the marker onto its own "test ... " line, so
+        // search by substring rather than by line.
+        let hash = stdout
+            .split("PIPELINE_HASH=")
+            .nth(1)
+            .map(|rest| &rest[..16])
+            .unwrap_or_else(|| panic!("child with {workers} workers printed no hash:\n{stdout}"));
+        assert_eq!(
+            u64::from_str_radix(hash, 16).unwrap(),
+            reference,
+            "pipeline output changed with RANDRECON_THREADS={workers}"
+        );
+    }
+}
+
+/// A sink that accepts a fixed number of chunks and then fails, simulating
+/// a full disk / broken pipe mid-stream.
+struct FailingSink {
+    accepted: usize,
+    fail_after: usize,
+}
+
+impl RecordSink for FailingSink {
+    fn consume_chunk(&mut self, chunk: &Matrix) -> Result<()> {
+        if self.accepted >= self.fail_after {
+            return Err(ReconError::InvalidInput {
+                reason: format!(
+                    "sink failed writing chunk {} ({} rows)",
+                    self.accepted,
+                    chunk.rows()
+                ),
+            });
+        }
+        self.accepted += 1;
+        Ok(())
+    }
+}
+
+#[test]
+fn sink_failure_mid_pipeline_surfaces_the_error_instead_of_hanging() {
+    let (disguised, randomizer) = disguised_workload();
+    let noise = randomizer.model();
+    for mode in [PipelineMode::DoubleBuffered, PipelineMode::Sequential] {
+        let mut source = TableChunkSource::new(&disguised, CHUNK).unwrap();
+        let mut sink = FailingSink {
+            accepted: 0,
+            fail_after: 3,
+        };
+        let err = StreamingDriver { pipeline: mode }
+            .run(&StreamingBeDr::default(), &mut source, noise, &mut sink)
+            .expect_err("the sink failure must propagate");
+        let message = err.to_string();
+        assert!(
+            message.contains("sink failed writing chunk 3"),
+            "{mode:?}: unexpected error: {message}"
+        );
+        // The producer shut down cleanly: the source can immediately run the
+        // same attack again into a healthy sink.
+        let mut sink = TableSink::new(M);
+        StreamingBeDr::default()
+            .run(&mut source, noise, &mut sink)
+            .unwrap();
+        assert_eq!(sink.rows(), N);
+    }
+}
+
+/// A writer that fails with an I/O error after a byte budget — the
+/// `CsvChunkWriter` sink path of the same failure mode.
+struct FailingWriter {
+    written: usize,
+    budget: usize,
+}
+
+impl std::io::Write for FailingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.written + buf.len() > self.budget {
+            return Err(std::io::Error::other("device full (simulated)"));
+        }
+        self.written += buf.len();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn csv_sink_io_failure_mid_pipeline_surfaces_the_error() {
+    let (disguised, randomizer) = disguised_workload();
+    let noise = randomizer.model();
+    let schema = randrecon_data::Schema::anonymous(M).unwrap();
+    let mut source = TableChunkSource::new(&disguised, CHUNK).unwrap();
+    // Enough budget for the header and a few chunks, then ENOSPC.
+    let mut sink = randrecon_data::csv::CsvChunkWriter::new(
+        FailingWriter {
+            written: 0,
+            budget: 16 * 1024,
+        },
+        &schema,
+    )
+    .unwrap();
+    let err = StreamingBeDr::default()
+        .run(&mut source, noise, &mut sink)
+        .expect_err("the I/O failure must propagate");
+    assert!(
+        err.to_string().contains("device full"),
+        "unexpected error: {err}"
+    );
+}

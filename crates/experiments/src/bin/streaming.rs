@@ -1,9 +1,11 @@
-//! Runs the bounded-memory streaming attack scenarios.
+//! Runs the bounded-memory streaming attack scenarios: the full five-scheme
+//! comparison (NDR / UDR / SF / PCA-DR / BE-DR) through the unified
+//! two-pass streaming driver.
 //!
 //! Usage: `cargo run --release -p randrecon-experiments --bin streaming
 //! [--quick | --large]`
 //!
-//! * `--quick` — 10 k × 16 smoke scenario.
+//! * `--quick` — 10 k × 16 smoke scenario (the tier-1 CI smoke).
 //! * default — the 50 k × 64 trajectory scenario.
 //! * `--large` — the 500 k × 64 flagship (no `n × m` allocation anywhere:
 //!   generation, disguising, both attack passes and the MSE scoring all

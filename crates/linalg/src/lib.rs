@@ -99,7 +99,13 @@
 //!   produces the same rows as one big product — the matmul dispatch
 //!   (naive below ~32 K multiply-adds, blocked above) never changes a
 //!   value, only the speed — which is what makes the streaming and
-//!   in-memory attacks numerically interchangeable.
+//!   in-memory attacks numerically interchangeable. Since PR 4 the sweep is
+//!   also *pipelined*: pass 2 evaluates chunk `i + 1` on a dedicated
+//!   producer thread (`randrecon-parallel::pipeline_two_slot`) while the
+//!   sink drains chunk `i` on the caller — the kernels themselves are
+//!   untouched, chunks cross a bounded channel in production order, and the
+//!   output stays byte-identical to the sequential sweep at any worker
+//!   count.
 //!
 //! ## Example
 //!

@@ -13,6 +13,18 @@
 //!
 //! rayon itself is not a dependency because the build environment is fully
 //! offline; this module provides the small subset the workspace needs.
+//!
+//! Besides the data-parallel dispatch, the crate owns the **two-slot
+//! pipeline** primitive ([`pipeline_two_slot`]): a producer/consumer overlap
+//! used by the streaming attack engine's pass 2 to reconstruct chunk `i + 1`
+//! on the pool while the sink drains chunk `i`. Items flow through a bounded
+//! channel in production order, so the overlap can never reorder or drop a
+//! chunk regardless of worker count.
+//!
+//! The pool size follows `available_parallelism`, but the `RANDRECON_THREADS`
+//! environment variable (read once, at first use) overrides it — the
+//! determinism tests re-execute themselves under `RANDRECON_THREADS` ∈
+//! {1, 2, 4} to pin that results are worker-count-independent.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -92,9 +104,20 @@ struct Pool {
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| {
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get().saturating_sub(1))
-            .unwrap_or(0);
+        // `RANDRECON_THREADS=t` pins the total participant count (pool
+        // workers + the calling thread) to exactly `t`; without it the pool
+        // matches the machine. A value that is set but unusable (zero,
+        // non-numeric) is a misconfiguration — silently falling back would
+        // let a determinism harness "pin" nothing and still report success.
+        let workers = match std::env::var("RANDRECON_THREADS") {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(t) if t >= 1 => t - 1,
+                _ => panic!("RANDRECON_THREADS must be a positive integer, got '{v}'"),
+            },
+            Err(_) => std::thread::available_parallelism()
+                .map(|p| p.get().saturating_sub(1))
+                .unwrap_or(0),
+        };
         let (sender, receiver) = mpsc::channel::<Arc<Job>>();
         let receiver = Arc::new(Mutex::new(receiver));
         for i in 0..workers {
@@ -305,6 +328,82 @@ where
     Ok(results)
 }
 
+/// Whether a two-stage streaming sweep overlaps its stages.
+///
+/// [`DoubleBuffered`](PipelineMode::DoubleBuffered) runs the producer on a
+/// dedicated thread feeding a bounded two-slot channel while the consumer
+/// drains on the calling thread; [`Sequential`](PipelineMode::Sequential) is
+/// the strict produce-then-consume fallback. Both orders are observationally
+/// identical (items arrive in production order either way); the mode only
+/// changes whether stage latencies overlap, which is why the streaming
+/// determinism tests compare the two byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Overlap: produce item `i + 1` while the consumer handles item `i`.
+    #[default]
+    DoubleBuffered,
+    /// No overlap: each item is fully consumed before the next is produced.
+    Sequential,
+}
+
+/// Runs a producer and a consumer as a two-slot pipeline: while the consumer
+/// handles item `i` on the **calling** thread, the producer computes item
+/// `i + 1` on a dedicated scoped thread (so producer-side [`parallel_for`]
+/// calls still draw on the shared pool — the producer thread participates in
+/// its own jobs like any caller).
+///
+/// `produce` is polled until it returns `Ok(None)`; each produced item is
+/// handed to `consume` **in production order** through a bounded channel
+/// holding at most one finished item while the next is being computed (the
+/// two slots). On the first error from either side the pipeline shuts down —
+/// the channel closing unblocks whichever side is still running, so a
+/// failing consumer can never leave the producer wedged on a full channel —
+/// and that error is returned (the consumer's error wins if both fail).
+/// Producer panics are re-raised on the calling thread.
+pub fn pipeline_two_slot<T, E, P, C>(produce: P, mut consume: C) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    P: FnMut() -> Result<Option<T>, E> + Send,
+    C: FnMut(T) -> Result<(), E>,
+{
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::sync_channel::<T>(1);
+        let producer = scope.spawn(move || -> Result<(), E> {
+            let mut produce = produce;
+            loop {
+                match produce()? {
+                    // A send only fails when the consumer bailed out and
+                    // dropped the receiver; stop producing, the consumer's
+                    // error is already recorded on the other side.
+                    Some(item) => {
+                        if tx.send(item).is_err() {
+                            return Ok(());
+                        }
+                    }
+                    None => return Ok(()),
+                }
+            }
+        });
+        let mut consumer_error: Option<E> = None;
+        while let Ok(item) = rx.recv() {
+            if let Err(e) = consume(item) {
+                consumer_error = Some(e);
+                break;
+            }
+        }
+        drop(rx);
+        let produced = match producer.join() {
+            Ok(result) => result,
+            Err(payload) => resume_unwind(payload),
+        };
+        match consumer_error {
+            Some(e) => Err(e),
+            None => produced,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,5 +494,83 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn pipeline_preserves_order_and_drains_everything() {
+        let mut next = 0u64;
+        let mut seen = Vec::new();
+        let result: Result<(), ()> = pipeline_two_slot(
+            || {
+                next += 1;
+                Ok(if next <= 100 { Some(next) } else { None })
+            },
+            |item| {
+                seen.push(item);
+                Ok(())
+            },
+        );
+        result.unwrap();
+        assert_eq!(seen, (1..=100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn pipeline_surfaces_producer_error() {
+        let mut next = 0u64;
+        let mut seen = Vec::new();
+        let result: Result<(), String> = pipeline_two_slot(
+            || {
+                next += 1;
+                if next == 4 {
+                    Err("producer broke".to_string())
+                } else {
+                    Ok(Some(next))
+                }
+            },
+            |item| {
+                seen.push(item);
+                Ok(())
+            },
+        );
+        assert_eq!(result.unwrap_err(), "producer broke");
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pipeline_surfaces_consumer_error_without_hanging_the_producer() {
+        // The producer is unbounded; only the consumer's failure (and the
+        // resulting channel closure) can stop it. A hang here fails the
+        // test harness by timeout.
+        let mut next = 0u64;
+        let result: Result<(), String> = pipeline_two_slot(
+            || {
+                next += 1;
+                Ok(Some(next))
+            },
+            |item| {
+                if item == 5 {
+                    Err(format!("consumer rejected item {item}"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(result.unwrap_err(), "consumer rejected item 5");
+    }
+
+    #[test]
+    fn pipeline_with_empty_stream_is_a_no_op() {
+        let result: Result<(), ()> =
+            pipeline_two_slot(|| Ok(None::<u64>), |_| panic!("must not consume"));
+        result.unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "producer panic")]
+    fn pipeline_reraises_producer_panics() {
+        let _: Result<(), ()> = pipeline_two_slot(
+            || -> Result<Option<u64>, ()> { panic!("producer panic") },
+            |_| Ok(()),
+        );
     }
 }

@@ -12,7 +12,7 @@
 //! arbitrary prior density (e.g. the Agrawal–Srikant reconstructed histogram).
 
 use crate::density::HistogramDensity;
-use crate::distributions::ContinuousDistribution;
+use crate::distributions::{ContinuousDistribution, Normal, Uniform};
 use crate::error::{Result, StatsError};
 
 /// Posterior mean when `X ~ N(mean_x, var_x)` and `R ~ N(0, var_r)`:
@@ -109,6 +109,106 @@ where
     Ok(num / den)
 }
 
+/// A per-attribute posterior-mean estimator **prepared once** from moment
+/// estimates and applied value by value afterwards.
+///
+/// UDR evaluates `E[X | Y = y]` for every cell of an attribute. The
+/// Gaussian-moments prior needs only the attribute's mean and variance, so
+/// the estimator can be constructed from streamed marginal moments and then
+/// mapped over record chunks independently — which is exactly what the
+/// streaming attack engine's "prepare once, map chunks" contract requires.
+/// The in-memory UDR builds the same object from column statistics, so both
+/// paths share one evaluation kernel.
+#[derive(Debug, Clone)]
+pub enum PreparedPosterior {
+    /// Gaussian prior and Gaussian noise: the closed-form shrinkage
+    /// estimator of [`gaussian_posterior_mean`] with the gain
+    /// `var_x / (var_x + var_r)` precomputed at preparation time — the
+    /// per-value evaluation is a single fused shrink with no validation or
+    /// division left in the hot loop.
+    GaussianShrinkage {
+        /// Prior (= estimated attribute) mean.
+        mean: f64,
+        /// Shrinkage gain `var_x / (var_x + var_r)`.
+        gain: f64,
+    },
+    /// Degenerate prior (the attribute is pure noise): always answer the
+    /// prior mean.
+    PriorMean(f64),
+    /// Gaussian prior with non-Gaussian (uniform) noise: grid quadrature of
+    /// the posterior via [`grid_posterior_mean`].
+    Quadrature {
+        /// The Gaussian prior density.
+        prior: Normal,
+        /// The uniform noise density.
+        noise: Uniform,
+        /// Lower integration bound.
+        low: f64,
+        /// Upper integration bound.
+        high: f64,
+        /// Number of quadrature points.
+        grid_points: usize,
+    },
+}
+
+impl PreparedPosterior {
+    /// Builds the estimator from Gaussian-moments prior estimates: the
+    /// attribute mean `mean_x`, the prior variance `var_x` (already
+    /// noise-corrected and clamped at zero) and the noise variance `var_r`.
+    ///
+    /// `gaussian_noise` selects the closed-form shrinkage path; otherwise
+    /// the noise is treated as uniform with the same variance and the
+    /// posterior falls back to grid quadrature (600 points over ±6 combined
+    /// standard deviations, the tolerance-pinned UDR configuration).
+    pub fn gaussian_moments(
+        mean_x: f64,
+        var_x: f64,
+        var_r: f64,
+        gaussian_noise: bool,
+    ) -> Result<Self> {
+        if gaussian_noise {
+            // Validate once here so `apply` cannot fail on this path.
+            gaussian_posterior_mean(mean_x, mean_x, var_x, var_r)?;
+            Ok(PreparedPosterior::GaussianShrinkage {
+                mean: mean_x,
+                gain: var_x / (var_x + var_r),
+            })
+        } else if var_x <= 0.0 {
+            Ok(PreparedPosterior::PriorMean(mean_x))
+        } else {
+            let sigma_r = var_r.sqrt();
+            let prior = Normal::new(mean_x, var_x.sqrt())?;
+            let noise = Uniform::centered_with_std(sigma_r)?;
+            let span = 6.0 * (var_x.sqrt() + sigma_r);
+            Ok(PreparedPosterior::Quadrature {
+                prior,
+                noise,
+                low: mean_x - span,
+                high: mean_x + span,
+                grid_points: 600,
+            })
+        }
+    }
+
+    /// Evaluates `E[X | Y = y]` for one disguised value.
+    pub fn apply(&self, y: f64) -> Result<f64> {
+        match self {
+            // Same operation order as `gaussian_posterior_mean` (gain first,
+            // then shrink), so the results are bit-identical to the
+            // per-value closed form.
+            PreparedPosterior::GaussianShrinkage { mean, gain } => Ok(mean + gain * (y - mean)),
+            PreparedPosterior::PriorMean(mean) => Ok(*mean),
+            PreparedPosterior::Quadrature {
+                prior,
+                noise,
+                low,
+                high,
+                grid_points,
+            } => grid_posterior_mean(y, |x| prior.pdf(x), noise, *low, *high, *grid_points),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +277,39 @@ mod tests {
             grid_posterior_mean(y, |x| prior_normal.pdf(x), &noise, -20.0, 20.0, 2_000).unwrap();
         let exact = gaussian_posterior_mean(y, 1.0, 9.0, 4.0).unwrap();
         assert!((grid - exact).abs() < 1e-3);
+    }
+
+    #[test]
+    fn prepared_posterior_matches_the_underlying_kernels() {
+        // Gaussian noise: exact agreement with the closed form.
+        let prepared = PreparedPosterior::gaussian_moments(2.0, 9.0, 4.0, true).unwrap();
+        for &y in &[-5.0, 0.0, 2.0, 7.5] {
+            let got = prepared.apply(y).unwrap();
+            let want = gaussian_posterior_mean(y, 2.0, 9.0, 4.0).unwrap();
+            assert_eq!(got, want, "y = {y}");
+        }
+
+        // Uniform noise: the quadrature path reproduces a direct
+        // grid_posterior_mean call with the UDR grid configuration.
+        let prepared = PreparedPosterior::gaussian_moments(1.0, 4.0, 9.0, false).unwrap();
+        let prior = Normal::new(1.0, 2.0).unwrap();
+        let noise = crate::distributions::Uniform::centered_with_std(3.0).unwrap();
+        let span = 6.0 * (2.0 + 3.0);
+        for &y in &[-2.0, 1.0, 3.0] {
+            let got = prepared.apply(y).unwrap();
+            let want =
+                grid_posterior_mean(y, |x| prior.pdf(x), &noise, 1.0 - span, 1.0 + span, 600)
+                    .unwrap();
+            assert_eq!(got, want, "y = {y}");
+        }
+
+        // Pure-noise attribute: degenerate prior answers its mean.
+        let prepared = PreparedPosterior::gaussian_moments(-3.5, 0.0, 1.0, false).unwrap();
+        assert_eq!(prepared.apply(100.0).unwrap(), -3.5);
+
+        // Invalid variances are rejected at preparation time.
+        assert!(PreparedPosterior::gaussian_moments(0.0, -1.0, 1.0, true).is_err());
+        assert!(PreparedPosterior::gaussian_moments(0.0, 1.0, 0.0, true).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the `micro` benchmark harness and dumps every measurement to a JSON
-# file (default BENCH_3.json at the repo root) for the perf trajectory.
+# file (default BENCH_4.json at the repo root) for the perf trajectory.
 #
 # Usage: scripts/bench_to_json.sh [output.json]
 #
@@ -11,16 +11,21 @@
 # `kernels_v2` group the PR-2 numbers (`eigen/256` vs `eigen_jacobi/256`,
 # acceptance >=5x); the `kernels_v3` group the PR-3 microkernel numbers
 # (`matmul_micro/512` vs `matmul_blocked_seed/512`, acceptance >=1.5x); and
-# the `streaming` group the PR-3 bounded-memory numbers
+# the `streaming` group the bounded-memory numbers: the PR-3 ratios
 # (`be_dr_streaming/50000` vs `be_dr_in_memory/50000`, acceptance >=0.8x
-# throughput, plus the fully-streamed `be_dr_streaming/500000` flagship).
-# BENCH_1.json / BENCH_2.json remain the frozen PR-1/PR-2 records; pass one
-# of them as the argument only to regenerate history deliberately.
+# throughput, plus the fully-streamed `be_dr_streaming/500000` flagship)
+# and the PR-4 unified-driver numbers (per-scheme `*_streaming/50000`
+# throughput for NDR/UDR/SF/PCA-DR, plus `be_dr_streaming/50000` vs the
+# forced-sequential `be_dr_streaming_seq/50000` — the double-buffered
+# pass 2 must hold >=0.95x of the sequential throughput).
+# BENCH_1.json / BENCH_2.json / BENCH_3.json remain the frozen PR-1/2/3
+# records; pass one of them as the argument only to regenerate history
+# deliberately.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -64,6 +69,13 @@ stream = results.get(("streaming", "be_dr_streaming/50000"))
 memory = results.get(("streaming", "be_dr_in_memory/50000"))
 if stream and memory:
     print(f"be_dr 50k rows: in-memory {memory/1e6:.2f} ms vs streaming {stream/1e6:.2f} ms  (throughput ratio {memory/stream:.2f}x, acceptance >=0.8x)")
+seq = results.get(("streaming", "be_dr_streaming_seq/50000"))
+if stream and seq:
+    print(f"be_dr 50k streaming pass 2: sequential {seq/1e6:.2f} ms vs double-buffered {stream/1e6:.2f} ms  (throughput ratio {seq/stream:.2f}x, acceptance >=0.95x)")
+for scheme in ("ndr", "udr", "sf", "pca_dr", "be_dr"):
+    t = results.get(("streaming", f"{scheme}_streaming/50000"))
+    if t:
+        print(f"{scheme} 50k x 64 streaming: {t/1e6:.2f} ms  ({50000/(t/1e9):.0f} records/s)")
 big = results.get(("streaming", "be_dr_streaming/500000"))
 if big:
     print(f"be_dr 500k rows fully streamed: {big/1e9:.2f} s end-to-end ({500000/(big/1e9):.0f} records/s, bounded memory)")

@@ -1,9 +1,12 @@
 //! End-to-end statistical regression tests against golden values.
 //!
-//! Seeded BE-DR and PCA-DR runs at (n = 2000, m ∈ {16, 64}) whose
-//! reconstruction MSE must stay within ±2% of the values checked into
-//! `tests/golden/attack_mse.json`. The attacks are spectral at their core, so
-//! any change to the eigensolver (or the covariance estimation, or the
+//! Seeded UDR, spectral-filtering, BE-DR and PCA-DR runs at (n = 2000,
+//! m ∈ {16, 64}) whose reconstruction MSE must stay within ±2% of the
+//! values checked into `tests/golden/attack_mse.json` — all four non-trivial
+//! schemes are golden-locked, so a driver refactor (like the unified
+//! streaming engine) cannot silently shift any of them. The attacks are
+//! spectral or posterior-analytic at their core, so any change to the
+//! eigensolver (or the covariance estimation, the posterior kernels, or the
 //! sampling streams feeding them) that shifts attack accuracy — rather than
 //! merely reordering floating-point noise — trips these tests instead of
 //! silently degrading the reproduction.
@@ -12,7 +15,9 @@
 //! `cargo test --test statistical_regression -- --ignored --nocapture` and
 //! copy the printed JSON into `tests/golden/attack_mse.json`.
 
-use randrecon::core::{be_dr::BeDr, pca_dr::PcaDr, Reconstructor};
+use randrecon::core::{
+    be_dr::BeDr, pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr, Reconstructor,
+};
 use randrecon::data::synthetic::{EigenSpectrum, SyntheticDataset};
 use randrecon::metrics::mse;
 use randrecon::noise::additive::AdditiveRandomizer;
@@ -38,7 +43,7 @@ fn attack_mse(m: usize, attack: &dyn Reconstructor) -> f64 {
     mse(&ds.table, &reconstructed).unwrap()
 }
 
-/// Runs (and caches) the four seeded pipelines, so the goldens test and the
+/// Runs (and caches) the eight seeded pipelines, so the goldens test and the
 /// ordering test share one set of measurements instead of re-running the
 /// attacks per test.
 fn measure_all() -> &'static [(String, f64)] {
@@ -50,6 +55,14 @@ fn measure_all() -> &'static [(String, f64)] {
             out.push((
                 format!("pca_dr_n2000_m{m}"),
                 attack_mse(m, &PcaDr::largest_gap()),
+            ));
+            out.push((
+                format!("udr_n2000_m{m}"),
+                attack_mse(m, &Udr::gaussian_prior()),
+            ));
+            out.push((
+                format!("sf_n2000_m{m}"),
+                attack_mse(m, &SpectralFiltering::default()),
             ));
         }
         out
@@ -94,7 +107,7 @@ fn golden_path() -> std::path::PathBuf {
 fn attack_mse_matches_goldens() {
     let text = std::fs::read_to_string(golden_path()).expect("golden file present");
     let goldens = parse_goldens(&text);
-    assert_eq!(goldens.len(), 4, "expected 4 golden entries");
+    assert_eq!(goldens.len(), 8, "expected 8 golden entries");
     let measured = measure_all();
     for (key, value) in measured {
         let golden = goldens
@@ -112,7 +125,9 @@ fn attack_mse_matches_goldens() {
 }
 
 /// The qualitative ordering the goldens encode must also hold outright:
-/// BE-DR beats PCA-DR (Section 6), and both beat the raw noise level σ².
+/// BE-DR beats PCA-DR (Section 6), the correlation-exploiting schemes beat
+/// the marginals-only UDR on this correlated workload, and every scheme
+/// beats the raw noise level σ².
 #[test]
 fn attack_mse_ordering_is_preserved() {
     let measured = measure_all();
@@ -127,18 +142,20 @@ fn attack_mse_ordering_is_preserved() {
     for m in [16, 64] {
         let be = get(&format!("be_dr_n2000_m{m}"));
         let pca = get(&format!("pca_dr_n2000_m{m}"));
+        let udr = get(&format!("udr_n2000_m{m}"));
+        let sf = get(&format!("sf_n2000_m{m}"));
         assert!(
             be <= pca * 1.05,
             "m={m}: BE-DR ({be}) should be ≤ PCA-DR ({pca})"
         );
-        assert!(
-            be < noise_mse,
-            "m={m}: BE-DR ({be}) should beat σ² = {noise_mse}"
-        );
-        assert!(
-            pca < noise_mse,
-            "m={m}: PCA-DR ({pca}) should beat σ² = {noise_mse}"
-        );
+        assert!(be < udr, "m={m}: BE-DR ({be}) should beat UDR ({udr})");
+        assert!(pca < udr, "m={m}: PCA-DR ({pca}) should beat UDR ({udr})");
+        for (label, mse) in [("BE-DR", be), ("PCA-DR", pca), ("UDR", udr), ("SF", sf)] {
+            assert!(
+                mse < noise_mse,
+                "m={m}: {label} ({mse}) should beat σ² = {noise_mse}"
+            );
+        }
     }
 }
 

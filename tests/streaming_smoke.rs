@@ -3,39 +3,62 @@
 //! Runs the bounded-memory flagship scenario — 500 k × 64 records, fully
 //! streamed (generation, disguising, both attack passes and the metrics-only
 //! MSE sink all move chunk by chunk; no `n × m` matrix is ever allocated) —
-//! and checks the attacks actually work at that scale. Takes ~15 s in
-//! release and minutes in debug, hence `#[ignore]`: it rides the existing
+//! through the unified five-scheme streaming driver and checks every attack
+//! actually works at that scale. Takes ~30 s in release and minutes in
+//! debug, hence `#[ignore]`: it rides the existing
 //! `cargo test --release -- --ignored` CI job.
 
 use randrecon::experiments::streaming::StreamingScenario;
 
 #[test]
-#[ignore = "release-mode 500k-record streaming smoke test; runs in the slow CI job"]
+#[ignore = "release-mode 500k-record five-scheme streaming sweep; runs in the slow CI job"]
 fn streaming_attacks_survive_500k_by_64_with_bounded_memory() {
     let scenario = StreamingScenario::large_500k();
     assert_eq!(scenario.n_records, 500_000);
     assert_eq!(scenario.n_attributes, 64);
     let outcome = scenario.run().expect("500k streaming scenario must run");
 
-    // Both attacks must decisively beat the σ² = 100 noise floor on this
-    // highly correlated workload (6 principal components out of 64).
+    // NDR streams the disguised values through unchanged, so its measured
+    // MSE is the empirical σ² = 100 noise floor.
     let floor = outcome.noise_floor_mse();
     assert!(
-        outcome.be_dr.mse < 0.25 * floor,
-        "streaming BE-DR mse {} should be far below the noise floor {floor}",
-        outcome.be_dr.mse
+        (outcome.ndr.mse - floor).abs() / floor < 0.05,
+        "streaming NDR mse {} should sit at the noise floor {floor}",
+        outcome.ndr.mse
     );
+    // UDR exploits the marginals only; PCA-DR and BE-DR must decisively
+    // beat the floor on this highly correlated workload (6 principal
+    // components out of 64).
     assert!(
-        outcome.pca_dr.mse < 0.25 * floor,
-        "streaming PCA-DR mse {} should be far below the noise floor {floor}",
-        outcome.pca_dr.mse
+        outcome.udr.mse < 0.6 * floor,
+        "streaming UDR mse {} vs noise floor {floor}",
+        outcome.udr.mse
     );
-    // BE-DR at least as strong as PCA-DR (Section 6).
+    for (label, mse) in [("PCA-DR", outcome.pca_dr.mse), ("BE-DR", outcome.be_dr.mse)] {
+        assert!(
+            mse < 0.25 * floor,
+            "streaming {label} mse {mse} should be far below the noise floor {floor}"
+        );
+    }
+    // SF only has to beat the floor here: with bulk eigenvalues of 4 under
+    // σ² = 100 noise, the Marčenko–Pastur edge (≈102.3 at n = 500k) sits
+    // below the disguised bulk (≈104), so SF keeps almost every component —
+    // the "non-principal eigenvalues not small ⇒ SF bound inaccurate"
+    // weakness the paper documents.
+    assert!(
+        outcome.sf.mse < floor,
+        "streaming SF mse {} vs noise floor {floor}",
+        outcome.sf.mse
+    );
+    // BE-DR at least as strong as PCA-DR (Section 6), and both beat UDR.
     assert!(outcome.be_dr.mse <= outcome.pca_dr.mse * 1.05);
+    assert!(outcome.pca_dr.mse < outcome.udr.mse);
     // The largest-gap rule recovers the planted component count at scale.
     assert_eq!(outcome.pca_dr.components_kept, Some(6));
     // Sanity on the throughput bookkeeping.
-    assert!(outcome.be_dr.records_per_second > 0.0);
-    assert!(outcome.be_dr.seconds > 0.0);
+    for (_, scheme) in outcome.schemes() {
+        assert!(scheme.records_per_second > 0.0);
+        assert!(scheme.seconds > 0.0);
+    }
     println!("{outcome}");
 }
