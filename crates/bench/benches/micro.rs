@@ -32,9 +32,13 @@
 //!   / `sf_streaming` / `pca_dr_streaming` at 50 k × 64, per-scheme
 //!   throughput), and `be_dr_streaming_seq/50000` — the forced-sequential
 //!   pass 2 against the default double-buffered pipeline, the tracked
-//!   ≥0.95× PR-4 acceptance ratio. `scripts/bench_to_json.sh` dumps
-//!   everything to `BENCH_4.json` (`BENCH_3.json` stays the frozen PR-3
-//!   record).
+//!   ≥0.95× PR-4 acceptance ratio.
+//! * `scenario` — the PR-5 scenario-runner group: `run_scenarios` over an
+//!   8-cell grid of *distinct* workloads against a hand-rolled loop over
+//!   the same specs (`runner/8` vs `handrolled/8`); the runner's scheduling
+//!   overhead (grouping, pool dispatch, result scattering) must stay ≤ 5%.
+//!   `scripts/bench_to_json.sh` dumps everything to `BENCH_5.json`
+//!   (`BENCH_4.json` and earlier stay the frozen PR-records).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use randrecon_bench::{
@@ -310,12 +314,59 @@ fn bench_streaming(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR-5 scenario group: the declarative runner against a hand-rolled
+/// loop over the same specs. The grid's axis sweeps the *seed*, so every
+/// scenario is its own workload group and the runner gets no
+/// moment/workload-sharing advantage — the comparison isolates pure
+/// scheduling overhead (grouping, pool dispatch, result scattering), which
+/// must stay ≤ 5% (`runner/8` vs `handrolled/8` in `BENCH_5.json`).
+fn bench_scenario_runner(c: &mut Criterion) {
+    use randrecon_experiments::scenario::{GridAxis, GridAxisValue, Override, ScenarioGrid};
+
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+
+    let grid = ScenarioGrid {
+        base: randrecon_experiments::ScenarioSpec::synthetic_quick("bench", 2_000, 16, 2),
+        axes: vec![GridAxis {
+            name: "seed".to_string(),
+            values: (0..8u64)
+                .map(|i| GridAxisValue {
+                    label: i.to_string(),
+                    x: None,
+                    overrides: vec![Override::Seed(0xBEC5 + i)],
+                })
+                .collect(),
+        }],
+    };
+    let specs = grid.expand_validated().unwrap();
+    assert_eq!(specs.len(), 8);
+
+    group.bench_with_input(
+        BenchmarkId::new("runner", specs.len()),
+        &specs,
+        |b, specs| b.iter(|| black_box(randrecon_experiments::run_scenarios(specs).unwrap())),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("handrolled", specs.len()),
+        &specs,
+        |b, specs| {
+            b.iter(|| {
+                let results: Vec<_> = specs.iter().map(|s| s.run().unwrap()).collect();
+                black_box(results)
+            })
+        },
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_substrates,
     bench_kernels_v1,
     bench_kernels_v2,
     bench_kernels_v3,
-    bench_streaming
+    bench_streaming,
+    bench_scenario_runner
 );
 criterion_main!(benches);

@@ -208,31 +208,39 @@ mod tests {
 
     #[test]
     fn exact_bayes_estimate_on_known_two_attribute_system() {
-        // Hand-check Equation (11) on a tiny system with known Σ_x, σ², μ_x = 0.
-        // With Σ_x = [[4, 2], [2, 4]] and σ² = 2 the posterior matrix
-        // M = (Σ_x⁻¹ + I/2)⁻¹ / 2 can be verified numerically here.
+        // Hand-check Equation (11) on a tiny system with known Σ_x, σ², μ_x = 0,
+        // entirely through the solve path (the same single factorization of
+        // T = Σ_x + Σ_r the attack uses — no matrix inverse anywhere).
+        //
+        // The MAP first-order condition (Σ_x⁻¹ + Σ_r⁻¹) x̂ = Σ_r⁻¹ y, multiplied
+        // through by Σ_r, reads  Σ_r · (Σ_x⁻¹ x̂) + x̂ = y  — every term of which
+        // is a solve, so the cross-check never materializes an inverse either.
         let sigma_x = Matrix::from_rows(&[&[4.0, 2.0][..], &[2.0, 4.0][..]]).unwrap();
         let sigma_r = Matrix::identity(2).scale(2.0);
-        let sigma_x_inv = Cholesky::new(&sigma_x).unwrap().inverse().unwrap();
-        let sigma_r_inv = Cholesky::new(&sigma_r).unwrap().inverse().unwrap();
-        let a = Cholesky::new(&sigma_x_inv.add(&sigma_r_inv).unwrap())
-            .unwrap()
-            .inverse()
-            .unwrap();
-        let m2 = a.matmul(&sigma_r_inv).unwrap();
         let y = vec![3.0, -1.0];
-        let expected = m2.matvec(&y).unwrap();
 
-        // Drive the same numbers through the public API: generate data whose
-        // sample covariance we then override via a large sample so the estimate
-        // is close, and compare the linear map applied to a record.
-        // (The map is deterministic given Σ_x, σ², μ_x, so we just verify the
-        //  algebra performed above is self-consistent: A(Σ_x⁻¹ + Σ_r⁻¹) = I.)
-        let identity_check = a.matmul(&sigma_x_inv.add(&sigma_r_inv).unwrap()).unwrap();
-        assert!(identity_check.approx_eq(&Matrix::identity(2), 1e-10));
+        // The attack's estimate: x̂ = (T⁻¹ Σ_x)ᵀ y with T = Σ_x + Σ_r, from one
+        // Cholesky solve (μ_x = 0 kills the prior-pull term).
+        let t = sigma_x.add(&sigma_r).unwrap();
+        let t_chol = Cholesky::new(&t).unwrap();
+        let data_pull_t = t_chol.solve_matrix(&sigma_x).unwrap();
+        let estimate = data_pull_t.transpose().matvec(&y).unwrap();
+
+        // First-order condition residual, solve-only: Σ_r solve_Σx(x̂) + x̂ − y.
+        let x_chol = Cholesky::new(&sigma_x).unwrap();
+        let pulled = sigma_r
+            .matvec(&x_chol.solve_vec(&estimate).unwrap())
+            .unwrap();
+        for j in 0..2 {
+            let residual = pulled[j] + estimate[j] - y[j];
+            assert!(
+                residual.abs() < 1e-10,
+                "posterior normal equations violated at {j}: residual {residual}"
+            );
+        }
         // Shrinkage: the estimate must lie strictly between 0 (prior mean) and y.
-        assert!(expected[0] > 0.0 && expected[0] < y[0]);
-        assert!(expected[1] < 0.0 && expected[1] > y[1]);
+        assert!(estimate[0] > 0.0 && estimate[0] < y[0]);
+        assert!(estimate[1] < 0.0 && estimate[1] > y[1]);
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! Unified attack dispatch: any scheme through either execution engine from
+//! one call site.
+//!
+//! The paper's evaluation is a matrix of {scheme × engine}: five
+//! reconstruction attacks, each runnable either **in memory** (materialize
+//! the disguised table, run the [`Reconstructor`]) or **streaming** (two
+//! bounded-memory passes over a [`RecordChunkSource`] through the
+//! [`StreamingDriver`](crate::streaming::StreamingDriver)). Before this
+//! module, every caller hand-rolled that dispatch twice — once per engine.
+//! [`AttackScheme`] names the five schemes, [`Attack`] carries a configured
+//! instance of one of them, and [`AttackEngine::run`] executes any attack on
+//! any engine against the same `(source, noise, sink)` signature, so a sweep
+//! over the whole matrix is a plain loop over two enums.
+//!
+//! The scenario layer in `randrecon-experiments` builds its declarative
+//! `ScenarioSpec` grids directly on top of this dispatch.
+
+use crate::be_dr::BeDr;
+use crate::error::{ReconError, Result};
+use crate::ndr::Ndr;
+use crate::pca_dr::PcaDr;
+use crate::spectral::SpectralFiltering;
+use crate::streaming::{
+    ChunkReconstructor, RecordSink, StreamingBeDr, StreamingDriver, StreamingNdr, StreamingPcaDr,
+    StreamingSf, StreamingUdr, TableSink,
+};
+use crate::traits::Reconstructor;
+use crate::udr::{PriorEstimation, Udr};
+use randrecon_data::chunks::{materialize, RecordChunkSource};
+use randrecon_data::DataTable;
+use randrecon_noise::NoiseModel;
+use serde::{Deserialize, Serialize};
+
+/// The reconstruction schemes the paper's evaluation compares.
+///
+/// This is the scheme *name*; a configured instance (selection rule, bound
+/// multiplier, eigenvalue floor, …) is an [`Attack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackScheme {
+    /// Noise-distribution baseline (`X̂ = Y`).
+    Ndr,
+    /// Univariate distribution-based reconstruction.
+    Udr,
+    /// Spectral Filtering (Kargupta et al.).
+    SpectralFiltering,
+    /// PCA-based data reconstruction.
+    PcaDr,
+    /// Bayes-estimate-based data reconstruction.
+    BeDr,
+}
+
+impl AttackScheme {
+    /// The label used in tables and figures (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackScheme::Ndr => "NDR",
+            AttackScheme::Udr => "UDR",
+            AttackScheme::SpectralFiltering => "SF",
+            AttackScheme::PcaDr => "PCA-DR",
+            AttackScheme::BeDr => "BE-DR",
+        }
+    }
+
+    /// All five schemes in the paper's presentation order.
+    pub fn all() -> [AttackScheme; 5] {
+        [
+            AttackScheme::Ndr,
+            AttackScheme::Udr,
+            AttackScheme::SpectralFiltering,
+            AttackScheme::PcaDr,
+            AttackScheme::BeDr,
+        ]
+    }
+}
+
+/// A configured reconstruction attack, dispatchable on either engine.
+///
+/// Wraps the per-scheme configuration structs so one value can be handed to
+/// [`AttackEngine::run`], [`Attack::reconstruct_table`] (in-memory) or
+/// [`Attack::chunk_reconstructor`] (streaming) without the caller matching
+/// on the scheme.
+#[derive(Debug, Clone)]
+pub enum Attack {
+    /// The NDR baseline (no configuration).
+    Ndr,
+    /// UDR with its prior-estimation strategy.
+    Udr(Udr),
+    /// Spectral filtering with its Marčenko–Pastur bound multiplier.
+    SpectralFiltering(SpectralFiltering),
+    /// PCA-DR with its component-selection rule.
+    PcaDr(PcaDr),
+    /// BE-DR with its optional eigenvalue floor.
+    BeDr(BeDr),
+}
+
+impl Attack {
+    /// The paper-default configuration of a scheme: Gaussian-moments UDR,
+    /// textbook Marčenko–Pastur bound for SF, largest-gap selection for
+    /// PCA-DR, default covariance floor for BE-DR.
+    pub fn standard(scheme: AttackScheme) -> Attack {
+        match scheme {
+            AttackScheme::Ndr => Attack::Ndr,
+            AttackScheme::Udr => Attack::Udr(Udr::gaussian_prior()),
+            AttackScheme::SpectralFiltering => {
+                Attack::SpectralFiltering(SpectralFiltering::default())
+            }
+            AttackScheme::PcaDr => Attack::PcaDr(PcaDr::largest_gap()),
+            AttackScheme::BeDr => Attack::BeDr(BeDr::default()),
+        }
+    }
+
+    /// Which scheme this attack is an instance of.
+    pub fn scheme(&self) -> AttackScheme {
+        match self {
+            Attack::Ndr => AttackScheme::Ndr,
+            Attack::Udr(_) => AttackScheme::Udr,
+            Attack::SpectralFiltering(_) => AttackScheme::SpectralFiltering,
+            Attack::PcaDr(_) => AttackScheme::PcaDr,
+            Attack::BeDr(_) => AttackScheme::BeDr,
+        }
+    }
+
+    /// Display label (same as [`AttackScheme::label`]).
+    pub fn label(&self) -> &'static str {
+        self.scheme().label()
+    }
+
+    /// Runs the attack in memory against a materialized disguised table.
+    pub fn reconstruct_table(
+        &self,
+        disguised: &DataTable,
+        noise: &NoiseModel,
+    ) -> Result<DataTable> {
+        Ok(self.reconstruct_table_with_report(disguised, noise)?.0)
+    }
+
+    /// In-memory reconstruction plus the kept-component diagnostic of the
+    /// projection schemes (`None` for NDR/UDR/BE-DR).
+    pub fn reconstruct_table_with_report(
+        &self,
+        disguised: &DataTable,
+        noise: &NoiseModel,
+    ) -> Result<(DataTable, Option<usize>)> {
+        match self {
+            Attack::Ndr => Ok((Ndr.reconstruct(disguised, noise)?, None)),
+            Attack::Udr(udr) => Ok((udr.reconstruct(disguised, noise)?, None)),
+            Attack::SpectralFiltering(sf) => {
+                let report = sf.reconstruct_with_report(disguised, noise)?;
+                Ok((report.reconstruction, Some(report.signal_components)))
+            }
+            Attack::PcaDr(pca) => {
+                let report = pca.reconstruct_with_report(disguised, noise)?;
+                Ok((report.reconstruction, Some(report.components_kept)))
+            }
+            Attack::BeDr(be) => Ok((be.reconstruct(disguised, noise)?, None)),
+        }
+    }
+
+    /// The streaming form of this attack (a boxed
+    /// [`ChunkReconstructor`] for the
+    /// [`StreamingDriver`](crate::streaming::StreamingDriver)).
+    ///
+    /// Every configuration knob carries over (PCA-DR selection, SF bound
+    /// multiplier, BE-DR floor) except UDR's Agrawal–Srikant prior, which
+    /// needs the full empirical distribution of each attribute and therefore
+    /// cannot run under the bounded-memory two-pass contract — requesting it
+    /// is an error rather than a silent fallback.
+    pub fn chunk_reconstructor(&self) -> Result<Box<dyn ChunkReconstructor>> {
+        Ok(match self {
+            Attack::Ndr => Box::new(StreamingNdr),
+            Attack::Udr(udr) => match udr.prior {
+                PriorEstimation::GaussianMoments => Box::new(StreamingUdr),
+                PriorEstimation::AgrawalSrikant(_) => {
+                    return Err(ReconError::InvalidParameter {
+                        reason: "the Agrawal–Srikant UDR prior needs the full per-attribute \
+                                 distribution and cannot run on the streaming engine"
+                            .to_string(),
+                    })
+                }
+            },
+            Attack::SpectralFiltering(sf) => {
+                Box::new(StreamingSf::with_bound_multiplier(sf.bound_multiplier)?)
+            }
+            Attack::PcaDr(pca) => Box::new(StreamingPcaDr {
+                selection: pca.selection,
+            }),
+            Attack::BeDr(be) => Box::new(StreamingBeDr {
+                eigenvalue_floor: be.eigenvalue_floor,
+            }),
+        })
+    }
+}
+
+/// Which execution engine runs an attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackEngine {
+    /// Materialize the source and run the in-memory [`Reconstructor`].
+    InMemory,
+    /// Two bounded-memory passes through the
+    /// [`StreamingDriver`](crate::streaming::StreamingDriver)
+    /// (`O(chunk · m + m²)` peak memory).
+    Streaming,
+}
+
+impl AttackEngine {
+    /// Display label for tables and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackEngine::InMemory => "in-memory",
+            AttackEngine::Streaming => "streaming",
+        }
+    }
+}
+
+/// Diagnostics shared by both engines.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Records reconstructed into the sink.
+    pub n_records: usize,
+    /// Principal/signal components kept (projection schemes only).
+    pub components_kept: Option<usize>,
+}
+
+impl AttackEngine {
+    /// Runs `attack` on this engine: records flow from `source`, the
+    /// reconstruction flows into `sink` — the same signature for both
+    /// engines, so callers sweeping the {scheme × engine} matrix need
+    /// exactly one call site.
+    ///
+    /// `InMemory` materializes the source, runs the scheme's
+    /// [`Reconstructor`] (numerically identical to calling it on the
+    /// original table) and hands the sink the whole reconstruction as one
+    /// chunk. `Streaming` runs the scheme's
+    /// [`ChunkReconstructor`] through the default (double-buffered)
+    /// [`StreamingDriver`](crate::streaming::StreamingDriver).
+    pub fn run<S, K>(
+        &self,
+        attack: &Attack,
+        source: &mut S,
+        noise: &NoiseModel,
+        sink: &mut K,
+    ) -> Result<EngineReport>
+    where
+        S: RecordChunkSource + Send + ?Sized,
+        K: RecordSink + ?Sized,
+    {
+        match self {
+            AttackEngine::InMemory => {
+                let disguised = materialize(source)?;
+                let (reconstruction, components_kept) =
+                    attack.reconstruct_table_with_report(&disguised, noise)?;
+                let n_records = reconstruction.n_records();
+                sink.consume_chunk(reconstruction.values())?;
+                Ok(EngineReport {
+                    n_records,
+                    components_kept,
+                })
+            }
+            AttackEngine::Streaming => {
+                let chunk_attack = attack.chunk_reconstructor()?;
+                let report =
+                    StreamingDriver::default().run(chunk_attack.as_ref(), source, noise, sink)?;
+                Ok(EngineReport {
+                    n_records: report.n_records,
+                    components_kept: report.components_kept,
+                })
+            }
+        }
+    }
+
+    /// Convenience over [`run`](AttackEngine::run) that materializes the
+    /// reconstruction: any scheme, either engine, one `n × m` result table.
+    pub fn reconstruct<S>(
+        &self,
+        attack: &Attack,
+        source: &mut S,
+        noise: &NoiseModel,
+    ) -> Result<DataTable>
+    where
+        S: RecordChunkSource + Send + ?Sized,
+    {
+        let mut sink = TableSink::new(source.n_attributes());
+        self.run(attack, source, noise, &mut sink)?;
+        Ok(DataTable::from_matrix(sink.into_matrix()?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randrecon_data::chunks::TableChunkSource;
+    use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+    use randrecon_noise::additive::AdditiveRandomizer;
+    use randrecon_stats::rng::seeded_rng;
+
+    fn disguised_workload() -> (DataTable, AdditiveRandomizer) {
+        let spectrum = EigenSpectrum::principal_plus_small(2, 200.0, 10, 2.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 600, 91).unwrap();
+        let randomizer = AdditiveRandomizer::gaussian(6.0).unwrap();
+        let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(92)).unwrap();
+        (disguised, randomizer)
+    }
+
+    #[test]
+    fn scheme_labels_and_order() {
+        assert_eq!(AttackScheme::all().len(), 5);
+        assert_eq!(AttackScheme::PcaDr.label(), "PCA-DR");
+        assert_eq!(Attack::standard(AttackScheme::BeDr).label(), "BE-DR");
+        assert_eq!(AttackEngine::Streaming.label(), "streaming");
+        for scheme in AttackScheme::all() {
+            assert_eq!(Attack::standard(scheme).scheme(), scheme);
+        }
+    }
+
+    #[test]
+    fn in_memory_engine_matches_direct_reconstructor() {
+        let (disguised, randomizer) = disguised_workload();
+        let noise = randomizer.model();
+        for scheme in AttackScheme::all() {
+            let attack = Attack::standard(scheme);
+            let direct = attack.reconstruct_table(&disguised, noise).unwrap();
+            let mut source = TableChunkSource::new(&disguised, 128).unwrap();
+            let through_engine = AttackEngine::InMemory
+                .reconstruct(&attack, &mut source, noise)
+                .unwrap();
+            assert!(
+                direct.values().approx_eq(through_engine.values(), 0.0),
+                "{}: engine output differs from the direct reconstructor",
+                scheme.label()
+            );
+        }
+    }
+
+    #[test]
+    fn both_engines_agree_for_every_scheme() {
+        let (disguised, randomizer) = disguised_workload();
+        let noise = randomizer.model();
+        for scheme in AttackScheme::all() {
+            let attack = Attack::standard(scheme);
+            let mut source = TableChunkSource::new(&disguised, 97).unwrap();
+            let in_memory = AttackEngine::InMemory
+                .reconstruct(&attack, &mut source, noise)
+                .unwrap();
+            let mut source = TableChunkSource::new(&disguised, 97).unwrap();
+            let streamed = AttackEngine::Streaming
+                .reconstruct(&attack, &mut source, noise)
+                .unwrap();
+            assert!(
+                in_memory.values().approx_eq(streamed.values(), 1e-9),
+                "{}: engines disagree",
+                scheme.label()
+            );
+        }
+    }
+
+    #[test]
+    fn projection_schemes_report_components_on_both_engines() {
+        let (disguised, randomizer) = disguised_workload();
+        let noise = randomizer.model();
+        for engine in [AttackEngine::InMemory, AttackEngine::Streaming] {
+            let mut source = TableChunkSource::new(&disguised, 128).unwrap();
+            let mut sink = TableSink::new(disguised.n_attributes());
+            let report = engine
+                .run(
+                    &Attack::standard(AttackScheme::PcaDr),
+                    &mut source,
+                    noise,
+                    &mut sink,
+                )
+                .unwrap();
+            assert_eq!(report.n_records, 600);
+            assert_eq!(report.components_kept, Some(2), "{}", engine.label());
+        }
+    }
+
+    #[test]
+    fn agrawal_srikant_prior_is_rejected_on_the_streaming_engine() {
+        let attack = Attack::Udr(Udr::agrawal_srikant_prior(Default::default()));
+        let err = match attack.chunk_reconstructor() {
+            Err(e) => e,
+            Ok(_) => panic!("the Agrawal–Srikant prior must be rejected"),
+        };
+        assert!(err.to_string().contains("Agrawal"));
+        // … but still runs in memory.
+        let (disguised, randomizer) = disguised_workload();
+        let mut source = TableChunkSource::new(&disguised, 128).unwrap();
+        assert!(AttackEngine::InMemory
+            .reconstruct(&attack, &mut source, randomizer.model())
+            .is_ok());
+    }
+
+    #[test]
+    fn configured_attacks_carry_their_knobs_to_the_streaming_engine() {
+        let (disguised, randomizer) = disguised_workload();
+        let noise = randomizer.model();
+        // A fixed-count PCA-DR keeps exactly the requested components on both
+        // engines.
+        let attack = Attack::PcaDr(PcaDr::with_fixed_components(4));
+        let mut source = TableChunkSource::new(&disguised, 64).unwrap();
+        let mut sink = TableSink::new(disguised.n_attributes());
+        let report = AttackEngine::Streaming
+            .run(&attack, &mut source, noise, &mut sink)
+            .unwrap();
+        assert_eq!(report.components_kept, Some(4));
+    }
+}

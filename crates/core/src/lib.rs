@@ -28,6 +28,13 @@
 //! pluggable sink, double-buffering the sweep so sink I/O overlaps
 //! reconstruction.
 //!
+//! The [`engine`] module unifies the two execution paths:
+//! [`engine::AttackScheme`] names the five schemes, [`engine::Attack`]
+//! carries a configured instance, and [`engine::AttackEngine::run`] executes
+//! any scheme on either engine against one `(source, noise, sink)`
+//! signature — the call site the declarative scenario layer in
+//! `randrecon-experiments` dispatches through.
+//!
 //! ## Example
 //!
 //! ```
@@ -55,6 +62,7 @@
 pub mod audit;
 pub mod be_dr;
 pub mod covariance;
+pub mod engine;
 pub mod error;
 pub mod ndr;
 pub mod partial;
@@ -68,6 +76,7 @@ pub mod traits;
 pub mod udr;
 
 pub use covariance::CovarianceAccumulator;
+pub use engine::{Attack, AttackEngine, AttackScheme, EngineReport};
 pub use error::{ReconError, Result};
 pub use selection::ComponentSelection;
 pub use streaming::{

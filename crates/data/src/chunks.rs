@@ -201,7 +201,7 @@ impl RecordChunkSource for SyntheticChunkSource {
 ///
 /// Convenience for tests and small workloads; it defeats the purpose of
 /// streaming for large `n`, and says so in the name.
-pub fn materialize(source: &mut dyn RecordChunkSource) -> Result<DataTable> {
+pub fn materialize<S: RecordChunkSource + ?Sized>(source: &mut S) -> Result<DataTable> {
     source.reset()?;
     let m = source.n_attributes();
     let mut rows: Vec<f64> = Vec::new();

@@ -11,15 +11,14 @@
 //!   same variance (the attacks only use second moments, so the results barely
 //!   change — which is itself a finding worth demonstrating).
 
-use crate::config::{ExperimentSeries, SchemeKind, SeriesPoint};
+use crate::config::{figure_1_to_3_set, ExperimentSeries, SchemeKind};
 use crate::error::{ExperimentError, Result};
-use crate::runner::parallel_map;
-use crate::workload::evaluate_schemes;
-use randrecon_core::{pca_dr::PcaDr, ComponentSelection, Reconstructor};
-use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
-use randrecon_metrics::rmse;
-use randrecon_noise::additive::AdditiveRandomizer;
-use randrecon_stats::rng::{child_seed, seeded_rng};
+use crate::scenario::{
+    series_from_results, AttackSpec, DataSpec, EngineSpec, GridAxis, GridAxisValue, MetricKind,
+    NoiseSpec, Override, ScenarioGrid, ScenarioSpec, SpectrumSpec,
+};
+use randrecon_core::ComponentSelection;
+use randrecon_stats::rng::child_seed;
 use serde::{Deserialize, Serialize};
 
 /// A labelled single-number result, used by the ablations that do not sweep a
@@ -96,24 +95,35 @@ impl AblationWorkload {
         }
     }
 
-    fn generate(
-        &self,
-    ) -> Result<(
-        SyntheticDataset,
-        AdditiveRandomizer,
-        randrecon_data::DataTable,
-    )> {
-        let spectrum = EigenSpectrum::principal_plus_small(
-            self.principal_components,
-            self.principal_eigenvalue,
-            self.attributes,
-            self.small_eigenvalue,
-        )?;
-        let ds = SyntheticDataset::generate(&spectrum, self.records, self.seed)?;
-        let randomizer = AdditiveRandomizer::gaussian(self.noise_sigma)?;
-        let disguised =
-            randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(self.seed, 1)))?;
-        Ok((ds, randomizer, disguised))
+    /// The workload as a pinned-seed scenario template: one shared data set
+    /// (`dataset_seed = seed`, the historical `AblationWorkload::generate`
+    /// seeding) disguised with `child_seed(seed, 1)`, ready for ablation
+    /// grids to override the axis they study.
+    fn base_spec(&self, label: &str) -> ScenarioSpec {
+        ScenarioSpec {
+            label: label.to_string(),
+            x: 0.0,
+            data: DataSpec::SyntheticMvn {
+                spectrum: SpectrumSpec::PrincipalPlusSmall {
+                    p: self.principal_components,
+                    principal: self.principal_eigenvalue,
+                    m: self.attributes,
+                    small: self.small_eigenvalue,
+                },
+                records: self.records,
+            },
+            noise: NoiseSpec::Gaussian {
+                sigma: self.noise_sigma,
+            },
+            attack: AttackSpec::Scheme(SchemeKind::BeDr),
+            engine: EngineSpec::InMemory,
+            metrics: vec![MetricKind::Rmse],
+            trials: 1,
+            seed: self.seed,
+            seed_offset: 0,
+            dataset_seed: Some(self.seed),
+            noise_seed: Some(child_seed(self.seed, 1)),
+        }
     }
 }
 
@@ -125,9 +135,10 @@ pub struct SelectionAblation {
 }
 
 impl SelectionAblation {
-    /// Runs PCA-DR with each selection rule on the same disguised data set.
+    /// Runs PCA-DR with each selection rule on the same disguised data set
+    /// (a one-axis scenario grid over the selection rule; the pinned seeds
+    /// make every variant attack the identical disguised table).
     pub fn run(&self) -> Result<AblationTable> {
-        let (ds, randomizer, disguised) = self.workload.generate()?;
         let p_true = self.workload.principal_components;
         let variants: Vec<(String, ComponentSelection)> = vec![
             (
@@ -158,18 +169,33 @@ impl SelectionAblation {
                 ComponentSelection::VarianceFraction(0.99),
             ),
         ];
-        let mut rows = Vec::with_capacity(variants.len());
-        for (label, selection) in variants {
-            let attack = PcaDr { selection };
-            let reconstruction = attack.reconstruct(&disguised, randomizer.model())?;
-            rows.push(AblationRow {
-                label,
-                rmse: rmse(&ds.table, &reconstruction)?,
-            });
-        }
+        let grid = ScenarioGrid {
+            base: self.workload.base_spec("ablation-selection"),
+            axes: vec![GridAxis {
+                name: "selection".to_string(),
+                values: variants
+                    .iter()
+                    .map(|(label, selection)| GridAxisValue {
+                        label: label.clone(),
+                        x: None,
+                        overrides: vec![Override::Attack(AttackSpec::PcaDr {
+                            selection: *selection,
+                        })],
+                    })
+                    .collect(),
+            }],
+        };
+        let results = grid.run()?;
         Ok(AblationTable {
             name: "PCA-DR component-selection ablation".to_string(),
-            rows,
+            rows: variants
+                .into_iter()
+                .zip(results)
+                .map(|((label, _), result)| AblationRow {
+                    label,
+                    rmse: result.rmse().expect("rmse metric requested"),
+                })
+                .collect(),
         })
     }
 }
@@ -190,7 +216,7 @@ impl Default for NoiseLevelAblation {
         NoiseLevelAblation {
             workload: AblationWorkload::default(),
             sigmas: vec![2.0, 5.0, 10.0, 20.0, 40.0],
-            schemes: SchemeKind::figure_1_to_3_set(),
+            schemes: figure_1_to_3_set(),
         }
     }
 }
@@ -205,36 +231,45 @@ impl NoiseLevelAblation {
         }
     }
 
-    /// Runs the sweep, returning a series with σ on the x-axis.
+    /// Runs the sweep, returning a series with σ on the x-axis. One shared
+    /// data set (the pinned dataset seed), a fresh disguise per σ
+    /// (`child_seed(seed, σ.to_bits())`, the historical seeding).
     pub fn run(&self) -> Result<ExperimentSeries> {
         if self.sigmas.is_empty() || self.sigmas.iter().any(|&s| !(s > 0.0 && s.is_finite())) {
             return Err(ExperimentError::InvalidConfig {
                 reason: "noise sigmas must be a non-empty list of positive numbers".to_string(),
             });
         }
-        let spectrum = EigenSpectrum::principal_plus_small(
-            self.workload.principal_components,
-            self.workload.principal_eigenvalue,
-            self.workload.attributes,
-            self.workload.small_eigenvalue,
-        )?;
-        let ds = SyntheticDataset::generate(&spectrum, self.workload.records, self.workload.seed)?;
-        let points = parallel_map(self.sigmas.clone(), |&sigma| {
-            let randomizer = AdditiveRandomizer::gaussian(sigma)?;
-            let disguised = randomizer.disguise(
-                &ds.table,
-                &mut seeded_rng(child_seed(self.workload.seed, sigma.to_bits())),
-            )?;
-            Ok(SeriesPoint {
-                x: sigma,
-                rmse: evaluate_schemes(&ds.table, &disguised, randomizer.model(), &self.schemes)?,
-            })
-        })?;
-        Ok(ExperimentSeries {
-            name: "Ablation: disguising-noise level".to_string(),
-            x_label: "noise standard deviation".to_string(),
-            points,
-        })
+        let grid = ScenarioGrid {
+            base: self.workload.base_spec("ablation-noise-level"),
+            axes: vec![
+                GridAxis {
+                    name: "sigma".to_string(),
+                    values: self
+                        .sigmas
+                        .iter()
+                        .map(|&sigma| GridAxisValue {
+                            label: format!("{sigma}"),
+                            x: Some(sigma),
+                            overrides: vec![
+                                Override::Noise(NoiseSpec::Gaussian { sigma }),
+                                Override::NoiseSeed(Some(child_seed(
+                                    self.workload.seed,
+                                    sigma.to_bits(),
+                                ))),
+                            ],
+                        })
+                        .collect(),
+                },
+                GridAxis::schemes(&self.schemes),
+            ],
+        };
+        let results = grid.run()?;
+        Ok(series_from_results(
+            "Ablation: disguising-noise level",
+            "noise standard deviation",
+            &results,
+        ))
     }
 }
 
@@ -269,34 +304,51 @@ impl SampleSizeAblation {
         }
     }
 
-    /// Runs the sweep, returning a series with the record count on the x-axis.
+    /// Runs the sweep, returning a series with the record count on the x-axis
+    /// (fresh data per count, seeded `child_seed(seed, n)` as historically).
     pub fn run(&self) -> Result<ExperimentSeries> {
         if self.record_counts.is_empty() || self.record_counts.iter().any(|&n| n < 2) {
             return Err(ExperimentError::InvalidConfig {
                 reason: "record counts must be a non-empty list of values >= 2".to_string(),
             });
         }
-        let points = parallel_map(self.record_counts.clone(), |&n| {
-            let spectrum = EigenSpectrum::principal_plus_small(
-                self.workload.principal_components,
-                self.workload.principal_eigenvalue,
-                self.workload.attributes,
-                self.workload.small_eigenvalue,
-            )?;
-            let seed = child_seed(self.workload.seed, n as u64);
-            let ds = SyntheticDataset::generate(&spectrum, n, seed)?;
-            let randomizer = AdditiveRandomizer::gaussian(self.workload.noise_sigma)?;
-            let disguised = randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))?;
-            Ok(SeriesPoint {
-                x: n as f64,
-                rmse: evaluate_schemes(&ds.table, &disguised, randomizer.model(), &self.schemes)?,
-            })
-        })?;
-        Ok(ExperimentSeries {
-            name: "Ablation: adversary sample size".to_string(),
-            x_label: "number of records".to_string(),
-            points,
-        })
+        let w = &self.workload;
+        let grid = ScenarioGrid {
+            base: w.base_spec("ablation-sample-size"),
+            axes: vec![
+                GridAxis {
+                    name: "n".to_string(),
+                    values: self
+                        .record_counts
+                        .iter()
+                        .map(|&n| GridAxisValue {
+                            label: n.to_string(),
+                            x: Some(n as f64),
+                            overrides: vec![
+                                Override::Data(DataSpec::SyntheticMvn {
+                                    spectrum: SpectrumSpec::PrincipalPlusSmall {
+                                        p: w.principal_components,
+                                        principal: w.principal_eigenvalue,
+                                        m: w.attributes,
+                                        small: w.small_eigenvalue,
+                                    },
+                                    records: n,
+                                }),
+                                Override::DatasetSeed(Some(child_seed(w.seed, n as u64))),
+                                Override::NoiseSeed(None),
+                            ],
+                        })
+                        .collect(),
+                },
+                GridAxis::schemes(&self.schemes),
+            ],
+        };
+        let results = grid.run()?;
+        Ok(series_from_results(
+            "Ablation: adversary sample size",
+            "number of records",
+            &results,
+        ))
     }
 }
 
@@ -308,43 +360,39 @@ pub struct NoiseShapeAblation {
 }
 
 impl NoiseShapeAblation {
-    /// Runs BE-DR and UDR against both noise shapes.
+    /// Runs BE-DR and UDR against both noise shapes (a {noise × scheme}
+    /// scenario grid over one shared data set, disguise seed pinned to
+    /// `child_seed(seed, 2)` as historically).
     pub fn run(&self) -> Result<AblationTable> {
-        let spectrum = EigenSpectrum::principal_plus_small(
-            self.workload.principal_components,
-            self.workload.principal_eigenvalue,
-            self.workload.attributes,
-            self.workload.small_eigenvalue,
-        )?;
-        let ds = SyntheticDataset::generate(&spectrum, self.workload.records, self.workload.seed)?;
+        let sigma = self.workload.noise_sigma;
+        let noises = [
+            ("gaussian noise", NoiseSpec::Gaussian { sigma }),
+            ("uniform noise", NoiseSpec::Uniform { sigma }),
+        ];
         let schemes = [SchemeKind::Udr, SchemeKind::BeDr];
-        let mut rows = Vec::new();
-        for (label, randomizer) in [
-            (
-                "gaussian noise",
-                AdditiveRandomizer::gaussian(self.workload.noise_sigma)?,
-            ),
-            (
-                "uniform noise",
-                AdditiveRandomizer::uniform(self.workload.noise_sigma)?,
-            ),
-        ] {
-            let disguised = randomizer.disguise(
-                &ds.table,
-                &mut seeded_rng(child_seed(self.workload.seed, 2)),
-            )?;
-            for &scheme in &schemes {
-                let result =
-                    evaluate_schemes(&ds.table, &disguised, randomizer.model(), &[scheme])?;
-                rows.push(AblationRow {
-                    label: format!("{label} / {}", scheme.label()),
-                    rmse: result[0].1,
-                });
-            }
-        }
+        let mut base = self.workload.base_spec("ablation-noise-shape");
+        base.noise_seed = Some(child_seed(self.workload.seed, 2));
+        let grid = ScenarioGrid {
+            base,
+            axes: vec![GridAxis::noises(&noises), GridAxis::schemes(&schemes)],
+        };
+        let results = grid.run()?;
+        // Row labels derive from the same arrays the axes were built from,
+        // in the grid's row-major expansion order.
+        let labels = noises.iter().flat_map(|(noise_label, _)| {
+            schemes
+                .iter()
+                .map(move |scheme| format!("{noise_label} / {}", scheme.label()))
+        });
         Ok(AblationTable {
             name: "Noise-shape ablation (equal variance)".to_string(),
-            rows,
+            rows: labels
+                .zip(results)
+                .map(|(label, result)| AblationRow {
+                    label,
+                    rmse: result.rmse().expect("rmse metric requested"),
+                })
+                .collect(),
         })
     }
 }

@@ -1,54 +1,36 @@
 //! Common result types shared by all experiments.
+//!
+//! The scheme enumeration itself now lives in `randrecon-core`
+//! ([`randrecon_core::engine::AttackScheme`]) next to the unified
+//! attack-engine dispatch; this module re-exports it under its historical
+//! name [`SchemeKind`] and keeps the figure-specific scheme sets and the
+//! series/table/CSV rendering types.
 
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
-/// The reconstruction schemes the evaluation compares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SchemeKind {
-    /// Noise-distribution baseline (`X̂ = Y`).
-    Ndr,
-    /// Univariate distribution-based reconstruction.
-    Udr,
-    /// Spectral Filtering (Kargupta et al.).
-    SpectralFiltering,
-    /// PCA-based data reconstruction.
-    PcaDr,
-    /// Bayes-estimate-based data reconstruction.
-    BeDr,
+/// The reconstruction schemes the evaluation compares (re-exported from the
+/// core attack-engine dispatch).
+pub use randrecon_core::engine::AttackScheme as SchemeKind;
+
+/// The four schemes plotted in Figures 1–3.
+pub fn figure_1_to_3_set() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::Udr,
+        SchemeKind::SpectralFiltering,
+        SchemeKind::PcaDr,
+        SchemeKind::BeDr,
+    ]
 }
 
-impl SchemeKind {
-    /// The label used in tables and figures (matches the paper's legends).
-    pub fn label(&self) -> &'static str {
-        match self {
-            SchemeKind::Ndr => "NDR",
-            SchemeKind::Udr => "UDR",
-            SchemeKind::SpectralFiltering => "SF",
-            SchemeKind::PcaDr => "PCA-DR",
-            SchemeKind::BeDr => "BE-DR",
-        }
-    }
-
-    /// The four schemes plotted in Figures 1–3.
-    pub fn figure_1_to_3_set() -> Vec<SchemeKind> {
-        vec![
-            SchemeKind::Udr,
-            SchemeKind::SpectralFiltering,
-            SchemeKind::PcaDr,
-            SchemeKind::BeDr,
-        ]
-    }
-
-    /// The three schemes plotted in Figure 4 (the UDR baseline is omitted
-    /// there because the defense targets correlation-exploiting attacks).
-    pub fn figure_4_set() -> Vec<SchemeKind> {
-        vec![
-            SchemeKind::SpectralFiltering,
-            SchemeKind::PcaDr,
-            SchemeKind::BeDr,
-        ]
-    }
+/// The three schemes plotted in Figure 4 (the UDR baseline is omitted there
+/// because the defense targets correlation-exploiting attacks).
+pub fn figure_4_set() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::SpectralFiltering,
+        SchemeKind::PcaDr,
+        SchemeKind::BeDr,
+    ]
 }
 
 /// One x-axis position of an experiment with the RMSE of every scheme at that
@@ -182,9 +164,9 @@ mod tests {
     #[test]
     fn scheme_labels() {
         assert_eq!(SchemeKind::PcaDr.label(), "PCA-DR");
-        assert_eq!(SchemeKind::figure_1_to_3_set().len(), 4);
-        assert_eq!(SchemeKind::figure_4_set().len(), 3);
-        assert!(!SchemeKind::figure_4_set().contains(&SchemeKind::Udr));
+        assert_eq!(figure_1_to_3_set().len(), 4);
+        assert_eq!(figure_4_set().len(), 3);
+        assert!(!figure_4_set().contains(&SchemeKind::Udr));
     }
 
     #[test]

@@ -7,13 +7,12 @@
 //! because a fixed amount of information is spread redundantly over more and
 //! more attributes.
 
-use crate::config::{ExperimentSeries, SchemeKind, SeriesPoint};
+use crate::config::{figure_1_to_3_set, ExperimentSeries, SchemeKind};
 use crate::error::{ExperimentError, Result};
-use crate::runner::parallel_map;
-use crate::workload::{average_trials, evaluate_schemes};
-use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
-use randrecon_noise::additive::AdditiveRandomizer;
-use randrecon_stats::rng::{child_seed, seeded_rng};
+use crate::scenario::{
+    series_from_results, DataSpec, GridAxis, GridAxisValue, NoiseSpec, Override, ScenarioGrid,
+    ScenarioSpec, SpectrumSpec,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of Experiment 1.
@@ -53,7 +52,7 @@ impl Default for Experiment1 {
             noise_sigma: 5.0,
             trials: 3,
             seed: 0x5EED_0001,
-            schemes: SchemeKind::figure_1_to_3_set(),
+            schemes: figure_1_to_3_set(),
         }
     }
 }
@@ -100,44 +99,68 @@ impl Experiment1 {
         Ok(())
     }
 
+    /// The experiment as a declarative scenario grid: the `m` sweep crossed
+    /// with the scheme set over one shared in-memory workload per point.
+    ///
+    /// Seeding matches the historical hand-written driver exactly
+    /// (`trial_seed = child_seed(seed, m·1000 + trial)`, disguise seed
+    /// `child_seed(trial_seed, 1)`), so the rebased grid reproduces its
+    /// numbers bit for bit.
+    pub fn grid(&self) -> ScenarioGrid {
+        // The template's workload is a placeholder — every m-axis value
+        // overrides the data source below.
+        let mut base = ScenarioSpec::synthetic_quick("figure1", self.records, 1, 1);
+        base.noise = NoiseSpec::Gaussian {
+            sigma: self.noise_sigma,
+        };
+        base.trials = self.trials;
+        base.seed = self.seed;
+        let m_axis = GridAxis {
+            name: "m".to_string(),
+            values: self
+                .attribute_counts
+                .iter()
+                .enumerate()
+                // The sweep index prefixes the label so repeated attribute
+                // counts stay distinct sweep points (the historical driver
+                // accepted them).
+                .map(|(idx, &m)| GridAxisValue {
+                    label: format!("{idx}:{m}"),
+                    x: Some(m as f64),
+                    overrides: vec![
+                        // Non-principal eigenvalues stay fixed at
+                        // `small_eigenvalue`; the p principal ones absorb the
+                        // rest of the (constant) per-attribute variance
+                        // budget so UDR stays flat (Eq. 12).
+                        Override::Data(DataSpec::SyntheticMvn {
+                            spectrum: SpectrumSpec::PrincipalFillingTotal {
+                                p: self.principal_components,
+                                m,
+                                small: self.small_eigenvalue,
+                                total_variance: self.mean_attribute_variance * m as f64,
+                            },
+                            records: self.records,
+                        }),
+                        Override::SeedOffset((m as u64) * 1_000),
+                    ],
+                })
+                .collect(),
+        };
+        ScenarioGrid {
+            base,
+            axes: vec![m_axis, GridAxis::schemes(&self.schemes)],
+        }
+    }
+
     /// Runs the sweep and returns the Figure 1 series.
     pub fn run(&self) -> Result<ExperimentSeries> {
         self.validate()?;
-        let points = parallel_map(self.attribute_counts.clone(), |&m| {
-            let mut trial_results = Vec::with_capacity(self.trials);
-            for t in 0..self.trials {
-                let seed = child_seed(self.seed, (m as u64) * 1_000 + t as u64);
-                // Non-principal eigenvalues stay fixed at `small_eigenvalue`;
-                // the p principal ones absorb the rest of the (constant)
-                // per-attribute variance budget so UDR stays flat (Eq. 12).
-                let spectrum = EigenSpectrum::principal_filling_total(
-                    self.principal_components,
-                    m,
-                    self.small_eigenvalue,
-                    self.mean_attribute_variance * m as f64,
-                )?;
-                let ds = SyntheticDataset::generate(&spectrum, self.records, seed)?;
-                let randomizer = AdditiveRandomizer::gaussian(self.noise_sigma)?;
-                let disguised =
-                    randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))?;
-                trial_results.push(evaluate_schemes(
-                    &ds.table,
-                    &disguised,
-                    randomizer.model(),
-                    &self.schemes,
-                )?);
-            }
-            Ok(SeriesPoint {
-                x: m as f64,
-                rmse: average_trials(&trial_results),
-            })
-        })?;
-
-        Ok(ExperimentSeries {
-            name: "Figure 1: increasing the number of attributes (p = 5 fixed)".to_string(),
-            x_label: "number of attributes".to_string(),
-            points,
-        })
+        let results = self.grid().run()?;
+        Ok(series_from_results(
+            "Figure 1: increasing the number of attributes (p = 5 fixed)",
+            "number of attributes",
+            &results,
+        ))
     }
 }
 

@@ -6,13 +6,12 @@
 //! schemes degrade toward the UDR baseline as `p → m` while UDR itself stays
 //! flat (total variance is held constant, Equation 12).
 
-use crate::config::{ExperimentSeries, SchemeKind, SeriesPoint};
+use crate::config::{figure_1_to_3_set, ExperimentSeries, SchemeKind};
 use crate::error::{ExperimentError, Result};
-use crate::runner::parallel_map;
-use crate::workload::{average_trials, evaluate_schemes};
-use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
-use randrecon_noise::additive::AdditiveRandomizer;
-use randrecon_stats::rng::{child_seed, seeded_rng};
+use crate::scenario::{
+    series_from_results, DataSpec, GridAxis, GridAxisValue, NoiseSpec, Override, ScenarioGrid,
+    ScenarioSpec, SpectrumSpec,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of Experiment 2.
@@ -50,7 +49,7 @@ impl Default for Experiment2 {
             noise_sigma: 5.0,
             trials: 3,
             seed: 0x5EED_0002,
-            schemes: SchemeKind::figure_1_to_3_set(),
+            schemes: figure_1_to_3_set(),
         }
     }
 }
@@ -98,47 +97,65 @@ impl Experiment2 {
         Ok(())
     }
 
+    /// The experiment as a declarative scenario grid (seeding matches the
+    /// historical driver: `trial_seed = child_seed(seed, p·1000 + trial)`).
+    pub fn grid(&self) -> ScenarioGrid {
+        // The template's workload is a placeholder — every p-axis value
+        // overrides the data source below.
+        let mut base = ScenarioSpec::synthetic_quick("figure2", self.records, 1, 1);
+        base.noise = NoiseSpec::Gaussian {
+            sigma: self.noise_sigma,
+        };
+        base.trials = self.trials;
+        base.seed = self.seed;
+        let p_axis = GridAxis {
+            name: "p".to_string(),
+            values: self
+                .principal_component_counts
+                .iter()
+                .enumerate()
+                // The sweep index prefixes the label so repeated counts stay
+                // distinct sweep points (the historical driver accepted them).
+                .map(|(idx, &p)| GridAxisValue {
+                    label: format!("{idx}:{p}"),
+                    x: Some(p as f64),
+                    overrides: vec![
+                        // Non-principal eigenvalues stay at `small_eigenvalue`;
+                        // the p principal ones share the rest of the constant
+                        // variance budget (flat spectrum when p = m).
+                        Override::Data(DataSpec::SyntheticMvn {
+                            spectrum: SpectrumSpec::PrincipalFillingTotal {
+                                p,
+                                m: self.attributes,
+                                small: self.small_eigenvalue,
+                                total_variance: self.mean_attribute_variance
+                                    * self.attributes as f64,
+                            },
+                            records: self.records,
+                        }),
+                        Override::SeedOffset((p as u64) * 1_000),
+                    ],
+                })
+                .collect(),
+        };
+        ScenarioGrid {
+            base,
+            axes: vec![p_axis, GridAxis::schemes(&self.schemes)],
+        }
+    }
+
     /// Runs the sweep and returns the Figure 2 series.
     pub fn run(&self) -> Result<ExperimentSeries> {
         self.validate()?;
-        let points = parallel_map(self.principal_component_counts.clone(), |&p| {
-            let mut trial_results = Vec::with_capacity(self.trials);
-            for t in 0..self.trials {
-                let seed = child_seed(self.seed, (p as u64) * 1_000 + t as u64);
-                // Non-principal eigenvalues stay at `small_eigenvalue`; the p
-                // principal ones share the rest of the constant variance
-                // budget (flat spectrum when p = m).
-                let spectrum = EigenSpectrum::principal_filling_total(
-                    p,
-                    self.attributes,
-                    self.small_eigenvalue,
-                    self.mean_attribute_variance * self.attributes as f64,
-                )?;
-                let ds = SyntheticDataset::generate(&spectrum, self.records, seed)?;
-                let randomizer = AdditiveRandomizer::gaussian(self.noise_sigma)?;
-                let disguised =
-                    randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))?;
-                trial_results.push(evaluate_schemes(
-                    &ds.table,
-                    &disguised,
-                    randomizer.model(),
-                    &self.schemes,
-                )?);
-            }
-            Ok(SeriesPoint {
-                x: p as f64,
-                rmse: average_trials(&trial_results),
-            })
-        })?;
-
-        Ok(ExperimentSeries {
-            name: format!(
+        let results = self.grid().run()?;
+        Ok(series_from_results(
+            &format!(
                 "Figure 2: increasing the number of principal components (m = {} fixed)",
                 self.attributes
             ),
-            x_label: "number of principal components".to_string(),
-            points,
-        })
+            "number of principal components",
+            &results,
+        ))
     }
 }
 

@@ -8,13 +8,12 @@
 //! eventually become *worse* than the UDR baseline, while BE-DR — which never
 //! discards components — degrades gracefully and converges to UDR.
 
-use crate::config::{ExperimentSeries, SchemeKind, SeriesPoint};
+use crate::config::{figure_1_to_3_set, ExperimentSeries, SchemeKind};
 use crate::error::{ExperimentError, Result};
-use crate::runner::parallel_map;
-use crate::workload::{average_trials, evaluate_schemes};
-use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
-use randrecon_noise::additive::AdditiveRandomizer;
-use randrecon_stats::rng::{child_seed, seeded_rng};
+use crate::scenario::{
+    series_from_results, DataSpec, GridAxis, GridAxisValue, NoiseSpec, Override, ScenarioGrid,
+    ScenarioSpec, SpectrumSpec,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of Experiment 3.
@@ -53,7 +52,7 @@ impl Default for Experiment3 {
             noise_sigma: 5.0,
             trials: 3,
             seed: 0x5EED_0003,
-            schemes: SchemeKind::figure_1_to_3_set(),
+            schemes: figure_1_to_3_set(),
         }
     }
 }
@@ -107,48 +106,60 @@ impl Experiment3 {
         Ok(())
     }
 
+    /// The experiment as a declarative scenario grid (seeding matches the
+    /// historical driver: `trial_seed = child_seed(seed, idx·1000 + trial)`
+    /// where `idx` is the sweep position).
+    pub fn grid(&self) -> ScenarioGrid {
+        // The template's workload is a placeholder — every axis value
+        // overrides the data source below.
+        let mut base = ScenarioSpec::synthetic_quick("figure3", self.records, 1, 1);
+        base.noise = NoiseSpec::Gaussian {
+            sigma: self.noise_sigma,
+        };
+        base.trials = self.trials;
+        base.seed = self.seed;
+        let eigenvalue_axis = GridAxis {
+            name: "small".to_string(),
+            values: self
+                .non_principal_eigenvalues
+                .iter()
+                .enumerate()
+                // The sweep index prefixes the label (and drives the seed),
+                // so repeated eigenvalues stay distinct sweep points — the
+                // historical driver behaviour.
+                .map(|(idx, &small)| GridAxisValue {
+                    label: format!("{idx}:{small}"),
+                    x: Some(small),
+                    overrides: vec![
+                        Override::Data(DataSpec::SyntheticMvn {
+                            spectrum: SpectrumSpec::PrincipalPlusSmall {
+                                p: self.principal_components,
+                                principal: self.principal_eigenvalue,
+                                m: self.attributes,
+                                small,
+                            },
+                            records: self.records,
+                        }),
+                        Override::SeedOffset((idx as u64) * 1_000),
+                    ],
+                })
+                .collect(),
+        };
+        ScenarioGrid {
+            base,
+            axes: vec![eigenvalue_axis, GridAxis::schemes(&self.schemes)],
+        }
+    }
+
     /// Runs the sweep and returns the Figure 3 series.
     pub fn run(&self) -> Result<ExperimentSeries> {
         self.validate()?;
-        let sweep: Vec<(usize, f64)> = self
-            .non_principal_eigenvalues
-            .iter()
-            .copied()
-            .enumerate()
-            .collect();
-        let points = parallel_map(sweep, |&(idx, small)| {
-            let mut trial_results = Vec::with_capacity(self.trials);
-            for t in 0..self.trials {
-                let seed = child_seed(self.seed, (idx as u64) * 1_000 + t as u64);
-                let spectrum = EigenSpectrum::principal_plus_small(
-                    self.principal_components,
-                    self.principal_eigenvalue,
-                    self.attributes,
-                    small,
-                )?;
-                let ds = SyntheticDataset::generate(&spectrum, self.records, seed)?;
-                let randomizer = AdditiveRandomizer::gaussian(self.noise_sigma)?;
-                let disguised =
-                    randomizer.disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))?;
-                trial_results.push(evaluate_schemes(
-                    &ds.table,
-                    &disguised,
-                    randomizer.model(),
-                    &self.schemes,
-                )?);
-            }
-            Ok(SeriesPoint {
-                x: small,
-                rmse: average_trials(&trial_results),
-            })
-        })?;
-
-        Ok(ExperimentSeries {
-            name: "Figure 3: increasing the eigenvalues of the non-principal components"
-                .to_string(),
-            x_label: "non-principal eigenvalue".to_string(),
-            points,
-        })
+        let results = self.grid().run()?;
+        Ok(series_from_results(
+            "Figure 3: increasing the eigenvalues of the non-principal components",
+            "non-principal eigenvalue",
+            &results,
+        ))
     }
 }
 

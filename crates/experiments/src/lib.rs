@@ -2,23 +2,45 @@
 //!
 //! The experiment harness that regenerates every figure in the evaluation
 //! section of *"Deriving Private Information from Randomized Data"*
-//! (SIGMOD 2005), plus ablations over the design choices the paper leaves
-//! implicit.
+//! (SIGMOD 2005), plus ablations and streaming sweeps over the design
+//! choices the paper leaves implicit.
 //!
-//! | Module | Paper figure | Sweep |
+//! ## The scenario engine
+//!
+//! Since PR 5 the harness is built around one **declarative scenario
+//! engine** ([`scenario`]): a [`scenario::ScenarioSpec`] describes one cell
+//! of the evaluation space — {data source × noise model × attack × engine ×
+//! metrics × seed × scale} — and a [`scenario::ScenarioGrid`] expands a base
+//! spec crossed with sweep axes into many cells. [`scenario::run_scenarios`]
+//! executes any spec list over the shared `randrecon-parallel` pool with
+//! deterministic spec-derived seeding (bit-identical results for any thread
+//! count), groups scenarios that share a workload so data generation and
+//! streaming pass-1 moments are computed once per group, and funnels the
+//! results into one report layer ([`report`]: console tables, CSV, JSON).
+//!
+//! Every historical hand-written driver is now a thin *named grid* over
+//! that engine — adding a scenario means writing a spec entry, not a new
+//! driver file:
+//!
+//! | Module | Paper figure | Grid |
 //! |---|---|---|
-//! | [`exp1`] | Figure 1 | number of attributes `m` (fixed `p = 5` principal components) |
-//! | [`exp2`] | Figure 2 | number of principal components `p` (fixed `m = 100`) |
-//! | [`exp3`] | Figure 3 | eigenvalues of the non-principal components |
-//! | [`exp4`] | Figure 4 | correlation dissimilarity between noise and data |
+//! | [`exp1`] | Figure 1 | attributes `m` × schemes (fixed `p = 5`) |
+//! | [`exp2`] | Figure 2 | principal components `p` × schemes (fixed `m = 100`) |
+//! | [`exp3`] | Figure 3 | non-principal eigenvalue × schemes |
+//! | [`exp4`] | Figure 4 | noise similarity (correlated defense) × schemes |
 //! | [`ablation`] | — | PC-selection rule, noise level, sample size, noise shape |
-//! | [`streaming`] | — | bounded-memory streaming attacks at 50 k–500 k records |
+//! | [`streaming`] | — | five schemes × streaming engine at 50 k–500 k records |
 //!
-//! Each experiment produces an [`config::ExperimentSeries`] that can be
-//! rendered as a console table (the same rows the paper plots) or written to
-//! CSV. The `figure1` … `figure4`, `ablation` and `all_figures` binaries are
-//! thin wrappers around these modules; the Criterion benches in
-//! `randrecon-bench` reuse the same configurations.
+//! Attack dispatch lives one layer down in `randrecon-core`
+//! ([`randrecon_core::engine`]): any scheme runs on either the in-memory or
+//! the bounded-memory streaming engine from one call site, which is what
+//! lets a single grid sweep `{scheme × noise × engine}` (the `scenarios`
+//! binary's default sweep covers 5 × 3 × 2 = 30 cells in one runner
+//! invocation).
+//!
+//! The `figure1` … `figure4`, `ablation`, `streaming`, `all_figures` and
+//! `scenarios` binaries are thin wrappers around these modules; the
+//! Criterion benches in `randrecon-bench` reuse the same configurations.
 //!
 //! ## Example
 //!
@@ -26,6 +48,8 @@
 //! use randrecon_experiments::exp1::Experiment1;
 //!
 //! // A scaled-down version of Figure 1 (full size lives in the binaries).
+//! // `Experiment1` is a named grid: `.grid()` exposes the underlying
+//! // `ScenarioGrid`, `.run()` executes it and regroups the results.
 //! let series = Experiment1::quick().run().unwrap();
 //! assert!(!series.points.is_empty());
 //! println!("{}", series.to_table());
@@ -43,8 +67,10 @@ pub mod exp3;
 pub mod exp4;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod streaming;
 pub mod workload;
 
 pub use config::{ExperimentSeries, SchemeKind, SeriesPoint};
 pub use error::{ExperimentError, Result};
+pub use scenario::{run_scenarios, GridAxis, ScenarioGrid, ScenarioResult, ScenarioSpec};

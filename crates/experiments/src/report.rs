@@ -1,7 +1,11 @@
-//! Rendering and persisting experiment results.
+//! Rendering and persisting experiment results: figure series (console
+//! table / CSV) and scenario-runner results (console table / CSV / JSON —
+//! the runner's one report sink).
 
 use crate::config::ExperimentSeries;
 use crate::error::Result;
+use crate::scenario::{MetricKind, ScenarioResult};
+use std::fmt::Write as _;
 use std::io::Write;
 use std::path::Path;
 
@@ -53,6 +57,154 @@ pub fn write_report_csvs<P: AsRef<Path>>(
         paths.push(path);
     }
     Ok(paths)
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-runner results
+// ---------------------------------------------------------------------------
+
+/// The metric columns every scenario report carries (blank when a scenario
+/// did not request that metric).
+const METRIC_COLUMNS: [MetricKind; 3] = [
+    MetricKind::Rmse,
+    MetricKind::Mse,
+    MetricKind::NormalizedRmse,
+];
+
+/// Renders scenario results as a fixed-width console table, one row per
+/// scenario in runner order.
+pub fn results_table(results: &[ScenarioResult]) -> String {
+    let label_width = results
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<label_width$} {:>10} {:>10} {:>12} {:>12} {:>8}",
+        "scenario", "engine", "records", "rmse", "seconds", "kept"
+    );
+    for r in results {
+        let rmse = r
+            .rmse()
+            .map(|v| format!("{v:.4}"))
+            .unwrap_or_else(|| "-".to_string());
+        let kept = r
+            .components_kept
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:<label_width$} {:>10} {:>10} {:>12} {:>12.4} {:>8}",
+            r.label, r.engine, r.n_records, rmse, r.seconds, kept
+        );
+    }
+    out
+}
+
+/// Renders scenario results as CSV: one row per scenario with fixed columns
+/// plus one column per metric kind.
+pub fn results_to_csv(results: &[ScenarioResult]) -> String {
+    let mut out = String::from("label,x,scheme,attack,engine,records,trials,components_kept");
+    for metric in METRIC_COLUMNS {
+        out.push(',');
+        out.push_str(metric.label());
+    }
+    out.push('\n');
+    for r in results {
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            r.label.replace(',', ";"),
+            r.x,
+            r.scheme.map(|s| s.label()).unwrap_or(""),
+            r.attack.replace(',', ";"),
+            r.engine,
+            r.n_records,
+            r.trials,
+            r.components_kept.map(|p| p.to_string()).unwrap_or_default(),
+        );
+        for metric in METRIC_COLUMNS {
+            out.push(',');
+            if let Some(v) = r.metric(metric) {
+                let _ = write!(out, "{v}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Escapes a string for a JSON string literal (the workspace serde is an
+/// offline stub, so JSON is emitted by hand).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders scenario results as a JSON array of objects (hand-rolled — the
+/// offline serde stub performs no serialization).
+pub fn results_to_json(results: &[ScenarioResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"label\": \"{}\", \"x\": {}, \"scheme\": {}, \"attack\": \"{}\", \
+             \"engine\": \"{}\", \"records\": {}, \"trials\": {}, \"components_kept\": {}, \
+             \"seconds\": {}",
+            json_escape(&r.label),
+            r.x,
+            r.scheme
+                .map(|s| format!("\"{}\"", s.label()))
+                .unwrap_or_else(|| "null".to_string()),
+            json_escape(&r.attack),
+            r.engine,
+            r.n_records,
+            r.trials,
+            r.components_kept
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            r.seconds,
+        );
+        for &(metric, value) in &r.metrics {
+            let _ = write!(out, ", \"{}\": {}", metric.label(), value);
+        }
+        out.push('}');
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Writes scenario results as CSV to `path`.
+pub fn write_results_csv<P: AsRef<Path>>(results: &[ScenarioResult], path: P) -> Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(results_to_csv(results).as_bytes())?;
+    Ok(())
+}
+
+/// Writes scenario results as JSON to `path`.
+pub fn write_results_json<P: AsRef<Path>>(results: &[ScenarioResult], path: P) -> Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(results_to_json(results).as_bytes())?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,1190 @@
+//! The declarative scenario engine: one spec-driven runner for the whole
+//! evaluation matrix.
+//!
+//! A [`ScenarioSpec`] is a self-contained description of one cell of the
+//! paper's evaluation space — {data source × noise model × attack × engine ×
+//! metrics × seed × scale} — and a [`ScenarioGrid`] is a base spec plus a
+//! list of axes whose cartesian product expands into many specs (a figure
+//! sweep, a scheme comparison, an engine shoot-out, or all of them at once).
+//! [`run_scenarios`] executes any list of specs on the shared
+//! `randrecon-parallel` pool and returns one [`ScenarioResult`] per spec, in
+//! input order, bit-identically for any thread count.
+//!
+//! Every hand-written experiment driver this repository used to carry
+//! (`exp1`–`exp4`, the ablations, the five-scheme streaming sweep) is now a
+//! thin *named grid* over this engine; adding a new scenario means writing a
+//! spec, not a driver.
+//!
+//! ## Determinism and seeding
+//!
+//! Each scenario derives its per-trial workload seed as
+//! `child_seed(seed, seed_offset + trial)` and its disguise seed as
+//! `child_seed(trial_seed, 1)`; both can be pinned explicitly
+//! ([`ScenarioSpec::dataset_seed`] / [`ScenarioSpec::noise_seed`]) for grids
+//! that share one workload across axis values (the ablations do this). All
+//! randomness is spec-derived, so results are a pure function of the spec
+//! list — the runner's parallel dispatch preserves input order and cannot
+//! perturb a single bit.
+//!
+//! ## Workload sharing
+//!
+//! Scenarios that differ **only in their attack** (same data, noise, engine,
+//! seeds, trials) form a *workload group*: the runner generates the workload
+//! once per group and trial, accumulates streaming pass-1 moments once, and
+//! runs every member attack against the shared state — the expensive economy
+//! the old hand-written drivers had when they evaluated four schemes against
+//! one disguised table. Sharing does **not** extend across the noise axis:
+//! scenarios with the same pinned dataset but different noise models each
+//! regenerate the (deterministic, identical) dataset — correct but
+//! redundant work, cheap at current sizes and listed as a ROADMAP item.
+//!
+//! ## Example
+//!
+//! ```
+//! use randrecon_experiments::scenario::*;
+//! use randrecon_experiments::SchemeKind;
+//!
+//! // 2 schemes × 2 engines over one synthetic workload = 4 scenarios.
+//! let grid = ScenarioGrid {
+//!     base: ScenarioSpec::synthetic_quick("demo", 400, 8, 3),
+//!     axes: vec![
+//!         GridAxis::schemes(&[SchemeKind::Udr, SchemeKind::BeDr]),
+//!         GridAxis::engines(&[EngineSpec::InMemory, EngineSpec::Streaming { chunk_rows: 128 }]),
+//!     ],
+//! };
+//! let results = grid.run().unwrap();
+//! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|r| r.rmse().unwrap() > 0.0));
+//! ```
+
+use crate::config::SchemeKind;
+use crate::error::{ExperimentError, Result};
+use crate::runner::parallel_map;
+use randrecon_core::engine::Attack;
+use randrecon_core::partial::{KnownAttributes, PartialKnowledgeBeDr};
+use randrecon_core::streaming::{MseSink, StreamingDriver};
+use randrecon_core::temporal::TemporalSmoother;
+use randrecon_core::ComponentSelection;
+use randrecon_data::chunks::{RecordChunkSource, SyntheticChunkSource};
+use randrecon_data::csv::{read_csv_file, CsvChunkReader};
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_data::timeseries::Ar1Spec;
+use randrecon_data::DataTable;
+use randrecon_linalg::Matrix;
+use randrecon_metrics::dissimilarity::correlation_dissimilarity_from_covariances;
+use randrecon_metrics::{accuracy::normalized_rmse, mse, rmse};
+use randrecon_noise::additive::{AdditiveRandomizer, DisguisedChunkSource};
+use randrecon_noise::correlated::{interpolated_spectrum, noise_covariance, SimilarityLevel};
+use randrecon_stats::rng::{child_seed, seeded_rng};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Spec types
+// ---------------------------------------------------------------------------
+
+/// A synthetic covariance spectrum, declaratively.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpectrumSpec {
+    /// `p` eigenvalues at `principal`, the remaining `m − p` at `small`
+    /// (the paper's canonical workload).
+    PrincipalPlusSmall {
+        /// Number of principal components.
+        p: usize,
+        /// The principal eigenvalue.
+        principal: f64,
+        /// Number of attributes.
+        m: usize,
+        /// The non-principal eigenvalue.
+        small: f64,
+    },
+    /// `m − p` eigenvalues fixed at `small`; the `p` principal ones absorb
+    /// the rest of `total_variance` (Experiments 1–2, Equation 12).
+    PrincipalFillingTotal {
+        /// Number of principal components.
+        p: usize,
+        /// Number of attributes.
+        m: usize,
+        /// The non-principal eigenvalue.
+        small: f64,
+        /// Total variance budget (trace of the covariance).
+        total_variance: f64,
+    },
+    /// Explicit eigenvalues.
+    Explicit(Vec<f64>),
+}
+
+impl SpectrumSpec {
+    fn build(&self) -> Result<EigenSpectrum> {
+        Ok(match self {
+            SpectrumSpec::PrincipalPlusSmall {
+                p,
+                principal,
+                m,
+                small,
+            } => EigenSpectrum::principal_plus_small(*p, *principal, *m, *small)?,
+            SpectrumSpec::PrincipalFillingTotal {
+                p,
+                m,
+                small,
+                total_variance,
+            } => EigenSpectrum::principal_filling_total(*p, *m, *small, *total_variance)?,
+            SpectrumSpec::Explicit(values) => EigenSpectrum::new(values.clone())?,
+        })
+    }
+}
+
+/// Where a scenario's original records come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataSpec {
+    /// Zero-mean multivariate-normal records from a synthetic spectrum
+    /// (Section 7.1) — runs on both engines, and the only source that
+    /// supports the correlated-similarity noise model (which needs the
+    /// data's eigenstructure).
+    SyntheticMvn {
+        /// The eigenvalue spectrum of the generating covariance.
+        spectrum: SpectrumSpec,
+        /// Records to generate.
+        records: usize,
+    },
+    /// Records read from a CSV file (header row of attribute names, one
+    /// record per line) — runs on both engines.
+    Csv {
+        /// Path to the file.
+        path: PathBuf,
+    },
+    /// Independent AR(1) time-series columns (the sample-dependency workload
+    /// of Section 3) — in-memory engine only.
+    Ar1Timeseries {
+        /// Autoregressive coefficient (|phi| < 1).
+        phi: f64,
+        /// Innovation standard deviation.
+        innovation_std: f64,
+        /// Long-run mean.
+        mean: f64,
+        /// Samples per series (records).
+        records: usize,
+        /// Number of series (attributes).
+        series: usize,
+    },
+}
+
+/// The disguising noise model of a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NoiseSpec {
+    /// Independent zero-mean Gaussian noise.
+    Gaussian {
+        /// Standard deviation.
+        sigma: f64,
+    },
+    /// Independent zero-mean uniform noise of the same variance family.
+    Uniform {
+        /// Standard deviation.
+        sigma: f64,
+    },
+    /// The Section 8 correlated-noise defense: noise eigenvectors equal the
+    /// data's, noise spectrum interpolated between similar (`+1`), flat
+    /// (`0`) and anti-similar (`−1`) with a fixed per-attribute variance
+    /// budget. Requires a [`DataSpec::SyntheticMvn`] source; the measured
+    /// correlation dissimilarity (Definition 8.1) becomes the result's `x`.
+    CorrelatedSimilar {
+        /// Similarity level in `[-1, 1]` (Experiment 4's sweep axis).
+        similarity: f64,
+        /// Average per-attribute noise variance (total budget is this times
+        /// the attribute count, matching an i.i.d. scheme of variance
+        /// `noise_variance`).
+        noise_variance: f64,
+    },
+}
+
+impl NoiseSpec {
+    /// Builds the randomizer, plus the measured correlation dissimilarity
+    /// for the correlated model. `structure` is the synthetic workload's
+    /// ground truth `(eigenvalues, eigenvectors, covariance)`.
+    fn build(
+        &self,
+        structure: Option<(&[f64], &Matrix, &Matrix)>,
+    ) -> Result<(AdditiveRandomizer, Option<f64>)> {
+        match self {
+            NoiseSpec::Gaussian { sigma } => Ok((AdditiveRandomizer::gaussian(*sigma)?, None)),
+            NoiseSpec::Uniform { sigma } => Ok((AdditiveRandomizer::uniform(*sigma)?, None)),
+            NoiseSpec::CorrelatedSimilar {
+                similarity,
+                noise_variance,
+            } => {
+                let (eigenvalues, eigenvectors, covariance) =
+                    structure.ok_or_else(|| ExperimentError::InvalidConfig {
+                        reason: "correlated-similarity noise needs a synthetic MVN data source \
+                                 (the model reuses the data's eigenstructure)"
+                            .to_string(),
+                    })?;
+                let level = SimilarityLevel::new(*similarity)?;
+                let total = noise_variance * eigenvalues.len() as f64;
+                let spectrum = interpolated_spectrum(eigenvalues, level, total)?;
+                let sigma_r = noise_covariance(eigenvectors, &spectrum)?;
+                let dissimilarity =
+                    correlation_dissimilarity_from_covariances(covariance, &sigma_r)?;
+                Ok((
+                    AdditiveRandomizer::correlated(sigma_r)?,
+                    Some(dissimilarity),
+                ))
+            }
+        }
+    }
+}
+
+/// The reconstruction attack of a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttackSpec {
+    /// One of the five paper schemes with its default configuration.
+    Scheme(SchemeKind),
+    /// PCA-DR with an explicit component-selection rule.
+    PcaDr {
+        /// The selection rule.
+        selection: ComponentSelection,
+    },
+    /// Spectral filtering with an explicit Marčenko–Pastur bound multiplier.
+    SpectralFiltering {
+        /// Multiplier on the textbook bound.
+        bound_multiplier: f64,
+    },
+    /// BE-DR with an explicit eigenvalue floor.
+    BeDr {
+        /// Floor for the regularized covariance estimate (`None` = default).
+        eigenvalue_floor: Option<f64>,
+    },
+    /// Partial-value disclosure: BE-DR conditioned on the true values of the
+    /// given attributes (taken from the original records — the adversary's
+    /// side knowledge). In-memory engine only.
+    PartialKnowledgeBeDr {
+        /// Indices of the attributes the adversary already knows.
+        known_attributes: Vec<usize>,
+    },
+    /// The temporal (sample-dependency) windowed Bayes smoother. In-memory
+    /// engine only; pair it with [`DataSpec::Ar1Timeseries`].
+    Temporal {
+        /// Window length (odd, ≥ 3).
+        window: usize,
+    },
+}
+
+impl AttackSpec {
+    /// The scheme this attack is an instance of, when it is one of the five
+    /// paper schemes (`None` for the partial-knowledge and temporal
+    /// variants, which fall outside the figure legends).
+    pub fn scheme(&self) -> Option<SchemeKind> {
+        match self {
+            AttackSpec::Scheme(s) => Some(*s),
+            AttackSpec::PcaDr { .. } => Some(SchemeKind::PcaDr),
+            AttackSpec::SpectralFiltering { .. } => Some(SchemeKind::SpectralFiltering),
+            AttackSpec::BeDr { .. } => Some(SchemeKind::BeDr),
+            AttackSpec::PartialKnowledgeBeDr { .. } | AttackSpec::Temporal { .. } => None,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            AttackSpec::Scheme(s) => s.label().to_string(),
+            AttackSpec::PcaDr { selection } => format!("PCA-DR[{selection:?}]"),
+            AttackSpec::SpectralFiltering { bound_multiplier } => {
+                format!("SF[bound x{bound_multiplier}]")
+            }
+            AttackSpec::BeDr { eigenvalue_floor } => match eigenvalue_floor {
+                Some(f) => format!("BE-DR[floor {f}]"),
+                None => "BE-DR".to_string(),
+            },
+            AttackSpec::PartialKnowledgeBeDr { known_attributes } => {
+                format!("BE-DR[known {known_attributes:?}]")
+            }
+            AttackSpec::Temporal { window } => format!("Temporal-BE[w={window}]"),
+        }
+    }
+
+    /// True for the five base schemes (runnable on both engines).
+    fn supports_streaming(&self) -> bool {
+        !matches!(
+            self,
+            AttackSpec::PartialKnowledgeBeDr { .. } | AttackSpec::Temporal { .. }
+        )
+    }
+
+    /// The core [`Attack`] for the five base schemes.
+    fn core_attack(&self) -> Result<Attack> {
+        Ok(match self {
+            AttackSpec::Scheme(s) => Attack::standard(*s),
+            AttackSpec::PcaDr { selection } => Attack::PcaDr(randrecon_core::pca_dr::PcaDr {
+                selection: *selection,
+            }),
+            AttackSpec::SpectralFiltering { bound_multiplier } => Attack::SpectralFiltering(
+                randrecon_core::spectral::SpectralFiltering::with_bound_multiplier(
+                    *bound_multiplier,
+                )?,
+            ),
+            AttackSpec::BeDr { eigenvalue_floor } => Attack::BeDr(randrecon_core::be_dr::BeDr {
+                eigenvalue_floor: *eigenvalue_floor,
+            }),
+            AttackSpec::PartialKnowledgeBeDr { .. } | AttackSpec::Temporal { .. } => {
+                return Err(ExperimentError::InvalidConfig {
+                    reason: format!(
+                        "{} is not one of the five engine-dispatchable schemes",
+                        self.label()
+                    ),
+                })
+            }
+        })
+    }
+}
+
+/// Which execution engine a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineSpec {
+    /// Materialized tables through the in-memory reconstructors.
+    InMemory,
+    /// The bounded-memory two-pass streaming driver.
+    Streaming {
+        /// Rows per chunk (the memory knob).
+        chunk_rows: usize,
+    },
+}
+
+impl EngineSpec {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineSpec::InMemory => "in-memory",
+            EngineSpec::Streaming { .. } => "streaming",
+        }
+    }
+}
+
+/// A metric the runner reports for each scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Root-mean-square error per value against the original records.
+    Rmse,
+    /// Mean-square error per value.
+    Mse,
+    /// RMSE normalized by the original data's standard deviation
+    /// (in-memory engine only).
+    NormalizedRmse,
+}
+
+impl MetricKind {
+    /// Column/display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MetricKind::Rmse => "rmse",
+            MetricKind::Mse => "mse",
+            MetricKind::NormalizedRmse => "normalized_rmse",
+        }
+    }
+}
+
+/// One fully-specified evaluation scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Human-readable label ("figure1/m=20/scheme=BE-DR").
+    pub label: String,
+    /// x-axis coordinate for series regrouping (overridden by the measured
+    /// correlation dissimilarity for correlated noise).
+    pub x: f64,
+    /// Data source.
+    pub data: DataSpec,
+    /// Noise model.
+    pub noise: NoiseSpec,
+    /// Attack.
+    pub attack: AttackSpec,
+    /// Execution engine.
+    pub engine: EngineSpec,
+    /// Metrics to report (non-empty).
+    pub metrics: Vec<MetricKind>,
+    /// Independent repetitions averaged into the reported metrics.
+    pub trials: usize,
+    /// Base random seed.
+    pub seed: u64,
+    /// Offset folded into the per-trial child seed:
+    /// `trial_seed = child_seed(seed, seed_offset + trial)`.
+    pub seed_offset: u64,
+    /// Pins the workload seed for every trial (used by grids that share one
+    /// data set across axis values). `None` = derive per trial. Pinning
+    /// requires `trials = 1` — a pinned workload seed would make repeated
+    /// trials byte-identical, which validation rejects.
+    pub dataset_seed: Option<u64>,
+    /// Pins the disguise seed. `None` = `child_seed(trial_seed, 1)`. Like
+    /// [`dataset_seed`](ScenarioSpec::dataset_seed), pinning requires
+    /// `trials = 1`.
+    pub noise_seed: Option<u64>,
+}
+
+impl ScenarioSpec {
+    /// A small single-scenario template over a quick synthetic workload:
+    /// BE-DR, in-memory, Gaussian noise σ = 5, RMSE metric, one trial.
+    /// Grids override the axes they sweep.
+    pub fn synthetic_quick(label: &str, records: usize, attributes: usize, p: usize) -> Self {
+        ScenarioSpec {
+            label: label.to_string(),
+            x: 0.0,
+            data: DataSpec::SyntheticMvn {
+                spectrum: SpectrumSpec::PrincipalPlusSmall {
+                    p,
+                    principal: 400.0,
+                    m: attributes,
+                    small: 4.0,
+                },
+                records,
+            },
+            noise: NoiseSpec::Gaussian { sigma: 5.0 },
+            attack: AttackSpec::Scheme(SchemeKind::BeDr),
+            engine: EngineSpec::InMemory,
+            metrics: vec![MetricKind::Rmse],
+            trials: 1,
+            seed: 0x5EED_5CE0,
+            seed_offset: 0,
+            dataset_seed: None,
+            noise_seed: None,
+        }
+    }
+
+    /// Checks the spec for internal consistency (sizes, ranges, and
+    /// engine/attack/noise/data compatibility).
+    pub fn validate(&self) -> Result<()> {
+        let fail = |reason: String| {
+            Err(ExperimentError::InvalidConfig {
+                reason: format!("scenario '{}': {reason}", self.label),
+            })
+        };
+        if self.trials == 0 {
+            return fail("need at least one trial".to_string());
+        }
+        if self.trials > 1 && (self.dataset_seed.is_some() || self.noise_seed.is_some()) {
+            // With the workload seed pinned, the derived disguise seed is
+            // constant too, so every "trial" would replay the identical run
+            // at N× cost while claiming N independent repetitions; a pinned
+            // noise seed likewise freezes the noise realization the trials
+            // are supposed to average over.
+            return fail(
+                "pinned dataset_seed/noise_seed make repeated trials replay the same \
+                 randomness; use trials = 1 (sweep seed_offset on an axis for repetitions)"
+                    .to_string(),
+            );
+        }
+        if self.metrics.is_empty() {
+            return fail("need at least one metric".to_string());
+        }
+        match &self.data {
+            DataSpec::SyntheticMvn { spectrum, records } => {
+                if *records < 2 {
+                    return fail(format!("need at least 2 records, got {records}"));
+                }
+                spectrum.build()?;
+            }
+            DataSpec::Ar1Timeseries {
+                phi,
+                innovation_std,
+                mean,
+                records,
+                series,
+            } => {
+                if *records < 2 || *series == 0 {
+                    return fail("AR(1) workload needs >= 2 records and >= 1 series".to_string());
+                }
+                Ar1Spec::new(*phi, *innovation_std, *mean)?;
+            }
+            DataSpec::Csv { .. } => {}
+        }
+        match &self.noise {
+            NoiseSpec::Gaussian { sigma } | NoiseSpec::Uniform { sigma } => {
+                if !(*sigma > 0.0 && sigma.is_finite()) {
+                    return fail(format!("noise sigma must be positive, got {sigma}"));
+                }
+            }
+            NoiseSpec::CorrelatedSimilar {
+                similarity,
+                noise_variance,
+            } => {
+                SimilarityLevel::new(*similarity)?;
+                if !(*noise_variance > 0.0 && noise_variance.is_finite()) {
+                    return fail(format!(
+                        "noise variance must be positive, got {noise_variance}"
+                    ));
+                }
+                if !matches!(self.data, DataSpec::SyntheticMvn { .. }) {
+                    return fail(
+                        "correlated-similarity noise needs a synthetic MVN data source".to_string(),
+                    );
+                }
+            }
+        }
+        if let AttackSpec::PartialKnowledgeBeDr { known_attributes } = &self.attack {
+            if known_attributes.is_empty() {
+                return fail("partial knowledge needs at least one known attribute".to_string());
+            }
+        }
+        match self.engine {
+            EngineSpec::InMemory => {}
+            EngineSpec::Streaming { chunk_rows } => {
+                if chunk_rows == 0 {
+                    return fail("streaming chunk_rows must be at least 1".to_string());
+                }
+                if !self.attack.supports_streaming() {
+                    return fail(format!(
+                        "{} runs on the in-memory engine only",
+                        self.attack.label()
+                    ));
+                }
+                if matches!(self.data, DataSpec::Ar1Timeseries { .. }) {
+                    return fail("AR(1) time-series scenarios run in-memory only".to_string());
+                }
+                if self.metrics.contains(&MetricKind::NormalizedRmse) {
+                    return fail(
+                        "normalized RMSE needs the materialized original (in-memory engine only)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The workload-group fingerprint: everything that shapes the generated
+    /// data and disguise streams — i.e. every field except the attack, the
+    /// metrics and the presentation fields (`label`, `x`). Scenarios with
+    /// equal fingerprints share one workload per trial.
+    fn workload_fingerprint(&self) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{}|{}|{}|{:?}|{:?}",
+            self.data,
+            self.noise,
+            self.engine,
+            self.trials,
+            self.seed,
+            self.seed_offset,
+            self.dataset_seed,
+            self.noise_seed
+        )
+    }
+
+    /// Runs this single scenario directly (no pool dispatch, no grouping) —
+    /// the hand-rolled baseline the runner's scheduling overhead is
+    /// benchmarked against.
+    pub fn run(&self) -> Result<ScenarioResult> {
+        self.validate()?;
+        let mut results = execute_group(std::slice::from_ref(self))?;
+        Ok(results.pop().expect("one scenario in, one result out"))
+    }
+}
+
+/// The measured outcome of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The scenario's label.
+    pub label: String,
+    /// x coordinate: the spec's `x`, or the measured correlation
+    /// dissimilarity for correlated noise (averaged over trials).
+    pub x: f64,
+    /// The scheme, when the attack is one of the five paper schemes.
+    pub scheme: Option<SchemeKind>,
+    /// Attack display label.
+    pub attack: String,
+    /// Engine display label.
+    pub engine: &'static str,
+    /// Records per trial.
+    pub n_records: usize,
+    /// Trials averaged.
+    pub trials: usize,
+    /// `(metric, value)` pairs in the spec's metric order, averaged over
+    /// trials.
+    pub metrics: Vec<(MetricKind, f64)>,
+    /// Principal/signal components kept (projection schemes, last trial).
+    pub components_kept: Option<usize>,
+    /// Wall-clock seconds spent in this scenario's attack runs (summed over
+    /// trials; excludes workload generation shared with other scenarios).
+    pub seconds: f64,
+}
+
+impl ScenarioResult {
+    /// The value of a reported metric, if it was requested.
+    pub fn metric(&self, kind: MetricKind) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, v)| v)
+    }
+
+    /// RMSE, from either the RMSE or the MSE metric.
+    pub fn rmse(&self) -> Option<f64> {
+        self.metric(MetricKind::Rmse)
+            .or_else(|| self.metric(MetricKind::Mse).map(f64::sqrt))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grid expansion
+// ---------------------------------------------------------------------------
+
+/// A single override a grid axis value applies to the base spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Override {
+    /// Replace the data source.
+    Data(DataSpec),
+    /// Replace the noise model.
+    Noise(NoiseSpec),
+    /// Replace the attack.
+    Attack(AttackSpec),
+    /// Replace the engine.
+    Engine(EngineSpec),
+    /// Replace the metric set.
+    Metrics(Vec<MetricKind>),
+    /// Replace the trial count.
+    Trials(usize),
+    /// Replace the base seed.
+    Seed(u64),
+    /// Replace the per-trial seed offset.
+    SeedOffset(u64),
+    /// Pin (or unpin) the workload seed.
+    DatasetSeed(Option<u64>),
+    /// Pin (or unpin) the disguise seed.
+    NoiseSeed(Option<u64>),
+}
+
+impl Override {
+    fn apply(&self, spec: &mut ScenarioSpec) {
+        match self {
+            Override::Data(d) => spec.data = d.clone(),
+            Override::Noise(n) => spec.noise = n.clone(),
+            Override::Attack(a) => spec.attack = a.clone(),
+            Override::Engine(e) => spec.engine = *e,
+            Override::Metrics(m) => spec.metrics = m.clone(),
+            Override::Trials(t) => spec.trials = *t,
+            Override::Seed(s) => spec.seed = *s,
+            Override::SeedOffset(o) => spec.seed_offset = *o,
+            Override::DatasetSeed(s) => spec.dataset_seed = *s,
+            Override::NoiseSeed(s) => spec.noise_seed = *s,
+        }
+    }
+}
+
+/// One value of a grid axis: a label, an optional x coordinate, and the
+/// overrides it applies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridAxisValue {
+    /// Label appended to the scenario label (`axis=label`).
+    pub label: String,
+    /// If set, becomes the expanded scenario's x coordinate.
+    pub x: Option<f64>,
+    /// Overrides applied to the base spec (in order).
+    pub overrides: Vec<Override>,
+}
+
+/// One axis of a scenario grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridAxis {
+    /// Axis name (used in scenario labels).
+    pub name: String,
+    /// The axis values; the expansion iterates them in order.
+    pub values: Vec<GridAxisValue>,
+}
+
+impl GridAxis {
+    /// An axis sweeping the attack over paper-default schemes.
+    pub fn schemes(schemes: &[SchemeKind]) -> GridAxis {
+        GridAxis {
+            name: "scheme".to_string(),
+            values: schemes
+                .iter()
+                .map(|&s| GridAxisValue {
+                    label: s.label().to_string(),
+                    x: None,
+                    overrides: vec![Override::Attack(AttackSpec::Scheme(s))],
+                })
+                .collect(),
+        }
+    }
+
+    /// An axis sweeping the execution engine.
+    pub fn engines(engines: &[EngineSpec]) -> GridAxis {
+        GridAxis {
+            name: "engine".to_string(),
+            values: engines
+                .iter()
+                .map(|&e| GridAxisValue {
+                    label: match e {
+                        EngineSpec::InMemory => "in-memory".to_string(),
+                        EngineSpec::Streaming { chunk_rows } => {
+                            format!("streaming({chunk_rows})")
+                        }
+                    },
+                    x: None,
+                    overrides: vec![Override::Engine(e)],
+                })
+                .collect(),
+        }
+    }
+
+    /// An axis sweeping labelled noise models.
+    pub fn noises(noises: &[(&str, NoiseSpec)]) -> GridAxis {
+        GridAxis {
+            name: "noise".to_string(),
+            values: noises
+                .iter()
+                .map(|(label, n)| GridAxisValue {
+                    label: label.to_string(),
+                    x: None,
+                    overrides: vec![Override::Noise(n.clone())],
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A base scenario plus sweep axes; the cartesian product of the axis values
+/// expands into one [`ScenarioSpec`] per grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioGrid {
+    /// The spec every cell starts from.
+    pub base: ScenarioSpec,
+    /// Sweep axes. Expansion is row-major: the **last** axis varies fastest.
+    pub axes: Vec<GridAxis>,
+}
+
+impl ScenarioGrid {
+    /// Expands the grid into specs, in a deterministic order (row-major over
+    /// the axes, last axis fastest). With no axes, the expansion is the base
+    /// spec alone. Labels are `base/axis1=v1/axis2=v2/…`, so distinct axis
+    /// values expand to distinct, stably-ordered scenarios.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let mut out = vec![self.base.clone()];
+        for axis in &self.axes {
+            let mut next = Vec::with_capacity(out.len() * axis.values.len().max(1));
+            for spec in &out {
+                for value in &axis.values {
+                    let mut cell = spec.clone();
+                    for o in &value.overrides {
+                        o.apply(&mut cell);
+                    }
+                    if let Some(x) = value.x {
+                        cell.x = x;
+                    }
+                    let _ = write!(cell.label, "/{}={}", axis.name, value.label);
+                    next.push(cell);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// Expands and validates: every cell must pass
+    /// [`ScenarioSpec::validate`] and labels must be unique (duplicate axis
+    /// value labels would silently shadow each other in reports).
+    pub fn expand_validated(&self) -> Result<Vec<ScenarioSpec>> {
+        for axis in &self.axes {
+            if axis.values.is_empty() {
+                return Err(ExperimentError::InvalidConfig {
+                    reason: format!("grid axis '{}' has no values", axis.name),
+                });
+            }
+        }
+        let specs = self.expand();
+        let mut labels: Vec<&str> = specs.iter().map(|s| s.label.as_str()).collect();
+        labels.sort_unstable();
+        if let Some(w) = labels.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ExperimentError::InvalidConfig {
+                reason: format!("grid expands to duplicate scenario label '{}'", w[0]),
+            });
+        }
+        for spec in &specs {
+            spec.validate()?;
+        }
+        Ok(specs)
+    }
+
+    /// Expands the grid and runs every cell through [`run_scenarios`].
+    pub fn run(&self) -> Result<Vec<ScenarioResult>> {
+        run_scenarios(&self.expand_validated()?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------------
+
+/// Runs a list of scenarios on the shared workspace pool and returns their
+/// results **in input order**.
+///
+/// Scenarios with equal workload fingerprints (same data/noise/engine/seeds,
+/// different attacks) are grouped: the workload is generated once per group
+/// and trial, streaming pass-1 moments are accumulated once and shared, and
+/// the member attacks run against the shared state — the same economy the
+/// old hand-written drivers had. Groups are dispatched over
+/// `randrecon-parallel`; all seeding is spec-derived, so the output is
+/// bit-identical for any `RANDRECON_THREADS`.
+pub fn run_scenarios(specs: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>> {
+    for spec in specs {
+        spec.validate()?;
+    }
+    // Group scenario indices by workload fingerprint, in first-appearance
+    // order (deterministic, input-order based).
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let fp = spec.workload_fingerprint();
+        match groups.iter_mut().find(|(key, _)| *key == fp) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((fp, vec![i])),
+        }
+    }
+    let member_sets: Vec<Vec<usize>> = groups.into_iter().map(|(_, members)| members).collect();
+
+    let group_results = parallel_map(member_sets, |members| {
+        let group: Vec<ScenarioSpec> = members.iter().map(|&i| specs[i].clone()).collect();
+        let results = execute_group(&group)?;
+        Ok(members
+            .iter()
+            .copied()
+            .zip(results)
+            .collect::<Vec<(usize, ScenarioResult)>>())
+    })?;
+
+    // Scatter back into input order.
+    let mut out: Vec<Option<ScenarioResult>> = (0..specs.len()).map(|_| None).collect();
+    for batch in group_results {
+        for (i, result) in batch {
+            out[i] = Some(result);
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|r| r.expect("every scenario produced a result"))
+        .collect())
+}
+
+/// Per-member, per-trial measurement.
+struct TrialMeasurement {
+    metrics: Vec<f64>,
+    components_kept: Option<usize>,
+    seconds: f64,
+    n_records: usize,
+}
+
+/// Executes one workload group (scenarios sharing everything but the
+/// attack/metrics) and returns one result per member, in member order.
+fn execute_group(group: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>> {
+    let proto = &group[0];
+    let mut metric_sums: Vec<Vec<f64>> = group.iter().map(|s| vec![0.0; s.metrics.len()]).collect();
+    let mut components: Vec<Option<usize>> = vec![None; group.len()];
+    let mut seconds: Vec<f64> = vec![0.0; group.len()];
+    let mut n_records = 0usize;
+    let mut measured_x_sum: Option<f64> = None;
+
+    for trial in 0..proto.trials {
+        let trial_seed = proto
+            .dataset_seed
+            .unwrap_or_else(|| child_seed(proto.seed, proto.seed_offset + trial as u64));
+        let noise_seed = proto
+            .noise_seed
+            .unwrap_or_else(|| child_seed(trial_seed, 1));
+
+        let (measurements, measured_x) = match proto.engine {
+            EngineSpec::InMemory => run_in_memory_trial(group, trial_seed, noise_seed)?,
+            EngineSpec::Streaming { chunk_rows } => {
+                run_streaming_trial(group, chunk_rows, trial_seed, noise_seed)?
+            }
+        };
+        if let Some(x) = measured_x {
+            *measured_x_sum.get_or_insert(0.0) += x;
+        }
+        for (i, m) in measurements.into_iter().enumerate() {
+            for (sum, v) in metric_sums[i].iter_mut().zip(m.metrics.iter()) {
+                *sum += v;
+            }
+            components[i] = m.components_kept;
+            seconds[i] += m.seconds;
+            n_records = m.n_records;
+        }
+    }
+
+    let trials = proto.trials as f64;
+    Ok(group
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| ScenarioResult {
+            label: spec.label.clone(),
+            x: measured_x_sum.map(|s| s / trials).unwrap_or(spec.x),
+            scheme: spec.attack.scheme(),
+            attack: spec.attack.label(),
+            engine: spec.engine.label(),
+            n_records,
+            trials: spec.trials,
+            metrics: spec
+                .metrics
+                .iter()
+                .copied()
+                .zip(metric_sums[i].iter().map(|s| s / trials))
+                .collect(),
+            components_kept: components[i],
+            seconds: seconds[i],
+        })
+        .collect())
+}
+
+/// The materialized original data of an in-memory trial, with the synthetic
+/// ground-truth structure when available (the correlated noise model and the
+/// partial-knowledge attack need it).
+enum BuiltData {
+    Synthetic(SyntheticDataset),
+    Table(DataTable),
+}
+
+impl BuiltData {
+    fn table(&self) -> &DataTable {
+        match self {
+            BuiltData::Synthetic(ds) => &ds.table,
+            BuiltData::Table(t) => t,
+        }
+    }
+
+    fn structure(&self) -> Option<(&[f64], &Matrix, &Matrix)> {
+        match self {
+            BuiltData::Synthetic(ds) => {
+                Some((&ds.eigenvalues[..], &ds.eigenvectors, &ds.covariance))
+            }
+            BuiltData::Table(_) => None,
+        }
+    }
+}
+
+fn run_in_memory_trial(
+    group: &[ScenarioSpec],
+    trial_seed: u64,
+    noise_seed: u64,
+) -> Result<(Vec<TrialMeasurement>, Option<f64>)> {
+    let proto = &group[0];
+    let data = match &proto.data {
+        DataSpec::SyntheticMvn { spectrum, records } => BuiltData::Synthetic(
+            SyntheticDataset::generate(&spectrum.build()?, *records, trial_seed)?,
+        ),
+        DataSpec::Ar1Timeseries {
+            phi,
+            innovation_std,
+            mean,
+            records,
+            series,
+        } => BuiltData::Table(
+            Ar1Spec::new(*phi, *innovation_std, *mean)?
+                .generate_table(*records, *series, trial_seed)?,
+        ),
+        DataSpec::Csv { path } => BuiltData::Table(read_csv_file(path)?),
+    };
+    let (randomizer, measured_x) = proto.noise.build(data.structure())?;
+    let original = data.table();
+    let disguised = randomizer.disguise(original, &mut seeded_rng(noise_seed))?;
+    let noise = randomizer.model();
+
+    let mut out = Vec::with_capacity(group.len());
+    for spec in group {
+        let start = Instant::now();
+        let (reconstruction, components_kept) = match &spec.attack {
+            AttackSpec::PartialKnowledgeBeDr { known_attributes } => {
+                let known = KnownAttributes::new(known_attributes.clone())?;
+                let idx = known.indices();
+                // Bounds-check before gathering the side-channel columns, so
+                // a bad index surfaces as a located error instead of an
+                // out-of-range read inside Matrix::from_fn.
+                let m = original.n_attributes();
+                if let Some(&bad) = idx.iter().find(|&&j| j >= m) {
+                    return Err(ExperimentError::InvalidConfig {
+                        reason: format!(
+                            "scenario '{}': known attribute index {bad} out of bounds for \
+                             {m} attributes",
+                            spec.label
+                        ),
+                    });
+                }
+                let known_values = Matrix::from_fn(original.n_records(), idx.len(), |i, j| {
+                    original.values().get(i, idx[j])
+                });
+                (
+                    PartialKnowledgeBeDr::default().reconstruct(
+                        &disguised,
+                        noise,
+                        &known,
+                        &known_values,
+                    )?,
+                    None,
+                )
+            }
+            AttackSpec::Temporal { window } => (
+                randrecon_core::Reconstructor::reconstruct(
+                    &TemporalSmoother::new(*window)?,
+                    &disguised,
+                    noise,
+                )?,
+                None,
+            ),
+            base => base
+                .core_attack()?
+                .reconstruct_table_with_report(&disguised, noise)?,
+        };
+        let seconds = start.elapsed().as_secs_f64();
+        let metrics = spec
+            .metrics
+            .iter()
+            .map(|kind| {
+                Ok(match kind {
+                    MetricKind::Rmse => rmse(original, &reconstruction)?,
+                    MetricKind::Mse => mse(original, &reconstruction)?,
+                    MetricKind::NormalizedRmse => normalized_rmse(original, &reconstruction)?,
+                })
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        out.push(TrialMeasurement {
+            metrics,
+            components_kept,
+            seconds,
+            n_records: original.n_records(),
+        });
+    }
+    Ok((out, measured_x))
+}
+
+fn run_streaming_trial(
+    group: &[ScenarioSpec],
+    chunk_rows: usize,
+    trial_seed: u64,
+    noise_seed: u64,
+) -> Result<(Vec<TrialMeasurement>, Option<f64>)> {
+    let proto = &group[0];
+    match &proto.data {
+        DataSpec::SyntheticMvn { spectrum, records } => {
+            let original = SyntheticChunkSource::generate(
+                &spectrum.build()?,
+                *records,
+                chunk_rows,
+                trial_seed,
+            )?;
+            let (randomizer, measured_x) = proto.noise.build(Some((
+                original.eigenvalues(),
+                original.eigenvectors(),
+                original.covariance(),
+            )))?;
+            let mut disguised = DisguisedChunkSource::new(original.clone(), randomizer, noise_seed);
+            let noise = disguised.model().clone();
+            let measurements = sweep_streaming_group(group, &mut disguised, &noise, || {
+                Ok(Box::new(original.clone()))
+            })?;
+            Ok((measurements, measured_x))
+        }
+        DataSpec::Csv { path } => {
+            let (randomizer, measured_x) = proto.noise.build(None)?;
+            let reader = CsvChunkReader::open(path, chunk_rows)?;
+            let mut disguised = DisguisedChunkSource::new(reader, randomizer, noise_seed);
+            let noise = disguised.model().clone();
+            let path = path.clone();
+            let measurements = sweep_streaming_group(group, &mut disguised, &noise, move || {
+                Ok(Box::new(CsvChunkReader::open(&path, chunk_rows)?))
+            })?;
+            Ok((measurements, measured_x))
+        }
+        DataSpec::Ar1Timeseries { .. } => Err(ExperimentError::InvalidConfig {
+            reason: "AR(1) time-series scenarios run in-memory only".to_string(),
+        }),
+    }
+}
+
+/// Streaming pass 1 once, then every member attack over the shared moments,
+/// each scored by a metrics-only MSE sink against a fresh original stream.
+fn sweep_streaming_group<S, F>(
+    group: &[ScenarioSpec],
+    disguised: &mut S,
+    noise: &randrecon_noise::NoiseModel,
+    mut fresh_original: F,
+) -> Result<Vec<TrialMeasurement>>
+where
+    S: RecordChunkSource + Send + ?Sized,
+    F: FnMut() -> Result<Box<dyn RecordChunkSource>>,
+{
+    let moments = StreamingDriver::accumulate_moments(disguised)?;
+    let driver = StreamingDriver::default();
+    let mut out = Vec::with_capacity(group.len());
+    for spec in group {
+        let chunk_attack = spec.attack.core_attack()?.chunk_reconstructor()?;
+        let mut reference = fresh_original()?;
+        let start = Instant::now();
+        let mut sink = MseSink::new(reference.as_mut())?;
+        let report = driver.run_with_moments(
+            chunk_attack.as_ref(),
+            &moments,
+            disguised,
+            noise,
+            &mut sink,
+        )?;
+        let seconds = start.elapsed().as_secs_f64();
+        let mse_value = sink.mse();
+        let metrics = spec
+            .metrics
+            .iter()
+            .map(|kind| match kind {
+                MetricKind::Mse => mse_value,
+                MetricKind::Rmse => mse_value.sqrt(),
+                // Rejected by validation before execution.
+                MetricKind::NormalizedRmse => f64::NAN,
+            })
+            .collect();
+        out.push(TrialMeasurement {
+            metrics,
+            components_kept: report.components_kept,
+            seconds,
+            n_records: report.n_records,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Series regrouping
+// ---------------------------------------------------------------------------
+
+/// Regroups runner results into an [`crate::config::ExperimentSeries`]: one
+/// point per distinct `x` (first-appearance order), one `(scheme, RMSE)`
+/// entry per result at that x. Results whose attack is not one of the five
+/// paper schemes are skipped (they have no figure legend).
+pub fn series_from_results(
+    name: &str,
+    x_label: &str,
+    results: &[ScenarioResult],
+) -> crate::config::ExperimentSeries {
+    let mut points: Vec<crate::config::SeriesPoint> = Vec::new();
+    for result in results {
+        let Some(scheme) = result.scheme else {
+            continue;
+        };
+        let Some(value) = result.rmse() else {
+            continue;
+        };
+        // A result joins the most recent point with its x — unless that
+        // point already carries its scheme, which means a *repeated* sweep
+        // value has started a fresh point (sweeps may legitimately visit the
+        // same x twice; each visit stays its own point, as the hand-written
+        // drivers emitted them).
+        match points
+            .iter_mut()
+            .rev()
+            .find(|p| p.x == result.x)
+            .filter(|p| p.rmse_of(scheme).is_none())
+        {
+            Some(point) => point.rmse.push((scheme, value)),
+            None => points.push(crate::config::SeriesPoint {
+                x: result.x,
+                rmse: vec![(scheme, value)],
+            }),
+        }
+    }
+    crate::config::ExperimentSeries {
+        name: name.to_string(),
+        x_label: x_label.to_string(),
+        points,
+    }
+}

@@ -2,42 +2,42 @@
 //! generated, disguised, attacked and scored **without ever materializing an
 //! `n × m` matrix**.
 //!
-//! A [`StreamingScenario`] wires together the chunked synthetic generator
-//! (`randrecon_data::chunks::SyntheticChunkSource`), the chunk-wise
-//! disguising adapter (`randrecon_noise::additive::DisguisedChunkSource`),
-//! the unified two-pass streaming driver (`randrecon_core::streaming`) and
-//! the metrics-only MSE sink, and runs the paper's **full five-scheme
-//! comparison** (NDR / UDR / SF / PCA-DR / BE-DR) — the streaming analogue
-//! of [`crate::workload::evaluate_schemes`]. Peak memory is a few chunks
-//! plus `m × m` state, so the 500 k-record scenario runs comfortably where
-//! the in-memory pipeline would need hundreds of megabytes of record
-//! storage.
+//! A [`StreamingScenario`] is now a thin named grid over the declarative
+//! scenario engine ([`crate::scenario`]): its [`StreamingScenario::grid`]
+//! sweeps the paper's **full five-scheme comparison** (NDR / UDR / SF /
+//! PCA-DR / BE-DR) across the streaming engine, and the runner's workload
+//! grouping accumulates pass-1 moments once per stream and shares them
+//! between the schemes. Peak memory is a few chunks plus `m × m` state, so
+//! the 500 k-record scenario runs comfortably where the in-memory pipeline
+//! would need hundreds of megabytes of record storage. The helper functions
+//! here ([`run_streaming_scheme`], [`evaluate_streaming_schemes`]) expose
+//! the same scheme-dispatch for callers that hold their own chunk sources.
 
 use crate::config::SchemeKind;
 use crate::error::{ExperimentError, Result};
-use randrecon_core::streaming::{
-    MseSink, RecordSink, StreamMoments, StreamingBeDr, StreamingDriver, StreamingNdr,
-    StreamingPcaDr, StreamingReport, StreamingSf, StreamingUdr,
+use crate::scenario::{
+    AttackSpec, DataSpec, EngineSpec, GridAxis, MetricKind, NoiseSpec, ScenarioGrid, ScenarioSpec,
+    SpectrumSpec,
 };
-use randrecon_data::chunks::{RecordChunkSource, SyntheticChunkSource};
-use randrecon_data::synthetic::EigenSpectrum;
-use randrecon_noise::additive::{AdditiveRandomizer, DisguisedChunkSource};
+use randrecon_core::engine::Attack;
+use randrecon_core::streaming::{
+    MseSink, RecordSink, StreamMoments, StreamingDriver, StreamingReport,
+};
+use randrecon_data::chunks::RecordChunkSource;
 use randrecon_noise::NoiseModel;
 use std::fmt;
-use std::time::Instant;
 
 /// Pass 2 of one streaming scheme against moments accumulated earlier from
 /// the same source.
 ///
-/// This is the scheme dispatch [`evaluate_streaming_schemes`] and
-/// [`StreamingScenario::run`] share: every [`SchemeKind`] maps onto its
-/// `ChunkReconstructor` implementation with the paper's default
-/// configuration (largest-gap selection for PCA-DR, textbook
-/// Marčenko–Pastur bound for SF, Gaussian-moments prior for UDR). Pass 1 is
-/// accumulated **once** per stream (`StreamingDriver::accumulate_moments`)
-/// and shared across all five schemes — they all consume the same
-/// `(n, μ̂_y, Σ̂_y)`, so re-sweeping the stream per scheme would be pure
-/// waste.
+/// The scheme dispatch routes through the core attack engine
+/// ([`Attack::standard`]`(scheme).chunk_reconstructor()`), so every
+/// [`SchemeKind`] runs its paper-default configuration (largest-gap
+/// selection for PCA-DR, textbook Marčenko–Pastur bound for SF,
+/// Gaussian-moments prior for UDR). Pass 1 is accumulated **once** per
+/// stream (`StreamingDriver::accumulate_moments`) and shared across all
+/// five schemes — they all consume the same `(n, μ̂_y, Σ̂_y)`, so
+/// re-sweeping the stream per scheme would be pure waste.
 pub fn run_streaming_scheme_with_moments<S, K>(
     scheme: SchemeKind,
     moments: &StreamMoments,
@@ -49,21 +49,14 @@ where
     S: RecordChunkSource + Send + ?Sized,
     K: RecordSink + ?Sized,
 {
-    let driver = StreamingDriver::default();
-    let report = match scheme {
-        SchemeKind::Ndr => driver.run_with_moments(&StreamingNdr, moments, source, noise, sink)?,
-        SchemeKind::Udr => driver.run_with_moments(&StreamingUdr, moments, source, noise, sink)?,
-        SchemeKind::SpectralFiltering => {
-            driver.run_with_moments(&StreamingSf::default(), moments, source, noise, sink)?
-        }
-        SchemeKind::PcaDr => {
-            driver.run_with_moments(&StreamingPcaDr::largest_gap(), moments, source, noise, sink)?
-        }
-        SchemeKind::BeDr => {
-            driver.run_with_moments(&StreamingBeDr::default(), moments, source, noise, sink)?
-        }
-    };
-    Ok(report)
+    let attack = Attack::standard(scheme).chunk_reconstructor()?;
+    Ok(StreamingDriver::default().run_with_moments(
+        attack.as_ref(),
+        moments,
+        source,
+        noise,
+        sink,
+    )?)
 }
 
 /// Runs one streaming scheme end to end (both passes) through the unified
@@ -180,52 +173,68 @@ impl StreamingScenario {
         Ok(())
     }
 
+    /// The scenario as a declarative five-scheme grid over the streaming
+    /// engine. The runner's workload grouping accumulates pass-1 moments
+    /// once and shares them across all five schemes, exactly like the old
+    /// hand-written sweep; the pinned seeds (`dataset_seed = seed`,
+    /// `noise_seed = seed + 1`) reproduce its streams verbatim.
+    pub fn grid(&self) -> ScenarioGrid {
+        ScenarioGrid {
+            base: ScenarioSpec {
+                label: "streaming".to_string(),
+                x: 0.0,
+                data: DataSpec::SyntheticMvn {
+                    spectrum: SpectrumSpec::PrincipalPlusSmall {
+                        p: self.principal_components,
+                        principal: 400.0,
+                        m: self.n_attributes,
+                        small: 4.0,
+                    },
+                    records: self.n_records,
+                },
+                noise: NoiseSpec::Gaussian {
+                    sigma: self.noise_sigma,
+                },
+                attack: AttackSpec::Scheme(SchemeKind::BeDr),
+                engine: EngineSpec::Streaming {
+                    chunk_rows: self.chunk_rows,
+                },
+                metrics: vec![MetricKind::Mse],
+                trials: 1,
+                seed: self.seed,
+                seed_offset: 0,
+                dataset_seed: Some(self.seed),
+                noise_seed: Some(self.seed + 1),
+            },
+            axes: vec![GridAxis::schemes(&SchemeKind::all())],
+        }
+    }
+
     /// Runs all five streaming schemes end to end against this scenario,
     /// scoring each with a metrics-only sink against the original record
     /// stream.
     pub fn run(&self) -> Result<StreamingOutcome> {
         self.validate()?;
-        let spectrum = EigenSpectrum::principal_plus_small(
-            self.principal_components,
-            400.0,
-            self.n_attributes,
-            4.0,
-        )?;
-        let original =
-            SyntheticChunkSource::generate(&spectrum, self.n_records, self.chunk_rows, self.seed)?;
-        let randomizer = AdditiveRandomizer::gaussian(self.noise_sigma)?;
-        let mut disguised = DisguisedChunkSource::new(original.clone(), randomizer, self.seed + 1);
-        let noise = disguised.model().clone();
-
-        // Pass 1 once: all five schemes prepare from the same moments.
-        let moments = StreamingDriver::accumulate_moments(&mut disguised)?;
-
-        let mut run_scheme = |scheme: SchemeKind| -> Result<SchemeOutcome> {
-            let mut reference = original.clone();
-            let mut sink = MseSink::new(&mut reference)?;
-            let start = Instant::now();
-            let report = run_streaming_scheme_with_moments(
-                scheme,
-                &moments,
-                &mut disguised,
-                &noise,
-                &mut sink,
-            )?;
-            Ok(SchemeOutcome::from_run(
-                start,
-                self.n_records,
-                sink.mse(),
-                report.components_kept,
-            ))
+        let results = self.grid().run()?;
+        let outcome_of = |scheme: SchemeKind| -> SchemeOutcome {
+            let r = results
+                .iter()
+                .find(|r| r.scheme == Some(scheme))
+                .expect("all five schemes in the grid");
+            SchemeOutcome {
+                mse: r.metric(MetricKind::Mse).expect("mse metric requested"),
+                seconds: r.seconds,
+                records_per_second: self.n_records as f64 / r.seconds.max(1e-9),
+                components_kept: r.components_kept,
+            }
         };
-
         Ok(StreamingOutcome {
             scenario: *self,
-            ndr: run_scheme(SchemeKind::Ndr)?,
-            udr: run_scheme(SchemeKind::Udr)?,
-            sf: run_scheme(SchemeKind::SpectralFiltering)?,
-            pca_dr: run_scheme(SchemeKind::PcaDr)?,
-            be_dr: run_scheme(SchemeKind::BeDr)?,
+            ndr: outcome_of(SchemeKind::Ndr),
+            udr: outcome_of(SchemeKind::Udr),
+            sf: outcome_of(SchemeKind::SpectralFiltering),
+            pca_dr: outcome_of(SchemeKind::PcaDr),
+            be_dr: outcome_of(SchemeKind::BeDr),
         })
     }
 }
@@ -247,21 +256,6 @@ pub struct SchemeOutcome {
 }
 
 impl SchemeOutcome {
-    fn from_run(
-        start: Instant,
-        n_records: usize,
-        mse: f64,
-        components_kept: Option<usize>,
-    ) -> Self {
-        let seconds = start.elapsed().as_secs_f64();
-        SchemeOutcome {
-            mse,
-            seconds,
-            records_per_second: n_records as f64 / seconds.max(1e-9),
-            components_kept,
-        }
-    }
-
     /// Root-mean-square error per value.
     pub fn rmse(&self) -> f64 {
         self.mse.sqrt()
@@ -338,6 +332,9 @@ impl fmt::Display for StreamingOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use randrecon_data::chunks::SyntheticChunkSource;
+    use randrecon_data::synthetic::EigenSpectrum;
+    use randrecon_noise::additive::{AdditiveRandomizer, DisguisedChunkSource};
 
     #[test]
     fn quick_scenario_runs_all_five_schemes_with_the_expected_ordering() {

@@ -3,15 +3,16 @@
 
 use crate::config::SchemeKind;
 use crate::error::Result;
-use randrecon_core::{
-    be_dr::BeDr, ndr::Ndr, pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr, Reconstructor,
-};
+use randrecon_core::engine::Attack;
 use randrecon_data::DataTable;
 use randrecon_metrics::rmse;
 use randrecon_noise::NoiseModel;
 
 /// Evaluates the requested schemes against a single disguised data set and
 /// returns `(scheme, RMSE against the original)` in the order requested.
+/// Dispatch routes through the core attack engine
+/// ([`Attack::standard`]`(scheme)`), the same call site the scenario runner
+/// uses.
 pub fn evaluate_schemes(
     original: &DataTable,
     disguised: &DataTable,
@@ -20,15 +21,7 @@ pub fn evaluate_schemes(
 ) -> Result<Vec<(SchemeKind, f64)>> {
     let mut out = Vec::with_capacity(schemes.len());
     for &scheme in schemes {
-        let reconstruction = match scheme {
-            SchemeKind::Ndr => Ndr.reconstruct(disguised, noise)?,
-            SchemeKind::Udr => Udr::default().reconstruct(disguised, noise)?,
-            SchemeKind::SpectralFiltering => {
-                SpectralFiltering::default().reconstruct(disguised, noise)?
-            }
-            SchemeKind::PcaDr => PcaDr::largest_gap().reconstruct(disguised, noise)?,
-            SchemeKind::BeDr => BeDr::default().reconstruct(disguised, noise)?,
-        };
+        let reconstruction = Attack::standard(scheme).reconstruct_table(disguised, noise)?;
         out.push((scheme, rmse(original, &reconstruction)?));
     }
     Ok(out)

@@ -1,0 +1,126 @@
+//! Scenario-runner determinism: the runner's output must be a pure function
+//! of the spec list — bit-identical across `RANDRECON_THREADS` ∈ {1, 2, 4}.
+//! The pool size is read once at startup, so the worker-count matrix
+//! re-executes this test binary per count (the same pattern as the
+//! streaming pass-2 determinism tests) and compares result hashes.
+
+use randrecon_experiments::scenario::{
+    EngineSpec, GridAxis, MetricKind, NoiseSpec, ScenarioGrid, ScenarioSpec,
+};
+use randrecon_experiments::SchemeKind;
+
+const CHILD_GUARD: &str = "RANDRECON_SCENARIO_CHILD";
+
+/// A mixed grid: two noise models × two engines × three schemes × two
+/// trials, small enough for CI but wide enough to exercise grouping, the
+/// streaming moment sharing, and the parallel dispatch.
+fn determinism_grid() -> ScenarioGrid {
+    let mut base = ScenarioSpec::synthetic_quick("det", 700, 8, 2);
+    base.trials = 2;
+    base.metrics = vec![MetricKind::Rmse, MetricKind::Mse];
+    ScenarioGrid {
+        base,
+        axes: vec![
+            GridAxis::noises(&[
+                ("gaussian", NoiseSpec::Gaussian { sigma: 5.0 }),
+                (
+                    "correlated",
+                    NoiseSpec::CorrelatedSimilar {
+                        similarity: 0.5,
+                        noise_variance: 25.0,
+                    },
+                ),
+            ]),
+            GridAxis::engines(&[
+                EngineSpec::InMemory,
+                EngineSpec::Streaming { chunk_rows: 96 },
+            ]),
+            GridAxis::schemes(&[SchemeKind::Udr, SchemeKind::PcaDr, SchemeKind::BeDr]),
+        ],
+    }
+}
+
+fn fnv64(hash: &mut u64, bytes: impl IntoIterator<Item = u8>) {
+    for b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Runs the grid and folds every deterministic output bit (labels, x, all
+/// metric values) into one hash. Timing fields are excluded — they are the
+/// only non-deterministic part of a result.
+fn runner_hash() -> u64 {
+    let results = determinism_grid().run().unwrap();
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for r in &results {
+        fnv64(&mut hash, r.label.bytes());
+        fnv64(&mut hash, r.x.to_bits().to_le_bytes());
+        for &(_, value) in &r.metrics {
+            fnv64(&mut hash, value.to_bits().to_le_bytes());
+        }
+        fnv64(&mut hash, (r.n_records as u64).to_le_bytes());
+    }
+    hash
+}
+
+/// Child half: under the guard variable, emit the hash for the parent.
+#[test]
+fn child_emit_runner_hash() {
+    if std::env::var(CHILD_GUARD).is_err() {
+        return;
+    }
+    println!("SCENARIO_HASH={:016x}", runner_hash());
+}
+
+#[test]
+fn runner_output_is_bit_identical_across_worker_counts() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let reference = runner_hash();
+    for workers in [1usize, 2, 4] {
+        let output = std::process::Command::new(&exe)
+            .args(["--exact", "child_emit_runner_hash", "--nocapture"])
+            .env(CHILD_GUARD, "1")
+            .env("RANDRECON_THREADS", workers.to_string())
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            output.status.success(),
+            "child with {workers} workers failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let hash = stdout
+            .split("SCENARIO_HASH=")
+            .nth(1)
+            .map(|rest| &rest[..16])
+            .unwrap_or_else(|| panic!("child with {workers} workers printed no hash:\n{stdout}"));
+        assert_eq!(
+            u64::from_str_radix(hash, 16).unwrap(),
+            reference,
+            "scenario results changed with RANDRECON_THREADS={workers}"
+        );
+    }
+}
+
+/// Same-process determinism: two runs of the same grid give equal results
+/// (excluding timing), and the single-scenario `run()` path agrees with the
+/// grouped runner path bit for bit.
+#[test]
+fn repeated_runs_and_single_runs_agree() {
+    let grid = determinism_grid();
+    let a = grid.run().unwrap();
+    let b = grid.run().unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.metrics, y.metrics, "{}", x.label);
+        assert_eq!(x.x.to_bits(), y.x.to_bits(), "{}", x.label);
+    }
+    // Ungrouped (per-spec run()) vs grouped runner.
+    let specs = grid.expand_validated().unwrap();
+    for (spec, grouped) in specs.iter().zip(&a) {
+        let single = spec.run().unwrap();
+        assert_eq!(single.metrics, grouped.metrics, "{}", spec.label);
+    }
+}

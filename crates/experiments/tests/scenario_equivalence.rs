@@ -1,0 +1,397 @@
+//! Rebase equivalence: each rebased exp1–exp4 grid must reproduce the
+//! numbers its hand-written predecessor produced. The predecessors' loops
+//! are replicated inline here (generate → disguise → evaluate, with the
+//! historical seeding), and the spec-driven runs must agree within ±2% —
+//! in practice they agree bit-for-bit, because the grids encode the same
+//! seeds and the scenario runner executes the same estimator kernels.
+//!
+//! Also pins the single-spec wide sweep (5 schemes × 3 noise models × both
+//! engines ≥ 24 scenarios in one runner invocation) and the scenario
+//! engine's extra data sources (CSV, AR(1)) and attack variants
+//! (partial knowledge, temporal).
+
+use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon_experiments::exp1::Experiment1;
+use randrecon_experiments::exp2::Experiment2;
+use randrecon_experiments::exp3::Experiment3;
+use randrecon_experiments::exp4::Experiment4;
+use randrecon_experiments::scenario::{
+    AttackSpec, DataSpec, EngineSpec, GridAxis, MetricKind, NoiseSpec, ScenarioGrid, ScenarioSpec,
+    SpectrumSpec,
+};
+use randrecon_experiments::workload::{average_trials, evaluate_schemes};
+use randrecon_experiments::{ExperimentSeries, SchemeKind};
+use randrecon_metrics::dissimilarity::correlation_dissimilarity_from_covariances;
+use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_noise::correlated::{interpolated_spectrum, noise_covariance, SimilarityLevel};
+use randrecon_stats::rng::{child_seed, seeded_rng};
+
+const REL_TOL: f64 = 0.02;
+
+fn assert_series_match(new: &ExperimentSeries, old_points: &[(f64, Vec<(SchemeKind, f64)>)]) {
+    assert_eq!(
+        new.points.len(),
+        old_points.len(),
+        "{}: point count changed",
+        new.name
+    );
+    for (point, (x, rmse)) in new.points.iter().zip(old_points) {
+        assert!(
+            (point.x - x).abs() <= 1e-12 * x.abs().max(1.0),
+            "{}: x drifted ({} vs {x})",
+            new.name,
+            point.x
+        );
+        for &(scheme, old_value) in rmse {
+            let new_value = point
+                .rmse_of(scheme)
+                .unwrap_or_else(|| panic!("{}: {} missing at x = {x}", new.name, scheme.label()));
+            let rel = (new_value - old_value).abs() / old_value;
+            assert!(
+                rel <= REL_TOL,
+                "{}: {} at x = {x} drifted {:.3}% ({new_value} vs {old_value})",
+                new.name,
+                scheme.label(),
+                rel * 100.0
+            );
+        }
+    }
+}
+
+/// The pre-rebase Experiment 1 driver, verbatim.
+#[test]
+fn exp1_grid_reproduces_the_hand_written_driver() {
+    let config = Experiment1::quick();
+    let mut old_points = Vec::new();
+    for &m in &config.attribute_counts {
+        let mut trial_results = Vec::new();
+        for t in 0..config.trials {
+            let seed = child_seed(config.seed, (m as u64) * 1_000 + t as u64);
+            let spectrum = EigenSpectrum::principal_filling_total(
+                config.principal_components,
+                m,
+                config.small_eigenvalue,
+                config.mean_attribute_variance * m as f64,
+            )
+            .unwrap();
+            let ds = SyntheticDataset::generate(&spectrum, config.records, seed).unwrap();
+            let randomizer = AdditiveRandomizer::gaussian(config.noise_sigma).unwrap();
+            let disguised = randomizer
+                .disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))
+                .unwrap();
+            trial_results.push(
+                evaluate_schemes(&ds.table, &disguised, randomizer.model(), &config.schemes)
+                    .unwrap(),
+            );
+        }
+        old_points.push((m as f64, average_trials(&trial_results)));
+    }
+    assert_series_match(&config.run().unwrap(), &old_points);
+}
+
+/// The pre-rebase Experiment 2 driver, verbatim.
+#[test]
+fn exp2_grid_reproduces_the_hand_written_driver() {
+    let config = Experiment2::quick();
+    let mut old_points = Vec::new();
+    for &p in &config.principal_component_counts {
+        let mut trial_results = Vec::new();
+        for t in 0..config.trials {
+            let seed = child_seed(config.seed, (p as u64) * 1_000 + t as u64);
+            let spectrum = EigenSpectrum::principal_filling_total(
+                p,
+                config.attributes,
+                config.small_eigenvalue,
+                config.mean_attribute_variance * config.attributes as f64,
+            )
+            .unwrap();
+            let ds = SyntheticDataset::generate(&spectrum, config.records, seed).unwrap();
+            let randomizer = AdditiveRandomizer::gaussian(config.noise_sigma).unwrap();
+            let disguised = randomizer
+                .disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))
+                .unwrap();
+            trial_results.push(
+                evaluate_schemes(&ds.table, &disguised, randomizer.model(), &config.schemes)
+                    .unwrap(),
+            );
+        }
+        old_points.push((p as f64, average_trials(&trial_results)));
+    }
+    assert_series_match(&config.run().unwrap(), &old_points);
+}
+
+/// The pre-rebase Experiment 3 driver, verbatim.
+#[test]
+fn exp3_grid_reproduces_the_hand_written_driver() {
+    let config = Experiment3::quick();
+    let mut old_points = Vec::new();
+    for (idx, &small) in config.non_principal_eigenvalues.iter().enumerate() {
+        let mut trial_results = Vec::new();
+        for t in 0..config.trials {
+            let seed = child_seed(config.seed, (idx as u64) * 1_000 + t as u64);
+            let spectrum = EigenSpectrum::principal_plus_small(
+                config.principal_components,
+                config.principal_eigenvalue,
+                config.attributes,
+                small,
+            )
+            .unwrap();
+            let ds = SyntheticDataset::generate(&spectrum, config.records, seed).unwrap();
+            let randomizer = AdditiveRandomizer::gaussian(config.noise_sigma).unwrap();
+            let disguised = randomizer
+                .disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))
+                .unwrap();
+            trial_results.push(
+                evaluate_schemes(&ds.table, &disguised, randomizer.model(), &config.schemes)
+                    .unwrap(),
+            );
+        }
+        old_points.push((small, average_trials(&trial_results)));
+    }
+    assert_series_match(&config.run().unwrap(), &old_points);
+}
+
+/// The pre-rebase Experiment 4 driver, verbatim (correlated noise, measured
+/// dissimilarity on the x-axis, points sorted by x).
+#[test]
+fn exp4_grid_reproduces_the_hand_written_driver() {
+    let config = Experiment4::quick();
+    let total_noise_variance = config.noise_variance * config.attributes as f64;
+    let mut old_points = Vec::new();
+    for (idx, &alpha) in config.similarity_levels.iter().enumerate() {
+        let level = SimilarityLevel::new(alpha).unwrap();
+        let mut trial_results = Vec::new();
+        let mut dissimilarity_acc = 0.0;
+        for t in 0..config.trials {
+            let seed = child_seed(config.seed, (idx as u64) * 1_000 + t as u64);
+            let spectrum = EigenSpectrum::principal_plus_small(
+                config.principal_components,
+                config.principal_eigenvalue,
+                config.attributes,
+                config.small_eigenvalue,
+            )
+            .unwrap();
+            let ds = SyntheticDataset::generate(&spectrum, config.records, seed).unwrap();
+            let noise_spec =
+                interpolated_spectrum(&ds.eigenvalues, level, total_noise_variance).unwrap();
+            let sigma_r = noise_covariance(&ds.eigenvectors, &noise_spec).unwrap();
+            dissimilarity_acc +=
+                correlation_dissimilarity_from_covariances(&ds.covariance, &sigma_r).unwrap();
+            let randomizer = AdditiveRandomizer::correlated(sigma_r).unwrap();
+            let disguised = randomizer
+                .disguise(&ds.table, &mut seeded_rng(child_seed(seed, 1)))
+                .unwrap();
+            trial_results.push(
+                evaluate_schemes(&ds.table, &disguised, randomizer.model(), &config.schemes)
+                    .unwrap(),
+            );
+        }
+        old_points.push((
+            dissimilarity_acc / config.trials as f64,
+            average_trials(&trial_results),
+        ));
+    }
+    old_points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    assert_series_match(&config.run().unwrap(), &old_points);
+}
+
+/// One spec, ≥ 24 scenarios (5 schemes × 3 noise models × both engines),
+/// one runner invocation — the acceptance sweep, scaled down for CI.
+#[test]
+fn single_spec_sweeps_the_full_matrix() {
+    let grid = ScenarioGrid {
+        base: ScenarioSpec::synthetic_quick("matrix", 600, 8, 2),
+        axes: vec![
+            GridAxis::noises(&[
+                ("gaussian", NoiseSpec::Gaussian { sigma: 6.0 }),
+                ("uniform", NoiseSpec::Uniform { sigma: 6.0 }),
+                (
+                    "correlated",
+                    NoiseSpec::CorrelatedSimilar {
+                        similarity: 0.5,
+                        noise_variance: 36.0,
+                    },
+                ),
+            ]),
+            GridAxis::engines(&[
+                EngineSpec::InMemory,
+                EngineSpec::Streaming { chunk_rows: 128 },
+            ]),
+            GridAxis::schemes(&SchemeKind::all()),
+        ],
+    };
+    let specs = grid.expand_validated().unwrap();
+    assert!(specs.len() >= 24, "only {} scenarios", specs.len());
+    let results = randrecon_experiments::run_scenarios(&specs).unwrap();
+    assert_eq!(results.len(), 30);
+    for r in &results {
+        let rmse = r.rmse().unwrap();
+        assert!(rmse.is_finite() && rmse > 0.0, "{}: rmse {rmse}", r.label);
+        // Every attack (beyond the NDR baseline) beats the σ = 6 noise floor
+        // under independent noise.
+        if r.scheme != Some(SchemeKind::Ndr) && !r.label.contains("correlated") {
+            assert!(rmse < 6.0, "{}: rmse {rmse} worse than the noise", r.label);
+        }
+    }
+    // The two engines agree statistically: same scheme, same noise, both
+    // engines → within 10% of each other (different noise realizations).
+    for noise in ["gaussian", "uniform", "correlated"] {
+        for scheme in ["NDR", "UDR", "SF", "PCA-DR", "BE-DR"] {
+            let of_engine = |engine: &str| {
+                results
+                    .iter()
+                    .find(|r| {
+                        r.label.contains(&format!("noise={noise}/"))
+                            && r.label.contains(engine)
+                            && r.attack == scheme
+                    })
+                    .unwrap()
+                    .rmse()
+                    .unwrap()
+            };
+            let in_memory = of_engine("engine=in-memory");
+            let streaming = of_engine("engine=streaming");
+            assert!(
+                (in_memory - streaming).abs() / in_memory < 0.10,
+                "{noise}/{scheme}: engines disagree ({in_memory} vs {streaming})"
+            );
+        }
+    }
+}
+
+/// The CSV data source round-trips through both engines.
+#[test]
+fn csv_scenarios_run_on_both_engines() {
+    let spectrum = EigenSpectrum::principal_plus_small(2, 120.0, 6, 2.0).unwrap();
+    let ds = SyntheticDataset::generate(&spectrum, 500, 88).unwrap();
+    let path = std::env::temp_dir().join(format!("randrecon_scenario_{}.csv", std::process::id()));
+    randrecon_data::csv::write_csv_file(&ds.table, &path).unwrap();
+
+    let mut base = ScenarioSpec::synthetic_quick("csv", 500, 6, 2);
+    base.data = DataSpec::Csv { path: path.clone() };
+    let grid = ScenarioGrid {
+        base,
+        axes: vec![
+            GridAxis::engines(&[
+                EngineSpec::InMemory,
+                EngineSpec::Streaming { chunk_rows: 64 },
+            ]),
+            GridAxis::schemes(&[SchemeKind::Udr, SchemeKind::BeDr]),
+        ],
+    };
+    let results = grid.run().unwrap();
+    assert_eq!(results.len(), 4);
+    for r in &results {
+        assert_eq!(r.n_records, 500);
+        let rmse = r.rmse().unwrap();
+        // σ = 5 noise on a correlated workload: both schemes beat the floor.
+        assert!(rmse < 5.0, "{}: rmse {rmse}", r.label);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The partial-knowledge and temporal attack variants run through specs.
+#[test]
+fn attack_variants_run_through_specs() {
+    // Partial knowledge: knowing 2 of 8 attributes must help BE-DR.
+    let mut plain = ScenarioSpec::synthetic_quick("plain", 800, 8, 2);
+    plain.seed = 4242;
+    let mut partial = plain.clone();
+    partial.label = "partial".to_string();
+    partial.attack = AttackSpec::PartialKnowledgeBeDr {
+        known_attributes: vec![0, 3],
+    };
+    let results = randrecon_experiments::run_scenarios(&[plain, partial]).unwrap();
+    let plain_rmse = results[0].rmse().unwrap();
+    let partial_rmse = results[1].rmse().unwrap();
+    assert!(
+        partial_rmse < plain_rmse,
+        "side knowledge must amplify the breach ({partial_rmse} vs {plain_rmse})"
+    );
+
+    // Temporal smoothing on an AR(1) workload beats per-sample UDR-style
+    // guessing (i.e. beats the noise floor clearly).
+    let mut temporal = ScenarioSpec::synthetic_quick("temporal", 2_000, 3, 1);
+    temporal.data = DataSpec::Ar1Timeseries {
+        phi: 0.9,
+        innovation_std: 2.0,
+        mean: 0.0,
+        records: 2_000,
+        series: 3,
+    };
+    temporal.noise = NoiseSpec::Gaussian { sigma: 4.0 };
+    temporal.attack = AttackSpec::Temporal { window: 7 };
+    let result = temporal.run().unwrap();
+    let rmse = result.rmse().unwrap();
+    assert!(
+        rmse < 0.75 * 4.0,
+        "temporal smoothing should strip much of the σ = 4 noise, got {rmse}"
+    );
+}
+
+/// Repeated sweep values stay distinct sweep points, as the hand-written
+/// drivers emitted them: the idx-prefixed axis labels keep expansion
+/// duplicate-free and the series regrouping starts a fresh point when a
+/// scheme repeats at the same x.
+#[test]
+fn repeated_sweep_values_keep_their_own_points() {
+    let mut config = Experiment3::quick();
+    config.non_principal_eigenvalues = vec![1.0, 1.0, 25.0];
+    let series = config.run().unwrap();
+    assert_eq!(series.points.len(), 3, "one point per sweep entry");
+    assert_eq!(series.points[0].x, 1.0);
+    assert_eq!(series.points[1].x, 1.0);
+    // The two x = 1.0 sweeps ran with idx-distinct seeds, so they are
+    // different measurements of the same configuration.
+    for point in &series.points {
+        assert_eq!(point.rmse.len(), config.schemes.len());
+    }
+    assert_ne!(
+        series.points[0].rmse_of(SchemeKind::BeDr),
+        series.points[1].rmse_of(SchemeKind::BeDr),
+        "idx-seeded duplicates must be independent trials"
+    );
+}
+
+/// An out-of-range partial-knowledge attribute index surfaces as a located
+/// configuration error, not a panic inside the workload gather.
+#[test]
+fn partial_knowledge_bounds_errors_are_located() {
+    let mut spec = ScenarioSpec::synthetic_quick("oob", 200, 8, 2);
+    spec.attack = AttackSpec::PartialKnowledgeBeDr {
+        known_attributes: vec![9],
+    };
+    let err = spec.run().unwrap_err();
+    let message = err.to_string();
+    assert!(
+        message.contains("out of bounds") && message.contains("oob"),
+        "unexpected error: {message}"
+    );
+}
+
+/// Metric variants agree with each other (RMSE² = MSE on the same run).
+#[test]
+fn metric_kinds_are_consistent() {
+    let mut spec = ScenarioSpec::synthetic_quick("metrics", 400, 6, 2);
+    spec.metrics = vec![
+        MetricKind::Rmse,
+        MetricKind::Mse,
+        MetricKind::NormalizedRmse,
+    ];
+    let result = spec.run().unwrap();
+    let rmse = result.metric(MetricKind::Rmse).unwrap();
+    let mse = result.metric(MetricKind::Mse).unwrap();
+    let nrmse = result.metric(MetricKind::NormalizedRmse).unwrap();
+    assert!((rmse * rmse - mse).abs() < 1e-12 * mse);
+    assert!(nrmse > 0.0 && nrmse < 1.0);
+
+    // Spectrum spec variants build what they promise.
+    let explicit = ScenarioSpec {
+        data: DataSpec::SyntheticMvn {
+            spectrum: SpectrumSpec::Explicit(vec![50.0, 10.0, 1.0]),
+            records: 300,
+        },
+        ..ScenarioSpec::synthetic_quick("explicit", 300, 3, 1)
+    };
+    assert!(explicit.run().unwrap().rmse().unwrap().is_finite());
+}

@@ -1,0 +1,220 @@
+//! Property tests for the scenario layer: grid expansion is duplicate-free,
+//! order-stable, and exactly the cartesian product of its axes; the runner
+//! returns results in input order regardless of how scenarios group.
+
+use proptest::prelude::*;
+use randrecon_experiments::scenario::{
+    AttackSpec, EngineSpec, GridAxis, GridAxisValue, MetricKind, NoiseSpec, Override, ScenarioGrid,
+    ScenarioSpec,
+};
+use randrecon_experiments::SchemeKind;
+
+/// A grid whose axes are derived from small integer shape parameters: axis 1
+/// sweeps the noise sigma, axis 2 the schemes, axis 3 the seed offset. Axis
+/// lengths are the generated inputs.
+fn shaped_grid(sigmas: usize, schemes: usize, offsets: usize) -> ScenarioGrid {
+    let all_schemes = [
+        SchemeKind::Ndr,
+        SchemeKind::Udr,
+        SchemeKind::SpectralFiltering,
+        SchemeKind::PcaDr,
+        SchemeKind::BeDr,
+    ];
+    ScenarioGrid {
+        base: ScenarioSpec::synthetic_quick("prop", 120, 6, 2),
+        axes: vec![
+            GridAxis {
+                name: "sigma".to_string(),
+                values: (0..sigmas)
+                    .map(|i| GridAxisValue {
+                        label: format!("{}", 2.0 + i as f64),
+                        x: Some(2.0 + i as f64),
+                        overrides: vec![Override::Noise(NoiseSpec::Gaussian {
+                            sigma: 2.0 + i as f64,
+                        })],
+                    })
+                    .collect(),
+            },
+            GridAxis::schemes(&all_schemes[..schemes]),
+            GridAxis {
+                name: "offset".to_string(),
+                values: (0..offsets)
+                    .map(|i| GridAxisValue {
+                        label: i.to_string(),
+                        x: None,
+                        overrides: vec![Override::SeedOffset(1_000 * i as u64)],
+                    })
+                    .collect(),
+            },
+        ],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Expansion size is the product of the axis lengths, every expanded
+    /// label is unique (duplicate-free), and expanding twice yields the
+    /// identical spec list (order-stable).
+    #[test]
+    fn grid_expansion_is_duplicate_free_and_order_stable(
+        sigmas in 1usize..5,
+        schemes in 1usize..6,
+        offsets in 1usize..4,
+    ) {
+        let grid = shaped_grid(sigmas, schemes, offsets);
+        let expanded = grid.expand_validated().unwrap();
+        prop_assert_eq!(expanded.len(), sigmas * schemes * offsets);
+
+        let mut labels: Vec<&str> = expanded.iter().map(|s| s.label.as_str()).collect();
+        let before = labels.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        prop_assert_eq!(labels.len(), expanded.len(), "duplicate labels in {before:?}");
+
+        // Order-stable: a second expansion is identical, element for element.
+        let again = grid.expand();
+        prop_assert_eq!(&expanded, &again);
+
+        // Row-major order: the last axis varies fastest — consecutive specs
+        // within one offset block share the sigma/scheme prefix.
+        for (i, spec) in expanded.iter().enumerate() {
+            let sigma_idx = i / (schemes * offsets);
+            prop_assert!(
+                spec.label.contains(&format!("/sigma={}", 2.0 + sigma_idx as f64)),
+                "spec {i} ({}) not in row-major order", spec.label
+            );
+        }
+    }
+
+    /// Duplicate axis-value labels are rejected rather than silently
+    /// shadowing each other.
+    #[test]
+    fn duplicate_axis_labels_are_rejected(n in 2usize..5) {
+        let mut grid = shaped_grid(1, 1, 1);
+        grid.axes.push(GridAxis {
+            name: "dup".to_string(),
+            values: (0..n)
+                .map(|_| GridAxisValue {
+                    label: "same".to_string(),
+                    x: None,
+                    overrides: vec![Override::Attack(AttackSpec::Scheme(SchemeKind::Ndr))],
+                })
+                .collect(),
+        });
+        prop_assert!(grid.expand_validated().is_err());
+    }
+
+    /// The runner returns results in input order with matching labels, even
+    /// when the input interleaves scenarios from different workload groups
+    /// (grouping must scatter results back, not reorder them).
+    #[test]
+    fn runner_preserves_input_order_across_groups(
+        schemes in 1usize..4,
+        interleave in proptest::bool::ANY,
+    ) {
+        let grid = shaped_grid(2, schemes, 1);
+        let mut specs = grid.expand_validated().unwrap();
+        if interleave {
+            // Interleave the two sigma groups: a1 b1 a2 b2 …
+            let half = specs.len() / 2;
+            let tail = specs.split_off(half);
+            specs = specs
+                .into_iter()
+                .zip(tail)
+                .flat_map(|(a, b)| [a, b])
+                .collect();
+        }
+        let results = randrecon_experiments::run_scenarios(&specs).unwrap();
+        prop_assert_eq!(results.len(), specs.len());
+        for (spec, result) in specs.iter().zip(&results) {
+            prop_assert_eq!(&spec.label, &result.label);
+            let rmse = result.rmse().unwrap();
+            prop_assert!(rmse.is_finite() && rmse > 0.0);
+        }
+    }
+}
+
+/// Engine-axis expansion covers both engines and validation accepts the
+/// supported matrix (a deterministic companion to the properties above).
+#[test]
+fn engine_axis_expands_both_engines() {
+    let grid = ScenarioGrid {
+        base: ScenarioSpec::synthetic_quick("engines", 200, 6, 2),
+        axes: vec![
+            GridAxis::engines(&[
+                EngineSpec::InMemory,
+                EngineSpec::Streaming { chunk_rows: 64 },
+            ]),
+            GridAxis::schemes(&[SchemeKind::Udr, SchemeKind::BeDr]),
+        ],
+    };
+    let specs = grid.expand_validated().unwrap();
+    assert_eq!(specs.len(), 4);
+    assert_eq!(
+        specs
+            .iter()
+            .filter(|s| s.engine == EngineSpec::InMemory)
+            .count(),
+        2
+    );
+    let results = randrecon_experiments::run_scenarios(&specs).unwrap();
+    assert_eq!(results.len(), 4);
+    assert!(results.iter().all(|r| r.rmse().unwrap().is_finite()));
+}
+
+/// Unsupported combinations are rejected at validation, not at run time
+/// deep inside a worker.
+#[test]
+fn validation_rejects_unsupported_combinations() {
+    // Streaming + temporal attack.
+    let mut spec = ScenarioSpec::synthetic_quick("bad", 200, 6, 2);
+    spec.engine = EngineSpec::Streaming { chunk_rows: 64 };
+    spec.attack = AttackSpec::Temporal { window: 5 };
+    assert!(spec.validate().is_err());
+
+    // Streaming + normalized RMSE.
+    let mut spec = ScenarioSpec::synthetic_quick("bad2", 200, 6, 2);
+    spec.engine = EngineSpec::Streaming { chunk_rows: 64 };
+    spec.metrics = vec![MetricKind::NormalizedRmse];
+    assert!(spec.validate().is_err());
+
+    // Correlated noise over a non-synthetic source.
+    let mut spec = ScenarioSpec::synthetic_quick("bad3", 200, 6, 2);
+    spec.data = randrecon_experiments::scenario::DataSpec::Ar1Timeseries {
+        phi: 0.8,
+        innovation_std: 1.0,
+        mean: 0.0,
+        records: 200,
+        series: 3,
+    };
+    spec.noise = NoiseSpec::CorrelatedSimilar {
+        similarity: 0.5,
+        noise_variance: 4.0,
+    };
+    assert!(spec.validate().is_err());
+
+    // Zero trials / empty metrics / zero chunk.
+    let mut spec = ScenarioSpec::synthetic_quick("bad4", 200, 6, 2);
+    spec.trials = 0;
+    assert!(spec.validate().is_err());
+
+    // A pinned workload or disguise seed with repeated trials would silently
+    // average N copies of the same randomness.
+    let mut spec = ScenarioSpec::synthetic_quick("bad4b", 200, 6, 2);
+    spec.trials = 3;
+    spec.dataset_seed = Some(7);
+    assert!(spec.validate().is_err());
+    spec.trials = 1;
+    assert!(spec.validate().is_ok());
+    let mut spec = ScenarioSpec::synthetic_quick("bad4c", 200, 6, 2);
+    spec.trials = 3;
+    spec.noise_seed = Some(7);
+    assert!(spec.validate().is_err());
+    let mut spec = ScenarioSpec::synthetic_quick("bad5", 200, 6, 2);
+    spec.metrics.clear();
+    assert!(spec.validate().is_err());
+    let mut spec = ScenarioSpec::synthetic_quick("bad6", 200, 6, 2);
+    spec.engine = EngineSpec::Streaming { chunk_rows: 0 };
+    assert!(spec.validate().is_err());
+}

@@ -1,57 +1,47 @@
 //! Quickstart: disguise a small data set with additive noise, attack it with
 //! every reconstruction scheme, and see how much of the "private" data leaks.
 //!
+//! The whole experiment is one declarative [`ScenarioSpec`] grid: the base
+//! spec describes {data, noise, metrics, seed}, the scheme axis sweeps all
+//! five attacks, and the runner executes them against one shared disguised
+//! workload.
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use randrecon::core::{
-    be_dr::BeDr, ndr::Ndr, pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr, Reconstructor,
+use randrecon::experiments::scenario::{
+    GridAxis, MetricKind, NoiseSpec, ScenarioGrid, ScenarioSpec,
 };
-use randrecon::data::synthetic::{EigenSpectrum, SyntheticDataset};
-use randrecon::metrics::{accuracy::normalized_rmse, rmse};
-use randrecon::noise::additive::AdditiveRandomizer;
-use randrecon::stats::rng::seeded_rng;
+use randrecon::experiments::SchemeKind;
 
 fn main() {
-    // 1. A correlated data set: 40 attributes but only 5 independent "factors"
-    //    (the situation the paper warns about — lots of redundancy).
-    let spectrum = EigenSpectrum::principal_plus_small(5, 400.0, 40, 4.0).expect("valid spectrum");
-    let dataset = SyntheticDataset::generate(&spectrum, 1_000, 42).expect("workload generation");
-    println!(
-        "original data: {} records x {} attributes, total variance {:.1}",
-        dataset.n_records(),
-        dataset.n_attributes(),
-        dataset.covariance.trace()
-    );
-
-    // 2. The data owner disguises it with the classic scheme: independent
+    // 1. A correlated data set: 40 attributes but only 5 independent
+    //    "factors" (the situation the paper warns about — lots of
+    //    redundancy), disguised with the classic scheme: independent
     //    zero-mean Gaussian noise, sigma = 10 (variance 100 per attribute).
-    let randomizer = AdditiveRandomizer::gaussian(10.0).expect("valid noise level");
-    let disguised = randomizer
-        .disguise(&dataset.table, &mut seeded_rng(7))
-        .expect("disguising");
-    println!("disguised with independent Gaussian noise, sigma = 10 (the adversary knows this)\n");
+    let mut base = ScenarioSpec::synthetic_quick("quickstart", 1_000, 40, 5);
+    base.noise = NoiseSpec::Gaussian { sigma: 10.0 };
+    base.metrics = vec![MetricKind::Rmse, MetricKind::NormalizedRmse];
+    base.seed = 42;
 
-    // 3. The adversary only sees `disguised` and the public noise model.
-    let model = randomizer.model();
-    let attacks: Vec<Box<dyn Reconstructor>> = vec![
-        Box::new(Ndr),
-        Box::new(Udr::default()),
-        Box::new(SpectralFiltering::default()),
-        Box::new(PcaDr::largest_gap()),
-        Box::new(BeDr::default()),
-    ];
+    // 2. The sweep: the adversary only sees the disguised records and the
+    //    public noise model; every scheme attacks the same release.
+    let grid = ScenarioGrid {
+        base,
+        axes: vec![GridAxis::schemes(&SchemeKind::all())],
+    };
+    let results = grid.run().expect("quickstart grid");
 
     println!("{:<10} {:>12} {:>18}", "attack", "RMSE", "normalized RMSE");
-    for attack in &attacks {
-        let reconstruction = attack
-            .reconstruct(&disguised, model)
-            .expect("reconstruction");
-        let err = rmse(&dataset.table, &reconstruction).expect("rmse");
-        let nerr = normalized_rmse(&dataset.table, &reconstruction).expect("normalized rmse");
-        println!("{:<10} {:>12.3} {:>18.3}", attack.name(), err, nerr);
+    for r in &results {
+        println!(
+            "{:<10} {:>12.3} {:>18.3}",
+            r.attack,
+            r.metric(MetricKind::Rmse).unwrap(),
+            r.metric(MetricKind::NormalizedRmse).unwrap()
+        );
     }
 
     println!(

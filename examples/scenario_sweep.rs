@@ -1,0 +1,90 @@
+//! A grid sweep from one literal spec: the full {noise × engine × scheme}
+//! matrix — 5 schemes × 3 noise models × both execution engines = 30
+//! scenarios — expanded from a single [`ScenarioGrid`] literal and executed
+//! in one `run()` call.
+//!
+//! This is the "handles as many scenarios as you can imagine" entry point:
+//! a new cell of the evaluation matrix is one more axis value, not a new
+//! driver file. Scenarios that share a workload (here: each {noise, engine}
+//! pair, across its five schemes) generate their data and accumulate
+//! streaming pass-1 moments once.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scenario_sweep
+//! ```
+
+use randrecon::experiments::report::results_table;
+use randrecon::experiments::scenario::{
+    AttackSpec, DataSpec, EngineSpec, GridAxis, MetricKind, NoiseSpec, ScenarioGrid, ScenarioSpec,
+    SpectrumSpec,
+};
+use randrecon::experiments::SchemeKind;
+
+fn main() {
+    // The whole sweep as one literal value.
+    let grid = ScenarioGrid {
+        base: ScenarioSpec {
+            label: "sweep".to_string(),
+            x: 0.0,
+            data: DataSpec::SyntheticMvn {
+                spectrum: SpectrumSpec::PrincipalPlusSmall {
+                    p: 4,
+                    principal: 400.0,
+                    m: 16,
+                    small: 4.0,
+                },
+                records: 5_000,
+            },
+            noise: NoiseSpec::Gaussian { sigma: 10.0 },
+            attack: AttackSpec::Scheme(SchemeKind::BeDr),
+            engine: EngineSpec::InMemory,
+            metrics: vec![MetricKind::Rmse],
+            trials: 1,
+            seed: 0xC0FFEE,
+            seed_offset: 0,
+            dataset_seed: None,
+            noise_seed: None,
+        },
+        axes: vec![
+            GridAxis::noises(&[
+                ("gaussian", NoiseSpec::Gaussian { sigma: 10.0 }),
+                ("uniform", NoiseSpec::Uniform { sigma: 10.0 }),
+                (
+                    "correlated",
+                    NoiseSpec::CorrelatedSimilar {
+                        similarity: 0.75,
+                        noise_variance: 100.0,
+                    },
+                ),
+            ]),
+            GridAxis::engines(&[
+                EngineSpec::InMemory,
+                EngineSpec::Streaming { chunk_rows: 512 },
+            ]),
+            GridAxis::schemes(&SchemeKind::all()),
+        ],
+    };
+
+    let specs = grid.expand_validated().expect("valid sweep grid");
+    println!("one literal spec expanded into {} scenarios\n", specs.len());
+
+    let results = grid.run().expect("sweep");
+    println!("{}", results_table(&results));
+
+    // The qualitative picture, straight off the results: BE-DR is the
+    // strongest attack everywhere, and the correlated defense is the only
+    // noise model that blunts it.
+    let be_dr_rmse = |needle: &str| {
+        results
+            .iter()
+            .find(|r| r.label.contains(needle) && r.scheme == Some(SchemeKind::BeDr))
+            .and_then(|r| r.rmse())
+            .expect("BE-DR cell present")
+    };
+    println!(
+        "BE-DR under gaussian noise: {:.2}  |  under the correlated defense: {:.2}",
+        be_dr_rmse("noise=gaussian/engine=in-memory"),
+        be_dr_rmse("noise=correlated/engine=in-memory"),
+    );
+}

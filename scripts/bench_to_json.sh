@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the `micro` benchmark harness and dumps every measurement to a JSON
-# file (default BENCH_4.json at the repo root) for the perf trajectory.
+# file (default BENCH_5.json at the repo root) for the perf trajectory.
 #
 # Usage: scripts/bench_to_json.sh [output.json]
 #
@@ -10,22 +10,24 @@
 # PR-1 acceptance numbers (`be_dr/5000` vs `be_dr_seed/5000`); the
 # `kernels_v2` group the PR-2 numbers (`eigen/256` vs `eigen_jacobi/256`,
 # acceptance >=5x); the `kernels_v3` group the PR-3 microkernel numbers
-# (`matmul_micro/512` vs `matmul_blocked_seed/512`, acceptance >=1.5x); and
-# the `streaming` group the bounded-memory numbers: the PR-3 ratios
+# (`matmul_micro/512` vs `matmul_blocked_seed/512`, acceptance >=1.5x); the
+# `streaming` group the bounded-memory numbers: the PR-3 ratios
 # (`be_dr_streaming/50000` vs `be_dr_in_memory/50000`, acceptance >=0.8x
 # throughput, plus the fully-streamed `be_dr_streaming/500000` flagship)
 # and the PR-4 unified-driver numbers (per-scheme `*_streaming/50000`
 # throughput for NDR/UDR/SF/PCA-DR, plus `be_dr_streaming/50000` vs the
 # forced-sequential `be_dr_streaming_seq/50000` — the double-buffered
-# pass 2 must hold >=0.95x of the sequential throughput).
-# BENCH_1.json / BENCH_2.json / BENCH_3.json remain the frozen PR-1/2/3
-# records; pass one of them as the argument only to regenerate history
-# deliberately.
+# pass 2 must hold >=0.95x of the sequential throughput); and the
+# `scenario` group the PR-5 declarative-runner numbers (`runner/8` vs
+# `handrolled/8` over eight distinct-workload scenarios — the runner's
+# scheduling overhead must stay <=5%).
+# BENCH_1.json … BENCH_4.json remain the frozen PR-1/2/3/4 records; pass
+# one of them as the argument only to regenerate history deliberately.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -79,4 +81,9 @@ for scheme in ("ndr", "udr", "sf", "pca_dr", "be_dr"):
 big = results.get(("streaming", "be_dr_streaming/500000"))
 if big:
     print(f"be_dr 500k rows fully streamed: {big/1e9:.2f} s end-to-end ({500000/(big/1e9):.0f} records/s, bounded memory)")
+runner = results.get(("scenario", "runner/8"))
+hand = results.get(("scenario", "handrolled/8"))
+if runner and hand:
+    overhead = (runner - hand) / hand * 100
+    print(f"scenario runner over 8 distinct workloads: hand-rolled {hand/1e6:.2f} ms vs runner {runner/1e6:.2f} ms  (scheduling overhead {overhead:+.1f}%, acceptance <=5%)")
 EOF

@@ -4,7 +4,11 @@
 //! m ∈ {16, 64}) whose reconstruction MSE must stay within ±2% of the
 //! values checked into `tests/golden/attack_mse.json` — all four non-trivial
 //! schemes are golden-locked, so a driver refactor (like the unified
-//! streaming engine) cannot silently shift any of them. The attacks are
+//! streaming engine) cannot silently shift any of them. A ninth entry locks
+//! a correlated-noise scenario end to end through the declarative scenario
+//! engine (`randrecon_experiments::scenario`), pinning the spec-driven
+//! execution path — grid expansion, workload grouping, the core attack
+//! engine dispatch and the Section 8 noise construction — to a golden too. The attacks are
 //! spectral or posterior-analytic at their core, so any change to the
 //! eigensolver (or the covariance estimation, the posterior kernels, or the
 //! sampling streams feeding them) that shifts attack accuracy — rather than
@@ -19,6 +23,10 @@ use randrecon::core::{
     be_dr::BeDr, pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr, Reconstructor,
 };
 use randrecon::data::synthetic::{EigenSpectrum, SyntheticDataset};
+use randrecon::experiments::scenario::{
+    AttackSpec, DataSpec, EngineSpec, MetricKind, NoiseSpec, ScenarioSpec, SpectrumSpec,
+};
+use randrecon::experiments::SchemeKind;
 use randrecon::metrics::mse;
 use randrecon::noise::additive::AdditiveRandomizer;
 use randrecon::stats::rng::seeded_rng;
@@ -43,7 +51,43 @@ fn attack_mse(m: usize, attack: &dyn Reconstructor) -> f64 {
     mse(&ds.table, &reconstructed).unwrap()
 }
 
-/// Runs (and caches) the eight seeded pipelines, so the goldens test and the
+/// One seeded correlated-noise BE-DR run, driven end to end through the
+/// declarative scenario engine: the Section 8 defense (similarity 0.5, the
+/// same per-attribute noise budget σ² = 100 as the independent runs) at
+/// n = 2000, m = 16.
+fn correlated_scenario_mse() -> f64 {
+    let spec = ScenarioSpec {
+        label: "golden-correlated".to_string(),
+        x: 0.0,
+        data: DataSpec::SyntheticMvn {
+            spectrum: SpectrumSpec::PrincipalPlusSmall {
+                p: 2,
+                principal: 400.0,
+                m: 16,
+                small: 4.0,
+            },
+            records: N_RECORDS,
+        },
+        noise: NoiseSpec::CorrelatedSimilar {
+            similarity: 0.5,
+            noise_variance: NOISE_SIGMA * NOISE_SIGMA,
+        },
+        attack: AttackSpec::Scheme(SchemeKind::BeDr),
+        engine: EngineSpec::InMemory,
+        metrics: vec![MetricKind::Mse],
+        trials: 1,
+        seed: 3_016,
+        seed_offset: 0,
+        dataset_seed: None,
+        noise_seed: None,
+    };
+    spec.run()
+        .expect("correlated golden scenario")
+        .metric(MetricKind::Mse)
+        .expect("mse metric requested")
+}
+
+/// Runs (and caches) the nine seeded pipelines, so the goldens test and the
 /// ordering test share one set of measurements instead of re-running the
 /// attacks per test.
 fn measure_all() -> &'static [(String, f64)] {
@@ -65,6 +109,10 @@ fn measure_all() -> &'static [(String, f64)] {
                 attack_mse(m, &SpectralFiltering::default()),
             ));
         }
+        out.push((
+            "be_dr_correlated_n2000_m16".to_string(),
+            correlated_scenario_mse(),
+        ));
         out
     })
 }
@@ -107,7 +155,7 @@ fn golden_path() -> std::path::PathBuf {
 fn attack_mse_matches_goldens() {
     let text = std::fs::read_to_string(golden_path()).expect("golden file present");
     let goldens = parse_goldens(&text);
-    assert_eq!(goldens.len(), 8, "expected 8 golden entries");
+    assert_eq!(goldens.len(), 9, "expected 9 golden entries");
     let measured = measure_all();
     for (key, value) in measured {
         let golden = goldens
@@ -157,6 +205,14 @@ fn attack_mse_ordering_is_preserved() {
             );
         }
     }
+    // The Section 8 defense works: correlated noise of the same power leaves
+    // BE-DR far weaker than independent noise does.
+    let be_independent = get("be_dr_n2000_m16");
+    let be_correlated = get("be_dr_correlated_n2000_m16");
+    assert!(
+        be_correlated > 1.5 * be_independent,
+        "correlated noise ({be_correlated}) should blunt BE-DR vs independent ({be_independent})"
+    );
 }
 
 /// Golden regeneration helper — prints the JSON to paste into
