@@ -37,8 +37,13 @@
 //!   8-cell grid of *distinct* workloads against a hand-rolled loop over
 //!   the same specs (`runner/8` vs `handrolled/8`); the runner's scheduling
 //!   overhead (grouping, pool dispatch, result scattering) must stay ≤ 5%.
-//!   `scripts/bench_to_json.sh` dumps everything to `BENCH_5.json`
-//!   (`BENCH_4.json` and earlier stay the frozen PR-records).
+//! * `journal` — the PR-6 crash-resumability group: the same 8-workload
+//!   grid through `run_scenarios_resumable` (every outcome framed,
+//!   checksummed and appended to a fresh journal file) against the plain
+//!   runner (`journaled/8` vs `plain/8`); the journaling overhead must
+//!   stay ≤ 5%. `scripts/bench_to_json.sh` dumps everything to
+//!   `BENCH_6.json` (`BENCH_5.json` and earlier stay the frozen
+//!   PR-records).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use randrecon_bench::{
@@ -360,6 +365,72 @@ fn bench_scenario_runner(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same 8-workload grid as `bench_scenario_runner`, executed with and
+/// without the result journal. The journaled path additionally frames,
+/// checksums and appends every outcome to a fresh file, so
+/// `journaled/8` vs `plain/8` is the tracked ≤5% journaling-overhead
+/// acceptance ratio.
+fn bench_journal(c: &mut Criterion) {
+    use randrecon_experiments::scenario::{
+        GridAxis, GridAxisValue, Override, RetryPolicy, ScenarioGrid,
+    };
+
+    let mut group = c.benchmark_group("journal");
+    group.sample_size(10);
+
+    let grid = ScenarioGrid {
+        base: randrecon_experiments::ScenarioSpec::synthetic_quick("bench", 2_000, 16, 2),
+        axes: vec![GridAxis {
+            name: "seed".to_string(),
+            values: (0..8u64)
+                .map(|i| GridAxisValue {
+                    label: i.to_string(),
+                    x: None,
+                    overrides: vec![Override::Seed(0xBEC5 + i)],
+                })
+                .collect(),
+        }],
+    };
+    let specs = grid.expand_validated().unwrap();
+    assert_eq!(specs.len(), 8);
+    let path = std::env::temp_dir().join(format!(
+        "randrecon-bench-journal-{}.bin",
+        std::process::id()
+    ));
+
+    group.bench_with_input(
+        BenchmarkId::new("plain", specs.len()),
+        &specs,
+        |b, specs| {
+            b.iter(|| {
+                black_box(
+                    randrecon_experiments::run_scenarios_failsoft(specs, RetryPolicy::default())
+                        .unwrap(),
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("journaled", specs.len()),
+        &specs,
+        |b, specs| {
+            b.iter(|| {
+                let _ = std::fs::remove_file(&path);
+                black_box(
+                    randrecon_experiments::run_scenarios_resumable(
+                        specs,
+                        &path,
+                        RetryPolicy::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        },
+    );
+    let _ = std::fs::remove_file(&path);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_substrates,
@@ -367,6 +438,7 @@ criterion_group!(
     bench_kernels_v2,
     bench_kernels_v3,
     bench_streaming,
-    bench_scenario_runner
+    bench_scenario_runner,
+    bench_journal
 );
 criterion_main!(benches);

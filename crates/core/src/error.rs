@@ -31,6 +31,16 @@ pub enum ReconError {
         /// Why.
         reason: String,
     },
+    /// A streaming-engine failure located at a specific chunk of pass 2 —
+    /// the wrapper the [`crate::streaming::StreamingDriver`] adds so a
+    /// failing source, reconstructor, or sink reports *where* in the stream
+    /// it died (which chunk a torn write or full disk hit).
+    AtChunk {
+        /// 0-based index of the chunk being read, mapped, or sunk.
+        chunk: usize,
+        /// The underlying failure.
+        source: Box<ReconError>,
+    },
     /// Propagated linear-algebra failure (singular system, non-convergence, …).
     Linalg(LinalgError),
     /// Propagated statistics failure.
@@ -49,6 +59,9 @@ impl fmt::Display for ReconError {
             ReconError::UnsupportedNoiseModel { attack, reason } => {
                 write!(f, "{attack} does not support this noise model: {reason}")
             }
+            ReconError::AtChunk { chunk, source } => {
+                write!(f, "streaming pass failed at chunk {chunk}: {source}")
+            }
             ReconError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             ReconError::Stats(e) => write!(f, "statistics error: {e}"),
             ReconError::Data(e) => write!(f, "data error: {e}"),
@@ -60,6 +73,7 @@ impl fmt::Display for ReconError {
 impl std::error::Error for ReconError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            ReconError::AtChunk { source, .. } => Some(source.as_ref()),
             ReconError::Linalg(e) => Some(e),
             ReconError::Stats(e) => Some(e),
             ReconError::Data(e) => Some(e),
@@ -113,6 +127,15 @@ mod tests {
         };
         assert!(e.to_string().contains("UDR"));
         let e: ReconError = LinalgError::Singular { pivot: 2 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ReconError::AtChunk {
+            chunk: 7,
+            source: Box::new(ReconError::InvalidInput {
+                reason: "short read".into(),
+            }),
+        };
+        assert!(e.to_string().contains("chunk 7"));
+        assert!(e.to_string().contains("short read"));
         assert!(std::error::Error::source(&e).is_some());
         let e: ReconError = StatsError::InsufficientData { got: 0, needed: 2 }.into();
         assert!(std::error::Error::source(&e).is_some());

@@ -564,31 +564,57 @@ impl StreamingDriver {
         let n = moments.n_records;
         let prepared = attack.prepare(moments, noise)?;
 
+        // Every pass-2 failure is located: a failing source read, chunk map,
+        // or sink write is wrapped in [`ReconError::AtChunk`] with the
+        // 0-based index of the chunk it hit, so torn writes and full disks
+        // report *where* in the stream they died.
+        fn at_chunk(chunk: usize, source: impl Into<ReconError>) -> ReconError {
+            ReconError::AtChunk {
+                chunk,
+                source: Box::new(source.into()),
+            }
+        }
         source.reset()?;
         let mut swept = 0usize;
         match self.pipeline {
             PipelineMode::Sequential => {
-                while let Some(chunk) = source.next_chunk()? {
+                let mut produced = 0usize;
+                while let Some(chunk) = source.next_chunk().map_err(|e| at_chunk(produced, e))? {
                     swept += chunk.rows();
-                    let out = prepared.map_chunk(chunk)?;
-                    sink.consume_chunk(&out)?;
+                    let out = prepared
+                        .map_chunk(chunk)
+                        .map_err(|e| at_chunk(produced, e))?;
+                    sink.consume_chunk(&out)
+                        .map_err(|e| at_chunk(produced, e))?;
+                    produced += 1;
                 }
             }
             PipelineMode::DoubleBuffered => {
                 let prepared_ref = &prepared;
                 let swept_ref = &mut swept;
                 let source_ref = &mut *source;
+                let mut produced = 0usize;
+                let mut consumed = 0usize;
                 pipeline_two_slot(
                     move || -> Result<Option<Matrix>> {
-                        match source_ref.next_chunk()? {
+                        match source_ref.next_chunk().map_err(|e| at_chunk(produced, e))? {
                             Some(chunk) => {
                                 *swept_ref += chunk.rows();
-                                Ok(Some(prepared_ref.map_chunk(chunk)?))
+                                let out = prepared_ref
+                                    .map_chunk(chunk)
+                                    .map_err(|e| at_chunk(produced, e))?;
+                                produced += 1;
+                                Ok(Some(out))
                             }
                             None => Ok(None),
                         }
                     },
-                    |out| sink.consume_chunk(&out),
+                    |out| {
+                        sink.consume_chunk(&out)
+                            .map_err(|e| at_chunk(consumed, e))?;
+                        consumed += 1;
+                        Ok(())
+                    },
                 )?;
             }
         }

@@ -44,7 +44,10 @@ pub fn write_csv<W: Write>(table: &DataTable, writer: &mut W) -> Result<()> {
 
 /// Writes a table as CSV to a file path.
 pub fn write_csv_file<P: AsRef<Path>>(table: &DataTable, path: P) -> Result<()> {
-    let mut file = std::fs::File::create(path)?;
+    let mut file = std::fs::File::create(&path).map_err(|source| DataError::IoAt {
+        path: path.as_ref().to_path_buf(),
+        source,
+    })?;
     write_csv(table, &mut file)
 }
 
@@ -133,7 +136,10 @@ pub fn read_csv<R: Read>(reader: &mut R) -> Result<DataTable> {
 
 /// Reads a table from a CSV file.
 pub fn read_csv_file<P: AsRef<Path>>(path: P) -> Result<DataTable> {
-    let mut file = std::fs::File::open(path)?;
+    let mut file = std::fs::File::open(&path).map_err(|source| DataError::IoAt {
+        path: path.as_ref().to_path_buf(),
+        source,
+    })?;
     read_csv(&mut file)
 }
 
@@ -175,7 +181,10 @@ impl CsvChunkReader {
     }
 
     fn open_file(path: &Path) -> Result<(Schema, Lines<BufReader<std::fs::File>>)> {
-        let file = std::fs::File::open(path)?;
+        let file = std::fs::File::open(path).map_err(|source| DataError::IoAt {
+            path: path.to_path_buf(),
+            source,
+        })?;
         let mut lines = BufReader::new(file).lines();
         let header = match lines.next() {
             Some(h) => h?,
@@ -254,7 +263,10 @@ pub struct CsvChunkWriter<W: Write> {
 impl CsvChunkWriter<BufWriter<std::fs::File>> {
     /// Creates (truncating) a CSV file and writes the header row.
     pub fn create<P: AsRef<Path>>(path: P, schema: &Schema) -> Result<Self> {
-        let file = std::fs::File::create(path)?;
+        let file = std::fs::File::create(&path).map_err(|source| DataError::IoAt {
+            path: path.as_ref().to_path_buf(),
+            source,
+        })?;
         CsvChunkWriter::new(BufWriter::new(file), schema)
     }
 }

@@ -40,6 +40,16 @@ pub enum DataError {
     },
     /// An I/O error from reading or writing CSV files.
     Io(std::io::Error),
+    /// An I/O error located at the file path it hit — what the bare
+    /// [`Io`](DataError::Io) variant becomes once a path is known, so a
+    /// failed open in a 1000-cell sweep names the file instead of just
+    /// "No such file or directory".
+    IoAt {
+        /// The file the operation targeted.
+        path: std::path::PathBuf,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
     /// Propagated linear-algebra failure.
     Linalg(LinalgError),
     /// Propagated statistics failure.
@@ -57,6 +67,9 @@ impl fmt::Display for DataError {
             DataError::InvalidWorkload { reason } => write!(f, "invalid workload: {reason}"),
             DataError::Stream { reason } => write!(f, "record stream error: {reason}"),
             DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::IoAt { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
             DataError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             DataError::Stats(e) => write!(f, "statistics error: {e}"),
         }
@@ -67,6 +80,7 @@ impl std::error::Error for DataError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DataError::Io(e) => Some(e),
+            DataError::IoAt { source, .. } => Some(source),
             DataError::Linalg(e) => Some(e),
             DataError::Stats(e) => Some(e),
             _ => None,
@@ -125,5 +139,11 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(e.to_string().contains("gone"));
+        let e = DataError::IoAt {
+            path: std::path::PathBuf::from("/tmp/records.csv"),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(e.to_string().contains("records.csv"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

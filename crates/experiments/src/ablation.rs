@@ -191,11 +191,16 @@ impl SelectionAblation {
             rows: variants
                 .into_iter()
                 .zip(results)
-                .map(|((label, _), result)| AblationRow {
-                    label,
-                    rmse: result.rmse().expect("rmse metric requested"),
+                .map(|((label, _), result)| {
+                    let rmse = result
+                        .rmse()
+                        .ok_or_else(|| ExperimentError::MetricMissing {
+                            label: result.label.clone(),
+                            metric: "rmse",
+                        })?;
+                    Ok(AblationRow { label, rmse })
                 })
-                .collect(),
+                .collect::<Result<Vec<_>>>()?,
         })
     }
 }
@@ -388,11 +393,16 @@ impl NoiseShapeAblation {
             name: "Noise-shape ablation (equal variance)".to_string(),
             rows: labels
                 .zip(results)
-                .map(|(label, result)| AblationRow {
-                    label,
-                    rmse: result.rmse().expect("rmse metric requested"),
+                .map(|(label, result)| {
+                    let rmse = result
+                        .rmse()
+                        .ok_or_else(|| ExperimentError::MetricMissing {
+                            label: result.label.clone(),
+                            metric: "rmse",
+                        })?;
+                    Ok(AblationRow { label, rmse })
                 })
-                .collect(),
+                .collect::<Result<Vec<_>>>()?,
         })
     }
 }

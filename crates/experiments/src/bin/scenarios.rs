@@ -1,21 +1,35 @@
 //! The declarative scenario sweep: one grid, one runner invocation, the
-//! whole {scheme × noise × engine} matrix.
+//! whole {scheme × noise × engine} matrix — fail-soft and crash-resumable.
 //!
 //! Usage: `cargo run --release -p randrecon-experiments --bin scenarios
-//! [--smoke]`
+//! [--smoke] [--journal <path> [--resume]]`
 //!
 //! * default — 20 k × 32 records: 5 schemes × 3 noise models (independent
 //!   Gaussian, independent uniform, correlated-similar) × both engines
-//!   = 30 scenarios expanded from one spec and executed in one
-//!   `run_scenarios` call. Results go to `results/scenarios.{csv,json}`.
+//!   = 30 scenarios expanded from one spec and executed in one runner
+//!   call. Results go to `results/scenarios.{csv,json}`.
 //! * `--smoke` — the same 30-cell grid at 2 k × 12 (the tier-1 CI smoke:
 //!   every scheme through every engine and noise model in seconds).
+//! * `--journal <path>` — append every outcome to a crash-safe result
+//!   journal as it lands. If the journal already has content, the sweep
+//!   refuses to run unless `--resume` is also given.
+//! * `--resume` — recover the journal (tolerating a torn trailing record),
+//!   skip every cell it holds, and execute only the remainder; the final
+//!   report is identical to an uninterrupted run.
+//!
+//! The sweep is **fail-soft**: a failing or panicking cell is reported in
+//! the failure section instead of killing the sweep, and the process exits
+//! nonzero iff any cell failed.
 
-use randrecon_experiments::report::{results_table, write_results_csv, write_results_json};
+use randrecon_experiments::report::{
+    outcomes_summary, outcomes_table, write_outcomes_csv, write_outcomes_json,
+};
 use randrecon_experiments::scenario::{
-    EngineSpec, GridAxis, MetricKind, NoiseSpec, ScenarioGrid, ScenarioSpec,
+    EngineSpec, GridAxis, MetricKind, NoiseSpec, RetryPolicy, ScenarioGrid, ScenarioOutcome,
+    ScenarioSpec,
 };
 use randrecon_experiments::SchemeKind;
+use std::path::PathBuf;
 
 fn sweep_grid(records: usize, attributes: usize, chunk_rows: usize) -> ScenarioGrid {
     let mut base =
@@ -42,9 +56,46 @@ fn sweep_grid(records: usize, attributes: usize, chunk_rows: usize) -> ScenarioG
     }
 }
 
+struct Args {
+    smoke: bool,
+    journal: Option<PathBuf>,
+    resume: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        journal: None,
+        resume: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--resume" => args.resume = true,
+            "--journal" => match iter.next() {
+                Some(path) => args.journal = Some(PathBuf::from(path)),
+                None => return Err("--journal needs a file path".to_string()),
+            },
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if args.resume && args.journal.is_none() {
+        return Err("--resume needs --journal <path>".to_string());
+    }
+    Ok(args)
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let grid = if smoke {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("usage error: {e}");
+            eprintln!("usage: scenarios [--smoke] [--journal <path> [--resume]]");
+            std::process::exit(2);
+        }
+    };
+    let grid = if args.smoke {
         sweep_grid(2_000, 12, 256)
     } else {
         sweep_grid(20_000, 32, 2_048)
@@ -54,7 +105,7 @@ fn main() {
         Ok(specs) => specs,
         Err(e) => {
             eprintln!("grid expansion failed: {e}");
-            std::process::exit(1);
+            std::process::exit(2);
         }
     };
     println!(
@@ -63,25 +114,72 @@ fn main() {
         grid.axes.len()
     );
 
+    let policy = RetryPolicy::transient_retries(2);
     let start = std::time::Instant::now();
-    let results = match randrecon_experiments::run_scenarios(&specs) {
-        Ok(results) => results,
-        Err(e) => {
-            eprintln!("scenario sweep failed: {e}");
-            std::process::exit(1);
+    let (outcomes, resumed) = match &args.journal {
+        Some(path) => {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create journal directory {}: {e}", parent.display());
+                    std::process::exit(2);
+                }
+            }
+            // A fresh (non-resume) run must not silently adopt or clobber
+            // leftover state: an existing non-empty journal needs --resume.
+            if !args.resume {
+                if let Ok(meta) = std::fs::metadata(path) {
+                    if meta.len() > 0 {
+                        eprintln!(
+                            "journal {} already exists; pass --resume to continue it \
+                             or delete it to start over",
+                            path.display()
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            match randrecon_experiments::run_scenarios_resumable(&specs, path, policy) {
+                Ok(run) => {
+                    println!(
+                        "journal {}: {} cells resumed, {} executed",
+                        path.display(),
+                        run.resumed,
+                        run.executed
+                    );
+                    (run.outcomes, run.resumed)
+                }
+                Err(e) => {
+                    eprintln!("scenario sweep failed: {e}");
+                    std::process::exit(2);
+                }
+            }
         }
+        None => match randrecon_experiments::run_scenarios_failsoft(&specs, policy) {
+            Ok(outcomes) => (outcomes, 0),
+            Err(e) => {
+                eprintln!("scenario sweep failed: {e}");
+                std::process::exit(2);
+            }
+        },
     };
-    println!("{}", results_table(&results));
+    println!("{}", outcomes_table(&outcomes));
     println!(
-        "swept {} scenarios in {:.1?}",
-        results.len(),
+        "{} in {:.1?}",
+        outcomes_summary(&outcomes, resumed),
         start.elapsed()
     );
+
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+    let results: Vec<_> = outcomes
+        .iter()
+        .filter_map(ScenarioOutcome::as_completed)
+        .collect();
 
     // Cross-engine sanity: the same scheme under the same noise model must
     // agree between engines. The engines share estimators but not noise
     // streams (the disguise realizations differ), so agreement is
-    // statistical — within a few percent at these sizes, not bitwise.
+    // statistical — within a few percent at these sizes, not bitwise. Only
+    // checkable when both engine cells completed.
     for r in &results {
         assert!(
             r.rmse().unwrap_or(f64::NAN).is_finite(),
@@ -89,6 +187,7 @@ fn main() {
             r.label
         );
     }
+    let mut agreement_checked = 0;
     for noise in ["gaussian", "uniform", "correlated"] {
         for scheme in SchemeKind::all() {
             let rmse_on = |engine: &str| {
@@ -100,31 +199,39 @@ fn main() {
                             && r.scheme == Some(scheme)
                     })
                     .and_then(|r| r.rmse())
-                    .unwrap_or_else(|| panic!("missing {noise}/{engine} cell for {scheme:?}"))
             };
-            let in_memory = rmse_on("engine=in-memory");
-            let streaming = rmse_on("engine=streaming");
+            let (Some(in_memory), Some(streaming)) =
+                (rmse_on("engine=in-memory"), rmse_on("engine=streaming"))
+            else {
+                continue; // cell failed; already counted and reported above
+            };
             assert!(
                 (in_memory - streaming).abs() / in_memory < 0.15,
                 "{noise}/{}: engines disagree (in-memory {in_memory} vs streaming {streaming})",
                 scheme.label()
             );
+            agreement_checked += 1;
         }
     }
     println!(
-        "cross-engine agreement: every scheme within 15% across engines under every noise model"
+        "cross-engine agreement: {agreement_checked} scheme x noise pairs within 15% \
+         across engines"
     );
 
     if let Err(e) = std::fs::create_dir_all("results") {
         eprintln!("warning: could not create results dir: {e}");
-        return;
+        std::process::exit(if failed > 0 { 1 } else { 0 });
     }
-    match write_results_csv(&results, "results/scenarios.csv") {
+    match write_outcomes_csv(&outcomes, "results/scenarios.csv") {
         Ok(()) => println!("wrote results/scenarios.csv"),
         Err(e) => eprintln!("warning: could not write CSV: {e}"),
     }
-    match write_results_json(&results, "results/scenarios.json") {
+    match write_outcomes_json(&outcomes, "results/scenarios.json") {
         Ok(()) => println!("wrote results/scenarios.json"),
         Err(e) => eprintln!("warning: could not write JSON: {e}"),
+    }
+    if failed > 0 {
+        eprintln!("{failed} scenario(s) failed");
+        std::process::exit(1);
     }
 }

@@ -24,6 +24,37 @@ pub enum ExperimentError {
     },
     /// I/O failure while writing reports.
     Io(std::io::Error),
+    /// I/O failure located at the file path it hit (report writing, journal
+    /// paths passed on the command line, …).
+    IoAt {
+        /// The file the operation targeted.
+        path: std::path::PathBuf,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// A result-journal failure: the file could not be created, appended, or
+    /// recovered, or an existing journal does not match the grid it is being
+    /// resumed against (stale-journal rejection).
+    Journal {
+        /// The journal file.
+        path: std::path::PathBuf,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A deterministic injected fault from the testing-support harness
+    /// ([`crate::fault`]) — never produced by real scenarios.
+    InjectedFault {
+        /// The scenario that carried the fault spec.
+        label: String,
+    },
+    /// A requested metric is missing from a result (a report asked for a
+    /// metric the scenario did not compute).
+    MetricMissing {
+        /// The scenario label.
+        label: String,
+        /// The metric's display name.
+        metric: &'static str,
+    },
     /// Propagated failure from workload generation.
     Data(DataError),
     /// Propagated failure from the randomization layer.
@@ -32,6 +63,26 @@ pub enum ExperimentError {
     Recon(ReconError),
     /// Propagated failure from a metric computation.
     Metrics(MetricsError),
+}
+
+impl ExperimentError {
+    /// Whether this failure is plausibly **transient** — an external
+    /// condition (disk, file system) that a retry under the same inputs
+    /// might not reproduce — as opposed to deterministic (bad config, a
+    /// numeric failure, a panic), which would replay identically because
+    /// all scenario randomness is spec-derived. The fail-soft runner's
+    /// [`crate::scenario::RetryPolicy`] consults this classification.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ExperimentError::Io(_)
+                | ExperimentError::IoAt { .. }
+                | ExperimentError::Data(DataError::Io(_) | DataError::IoAt { .. })
+                | ExperimentError::Recon(ReconError::Data(
+                    DataError::Io(_) | DataError::IoAt { .. }
+                ))
+        )
+    }
 }
 
 impl fmt::Display for ExperimentError {
@@ -44,6 +95,18 @@ impl fmt::Display for ExperimentError {
                 write!(f, "experiment worker failed: {reason}")
             }
             ExperimentError::Io(e) => write!(f, "I/O error: {e}"),
+            ExperimentError::IoAt { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            ExperimentError::Journal { path, reason } => {
+                write!(f, "result journal {}: {reason}", path.display())
+            }
+            ExperimentError::InjectedFault { label } => {
+                write!(f, "injected fault (testing support) in scenario '{label}'")
+            }
+            ExperimentError::MetricMissing { label, metric } => {
+                write!(f, "scenario '{label}' did not compute metric '{metric}'")
+            }
             ExperimentError::Data(e) => write!(f, "data error: {e}"),
             ExperimentError::Noise(e) => write!(f, "noise error: {e}"),
             ExperimentError::Recon(e) => write!(f, "reconstruction error: {e}"),
@@ -56,6 +119,7 @@ impl std::error::Error for ExperimentError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExperimentError::Io(e) => Some(e),
+            ExperimentError::IoAt { source, .. } => Some(source),
             ExperimentError::Data(e) => Some(e),
             ExperimentError::Noise(e) => Some(e),
             ExperimentError::Recon(e) => Some(e),
@@ -117,5 +181,30 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: ExperimentError = std::io::Error::other("disk").into();
         assert!(e.to_string().contains("disk"));
+        let e = ExperimentError::Journal {
+            path: std::path::PathBuf::from("/tmp/sweep.journal"),
+            reason: "fingerprint mismatch".into(),
+        };
+        assert!(e.to_string().contains("sweep.journal"));
+        assert!(e.to_string().contains("fingerprint"));
+        let e = ExperimentError::MetricMissing {
+            label: "cell".into(),
+            metric: "rmse",
+        };
+        assert!(e.to_string().contains("rmse"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(ExperimentError::Io(std::io::Error::other("disk")).is_transient());
+        assert!(ExperimentError::IoAt {
+            path: "/x".into(),
+            source: std::io::Error::other("disk"),
+        }
+        .is_transient());
+        assert!(ExperimentError::from(DataError::Io(std::io::Error::other("disk"))).is_transient());
+        assert!(!ExperimentError::InvalidConfig { reason: "x".into() }.is_transient());
+        assert!(!ExperimentError::WorkerFailed { reason: "x".into() }.is_transient());
+        assert!(!ExperimentError::InjectedFault { label: "x".into() }.is_transient());
     }
 }

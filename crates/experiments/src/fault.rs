@@ -1,0 +1,412 @@
+//! Deterministic fault injection — the testing-support harness behind the
+//! crash-resume and fail-soft test suites.
+//!
+//! Nothing in this module fires on its own: every fault is installed
+//! explicitly, fires at a **deterministic, seed-derivable point** (record
+//! `k`, chunk `k`, byte offset `b`), and is therefore reproducible across
+//! runs and thread counts. The pieces:
+//!
+//! * [`FaultMode`] — the payload of
+//!   [`AttackSpec::InjectedFault`](crate::scenario::AttackSpec::InjectedFault):
+//!   a scenario that errors, panics, or fails transiently (first `k`
+//!   invocations) instead of attacking. This is how the fail-soft runner's
+//!   containment and retry paths are exercised end to end.
+//! * [`FaultyChunkSource`] — wraps any [`RecordChunkSource`] and injects an
+//!   error, a panic, or a malformed (wrong-width) chunk at sweep `s`,
+//!   chunk `k` — the streaming driver's chunk-located error wrapping
+//!   ([`ReconError::AtChunk`](randrecon_core::ReconError::AtChunk)) is
+//!   tested through this.
+//! * [`FaultySink`] — wraps any [`RecordSink`] and fails (or panics) when
+//!   chunk `k` of the reconstruction arrives.
+//! * [`FailingWrite`] — an [`std::io::Write`] with a byte budget: writes
+//!   succeed until the budget is spent, then fail — torn-write behaviour
+//!   without a real full disk.
+//! * [`crash_offsets`] — seed-derived byte offsets for the randomized
+//!   crash-matrix tests (kill a journal-writing child at offset `b`,
+//!   resume, assert recovery).
+//!
+//! The process-global transient counter ([`FaultMode::Transient`]) is keyed
+//! by scenario label; call [`reset_transient_counters`] between tests that
+//! reuse labels.
+
+use crate::error::{ExperimentError, Result};
+use randrecon_core::streaming::RecordSink;
+use randrecon_core::ReconError;
+use randrecon_data::chunks::RecordChunkSource;
+use randrecon_data::DataError;
+use randrecon_linalg::Matrix;
+use randrecon_stats::rng::child_seed;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Scenario-level faults
+// ---------------------------------------------------------------------------
+
+/// How an [`AttackSpec::InjectedFault`](crate::scenario::AttackSpec::InjectedFault)
+/// scenario fails. Testing support: real scenarios never produce these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultMode {
+    /// Every invocation returns [`ExperimentError::InjectedFault`]
+    /// (deterministic — the retry policy will not retry it by default).
+    Error,
+    /// Every invocation panics (exercises `catch_unwind` containment).
+    Panic,
+    /// The first `fail_first` invocations fail with an I/O error (which
+    /// [`ExperimentError::is_transient`] classifies as retryable); later
+    /// invocations succeed with zeroed metrics. Invocations are counted
+    /// per scenario label in a process-global registry — see
+    /// [`reset_transient_counters`].
+    Transient {
+        /// Number of leading invocations that fail.
+        fail_first: u32,
+    },
+}
+
+fn transient_counters() -> &'static Mutex<HashMap<String, u32>> {
+    static COUNTS: OnceLock<Mutex<HashMap<String, u32>>> = OnceLock::new();
+    COUNTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Clears the process-global invocation counters behind
+/// [`FaultMode::Transient`]. Tests that reuse scenario labels call this
+/// first so earlier tests cannot spend their fault budget.
+pub fn reset_transient_counters() {
+    transient_counters()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+impl FaultMode {
+    /// Fires the fault for the scenario `label`: returns an error, panics,
+    /// or — for [`FaultMode::Transient`] past its budget — returns `Ok(())`
+    /// (the scenario then reports zeroed metrics).
+    pub fn trigger(&self, label: &str) -> Result<()> {
+        match self {
+            FaultMode::Error => Err(ExperimentError::InjectedFault {
+                label: label.to_string(),
+            }),
+            FaultMode::Panic => panic!("injected panic in scenario '{label}'"),
+            FaultMode::Transient { fail_first } => {
+                let mut counts = transient_counters()
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                let count = counts.entry(label.to_string()).or_insert(0);
+                *count += 1;
+                if *count <= *fail_first {
+                    Err(ExperimentError::Io(std::io::Error::other(format!(
+                        "injected transient fault in scenario '{label}' \
+                         (invocation {count} of {fail_first} that fail)"
+                    ))))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-source faults
+// ---------------------------------------------------------------------------
+
+/// What a [`FaultyChunkSource`] does when its trigger chunk is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkFault {
+    /// `next_chunk` returns a [`DataError::Stream`] error.
+    Error,
+    /// `next_chunk` panics.
+    Panic,
+    /// The chunk is emitted with its last column dropped (wrong width), so
+    /// the failure surfaces downstream — in the reconstructor or the sink —
+    /// rather than at the source.
+    Malformed,
+}
+
+/// A [`RecordChunkSource`] wrapper that injects one deterministic fault at
+/// (`sweep`, `chunk`).
+///
+/// Sweeps are counted by [`reset`](RecordChunkSource::reset) calls: the
+/// two-pass streaming driver resets before each pass, so `on_sweep = 1`
+/// fires during pass 1 (moment accumulation) and `on_sweep = 2` during
+/// pass 2 (reconstruction) — the pass whose chunk-located
+/// [`AtChunk`](randrecon_core::ReconError::AtChunk) wrapping the crash
+/// tests pin down.
+pub struct FaultyChunkSource<S> {
+    inner: S,
+    fault: ChunkFault,
+    on_sweep: usize,
+    at_chunk: usize,
+    sweep: usize,
+    emitted: usize,
+}
+
+impl<S: RecordChunkSource> FaultyChunkSource<S> {
+    /// Wraps `inner`; the fault fires when chunk `at_chunk` (0-based) of
+    /// sweep `on_sweep` (1-based, counted by `reset` calls) is requested.
+    pub fn new(inner: S, fault: ChunkFault, on_sweep: usize, at_chunk: usize) -> Self {
+        FaultyChunkSource {
+            inner,
+            fault,
+            on_sweep,
+            at_chunk,
+            sweep: 0,
+            emitted: 0,
+        }
+    }
+}
+
+impl<S: RecordChunkSource> RecordChunkSource for FaultyChunkSource<S> {
+    fn n_attributes(&self) -> usize {
+        self.inner.n_attributes()
+    }
+
+    fn n_records_hint(&self) -> Option<usize> {
+        self.inner.n_records_hint()
+    }
+
+    fn reset(&mut self) -> randrecon_data::Result<()> {
+        self.sweep += 1;
+        self.emitted = 0;
+        self.inner.reset()
+    }
+
+    fn next_chunk(&mut self) -> randrecon_data::Result<Option<Matrix>> {
+        let fire = self.sweep == self.on_sweep && self.emitted == self.at_chunk;
+        self.emitted += 1;
+        if fire {
+            match self.fault {
+                ChunkFault::Error => {
+                    return Err(DataError::Stream {
+                        reason: format!(
+                            "injected source fault at sweep {} chunk {}",
+                            self.sweep, self.at_chunk
+                        ),
+                    })
+                }
+                ChunkFault::Panic => panic!(
+                    "injected source panic at sweep {} chunk {}",
+                    self.sweep, self.at_chunk
+                ),
+                ChunkFault::Malformed => {
+                    let chunk = self.inner.next_chunk()?;
+                    return Ok(match chunk {
+                        Some(c) if c.cols() > 1 => {
+                            Some(c.submatrix(0, c.rows(), 0, c.cols() - 1)?)
+                        }
+                        other => other,
+                    });
+                }
+            }
+        }
+        self.inner.next_chunk()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sink faults
+// ---------------------------------------------------------------------------
+
+/// A [`RecordSink`] wrapper that fails (or panics) when reconstruction
+/// chunk `at_chunk` (0-based) arrives. Chunks before the trigger are
+/// forwarded to the inner sink unchanged.
+pub struct FaultySink<S> {
+    inner: S,
+    at_chunk: usize,
+    panic_instead: bool,
+    seen: usize,
+}
+
+impl<S: RecordSink> FaultySink<S> {
+    /// Fails `consume_chunk` with a [`ReconError::InvalidInput`] at chunk
+    /// `at_chunk`.
+    pub fn erroring(inner: S, at_chunk: usize) -> Self {
+        FaultySink {
+            inner,
+            at_chunk,
+            panic_instead: false,
+            seen: 0,
+        }
+    }
+
+    /// Panics in `consume_chunk` at chunk `at_chunk`.
+    pub fn panicking(inner: S, at_chunk: usize) -> Self {
+        FaultySink {
+            inner,
+            at_chunk,
+            panic_instead: true,
+            seen: 0,
+        }
+    }
+
+    /// The wrapped sink (to read accumulated state after a partial run).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: RecordSink> RecordSink for FaultySink<S> {
+    fn consume_chunk(&mut self, chunk: &Matrix) -> randrecon_core::Result<()> {
+        let fire = self.seen == self.at_chunk;
+        self.seen += 1;
+        if fire {
+            if self.panic_instead {
+                panic!("injected sink panic at chunk {}", self.at_chunk);
+            }
+            return Err(ReconError::InvalidInput {
+                reason: format!("injected sink fault at chunk {}", self.at_chunk),
+            });
+        }
+        self.inner.consume_chunk(chunk)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write faults
+// ---------------------------------------------------------------------------
+
+/// An [`std::io::Write`] with a byte budget: bytes pass through until the
+/// budget is spent, after which every write fails. A write straddling the
+/// budget is **torn** — its leading bytes go through — which is exactly the
+/// partial-frame state the journal's recovery pass must detect.
+pub struct FailingWrite<W> {
+    inner: W,
+    remaining: usize,
+}
+
+impl<W: Write> FailingWrite<W> {
+    /// Allows exactly `budget` bytes through before failing.
+    pub fn new(inner: W, budget: usize) -> Self {
+        FailingWrite {
+            inner,
+            remaining: budget,
+        }
+    }
+
+    /// The wrapped writer (to inspect what made it through).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailingWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(std::io::Error::other(
+                "injected write failure (budget spent)",
+            ));
+        }
+        let n = buf.len().min(self.remaining);
+        let written = self.inner.write(&buf[..n])?;
+        self.remaining -= written;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-offset derivation
+// ---------------------------------------------------------------------------
+
+/// `count` deterministic byte offsets in `[0, max)`, derived from `seed`
+/// with the same SplitMix64 stream-splitting the experiment seeds use — the
+/// randomized crash-offset matrix kills a journal at these offsets and
+/// asserts recovery at each.
+pub fn crash_offsets(seed: u64, count: usize, max: u64) -> Vec<u64> {
+    assert!(max > 0, "crash_offsets needs a positive range");
+    (0..count)
+        .map(|i| child_seed(seed, i as u64) % max)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use randrecon_data::chunks::TableChunkSource;
+    use randrecon_data::DataTable;
+
+    fn small_table() -> DataTable {
+        let values = Matrix::from_fn(10, 3, |i, j| (i * 3 + j) as f64);
+        DataTable::from_matrix(values).expect("table")
+    }
+
+    #[test]
+    fn fault_mode_error_and_transient() {
+        reset_transient_counters();
+        assert!(FaultMode::Error.trigger("cell").is_err());
+        let t = FaultMode::Transient { fail_first: 2 };
+        let first = t.trigger("cell-t").unwrap_err();
+        assert!(first.is_transient());
+        assert!(t.trigger("cell-t").is_err());
+        assert!(t.trigger("cell-t").is_ok());
+        // Fresh label has its own budget.
+        assert!(t.trigger("cell-u").is_err());
+    }
+
+    #[test]
+    fn faulty_source_fires_on_requested_sweep_only() {
+        let table = small_table();
+        let inner = TableChunkSource::new(&table, 4).expect("source");
+        let mut src = FaultyChunkSource::new(inner, ChunkFault::Error, 2, 1);
+        // Sweep 1: clean.
+        src.reset().unwrap();
+        let mut chunks = 0;
+        while src.next_chunk().unwrap().is_some() {
+            chunks += 1;
+        }
+        assert_eq!(chunks, 3);
+        // Sweep 2: chunk 1 errors.
+        src.reset().unwrap();
+        assert!(src.next_chunk().is_ok());
+        let err = src.next_chunk().unwrap_err();
+        assert!(err.to_string().contains("injected source fault"));
+    }
+
+    #[test]
+    fn malformed_chunk_loses_a_column() {
+        let table = small_table();
+        let inner = TableChunkSource::new(&table, 4).expect("source");
+        let mut src = FaultyChunkSource::new(inner, ChunkFault::Malformed, 1, 0);
+        src.reset().unwrap();
+        let bad = src.next_chunk().unwrap().expect("chunk");
+        assert_eq!(bad.cols(), 2);
+        let good = src.next_chunk().unwrap().expect("chunk");
+        assert_eq!(good.cols(), 3);
+    }
+
+    #[test]
+    fn faulty_sink_errors_at_chunk() {
+        use randrecon_core::streaming::DiscardSink;
+        let mut sink = FaultySink::erroring(DiscardSink::default(), 1);
+        let chunk = Matrix::from_fn(2, 3, |i, j| (i + j) as f64);
+        sink.consume_chunk(&chunk).unwrap();
+        let err = sink.consume_chunk(&chunk).unwrap_err();
+        assert!(err.to_string().contains("injected sink fault at chunk 1"));
+        assert_eq!(sink.inner().rows(), 2);
+    }
+
+    #[test]
+    fn failing_write_tears_at_budget() {
+        let mut w = FailingWrite::new(Vec::new(), 5);
+        assert_eq!(w.write(b"abc").unwrap(), 3);
+        // Straddles the budget: only 2 of 4 bytes go through.
+        assert_eq!(w.write(b"defg").unwrap(), 2);
+        assert!(w.write(b"h").is_err());
+        assert_eq!(w.into_inner(), b"abcde");
+    }
+
+    #[test]
+    fn crash_offsets_deterministic_and_in_range() {
+        let a = crash_offsets(42, 16, 1000);
+        let b = crash_offsets(42, 16, 1000);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&o| o < 1000));
+        assert_ne!(a, crash_offsets(43, 16, 1000));
+    }
+}

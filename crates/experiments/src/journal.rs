@@ -1,0 +1,870 @@
+//! The append-only result journal behind crash-resumable sweeps.
+//!
+//! A long sweep writes each scenario's outcome to a [`ResultJournal`] the
+//! moment it finishes, so a crash — a kill, a panic that escapes, a power
+//! cut — loses at most the scenarios in flight. Re-running the same sweep
+//! with [`run_scenarios_resumable`] recovers the journal, skips every cell
+//! it already holds, executes only the remainder, and returns outcomes
+//! **bit-identical** to a fresh run (all scenario randomness is
+//! spec-derived; the journal stores full results, not summaries).
+//!
+//! ## On-disk format
+//!
+//! Everything is hand-rolled little-endian binary (no serialization
+//! dependency) and self-checking:
+//!
+//! ```text
+//! header (32 bytes):
+//!   magic        8  b"RRJOURN1"
+//!   version      4  u32 = 1
+//!   spec_count   4  u32   — cells in the grid this journal belongs to
+//!   fingerprint  8  u64   — FNV-1a over the full spec list
+//!   header_crc   8  u64   — FNV-1a over the 24 bytes above
+//! record (repeated):
+//!   len          4  u32   — payload length in bytes
+//!   crc          8  u64   — FNV-1a over the payload
+//!   payload    len        — (grid index, ScenarioOutcome), see below
+//! ```
+//!
+//! Strings are `u32` length + UTF-8 bytes; `f64`s are stored as raw IEEE
+//! bits (`to_bits`/`from_bits`), so values — including the wall-clock
+//! `seconds` field — round-trip exactly.
+//!
+//! ## Recovery semantics
+//!
+//! [`ResultJournal::open_or_create`] classifies what it finds:
+//!
+//! * empty or missing file → fresh journal;
+//! * a **torn header** (shorter than 32 bytes but a prefix of the magic) →
+//!   the creating process died mid-create; start fresh;
+//! * anything that is not this journal format (bad magic, bad header CRC)
+//!   → hard error — the file belongs to someone else and is not clobbered;
+//! * a valid header whose fingerprint or spec count disagrees with the
+//!   grid being resumed → hard [`ExperimentError::Journal`] error (a stale
+//!   journal silently mixed into a changed grid would corrupt results);
+//! * a valid header followed by records → every intact record is
+//!   recovered; the first torn or corrupt record frame (a crash mid-append
+//!   tears exactly the trailing record) ends the scan and the file is
+//!   truncated back to the last intact frame.
+//!
+//! ## Crash points
+//!
+//! [`CrashPoint`] aborts the process at a deterministic spot inside
+//! [`append`](ResultJournal::append) — after `k` records, or mid-frame at
+//! absolute byte offset `b` — which is how the kill-and-resume tests
+//! produce real torn files instead of simulated ones.
+
+use crate::error::{ExperimentError, Result};
+use crate::scenario::{
+    execute_specs_failsoft, MetricKind, RetryPolicy, ScenarioFailure, ScenarioOutcome,
+    ScenarioResult, ScenarioSpec,
+};
+use crate::SchemeKind;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const MAGIC: &[u8; 8] = b"RRJOURN1";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 32;
+/// Frame overhead preceding each record payload: `len` (4) + `crc` (8).
+const FRAME_OVERHEAD: usize = 12;
+
+// ---------------------------------------------------------------------------
+// FNV-1a
+// ---------------------------------------------------------------------------
+
+fn fnv64(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// The grid fingerprint stored in the journal header: FNV-1a over the debug
+/// rendering of every spec. Any change to the grid — an added cell, a
+/// different seed, a renamed label — changes the fingerprint, and
+/// [`ResultJournal::open_or_create`] rejects the stale journal instead of
+/// resuming into the wrong grid.
+pub fn grid_fingerprint(specs: &[ScenarioSpec]) -> u64 {
+    let mut hash = fnv64(FNV_OFFSET, &(specs.len() as u64).to_le_bytes());
+    for spec in specs {
+        hash = fnv64(hash, format!("{spec:?}").as_bytes());
+        hash = fnv64(hash, &[0xFF]);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn scheme_tag(scheme: Option<SchemeKind>) -> u8 {
+    match scheme {
+        None => 0,
+        Some(SchemeKind::Ndr) => 1,
+        Some(SchemeKind::Udr) => 2,
+        Some(SchemeKind::SpectralFiltering) => 3,
+        Some(SchemeKind::PcaDr) => 4,
+        Some(SchemeKind::BeDr) => 5,
+    }
+}
+
+fn metric_tag(kind: MetricKind) -> u8 {
+    match kind {
+        MetricKind::Rmse => 0,
+        MetricKind::Mse => 1,
+        MetricKind::NormalizedRmse => 2,
+    }
+}
+
+fn encode_record(index: usize, outcome: &ScenarioOutcome) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    put_u64(&mut out, index as u64);
+    match outcome {
+        ScenarioOutcome::Completed(r) => {
+            out.push(0);
+            put_str(&mut out, &r.label);
+            put_f64(&mut out, r.x);
+            out.push(scheme_tag(r.scheme));
+            put_str(&mut out, &r.attack);
+            put_str(&mut out, r.engine);
+            put_u64(&mut out, r.n_records as u64);
+            put_u64(&mut out, r.trials as u64);
+            put_u32(&mut out, r.metrics.len() as u32);
+            for &(kind, value) in &r.metrics {
+                out.push(metric_tag(kind));
+                put_f64(&mut out, value);
+            }
+            match r.components_kept {
+                Some(k) => {
+                    out.push(1);
+                    put_u64(&mut out, k as u64);
+                }
+                None => out.push(0),
+            }
+            put_f64(&mut out, r.seconds);
+        }
+        ScenarioOutcome::Failed(f) => {
+            out.push(1);
+            put_str(&mut out, &f.label);
+            put_str(&mut out, &f.attack);
+            put_str(&mut out, f.engine);
+            put_str(&mut out, &f.error);
+            out.push(u8::from(f.transient));
+            put_u32(&mut out, f.attempts);
+        }
+    }
+    out
+}
+
+/// Bounds-checked little-endian reader over a payload; any violation makes
+/// the whole record count as corrupt.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+fn decode_scheme(tag: u8) -> Option<Option<SchemeKind>> {
+    Some(match tag {
+        0 => None,
+        1 => Some(SchemeKind::Ndr),
+        2 => Some(SchemeKind::Udr),
+        3 => Some(SchemeKind::SpectralFiltering),
+        4 => Some(SchemeKind::PcaDr),
+        5 => Some(SchemeKind::BeDr),
+        _ => return None,
+    })
+}
+
+fn decode_metric(tag: u8) -> Option<MetricKind> {
+    Some(match tag {
+        0 => MetricKind::Rmse,
+        1 => MetricKind::Mse,
+        2 => MetricKind::NormalizedRmse,
+        _ => return None,
+    })
+}
+
+fn decode_engine(label: &str) -> Option<&'static str> {
+    match label {
+        "in-memory" => Some("in-memory"),
+        "streaming" => Some("streaming"),
+        _ => None,
+    }
+}
+
+fn decode_record(payload: &[u8]) -> Option<(usize, ScenarioOutcome)> {
+    let mut d = Dec {
+        buf: payload,
+        pos: 0,
+    };
+    let index = usize::try_from(d.u64()?).ok()?;
+    let outcome = match d.u8()? {
+        0 => {
+            let label = d.str()?;
+            let x = d.f64()?;
+            let scheme = decode_scheme(d.u8()?)?;
+            let attack = d.str()?;
+            let engine = decode_engine(&d.str()?)?;
+            let n_records = usize::try_from(d.u64()?).ok()?;
+            let trials = usize::try_from(d.u64()?).ok()?;
+            let n_metrics = d.u32()? as usize;
+            let mut metrics = Vec::with_capacity(n_metrics.min(64));
+            for _ in 0..n_metrics {
+                let kind = decode_metric(d.u8()?)?;
+                metrics.push((kind, d.f64()?));
+            }
+            let components_kept = match d.u8()? {
+                0 => None,
+                1 => Some(usize::try_from(d.u64()?).ok()?),
+                _ => return None,
+            };
+            let seconds = d.f64()?;
+            ScenarioOutcome::Completed(ScenarioResult {
+                label,
+                x,
+                scheme,
+                attack,
+                engine,
+                n_records,
+                trials,
+                metrics,
+                components_kept,
+                seconds,
+            })
+        }
+        1 => {
+            let label = d.str()?;
+            let attack = d.str()?;
+            let engine = decode_engine(&d.str()?)?;
+            let error = d.str()?;
+            let transient = match d.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            let attempts = d.u32()?;
+            ScenarioOutcome::Failed(ScenarioFailure {
+                label,
+                attack,
+                engine,
+                error,
+                transient,
+                attempts,
+            })
+        }
+        _ => return None,
+    };
+    // Trailing garbage means the frame length lied about the payload.
+    if d.pos != payload.len() {
+        return None;
+    }
+    Some((index, outcome))
+}
+
+// ---------------------------------------------------------------------------
+// The journal
+// ---------------------------------------------------------------------------
+
+/// Deterministic process-abort points inside [`ResultJournal::append`] —
+/// testing support for the kill-and-resume suite. The abort is a real
+/// `std::process::abort()`, so the file is left exactly as a crash would
+/// leave it (no destructors, no buffered-writer flush).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Abort before writing record `k` (0-based): the journal ends with
+    /// exactly `k` intact records.
+    AfterRecords(u64),
+    /// Abort once the file reaches absolute byte offset `b`: the frame
+    /// straddling `b` is written only up to `b` — a torn trailing record
+    /// (or, for `b` < 32, a torn header).
+    AtByte(u64),
+}
+
+/// An append-only, checksummed, crash-recoverable log of scenario outcomes.
+/// See the [module docs](self) for the format and recovery rules.
+pub struct ResultJournal {
+    path: PathBuf,
+    file: File,
+    bytes_written: u64,
+    records_written: u64,
+    crash: Option<CrashPoint>,
+}
+
+impl std::fmt::Debug for ResultJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultJournal")
+            .field("path", &self.path)
+            .field("bytes_written", &self.bytes_written)
+            .field("records_written", &self.records_written)
+            .field("crash", &self.crash)
+            .finish()
+    }
+}
+
+impl ResultJournal {
+    fn journal_err(path: &Path, reason: impl Into<String>) -> ExperimentError {
+        ExperimentError::Journal {
+            path: path.to_path_buf(),
+            reason: reason.into(),
+        }
+    }
+
+    fn io_err(path: &Path, source: std::io::Error) -> ExperimentError {
+        ExperimentError::IoAt {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    fn header_bytes(specs: &[ScenarioSpec]) -> [u8; 32] {
+        let mut header = [0u8; 32];
+        header[..8].copy_from_slice(MAGIC);
+        header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&(specs.len() as u32).to_le_bytes());
+        header[16..24].copy_from_slice(&grid_fingerprint(specs).to_le_bytes());
+        let crc = fnv64(FNV_OFFSET, &header[..24]);
+        header[24..32].copy_from_slice(&crc.to_le_bytes());
+        header
+    }
+
+    /// Creates (or truncates) the journal at `path` for the given grid and
+    /// writes a fresh header.
+    pub fn create(path: impl Into<PathBuf>, specs: &[ScenarioSpec]) -> Result<ResultJournal> {
+        let path = path.into();
+        let mut file = File::create(&path).map_err(|e| Self::io_err(&path, e))?;
+        file.write_all(&Self::header_bytes(specs))
+            .map_err(|e| Self::io_err(&path, e))?;
+        Ok(ResultJournal {
+            path,
+            file,
+            bytes_written: HEADER_LEN,
+            records_written: 0,
+            crash: None,
+        })
+    }
+
+    /// Opens an existing journal for the given grid — recovering every
+    /// intact record and truncating a torn tail — or creates a fresh one if
+    /// `path` is missing or empty. Returns the journal positioned for
+    /// appends plus the recovered `(grid index, outcome)` pairs in journal
+    /// order. See the [module docs](self) for the full recovery rules.
+    pub fn open_or_create(
+        path: impl Into<PathBuf>,
+        specs: &[ScenarioSpec],
+    ) -> Result<(ResultJournal, Vec<(usize, ScenarioOutcome)>)> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| Self::io_err(&path, e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| Self::io_err(&path, e))?;
+
+        if (bytes.len() as u64) < HEADER_LEN {
+            // Empty file: fresh. A short file that is a prefix of our own
+            // magic is a header torn by a crash mid-create: also fresh.
+            // Anything else is some other file — refuse to clobber it.
+            let probe = bytes.len().min(MAGIC.len());
+            if !bytes.is_empty() && bytes[..probe] != MAGIC[..probe] {
+                return Err(Self::journal_err(
+                    &path,
+                    "existing file is not a result journal (bad magic)",
+                ));
+            }
+            file.set_len(0).map_err(|e| Self::io_err(&path, e))?;
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| Self::io_err(&path, e))?;
+            file.write_all(&Self::header_bytes(specs))
+                .map_err(|e| Self::io_err(&path, e))?;
+            return Ok((
+                ResultJournal {
+                    path,
+                    file,
+                    bytes_written: HEADER_LEN,
+                    records_written: 0,
+                    crash: None,
+                },
+                Vec::new(),
+            ));
+        }
+
+        if &bytes[..8] != MAGIC {
+            return Err(Self::journal_err(
+                &path,
+                "existing file is not a result journal (bad magic)",
+            ));
+        }
+        let stored_crc = u64::from_le_bytes(bytes[24..32].try_into().expect("8 header bytes"));
+        if fnv64(FNV_OFFSET, &bytes[..24]) != stored_crc {
+            return Err(Self::journal_err(&path, "header checksum mismatch"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 header bytes"));
+        if version != VERSION {
+            return Err(Self::journal_err(
+                &path,
+                format!("unsupported journal version {version} (this build writes {VERSION})"),
+            ));
+        }
+        let spec_count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 header bytes"));
+        let fingerprint = u64::from_le_bytes(bytes[16..24].try_into().expect("8 header bytes"));
+        if spec_count as usize != specs.len() || fingerprint != grid_fingerprint(specs) {
+            return Err(Self::journal_err(
+                &path,
+                format!(
+                    "grid fingerprint mismatch: journal was written for a different scenario \
+                     grid ({spec_count} cells, fingerprint {fingerprint:#018x}); delete the \
+                     journal or rerun with the original grid"
+                ),
+            ));
+        }
+
+        // Scan record frames; the first torn or corrupt frame ends the
+        // journal and everything from it on is truncated away.
+        let mut recovered = Vec::new();
+        let mut offset = HEADER_LEN as usize;
+        let mut records = 0u64;
+        loop {
+            let remaining = bytes.len() - offset;
+            if remaining == 0 {
+                break;
+            }
+            if remaining < FRAME_OVERHEAD {
+                break; // torn frame prefix
+            }
+            let len =
+                u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 frame bytes"))
+                    as usize;
+            if len > remaining - FRAME_OVERHEAD {
+                break; // torn payload
+            }
+            let crc = u64::from_le_bytes(
+                bytes[offset + 4..offset + 12]
+                    .try_into()
+                    .expect("8 frame bytes"),
+            );
+            let payload = &bytes[offset + FRAME_OVERHEAD..offset + FRAME_OVERHEAD + len];
+            if fnv64(FNV_OFFSET, payload) != crc {
+                break; // corrupt payload
+            }
+            let Some((index, outcome)) = decode_record(payload) else {
+                break; // structurally invalid payload
+            };
+            if index >= specs.len() {
+                break; // index beyond the grid: corrupt
+            }
+            recovered.push((index, outcome));
+            records += 1;
+            offset += FRAME_OVERHEAD + len;
+        }
+
+        if offset < bytes.len() {
+            file.set_len(offset as u64)
+                .map_err(|e| Self::io_err(&path, e))?;
+        }
+        file.seek(SeekFrom::Start(offset as u64))
+            .map_err(|e| Self::io_err(&path, e))?;
+        Ok((
+            ResultJournal {
+                path,
+                file,
+                bytes_written: offset as u64,
+                records_written: records,
+                crash: None,
+            },
+            recovered,
+        ))
+    }
+
+    /// Appends one outcome, framed and checksummed. Writes go straight to
+    /// the file (no user-space buffering), so a process abort immediately
+    /// after `append` returns loses nothing.
+    pub fn append(&mut self, index: usize, outcome: &ScenarioOutcome) -> Result<()> {
+        let payload = encode_record(index, outcome);
+        let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u64(&mut frame, fnv64(FNV_OFFSET, &payload));
+        frame.extend_from_slice(&payload);
+
+        match self.crash {
+            Some(CrashPoint::AfterRecords(k)) if self.records_written >= k => {
+                std::process::abort();
+            }
+            Some(CrashPoint::AtByte(b)) if self.bytes_written + frame.len() as u64 > b => {
+                let keep = b.saturating_sub(self.bytes_written) as usize;
+                // Tear the frame at the crash byte, then die like a crash.
+                let _ = self.file.write_all(&frame[..keep]);
+                let _ = self.file.flush();
+                std::process::abort();
+            }
+            _ => {}
+        }
+
+        self.file
+            .write_all(&frame)
+            .map_err(|e| Self::io_err(&self.path, e))?;
+        self.bytes_written += frame.len() as u64;
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Installs (or clears) a deterministic abort point — testing support
+    /// for the kill-and-resume suite.
+    pub fn set_crash_point(&mut self, crash: Option<CrashPoint>) {
+        self.crash = crash;
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records currently in the journal (recovered + appended).
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Current file length in bytes (header + intact frames).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The resumable runner
+// ---------------------------------------------------------------------------
+
+/// What [`run_scenarios_resumable`] did: the full outcome list plus how
+/// much of it came from the journal versus this invocation.
+#[derive(Debug)]
+pub struct ResumableRun {
+    /// One outcome per input spec, in input order — journaled cells and
+    /// freshly-executed cells are indistinguishable here.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Cells restored from the journal (skipped this invocation).
+    pub resumed: usize,
+    /// Cells executed (and journaled) by this invocation.
+    pub executed: usize,
+}
+
+/// Runs a sweep fail-soft with every outcome journaled to `journal_path`
+/// the moment it lands, resuming past work if the journal already holds it.
+///
+/// Scenarios found in the journal (matched by grid index, after the
+/// fingerprint check guarantees the journal belongs to exactly this spec
+/// list) are **not** re-executed; the remainder runs under
+/// [`run_scenarios_failsoft`](crate::scenario::run_scenarios_failsoft)
+/// semantics with outcomes appended as they complete. Because every
+/// scenario's result is a pure function of its spec, the final outcome
+/// list is bit-identical to an uninterrupted run — `seconds` (wall-clock)
+/// aside — no matter how many crash/resume cycles it took.
+///
+/// A journal append failure aborts the sweep: continuing without
+/// durability would silently downgrade the crash-safety contract.
+pub fn run_scenarios_resumable(
+    specs: &[ScenarioSpec],
+    journal_path: impl Into<PathBuf>,
+    policy: RetryPolicy,
+) -> Result<ResumableRun> {
+    run_scenarios_resumable_with_crash(specs, journal_path, policy, None)
+}
+
+/// [`run_scenarios_resumable`] with a [`CrashPoint`] installed on the
+/// journal — testing support for the kill-and-resume suite, which re-execs
+/// a child sweep with a crash point and then resumes it without one.
+pub fn run_scenarios_resumable_with_crash(
+    specs: &[ScenarioSpec],
+    journal_path: impl Into<PathBuf>,
+    policy: RetryPolicy,
+    crash: Option<CrashPoint>,
+) -> Result<ResumableRun> {
+    let journal_path = journal_path.into();
+    let (mut journal, recovered) = ResultJournal::open_or_create(&journal_path, specs)?;
+    journal.set_crash_point(crash);
+
+    let mut slots: Vec<Option<ScenarioOutcome>> = (0..specs.len()).map(|_| None).collect();
+    for (index, outcome) in recovered {
+        // Duplicate indices cannot arise from this runner, but a journal is
+        // just a file: last record wins, matching append order.
+        slots[index] = Some(outcome);
+    }
+    let resumed = slots.iter().filter(|s| s.is_some()).count();
+
+    let pending: Vec<usize> = (0..specs.len()).filter(|&i| slots[i].is_none()).collect();
+    let pending_specs: Vec<ScenarioSpec> = pending.iter().map(|&i| specs[i].clone()).collect();
+    let executed = pending_specs.len();
+
+    let journal = Mutex::new(journal);
+    let fresh = execute_specs_failsoft(&pending_specs, policy, |sub_index, outcome| {
+        let mut journal = journal.lock().unwrap_or_else(|e| e.into_inner());
+        journal.append(pending[sub_index], outcome)
+    })?;
+    for (sub_index, outcome) in fresh.into_iter().enumerate() {
+        slots[pending[sub_index]] = Some(outcome);
+    }
+
+    Ok(ResumableRun {
+        outcomes: slots
+            .into_iter()
+            .map(|s| s.expect("every scenario has an outcome"))
+            .collect(),
+        resumed,
+        executed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(n: usize) -> Vec<ScenarioSpec> {
+        (0..n)
+            .map(|i| ScenarioSpec::synthetic_quick(&format!("cell{i}"), 64 + i, 4, 2))
+            .collect()
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "randrecon-journal-{tag}-{}.bin",
+            std::process::id()
+        ))
+    }
+
+    fn sample_completed(label: &str) -> ScenarioOutcome {
+        ScenarioOutcome::Completed(ScenarioResult {
+            label: label.to_string(),
+            x: 12.5,
+            scheme: Some(SchemeKind::BeDr),
+            attack: "BE-DR".to_string(),
+            engine: "in-memory",
+            n_records: 100,
+            trials: 3,
+            metrics: vec![(MetricKind::Rmse, 1.25), (MetricKind::Mse, 1.5625)],
+            components_kept: Some(5),
+            seconds: 0.125,
+        })
+    }
+
+    fn sample_failed(label: &str) -> ScenarioOutcome {
+        ScenarioOutcome::Failed(ScenarioFailure {
+            label: label.to_string(),
+            attack: "fault[Error]".to_string(),
+            engine: "in-memory",
+            error: "injected fault".to_string(),
+            transient: false,
+            attempts: 2,
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_outcomes_exactly() {
+        let grid = specs(4);
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut journal = ResultJournal::create(&path, &grid).unwrap();
+            journal.append(2, &sample_completed("cell2")).unwrap();
+            journal.append(0, &sample_failed("cell0")).unwrap();
+            assert_eq!(journal.records_written(), 2);
+        }
+        let (journal, recovered) = ResultJournal::open_or_create(&path, &grid).unwrap();
+        assert_eq!(journal.records_written(), 2);
+        assert_eq!(
+            recovered,
+            vec![(2, sample_completed("cell2")), (0, sample_failed("cell0")),]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let grid = specs(3);
+        let path = temp_path("stale");
+        let _ = std::fs::remove_file(&path);
+        ResultJournal::create(&path, &grid).unwrap();
+        let mut changed = grid.clone();
+        changed[1].seed ^= 1;
+        let err = ResultJournal::open_or_create(&path, &changed).unwrap_err();
+        assert!(err.to_string().contains("fingerprint mismatch"));
+        // Different cell count fails too.
+        let err = ResultJournal::open_or_create(&path, &grid[..2]).unwrap_err();
+        assert!(err.to_string().contains("fingerprint mismatch"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_files_are_not_clobbered() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"this is somebody's notes file, 40+ bytes long").unwrap();
+        let err = ResultJournal::open_or_create(&path, &specs(1)).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+        // Short foreign files are refused as well.
+        std::fs::write(&path, b"hi").unwrap();
+        let err = ResultJournal::open_or_create(&path, &specs(1)).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_header_restarts_fresh() {
+        let grid = specs(2);
+        let path = temp_path("torn-header");
+        std::fs::write(&path, &MAGIC[..5]).unwrap();
+        let (journal, recovered) = ResultJournal::open_or_create(&path, &grid).unwrap();
+        assert!(recovered.is_empty());
+        assert_eq!(journal.bytes_written(), HEADER_LEN);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_range_index_truncates() {
+        let grid = specs(2);
+        let path = temp_path("bad-index");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut journal = ResultJournal::create(&path, &grid).unwrap();
+            journal.append(0, &sample_completed("cell0")).unwrap();
+            journal.append(7, &sample_completed("ghost")).unwrap();
+        }
+        let (journal, recovered) = ResultJournal::open_or_create(&path, &grid).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(journal.records_written(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_crc_truncates_to_prefix() {
+        let grid = specs(2);
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let first_end;
+        {
+            let mut journal = ResultJournal::create(&path, &grid).unwrap();
+            journal.append(0, &sample_completed("cell0")).unwrap();
+            first_end = journal.bytes_written();
+            journal.append(1, &sample_failed("cell1")).unwrap();
+        }
+        // Flip a payload byte of the second record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = first_end as usize + FRAME_OVERHEAD + 2;
+        bytes[target] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (journal, recovered) = ResultJournal::open_or_create(&path, &grid).unwrap();
+        assert_eq!(recovered, vec![(0, sample_completed("cell0"))]);
+        assert_eq!(journal.bytes_written(), first_end);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), first_end);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_writes_through_failing_write_recover() {
+        // Build intact journal bytes in memory, push them through a
+        // byte-budgeted writer, and confirm recovery keeps exactly the
+        // frames that fit.
+        let grid = specs(3);
+        let path = temp_path("failing-write");
+        let _ = std::fs::remove_file(&path);
+        let boundaries;
+        {
+            let mut journal = ResultJournal::create(&path, &grid).unwrap();
+            let mut b = vec![journal.bytes_written()];
+            for i in 0..3 {
+                journal
+                    .append(i, &sample_completed(&format!("cell{i}")))
+                    .unwrap();
+                b.push(journal.bytes_written());
+            }
+            boundaries = b;
+        }
+        let intact = std::fs::read(&path).unwrap();
+        // Tear inside the third record: budget lands between its frame start
+        // and end.
+        let budget = (boundaries[2] + 3) as usize;
+        let mut w = crate::fault::FailingWrite::new(Vec::new(), budget);
+        let mut written = 0;
+        while written < intact.len() {
+            match std::io::Write::write(&mut w, &intact[written..]) {
+                Ok(n) => written += n,
+                Err(_) => break,
+            }
+        }
+        std::fs::write(&path, w.into_inner()).unwrap();
+        let (journal, recovered) = ResultJournal::open_or_create(&path, &grid).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(journal.bytes_written(), boundaries[2]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn grid_fingerprint_sensitive_to_any_spec_change() {
+        let grid = specs(3);
+        let base = grid_fingerprint(&grid);
+        let mut changed = grid.clone();
+        changed[0].label.push('!');
+        assert_ne!(base, grid_fingerprint(&changed));
+        let mut changed = grid.clone();
+        changed[2].trials += 1;
+        assert_ne!(base, grid_fingerprint(&changed));
+        assert_ne!(base, grid_fingerprint(&grid[..2]));
+        assert_eq!(base, grid_fingerprint(&specs(3)));
+    }
+}

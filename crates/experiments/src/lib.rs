@@ -42,6 +42,24 @@
 //! `scenarios` binaries are thin wrappers around these modules; the
 //! Criterion benches in `randrecon-bench` reuse the same configurations.
 //!
+//! ## Crash resumability and fail-soft execution
+//!
+//! Long sweeps survive crashes and bad cells (PR 6):
+//!
+//! * [`scenario::run_scenarios_failsoft`] contains per-scenario errors
+//!   *and panics* — each cell reports a [`scenario::ScenarioOutcome`]
+//!   (`Completed` or `Failed`), the rest of the sweep runs regardless, and
+//!   an optional [`scenario::RetryPolicy`] re-attempts transient
+//!   (I/O-class) failures;
+//! * [`journal::run_scenarios_resumable`] additionally appends every
+//!   outcome to an append-only, checksummed [`journal::ResultJournal`] the
+//!   moment it lands, so a killed sweep resumes where it died — recovering
+//!   torn trailing records and rejecting journals from a different grid —
+//!   with final results bit-identical to an uninterrupted run;
+//! * [`fault`] is the deterministic fault-injection harness (planted
+//!   scenario faults, faulty chunk sources/sinks, byte-budgeted writers,
+//!   seeded crash offsets) that the kill-and-resume test suite drives.
+//!
 //! ## Example
 //!
 //! ```
@@ -65,6 +83,8 @@ pub mod exp1;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
+pub mod fault;
+pub mod journal;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -73,4 +93,8 @@ pub mod workload;
 
 pub use config::{ExperimentSeries, SchemeKind, SeriesPoint};
 pub use error::{ExperimentError, Result};
-pub use scenario::{run_scenarios, GridAxis, ScenarioGrid, ScenarioResult, ScenarioSpec};
+pub use journal::{run_scenarios_resumable, ResultJournal, ResumableRun};
+pub use scenario::{
+    run_scenarios, run_scenarios_failsoft, GridAxis, RetryPolicy, ScenarioGrid, ScenarioOutcome,
+    ScenarioResult, ScenarioSpec,
+};

@@ -1,19 +1,35 @@
 //! Rendering and persisting experiment results: figure series (console
-//! table / CSV) and scenario-runner results (console table / CSV / JSON —
-//! the runner's one report sink).
+//! table / CSV), scenario-runner results (console table / CSV / JSON — the
+//! runner's one report sink), and fail-soft **outcome** reports, where
+//! failed cells render alongside the completed ones instead of vanishing.
 
 use crate::config::ExperimentSeries;
-use crate::error::Result;
-use crate::scenario::{MetricKind, ScenarioResult};
+use crate::error::{ExperimentError, Result};
+use crate::scenario::{MetricKind, ScenarioOutcome, ScenarioResult};
 use std::fmt::Write as _;
 use std::io::Write;
 use std::path::Path;
 
+/// `File::create` with the failure located at the path it hit.
+fn create_file(path: &Path) -> Result<std::fs::File> {
+    std::fs::File::create(path).map_err(|e| ExperimentError::IoAt {
+        path: path.to_path_buf(),
+        source: e,
+    })
+}
+
+fn write_all_at(file: &mut std::fs::File, path: &Path, bytes: &[u8]) -> Result<()> {
+    file.write_all(bytes).map_err(|e| ExperimentError::IoAt {
+        path: path.to_path_buf(),
+        source: e,
+    })
+}
+
 /// Writes an experiment series to a CSV file.
 pub fn write_series_csv<P: AsRef<Path>>(series: &ExperimentSeries, path: P) -> Result<()> {
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(series.to_csv().as_bytes())?;
-    Ok(())
+    let path = path.as_ref();
+    let mut file = create_file(path)?;
+    write_all_at(&mut file, path, series.to_csv().as_bytes())
 }
 
 /// Renders a set of series as one console report, separated by blank lines.
@@ -34,7 +50,10 @@ pub fn write_report_csvs<P: AsRef<Path>>(
     series: &[ExperimentSeries],
     dir: P,
 ) -> Result<Vec<std::path::PathBuf>> {
-    std::fs::create_dir_all(&dir)?;
+    std::fs::create_dir_all(&dir).map_err(|e| ExperimentError::IoAt {
+        path: dir.as_ref().to_path_buf(),
+        source: e,
+    })?;
     let mut paths = Vec::with_capacity(series.len());
     for s in series {
         let slug: String = s
@@ -195,16 +214,209 @@ pub fn results_to_json(results: &[ScenarioResult]) -> String {
 
 /// Writes scenario results as CSV to `path`.
 pub fn write_results_csv<P: AsRef<Path>>(results: &[ScenarioResult], path: P) -> Result<()> {
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(results_to_csv(results).as_bytes())?;
-    Ok(())
+    let path = path.as_ref();
+    let mut file = create_file(path)?;
+    write_all_at(&mut file, path, results_to_csv(results).as_bytes())
 }
 
 /// Writes scenario results as JSON to `path`.
 pub fn write_results_json<P: AsRef<Path>>(results: &[ScenarioResult], path: P) -> Result<()> {
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(results_to_json(results).as_bytes())?;
-    Ok(())
+    let path = path.as_ref();
+    let mut file = create_file(path)?;
+    write_all_at(&mut file, path, results_to_json(results).as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Fail-soft outcome reports
+// ---------------------------------------------------------------------------
+
+/// Renders fail-soft outcomes: the completed cells as the usual results
+/// table, followed — only when something failed — by a failure section
+/// listing each dead cell with its error, attempt count, and transience
+/// classification. A sweep where every cell completed renders identically
+/// to [`results_table`].
+pub fn outcomes_table(outcomes: &[ScenarioOutcome]) -> String {
+    let completed: Vec<ScenarioResult> = outcomes
+        .iter()
+        .filter_map(|o| o.as_completed().cloned())
+        .collect();
+    let mut out = results_table(&completed);
+    let failures: Vec<_> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            ScenarioOutcome::Failed(f) => Some(f),
+            ScenarioOutcome::Completed(_) => None,
+        })
+        .collect();
+    if !failures.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nfailed scenarios ({} of {}):",
+            failures.len(),
+            outcomes.len()
+        );
+        for f in failures {
+            let class = if f.transient {
+                "transient"
+            } else {
+                "deterministic"
+            };
+            let _ = writeln!(
+                out,
+                "  {} [{} / {}]: {} ({class}, {} attempt{})",
+                f.label,
+                f.attack,
+                f.engine,
+                f.error,
+                f.attempts,
+                if f.attempts == 1 { "" } else { "s" }
+            );
+        }
+    }
+    out
+}
+
+/// Renders fail-soft outcomes as CSV: the results columns plus `status`,
+/// `attempts`, and `error` (empty for completed cells; numeric columns
+/// empty for failed ones).
+pub fn outcomes_to_csv(outcomes: &[ScenarioOutcome]) -> String {
+    let mut out = String::from("label,x,scheme,attack,engine,records,trials,components_kept");
+    for metric in METRIC_COLUMNS {
+        out.push(',');
+        out.push_str(metric.label());
+    }
+    out.push_str(",status,attempts,error\n");
+    for outcome in outcomes {
+        match outcome {
+            ScenarioOutcome::Completed(r) => {
+                let _ = write!(
+                    out,
+                    "{},{},{},{},{},{},{},{}",
+                    r.label.replace(',', ";"),
+                    r.x,
+                    r.scheme.map(|s| s.label()).unwrap_or(""),
+                    r.attack.replace(',', ";"),
+                    r.engine,
+                    r.n_records,
+                    r.trials,
+                    r.components_kept.map(|p| p.to_string()).unwrap_or_default(),
+                );
+                for metric in METRIC_COLUMNS {
+                    out.push(',');
+                    if let Some(v) = r.metric(metric) {
+                        let _ = write!(out, "{v}");
+                    }
+                }
+                out.push_str(",completed,,\n");
+            }
+            ScenarioOutcome::Failed(f) => {
+                let _ = write!(
+                    out,
+                    "{},,,{},{},,,",
+                    f.label.replace(',', ";"),
+                    f.attack.replace(',', ";"),
+                    f.engine,
+                );
+                for _ in METRIC_COLUMNS {
+                    out.push(',');
+                }
+                let _ = writeln!(
+                    out,
+                    ",failed,{},{}",
+                    f.attempts,
+                    f.error.replace(',', ";").replace('\n', " ")
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders fail-soft outcomes as a JSON array; completed cells carry
+/// `"status": "completed"` plus the usual result fields, failed cells carry
+/// `"status": "failed"` with the error, transience, and attempt count.
+pub fn outcomes_to_json(outcomes: &[ScenarioOutcome]) -> String {
+    let mut out = String::from("[\n");
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            ScenarioOutcome::Completed(r) => {
+                let _ = write!(
+                    out,
+                    "  {{\"status\": \"completed\", \"label\": \"{}\", \"x\": {}, \
+                     \"scheme\": {}, \"attack\": \"{}\", \"engine\": \"{}\", \
+                     \"records\": {}, \"trials\": {}, \"components_kept\": {}, \
+                     \"seconds\": {}",
+                    json_escape(&r.label),
+                    r.x,
+                    r.scheme
+                        .map(|s| format!("\"{}\"", s.label()))
+                        .unwrap_or_else(|| "null".to_string()),
+                    json_escape(&r.attack),
+                    r.engine,
+                    r.n_records,
+                    r.trials,
+                    r.components_kept
+                        .map(|p| p.to_string())
+                        .unwrap_or_else(|| "null".to_string()),
+                    r.seconds,
+                );
+                for &(metric, value) in &r.metrics {
+                    let _ = write!(out, ", \"{}\": {}", metric.label(), value);
+                }
+                out.push('}');
+            }
+            ScenarioOutcome::Failed(f) => {
+                let _ = write!(
+                    out,
+                    "  {{\"status\": \"failed\", \"label\": \"{}\", \"attack\": \"{}\", \
+                     \"engine\": \"{}\", \"error\": \"{}\", \"transient\": {}, \
+                     \"attempts\": {}}}",
+                    json_escape(&f.label),
+                    json_escape(&f.attack),
+                    f.engine,
+                    json_escape(&f.error),
+                    f.transient,
+                    f.attempts,
+                );
+            }
+        }
+        if i + 1 < outcomes.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// One-line sweep summary: completed/failed counts, plus how many cells
+/// were resumed from a journal when `resumed > 0`.
+pub fn outcomes_summary(outcomes: &[ScenarioOutcome], resumed: usize) -> String {
+    let failed = outcomes.iter().filter(|o| o.is_failed()).count();
+    let completed = outcomes.len() - failed;
+    let mut out = format!(
+        "{} scenario{}: {completed} completed, {failed} failed",
+        outcomes.len(),
+        if outcomes.len() == 1 { "" } else { "s" },
+    );
+    if resumed > 0 {
+        let _ = write!(out, " ({resumed} resumed from journal)");
+    }
+    out
+}
+
+/// Writes fail-soft outcomes as CSV to `path`.
+pub fn write_outcomes_csv<P: AsRef<Path>>(outcomes: &[ScenarioOutcome], path: P) -> Result<()> {
+    let path = path.as_ref();
+    let mut file = create_file(path)?;
+    write_all_at(&mut file, path, outcomes_to_csv(outcomes).as_bytes())
+}
+
+/// Writes fail-soft outcomes as JSON to `path`.
+pub fn write_outcomes_json<P: AsRef<Path>>(outcomes: &[ScenarioOutcome], path: P) -> Result<()> {
+    let path = path.as_ref();
+    let mut file = create_file(path)?;
+    write_all_at(&mut file, path, outcomes_to_json(outcomes).as_bytes())
 }
 
 #[cfg(test)]
@@ -237,5 +449,73 @@ mod tests {
     fn render_report_concatenates() {
         let text = render_report(&[sample(), sample()]);
         assert_eq!(text.matches("Figure 9").count(), 2);
+    }
+
+    fn sample_outcomes() -> Vec<ScenarioOutcome> {
+        use crate::scenario::ScenarioFailure;
+        vec![
+            ScenarioOutcome::Completed(ScenarioResult {
+                label: "grid/ok".to_string(),
+                x: 1.0,
+                scheme: Some(SchemeKind::BeDr),
+                attack: "BE-DR".to_string(),
+                engine: "in-memory",
+                n_records: 100,
+                trials: 1,
+                metrics: vec![(MetricKind::Rmse, 2.5)],
+                components_kept: None,
+                seconds: 0.01,
+            }),
+            ScenarioOutcome::Failed(ScenarioFailure {
+                label: "grid/dead".to_string(),
+                attack: "fault[Error]".to_string(),
+                engine: "in-memory",
+                error: "injected fault, with a comma".to_string(),
+                transient: false,
+                attempts: 1,
+            }),
+        ]
+    }
+
+    #[test]
+    fn outcomes_table_lists_failures() {
+        let text = outcomes_table(&sample_outcomes());
+        assert!(text.contains("grid/ok"));
+        assert!(text.contains("failed scenarios (1 of 2)"));
+        assert!(text.contains("grid/dead"));
+        assert!(text.contains("deterministic"));
+        // No failure section when everything completed.
+        let all_ok = vec![sample_outcomes().remove(0)];
+        assert!(!outcomes_table(&all_ok).contains("failed scenarios"));
+    }
+
+    #[test]
+    fn outcomes_csv_and_json_carry_status() {
+        let outcomes = sample_outcomes();
+        let csv = outcomes_to_csv(&outcomes);
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("status,attempts,error"));
+        assert!(csv.contains(",completed,,"));
+        assert!(csv.contains(",failed,1,injected fault; with a comma"));
+        let json = outcomes_to_json(&outcomes);
+        assert!(json.contains("\"status\": \"completed\""));
+        assert!(json.contains("\"status\": \"failed\""));
+        assert!(json.contains("\"transient\": false"));
+    }
+
+    #[test]
+    fn summary_counts_and_resume_note() {
+        let outcomes = sample_outcomes();
+        assert_eq!(
+            outcomes_summary(&outcomes, 0),
+            "2 scenarios: 1 completed, 1 failed"
+        );
+        assert_eq!(
+            outcomes_summary(&outcomes, 5),
+            "2 scenarios: 1 completed, 1 failed (5 resumed from journal)"
+        );
     }
 }

@@ -59,6 +59,7 @@
 
 use crate::config::SchemeKind;
 use crate::error::{ExperimentError, Result};
+use crate::fault::FaultMode;
 use crate::runner::parallel_map;
 use randrecon_core::engine::Attack;
 use randrecon_core::partial::{KnownAttributes, PartialKnowledgeBeDr};
@@ -268,6 +269,16 @@ pub enum AttackSpec {
         /// Window length (odd, ≥ 3).
         window: usize,
     },
+    /// **Testing support**: a scenario that fails deterministically instead
+    /// of attacking (see [`crate::fault::FaultMode`]) — the lever the
+    /// fail-soft and crash-resume suites use to plant errors, panics, and
+    /// transient failures at known grid cells. When the fault does not fire
+    /// (a [`FaultMode::Transient`] past its budget), the scenario completes
+    /// with zeroed metrics. In-memory engine only.
+    InjectedFault {
+        /// How the scenario fails.
+        mode: FaultMode,
+    },
 }
 
 impl AttackSpec {
@@ -280,7 +291,9 @@ impl AttackSpec {
             AttackSpec::PcaDr { .. } => Some(SchemeKind::PcaDr),
             AttackSpec::SpectralFiltering { .. } => Some(SchemeKind::SpectralFiltering),
             AttackSpec::BeDr { .. } => Some(SchemeKind::BeDr),
-            AttackSpec::PartialKnowledgeBeDr { .. } | AttackSpec::Temporal { .. } => None,
+            AttackSpec::PartialKnowledgeBeDr { .. }
+            | AttackSpec::Temporal { .. }
+            | AttackSpec::InjectedFault { .. } => None,
         }
     }
 
@@ -300,6 +313,7 @@ impl AttackSpec {
                 format!("BE-DR[known {known_attributes:?}]")
             }
             AttackSpec::Temporal { window } => format!("Temporal-BE[w={window}]"),
+            AttackSpec::InjectedFault { mode } => format!("fault[{mode:?}]"),
         }
     }
 
@@ -307,7 +321,9 @@ impl AttackSpec {
     fn supports_streaming(&self) -> bool {
         !matches!(
             self,
-            AttackSpec::PartialKnowledgeBeDr { .. } | AttackSpec::Temporal { .. }
+            AttackSpec::PartialKnowledgeBeDr { .. }
+                | AttackSpec::Temporal { .. }
+                | AttackSpec::InjectedFault { .. }
         )
     }
 
@@ -326,7 +342,9 @@ impl AttackSpec {
             AttackSpec::BeDr { eigenvalue_floor } => Attack::BeDr(randrecon_core::be_dr::BeDr {
                 eigenvalue_floor: *eigenvalue_floor,
             }),
-            AttackSpec::PartialKnowledgeBeDr { .. } | AttackSpec::Temporal { .. } => {
+            AttackSpec::PartialKnowledgeBeDr { .. }
+            | AttackSpec::Temporal { .. }
+            | AttackSpec::InjectedFault { .. } => {
                 return Err(ExperimentError::InvalidConfig {
                     reason: format!(
                         "{} is not one of the five engine-dispatchable schemes",
@@ -985,6 +1003,18 @@ fn run_in_memory_trial(
 
     let mut out = Vec::with_capacity(group.len());
     for spec in group {
+        if let AttackSpec::InjectedFault { mode } = &spec.attack {
+            // Testing support: fire the planted fault; if it declines to
+            // fire (transient budget exhausted), report zeroed metrics.
+            mode.trigger(&spec.label)?;
+            out.push(TrialMeasurement {
+                metrics: vec![0.0; spec.metrics.len()],
+                components_kept: None,
+                seconds: 0.0,
+                n_records: original.n_records(),
+            });
+            continue;
+        }
         let start = Instant::now();
         let (reconstruction, components_kept) = match &spec.attack {
             AttackSpec::PartialKnowledgeBeDr { known_attributes } => {
@@ -1141,6 +1171,254 @@ where
         });
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Fail-soft execution
+// ---------------------------------------------------------------------------
+
+/// How the fail-soft runner handles a failed scenario.
+///
+/// Classification uses [`ExperimentError::is_transient`]: I/O-family errors
+/// are **transient** (a retry under the same inputs may not reproduce them);
+/// everything else — bad configs, numeric failures, panics — is
+/// **deterministic**, because all scenario randomness is spec-derived and a
+/// retry would replay the identical failure. Deterministic failures are
+/// therefore not retried unless [`retry_deterministic`] is set (useful only
+/// against external nondeterminism the classifier cannot see).
+///
+/// [`retry_deterministic`]: RetryPolicy::retry_deterministic
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per scenario (≥ 1; 1 = no retries).
+    pub max_attempts: u32,
+    /// Also retry failures classified as deterministic.
+    pub retry_deterministic: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            retry_deterministic: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Up to `max_attempts` total attempts, retrying transient failures only.
+    pub fn transient_retries(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            retry_deterministic: false,
+        }
+    }
+}
+
+/// A scenario that failed under fail-soft execution — the cell's slot in
+/// the sweep, with the error that killed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioFailure {
+    /// The scenario's label.
+    pub label: String,
+    /// Attack display label.
+    pub attack: String,
+    /// Engine display label.
+    pub engine: &'static str,
+    /// Rendered error (or panic message) of the **last** attempt.
+    pub error: String,
+    /// Whether the last error was classified transient (panics are not).
+    pub transient: bool,
+    /// Isolated attempts made before giving up.
+    pub attempts: u32,
+}
+
+/// The outcome of one scenario under fail-soft execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioOutcome {
+    /// The scenario ran to completion.
+    Completed(ScenarioResult),
+    /// The scenario errored or panicked on every attempt; the rest of the
+    /// sweep ran anyway.
+    Failed(ScenarioFailure),
+}
+
+impl ScenarioOutcome {
+    /// The scenario's label.
+    pub fn label(&self) -> &str {
+        match self {
+            ScenarioOutcome::Completed(r) => &r.label,
+            ScenarioOutcome::Failed(f) => &f.label,
+        }
+    }
+
+    /// The completed result, if there is one.
+    pub fn as_completed(&self) -> Option<&ScenarioResult> {
+        match self {
+            ScenarioOutcome::Completed(r) => Some(r),
+            ScenarioOutcome::Failed(_) => None,
+        }
+    }
+
+    /// True for [`ScenarioOutcome::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, ScenarioOutcome::Failed(_))
+    }
+}
+
+/// Runs one scenario in isolation, catching panics and applying the retry
+/// policy. Re-running a member standalone is bit-identical to running it
+/// inside its workload group (sharing is purely a cost optimization; all
+/// seeding is spec-derived), so isolation never changes results.
+fn run_one_failsoft(spec: &ScenarioSpec, policy: RetryPolicy) -> ScenarioOutcome {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_group(std::slice::from_ref(spec))
+        }));
+        let (error, transient) = match attempt {
+            Ok(Ok(mut results)) => match results.pop() {
+                Some(result) => return ScenarioOutcome::Completed(result),
+                None => ("scenario produced no result".to_string(), false),
+            },
+            Ok(Err(e)) => (e.to_string(), e.is_transient()),
+            Err(payload) => (
+                format!(
+                    "panic: {}",
+                    randrecon_parallel::panic_message(payload.as_ref())
+                ),
+                false,
+            ),
+        };
+        let retry =
+            attempts < policy.max_attempts.max(1) && (transient || policy.retry_deterministic);
+        if !retry {
+            return ScenarioOutcome::Failed(ScenarioFailure {
+                label: spec.label.clone(),
+                attack: spec.attack.label(),
+                engine: spec.engine.label(),
+                error,
+                transient,
+                attempts,
+            });
+        }
+    }
+}
+
+/// Executes one workload group fail-soft: the shared (grouped) run is tried
+/// first; if any member poisons it — an error or a panic — each member is
+/// re-run in isolation so one bad cell cannot take down its group-mates.
+fn execute_group_failsoft(group: &[ScenarioSpec], policy: RetryPolicy) -> Vec<ScenarioOutcome> {
+    if group.len() > 1 {
+        let shared =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_group(group)));
+        if let Ok(Ok(results)) = shared {
+            return results
+                .into_iter()
+                .map(ScenarioOutcome::Completed)
+                .collect();
+        }
+    }
+    group.iter().map(|s| run_one_failsoft(s, policy)).collect()
+}
+
+/// The fail-soft core: validates, groups, dispatches, and reports every
+/// scenario's outcome **in input order**, invoking `on_done(input_index,
+/// outcome)` as each scenario finishes (under parallel dispatch — the
+/// callback must be `Sync`; the journal layer serializes appends behind a
+/// mutex). A callback error aborts the sweep with that error once dispatch
+/// drains.
+pub(crate) fn execute_specs_failsoft<F>(
+    specs: &[ScenarioSpec],
+    policy: RetryPolicy,
+    on_done: F,
+) -> Result<Vec<ScenarioOutcome>>
+where
+    F: Fn(usize, &ScenarioOutcome) -> Result<()> + Sync,
+{
+    for spec in specs {
+        spec.validate()?;
+    }
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let fp = spec.workload_fingerprint();
+        match groups.iter_mut().find(|(key, _)| *key == fp) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((fp, vec![i])),
+        }
+    }
+    let member_sets: Vec<Vec<usize>> = groups.into_iter().map(|(_, members)| members).collect();
+
+    let callback_error: std::sync::Mutex<Option<ExperimentError>> = std::sync::Mutex::new(None);
+    let group_outcomes = randrecon_parallel::parallel_map_catch(&member_sets, |members| {
+        let group: Vec<ScenarioSpec> = members.iter().map(|&i| specs[i].clone()).collect();
+        let outcomes = execute_group_failsoft(&group, policy);
+        for (&i, outcome) in members.iter().zip(outcomes.iter()) {
+            if let Err(e) = on_done(i, outcome) {
+                let mut slot = callback_error.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(e);
+            }
+        }
+        members
+            .iter()
+            .copied()
+            .zip(outcomes)
+            .collect::<Vec<(usize, ScenarioOutcome)>>()
+    });
+
+    if let Some(e) = callback_error
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+    {
+        return Err(e);
+    }
+
+    let mut out: Vec<Option<ScenarioOutcome>> = (0..specs.len()).map(|_| None).collect();
+    for (set, batch) in member_sets.iter().zip(group_outcomes) {
+        match batch {
+            Ok(pairs) => {
+                for (i, outcome) in pairs {
+                    out[i] = Some(outcome);
+                }
+            }
+            // A panic escaped even the per-group containment (e.g. inside
+            // the dispatch bookkeeping): every member of that group is
+            // reported failed rather than silently dropped.
+            Err(panic_msg) => {
+                for &i in set {
+                    out[i] = Some(ScenarioOutcome::Failed(ScenarioFailure {
+                        label: specs[i].label.clone(),
+                        attack: specs[i].attack.label(),
+                        engine: specs[i].engine.label(),
+                        error: format!("panic: {panic_msg}"),
+                        transient: false,
+                        attempts: 1,
+                    }));
+                }
+            }
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|r| r.expect("every scenario produced an outcome"))
+        .collect())
+}
+
+/// Fail-soft variant of [`run_scenarios`]: instead of aborting the sweep at
+/// the first error, every scenario reports a [`ScenarioOutcome`] — failures
+/// (errors *and* panics, contained per scenario) sit alongside the completed
+/// cells, in input order. Scenario groups still share workloads on the happy
+/// path; a failing group falls back to isolated per-member execution (with
+/// `policy`'s retries) so one poisoned cell cannot sink its group-mates.
+/// Only spec-validation errors abort the whole sweep — an invalid grid is a
+/// caller bug, not a runtime casualty.
+pub fn run_scenarios_failsoft(
+    specs: &[ScenarioSpec],
+    policy: RetryPolicy,
+) -> Result<Vec<ScenarioOutcome>> {
+    execute_specs_failsoft(specs, policy, |_, _| Ok(()))
 }
 
 // ---------------------------------------------------------------------------

@@ -216,25 +216,36 @@ impl StreamingScenario {
     pub fn run(&self) -> Result<StreamingOutcome> {
         self.validate()?;
         let results = self.grid().run()?;
-        let outcome_of = |scheme: SchemeKind| -> SchemeOutcome {
+        let outcome_of = |scheme: SchemeKind| -> Result<SchemeOutcome> {
             let r = results
                 .iter()
                 .find(|r| r.scheme == Some(scheme))
-                .expect("all five schemes in the grid");
-            SchemeOutcome {
-                mse: r.metric(MetricKind::Mse).expect("mse metric requested"),
+                .ok_or_else(|| ExperimentError::InvalidConfig {
+                    reason: format!(
+                        "streaming sweep produced no result for scheme {}",
+                        scheme.label()
+                    ),
+                })?;
+            let mse = r
+                .metric(MetricKind::Mse)
+                .ok_or_else(|| ExperimentError::MetricMissing {
+                    label: r.label.clone(),
+                    metric: "mse",
+                })?;
+            Ok(SchemeOutcome {
+                mse,
                 seconds: r.seconds,
                 records_per_second: self.n_records as f64 / r.seconds.max(1e-9),
                 components_kept: r.components_kept,
-            }
+            })
         };
         Ok(StreamingOutcome {
             scenario: *self,
-            ndr: outcome_of(SchemeKind::Ndr),
-            udr: outcome_of(SchemeKind::Udr),
-            sf: outcome_of(SchemeKind::SpectralFiltering),
-            pca_dr: outcome_of(SchemeKind::PcaDr),
-            be_dr: outcome_of(SchemeKind::BeDr),
+            ndr: outcome_of(SchemeKind::Ndr)?,
+            udr: outcome_of(SchemeKind::Udr)?,
+            sf: outcome_of(SchemeKind::SpectralFiltering)?,
+            pca_dr: outcome_of(SchemeKind::PcaDr)?,
+            be_dr: outcome_of(SchemeKind::BeDr)?,
         })
     }
 }

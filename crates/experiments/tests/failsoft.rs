@@ -1,0 +1,237 @@
+//! Fail-soft execution: a sweep with panicking and erroring cells completes
+//! every remaining cell and reports each failure, transient faults are
+//! retried under a retry policy, and the streaming driver locates injected
+//! chunk-level faults instead of wedging.
+//!
+//! The injected faults come from [`randrecon_experiments::fault`] — every
+//! one fires at a deterministic point, so these tests are reproducible
+//! across runs and thread counts.
+
+use randrecon_core::streaming::{DiscardSink, StreamingDriver, StreamingUdr, TableSink};
+use randrecon_data::chunks::TableChunkSource;
+use randrecon_experiments::fault::{
+    reset_transient_counters, ChunkFault, FaultMode, FaultyChunkSource, FaultySink,
+};
+use randrecon_experiments::scenario::{AttackSpec, RetryPolicy, ScenarioOutcome, ScenarioSpec};
+use randrecon_experiments::{run_scenarios, run_scenarios_failsoft, SchemeKind};
+use randrecon_noise::additive::AdditiveRandomizer;
+use randrecon_stats::rng::seeded_rng;
+
+fn good_spec(label: &str, scheme: SchemeKind) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::synthetic_quick(label, 400, 8, 2);
+    spec.attack = AttackSpec::Scheme(scheme);
+    spec
+}
+
+fn faulty_spec(label: &str, mode: FaultMode) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::synthetic_quick(label, 400, 8, 2);
+    spec.attack = AttackSpec::InjectedFault { mode };
+    spec
+}
+
+/// The acceptance scenario: a sweep containing a panicking cell AND an
+/// erroring cell completes all the healthy cells and reports both failures
+/// with their cause — neither failure mode may take the sweep down or
+/// poison a neighbouring cell.
+#[test]
+fn sweep_survives_panicking_and_erroring_cells() {
+    let specs = vec![
+        good_spec("good-udr", SchemeKind::Udr),
+        faulty_spec("boom-panic", FaultMode::Panic),
+        good_spec("good-bedr", SchemeKind::BeDr),
+        faulty_spec("boom-error", FaultMode::Error),
+        good_spec("good-pcadr", SchemeKind::PcaDr),
+    ];
+    let outcomes = run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
+    assert_eq!(outcomes.len(), specs.len());
+    // Outcomes arrive in input order with matching labels.
+    for (spec, outcome) in specs.iter().zip(&outcomes) {
+        assert_eq!(spec.label, outcome.label());
+    }
+
+    // The healthy cells completed with finite metrics.
+    for i in [0usize, 2, 4] {
+        let result = outcomes[i]
+            .as_completed()
+            .unwrap_or_else(|| panic!("healthy cell {} did not complete", specs[i].label));
+        assert!(result.rmse().unwrap().is_finite());
+    }
+
+    // Both failures are reported with their cause.
+    let ScenarioOutcome::Failed(panic_failure) = &outcomes[1] else {
+        panic!("panicking cell reported as completed");
+    };
+    assert!(
+        panic_failure.error.contains("injected panic"),
+        "panic cause lost: {}",
+        panic_failure.error
+    );
+    assert!(!panic_failure.transient);
+
+    let ScenarioOutcome::Failed(error_failure) = &outcomes[3] else {
+        panic!("erroring cell reported as completed");
+    };
+    assert!(
+        error_failure.error.contains("injected fault"),
+        "error cause lost: {}",
+        error_failure.error
+    );
+    assert!(!error_failure.transient);
+    // Deterministic failures are not retried under the default policy.
+    assert_eq!(error_failure.attempts, 1);
+}
+
+/// The healthy cells of a fail-soft sweep are bit-identical to running them
+/// alone: fault isolation re-runs failed groups member by member, and that
+/// fallback must not perturb anybody's spec-derived randomness.
+#[test]
+fn healthy_cells_match_a_clean_run_bitwise() {
+    let specs = vec![
+        good_spec("iso-udr", SchemeKind::Udr),
+        faulty_spec("iso-boom", FaultMode::Panic),
+        good_spec("iso-bedr", SchemeKind::BeDr),
+    ];
+    let outcomes = run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
+
+    let clean_specs = vec![specs[0].clone(), specs[2].clone()];
+    let clean = run_scenarios(&clean_specs).unwrap();
+
+    for (outcome, reference) in [&outcomes[0], &outcomes[2]].into_iter().zip(&clean) {
+        let got = outcome.as_completed().expect("healthy cell completed");
+        assert_eq!(got.label, reference.label);
+        assert_eq!(got.metrics.len(), reference.metrics.len());
+        for ((ka, va), (kb, vb)) in got.metrics.iter().zip(&reference.metrics) {
+            assert_eq!(ka, kb);
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "metric {ka:?} of {} differs between fail-soft and clean runs",
+                got.label
+            );
+        }
+    }
+}
+
+/// A transient fault (first two invocations fail with an I/O error)
+/// succeeds under `transient_retries(3)` and the attempt count is reported;
+/// under the default no-retry policy the same fault is a failure marked
+/// transient.
+#[test]
+fn transient_faults_retry_to_success() {
+    reset_transient_counters();
+    let specs = vec![faulty_spec(
+        "transient-retry",
+        FaultMode::Transient { fail_first: 2 },
+    )];
+    let outcomes = run_scenarios_failsoft(&specs, RetryPolicy::transient_retries(3)).unwrap();
+    let result = outcomes[0]
+        .as_completed()
+        .expect("transient fault should succeed within the retry budget");
+    assert_eq!(result.label, "transient-retry");
+
+    reset_transient_counters();
+    let specs = vec![faulty_spec(
+        "transient-noretry",
+        FaultMode::Transient { fail_first: 2 },
+    )];
+    let outcomes = run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
+    let ScenarioOutcome::Failed(failure) = &outcomes[0] else {
+        panic!("single attempt should not outlast a fail_first=2 fault");
+    };
+    assert!(failure.transient, "I/O faults must classify as transient");
+    assert_eq!(failure.attempts, 1);
+
+    // A budget smaller than the fault still fails, but shows it tried.
+    reset_transient_counters();
+    let specs = vec![faulty_spec(
+        "transient-short",
+        FaultMode::Transient { fail_first: 5 },
+    )];
+    let outcomes = run_scenarios_failsoft(&specs, RetryPolicy::transient_retries(2)).unwrap();
+    let ScenarioOutcome::Failed(failure) = &outcomes[0] else {
+        panic!("fail_first=5 must exhaust a 2-attempt budget");
+    };
+    assert_eq!(failure.attempts, 2);
+}
+
+fn disguised_table() -> randrecon_data::DataTable {
+    use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+    let spectrum = EigenSpectrum::principal_plus_small(2, 50.0, 6, 1.0).unwrap();
+    let ds = SyntheticDataset::generate(&spectrum, 600, 9090).unwrap();
+    let randomizer = AdditiveRandomizer::gaussian(4.0).unwrap();
+    randomizer
+        .disguise(&ds.table, &mut seeded_rng(9091))
+        .unwrap()
+}
+
+/// A source error during pass 2 surfaces as a chunk-located
+/// `ReconError::AtChunk` naming the failing chunk, not a bare stream error.
+#[test]
+fn streaming_driver_locates_source_faults_by_chunk() {
+    let randomizer = AdditiveRandomizer::gaussian(4.0).unwrap();
+    let noise = randomizer.model();
+    let table = disguised_table();
+    // Sweep 2 = pass 2 (the driver resets the source before each pass).
+    let inner = TableChunkSource::new(&table, 64).unwrap();
+    let mut source = FaultyChunkSource::new(inner, ChunkFault::Error, 2, 3);
+    let mut sink = TableSink::new(6);
+    let err = StreamingDriver::default()
+        .run(&StreamingUdr, &mut source, noise, &mut sink)
+        .unwrap_err();
+    let message = err.to_string();
+    assert!(
+        message.contains("chunk 3"),
+        "source fault not chunk-located: {message}"
+    );
+    assert!(
+        message.contains("injected source fault"),
+        "cause lost: {message}"
+    );
+}
+
+/// A sink error mid-pass-2 surfaces chunk-located too, in both the
+/// sequential and double-buffered drivers (the pipeline must shut down and
+/// report, not wedge its channel).
+#[test]
+fn streaming_driver_locates_sink_faults_by_chunk() {
+    let randomizer = AdditiveRandomizer::gaussian(4.0).unwrap();
+    let noise = randomizer.model();
+    let table = disguised_table();
+    for driver in [StreamingDriver::default(), StreamingDriver::sequential()] {
+        let mut source = TableChunkSource::new(&table, 64).unwrap();
+        let mut sink = FaultySink::erroring(DiscardSink::default(), 2);
+        let err = driver
+            .run(&StreamingUdr, &mut source, noise, &mut sink)
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("chunk 2"),
+            "sink fault not chunk-located ({driver:?}): {message}"
+        );
+        assert!(
+            message.contains("injected sink fault"),
+            "cause lost ({driver:?}): {message}"
+        );
+        // Chunks before the trigger made it into the inner sink.
+        assert_eq!(sink.inner().rows(), 128);
+    }
+}
+
+/// A malformed (wrong-width) chunk from the source is rejected with a
+/// located error rather than silently reconstructing garbage.
+#[test]
+fn malformed_chunks_are_rejected_not_reconstructed() {
+    let randomizer = AdditiveRandomizer::gaussian(4.0).unwrap();
+    let noise = randomizer.model();
+    let table = disguised_table();
+    let inner = TableChunkSource::new(&table, 64).unwrap();
+    let mut source = FaultyChunkSource::new(inner, ChunkFault::Malformed, 2, 1);
+    let mut sink = TableSink::new(6);
+    let err = StreamingDriver::default()
+        .run(&StreamingUdr, &mut source, noise, &mut sink)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("chunk"),
+        "malformed chunk not located: {err}"
+    );
+}

@@ -328,6 +328,52 @@ where
     Ok(results)
 }
 
+/// Runs `f` over `items` in parallel, preserving item order, **containing
+/// panics per item**: a panicking call becomes `Err(message)` in that item's
+/// slot instead of poisoning the pool or aborting the sweep. The message is
+/// the panic payload when it is a string, or a placeholder otherwise.
+///
+/// This is the dispatch primitive of fail-soft sweeps: one exploding item
+/// must not take down its siblings. The pool itself already survives worker
+/// panics (each claimed index runs under `catch_unwind`); this function
+/// additionally keeps the panic from re-raising on the caller, which
+/// [`parallel_for`] would otherwise do after the job drains.
+pub fn parallel_map_catch<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<Mutex<Option<Result<R, String>>>> = Vec::with_capacity(n);
+    out.resize_with(n, || Mutex::new(None));
+    parallel_for(n, |i| {
+        let result = match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+            Ok(v) => Ok(v),
+            Err(payload) => Err(panic_message(payload.as_ref())),
+        };
+        *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+    });
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("parallel_map_catch slot not filled")
+        })
+        .collect()
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// Whether a two-stage streaming sweep overlaps its stages.
 ///
 /// [`DoubleBuffered`](PipelineMode::DoubleBuffered) runs the producer on a
@@ -479,6 +525,29 @@ mod tests {
                 |&x| if x == 31 { Err("boom".into()) } else { Ok(x) },
             );
         assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn map_catch_contains_panics_per_item() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_catch(&items, |&x| {
+            if x % 13 == 5 {
+                panic!("item {x} exploded");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i % 13 == 5 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains("exploded"), "unexpected message: {msg}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as u64) * 2);
+            }
+        }
+        // The pool is still healthy after contained panics.
+        let ok = parallel_map_catch(&items, |&x| x + 1);
+        assert!(ok.iter().all(|r| r.is_ok()));
     }
 
     #[test]

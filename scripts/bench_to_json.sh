@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the `micro` benchmark harness and dumps every measurement to a JSON
-# file (default BENCH_5.json at the repo root) for the perf trajectory.
+# file (default BENCH_6.json at the repo root) for the perf trajectory.
 #
 # Usage: scripts/bench_to_json.sh [output.json]
 #
@@ -20,14 +20,17 @@
 # pass 2 must hold >=0.95x of the sequential throughput); and the
 # `scenario` group the PR-5 declarative-runner numbers (`runner/8` vs
 # `handrolled/8` over eight distinct-workload scenarios — the runner's
-# scheduling overhead must stay <=5%).
-# BENCH_1.json … BENCH_4.json remain the frozen PR-1/2/3/4 records; pass
+# scheduling overhead must stay <=5%); and the `journal` group the PR-6
+# crash-resumability numbers (`journaled/8` vs `plain/8` over the same
+# eight workloads — framing, checksumming and appending every outcome to
+# the result journal must cost <=5%).
+# BENCH_1.json … BENCH_5.json remain the frozen PR-1/…/5 records; pass
 # one of them as the argument only to regenerate history deliberately.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -86,4 +89,9 @@ hand = results.get(("scenario", "handrolled/8"))
 if runner and hand:
     overhead = (runner - hand) / hand * 100
     print(f"scenario runner over 8 distinct workloads: hand-rolled {hand/1e6:.2f} ms vs runner {runner/1e6:.2f} ms  (scheduling overhead {overhead:+.1f}%, acceptance <=5%)")
+journaled = results.get(("journal", "journaled/8"))
+plain = results.get(("journal", "plain/8"))
+if journaled and plain:
+    overhead = (journaled - plain) / plain * 100
+    print(f"result journal over 8 workloads: plain {plain/1e6:.2f} ms vs journaled {journaled/1e6:.2f} ms  (journaling overhead {overhead:+.1f}%, acceptance <=5%)")
 EOF
