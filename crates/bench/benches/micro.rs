@@ -431,6 +431,76 @@ fn bench_journal(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same 8-workload grid, executed single-process versus sharded
+/// **in-process** across 2 shards (per-shard journals, shard-stamped
+/// headers, read-only recovery, index merge — everything the coordinator
+/// does except spawning processes). `sharded/8` vs `plain/8` is the
+/// tracked ≤10% coordination-overhead acceptance ratio for PR 7; process
+/// spawn cost is excluded deliberately, since it is platform noise, not
+/// protocol overhead.
+fn bench_shard(c: &mut Criterion) {
+    use randrecon_experiments::scenario::{
+        GridAxis, GridAxisValue, Override, RetryPolicy, ScenarioGrid,
+    };
+
+    let mut group = c.benchmark_group("shard");
+    group.sample_size(10);
+
+    let grid = ScenarioGrid {
+        base: randrecon_experiments::ScenarioSpec::synthetic_quick("bench", 2_000, 16, 2),
+        axes: vec![GridAxis {
+            name: "seed".to_string(),
+            values: (0..8u64)
+                .map(|i| GridAxisValue {
+                    label: i.to_string(),
+                    x: None,
+                    overrides: vec![Override::Seed(0xBEC5 + i)],
+                })
+                .collect(),
+        }],
+    };
+    let specs = grid.expand_validated().unwrap();
+    assert_eq!(specs.len(), 8);
+    let plan = randrecon_experiments::plan_shards(&specs, 2).unwrap();
+    assert_eq!(plan.len(), 2);
+    let dir = std::env::temp_dir().join(format!("randrecon-bench-shard-{}", std::process::id()));
+
+    group.bench_with_input(
+        BenchmarkId::new("plain", specs.len()),
+        &specs,
+        |b, specs| {
+            b.iter(|| {
+                black_box(
+                    randrecon_experiments::run_scenarios_failsoft(specs, RetryPolicy::default())
+                        .unwrap(),
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("sharded", specs.len()),
+        &specs,
+        |b, specs| {
+            b.iter(|| {
+                // Fresh shard journals each iteration: resuming would skip
+                // all the work and measure nothing.
+                let _ = std::fs::remove_dir_all(&dir);
+                black_box(
+                    randrecon_experiments::run_sharded_in_process(
+                        specs,
+                        &plan,
+                        &dir,
+                        RetryPolicy::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_substrates,
@@ -439,6 +509,7 @@ criterion_group!(
     bench_kernels_v3,
     bench_streaming,
     bench_scenario_runner,
-    bench_journal
+    bench_journal,
+    bench_shard
 );
 criterion_main!(benches);

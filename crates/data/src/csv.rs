@@ -2,9 +2,13 @@
 //!
 //! The examples persist generated and reconstructed data sets so they can be
 //! inspected with external tooling; a hand-rolled writer/reader keeps the
-//! workspace free of extra dependencies. Only the subset of CSV this crate
-//! produces is supported: a header row of attribute names followed by rows of
-//! decimal numbers, comma-separated, no quoting or escaping.
+//! workspace free of extra dependencies. The writer emits the plain subset
+//! (no quoting — it only ever writes numbers), while the reader understands
+//! RFC-4180 quoting: fields wrapped in double quotes may contain commas,
+//! doubled quotes, and line breaks. [`split_csv_fields`] and
+//! [`parse_csv_text`] expose that field-level layer for non-numeric CSV
+//! (the experiment report files), so every CSV consumer in the workspace
+//! shares one grammar.
 //!
 //! Two access granularities share one parser:
 //!
@@ -51,16 +55,118 @@ pub fn write_csv_file<P: AsRef<Path>>(table: &DataTable, path: P) -> Result<()> 
     write_csv(table, &mut file)
 }
 
+/// Splits one CSV record into its fields, RFC-4180 style: a field wrapped
+/// in double quotes may contain commas, line breaks, and doubled (`""`)
+/// quotes; unquoted fields pass through verbatim. Structural violations —
+/// an unterminated quote, a stray quote inside an unquoted field, or text
+/// after a closing quote — return `Err(reason)`; callers attach the line
+/// location they know and this layer does not.
+pub fn split_csv_fields(record: &str) -> std::result::Result<Vec<String>, String> {
+    #[derive(PartialEq)]
+    enum State {
+        FieldStart,
+        Unquoted,
+        Quoted,
+        QuoteClosed,
+    }
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut state = State::FieldStart;
+    let mut chars = record.chars().peekable();
+    while let Some(c) = chars.next() {
+        match state {
+            State::FieldStart => match c {
+                '"' => state = State::Quoted,
+                ',' => fields.push(std::mem::take(&mut field)),
+                c => {
+                    field.push(c);
+                    state = State::Unquoted;
+                }
+            },
+            State::Unquoted => match c {
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                    state = State::FieldStart;
+                }
+                '"' => return Err("quote inside unquoted field".to_string()),
+                c => field.push(c),
+            },
+            State::Quoted => match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => state = State::QuoteClosed,
+                c => field.push(c),
+            },
+            State::QuoteClosed => match c {
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                    state = State::FieldStart;
+                }
+                other => return Err(format!("unexpected '{other}' after closing quote")),
+            },
+        }
+    }
+    if state == State::Quoted {
+        return Err("unterminated quoted field".to_string());
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Parses a full CSV text into records of string fields, RFC-4180 style:
+/// record boundaries are newlines *outside* quotes, so a quoted field may
+/// span physical lines. Blank records are skipped (matching the numeric
+/// reader); errors are located at the record's first physical line. This is
+/// the field-level entry point the experiment report tests round-trip
+/// through — the numeric [`read_csv`] path shares [`split_csv_fields`].
+pub fn parse_csv_text(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut start = 0usize;
+    let mut line = 1usize;
+    let mut inner_newlines = 0usize;
+    let mut in_quotes = false;
+    fn push_record(raw: &str, line: usize, records: &mut Vec<Vec<String>>) -> Result<()> {
+        let raw = raw.strip_suffix('\r').unwrap_or(raw);
+        if raw.is_empty() {
+            return Ok(());
+        }
+        let fields = split_csv_fields(raw).map_err(|reason| DataError::Parse { line, reason })?;
+        records.push(fields);
+        Ok(())
+    }
+    for (i, b) in text.bytes().enumerate() {
+        match b {
+            b'"' => in_quotes = !in_quotes,
+            b'\n' if !in_quotes => {
+                push_record(&text[start..i], line, &mut records)?;
+                start = i + 1;
+                line += inner_newlines + 1;
+                inner_newlines = 0;
+            }
+            b'\n' => inner_newlines += 1,
+            _ => {}
+        }
+    }
+    push_record(&text[start..], line, &mut records)?;
+    Ok(records)
+}
+
 /// Parses a header line into a schema (every attribute marked sensitive).
 fn parse_header(header: &str) -> Result<Schema> {
-    let names: Vec<&str> = header.split(',').map(|s| s.trim()).collect();
+    let names: Vec<String> = if header.contains('"') {
+        split_csv_fields(header).map_err(|reason| DataError::Parse { line: 1, reason })?
+    } else {
+        header.split(',').map(|s| s.trim().to_string()).collect()
+    };
     if names.iter().any(|n| n.is_empty()) {
         return Err(DataError::Parse {
             line: 1,
             reason: "header contains an empty attribute name".to_string(),
         });
     }
-    Schema::new(names.iter().map(|&n| Attribute::sensitive(n)).collect())
+    Schema::new(names.iter().map(Attribute::sensitive).collect())
 }
 
 /// Parses one record line into `m` numbers, appending them to `out`.
@@ -69,6 +175,38 @@ fn parse_header(header: &str) -> Result<Schema> {
 /// row is rolled back, so `out` always holds whole rows.
 fn parse_record(line: &str, m: usize, line_no: usize, out: &mut Vec<f64>) -> Result<()> {
     let start = out.len();
+    let push = |col: usize, f: &str, out: &mut Vec<f64>| -> Result<()> {
+        match f.parse::<f64>() {
+            Ok(v) => {
+                out.push(v);
+                Ok(())
+            }
+            Err(_) => {
+                out.truncate(start);
+                Err(DataError::Parse {
+                    line: line_no,
+                    reason: format!("column {}: '{f}' is not a number", col + 1),
+                })
+            }
+        }
+    };
+    if line.contains('"') {
+        // Quoted (RFC-4180) row: split field-aware, then parse each field.
+        let fields = split_csv_fields(line).map_err(|reason| DataError::Parse {
+            line: line_no,
+            reason,
+        })?;
+        if fields.len() != m {
+            return Err(DataError::Parse {
+                line: line_no,
+                reason: format!("expected {m} fields, found {}", fields.len()),
+            });
+        }
+        for (col, f) in fields.iter().enumerate() {
+            push(col, f.trim(), out)?;
+        }
+        return Ok(());
+    }
     let fields = line.split(',').count();
     if fields != m {
         return Err(DataError::Parse {
@@ -77,17 +215,7 @@ fn parse_record(line: &str, m: usize, line_no: usize, out: &mut Vec<f64>) -> Res
         });
     }
     for (col, f) in line.split(',').enumerate() {
-        let f = f.trim();
-        match f.parse::<f64>() {
-            Ok(v) => out.push(v),
-            Err(_) => {
-                out.truncate(start);
-                return Err(DataError::Parse {
-                    line: line_no,
-                    reason: format!("column {}: '{f}' is not a number", col + 1),
-                });
-            }
-        }
+        push(col, f.trim(), out)?;
     }
     Ok(())
 }
@@ -370,6 +498,72 @@ mod tests {
         ));
         assert!(from_csv_string("a,b\n").is_err());
         assert!(from_csv_string("a,,c\n1,2,3\n").is_err());
+    }
+
+    #[test]
+    fn split_csv_fields_rfc4180() {
+        assert_eq!(split_csv_fields("a,b,c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split_csv_fields("").unwrap(), vec![""]);
+        assert_eq!(split_csv_fields("a,,c").unwrap(), vec!["a", "", "c"]);
+        assert_eq!(
+            split_csv_fields("\"a,b\",c").unwrap(),
+            vec!["a,b".to_string(), "c".to_string()]
+        );
+        assert_eq!(
+            split_csv_fields("\"he said \"\"hi\"\"\",2").unwrap(),
+            vec!["he said \"hi\"".to_string(), "2".to_string()]
+        );
+        assert_eq!(
+            split_csv_fields("\"line\nbreak\",x").unwrap(),
+            vec!["line\nbreak".to_string(), "x".to_string()]
+        );
+        assert_eq!(split_csv_fields("\"\",\"\"").unwrap(), vec!["", ""]);
+        assert!(split_csv_fields("\"open").is_err());
+        assert!(split_csv_fields("ab\"cd").is_err());
+        assert!(split_csv_fields("\"done\"trailing").is_err());
+    }
+
+    #[test]
+    fn parse_csv_text_handles_quoted_newlines_and_locates_errors() {
+        let text = "label,value\n\"a,b\",1\n\"multi\nline\",2\nplain,3\n";
+        let records = parse_csv_text(text).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[1], vec!["a,b", "1"]);
+        assert_eq!(records[2], vec!["multi\nline", "2"]);
+        assert_eq!(records[3], vec!["plain", "3"]);
+
+        // CRLF line endings and a missing trailing newline both parse.
+        let crlf = parse_csv_text("a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(crlf, vec![vec!["a", "b"], vec!["1", "2"], vec!["3", "4"]]);
+
+        // Errors are located at the record's first physical line, counting
+        // the newlines embedded in earlier quoted fields.
+        let bad = "h\n\"two\nlines\"\noops\"\n";
+        match parse_csv_text(bad) {
+            Err(DataError::Parse { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected located parse error, got {other:?}"),
+        }
+        // An unterminated quote surfaces as an error, not an infinite record.
+        assert!(parse_csv_text("h\n\"never closed\n").is_err());
+    }
+
+    #[test]
+    fn numeric_reader_accepts_quoted_fields() {
+        // Quoted numbers and quoted header names parse through the same
+        // field grammar as the report CSVs.
+        let t = from_csv_string("\"a\",b\n\"1.5\",2\n3,\"4\"\n").unwrap();
+        assert_eq!(t.schema().names(), vec!["a", "b"]);
+        assert_eq!(t.record(0), &[1.5, 2.0]);
+        assert_eq!(t.record(1), &[3.0, 4.0]);
+        // Arity and value errors still located on the quoted path.
+        assert!(matches!(
+            from_csv_string("a,b\n\"1\"\n"),
+            Err(DataError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_csv_string("a,b\n\"x\",2\n"),
+            Err(DataError::Parse { line: 2, .. })
+        ));
     }
 
     #[test]

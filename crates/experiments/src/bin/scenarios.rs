@@ -1,8 +1,9 @@
 //! The declarative scenario sweep: one grid, one runner invocation, the
-//! whole {scheme × noise × engine} matrix — fail-soft and crash-resumable.
+//! whole {scheme × noise × engine} matrix — fail-soft, crash-resumable,
+//! and shardable across worker processes.
 //!
 //! Usage: `cargo run --release -p randrecon-experiments --bin scenarios
-//! [--smoke] [--journal <path> [--resume]]`
+//! [--smoke] [--journal <path> [--resume]] [--shards <n> [--shard-dir <dir>]]`
 //!
 //! * default — 20 k × 32 records: 5 schemes × 3 noise models (independent
 //!   Gaussian, independent uniform, correlated-similar) × both engines
@@ -13,23 +14,44 @@
 //! * `--journal <path>` — append every outcome to a crash-safe result
 //!   journal as it lands. If the journal already has content, the sweep
 //!   refuses to run unless `--resume` is also given.
-//! * `--resume` — recover the journal (tolerating a torn trailing record),
-//!   skip every cell it holds, and execute only the remainder; the final
-//!   report is identical to an uninterrupted run.
+//! * `--resume` — recover journal state (tolerating a torn trailing
+//!   record), skip every cell it holds, and execute only the remainder;
+//!   the final report is identical to an uninterrupted run. With
+//!   `--shards`, applies to the per-shard journals in `--shard-dir`.
+//! * `--shards <n>` — **coordinator mode**: split the grid into up to `n`
+//!   workload-group-aligned shards, re-exec this binary once per shard as
+//!   a worker process (restarting dead workers, which resume from their
+//!   shard journals), then merge the shard journals into a report
+//!   bit-identical to a single-process run. `--shard-dir` places the
+//!   shard journals (default `results/shards`).
+//! * `--shard-range <a..b>` — **worker mode** (spawned by the
+//!   coordinator): run only global cells `[a, b)` against the shard
+//!   journal given by `--journal`. `--crash records:<k>` / `--crash
+//!   byte:<b>` installs a deterministic abort inside the journal append —
+//!   testing support, forwarded by the coordinator's `--kill-shard
+//!   <shard>:records:<k>` flag to exercise kill-and-restart.
 //!
 //! The sweep is **fail-soft**: a failing or panicking cell is reported in
 //! the failure section instead of killing the sweep, and the process exits
-//! nonzero iff any cell failed.
+//! nonzero iff any cell failed. Every top-level mode prints an `outcome
+//! hash:` line — a wall-clock-independent FNV-1a digest of all outcomes —
+//! which CI compares across sharded and single-process runs.
 
+use randrecon_experiments::fault::{format_crash_point, parse_crash_point, WorkerKill};
+use randrecon_experiments::journal::CrashPoint;
 use randrecon_experiments::report::{
-    outcomes_summary, outcomes_table, write_outcomes_csv, write_outcomes_json,
+    outcomes_hash, outcomes_summary, outcomes_table, write_outcomes_csv, write_outcomes_json,
 };
 use randrecon_experiments::scenario::{
     EngineSpec, GridAxis, MetricKind, NoiseSpec, RetryPolicy, ScenarioGrid, ScenarioOutcome,
     ScenarioSpec,
 };
+use randrecon_experiments::shard::{
+    plan_shards, run_shard_worker, run_sharded, shard_journal_path, ShardRange, ShardedRunConfig,
+};
 use randrecon_experiments::SchemeKind;
 use std::path::PathBuf;
+use std::process::Command;
 
 fn sweep_grid(records: usize, attributes: usize, chunk_rows: usize) -> ScenarioGrid {
     let mut base =
@@ -60,6 +82,11 @@ struct Args {
     smoke: bool,
     journal: Option<PathBuf>,
     resume: bool,
+    shards: Option<usize>,
+    shard_dir: PathBuf,
+    shard_range: Option<ShardRange>,
+    crash: Option<CrashPoint>,
+    kill_shard: Option<WorkerKill>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -67,6 +94,11 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         journal: None,
         resume: false,
+        shards: None,
+        shard_dir: PathBuf::from("results/shards"),
+        shard_range: None,
+        crash: None,
+        kill_shard: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -77,13 +109,181 @@ fn parse_args() -> Result<Args, String> {
                 Some(path) => args.journal = Some(PathBuf::from(path)),
                 None => return Err("--journal needs a file path".to_string()),
             },
+            "--shards" => match iter.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => args.shards = Some(n),
+                _ => return Err("--shards needs a positive worker count".to_string()),
+            },
+            "--shard-dir" => match iter.next() {
+                Some(dir) => args.shard_dir = PathBuf::from(dir),
+                None => return Err("--shard-dir needs a directory path".to_string()),
+            },
+            "--shard-range" => match iter.next().as_deref().and_then(ShardRange::parse) {
+                Some(range) => args.shard_range = Some(range),
+                None => return Err("--shard-range needs a '<start>..<end>' range".to_string()),
+            },
+            "--crash" => match iter.next().as_deref().and_then(parse_crash_point) {
+                Some(point) => args.crash = Some(point),
+                None => {
+                    return Err("--crash needs 'records:<k>' or 'byte:<b>'".to_string());
+                }
+            },
+            "--kill-shard" => match iter.next().as_deref().and_then(WorkerKill::parse) {
+                Some(kill) => args.kill_shard = Some(kill),
+                None => {
+                    return Err(
+                        "--kill-shard needs '<shard>:records:<k>' or '<shard>:byte:<b>'"
+                            .to_string(),
+                    )
+                }
+            },
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    if args.resume && args.journal.is_none() {
-        return Err("--resume needs --journal <path>".to_string());
+    if args.resume && args.journal.is_none() && args.shards.is_none() {
+        return Err("--resume needs --journal <path> or --shards <n>".to_string());
+    }
+    if args.shard_range.is_some() && args.journal.is_none() {
+        return Err("--shard-range (worker mode) needs --journal <path>".to_string());
+    }
+    if args.crash.is_some() && args.shard_range.is_none() {
+        return Err("--crash only applies to worker mode (--shard-range)".to_string());
+    }
+    if args.shards.is_some() && (args.shard_range.is_some() || args.journal.is_some()) {
+        return Err(
+            "--shards (coordinator mode) conflicts with --journal/--shard-range; \
+             workers manage per-shard journals in --shard-dir"
+                .to_string(),
+        );
+    }
+    if args.kill_shard.is_some() && args.shards.is_none() {
+        return Err("--kill-shard only applies to coordinator mode (--shards)".to_string());
     }
     Ok(args)
+}
+
+fn fail(context: &str, e: impl std::fmt::Display) -> ! {
+    eprintln!("{context}: {e}");
+    std::process::exit(2);
+}
+
+/// Worker mode: run one shard against its journal, print a per-shard
+/// summary, and exit. Exit status reflects the *machinery* (journal I/O,
+/// spawn validity), not per-cell failures — failed cells are journaled as
+/// `Failed` outcomes and restarting the worker could not improve them.
+fn run_worker(args: &Args, specs: &[ScenarioSpec], policy: RetryPolicy) -> ! {
+    let range = args.shard_range.expect("worker mode");
+    let journal = args.journal.as_ref().expect("validated");
+    match run_shard_worker(specs, range, journal, policy, args.crash) {
+        Ok(run) => {
+            let failed = run.outcomes.iter().filter(|o| o.is_failed()).count();
+            println!(
+                "shard {range}: {} cells resumed, {} executed, {failed} failed",
+                run.resumed, run.executed
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("shard worker {range} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Coordinator mode: plan shards, spawn/restart workers, merge journals.
+/// Returns the merged full-grid outcomes.
+fn run_coordinator(args: &Args, specs: &[ScenarioSpec]) -> Vec<ScenarioOutcome> {
+    let plan = match plan_shards(specs, args.shards.expect("coordinator mode")) {
+        Ok(plan) => plan,
+        Err(e) => fail("shard planning failed", e),
+    };
+    let ranges: Vec<String> = plan.iter().map(ShardRange::to_string).collect();
+    println!(
+        "planned {} shard(s) over {} cells: {}",
+        plan.len(),
+        specs.len(),
+        ranges.join(", ")
+    );
+    if !args.resume {
+        for i in 0..plan.len() {
+            let path = shard_journal_path(&args.shard_dir, i);
+            if std::fs::metadata(&path)
+                .map(|m| m.len() > 0)
+                .unwrap_or(false)
+            {
+                fail(
+                    "refusing fresh sharded run",
+                    format!(
+                        "shard journal {} already exists; pass --resume to continue it \
+                         or delete {} to start over",
+                        path.display(),
+                        args.shard_dir.display()
+                    ),
+                );
+            }
+        }
+    }
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => fail("cannot locate worker executable", e),
+    };
+    let run = run_sharded(
+        specs,
+        &plan,
+        &args.shard_dir,
+        &ShardedRunConfig::default(),
+        |spawn| {
+            if spawn.attempt > 0 {
+                println!(
+                    "shard {} restarted (attempt {}), resuming from {}",
+                    spawn.index,
+                    spawn.attempt + 1,
+                    spawn.journal.display()
+                );
+            }
+            let mut command = Command::new(&exe);
+            if args.smoke {
+                command.arg("--smoke");
+            }
+            command
+                .arg("--shard-range")
+                .arg(spawn.range.to_string())
+                .arg("--journal")
+                .arg(spawn.journal);
+            // A kill is injected on the first attempt only: the restarted
+            // worker resumes past its journaled records, and re-arming the
+            // same trigger would abort it immediately, forever.
+            if spawn.attempt == 0 {
+                if let Some(kill) = args.kill_shard.filter(|k| k.shard == spawn.index) {
+                    command.arg("--crash").arg(format_crash_point(kill.crash));
+                }
+            }
+            command
+        },
+    );
+    match run {
+        Ok(run) => {
+            for (i, shard) in run.shards.iter().enumerate() {
+                println!(
+                    "shard {i} ({}): {} attempt(s), {}",
+                    shard.range,
+                    shard.attempts,
+                    if shard.completed {
+                        "completed"
+                    } else {
+                        "exhausted restarts"
+                    }
+                );
+            }
+            if run.unrecovered > 0 {
+                eprintln!(
+                    "{} cell(s) unrecovered from shard journals (reported as failed)",
+                    run.unrecovered
+                );
+            }
+            run.outcomes
+        }
+        Err(e) => fail("sharded sweep failed", e),
+    }
 }
 
 fn main() {
@@ -91,7 +291,11 @@ fn main() {
         Ok(args) => args,
         Err(e) => {
             eprintln!("usage error: {e}");
-            eprintln!("usage: scenarios [--smoke] [--journal <path> [--resume]]");
+            eprintln!(
+                "usage: scenarios [--smoke] [--journal <path> [--resume]] \
+                 [--shards <n> [--shard-dir <dir>] [--resume] [--kill-shard <spec>]] \
+                 [--shard-range <a..b> --journal <path> [--crash <point>]]"
+            );
             std::process::exit(2);
         }
     };
@@ -103,64 +307,65 @@ fn main() {
 
     let specs = match grid.expand_validated() {
         Ok(specs) => specs,
-        Err(e) => {
-            eprintln!("grid expansion failed: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => fail("grid expansion failed", e),
     };
+    let policy = RetryPolicy::transient_retries(2);
+
+    if args.shard_range.is_some() {
+        run_worker(&args, &specs, policy);
+    }
+
     println!(
         "expanded {} scenarios from one spec ({} axes)",
         specs.len(),
         grid.axes.len()
     );
 
-    let policy = RetryPolicy::transient_retries(2);
     let start = std::time::Instant::now();
-    let (outcomes, resumed) = match &args.journal {
-        Some(path) => {
-            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-                if let Err(e) = std::fs::create_dir_all(parent) {
-                    eprintln!("cannot create journal directory {}: {e}", parent.display());
-                    std::process::exit(2);
-                }
-            }
-            // A fresh (non-resume) run must not silently adopt or clobber
-            // leftover state: an existing non-empty journal needs --resume.
-            if !args.resume {
-                if let Ok(meta) = std::fs::metadata(path) {
-                    if meta.len() > 0 {
-                        eprintln!(
-                            "journal {} already exists; pass --resume to continue it \
-                             or delete it to start over",
-                            path.display()
-                        );
-                        std::process::exit(2);
+    let (outcomes, resumed) = if args.shards.is_some() {
+        (run_coordinator(&args, &specs), 0)
+    } else {
+        match &args.journal {
+            Some(path) => {
+                if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        fail("cannot create journal directory", e);
                     }
                 }
-            }
-            match randrecon_experiments::run_scenarios_resumable(&specs, path, policy) {
-                Ok(run) => {
-                    println!(
-                        "journal {}: {} cells resumed, {} executed",
-                        path.display(),
-                        run.resumed,
-                        run.executed
-                    );
-                    (run.outcomes, run.resumed)
+                // A fresh (non-resume) run must not silently adopt or clobber
+                // leftover state: an existing non-empty journal needs --resume.
+                if !args.resume {
+                    if let Ok(meta) = std::fs::metadata(path) {
+                        if meta.len() > 0 {
+                            fail(
+                                "refusing fresh run",
+                                format!(
+                                    "journal {} already exists; pass --resume to continue it \
+                                     or delete it to start over",
+                                    path.display()
+                                ),
+                            );
+                        }
+                    }
                 }
-                Err(e) => {
-                    eprintln!("scenario sweep failed: {e}");
-                    std::process::exit(2);
+                match randrecon_experiments::run_scenarios_resumable(&specs, path, policy) {
+                    Ok(run) => {
+                        println!(
+                            "journal {}: {} cells resumed, {} executed",
+                            path.display(),
+                            run.resumed,
+                            run.executed
+                        );
+                        (run.outcomes, run.resumed)
+                    }
+                    Err(e) => fail("scenario sweep failed", e),
                 }
             }
+            None => match randrecon_experiments::run_scenarios_failsoft(&specs, policy) {
+                Ok(outcomes) => (outcomes, 0),
+                Err(e) => fail("scenario sweep failed", e),
+            },
         }
-        None => match randrecon_experiments::run_scenarios_failsoft(&specs, policy) {
-            Ok(outcomes) => (outcomes, 0),
-            Err(e) => {
-                eprintln!("scenario sweep failed: {e}");
-                std::process::exit(2);
-            }
-        },
     };
     println!("{}", outcomes_table(&outcomes));
     println!(
@@ -168,6 +373,7 @@ fn main() {
         outcomes_summary(&outcomes, resumed),
         start.elapsed()
     );
+    println!("outcome hash: {:016x}", outcomes_hash(&outcomes));
 
     let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let results: Vec<_> = outcomes

@@ -325,6 +325,61 @@ pub fn crash_offsets(seed: u64, count: usize, max: u64) -> Vec<u64> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Crash-point flags (worker kill injection)
+// ---------------------------------------------------------------------------
+
+/// Parses the textual [`CrashPoint`](crate::journal::CrashPoint) form used
+/// on command lines and in child-process environment variables:
+/// `records:<k>` (abort once `k` records have been journaled) or
+/// `byte:<b>` (abort once the journal reaches byte offset `b`).
+pub fn parse_crash_point(s: &str) -> Option<crate::journal::CrashPoint> {
+    use crate::journal::CrashPoint;
+    let (kind, value) = s.split_once(':')?;
+    match kind.trim() {
+        "records" => Some(CrashPoint::AfterRecords(value.trim().parse().ok()?)),
+        "byte" => Some(CrashPoint::AtByte(value.trim().parse().ok()?)),
+        _ => None,
+    }
+}
+
+/// Renders a [`CrashPoint`](crate::journal::CrashPoint) in the form
+/// [`parse_crash_point`] accepts — how a shard coordinator forwards a kill
+/// request to a worker's `--crash` flag.
+pub fn format_crash_point(point: crate::journal::CrashPoint) -> String {
+    use crate::journal::CrashPoint;
+    match point {
+        CrashPoint::AfterRecords(k) => format!("records:{k}"),
+        CrashPoint::AtByte(b) => format!("byte:{b}"),
+    }
+}
+
+/// A kill request for one shard worker of a sharded sweep: shard `shard`
+/// aborts at `crash` — **on its first attempt only** (a restarted worker
+/// resumes past its journaled records, so re-arming the same
+/// `AfterRecords` trigger would abort it immediately forever). Parsed from
+/// the `scenarios` binary's `--kill-shard <shard>:records:<k>` /
+/// `--kill-shard <shard>:byte:<b>` testing flag, which CI's sharded smoke
+/// uses to exercise kill-and-restart end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerKill {
+    /// Index of the shard whose first worker attempt is killed.
+    pub shard: usize,
+    /// Where in the shard journal the abort fires.
+    pub crash: crate::journal::CrashPoint,
+}
+
+impl WorkerKill {
+    /// Parses `<shard>:records:<k>` or `<shard>:byte:<b>`.
+    pub fn parse(s: &str) -> Option<WorkerKill> {
+        let (shard, rest) = s.split_once(':')?;
+        Some(WorkerKill {
+            shard: shard.trim().parse().ok()?,
+            crash: parse_crash_point(rest)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +454,31 @@ mod tests {
         assert_eq!(w.write(b"defg").unwrap(), 2);
         assert!(w.write(b"h").is_err());
         assert_eq!(w.into_inner(), b"abcde");
+    }
+
+    #[test]
+    fn crash_point_flags_parse_and_roundtrip() {
+        use crate::journal::CrashPoint;
+        assert_eq!(
+            parse_crash_point("records:3"),
+            Some(CrashPoint::AfterRecords(3))
+        );
+        assert_eq!(parse_crash_point("byte:177"), Some(CrashPoint::AtByte(177)));
+        assert_eq!(parse_crash_point("records:"), None);
+        assert_eq!(parse_crash_point("chunks:3"), None);
+        assert_eq!(parse_crash_point("records"), None);
+        for point in [CrashPoint::AfterRecords(9), CrashPoint::AtByte(512)] {
+            assert_eq!(parse_crash_point(&format_crash_point(point)), Some(point));
+        }
+        assert_eq!(
+            WorkerKill::parse("1:records:2"),
+            Some(WorkerKill {
+                shard: 1,
+                crash: CrashPoint::AfterRecords(2),
+            })
+        );
+        assert_eq!(WorkerKill::parse("one:records:2"), None);
+        assert_eq!(WorkerKill::parse("1"), None);
     }
 
     #[test]

@@ -26,6 +26,16 @@
 //!   payload    len        — (grid index, ScenarioOutcome), see below
 //! ```
 //!
+//! **Shard journals** (version 2, 48-byte header) extend the header with the
+//! half-open global index range `[shard_start, shard_end)` the worker owns,
+//! inserted between `fingerprint` and `header_crc` as two `u64`s. The
+//! fingerprint still covers the **full** grid, so a shard journal is pinned
+//! to both the exact sweep *and* its slice of it; record indices are global
+//! grid indices, which is what lets [`ResultJournal::recover_shard`] merge
+//! worker journals back into one outcome list without renumbering. A plain
+//! (v1) journal opened as a shard journal — or vice versa — is a hard
+//! error, never a silent resume.
+//!
 //! Strings are `u32` length + UTF-8 bytes; `f64`s are stored as raw IEEE
 //! bits (`to_bits`/`from_bits`), so values — including the wall-clock
 //! `seconds` field — round-trip exactly.
@@ -59,6 +69,7 @@ use crate::scenario::{
     execute_specs_failsoft, MetricKind, RetryPolicy, ScenarioFailure, ScenarioOutcome,
     ScenarioResult, ScenarioSpec,
 };
+use crate::shard::ShardRange;
 use crate::SchemeKind;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -68,6 +79,9 @@ use std::sync::Mutex;
 const MAGIC: &[u8; 8] = b"RRJOURN1";
 const VERSION: u32 = 1;
 const HEADER_LEN: u64 = 32;
+/// Shard journals (see the module docs) carry a 16-byte range extension.
+const SHARD_VERSION: u32 = 2;
+const SHARD_HEADER_LEN: u64 = 48;
 /// Frame overhead preceding each record payload: `len` (4) + `crc` (8).
 const FRAME_OVERHEAD: usize = 12;
 
@@ -344,6 +358,9 @@ pub struct ResultJournal {
     bytes_written: u64,
     records_written: u64,
     crash: Option<CrashPoint>,
+    /// `Some` for shard journals: the half-open global index range this
+    /// journal owns; appends outside it are rejected.
+    shard: Option<ShardRange>,
 }
 
 impl std::fmt::Debug for ResultJournal {
@@ -353,8 +370,18 @@ impl std::fmt::Debug for ResultJournal {
             .field("bytes_written", &self.bytes_written)
             .field("records_written", &self.records_written)
             .field("crash", &self.crash)
+            .field("shard", &self.shard)
             .finish()
     }
+}
+
+/// What [`ResultJournal::check_header`] concluded about existing bytes.
+enum HeaderCheck {
+    /// Empty file or a header torn by a crash mid-create: start fresh.
+    Fresh,
+    /// A complete, checksum-valid header matching the grid (and shard
+    /// range, if any): record frames follow.
+    Valid,
 }
 
 impl ResultJournal {
@@ -372,104 +399,165 @@ impl ResultJournal {
         }
     }
 
-    fn header_bytes(specs: &[ScenarioSpec]) -> [u8; 32] {
-        let mut header = [0u8; 32];
+    fn header_len(shard: Option<ShardRange>) -> u64 {
+        if shard.is_some() {
+            SHARD_HEADER_LEN
+        } else {
+            HEADER_LEN
+        }
+    }
+
+    fn header_bytes(specs: &[ScenarioSpec], shard: Option<ShardRange>) -> Vec<u8> {
+        let len = Self::header_len(shard) as usize;
+        let mut header = vec![0u8; len];
         header[..8].copy_from_slice(MAGIC);
-        header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        let version = if shard.is_some() {
+            SHARD_VERSION
+        } else {
+            VERSION
+        };
+        header[8..12].copy_from_slice(&version.to_le_bytes());
         header[12..16].copy_from_slice(&(specs.len() as u32).to_le_bytes());
         header[16..24].copy_from_slice(&grid_fingerprint(specs).to_le_bytes());
-        let crc = fnv64(FNV_OFFSET, &header[..24]);
-        header[24..32].copy_from_slice(&crc.to_le_bytes());
+        if let Some(range) = shard {
+            header[24..32].copy_from_slice(&(range.start as u64).to_le_bytes());
+            header[32..40].copy_from_slice(&(range.end as u64).to_le_bytes());
+        }
+        let crc_at = len - 8;
+        let crc = fnv64(FNV_OFFSET, &header[..crc_at]);
+        header[crc_at..].copy_from_slice(&crc.to_le_bytes());
         header
+    }
+
+    /// A shard range must sit inside the grid it journals.
+    fn check_shard_range(path: &Path, specs: &[ScenarioSpec], range: ShardRange) -> Result<()> {
+        if range.end > specs.len() {
+            return Err(Self::journal_err(
+                path,
+                format!(
+                    "shard range {range} extends past the {}-cell grid",
+                    specs.len()
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// Creates (or truncates) the journal at `path` for the given grid and
     /// writes a fresh header.
     pub fn create(path: impl Into<PathBuf>, specs: &[ScenarioSpec]) -> Result<ResultJournal> {
+        Self::create_impl(path.into(), specs, None)
+    }
+
+    /// Creates (or truncates) a **shard** journal: a version-2 header
+    /// carrying the full-grid fingerprint plus the worker's global index
+    /// range (see the [module docs](self)).
+    pub fn create_shard(
+        path: impl Into<PathBuf>,
+        specs: &[ScenarioSpec],
+        range: ShardRange,
+    ) -> Result<ResultJournal> {
         let path = path.into();
+        Self::check_shard_range(&path, specs, range)?;
+        Self::create_impl(path, specs, Some(range))
+    }
+
+    fn create_impl(
+        path: PathBuf,
+        specs: &[ScenarioSpec],
+        shard: Option<ShardRange>,
+    ) -> Result<ResultJournal> {
         let mut file = File::create(&path).map_err(|e| Self::io_err(&path, e))?;
-        file.write_all(&Self::header_bytes(specs))
+        file.write_all(&Self::header_bytes(specs, shard))
             .map_err(|e| Self::io_err(&path, e))?;
         Ok(ResultJournal {
             path,
             file,
-            bytes_written: HEADER_LEN,
+            bytes_written: Self::header_len(shard),
             records_written: 0,
             crash: None,
+            shard,
         })
     }
 
-    /// Opens an existing journal for the given grid — recovering every
-    /// intact record and truncating a torn tail — or creates a fresh one if
-    /// `path` is missing or empty. Returns the journal positioned for
-    /// appends plus the recovered `(grid index, outcome)` pairs in journal
-    /// order. See the [module docs](self) for the full recovery rules.
-    pub fn open_or_create(
-        path: impl Into<PathBuf>,
+    /// Classifies existing journal bytes against the expected grid and
+    /// shard flavor. `Fresh` means start over (empty or torn header); any
+    /// mismatch — foreign file, wrong flavor, stale grid, wrong shard
+    /// range — is a hard error.
+    fn check_header(
+        path: &Path,
+        bytes: &[u8],
         specs: &[ScenarioSpec],
-    ) -> Result<(ResultJournal, Vec<(usize, ScenarioOutcome)>)> {
-        let path = path.into();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)
-            .map_err(|e| Self::io_err(&path, e))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)
-            .map_err(|e| Self::io_err(&path, e))?;
-
-        if (bytes.len() as u64) < HEADER_LEN {
-            // Empty file: fresh. A short file that is a prefix of our own
-            // magic is a header torn by a crash mid-create: also fresh.
-            // Anything else is some other file — refuse to clobber it.
-            let probe = bytes.len().min(MAGIC.len());
-            if !bytes.is_empty() && bytes[..probe] != MAGIC[..probe] {
-                return Err(Self::journal_err(
-                    &path,
-                    "existing file is not a result journal (bad magic)",
-                ));
-            }
-            file.set_len(0).map_err(|e| Self::io_err(&path, e))?;
-            file.seek(SeekFrom::Start(0))
-                .map_err(|e| Self::io_err(&path, e))?;
-            file.write_all(&Self::header_bytes(specs))
-                .map_err(|e| Self::io_err(&path, e))?;
-            return Ok((
-                ResultJournal {
-                    path,
-                    file,
-                    bytes_written: HEADER_LEN,
-                    records_written: 0,
-                    crash: None,
-                },
-                Vec::new(),
-            ));
+        shard: Option<ShardRange>,
+    ) -> Result<HeaderCheck> {
+        let header_len = Self::header_len(shard) as usize;
+        if bytes.is_empty() {
+            return Ok(HeaderCheck::Fresh);
         }
-
-        if &bytes[..8] != MAGIC {
+        let probe = bytes.len().min(MAGIC.len());
+        if bytes[..probe] != MAGIC[..probe] {
             return Err(Self::journal_err(
-                &path,
+                path,
                 "existing file is not a result journal (bad magic)",
             ));
         }
-        let stored_crc = u64::from_le_bytes(bytes[24..32].try_into().expect("8 header bytes"));
-        if fnv64(FNV_OFFSET, &bytes[..24]) != stored_crc {
-            return Err(Self::journal_err(&path, "header checksum mismatch"));
+        if bytes.len() < 12 {
+            // Torn before the version field ever landed: fresh.
+            return Ok(HeaderCheck::Fresh);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 header bytes"));
-        if version != VERSION {
+        let expected = if shard.is_some() {
+            SHARD_VERSION
+        } else {
+            VERSION
+        };
+        if version != expected {
+            // A complete, checksum-valid header of the *other* flavor is a
+            // usage error, not corruption — refuse with a pointed message
+            // instead of clobbering or mis-resuming.
+            let valid_other = |len: usize| {
+                bytes.len() >= len
+                    && fnv64(FNV_OFFSET, &bytes[..len - 8])
+                        == u64::from_le_bytes(bytes[len - 8..len].try_into().expect("8 crc bytes"))
+            };
+            if version == VERSION && valid_other(HEADER_LEN as usize) {
+                return Err(Self::journal_err(
+                    path,
+                    "journal belongs to an unsharded run (version 1); \
+                     a shard worker cannot resume it",
+                ));
+            }
+            if version == SHARD_VERSION && valid_other(SHARD_HEADER_LEN as usize) {
+                return Err(Self::journal_err(
+                    path,
+                    "journal belongs to a sharded run (version 2); \
+                     recover it through the shard coordinator",
+                ));
+            }
             return Err(Self::journal_err(
-                &path,
-                format!("unsupported journal version {version} (this build writes {VERSION})"),
+                path,
+                format!("unsupported journal version {version} (this path expects {expected})"),
             ));
+        }
+        if bytes.len() < header_len {
+            // Torn header of our own flavor: the creating process died
+            // mid-create; start fresh.
+            return Ok(HeaderCheck::Fresh);
+        }
+        let crc_at = header_len - 8;
+        let stored_crc = u64::from_le_bytes(
+            bytes[crc_at..header_len]
+                .try_into()
+                .expect("8 header bytes"),
+        );
+        if fnv64(FNV_OFFSET, &bytes[..crc_at]) != stored_crc {
+            return Err(Self::journal_err(path, "header checksum mismatch"));
         }
         let spec_count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 header bytes"));
         let fingerprint = u64::from_le_bytes(bytes[16..24].try_into().expect("8 header bytes"));
         if spec_count as usize != specs.len() || fingerprint != grid_fingerprint(specs) {
             return Err(Self::journal_err(
-                &path,
+                path,
                 format!(
                     "grid fingerprint mismatch: journal was written for a different scenario \
                      grid ({spec_count} cells, fingerprint {fingerprint:#018x}); delete the \
@@ -477,19 +565,33 @@ impl ResultJournal {
                 ),
             ));
         }
+        if let Some(range) = shard {
+            let start = u64::from_le_bytes(bytes[24..32].try_into().expect("8 header bytes"));
+            let end = u64::from_le_bytes(bytes[32..40].try_into().expect("8 header bytes"));
+            if start != range.start as u64 || end != range.end as u64 {
+                return Err(Self::journal_err(
+                    path,
+                    format!("shard range mismatch: journal covers {start}..{end}, not {range}"),
+                ));
+            }
+        }
+        Ok(HeaderCheck::Valid)
+    }
 
-        // Scan record frames; the first torn or corrupt frame ends the
-        // journal and everything from it on is truncated away.
+    /// Scans record frames from `offset`, stopping at the first torn or
+    /// corrupt frame (or an index `index_ok` rejects). Returns the intact
+    /// `(index, outcome)` pairs in journal order plus the byte offset just
+    /// past the last intact frame.
+    fn scan_frames(
+        bytes: &[u8],
+        mut offset: usize,
+        index_ok: impl Fn(usize) -> bool,
+    ) -> (Vec<(usize, ScenarioOutcome)>, usize) {
         let mut recovered = Vec::new();
-        let mut offset = HEADER_LEN as usize;
-        let mut records = 0u64;
         loop {
             let remaining = bytes.len() - offset;
-            if remaining == 0 {
-                break;
-            }
             if remaining < FRAME_OVERHEAD {
-                break; // torn frame prefix
+                break; // end of file, or a torn frame prefix
             }
             let len =
                 u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 frame bytes"))
@@ -509,13 +611,84 @@ impl ResultJournal {
             let Some((index, outcome)) = decode_record(payload) else {
                 break; // structurally invalid payload
             };
-            if index >= specs.len() {
-                break; // index beyond the grid: corrupt
+            if !index_ok(index) {
+                break; // index outside the grid (or shard): corrupt
             }
             recovered.push((index, outcome));
-            records += 1;
             offset += FRAME_OVERHEAD + len;
         }
+        (recovered, offset)
+    }
+
+    /// Opens an existing journal for the given grid — recovering every
+    /// intact record and truncating a torn tail — or creates a fresh one if
+    /// `path` is missing or empty. Returns the journal positioned for
+    /// appends plus the recovered `(grid index, outcome)` pairs in journal
+    /// order. See the [module docs](self) for the full recovery rules.
+    pub fn open_or_create(
+        path: impl Into<PathBuf>,
+        specs: &[ScenarioSpec],
+    ) -> Result<(ResultJournal, Vec<(usize, ScenarioOutcome)>)> {
+        Self::open_impl(path.into(), specs, None)
+    }
+
+    /// [`open_or_create`](Self::open_or_create) for a **shard** journal:
+    /// validates the version-2 header against both the full grid and the
+    /// worker's shard range, recovering only records whose global index
+    /// falls inside the range.
+    pub fn open_or_create_shard(
+        path: impl Into<PathBuf>,
+        specs: &[ScenarioSpec],
+        range: ShardRange,
+    ) -> Result<(ResultJournal, Vec<(usize, ScenarioOutcome)>)> {
+        let path = path.into();
+        Self::check_shard_range(&path, specs, range)?;
+        Self::open_impl(path, specs, Some(range))
+    }
+
+    fn open_impl(
+        path: PathBuf,
+        specs: &[ScenarioSpec],
+        shard: Option<ShardRange>,
+    ) -> Result<(ResultJournal, Vec<(usize, ScenarioOutcome)>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| Self::io_err(&path, e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| Self::io_err(&path, e))?;
+
+        if let HeaderCheck::Fresh = Self::check_header(&path, &bytes, specs, shard)? {
+            file.set_len(0).map_err(|e| Self::io_err(&path, e))?;
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| Self::io_err(&path, e))?;
+            file.write_all(&Self::header_bytes(specs, shard))
+                .map_err(|e| Self::io_err(&path, e))?;
+            return Ok((
+                ResultJournal {
+                    path,
+                    file,
+                    bytes_written: Self::header_len(shard),
+                    records_written: 0,
+                    crash: None,
+                    shard,
+                },
+                Vec::new(),
+            ));
+        }
+
+        // Scan record frames; the first torn or corrupt frame ends the
+        // journal and everything from it on is truncated away.
+        let index_ok = move |i: usize| match shard {
+            Some(range) => range.contains(i),
+            None => i < specs.len(),
+        };
+        let (recovered, offset) =
+            Self::scan_frames(&bytes, Self::header_len(shard) as usize, index_ok);
 
         if offset < bytes.len() {
             file.set_len(offset as u64)
@@ -528,17 +701,54 @@ impl ResultJournal {
                 path,
                 file,
                 bytes_written: offset as u64,
-                records_written: records,
+                records_written: recovered.len() as u64,
                 crash: None,
+                shard,
             },
             recovered,
         ))
+    }
+
+    /// Read-only recovery of a shard journal — the coordinator's merge
+    /// path. A missing or empty file recovers zero records (the worker
+    /// never started); everything else goes through exactly the
+    /// [`open_or_create_shard`](Self::open_or_create_shard) validation, but
+    /// the file is neither truncated nor kept open, and a torn header
+    /// recovers zero records instead of writing a fresh one.
+    pub fn recover_shard(
+        path: impl AsRef<Path>,
+        specs: &[ScenarioSpec],
+        range: ShardRange,
+    ) -> Result<Vec<(usize, ScenarioOutcome)>> {
+        let path = path.as_ref();
+        Self::check_shard_range(path, specs, range)?;
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(Self::io_err(path, e)),
+        };
+        match Self::check_header(path, &bytes, specs, Some(range))? {
+            HeaderCheck::Fresh => Ok(Vec::new()),
+            HeaderCheck::Valid => {
+                let (recovered, _) =
+                    Self::scan_frames(&bytes, SHARD_HEADER_LEN as usize, |i| range.contains(i));
+                Ok(recovered)
+            }
+        }
     }
 
     /// Appends one outcome, framed and checksummed. Writes go straight to
     /// the file (no user-space buffering), so a process abort immediately
     /// after `append` returns loses nothing.
     pub fn append(&mut self, index: usize, outcome: &ScenarioOutcome) -> Result<()> {
+        if let Some(range) = self.shard {
+            if !range.contains(index) {
+                return Err(Self::journal_err(
+                    &self.path,
+                    format!("record index {index} outside shard range {range}"),
+                ));
+            }
+        }
         let payload = encode_record(index, outcome);
         let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
         put_u32(&mut frame, payload.len() as u32);
@@ -586,6 +796,12 @@ impl ResultJournal {
     /// Current file length in bytes (header + intact frames).
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written
+    }
+
+    /// The global index range this journal owns when it is a shard journal
+    /// (`None` for plain journals).
+    pub fn shard_range(&self) -> Option<ShardRange> {
+        self.shard
     }
 }
 
@@ -851,6 +1067,90 @@ mod tests {
         let (journal, recovered) = ResultJournal::open_or_create(&path, &grid).unwrap();
         assert_eq!(recovered.len(), 2);
         assert_eq!(journal.bytes_written(), boundaries[2]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_journal_round_trip_and_range_validation() {
+        let grid = specs(6);
+        let range = ShardRange::new(2, 5).unwrap();
+        let path = temp_path("shard-roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut journal = ResultJournal::create_shard(&path, &grid, range).unwrap();
+            assert_eq!(journal.bytes_written(), SHARD_HEADER_LEN);
+            assert_eq!(journal.shard_range(), Some(range));
+            journal.append(3, &sample_completed("cell3")).unwrap();
+            journal.append(2, &sample_failed("cell2")).unwrap();
+            // Appends outside the owned range are rejected, not written.
+            let err = journal.append(5, &sample_completed("ghost")).unwrap_err();
+            assert!(err.to_string().contains("outside shard range"));
+        }
+        // Worker resume recovers both records.
+        let (journal, recovered) =
+            ResultJournal::open_or_create_shard(&path, &grid, range).unwrap();
+        assert_eq!(journal.records_written(), 2);
+        assert_eq!(
+            recovered,
+            vec![(3, sample_completed("cell3")), (2, sample_failed("cell2"))]
+        );
+        drop(journal);
+        // Read-only coordinator recovery sees the same records.
+        let merged = ResultJournal::recover_shard(&path, &grid, range).unwrap();
+        assert_eq!(merged.len(), 2);
+        // A different shard range is a hard error, as is a stale grid.
+        let other = ShardRange::new(0, 2).unwrap();
+        let err = ResultJournal::recover_shard(&path, &grid, other).unwrap_err();
+        assert!(err.to_string().contains("shard range mismatch"));
+        let mut changed = grid.clone();
+        changed[0].seed ^= 1;
+        let err = ResultJournal::recover_shard(&path, &changed, range).unwrap_err();
+        assert!(err.to_string().contains("fingerprint mismatch"));
+        // Ranges past the grid are rejected up front.
+        let too_far = ShardRange::new(4, 9).unwrap();
+        assert!(ResultJournal::create_shard(&path, &grid, too_far).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_and_plain_flavors_do_not_mix() {
+        let grid = specs(3);
+        let range = ShardRange::new(0, 3).unwrap();
+        let plain = temp_path("flavor-plain");
+        let _ = std::fs::remove_file(&plain);
+        ResultJournal::create(&plain, &grid).unwrap();
+        let err = ResultJournal::open_or_create_shard(&plain, &grid, range).unwrap_err();
+        assert!(err.to_string().contains("unsharded run"), "{err}");
+
+        let sharded = temp_path("flavor-shard");
+        let _ = std::fs::remove_file(&sharded);
+        ResultJournal::create_shard(&sharded, &grid, range).unwrap();
+        let err = ResultJournal::open_or_create(&sharded, &grid).unwrap_err();
+        assert!(err.to_string().contains("sharded run"), "{err}");
+        let _ = std::fs::remove_file(&plain);
+        let _ = std::fs::remove_file(&sharded);
+    }
+
+    #[test]
+    fn missing_and_torn_shard_journals_recover_empty() {
+        let grid = specs(4);
+        let range = ShardRange::new(1, 3).unwrap();
+        let path = temp_path("shard-missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(ResultJournal::recover_shard(&path, &grid, range)
+            .unwrap()
+            .is_empty());
+        // A header torn mid-create (prefix of a real shard header).
+        let full = ResultJournal::header_bytes(&grid, Some(range));
+        std::fs::write(&path, &full[..20]).unwrap();
+        assert!(ResultJournal::recover_shard(&path, &grid, range)
+            .unwrap()
+            .is_empty());
+        // And the worker-side open starts fresh over the torn header.
+        let (journal, recovered) =
+            ResultJournal::open_or_create_shard(&path, &grid, range).unwrap();
+        assert!(recovered.is_empty());
+        assert_eq!(journal.bytes_written(), SHARD_HEADER_LEN);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -60,6 +60,19 @@
 //!   scenario faults, faulty chunk sources/sinks, byte-budgeted writers,
 //!   seeded crash offsets) that the kill-and-resume test suite drives.
 //!
+//! ## Sharding
+//!
+//! [`shard`] scales the same sweep across **worker processes** (PR 7):
+//! [`shard::plan_shards`] splits a grid into contiguous ranges that never
+//! cut through a workload group, [`shard::run_sharded`] spawns one worker
+//! per shard — each journaling to its own shard-stamped [`journal`] file
+//! and restarted (journal-resumed) if it dies — and
+//! [`shard::merge_shard_journals`] folds every journal back into one
+//! outcome list bit-identical to a single-process run. The `scenarios`
+//! binary exposes this as `--shards N` (coordinator) and `--shard-range`
+//! (worker), and [`report::outcomes_hash`] is the fingerprint both sides
+//! print so CI can compare them.
+//!
 //! ## Example
 //!
 //! ```
@@ -88,6 +101,7 @@ pub mod journal;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod shard;
 pub mod streaming;
 pub mod workload;
 
@@ -97,4 +111,8 @@ pub use journal::{run_scenarios_resumable, ResultJournal, ResumableRun};
 pub use scenario::{
     run_scenarios, run_scenarios_failsoft, GridAxis, RetryPolicy, ScenarioGrid, ScenarioOutcome,
     ScenarioResult, ScenarioSpec,
+};
+pub use shard::{
+    merge_shard_journals, plan_shards, run_shard_worker, run_sharded, run_sharded_in_process,
+    ShardRange, ShardedRun, ShardedRunConfig,
 };

@@ -90,6 +90,77 @@ const METRIC_COLUMNS: [MetricKind; 3] = [
     MetricKind::NormalizedRmse,
 ];
 
+/// RFC-4180 field escaping for the report CSVs: a field containing a comma,
+/// a double quote, or a line break is wrapped in double quotes with embedded
+/// quotes doubled; anything else passes through unchanged. Labels, attack
+/// names, and error messages therefore round-trip exactly through any
+/// RFC-4180 reader ([`randrecon_data::csv::parse_csv_text`] included).
+fn csv_escape(field: &str) -> std::borrow::Cow<'_, str> {
+    if !field.contains(['"', ',', '\n', '\r']) {
+        return std::borrow::Cow::Borrowed(field);
+    }
+    let mut out = String::with_capacity(field.len() + 2);
+    out.push('"');
+    for c in field.chars() {
+        if c == '"' {
+            out.push('"');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    std::borrow::Cow::Owned(out)
+}
+
+/// Renders an `f64` as a JSON token. Finite values print with `{v}`
+/// round-trip formatting; non-finite values (NaN, ±inf) have no JSON number
+/// representation and render as `null` — a bare `NaN` token would make the
+/// whole document unparseable.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn fnv64(hash: &mut u64, bytes: impl IntoIterator<Item = u8>) {
+    for b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// A deterministic digest of an outcome list: labels, `x` bits, record and
+/// trial counts, metric kinds with exact value bits, and failure
+/// error/transience/attempt fields, folded into one FNV-1a hash. Wall-clock
+/// `seconds` is excluded — the only nondeterministic field — so two sweeps
+/// of the same grid hash identically whether run single-process, resumed
+/// from a journal, or merged from shard journals. The `scenarios` binary
+/// prints this as `outcome hash: <16 hex>` and CI compares the sharded and
+/// single-process lines byte for byte.
+pub fn outcomes_hash(outcomes: &[ScenarioOutcome]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for outcome in outcomes {
+        match outcome {
+            ScenarioOutcome::Completed(r) => {
+                fnv64(&mut hash, r.label.bytes());
+                fnv64(&mut hash, r.x.to_bits().to_le_bytes());
+                fnv64(&mut hash, (r.n_records as u64).to_le_bytes());
+                for (kind, value) in &r.metrics {
+                    fnv64(&mut hash, format!("{kind:?}").bytes());
+                    fnv64(&mut hash, value.to_bits().to_le_bytes());
+                }
+            }
+            ScenarioOutcome::Failed(f) => {
+                fnv64(&mut hash, f.label.bytes());
+                fnv64(&mut hash, f.error.bytes());
+                fnv64(&mut hash, [u8::from(f.transient), f.attempts as u8]);
+            }
+        }
+    }
+    hash
+}
+
 /// Renders scenario results as a fixed-width console table, one row per
 /// scenario in runner order.
 pub fn results_table(results: &[ScenarioResult]) -> String {
@@ -136,10 +207,10 @@ pub fn results_to_csv(results: &[ScenarioResult]) -> String {
         let _ = write!(
             out,
             "{},{},{},{},{},{},{},{}",
-            r.label.replace(',', ";"),
+            csv_escape(&r.label),
             r.x,
             r.scheme.map(|s| s.label()).unwrap_or(""),
-            r.attack.replace(',', ";"),
+            csv_escape(&r.attack),
             r.engine,
             r.n_records,
             r.trials,
@@ -185,7 +256,7 @@ pub fn results_to_json(results: &[ScenarioResult]) -> String {
              \"engine\": \"{}\", \"records\": {}, \"trials\": {}, \"components_kept\": {}, \
              \"seconds\": {}",
             json_escape(&r.label),
-            r.x,
+            json_f64(r.x),
             r.scheme
                 .map(|s| format!("\"{}\"", s.label()))
                 .unwrap_or_else(|| "null".to_string()),
@@ -196,10 +267,10 @@ pub fn results_to_json(results: &[ScenarioResult]) -> String {
             r.components_kept
                 .map(|p| p.to_string())
                 .unwrap_or_else(|| "null".to_string()),
-            r.seconds,
+            json_f64(r.seconds),
         );
         for &(metric, value) in &r.metrics {
-            let _ = write!(out, ", \"{}\": {}", metric.label(), value);
+            let _ = write!(out, ", \"{}\": {}", metric.label(), json_f64(value));
         }
         out.push('}');
         if i + 1 < results.len() {
@@ -292,10 +363,10 @@ pub fn outcomes_to_csv(outcomes: &[ScenarioOutcome]) -> String {
                 let _ = write!(
                     out,
                     "{},{},{},{},{},{},{},{}",
-                    r.label.replace(',', ";"),
+                    csv_escape(&r.label),
                     r.x,
                     r.scheme.map(|s| s.label()).unwrap_or(""),
-                    r.attack.replace(',', ";"),
+                    csv_escape(&r.attack),
                     r.engine,
                     r.n_records,
                     r.trials,
@@ -313,19 +384,14 @@ pub fn outcomes_to_csv(outcomes: &[ScenarioOutcome]) -> String {
                 let _ = write!(
                     out,
                     "{},,,{},{},,,",
-                    f.label.replace(',', ";"),
-                    f.attack.replace(',', ";"),
+                    csv_escape(&f.label),
+                    csv_escape(&f.attack),
                     f.engine,
                 );
                 for _ in METRIC_COLUMNS {
                     out.push(',');
                 }
-                let _ = writeln!(
-                    out,
-                    ",failed,{},{}",
-                    f.attempts,
-                    f.error.replace(',', ";").replace('\n', " ")
-                );
+                let _ = writeln!(out, ",failed,{},{}", f.attempts, csv_escape(&f.error));
             }
         }
     }
@@ -347,7 +413,7 @@ pub fn outcomes_to_json(outcomes: &[ScenarioOutcome]) -> String {
                      \"records\": {}, \"trials\": {}, \"components_kept\": {}, \
                      \"seconds\": {}",
                     json_escape(&r.label),
-                    r.x,
+                    json_f64(r.x),
                     r.scheme
                         .map(|s| format!("\"{}\"", s.label()))
                         .unwrap_or_else(|| "null".to_string()),
@@ -358,10 +424,10 @@ pub fn outcomes_to_json(outcomes: &[ScenarioOutcome]) -> String {
                     r.components_kept
                         .map(|p| p.to_string())
                         .unwrap_or_else(|| "null".to_string()),
-                    r.seconds,
+                    json_f64(r.seconds),
                 );
                 for &(metric, value) in &r.metrics {
-                    let _ = write!(out, ", \"{}\": {}", metric.label(), value);
+                    let _ = write!(out, ", \"{}\": {}", metric.label(), json_f64(value));
                 }
                 out.push('}');
             }
@@ -499,11 +565,89 @@ mod tests {
             .unwrap()
             .ends_with("status,attempts,error"));
         assert!(csv.contains(",completed,,"));
-        assert!(csv.contains(",failed,1,injected fault; with a comma"));
+        // The comma-bearing error is RFC-4180 quoted, not flattened.
+        assert!(csv.contains(",failed,1,\"injected fault, with a comma\""));
         let json = outcomes_to_json(&outcomes);
         assert!(json.contains("\"status\": \"completed\""));
         assert!(json.contains("\"status\": \"failed\""));
         assert!(json.contains("\"transient\": false"));
+    }
+
+    #[test]
+    fn csv_escape_quotes_only_when_needed() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape(""), "");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_escape("cr\rhere"), "\"cr\rhere\"");
+    }
+
+    #[test]
+    fn csv_fields_roundtrip_through_shared_parser() {
+        // Adversarial label/attack/error strings survive emit → parse exactly.
+        use randrecon_data::csv::parse_csv_text;
+        let mut outcomes = sample_outcomes();
+        if let ScenarioOutcome::Completed(r) = &mut outcomes[0] {
+            r.label = "grid,with \"quotes\"\nand newline".to_string();
+            r.attack = "BE-DR, tuned".to_string();
+        }
+        if let ScenarioOutcome::Failed(f) = &mut outcomes[1] {
+            f.error = "line one\nline two, with comma and \"quote\"".to_string();
+        }
+        let records = parse_csv_text(&outcomes_to_csv(&outcomes)).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[1][0], "grid,with \"quotes\"\nand newline");
+        assert_eq!(records[1][3], "BE-DR, tuned");
+        assert_eq!(
+            records[2].last().unwrap(),
+            "line one\nline two, with comma and \"quote\""
+        );
+    }
+
+    #[test]
+    fn json_renders_non_finite_as_null() {
+        let mut outcomes = sample_outcomes();
+        if let ScenarioOutcome::Completed(r) = &mut outcomes[0] {
+            r.metrics = vec![
+                (MetricKind::Rmse, f64::NAN),
+                (MetricKind::Mse, f64::INFINITY),
+            ];
+            r.x = f64::NEG_INFINITY;
+        }
+        let json = outcomes_to_json(&outcomes);
+        assert!(json.contains("\"rmse\": null"), "{json}");
+        assert!(json.contains("\"mse\": null"), "{json}");
+        assert!(json.contains("\"x\": null"), "{json}");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        let results = [match sample_outcomes().remove(0) {
+            ScenarioOutcome::Completed(mut r) => {
+                r.metrics = vec![(MetricKind::Rmse, f64::NAN)];
+                r
+            }
+            _ => unreachable!(),
+        }];
+        let json = results_to_json(&results);
+        assert!(json.contains("\"rmse\": null"), "{json}");
+    }
+
+    #[test]
+    fn outcome_hash_ignores_seconds_but_sees_everything_else() {
+        let a = sample_outcomes();
+        let mut b = sample_outcomes();
+        if let ScenarioOutcome::Completed(r) = &mut b[0] {
+            r.seconds += 123.0;
+        }
+        assert_eq!(outcomes_hash(&a), outcomes_hash(&b));
+        if let ScenarioOutcome::Completed(r) = &mut b[0] {
+            r.metrics[0].1 += 1e-12;
+        }
+        assert_ne!(outcomes_hash(&a), outcomes_hash(&b));
+        let mut c = sample_outcomes();
+        if let ScenarioOutcome::Failed(f) = &mut c[1] {
+            f.attempts += 1;
+        }
+        assert_ne!(outcomes_hash(&a), outcomes_hash(&c));
     }
 
     #[test]

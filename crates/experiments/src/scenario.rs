@@ -830,6 +830,24 @@ impl ScenarioGrid {
 // The runner
 // ---------------------------------------------------------------------------
 
+/// Groups scenario indices by workload fingerprint, in first-appearance
+/// order (deterministic, input-order based). Scenarios in one group share
+/// everything but the attack/metrics — same data source, noise model,
+/// engine, trial count, and seeds — so the runners generate the workload
+/// once per group, and the shard planner ([`crate::shard::plan_shards`])
+/// must keep a group's members on one shard to preserve that economy.
+pub fn workload_groups(specs: &[ScenarioSpec]) -> Vec<Vec<usize>> {
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let fp = spec.workload_fingerprint();
+        match groups.iter_mut().find(|(key, _)| *key == fp) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((fp, vec![i])),
+        }
+    }
+    groups.into_iter().map(|(_, members)| members).collect()
+}
+
 /// Runs a list of scenarios on the shared workspace pool and returns their
 /// results **in input order**.
 ///
@@ -844,17 +862,7 @@ pub fn run_scenarios(specs: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>> {
     for spec in specs {
         spec.validate()?;
     }
-    // Group scenario indices by workload fingerprint, in first-appearance
-    // order (deterministic, input-order based).
-    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
-    for (i, spec) in specs.iter().enumerate() {
-        let fp = spec.workload_fingerprint();
-        match groups.iter_mut().find(|(key, _)| *key == fp) {
-            Some((_, members)) => members.push(i),
-            None => groups.push((fp, vec![i])),
-        }
-    }
-    let member_sets: Vec<Vec<usize>> = groups.into_iter().map(|(_, members)| members).collect();
+    let member_sets = workload_groups(specs);
 
     let group_results = parallel_map(member_sets, |members| {
         let group: Vec<ScenarioSpec> = members.iter().map(|&i| specs[i].clone()).collect();
@@ -1340,15 +1348,7 @@ where
     for spec in specs {
         spec.validate()?;
     }
-    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
-    for (i, spec) in specs.iter().enumerate() {
-        let fp = spec.workload_fingerprint();
-        match groups.iter_mut().find(|(key, _)| *key == fp) {
-            Some((_, members)) => members.push(i),
-            None => groups.push((fp, vec![i])),
-        }
-    }
-    let member_sets: Vec<Vec<usize>> = groups.into_iter().map(|(_, members)| members).collect();
+    let member_sets = workload_groups(specs);
 
     let callback_error: std::sync::Mutex<Option<ExperimentError>> = std::sync::Mutex::new(None);
     let group_outcomes = randrecon_parallel::parallel_map_catch(&member_sets, |members| {

@@ -1,0 +1,614 @@
+//! Sharded multi-process scenario execution: split a grid into contiguous
+//! shards, run each shard in its own worker process against its own
+//! journal, and merge the journals into one outcome list **bit-identical**
+//! to a single-process [`run_scenarios`](crate::scenario::run_scenarios)
+//! run.
+//!
+//! ## Why sharding composes cleanly here
+//!
+//! Every scenario's result is a pure function of its spec (all randomness
+//! is spec-derived), and workload groups — scenarios sharing {data, noise,
+//! engine, seeds} — are independent of each other. So the only constraint
+//! a shard split must respect is *group integrity*: a workload group must
+//! not straddle a shard boundary, or its members would regenerate the
+//! shared workload in two processes (still correct, but wasted work and a
+//! broken economy contract). [`plan_shards`] therefore only cuts the grid
+//! at positions no group spans, placing cuts as close to the balanced
+//! ideal as those positions allow — possibly yielding fewer shards than
+//! asked for, never an invalid split.
+//!
+//! ## The worker ↔ coordinator protocol
+//!
+//! * The coordinator ([`run_sharded`]) expands the grid once, plans the
+//!   shards, and spawns one `std::process::Command` worker per shard
+//!   (typically the same binary re-exec'd with `--shard-range a..b`, the
+//!   pattern the re-exec determinism suites established).
+//! * Each worker ([`run_shard_worker`]) runs its slice through the same
+//!   fail-soft machinery as a single-process sweep, journaling every
+//!   outcome to a **shard journal** — a [`ResultJournal`] whose version-2
+//!   header carries the full-grid fingerprint *plus* the worker's global
+//!   index range (see the [journal module docs](crate::journal)). Record
+//!   indices are global grid indices, so merging needs no renumbering.
+//! * A worker that dies is re-spawned up to
+//!   [`ShardedRunConfig::max_restarts`] times; on restart it resumes from
+//!   its journal, recomputing only the cells that never landed.
+//! * After all workers finish (or exhaust their restarts), the coordinator
+//!   recovers every shard journal read-only
+//!   ([`ResultJournal::recover_shard`]) and merges by global index
+//!   ([`merge_shard_journals`]). The coordinator is itself fail-soft: a
+//!   shard that never completed surfaces its unrecovered cells as
+//!   [`ScenarioOutcome::Failed`] entries, not a dead sweep.
+//!
+//! Wall-clock `seconds` aside, the merged outcome list is bit-identical to
+//! a single-process run — pinned by the re-exec suite in
+//! `tests/shard_tests.rs` and by CI comparing the `outcome hash:` lines of
+//! a sharded and an unsharded `scenarios` invocation.
+
+use crate::error::{ExperimentError, Result};
+use crate::journal::{CrashPoint, ResultJournal, ResumableRun};
+use crate::scenario::{
+    execute_specs_failsoft, workload_groups, RetryPolicy, ScenarioFailure, ScenarioOutcome,
+    ScenarioSpec,
+};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Mutex;
+
+fn config_err(reason: impl Into<String>) -> ExperimentError {
+    ExperimentError::InvalidConfig {
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard ranges and planning
+// ---------------------------------------------------------------------------
+
+/// A non-empty half-open range `[start, end)` of global grid indices — one
+/// shard's slice of an expanded spec list. Displays (and parses) as
+/// `start..end`, the format the `scenarios` binary's `--shard-range` flag
+/// uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// First global cell index (inclusive).
+    pub start: usize,
+    /// One past the last global cell index (exclusive).
+    pub end: usize,
+}
+
+impl ShardRange {
+    /// Builds a range, rejecting empty or inverted bounds.
+    pub fn new(start: usize, end: usize) -> Result<ShardRange> {
+        if start >= end {
+            return Err(config_err(format!(
+                "shard range {start}..{end} is empty or inverted"
+            )));
+        }
+        Ok(ShardRange { start, end })
+    }
+
+    /// Number of cells in the range (always ≥ 1).
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Ranges are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether global index `i` falls inside the range.
+    pub fn contains(&self, i: usize) -> bool {
+        self.start <= i && i < self.end
+    }
+
+    /// Parses the `start..end` rendering (the `--shard-range` flag).
+    pub fn parse(s: &str) -> Option<ShardRange> {
+        let (start, end) = s.split_once("..")?;
+        ShardRange::new(start.trim().parse().ok()?, end.trim().parse().ok()?).ok()
+    }
+}
+
+impl fmt::Display for ShardRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Splits `specs` into up to `n_shards` contiguous, workload-group-aware
+/// ranges tiling `0..specs.len()`.
+///
+/// A cut position is *valid* if no workload group has members on both
+/// sides of it; each of the `n_shards - 1` ideal balanced cut points is
+/// moved to the nearest valid position (searching outward, nearer-lower
+/// first). When no valid position remains between two cuts the shard count
+/// degrades gracefully — a grid that is one giant group yields one shard —
+/// so the result always tiles the grid exactly and never splits a group.
+pub fn plan_shards(specs: &[ScenarioSpec], n_shards: usize) -> Result<Vec<ShardRange>> {
+    if specs.is_empty() {
+        return Err(config_err("cannot shard an empty scenario grid"));
+    }
+    if n_shards == 0 {
+        return Err(config_err("shard count must be at least 1"));
+    }
+    let len = specs.len();
+    let mut cut_ok = vec![true; len + 1];
+    for group in workload_groups(specs) {
+        let lo = *group.iter().min().expect("groups are non-empty");
+        let hi = *group.iter().max().expect("groups are non-empty");
+        for slot in cut_ok.iter_mut().take(hi + 1).skip(lo + 1) {
+            *slot = false;
+        }
+    }
+    let mut cuts: Vec<usize> = vec![0];
+    for k in 1..n_shards {
+        let ideal = (len * k + n_shards / 2) / n_shards;
+        let last = *cuts.last().expect("cuts start with 0");
+        let valid = |c: usize| c > last && c < len && cut_ok[c];
+        let mut chosen = None;
+        for d in 0..len {
+            let below = ideal.checked_sub(d).filter(|&c| valid(c));
+            let above = Some(ideal + d).filter(|&c| valid(c));
+            if let Some(c) = below.or(above) {
+                chosen = Some(c);
+                break;
+            }
+            if ideal.saturating_sub(d) <= last && ideal + d >= len {
+                break;
+            }
+        }
+        if let Some(c) = chosen {
+            cuts.push(c);
+        }
+    }
+    cuts.push(len);
+    Ok(cuts
+        .windows(2)
+        .map(|w| ShardRange {
+            start: w[0],
+            end: w[1],
+        })
+        .collect())
+}
+
+/// Checks that `plan` tiles `0..specs.len()` exactly — contiguous,
+/// in-order, no gaps or overlaps.
+fn validate_plan(specs: &[ScenarioSpec], plan: &[ShardRange]) -> Result<()> {
+    if plan.is_empty() {
+        return Err(config_err("shard plan is empty"));
+    }
+    let mut expected = 0usize;
+    for range in plan {
+        if range.start != expected || range.start >= range.end {
+            return Err(config_err(format!(
+                "shard plan does not tile the grid: expected a shard starting at {expected}, \
+                 found {range}"
+            )));
+        }
+        expected = range.end;
+    }
+    if expected != specs.len() {
+        return Err(config_err(format!(
+            "shard plan covers {expected} cells but the grid has {}",
+            specs.len()
+        )));
+    }
+    Ok(())
+}
+
+/// The conventional shard-journal path inside a shard directory.
+pub fn shard_journal_path(dir: &Path, shard_index: usize) -> PathBuf {
+    dir.join(format!("shard-{shard_index}.journal"))
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// The worker half of a sharded sweep: runs `specs[range]` with the same
+/// fail-soft + journal-resume semantics as
+/// [`run_scenarios_resumable`](crate::journal::run_scenarios_resumable),
+/// but against a **shard journal** keyed to the full grid plus `range`,
+/// journaling outcomes under their *global* indices. `crash` installs a
+/// deterministic [`CrashPoint`] — how the coordinator's kill-and-restart
+/// path is exercised. Returns one outcome per cell of `range`, in range
+/// order.
+pub fn run_shard_worker(
+    specs: &[ScenarioSpec],
+    range: ShardRange,
+    journal_path: impl Into<PathBuf>,
+    policy: RetryPolicy,
+    crash: Option<CrashPoint>,
+) -> Result<ResumableRun> {
+    let (mut journal, recovered) = ResultJournal::open_or_create_shard(journal_path, specs, range)?;
+    journal.set_crash_point(crash);
+
+    let mut slots: Vec<Option<ScenarioOutcome>> = vec![None; range.len()];
+    for (global, outcome) in recovered {
+        // Duplicate indices cannot arise from this runner, but a journal is
+        // just a file: last record wins, matching append order.
+        slots[global - range.start] = Some(outcome);
+    }
+    let resumed = slots.iter().filter(|s| s.is_some()).count();
+
+    let pending: Vec<usize> = (range.start..range.end)
+        .filter(|&i| slots[i - range.start].is_none())
+        .collect();
+    let pending_specs: Vec<ScenarioSpec> = pending.iter().map(|&i| specs[i].clone()).collect();
+    let executed = pending_specs.len();
+
+    let journal = Mutex::new(journal);
+    let fresh = execute_specs_failsoft(&pending_specs, policy, |sub_index, outcome| {
+        let mut journal = journal.lock().unwrap_or_else(|e| e.into_inner());
+        journal.append(pending[sub_index], outcome)
+    })?;
+    for (sub_index, outcome) in fresh.into_iter().enumerate() {
+        slots[pending[sub_index] - range.start] = Some(outcome);
+    }
+
+    Ok(ResumableRun {
+        outcomes: slots
+            .into_iter()
+            .map(|s| s.expect("every shard cell has an outcome"))
+            .collect(),
+        resumed,
+        executed,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------------
+
+/// Merges shard journals into one full-grid outcome list by global cell
+/// index (read-only recovery; last record wins within each journal). The
+/// `(range, journal path)` pairs must tile the grid. Cells no journal
+/// holds — a worker that exhausted its restarts mid-shard — surface as
+/// [`ScenarioOutcome::Failed`] entries; the second return value counts
+/// them.
+pub fn merge_shard_journals(
+    specs: &[ScenarioSpec],
+    shards: &[(ShardRange, PathBuf)],
+) -> Result<(Vec<ScenarioOutcome>, usize)> {
+    let plan: Vec<ShardRange> = shards.iter().map(|(range, _)| *range).collect();
+    validate_plan(specs, &plan)?;
+    let mut slots: Vec<Option<ScenarioOutcome>> = vec![None; specs.len()];
+    for (range, path) in shards {
+        for (global, outcome) in ResultJournal::recover_shard(path, specs, *range)? {
+            slots[global] = Some(outcome);
+        }
+    }
+    let mut missing = 0usize;
+    let outcomes = slots
+        .into_iter()
+        .zip(specs)
+        .map(|(slot, spec)| {
+            slot.unwrap_or_else(|| {
+                missing += 1;
+                ScenarioOutcome::Failed(ScenarioFailure {
+                    label: spec.label.clone(),
+                    attack: spec.attack.label(),
+                    engine: spec.engine.label(),
+                    error: "cell not recovered from any shard journal (worker exhausted \
+                            restarts before journaling it)"
+                        .to_string(),
+                    transient: false,
+                    attempts: 0,
+                })
+            })
+        })
+        .collect();
+    Ok((outcomes, missing))
+}
+
+/// How the coordinator treats worker processes.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedRunConfig {
+    /// Restarts granted to each shard beyond its first attempt. A restarted
+    /// worker resumes from its journal, so each restart recomputes only the
+    /// cells that never landed.
+    pub max_restarts: u32,
+}
+
+impl Default for ShardedRunConfig {
+    fn default() -> Self {
+        ShardedRunConfig { max_restarts: 2 }
+    }
+}
+
+/// One spawn request handed to the coordinator's command factory.
+#[derive(Debug)]
+pub struct ShardSpawn<'a> {
+    /// Shard number (index into the plan).
+    pub index: usize,
+    /// The global cell range this worker owns.
+    pub range: ShardRange,
+    /// The shard journal the worker must write.
+    pub journal: &'a Path,
+    /// 0 on the first spawn, incremented on each restart — lets test
+    /// harnesses inject a kill on the first attempt only.
+    pub attempt: u32,
+}
+
+/// Per-shard postmortem from [`run_sharded`].
+#[derive(Debug)]
+pub struct ShardStatus {
+    /// The global cell range the shard owned.
+    pub range: ShardRange,
+    /// Its journal path.
+    pub journal: PathBuf,
+    /// Worker processes spawned (1 = no restarts).
+    pub attempts: u32,
+    /// Whether some attempt exited successfully.
+    pub completed: bool,
+}
+
+/// What a sharded sweep produced.
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// One outcome per grid cell, in grid order — merged from the shard
+    /// journals.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Per-shard attempt counts and completion flags, in plan order.
+    pub shards: Vec<ShardStatus>,
+    /// Cells reported `Failed` because no journal held them.
+    pub unrecovered: usize,
+}
+
+/// The coordinator: spawns one worker process per shard (commands built by
+/// `command_for`, typically re-execing the current binary with
+/// `--shard-range`), restarts failed workers up to
+/// [`ShardedRunConfig::max_restarts`] times — each restart resumes from the
+/// shard journal — then merges every journal into a full-grid outcome
+/// list. Fail-soft: a shard that exhausts its restarts surfaces its
+/// unjournaled cells as `Failed` outcomes rather than killing the sweep.
+///
+/// Workers within a round run concurrently; `stdout`/`stderr` are
+/// inherited from the coordinator.
+pub fn run_sharded<F>(
+    specs: &[ScenarioSpec],
+    plan: &[ShardRange],
+    shard_dir: &Path,
+    config: &ShardedRunConfig,
+    mut command_for: F,
+) -> Result<ShardedRun>
+where
+    F: FnMut(&ShardSpawn<'_>) -> Command,
+{
+    validate_plan(specs, plan)?;
+    std::fs::create_dir_all(shard_dir).map_err(|e| ExperimentError::IoAt {
+        path: shard_dir.to_path_buf(),
+        source: e,
+    })?;
+    let mut shards: Vec<ShardStatus> = plan
+        .iter()
+        .enumerate()
+        .map(|(i, &range)| ShardStatus {
+            range,
+            journal: shard_journal_path(shard_dir, i),
+            attempts: 0,
+            completed: false,
+        })
+        .collect();
+
+    loop {
+        let pending: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.completed && s.attempts <= config.max_restarts)
+            .map(|(i, _)| i)
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        let mut children = Vec::with_capacity(pending.len());
+        for &i in &pending {
+            let spawn = ShardSpawn {
+                index: i,
+                range: shards[i].range,
+                journal: &shards[i].journal,
+                attempt: shards[i].attempts,
+            };
+            let mut command = command_for(&spawn);
+            shards[i].attempts += 1;
+            // A spawn failure burns the attempt, like a worker that died
+            // instantly — the restart loop (and ultimately the fail-soft
+            // merge) absorbs it.
+            if let Ok(child) = command.spawn() {
+                children.push((i, child));
+            }
+        }
+        for (i, mut child) in children {
+            if matches!(child.wait(), Ok(status) if status.success()) {
+                shards[i].completed = true;
+            }
+        }
+    }
+
+    let pairs: Vec<(ShardRange, PathBuf)> = shards
+        .iter()
+        .map(|s| (s.range, s.journal.clone()))
+        .collect();
+    let (outcomes, unrecovered) = merge_shard_journals(specs, &pairs)?;
+    Ok(ShardedRun {
+        outcomes,
+        shards,
+        unrecovered,
+    })
+}
+
+/// Runs a sharded sweep without spawning processes: each shard executes
+/// [`run_shard_worker`] in this process (sequentially), then the journals
+/// are merged exactly as [`run_sharded`] would. This is the bench/test
+/// harness for measuring pure coordination overhead — plan, per-shard
+/// journals, recovery, merge — without process spawn cost; existing shard
+/// journals in `shard_dir` are resumed, so benches must clear the
+/// directory between iterations.
+pub fn run_sharded_in_process(
+    specs: &[ScenarioSpec],
+    plan: &[ShardRange],
+    shard_dir: &Path,
+    policy: RetryPolicy,
+) -> Result<Vec<ScenarioOutcome>> {
+    validate_plan(specs, plan)?;
+    std::fs::create_dir_all(shard_dir).map_err(|e| ExperimentError::IoAt {
+        path: shard_dir.to_path_buf(),
+        source: e,
+    })?;
+    let mut pairs = Vec::with_capacity(plan.len());
+    for (i, &range) in plan.iter().enumerate() {
+        let path = shard_journal_path(shard_dir, i);
+        run_shard_worker(specs, range, &path, policy, None)?;
+        pairs.push((range, path));
+    }
+    merge_shard_journals(specs, &pairs).map(|(outcomes, _)| outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultMode;
+    use crate::scenario::AttackSpec;
+
+    /// `n` independent single-cell workloads (distinct seeds → no sharing).
+    fn independent(n: usize) -> Vec<ScenarioSpec> {
+        (0..n)
+            .map(|i| {
+                let mut spec = ScenarioSpec::synthetic_quick(&format!("cell{i}"), 64, 4, 2);
+                spec.seed = 0x5AD_0000 + i as u64;
+                spec
+            })
+            .collect()
+    }
+
+    /// Two workload groups of three: cells 0–2 share one workload, 3–5
+    /// another (the attack axis varies within each group).
+    fn grouped() -> Vec<ScenarioSpec> {
+        use crate::SchemeKind;
+        let mut specs = Vec::new();
+        for seed in [1u64, 2u64] {
+            for scheme in [SchemeKind::Udr, SchemeKind::PcaDr, SchemeKind::BeDr] {
+                let mut spec = ScenarioSpec::synthetic_quick("group", 64, 4, 2);
+                spec.seed = seed;
+                spec.attack = AttackSpec::Scheme(scheme);
+                specs.push(spec);
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn shard_range_display_parse_roundtrip() {
+        let range = ShardRange::new(3, 11).unwrap();
+        assert_eq!(range.to_string(), "3..11");
+        assert_eq!(ShardRange::parse("3..11"), Some(range));
+        assert_eq!(ShardRange::parse(" 3 .. 11 "), Some(range));
+        assert!(ShardRange::parse("11..3").is_none());
+        assert!(ShardRange::parse("5..5").is_none());
+        assert!(ShardRange::parse("nope").is_none());
+        assert!(ShardRange::new(4, 4).is_err());
+        assert_eq!(range.len(), 8);
+        assert!(range.contains(3) && range.contains(10));
+        assert!(!range.contains(11) && !range.contains(2));
+    }
+
+    #[test]
+    fn plan_tiles_grid_and_balances_independent_cells() {
+        let specs = independent(10);
+        let plan = plan_shards(&specs, 3).unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan[0].start, 0);
+        assert_eq!(plan.last().unwrap().end, 10);
+        for pair in plan.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        let sizes: Vec<usize> = plan.iter().map(|r| r.len()).collect();
+        assert!(sizes.iter().all(|&s| (3..=4).contains(&s)), "{sizes:?}");
+        // One shard = the whole grid; shards > cells clamp to cell count.
+        assert_eq!(plan_shards(&specs, 1).unwrap().len(), 1);
+        assert_eq!(plan_shards(&specs, 100).unwrap().len(), 10);
+        assert!(plan_shards(&[], 2).is_err());
+        assert!(plan_shards(&specs, 0).is_err());
+    }
+
+    #[test]
+    fn plan_never_splits_a_workload_group() {
+        let specs = grouped();
+        let groups = workload_groups(&specs);
+        assert_eq!(groups.len(), 2, "fixture should form two groups");
+        // Any shard count: every group stays within one shard.
+        for n in 1..=6 {
+            let plan = plan_shards(&specs, n).unwrap();
+            for group in &groups {
+                let holder: Vec<usize> = plan
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| group.iter().any(|&i| r.contains(i)))
+                    .map(|(s, _)| s)
+                    .collect();
+                assert_eq!(holder.len(), 1, "group {group:?} split across {holder:?}");
+            }
+        }
+        // The only valid cut is at 3, so at most two shards exist.
+        assert_eq!(plan_shards(&specs, 6).unwrap().len(), 2);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("randrecon-shard-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn in_process_sharded_run_matches_single_process() {
+        use crate::report::outcomes_hash;
+        let mut specs = independent(5);
+        let mut failing = ScenarioSpec::synthetic_quick("shard-fault", 64, 4, 2);
+        failing.attack = AttackSpec::InjectedFault {
+            mode: FaultMode::Error,
+        };
+        specs.push(failing);
+        let reference =
+            crate::scenario::run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
+        let dir = temp_dir("inproc");
+        let plan = plan_shards(&specs, 3).unwrap();
+        let merged = run_sharded_in_process(&specs, &plan, &dir, RetryPolicy::default()).unwrap();
+        assert_eq!(outcomes_hash(&merged), outcomes_hash(&reference));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_reports_missing_cells_as_failed() {
+        let specs = independent(4);
+        let dir = temp_dir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = plan_shards(&specs, 2).unwrap();
+        // Only shard 0 ran; shard 1's journal never appeared.
+        let first = shard_journal_path(&dir, 0);
+        run_shard_worker(&specs, plan[0], &first, RetryPolicy::default(), None).unwrap();
+        let pairs = vec![(plan[0], first), (plan[1], shard_journal_path(&dir, 1))];
+        let (outcomes, missing) = merge_shard_journals(&specs, &pairs).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(missing, plan[1].len());
+        for (i, outcome) in outcomes
+            .iter()
+            .enumerate()
+            .take(plan[1].end)
+            .skip(plan[1].start)
+        {
+            match outcome {
+                ScenarioOutcome::Failed(f) => {
+                    assert!(f.error.contains("not recovered"), "{}", f.error);
+                    assert_eq!(f.attempts, 0);
+                }
+                other => panic!("cell {i} should be Failed, got {other:?}"),
+            }
+        }
+        // A plan that does not tile the grid is rejected.
+        let bad = vec![(plan[0], shard_journal_path(&dir, 0))];
+        assert!(merge_shard_journals(&specs, &bad).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -14,10 +14,11 @@
 //! release-matrix test crashes at seed-derived *byte* offsets, landing
 //! mid-frame to force real torn-record recovery.
 
-use randrecon_experiments::fault::{crash_offsets, FaultMode};
-use randrecon_experiments::journal::{run_scenarios_resumable_with_crash, CrashPoint};
+use randrecon_experiments::fault::{crash_offsets, parse_crash_point, FaultMode};
+use randrecon_experiments::journal::run_scenarios_resumable_with_crash;
+use randrecon_experiments::report::outcomes_hash;
 use randrecon_experiments::scenario::{
-    AttackSpec, EngineSpec, GridAxis, RetryPolicy, ScenarioGrid, ScenarioOutcome, ScenarioSpec,
+    AttackSpec, EngineSpec, GridAxis, RetryPolicy, ScenarioGrid, ScenarioSpec,
 };
 use randrecon_experiments::{run_scenarios_failsoft, SchemeKind};
 use std::path::PathBuf;
@@ -55,49 +56,6 @@ fn crash_grid() -> Vec<ScenarioSpec> {
     specs
 }
 
-fn fnv64(hash: &mut u64, bytes: impl IntoIterator<Item = u8>) {
-    for b in bytes {
-        *hash ^= b as u64;
-        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-}
-
-/// Everything deterministic about an outcome list, folded into one hash:
-/// labels, x, metric kinds and exact value bits, record counts, failure
-/// causes. `seconds` is excluded — it is wall-clock.
-fn outcome_hash(outcomes: &[ScenarioOutcome]) -> u64 {
-    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
-    for outcome in outcomes {
-        match outcome {
-            ScenarioOutcome::Completed(r) => {
-                fnv64(&mut hash, r.label.bytes());
-                fnv64(&mut hash, r.x.to_bits().to_le_bytes());
-                fnv64(&mut hash, (r.n_records as u64).to_le_bytes());
-                for (kind, value) in &r.metrics {
-                    fnv64(&mut hash, format!("{kind:?}").bytes());
-                    fnv64(&mut hash, value.to_bits().to_le_bytes());
-                }
-            }
-            ScenarioOutcome::Failed(f) => {
-                fnv64(&mut hash, f.label.bytes());
-                fnv64(&mut hash, f.error.bytes());
-                fnv64(&mut hash, [u8::from(f.transient), f.attempts as u8]);
-            }
-        }
-    }
-    hash
-}
-
-fn parse_crash(value: &str) -> CrashPoint {
-    let (kind, n) = value.split_once(':').expect("crash point format");
-    let n: u64 = n.parse().expect("crash point number");
-    match kind {
-        "records" => CrashPoint::AfterRecords(n),
-        "byte" => CrashPoint::AtByte(n),
-        other => panic!("unknown crash point kind '{other}'"),
-    }
-}
-
 /// Child half: run the sweep against the journal from the environment,
 /// crashing if told to; on completion print the outcome hash and resume
 /// counters for the parent.
@@ -107,12 +65,14 @@ fn child_run_journaled_sweep() {
         return;
     }
     let journal = PathBuf::from(std::env::var(JOURNAL_VAR).expect("journal path"));
-    let crash = std::env::var(CRASH_VAR).ok().map(|v| parse_crash(&v));
+    let crash = std::env::var(CRASH_VAR)
+        .ok()
+        .map(|v| parse_crash_point(&v).expect("crash point format"));
     let specs = crash_grid();
     let run = run_scenarios_resumable_with_crash(&specs, &journal, RetryPolicy::default(), crash)
         .expect("resumable sweep");
     // Only reached when no crash point fired.
-    println!("SWEEP_HASH={:016x}", outcome_hash(&run.outcomes));
+    println!("SWEEP_HASH={:016x}", outcomes_hash(&run.outcomes));
     println!(
         "SWEEP_RESUMED={} SWEEP_EXECUTED={}",
         run.resumed, run.executed
@@ -165,7 +125,7 @@ fn temp_journal(tag: &str) -> PathBuf {
 fn killed_sweep_resumes_to_identical_report() {
     let specs = crash_grid();
     let reference = run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
-    let expected = outcome_hash(&reference);
+    let expected = outcomes_hash(&reference);
 
     let journal = temp_journal("smoke");
     let _ = std::fs::remove_file(&journal);
@@ -210,7 +170,7 @@ fn killed_sweep_resumes_to_identical_report() {
 fn randomized_crash_offsets_all_resume_identically() {
     let specs = crash_grid();
     let reference = run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
-    let expected = outcome_hash(&reference);
+    let expected = outcomes_hash(&reference);
 
     // Learn the intact journal size from one clean journaled run.
     let sizing = temp_journal("sizing");

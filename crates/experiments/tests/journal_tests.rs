@@ -205,6 +205,62 @@ fn truncation_at_every_byte_offset_recovers_longest_prefix() {
     let _ = std::fs::remove_file(&victim);
 }
 
+/// Duplicate cell indices in a journal (a cell re-executed and re-appended
+/// by an earlier resume, or an over-eager writer) resolve by **last record
+/// wins**, and the resume accounting counts *distinct* cells — so the
+/// printed summary agrees with the report.
+#[test]
+fn duplicate_cell_indices_resolve_last_record_wins() {
+    use randrecon_experiments::journal::run_scenarios_resumable;
+    use randrecon_experiments::report::outcomes_summary;
+    use randrecon_experiments::scenario::RetryPolicy;
+
+    let specs = grid(4);
+    let path = temp_path("dup-cell");
+    let _ = std::fs::remove_file(&path);
+
+    // Journal cell 1 twice with distinguishable payloads.
+    let mut state = 0xD0_D0;
+    let first = loop {
+        match random_outcome(&mut state, 1) {
+            ScenarioOutcome::Completed(r) => break ScenarioOutcome::Completed(r),
+            ScenarioOutcome::Failed(_) => continue,
+        }
+    };
+    let second = ScenarioOutcome::Failed(ScenarioFailure {
+        label: "grid1".to_string(),
+        attack: "none".to_string(),
+        engine: "in-memory",
+        error: "the second, surviving record".to_string(),
+        transient: false,
+        attempts: 1,
+    });
+    {
+        let mut journal = ResultJournal::create(&path, &specs).unwrap();
+        journal.append(1, &first).unwrap();
+        journal.append(1, &second).unwrap();
+        assert_eq!(journal.records_written(), 2);
+    }
+
+    let run = run_scenarios_resumable(&specs, &path, RetryPolicy::default()).unwrap();
+    assert_eq!(run.resumed, 1, "2 records, 1 distinct cell");
+    assert_eq!(run.executed, 3, "the other 3 cells still execute");
+    assert_eq!(run.outcomes.len(), 4);
+    assert_eq!(
+        run.outcomes[1], second,
+        "the later record must shadow the earlier one"
+    );
+    // The summary the `scenarios --resume` binary prints reflects the same
+    // accounting: distinct resumed cells, not raw record count.
+    let summary = outcomes_summary(&run.outcomes, run.resumed);
+    assert!(
+        summary.contains("(1 resumed from journal)"),
+        "summary should report 1 resumed cell: {summary}"
+    );
+    assert!(summary.contains("4 scenarios"), "{summary}");
+    let _ = std::fs::remove_file(&path);
+}
+
 /// After recovering a torn journal, appending continues cleanly: the new
 /// records land after the recovered prefix and the whole thing recovers
 /// again.

@@ -1,0 +1,215 @@
+//! Sharded-sweep integration: real worker processes, real kills, merged
+//! reports bit-identical to a single-process run.
+//!
+//! Same re-exec pattern as `crash_resume.rs`: the parent drives
+//! [`run_sharded`] with a command factory that re-execs this test binary;
+//! the child half runs [`run_shard_worker`] against the shard journal from
+//! its environment, dying by real `std::process::abort()` when a crash
+//! point is set. The tier-1 test kills one worker mid-shard, lets the
+//! coordinator restart it (resuming from the shard journal), and requires
+//! the merged outcome hash to equal an uninterrupted in-process reference.
+//! A second test exhausts a shard's restarts and checks the fail-soft
+//! merge reports exactly that shard's cells as `Failed`.
+
+use randrecon_experiments::fault::{parse_crash_point, FaultMode};
+use randrecon_experiments::report::outcomes_hash;
+use randrecon_experiments::scenario::{
+    workload_groups, AttackSpec, EngineSpec, GridAxis, RetryPolicy, ScenarioGrid, ScenarioOutcome,
+    ScenarioSpec,
+};
+use randrecon_experiments::shard::{plan_shards, run_shard_worker, run_sharded, ShardRange};
+use randrecon_experiments::{run_scenarios_failsoft, SchemeKind, ShardedRunConfig};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Guard env var: set by the parent when re-executing this binary so only
+/// the child actually runs a shard.
+const CHILD_GUARD: &str = "RANDRECON_SHARD_CHILD";
+/// Global cell range handed to the child, as `start..end`.
+const RANGE_VAR: &str = "RANDRECON_SHARD_RANGE";
+/// Shard journal path handed to the child.
+const JOURNAL_VAR: &str = "RANDRECON_SHARD_JOURNAL";
+/// Optional crash point (`records:<k>` / `byte:<b>`) handed to the child.
+const CRASH_VAR: &str = "RANDRECON_SHARD_CRASH";
+
+/// 6 real cells (2 engines × 3 schemes → two workload groups of three)
+/// plus one injected failure in its own group: 3 groups, so 3 shards with
+/// group-aligned boundaries at 3 and 6.
+fn shard_grid() -> Vec<ScenarioSpec> {
+    let grid = ScenarioGrid {
+        base: ScenarioSpec::synthetic_quick("shard", 500, 8, 2),
+        axes: vec![
+            GridAxis::engines(&[
+                EngineSpec::InMemory,
+                EngineSpec::Streaming { chunk_rows: 128 },
+            ]),
+            GridAxis::schemes(&[SchemeKind::Udr, SchemeKind::PcaDr, SchemeKind::BeDr]),
+        ],
+    };
+    let mut specs = grid.expand_validated().unwrap();
+    let mut failing = ScenarioSpec::synthetic_quick("shard-fault", 500, 8, 2);
+    failing.attack = AttackSpec::InjectedFault {
+        mode: FaultMode::Error,
+    };
+    // Distinct seed → distinct workload group (a fault spec sharing the
+    // base workload would merge into the in-memory group and span the
+    // whole grid, leaving no valid shard boundary).
+    failing.seed = 0xFA17;
+    specs.push(failing);
+    specs
+}
+
+/// Child half: run one shard against the journal from the environment,
+/// crashing if told to; on completion print resume counters.
+#[test]
+fn child_run_shard_worker() {
+    if std::env::var(CHILD_GUARD).is_err() {
+        return;
+    }
+    let range = ShardRange::parse(&std::env::var(RANGE_VAR).expect("shard range"))
+        .expect("valid shard range");
+    let journal = PathBuf::from(std::env::var(JOURNAL_VAR).expect("journal path"));
+    let crash = std::env::var(CRASH_VAR)
+        .ok()
+        .map(|v| parse_crash_point(&v).expect("crash point format"));
+    let specs = shard_grid();
+    let run = run_shard_worker(&specs, range, &journal, RetryPolicy::default(), crash)
+        .expect("shard worker");
+    // Only reached when no crash point fired.
+    println!(
+        "SHARD_RESUMED={} SHARD_EXECUTED={}",
+        run.resumed, run.executed
+    );
+}
+
+fn temp_shard_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("randrecon-shardtest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds the child command for one shard spawn; `crash` is forwarded only
+/// on the shard's first attempt (see the coordinator docs: a restarted
+/// worker resumes past its journaled records, so re-arming the trigger
+/// would abort it forever).
+fn child_command(
+    spawn: &randrecon_experiments::shard::ShardSpawn<'_>,
+    kill_shard: Option<(usize, &str)>,
+) -> Command {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(exe);
+    cmd.args(["--exact", "child_run_shard_worker", "--nocapture"])
+        .env(CHILD_GUARD, "1")
+        .env(RANGE_VAR, spawn.range.to_string())
+        .env(JOURNAL_VAR, spawn.journal);
+    match kill_shard {
+        Some((shard, point)) if shard == spawn.index && spawn.attempt == 0 => {
+            cmd.env(CRASH_VAR, point)
+        }
+        _ => cmd.env_remove(CRASH_VAR),
+    };
+    cmd
+}
+
+/// The tier-1 sharded smoke: three worker processes, one killed after a
+/// single journaled record; the coordinator restarts it (the restart
+/// resumes the journaled cell) and the merged report hashes identically to
+/// an uninterrupted single-process run.
+#[test]
+fn killed_shard_worker_restarts_to_identical_report() {
+    let specs = shard_grid();
+    let reference = run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
+    let expected = outcomes_hash(&reference);
+
+    let plan = plan_shards(&specs, 3).unwrap();
+    assert_eq!(plan.len(), 3, "fixture should shard cleanly: {plan:?}");
+    assert_eq!(plan[1], ShardRange { start: 3, end: 6 });
+    // The plan respects workload groups: no group straddles a boundary.
+    for group in workload_groups(&specs) {
+        let shard_of = |i: usize| plan.iter().position(|r| r.contains(i)).unwrap();
+        let first = shard_of(group[0]);
+        assert!(group.iter().all(|&i| shard_of(i) == first));
+    }
+
+    let dir = temp_shard_dir("kill");
+    let run = run_sharded(
+        &specs,
+        &plan,
+        &dir,
+        &ShardedRunConfig { max_restarts: 2 },
+        |spawn| child_command(spawn, Some((1, "records:1"))),
+    )
+    .expect("sharded run");
+
+    assert_eq!(
+        run.shards[1].attempts, 2,
+        "killed shard should have been restarted exactly once"
+    );
+    assert!(run.shards[1].completed, "restart should have completed");
+    assert_eq!(run.shards[0].attempts, 1);
+    assert_eq!(run.shards[2].attempts, 1);
+    assert_eq!(run.unrecovered, 0);
+    assert_eq!(
+        outcomes_hash(&run.outcomes),
+        expected,
+        "merged sharded report differs from a single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fail-soft coordination: a shard whose worker dies on every attempt
+/// (crash before the first record, restarts exhausted) surfaces its cells
+/// as `Failed` outcomes; the other shards' results are unaffected.
+#[test]
+fn exhausted_shard_restarts_surface_as_failed_cells() {
+    let specs = shard_grid();
+    let plan = plan_shards(&specs, 3).unwrap();
+    let dir = temp_shard_dir("exhaust");
+    let run = run_sharded(
+        &specs,
+        &plan,
+        &dir,
+        &ShardedRunConfig { max_restarts: 1 },
+        |spawn| {
+            let exe = std::env::current_exe().expect("test binary path");
+            let mut cmd = Command::new(exe);
+            cmd.args(["--exact", "child_run_shard_worker", "--nocapture"])
+                .env(CHILD_GUARD, "1")
+                .env(RANGE_VAR, spawn.range.to_string())
+                .env(JOURNAL_VAR, spawn.journal);
+            // Shard 1 aborts before journaling anything, on EVERY attempt.
+            if spawn.index == 1 {
+                cmd.env(CRASH_VAR, "records:0");
+            }
+            cmd
+        },
+    )
+    .expect("sharded run");
+
+    assert!(!run.shards[1].completed);
+    assert_eq!(run.shards[1].attempts, 2, "initial attempt + 1 restart");
+    assert_eq!(run.unrecovered, plan[1].len());
+    for (i, spec) in specs
+        .iter()
+        .enumerate()
+        .take(plan[1].end)
+        .skip(plan[1].start)
+    {
+        match &run.outcomes[i] {
+            ScenarioOutcome::Failed(f) => {
+                assert!(f.error.contains("not recovered"), "{}", f.error);
+                assert_eq!(f.label, spec.label);
+            }
+            other => panic!("cell {i} should be Failed, got {other:?}"),
+        }
+    }
+    // The healthy shards still completed normally.
+    for i in plan[0].start..plan[0].end {
+        assert!(
+            matches!(run.outcomes[i], ScenarioOutcome::Completed(_)),
+            "cell {i} from a healthy shard should have completed"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

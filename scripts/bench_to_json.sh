@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the `micro` benchmark harness and dumps every measurement to a JSON
-# file (default BENCH_6.json at the repo root) for the perf trajectory.
+# file (default BENCH_7.json at the repo root) for the perf trajectory.
 #
 # Usage: scripts/bench_to_json.sh [output.json]
 #
@@ -23,14 +23,18 @@
 # scheduling overhead must stay <=5%); and the `journal` group the PR-6
 # crash-resumability numbers (`journaled/8` vs `plain/8` over the same
 # eight workloads — framing, checksumming and appending every outcome to
-# the result journal must cost <=5%).
-# BENCH_1.json … BENCH_5.json remain the frozen PR-1/…/5 records; pass
+# the result journal must cost <=5%); and the `shard` group the PR-7
+# sharded-runner numbers (`sharded/8` vs `plain/8` — the in-process
+# sharding protocol: per-shard journals with shard-stamped headers,
+# read-only recovery and the global-index merge must cost <=10% over a
+# single-process run of the same eight workloads).
+# BENCH_1.json … BENCH_6.json remain the frozen PR-1/…/6 records; pass
 # one of them as the argument only to regenerate history deliberately.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -94,4 +98,9 @@ plain = results.get(("journal", "plain/8"))
 if journaled and plain:
     overhead = (journaled - plain) / plain * 100
     print(f"result journal over 8 workloads: plain {plain/1e6:.2f} ms vs journaled {journaled/1e6:.2f} ms  (journaling overhead {overhead:+.1f}%, acceptance <=5%)")
+sharded = results.get(("shard", "sharded/8"))
+plain = results.get(("shard", "plain/8"))
+if sharded and plain:
+    overhead = (sharded - plain) / plain * 100
+    print(f"sharded runner over 8 workloads (2 in-process shards): plain {plain/1e6:.2f} ms vs sharded {sharded/1e6:.2f} ms  (coordination overhead {overhead:+.1f}%, acceptance <=10%)")
 EOF
