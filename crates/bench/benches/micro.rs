@@ -501,6 +501,90 @@ fn bench_shard(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same 8-workload grid through the sharded in-process path, bare
+/// versus **supervised**: per-shard heartbeat sidecars (throttled to one
+/// write per `HEARTBEAT_INTERVAL`) plus a (generous, never-firing) cell
+/// deadline arming the cooperative cancel checks in every trial loop.
+/// `supervised/8` vs `sharded/8` is the tracked ≤5% supervision-overhead
+/// acceptance ratio for PR 8 — liveness reporting and deadline plumbing
+/// must be nearly free when nothing goes wrong.
+fn bench_supervise(c: &mut Criterion) {
+    use randrecon_experiments::scenario::{
+        GridAxis, GridAxisValue, Override, RetryPolicy, ScenarioGrid,
+    };
+    use randrecon_experiments::shard::{
+        merge_shard_journals, run_shard_worker_with, shard_heartbeat_path, shard_journal_path,
+        WorkerOptions,
+    };
+
+    let mut group = c.benchmark_group("supervise");
+    group.sample_size(10);
+
+    let grid = ScenarioGrid {
+        base: randrecon_experiments::ScenarioSpec::synthetic_quick("bench", 2_000, 16, 2),
+        axes: vec![GridAxis {
+            name: "seed".to_string(),
+            values: (0..8u64)
+                .map(|i| GridAxisValue {
+                    label: i.to_string(),
+                    x: None,
+                    overrides: vec![Override::Seed(0xBEC5 + i)],
+                })
+                .collect(),
+        }],
+    };
+    let specs = grid.expand_validated().unwrap();
+    assert_eq!(specs.len(), 8);
+    let plan = randrecon_experiments::plan_shards(&specs, 2).unwrap();
+    assert_eq!(plan.len(), 2);
+    let dir =
+        std::env::temp_dir().join(format!("randrecon-bench-supervise-{}", std::process::id()));
+
+    group.bench_with_input(
+        BenchmarkId::new("sharded", specs.len()),
+        &specs,
+        |b, specs| {
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&dir);
+                black_box(
+                    randrecon_experiments::run_sharded_in_process(
+                        specs,
+                        &plan,
+                        &dir,
+                        RetryPolicy::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("supervised", specs.len()),
+        &specs,
+        |b, specs| {
+            let policy =
+                RetryPolicy::default().with_cell_timeout(std::time::Duration::from_secs(600));
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&dir);
+                std::fs::create_dir_all(&dir).unwrap();
+                let mut pairs = Vec::with_capacity(plan.len());
+                for (i, &range) in plan.iter().enumerate() {
+                    let path = shard_journal_path(&dir, i);
+                    let options = WorkerOptions {
+                        heartbeat: Some(shard_heartbeat_path(&path)),
+                        ..WorkerOptions::default()
+                    };
+                    run_shard_worker_with(specs, range, &path, policy, options).unwrap();
+                    pairs.push((range, path));
+                }
+                black_box(merge_shard_journals(specs, &pairs).unwrap())
+            })
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_substrates,
@@ -510,6 +594,7 @@ criterion_group!(
     bench_streaming,
     bench_scenario_runner,
     bench_journal,
-    bench_shard
+    bench_shard,
+    bench_supervise
 );
 criterion_main!(benches);

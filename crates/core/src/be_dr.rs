@@ -23,11 +23,12 @@
 //! it at least as accurate as PCA-DR everywhere and converging to UDR when the
 //! attributes are uncorrelated.
 
-use crate::covariance::{default_eigenvalue_floor, estimate_original_covariance_spd};
+use crate::covariance::{
+    default_eigenvalue_floor, estimate_original_covariance_spd, factor_posterior_system,
+};
 use crate::error::Result;
 use crate::traits::{validate_input, Reconstructor};
 use randrecon_data::DataTable;
-use randrecon_linalg::decomposition::Cholesky;
 use randrecon_linalg::Matrix;
 use randrecon_noise::NoiseModel;
 
@@ -49,6 +50,11 @@ pub struct BeDrReport {
     pub estimated_covariance: Matrix,
     /// The estimated original mean vector.
     pub estimated_mean: Vec<f64>,
+    /// Degradation notes: non-empty when the posterior system `Σ_x + Σ_r`
+    /// was numerically indefinite and the attack recovered via an
+    /// eigenvalue-clipped SPD repair instead of failing. Deterministic for
+    /// a given input.
+    pub warnings: Vec<String>,
 }
 
 impl BeDr {
@@ -94,12 +100,11 @@ impl BeDr {
         // so a single Cholesky factorization of T replaces the three
         // factor-and-invert rounds of the textbook form: no matrix inverse is
         // ever materialized, and Σ_x / Σ_r are never factored at all.
-        let mut t = sigma_x.clone();
-        t.add_assign_matrix(&sigma_r)?;
-        // Guard against fp asymmetry in user-supplied noise covariances
-        // without allocating another matrix.
-        t.symmetrize_in_place()?;
-        let t_chol = Cholesky::new(&t)?;
+        // When T lands numerically indefinite (noisy estimates, tiny clip
+        // floors), the factoring helper escalates the clip floor on Σ̂_x
+        // itself and rebuilds T, so the pull matrices below stay consistent
+        // with the repaired system (see [`factor_posterior_system`]).
+        let (t_chol, sigma_x, warnings) = factor_posterior_system(sigma_x, &sigma_r, "BE-DR")?;
 
         // data_pullᵀ = (Σ_x T⁻¹)ᵀ = T⁻¹ Σ_x, straight from one matrix solve.
         let data_pull_t = t_chol.solve_matrix(&sigma_x)?;
@@ -114,6 +119,7 @@ impl BeDr {
             reconstruction: disguised.with_values(reconstructed)?,
             estimated_covariance: sigma_x,
             estimated_mean: mu_x,
+            warnings,
         })
     }
 }
@@ -137,6 +143,7 @@ mod tests {
     use crate::pca_dr::PcaDr;
     use crate::udr::Udr;
     use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
+    use randrecon_linalg::decomposition::Cholesky;
     use randrecon_metrics::rmse;
     use randrecon_noise::additive::AdditiveRandomizer;
     use randrecon_stats::rng::seeded_rng;
@@ -298,6 +305,11 @@ mod tests {
         assert_eq!(report.estimated_mean.len(), 6);
         assert_eq!(report.reconstruction.values().shape(), (800, 6));
         assert!(!report.reconstruction.values().has_non_finite());
+        assert!(
+            report.warnings.is_empty(),
+            "well-conditioned runs must not degrade: {:?}",
+            report.warnings
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use crate::error::Result;
 use randrecon_data::DataTable;
-use randrecon_linalg::decomposition::{recompose, SymmetricEigen};
+use randrecon_linalg::decomposition::{recompose, Cholesky, SymmetricEigen};
 use randrecon_linalg::Matrix;
 use randrecon_noise::NoiseModel;
 
@@ -79,6 +79,97 @@ pub fn clip_eigenvalues(matrix: &Matrix, floor: f64) -> Result<Matrix> {
         .map(|&l| if l < floor { floor } else { l })
         .collect();
     Ok(recompose(&clipped, &eig.eigenvectors))
+}
+
+/// Factors an expected-SPD matrix, falling back to an eigenvalue-clipped
+/// repair when the straight Cholesky fails.
+///
+/// The reconstruction path factors `T = Σ̂_x + Σ_r` once; with noisy
+/// streamed moment estimates and ill-conditioned spectra the estimate can
+/// land *numerically* indefinite even after the Σ̂_x clip (recomposition
+/// rounding is of order `ε · λ_max`, which dwarfs a tiny clip floor). The
+/// paper's estimators only need an SPD *approximation*, so instead of
+/// killing the cell this projects `T` back onto the SPD cone via
+/// [`clip_eigenvalues`] — with a floor derived deterministically from the
+/// trace — and retries the factorization, reporting what happened as a
+/// warning string. Returns the factorization plus the (possibly empty)
+/// warning list; a repair that still fails propagates the error.
+pub fn cholesky_with_spd_repair(
+    t: &Matrix,
+    context: &'static str,
+) -> Result<(Cholesky, Vec<String>)> {
+    match Cholesky::new(t) {
+        Ok(chol) => Ok((chol, Vec::new())),
+        Err(primary) => {
+            let floor = spd_repair_floor(t);
+            let repaired = clip_eigenvalues(t, floor)?;
+            let chol = Cholesky::new(&repaired)?;
+            let warning = format!(
+                "{context}: Cholesky of the posterior system failed ({primary}); \
+                 recovered via eigenvalue-clipped SPD repair (floor {floor:e})"
+            );
+            Ok((chol, vec![warning]))
+        }
+    }
+}
+
+/// The deterministic clip floor the SPD repair escalates to: a `1e-9`
+/// fraction of the mean diagonal (trace-derived, so scale-covariant), never
+/// below an absolute `1e-12`.
+pub fn spd_repair_floor(t: &Matrix) -> f64 {
+    let m = t.rows().max(1);
+    (1e-9 * (t.trace() / m as f64).abs()).max(1e-12)
+}
+
+/// Builds and factors the BE-DR posterior system `T = Σ̂_x + Σ_r`,
+/// degrading **pair-consistently** when `T` lands numerically indefinite.
+///
+/// A repair that only projects `T` back onto the SPD cone leaves the
+/// estimator inconsistent: `Σ̂_x`'s near-null directions stay at the
+/// original clip floor while `T`'s are lifted to the repair floor, so the
+/// data pull `Σ̂_x T⁻¹` collapses to zero in exactly the repaired
+/// directions and the reconstruction silently falls back to the prior mean
+/// there. Instead, when the straight Cholesky of `T` fails this escalates
+/// the clip floor **on `Σ̂_x` itself** (to [`spd_repair_floor`]), rebuilds
+/// `T` from the re-clipped estimate, and factors again — producing the
+/// same estimator an explicitly better-floored run would have used. A
+/// rebuilt system that is still indefinite falls through to the direct
+/// `T`-repair of [`cholesky_with_spd_repair`] as a last resort.
+///
+/// Takes `Σ̂_x` by value and returns the (possibly re-clipped) estimate
+/// actually used, the factorization of its posterior system, and the
+/// warning trail (empty on the straight path).
+pub fn factor_posterior_system(
+    sigma_x: Matrix,
+    sigma_r: &Matrix,
+    context: &'static str,
+) -> Result<(Cholesky, Matrix, Vec<String>)> {
+    let build = |sigma_x: &Matrix| -> Result<Matrix> {
+        let mut t = sigma_x.clone();
+        t.add_assign_matrix(sigma_r)?;
+        // Guard against fp asymmetry in user-supplied noise covariances.
+        t.symmetrize_in_place()?;
+        Ok(t)
+    };
+    let t = build(&sigma_x)?;
+    match Cholesky::new(&t) {
+        Ok(chol) => Ok((chol, sigma_x, Vec::new())),
+        Err(primary) => {
+            let floor = spd_repair_floor(&t);
+            let escalated = clip_eigenvalues(&sigma_x, floor)?;
+            let rebuilt = build(&escalated)?;
+            let (chol, mut warnings) = cholesky_with_spd_repair(&rebuilt, context)?;
+            warnings.insert(
+                0,
+                format!(
+                    "{context}: Cholesky of the posterior system failed ({primary}); \
+                     recovered via eigenvalue-clipped SPD repair of the covariance \
+                     estimate (escalated floor {floor:e})"
+                ),
+            );
+            Ok((chol, escalated, warnings))
+        }
+    }
 }
 
 /// Mergeable streaming accumulator for the sample mean and covariance.

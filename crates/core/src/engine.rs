@@ -135,24 +135,37 @@ impl Attack {
     }
 
     /// In-memory reconstruction plus the kept-component diagnostic of the
-    /// projection schemes (`None` for NDR/UDR/BE-DR).
+    /// projection schemes (`None` for NDR/UDR/BE-DR) and any graceful
+    /// numerical-degradation warnings the scheme emitted (today only BE-DR's
+    /// eigenvalue-clipped SPD repair; empty for a clean run).
     pub fn reconstruct_table_with_report(
         &self,
         disguised: &DataTable,
         noise: &NoiseModel,
-    ) -> Result<(DataTable, Option<usize>)> {
+    ) -> Result<(DataTable, Option<usize>, Vec<String>)> {
         match self {
-            Attack::Ndr => Ok((Ndr.reconstruct(disguised, noise)?, None)),
-            Attack::Udr(udr) => Ok((udr.reconstruct(disguised, noise)?, None)),
+            Attack::Ndr => Ok((Ndr.reconstruct(disguised, noise)?, None, Vec::new())),
+            Attack::Udr(udr) => Ok((udr.reconstruct(disguised, noise)?, None, Vec::new())),
             Attack::SpectralFiltering(sf) => {
                 let report = sf.reconstruct_with_report(disguised, noise)?;
-                Ok((report.reconstruction, Some(report.signal_components)))
+                Ok((
+                    report.reconstruction,
+                    Some(report.signal_components),
+                    Vec::new(),
+                ))
             }
             Attack::PcaDr(pca) => {
                 let report = pca.reconstruct_with_report(disguised, noise)?;
-                Ok((report.reconstruction, Some(report.components_kept)))
+                Ok((
+                    report.reconstruction,
+                    Some(report.components_kept),
+                    Vec::new(),
+                ))
             }
-            Attack::BeDr(be) => Ok((be.reconstruct(disguised, noise)?, None)),
+            Attack::BeDr(be) => {
+                let report = be.reconstruct_with_report(disguised, noise)?;
+                Ok((report.reconstruction, None, report.warnings))
+            }
         }
     }
 
@@ -219,6 +232,10 @@ pub struct EngineReport {
     pub n_records: usize,
     /// Principal/signal components kept (projection schemes only).
     pub components_kept: Option<usize>,
+    /// Graceful numerical-degradation warnings: non-empty when the attack
+    /// completed only by repairing an indefinite system (e.g. BE-DR's
+    /// eigenvalue-clipped SPD fallback). Deterministic for a given workload.
+    pub warnings: Vec<String>,
 }
 
 impl AttackEngine {
@@ -247,13 +264,14 @@ impl AttackEngine {
         match self {
             AttackEngine::InMemory => {
                 let disguised = materialize(source)?;
-                let (reconstruction, components_kept) =
+                let (reconstruction, components_kept, warnings) =
                     attack.reconstruct_table_with_report(&disguised, noise)?;
                 let n_records = reconstruction.n_records();
                 sink.consume_chunk(reconstruction.values())?;
                 Ok(EngineReport {
                     n_records,
                     components_kept,
+                    warnings,
                 })
             }
             AttackEngine::Streaming => {
@@ -263,6 +281,7 @@ impl AttackEngine {
                 Ok(EngineReport {
                     n_records: report.n_records,
                     components_kept: report.components_kept,
+                    warnings: report.warnings,
                 })
             }
         }

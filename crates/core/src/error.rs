@@ -41,6 +41,14 @@ pub enum ReconError {
         /// The underlying failure.
         source: Box<ReconError>,
     },
+    /// The computation was cancelled cooperatively — a deadline expired or a
+    /// caller tripped the [`randrecon_parallel::CancelToken`] threaded
+    /// through the streaming driver. Checked once per chunk, so a runaway
+    /// cell stops at the next chunk boundary instead of wedging its sweep.
+    Cancelled {
+        /// What was exceeded or who tripped the token.
+        reason: String,
+    },
     /// Propagated linear-algebra failure (singular system, non-convergence, …).
     Linalg(LinalgError),
     /// Propagated statistics failure.
@@ -49,6 +57,19 @@ pub enum ReconError {
     Data(DataError),
     /// Propagated noise-layer failure.
     Noise(NoiseError),
+}
+
+impl ReconError {
+    /// Whether this error is (or wraps, through [`ReconError::AtChunk`]) a
+    /// cooperative cancellation — the classification the scenario runner
+    /// uses to report a cell as timed out rather than broken.
+    pub fn is_cancelled(&self) -> bool {
+        match self {
+            ReconError::Cancelled { .. } => true,
+            ReconError::AtChunk { source, .. } => source.is_cancelled(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for ReconError {
@@ -62,6 +83,7 @@ impl fmt::Display for ReconError {
             ReconError::AtChunk { chunk, source } => {
                 write!(f, "streaming pass failed at chunk {chunk}: {source}")
             }
+            ReconError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
             ReconError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             ReconError::Stats(e) => write!(f, "statistics error: {e}"),
             ReconError::Data(e) => write!(f, "data error: {e}"),
@@ -146,5 +168,23 @@ mod tests {
         }
         .into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn cancelled_detected_through_at_chunk() {
+        let plain = ReconError::Cancelled {
+            reason: "deadline".into(),
+        };
+        assert!(plain.is_cancelled());
+        assert!(plain.to_string().contains("cancelled: deadline"));
+        let wrapped = ReconError::AtChunk {
+            chunk: 3,
+            source: Box::new(ReconError::Cancelled {
+                reason: "deadline".into(),
+            }),
+        };
+        assert!(wrapped.is_cancelled());
+        let other = ReconError::InvalidInput { reason: "x".into() };
+        assert!(!other.is_cancelled());
     }
 }

@@ -39,16 +39,16 @@
 //! chunk sizes {1, 7, 1000, n} for the linear-map attacks and ≤ 1e-9 for
 //! UDR's quadrature (uniform-noise) path.
 
-use crate::covariance::{clip_eigenvalues, CovarianceAccumulator};
+use crate::covariance::{clip_eigenvalues, factor_posterior_system, CovarianceAccumulator};
 use crate::error::{ReconError, Result};
 use crate::selection::ComponentSelection;
 use randrecon_data::chunks::RecordChunkSource;
 use randrecon_data::csv::CsvChunkWriter;
-use randrecon_linalg::decomposition::{Cholesky, SymmetricEigen};
+use randrecon_linalg::decomposition::SymmetricEigen;
 use randrecon_linalg::Matrix;
 use randrecon_noise::NoiseModel;
 use randrecon_parallel::pipeline_two_slot;
-pub use randrecon_parallel::PipelineMode;
+pub use randrecon_parallel::{CancelToken, PipelineMode};
 use randrecon_stats::posterior::PreparedPosterior;
 use std::io::Write;
 
@@ -395,6 +395,9 @@ pub struct PreparedAttack {
     /// Eigenvalues driving the component choice, descending (projection
     /// attacks only).
     eigenvalues: Option<Vec<f64>>,
+    /// Degradation notes from `prepare` (e.g. an SPD repair of the
+    /// posterior system); surfaced through [`StreamingReport::warnings`].
+    warnings: Vec<String>,
 }
 
 impl PreparedAttack {
@@ -408,6 +411,7 @@ impl PreparedAttack {
             estimated_covariance,
             components_kept: None,
             eigenvalues: None,
+            warnings: Vec::new(),
         }
     }
 
@@ -415,6 +419,12 @@ impl PreparedAttack {
     pub fn with_spectrum(mut self, components_kept: usize, eigenvalues: Vec<f64>) -> Self {
         self.components_kept = Some(components_kept);
         self.eigenvalues = Some(eigenvalues);
+        self
+    }
+
+    /// Attaches degradation notes produced while preparing the attack.
+    pub fn with_warnings(mut self, warnings: Vec<String>) -> Self {
+        self.warnings = warnings;
         self
     }
 
@@ -453,6 +463,10 @@ pub struct StreamingReport {
     /// Eigenvalues of the covariance estimate, descending (projection
     /// attacks only).
     pub eigenvalues: Option<Vec<f64>>,
+    /// Degradation notes: non-empty when the attack recovered from a
+    /// numerical failure (e.g. an eigenvalue-clipped SPD repair of
+    /// `Σ̂_x + Σ_r`) instead of erroring. Deterministic for a given stream.
+    pub warnings: Vec<String>,
 }
 
 fn validate_stream(m: usize, n: usize) -> Result<()> {
@@ -561,6 +575,29 @@ impl StreamingDriver {
         S: RecordChunkSource + Send + ?Sized,
         K: RecordSink + ?Sized,
     {
+        self.run_with_moments_cancellable(attack, moments, source, noise, sink, &CancelToken::new())
+    }
+
+    /// [`run_with_moments`](StreamingDriver::run_with_moments) under a
+    /// cooperative [`CancelToken`]: the token is checked once per chunk
+    /// before it is read (in both the sequential and the double-buffered
+    /// pass 2), so a tripped token or an expired deadline stops the sweep at
+    /// the next chunk boundary with [`ReconError::Cancelled`] (wrapped in
+    /// [`ReconError::AtChunk`] to locate where the stream stopped).
+    pub fn run_with_moments_cancellable<A, S, K>(
+        &self,
+        attack: &A,
+        moments: &StreamMoments,
+        source: &mut S,
+        noise: &NoiseModel,
+        sink: &mut K,
+        cancel: &CancelToken,
+    ) -> Result<StreamingReport>
+    where
+        A: ChunkReconstructor + ?Sized,
+        S: RecordChunkSource + Send + ?Sized,
+        K: RecordSink + ?Sized,
+    {
         let n = moments.n_records;
         let prepared = attack.prepare(moments, noise)?;
 
@@ -574,12 +611,24 @@ impl StreamingDriver {
                 source: Box::new(source.into()),
             }
         }
+        fn cancelled() -> ReconError {
+            ReconError::Cancelled {
+                reason: "cell deadline exceeded or cancel token tripped".to_string(),
+            }
+        }
         source.reset()?;
         let mut swept = 0usize;
         match self.pipeline {
             PipelineMode::Sequential => {
                 let mut produced = 0usize;
-                while let Some(chunk) = source.next_chunk().map_err(|e| at_chunk(produced, e))? {
+                loop {
+                    if cancel.is_cancelled() {
+                        return Err(at_chunk(produced, cancelled()));
+                    }
+                    let Some(chunk) = source.next_chunk().map_err(|e| at_chunk(produced, e))?
+                    else {
+                        break;
+                    };
                     swept += chunk.rows();
                     let out = prepared
                         .map_chunk(chunk)
@@ -593,10 +642,14 @@ impl StreamingDriver {
                 let prepared_ref = &prepared;
                 let swept_ref = &mut swept;
                 let source_ref = &mut *source;
+                let producer_cancel = cancel.clone();
                 let mut produced = 0usize;
                 let mut consumed = 0usize;
                 pipeline_two_slot(
                     move || -> Result<Option<Matrix>> {
+                        if producer_cancel.is_cancelled() {
+                            return Err(at_chunk(produced, cancelled()));
+                        }
                         match source_ref.next_chunk().map_err(|e| at_chunk(produced, e))? {
                             Some(chunk) => {
                                 *swept_ref += chunk.rows();
@@ -634,6 +687,7 @@ impl StreamingDriver {
             estimated_covariance: prepared.estimated_covariance,
             components_kept: prepared.components_kept,
             eigenvalues: prepared.eigenvalues,
+            warnings: prepared.warnings,
         })
     }
 }
@@ -833,10 +887,12 @@ impl ChunkReconstructor for StreamingBeDr {
         let sigma_x = clip_eigenvalues(&raw, floor)?;
 
         // One factorization of T = Σ̂_x + Σ_r serves every chunk of pass 2.
-        let mut t = sigma_x.clone();
-        t.add_assign_matrix(&sigma_r)?;
-        t.symmetrize_in_place()?;
-        let t_chol = Cholesky::new(&t)?;
+        // Streamed moment estimates can leave T numerically indefinite; the
+        // repair path escalates the clip floor on Σ̂_x and rebuilds T so the
+        // pull matrices stay pair-consistent instead of killing the stream
+        // (see [`factor_posterior_system`]).
+        let (t_chol, sigma_x, warnings) =
+            factor_posterior_system(sigma_x, &sigma_r, "streaming BE-DR")?;
         let data_pull_t = t_chol.solve_matrix(&sigma_x)?;
         let prior_pull = sigma_r.matvec(&t_chol.solve_vec(&moments.mean)?)?;
 
@@ -844,7 +900,8 @@ impl ChunkReconstructor for StreamingBeDr {
             let mut rec = chunk.matmul(&data_pull_t)?;
             rec.add_row_broadcast(&prior_pull)?;
             Ok(rec)
-        }))
+        })
+        .with_warnings(warnings))
     }
 }
 
@@ -967,6 +1024,48 @@ mod tests {
         );
         assert!(report.estimated_covariance.is_symmetric(1e-9));
         assert_eq!(report.estimated_mean.len(), m);
+        assert!(
+            report.warnings.is_empty(),
+            "well-conditioned streams must not degrade: {:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn cancelled_token_stops_pass_two_in_both_pipeline_modes() {
+        let mut disguised = disguised_synthetic(2_000, 8, 128, 5.0, 47);
+        let noise = disguised.model().clone();
+        let moments = StreamingDriver::accumulate_moments(&mut disguised).unwrap();
+        for driver in [StreamingDriver::default(), StreamingDriver::sequential()] {
+            let token = CancelToken::new();
+            token.trip();
+            let mut sink = DiscardSink::default();
+            let err = driver
+                .run_with_moments_cancellable(
+                    &StreamingBeDr::default(),
+                    &moments,
+                    &mut disguised,
+                    &noise,
+                    &mut sink,
+                    &token,
+                )
+                .unwrap_err();
+            assert!(err.is_cancelled(), "expected cancellation, got: {err}");
+            assert_eq!(sink.rows(), 0, "no chunk may flow after cancellation");
+        }
+        // An untripped token without deadline never interferes.
+        let mut sink = DiscardSink::default();
+        StreamingDriver::default()
+            .run_with_moments_cancellable(
+                &StreamingBeDr::default(),
+                &moments,
+                &mut disguised,
+                &noise,
+                &mut sink,
+                &CancelToken::new(),
+            )
+            .unwrap();
+        assert_eq!(sink.rows(), 2_000);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Deterministic exponential restart backoff with seed-derived jitter.
+//!
+//! Both supervision layers restart failed work — the shard coordinator
+//! respawns dead or hung workers ([`crate::shard::run_sharded`]), and the
+//! fail-soft runner retries transient cell failures in process
+//! ([`crate::scenario::RetryPolicy`]). Immediate respawn turns a persistent
+//! fault (full disk, wedged file system) into a hot crash loop; classical
+//! randomized backoff fixes that but breaks this repository's bit-for-bit
+//! reproducibility contract. [`BackoffPolicy`] threads the needle: delays
+//! grow exponentially up to a cap, each delay is jittered into
+//! `[raw/2, raw]`, and the jitter is a **pure function of
+//! `(fingerprint, stream, attempt)`** — the same SplitMix64 stream-splitting
+//! every experiment seed uses — so tests can pin the entire schedule in
+//! advance. A total delay budget bounds how long a doomed shard can hold a
+//! sweep hostage: once the cumulative schedule exceeds the budget, the
+//! policy reports exhaustion and the caller gives up instead of sleeping.
+//!
+//! The conventional streams: the shard coordinator uses
+//! `(grid fingerprint, shard index, attempt)`; the in-process retry path
+//! uses `(single-spec fingerprint, 0, attempt)`.
+
+use randrecon_stats::rng::child_seed;
+use std::time::Duration;
+
+/// A deterministic exponential-backoff schedule with jitter and a total
+/// delay budget. See the [module docs](self) for the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay scale of the first retry (attempt 1 waits `[base/2, base]`).
+    pub base: Duration,
+    /// Upper bound on any single delay (pre-jitter).
+    pub cap: Duration,
+    /// Upper bound on the **cumulative** delay across all attempts of one
+    /// stream; once the schedule's running total exceeds it,
+    /// [`delay`](BackoffPolicy::delay) reports exhaustion (`None`).
+    pub budget: Duration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            budget: Duration::from_secs(5),
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// A policy whose every delay is zero and whose budget never exhausts —
+    /// the immediate-respawn behaviour earlier revisions had, kept for
+    /// tests and benches that must not sleep.
+    pub fn none() -> Self {
+        BackoffPolicy {
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            budget: Duration::MAX,
+        }
+    }
+
+    /// The pre-jitter delay scale of `attempt`: `base · 2^(attempt−1)`,
+    /// saturating at [`cap`](BackoffPolicy::cap). Attempt 0 (the first try)
+    /// has no delay.
+    fn raw(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let doublings = attempt.saturating_sub(1).min(30);
+        self.base.saturating_mul(1u32 << doublings).min(self.cap)
+    }
+
+    /// The delay to sleep before `attempt` (attempt 0 = the first try, so
+    /// delays start at attempt 1), jittered deterministically into
+    /// `[raw/2, raw]` by `(fingerprint, stream, attempt)`, or `None` once
+    /// the cumulative schedule through `attempt` exceeds the budget.
+    ///
+    /// Pure: equal arguments always produce the equal delay, on any host.
+    pub fn delay(&self, fingerprint: u64, stream: u64, attempt: u32) -> Option<Duration> {
+        if attempt == 0 {
+            return Some(Duration::ZERO);
+        }
+        let mut cumulative = Duration::ZERO;
+        let mut chosen = Duration::ZERO;
+        for a in 1..=attempt {
+            let raw = self.raw(a);
+            // 53 high bits of the split stream → an exact f64 in [0, 1).
+            let mix = child_seed(child_seed(fingerprint, stream), a as u64);
+            let unit = (mix >> 11) as f64 / (1u64 << 53) as f64;
+            let nanos = raw.as_nanos() as f64;
+            chosen = Duration::from_nanos((nanos / 2.0 + unit * (nanos / 2.0)) as u64);
+            cumulative = cumulative.saturating_add(chosen);
+        }
+        if cumulative > self.budget {
+            None
+        } else {
+            Some(chosen)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_zero_is_free_and_delays_are_deterministic() {
+        let policy = BackoffPolicy::default();
+        assert_eq!(policy.delay(7, 0, 0), Some(Duration::ZERO));
+        let a = policy.delay(7, 2, 3).unwrap();
+        let b = policy.delay(7, 2, 3).unwrap();
+        assert_eq!(a, b);
+        // Different streams and fingerprints jitter differently.
+        assert_ne!(policy.delay(7, 2, 3), policy.delay(7, 3, 3));
+        assert_ne!(policy.delay(7, 2, 3), policy.delay(8, 2, 3));
+    }
+
+    #[test]
+    fn delays_grow_within_jitter_bounds_and_respect_cap() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(35),
+            budget: Duration::from_secs(60),
+        };
+        for attempt in 1..=8 {
+            let raw = policy.raw(attempt);
+            let d = policy.delay(99, 1, attempt).unwrap();
+            assert!(
+                d >= raw / 2 && d <= raw,
+                "attempt {attempt}: {d:?} vs raw {raw:?}"
+            );
+            assert!(raw <= Duration::from_millis(35));
+        }
+        // Exponential up to the cap: raw doubles 10 → 20 → capped 35.
+        assert_eq!(policy.raw(1), Duration::from_millis(10));
+        assert_eq!(policy.raw(2), Duration::from_millis(20));
+        assert_eq!(policy.raw(3), Duration::from_millis(35));
+        assert_eq!(policy.raw(9), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_none() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(40),
+            cap: Duration::from_millis(40),
+            budget: Duration::from_millis(50),
+        };
+        // Attempt 1 sleeps ≥ 20 ms; by attempt 3 the cumulative schedule
+        // (≥ 60 ms) must exceed the 50 ms budget.
+        assert!(policy.delay(1, 0, 1).is_some());
+        assert!(policy.delay(1, 0, 3).is_none());
+    }
+
+    #[test]
+    fn none_policy_never_sleeps_or_exhausts() {
+        let policy = BackoffPolicy::none();
+        for attempt in 0..64 {
+            assert_eq!(policy.delay(5, 5, attempt), Some(Duration::ZERO));
+        }
+    }
+}

@@ -83,6 +83,15 @@ impl ExperimentError {
                 ))
         )
     }
+
+    /// Whether this failure is a cooperative **timeout** — a cell deadline
+    /// expired or a supervisor tripped the cancel token, surfacing as
+    /// [`ReconError::Cancelled`] (possibly chunk-located). Timed-out cells
+    /// are never retried: all scenario randomness is spec-derived, so a
+    /// replay under the same deadline would wedge identically.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ExperimentError::Recon(e) if e.is_cancelled())
+    }
 }
 
 impl fmt::Display for ExperimentError {
@@ -206,5 +215,23 @@ mod tests {
         assert!(!ExperimentError::InvalidConfig { reason: "x".into() }.is_transient());
         assert!(!ExperimentError::WorkerFailed { reason: "x".into() }.is_transient());
         assert!(!ExperimentError::InjectedFault { label: "x".into() }.is_transient());
+    }
+
+    #[test]
+    fn timeout_classification() {
+        let timed_out = ExperimentError::Recon(ReconError::Cancelled {
+            reason: "cell deadline exceeded".into(),
+        });
+        assert!(timed_out.is_timeout());
+        assert!(!timed_out.is_transient());
+        let located = ExperimentError::Recon(ReconError::AtChunk {
+            chunk: 4,
+            source: Box::new(ReconError::Cancelled {
+                reason: "cell deadline exceeded".into(),
+            }),
+        });
+        assert!(located.is_timeout());
+        assert!(!ExperimentError::Io(std::io::Error::other("disk")).is_timeout());
+        assert!(!ExperimentError::InvalidConfig { reason: "x".into() }.is_timeout());
     }
 }

@@ -124,6 +124,21 @@ pub enum ChunkFault {
     /// the failure surfaces downstream — in the reconstructor or the sink —
     /// rather than at the source.
     Malformed,
+    /// `next_chunk` never returns: the source sleeps forever at the trigger
+    /// chunk, modelling a wedged upstream (stuck NFS read, deadlocked
+    /// producer). Only cooperative supervision — a worker watchdog killing
+    /// the process — can get past it; use [`ChunkFault::SlowChunk`] to
+    /// exercise the in-process cell-deadline path instead.
+    Hang,
+    /// Every chunk from the trigger onward (within the trigger sweep) is
+    /// delayed by `delay_ms` before being emitted — slow enough to blow a
+    /// cell deadline, but still yielding at chunk boundaries so the
+    /// cooperative [`CancelToken`](randrecon_core::streaming::CancelToken)
+    /// check fires deterministically.
+    SlowChunk {
+        /// Delay injected before each affected chunk, in milliseconds.
+        delay_ms: u64,
+    },
 }
 
 /// A [`RecordChunkSource`] wrapper that injects one deterministic fault at
@@ -175,32 +190,36 @@ impl<S: RecordChunkSource> RecordChunkSource for FaultyChunkSource<S> {
     }
 
     fn next_chunk(&mut self) -> randrecon_data::Result<Option<Matrix>> {
-        let fire = self.sweep == self.on_sweep && self.emitted == self.at_chunk;
+        let at_trigger = self.sweep == self.on_sweep && self.emitted == self.at_chunk;
+        let past_trigger = self.sweep == self.on_sweep && self.emitted >= self.at_chunk;
         self.emitted += 1;
-        if fire {
-            match self.fault {
-                ChunkFault::Error => {
-                    return Err(DataError::Stream {
-                        reason: format!(
-                            "injected source fault at sweep {} chunk {}",
-                            self.sweep, self.at_chunk
-                        ),
-                    })
-                }
-                ChunkFault::Panic => panic!(
-                    "injected source panic at sweep {} chunk {}",
-                    self.sweep, self.at_chunk
-                ),
-                ChunkFault::Malformed => {
-                    let chunk = self.inner.next_chunk()?;
-                    return Ok(match chunk {
-                        Some(c) if c.cols() > 1 => {
-                            Some(c.submatrix(0, c.rows(), 0, c.cols() - 1)?)
-                        }
-                        other => other,
-                    });
-                }
+        match self.fault {
+            ChunkFault::Error if at_trigger => {
+                return Err(DataError::Stream {
+                    reason: format!(
+                        "injected source fault at sweep {} chunk {}",
+                        self.sweep, self.at_chunk
+                    ),
+                })
             }
+            ChunkFault::Panic if at_trigger => panic!(
+                "injected source panic at sweep {} chunk {}",
+                self.sweep, self.at_chunk
+            ),
+            ChunkFault::Malformed if at_trigger => {
+                let chunk = self.inner.next_chunk()?;
+                return Ok(match chunk {
+                    Some(c) if c.cols() > 1 => Some(c.submatrix(0, c.rows(), 0, c.cols() - 1)?),
+                    other => other,
+                });
+            }
+            ChunkFault::Hang if at_trigger => loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            },
+            ChunkFault::SlowChunk { delay_ms } if past_trigger => {
+                std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+            }
+            _ => {}
         }
         self.inner.next_chunk()
     }
@@ -377,6 +396,78 @@ impl WorkerKill {
             shard: shard.trim().parse().ok()?,
             crash: parse_crash_point(rest)?,
         })
+    }
+}
+
+/// A hang request for one shard worker: shard `shard` wedges (sleeps
+/// forever **while holding its journal lock**, so exactly `after_records`
+/// records land) once it has journaled `after_records` records — on its
+/// first attempt only, like [`WorkerKill`]. Unlike a crash, a hung worker
+/// never exits: only the coordinator's heartbeat watchdog
+/// ([`crate::shard::ShardedRunConfig::worker_timeout`]) can detect, kill,
+/// and restart it. Parsed from the `scenarios` binary's
+/// `--hang-shard <shard>:<records>` testing flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerHang {
+    /// Index of the shard whose first worker attempt hangs.
+    pub shard: usize,
+    /// Records journaled before the worker wedges.
+    pub after_records: u64,
+}
+
+impl WorkerHang {
+    /// Parses `<shard>:<records>`.
+    pub fn parse(s: &str) -> Option<WorkerHang> {
+        let (shard, records) = s.split_once(':')?;
+        Some(WorkerHang {
+            shard: shard.trim().parse().ok()?,
+            after_records: records.trim().parse().ok()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numerically degenerate workloads
+// ---------------------------------------------------------------------------
+
+/// A scenario whose BE-DR posterior system `Σ̂_x + Σ_r` reliably lands
+/// numerically indefinite. Fewer records (6) than attributes (8) make the
+/// sample covariance rank-deficient, so `Σ̂_x = Σ̂_y − σ²I` has exact
+/// `−σ²` eigenvalues in the null space; the tiny clip floor lifts them to
+/// `1e-12`, and recomposing through the `1e9`-scale principal eigenvalues
+/// leaves rounding of order `ε·λ_max ≈ 2e-7` — dwarfing both the floor and
+/// the `σ² = 1e-12` noise variance, so the straight Cholesky of `T` fails
+/// and the cell completes only through the escalated eigenvalue-clip SPD
+/// repair. (The true spectrum itself stays comfortably factorable:
+/// `1e-3` tails against `ε·λ_max ≈ 2e-7`, so *generation* never trips.)
+/// The graceful-degradation suites pin that such a cell finishes as
+/// [`ScenarioOutcome::Degraded`](crate::scenario::ScenarioOutcome::Degraded)
+/// with metrics within a few percent of a well-floored run. Deterministic
+/// for a given `seed`.
+pub fn near_singular_be_dr_spec(label: &str, seed: u64) -> crate::scenario::ScenarioSpec {
+    use crate::scenario::{
+        AttackSpec, DataSpec, EngineSpec, MetricKind, NoiseSpec, ScenarioSpec, SpectrumSpec,
+    };
+    let mut eigenvalues = vec![1e9, 1e9];
+    eigenvalues.extend(vec![1e-3; 6]);
+    ScenarioSpec {
+        label: label.to_string(),
+        x: 0.0,
+        data: DataSpec::SyntheticMvn {
+            spectrum: SpectrumSpec::Explicit(eigenvalues),
+            records: 6,
+        },
+        noise: NoiseSpec::Gaussian { sigma: 1e-6 },
+        attack: AttackSpec::BeDr {
+            eigenvalue_floor: Some(1e-12),
+        },
+        engine: EngineSpec::InMemory,
+        metrics: vec![MetricKind::Rmse, MetricKind::Mse],
+        trials: 1,
+        seed,
+        seed_offset: 0,
+        dataset_seed: None,
+        noise_seed: None,
     }
 }
 

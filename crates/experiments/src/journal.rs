@@ -16,7 +16,7 @@
 //! ```text
 //! header (32 bytes):
 //!   magic        8  b"RRJOURN1"
-//!   version      4  u32 = 1
+//!   version      4  u32 = 3
 //!   spec_count   4  u32   — cells in the grid this journal belongs to
 //!   fingerprint  8  u64   — FNV-1a over the full spec list
 //!   header_crc   8  u64   — FNV-1a over the 24 bytes above
@@ -26,7 +26,15 @@
 //!   payload    len        — (grid index, ScenarioOutcome), see below
 //! ```
 //!
-//! **Shard journals** (version 2, 48-byte header) extend the header with the
+//! Record payloads are tagged by outcome kind: `0` = `Completed`, `1` =
+//! `Failed` (whose flags carry both the transient and the timed-out
+//! classification), `2` = `Degraded` — a completed result plus the
+//! non-empty list of degradation warnings (e.g. the eigenvalue-clipped SPD
+//! repair fallback). Pre-supervision journals (versions 1/2) used an
+//! incompatible `Failed` payload and are rejected by version, never
+//! mis-decoded.
+//!
+//! **Shard journals** (version 4, 48-byte header) extend the header with the
 //! half-open global index range `[shard_start, shard_end)` the worker owns,
 //! inserted between `fingerprint` and `header_crc` as two `u64`s. The
 //! fingerprint still covers the **full** grid, so a shard journal is pinned
@@ -77,10 +85,13 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 const MAGIC: &[u8; 8] = b"RRJOURN1";
-const VERSION: u32 = 1;
+/// Versions 1 (plain) and 2 (shard) predate the supervised-execution record
+/// format (`Degraded` tag 2, `timed_out` flag in `Failed`); journals written
+/// by them are rejected as unsupported rather than mis-decoded.
+const VERSION: u32 = 3;
 const HEADER_LEN: u64 = 32;
 /// Shard journals (see the module docs) carry a 16-byte range extension.
-const SHARD_VERSION: u32 = 2;
+const SHARD_VERSION: u32 = 4;
 const SHARD_HEADER_LEN: u64 = 48;
 /// Frame overhead preceding each record payload: `len` (4) + `crc` (8).
 const FRAME_OVERHEAD: usize = 12;
@@ -153,32 +164,46 @@ fn metric_tag(kind: MetricKind) -> u8 {
     }
 }
 
+/// The result payload shared by `Completed` (tag 0) and `Degraded` (tag 2)
+/// records; `Degraded` appends its warning list after these fields.
+fn encode_result(out: &mut Vec<u8>, r: &ScenarioResult) {
+    put_str(out, &r.label);
+    put_f64(out, r.x);
+    out.push(scheme_tag(r.scheme));
+    put_str(out, &r.attack);
+    put_str(out, r.engine);
+    put_u64(out, r.n_records as u64);
+    put_u64(out, r.trials as u64);
+    put_u32(out, r.metrics.len() as u32);
+    for &(kind, value) in &r.metrics {
+        out.push(metric_tag(kind));
+        put_f64(out, value);
+    }
+    match r.components_kept {
+        Some(k) => {
+            out.push(1);
+            put_u64(out, k as u64);
+        }
+        None => out.push(0),
+    }
+    put_f64(out, r.seconds);
+}
+
 fn encode_record(index: usize, outcome: &ScenarioOutcome) -> Vec<u8> {
     let mut out = Vec::with_capacity(128);
     put_u64(&mut out, index as u64);
     match outcome {
         ScenarioOutcome::Completed(r) => {
             out.push(0);
-            put_str(&mut out, &r.label);
-            put_f64(&mut out, r.x);
-            out.push(scheme_tag(r.scheme));
-            put_str(&mut out, &r.attack);
-            put_str(&mut out, r.engine);
-            put_u64(&mut out, r.n_records as u64);
-            put_u64(&mut out, r.trials as u64);
-            put_u32(&mut out, r.metrics.len() as u32);
-            for &(kind, value) in &r.metrics {
-                out.push(metric_tag(kind));
-                put_f64(&mut out, value);
+            encode_result(&mut out, r);
+        }
+        ScenarioOutcome::Degraded(r) => {
+            out.push(2);
+            encode_result(&mut out, r);
+            put_u32(&mut out, r.warnings.len() as u32);
+            for w in &r.warnings {
+                put_str(&mut out, w);
             }
-            match r.components_kept {
-                Some(k) => {
-                    out.push(1);
-                    put_u64(&mut out, k as u64);
-                }
-                None => out.push(0),
-            }
-            put_f64(&mut out, r.seconds);
         }
         ScenarioOutcome::Failed(f) => {
             out.push(1);
@@ -187,6 +212,7 @@ fn encode_record(index: usize, outcome: &ScenarioOutcome) -> Vec<u8> {
             put_str(&mut out, f.engine);
             put_str(&mut out, &f.error);
             out.push(u8::from(f.transient));
+            out.push(u8::from(f.timed_out));
             put_u32(&mut out, f.attempts);
         }
     }
@@ -262,6 +288,51 @@ fn decode_engine(label: &str) -> Option<&'static str> {
     }
 }
 
+/// Decodes the shared result payload (see [`encode_result`]); warnings are
+/// left empty for the caller to fill (tag 2 appends them after this).
+fn decode_result(d: &mut Dec<'_>) -> Option<ScenarioResult> {
+    let label = d.str()?;
+    let x = d.f64()?;
+    let scheme = decode_scheme(d.u8()?)?;
+    let attack = d.str()?;
+    let engine = decode_engine(&d.str()?)?;
+    let n_records = usize::try_from(d.u64()?).ok()?;
+    let trials = usize::try_from(d.u64()?).ok()?;
+    let n_metrics = d.u32()? as usize;
+    let mut metrics = Vec::with_capacity(n_metrics.min(64));
+    for _ in 0..n_metrics {
+        let kind = decode_metric(d.u8()?)?;
+        metrics.push((kind, d.f64()?));
+    }
+    let components_kept = match d.u8()? {
+        0 => None,
+        1 => Some(usize::try_from(d.u64()?).ok()?),
+        _ => return None,
+    };
+    let seconds = d.f64()?;
+    Some(ScenarioResult {
+        label,
+        x,
+        scheme,
+        attack,
+        engine,
+        n_records,
+        trials,
+        metrics,
+        components_kept,
+        seconds,
+        warnings: Vec::new(),
+    })
+}
+
+fn decode_bool(byte: u8) -> Option<bool> {
+    match byte {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
 fn decode_record(payload: &[u8]) -> Option<(usize, ScenarioOutcome)> {
     let mut d = Dec {
         buf: payload,
@@ -269,49 +340,29 @@ fn decode_record(payload: &[u8]) -> Option<(usize, ScenarioOutcome)> {
     };
     let index = usize::try_from(d.u64()?).ok()?;
     let outcome = match d.u8()? {
-        0 => {
-            let label = d.str()?;
-            let x = d.f64()?;
-            let scheme = decode_scheme(d.u8()?)?;
-            let attack = d.str()?;
-            let engine = decode_engine(&d.str()?)?;
-            let n_records = usize::try_from(d.u64()?).ok()?;
-            let trials = usize::try_from(d.u64()?).ok()?;
-            let n_metrics = d.u32()? as usize;
-            let mut metrics = Vec::with_capacity(n_metrics.min(64));
-            for _ in 0..n_metrics {
-                let kind = decode_metric(d.u8()?)?;
-                metrics.push((kind, d.f64()?));
+        0 => ScenarioOutcome::Completed(decode_result(&mut d)?),
+        2 => {
+            let mut result = decode_result(&mut d)?;
+            let n_warnings = d.u32()? as usize;
+            let mut warnings = Vec::with_capacity(n_warnings.min(64));
+            for _ in 0..n_warnings {
+                warnings.push(d.str()?);
             }
-            let components_kept = match d.u8()? {
-                0 => None,
-                1 => Some(usize::try_from(d.u64()?).ok()?),
-                _ => return None,
-            };
-            let seconds = d.f64()?;
-            ScenarioOutcome::Completed(ScenarioResult {
-                label,
-                x,
-                scheme,
-                attack,
-                engine,
-                n_records,
-                trials,
-                metrics,
-                components_kept,
-                seconds,
-            })
+            // A degraded record with zero warnings is structurally invalid:
+            // `Degraded` exists precisely because warnings are non-empty.
+            if warnings.is_empty() {
+                return None;
+            }
+            result.warnings = warnings;
+            ScenarioOutcome::Degraded(result)
         }
         1 => {
             let label = d.str()?;
             let attack = d.str()?;
             let engine = decode_engine(&d.str()?)?;
             let error = d.str()?;
-            let transient = match d.u8()? {
-                0 => false,
-                1 => true,
-                _ => return None,
-            };
+            let transient = decode_bool(d.u8()?)?;
+            let timed_out = decode_bool(d.u8()?)?;
             let attempts = d.u32()?;
             ScenarioOutcome::Failed(ScenarioFailure {
                 label,
@@ -319,6 +370,7 @@ fn decode_record(payload: &[u8]) -> Option<(usize, ScenarioOutcome)> {
                 engine,
                 error,
                 transient,
+                timed_out,
                 attempts,
             })
         }
@@ -523,15 +575,19 @@ impl ResultJournal {
             if version == VERSION && valid_other(HEADER_LEN as usize) {
                 return Err(Self::journal_err(
                     path,
-                    "journal belongs to an unsharded run (version 1); \
-                     a shard worker cannot resume it",
+                    format!(
+                        "journal belongs to an unsharded run (version {VERSION}); \
+                         a shard worker cannot resume it"
+                    ),
                 ));
             }
             if version == SHARD_VERSION && valid_other(SHARD_HEADER_LEN as usize) {
                 return Err(Self::journal_err(
                     path,
-                    "journal belongs to a sharded run (version 2); \
-                     recover it through the shard coordinator",
+                    format!(
+                        "journal belongs to a sharded run (version {SHARD_VERSION}); \
+                         recover it through the shard coordinator"
+                    ),
                 ));
             }
             return Err(Self::journal_err(
@@ -917,7 +973,19 @@ mod tests {
             metrics: vec![(MetricKind::Rmse, 1.25), (MetricKind::Mse, 1.5625)],
             components_kept: Some(5),
             seconds: 0.125,
+            warnings: Vec::new(),
         })
+    }
+
+    fn sample_degraded(label: &str) -> ScenarioOutcome {
+        let ScenarioOutcome::Completed(mut result) = sample_completed(label) else {
+            unreachable!("sample_completed builds Completed");
+        };
+        result.warnings = vec![
+            "BE-DR: Cholesky of the posterior system failed; recovered".to_string(),
+            "second warning".to_string(),
+        ];
+        ScenarioOutcome::Degraded(result)
     }
 
     fn sample_failed(label: &str) -> ScenarioOutcome {
@@ -927,6 +995,7 @@ mod tests {
             engine: "in-memory",
             error: "injected fault".to_string(),
             transient: false,
+            timed_out: true,
             attempts: 2,
         })
     }
@@ -940,14 +1009,35 @@ mod tests {
             let mut journal = ResultJournal::create(&path, &grid).unwrap();
             journal.append(2, &sample_completed("cell2")).unwrap();
             journal.append(0, &sample_failed("cell0")).unwrap();
-            assert_eq!(journal.records_written(), 2);
+            journal.append(1, &sample_degraded("cell1")).unwrap();
+            assert_eq!(journal.records_written(), 3);
         }
         let (journal, recovered) = ResultJournal::open_or_create(&path, &grid).unwrap();
-        assert_eq!(journal.records_written(), 2);
+        assert_eq!(journal.records_written(), 3);
         assert_eq!(
             recovered,
-            vec![(2, sample_completed("cell2")), (0, sample_failed("cell0")),]
+            vec![
+                (2, sample_completed("cell2")),
+                (0, sample_failed("cell0")),
+                (1, sample_degraded("cell1")),
+            ]
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pre_supervision_journal_versions_are_rejected() {
+        let grid = specs(2);
+        let path = temp_path("old-version");
+        // Forge a checksum-valid version-1 (pre-supervision) plain header.
+        let mut header = ResultJournal::header_bytes(&grid, None);
+        header[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let crc_at = header.len() - 8;
+        let crc = fnv64(FNV_OFFSET, &header[..crc_at]);
+        header[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &header).unwrap();
+        let err = ResultJournal::open_or_create(&path, &grid).unwrap_err();
+        assert!(err.to_string().contains("unsupported journal version 1"));
         let _ = std::fs::remove_file(&path);
     }
 

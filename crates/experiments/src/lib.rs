@@ -73,6 +73,21 @@
 //! (worker), and [`report::outcomes_hash`] is the fingerprint both sides
 //! print so CI can compare them.
 //!
+//! ## Supervision
+//!
+//! Execution is **supervised** (PR 8): workers write heartbeat sidecars
+//! next to their shard journals and the coordinator's watchdog
+//! ([`shard::ShardedRunConfig::worker_timeout`]) kills and restarts a
+//! worker whose heartbeat stalls — so hung workers, not just dead ones,
+//! recover; restarts and in-process retries are paced by the
+//! deterministic, seed-derived [`backoff::BackoffPolicy`] schedule;
+//! [`scenario::RetryPolicy::cell_timeout`] arms a cooperative per-cell
+//! deadline that classifies runaway cells as `timed-out` (never retried);
+//! and a cell that completes only through numerical repair (e.g. BE-DR's
+//! eigenvalue-clipped SPD fallback) surfaces as
+//! [`scenario::ScenarioOutcome::Degraded`] — real metrics, journaled and
+//! merged like completions, rendered distinctly in every report.
+//!
 //! ## Example
 //!
 //! ```
@@ -90,6 +105,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod backoff;
 pub mod config;
 pub mod error;
 pub mod exp1;
@@ -105,6 +121,7 @@ pub mod shard;
 pub mod streaming;
 pub mod workload;
 
+pub use backoff::BackoffPolicy;
 pub use config::{ExperimentSeries, SchemeKind, SeriesPoint};
 pub use error::{ExperimentError, Result};
 pub use journal::{run_scenarios_resumable, ResultJournal, ResumableRun};

@@ -131,30 +131,47 @@ fn fnv64(hash: &mut u64, bytes: impl IntoIterator<Item = u8>) {
 }
 
 /// A deterministic digest of an outcome list: labels, `x` bits, record and
-/// trial counts, metric kinds with exact value bits, and failure
-/// error/transience/attempt fields, folded into one FNV-1a hash. Wall-clock
-/// `seconds` is excluded — the only nondeterministic field — so two sweeps
-/// of the same grid hash identically whether run single-process, resumed
-/// from a journal, or merged from shard journals. The `scenarios` binary
-/// prints this as `outcome hash: <16 hex>` and CI compares the sharded and
-/// single-process lines byte for byte.
+/// trial counts, metric kinds with exact value bits, degradation warnings,
+/// and failure error/classification/attempt fields, folded into one FNV-1a
+/// hash. Wall-clock `seconds` is excluded — the only nondeterministic field
+/// — so two sweeps of the same grid hash identically whether run
+/// single-process, resumed from a journal, or merged from shard journals
+/// (watchdog restarts included). The `scenarios` binary prints this as
+/// `outcome hash: <16 hex>` and CI compares the sharded and single-process
+/// lines byte for byte.
 pub fn outcomes_hash(outcomes: &[ScenarioOutcome]) -> u64 {
     let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let hash_result = |hash: &mut u64, r: &ScenarioResult| {
+        fnv64(hash, r.label.bytes());
+        fnv64(hash, r.x.to_bits().to_le_bytes());
+        fnv64(hash, (r.n_records as u64).to_le_bytes());
+        for (kind, value) in &r.metrics {
+            fnv64(hash, format!("{kind:?}").bytes());
+            fnv64(hash, value.to_bits().to_le_bytes());
+        }
+    };
     for outcome in outcomes {
         match outcome {
-            ScenarioOutcome::Completed(r) => {
-                fnv64(&mut hash, r.label.bytes());
-                fnv64(&mut hash, r.x.to_bits().to_le_bytes());
-                fnv64(&mut hash, (r.n_records as u64).to_le_bytes());
-                for (kind, value) in &r.metrics {
-                    fnv64(&mut hash, format!("{kind:?}").bytes());
-                    fnv64(&mut hash, value.to_bits().to_le_bytes());
+            ScenarioOutcome::Completed(r) => hash_result(&mut hash, r),
+            ScenarioOutcome::Degraded(r) => {
+                hash_result(&mut hash, r);
+                // A degraded cell must never hash like a clean one.
+                fnv64(&mut hash, *b"degraded");
+                for w in &r.warnings {
+                    fnv64(&mut hash, w.bytes());
                 }
             }
             ScenarioOutcome::Failed(f) => {
                 fnv64(&mut hash, f.label.bytes());
                 fnv64(&mut hash, f.error.bytes());
-                fnv64(&mut hash, [u8::from(f.transient), f.attempts as u8]);
+                fnv64(
+                    &mut hash,
+                    [
+                        u8::from(f.transient),
+                        u8::from(f.timed_out),
+                        f.attempts as u8,
+                    ],
+                );
             }
         }
     }
@@ -301,22 +318,45 @@ pub fn write_results_json<P: AsRef<Path>>(results: &[ScenarioResult], path: P) -
 // Fail-soft outcome reports
 // ---------------------------------------------------------------------------
 
-/// Renders fail-soft outcomes: the completed cells as the usual results
-/// table, followed — only when something failed — by a failure section
-/// listing each dead cell with its error, attempt count, and transience
-/// classification. A sweep where every cell completed renders identically
-/// to [`results_table`].
+/// Renders fail-soft outcomes: the completed **and degraded** cells as the
+/// usual results table, then — each section only when non-empty — a
+/// degraded section listing every cell that finished through a numerical
+/// fallback with its warnings, and a failure section listing each dead cell
+/// with its error, attempt count, and classification
+/// (`deterministic` / `transient` / `timed-out`). A sweep where every cell
+/// completed cleanly renders identically to [`results_table`].
 pub fn outcomes_table(outcomes: &[ScenarioOutcome]) -> String {
     let completed: Vec<ScenarioResult> = outcomes
         .iter()
         .filter_map(|o| o.as_completed().cloned())
         .collect();
     let mut out = results_table(&completed);
+    let degraded: Vec<_> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            ScenarioOutcome::Degraded(r) => Some(r),
+            _ => None,
+        })
+        .collect();
+    if !degraded.is_empty() {
+        let _ = writeln!(
+            out,
+            "\ndegraded scenarios ({} of {}):",
+            degraded.len(),
+            outcomes.len()
+        );
+        for r in degraded {
+            let _ = writeln!(out, "  {} [{} / {}]:", r.label, r.attack, r.engine);
+            for w in &r.warnings {
+                let _ = writeln!(out, "    {w}");
+            }
+        }
+    }
     let failures: Vec<_> = outcomes
         .iter()
         .filter_map(|o| match o {
             ScenarioOutcome::Failed(f) => Some(f),
-            ScenarioOutcome::Completed(_) => None,
+            _ => None,
         })
         .collect();
     if !failures.is_empty() {
@@ -327,18 +367,14 @@ pub fn outcomes_table(outcomes: &[ScenarioOutcome]) -> String {
             outcomes.len()
         );
         for f in failures {
-            let class = if f.transient {
-                "transient"
-            } else {
-                "deterministic"
-            };
             let _ = writeln!(
                 out,
-                "  {} [{} / {}]: {} ({class}, {} attempt{})",
+                "  {} [{} / {}]: {} ({}, {} attempt{})",
                 f.label,
                 f.attack,
                 f.engine,
                 f.error,
+                f.classification(),
                 f.attempts,
                 if f.attempts == 1 { "" } else { "s" }
             );
@@ -347,19 +383,22 @@ pub fn outcomes_table(outcomes: &[ScenarioOutcome]) -> String {
     out
 }
 
-/// Renders fail-soft outcomes as CSV: the results columns plus `status`,
-/// `attempts`, and `error` (empty for completed cells; numeric columns
-/// empty for failed ones).
+/// Renders fail-soft outcomes as CSV: the results columns plus `status`
+/// (`completed` / `degraded` / `failed`), `classification`
+/// (`deterministic` / `transient` / `timed-out`, failed cells only),
+/// `attempts`, and `error` — the last column carries the semicolon-joined
+/// degradation warnings for degraded cells and the error message for failed
+/// ones.
 pub fn outcomes_to_csv(outcomes: &[ScenarioOutcome]) -> String {
     let mut out = String::from("label,x,scheme,attack,engine,records,trials,components_kept");
     for metric in METRIC_COLUMNS {
         out.push(',');
         out.push_str(metric.label());
     }
-    out.push_str(",status,attempts,error\n");
+    out.push_str(",status,classification,attempts,error\n");
     for outcome in outcomes {
         match outcome {
-            ScenarioOutcome::Completed(r) => {
+            ScenarioOutcome::Completed(r) | ScenarioOutcome::Degraded(r) => {
                 let _ = write!(
                     out,
                     "{},{},{},{},{},{},{},{}",
@@ -378,7 +417,11 @@ pub fn outcomes_to_csv(outcomes: &[ScenarioOutcome]) -> String {
                         let _ = write!(out, "{v}");
                     }
                 }
-                out.push_str(",completed,,\n");
+                if matches!(outcome, ScenarioOutcome::Degraded(_)) {
+                    let _ = writeln!(out, ",degraded,,,{}", csv_escape(&r.warnings.join("; ")));
+                } else {
+                    out.push_str(",completed,,,\n");
+                }
             }
             ScenarioOutcome::Failed(f) => {
                 let _ = write!(
@@ -391,7 +434,13 @@ pub fn outcomes_to_csv(outcomes: &[ScenarioOutcome]) -> String {
                 for _ in METRIC_COLUMNS {
                     out.push(',');
                 }
-                let _ = writeln!(out, ",failed,{},{}", f.attempts, csv_escape(&f.error));
+                let _ = writeln!(
+                    out,
+                    ",failed,{},{},{}",
+                    f.classification(),
+                    f.attempts,
+                    csv_escape(&f.error)
+                );
             }
         }
     }
@@ -399,16 +448,23 @@ pub fn outcomes_to_csv(outcomes: &[ScenarioOutcome]) -> String {
 }
 
 /// Renders fail-soft outcomes as a JSON array; completed cells carry
-/// `"status": "completed"` plus the usual result fields, failed cells carry
-/// `"status": "failed"` with the error, transience, and attempt count.
+/// `"status": "completed"` plus the usual result fields, degraded cells the
+/// same fields with `"status": "degraded"` and a `"warnings"` array, and
+/// failed cells `"status": "failed"` with the error, classification flags,
+/// and attempt count.
 pub fn outcomes_to_json(outcomes: &[ScenarioOutcome]) -> String {
     let mut out = String::from("[\n");
     for (i, outcome) in outcomes.iter().enumerate() {
         match outcome {
-            ScenarioOutcome::Completed(r) => {
+            ScenarioOutcome::Completed(r) | ScenarioOutcome::Degraded(r) => {
+                let status = if matches!(outcome, ScenarioOutcome::Degraded(_)) {
+                    "degraded"
+                } else {
+                    "completed"
+                };
                 let _ = write!(
                     out,
-                    "  {{\"status\": \"completed\", \"label\": \"{}\", \"x\": {}, \
+                    "  {{\"status\": \"{status}\", \"label\": \"{}\", \"x\": {}, \
                      \"scheme\": {}, \"attack\": \"{}\", \"engine\": \"{}\", \
                      \"records\": {}, \"trials\": {}, \"components_kept\": {}, \
                      \"seconds\": {}",
@@ -429,6 +485,16 @@ pub fn outcomes_to_json(outcomes: &[ScenarioOutcome]) -> String {
                 for &(metric, value) in &r.metrics {
                     let _ = write!(out, ", \"{}\": {}", metric.label(), json_f64(value));
                 }
+                if !r.warnings.is_empty() {
+                    out.push_str(", \"warnings\": [");
+                    for (j, w) in r.warnings.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "\"{}\"", json_escape(w));
+                    }
+                    out.push(']');
+                }
                 out.push('}');
             }
             ScenarioOutcome::Failed(f) => {
@@ -436,12 +502,14 @@ pub fn outcomes_to_json(outcomes: &[ScenarioOutcome]) -> String {
                     out,
                     "  {{\"status\": \"failed\", \"label\": \"{}\", \"attack\": \"{}\", \
                      \"engine\": \"{}\", \"error\": \"{}\", \"transient\": {}, \
-                     \"attempts\": {}}}",
+                     \"timed_out\": {}, \"classification\": \"{}\", \"attempts\": {}}}",
                     json_escape(&f.label),
                     json_escape(&f.attack),
                     f.engine,
                     json_escape(&f.error),
                     f.transient,
+                    f.timed_out,
+                    f.classification(),
                     f.attempts,
                 );
             }
@@ -455,16 +523,22 @@ pub fn outcomes_to_json(outcomes: &[ScenarioOutcome]) -> String {
     out
 }
 
-/// One-line sweep summary: completed/failed counts, plus how many cells
-/// were resumed from a journal when `resumed > 0`.
+/// One-line sweep summary: completed/failed counts — with a degraded count
+/// inserted whenever any cell finished through a numerical fallback — plus
+/// how many cells were resumed from a journal when `resumed > 0`.
 pub fn outcomes_summary(outcomes: &[ScenarioOutcome], resumed: usize) -> String {
     let failed = outcomes.iter().filter(|o| o.is_failed()).count();
-    let completed = outcomes.len() - failed;
+    let degraded = outcomes.iter().filter(|o| o.is_degraded()).count();
+    let completed = outcomes.len() - failed - degraded;
     let mut out = format!(
-        "{} scenario{}: {completed} completed, {failed} failed",
+        "{} scenario{}: {completed} completed, ",
         outcomes.len(),
         if outcomes.len() == 1 { "" } else { "s" },
     );
+    if degraded > 0 {
+        let _ = write!(out, "{degraded} degraded, ");
+    }
+    let _ = write!(out, "{failed} failed");
     if resumed > 0 {
         let _ = write!(out, " ({resumed} resumed from journal)");
     }
@@ -531,6 +605,7 @@ mod tests {
                 metrics: vec![(MetricKind::Rmse, 2.5)],
                 components_kept: None,
                 seconds: 0.01,
+                warnings: Vec::new(),
             }),
             ScenarioOutcome::Failed(ScenarioFailure {
                 label: "grid/dead".to_string(),
@@ -538,9 +613,19 @@ mod tests {
                 engine: "in-memory",
                 error: "injected fault, with a comma".to_string(),
                 transient: false,
+                timed_out: false,
                 attempts: 1,
             }),
         ]
+    }
+
+    fn sample_degraded() -> ScenarioOutcome {
+        let ScenarioOutcome::Completed(mut r) = sample_outcomes().remove(0) else {
+            unreachable!("first sample outcome is Completed");
+        };
+        r.label = "grid/repaired".to_string();
+        r.warnings = vec!["BE-DR: Cholesky failed; recovered via SPD repair".to_string()];
+        ScenarioOutcome::Degraded(r)
     }
 
     #[test]
@@ -563,14 +648,48 @@ mod tests {
             .lines()
             .next()
             .unwrap()
-            .ends_with("status,attempts,error"));
-        assert!(csv.contains(",completed,,"));
+            .ends_with("status,classification,attempts,error"));
+        assert!(csv.contains(",completed,,,"));
         // The comma-bearing error is RFC-4180 quoted, not flattened.
-        assert!(csv.contains(",failed,1,\"injected fault, with a comma\""));
+        assert!(csv.contains(",failed,deterministic,1,\"injected fault, with a comma\""));
         let json = outcomes_to_json(&outcomes);
         assert!(json.contains("\"status\": \"completed\""));
         assert!(json.contains("\"status\": \"failed\""));
         assert!(json.contains("\"transient\": false"));
+        assert!(json.contains("\"timed_out\": false"));
+        assert!(json.contains("\"classification\": \"deterministic\""));
+        // Completed cells carry no warnings array.
+        assert!(!json.contains("\"warnings\""));
+    }
+
+    #[test]
+    fn degraded_outcomes_render_distinctly_everywhere() {
+        let mut outcomes = sample_outcomes();
+        outcomes.push(sample_degraded());
+        let table = outcomes_table(&outcomes);
+        // The degraded cell sits in the results table *and* its own section.
+        assert!(table.contains("grid/repaired"));
+        assert!(table.contains("degraded scenarios (1 of 3):"));
+        assert!(table.contains("recovered via SPD repair"));
+        let csv = outcomes_to_csv(&outcomes);
+        assert!(csv.contains(",degraded,,,BE-DR: Cholesky failed; recovered via SPD repair"));
+        let json = outcomes_to_json(&outcomes);
+        assert!(json.contains("\"status\": \"degraded\""));
+        assert!(
+            json.contains("\"warnings\": [\"BE-DR: Cholesky failed; recovered via SPD repair\"]")
+        );
+    }
+
+    #[test]
+    fn timed_out_failures_are_classified_in_reports() {
+        let mut outcomes = sample_outcomes();
+        if let ScenarioOutcome::Failed(f) = &mut outcomes[1] {
+            f.timed_out = true;
+            f.error = "cancelled: cell deadline exceeded".to_string();
+        }
+        assert!(outcomes_table(&outcomes).contains("(timed-out, 1 attempt)"));
+        assert!(outcomes_to_csv(&outcomes).contains(",failed,timed-out,1,"));
+        assert!(outcomes_to_json(&outcomes).contains("\"classification\": \"timed-out\""));
     }
 
     #[test]
@@ -648,6 +767,23 @@ mod tests {
             f.attempts += 1;
         }
         assert_ne!(outcomes_hash(&a), outcomes_hash(&c));
+        // The timed-out flag and the degraded marker both change the hash.
+        let mut d = sample_outcomes();
+        if let ScenarioOutcome::Failed(f) = &mut d[1] {
+            f.timed_out = true;
+        }
+        assert_ne!(outcomes_hash(&a), outcomes_hash(&d));
+        let ScenarioOutcome::Degraded(degraded) = sample_degraded() else {
+            unreachable!()
+        };
+        let clean = ScenarioOutcome::Completed(ScenarioResult {
+            warnings: Vec::new(),
+            ..degraded.clone()
+        });
+        assert_ne!(
+            outcomes_hash(&[ScenarioOutcome::Degraded(degraded)]),
+            outcomes_hash(&[clean])
+        );
     }
 
     #[test]
@@ -660,6 +796,12 @@ mod tests {
         assert_eq!(
             outcomes_summary(&outcomes, 5),
             "2 scenarios: 1 completed, 1 failed (5 resumed from journal)"
+        );
+        let mut with_degraded = sample_outcomes();
+        with_degraded.push(sample_degraded());
+        assert_eq!(
+            outcomes_summary(&with_degraded, 0),
+            "3 scenarios: 1 completed, 1 degraded, 1 failed"
         );
     }
 }

@@ -38,6 +38,26 @@
 //! regenerate the (deterministic, identical) dataset — correct but
 //! redundant work, cheap at current sizes and listed as a ROADMAP item.
 //!
+//! ## Supervision: deadlines, retries, and graceful degradation
+//!
+//! Fail-soft execution ([`run_scenarios_failsoft`]) is supervised:
+//!
+//! * **Cell deadlines** — [`RetryPolicy::cell_timeout`] runs each attempt
+//!   under a cooperative [`CancelToken`] checked at trial, member, and
+//!   streaming-chunk boundaries; a runaway cell becomes a
+//!   [`ScenarioOutcome::Failed`] with a `timed-out` classification
+//!   ([`ScenarioFailure::timed_out`]) instead of wedging the sweep.
+//! * **Deterministic retry backoff** — transient retries sleep on the
+//!   seed-derived [`BackoffPolicy`] schedule (a pure function of the spec
+//!   fingerprint and the attempt number), so retry timing is reproducible
+//!   and a persistent fault cannot hot-loop.
+//! * **Graceful numerical degradation** — a cell whose attack completed
+//!   only by repairing an ill-conditioned system (non-empty
+//!   [`ScenarioResult::warnings`], e.g. BE-DR's eigenvalue-clipped SPD
+//!   fallback) is reported as [`ScenarioOutcome::Degraded`]: its metrics
+//!   are real, journaled, and merged, but reports render it distinctly from
+//!   clean completions.
+//!
 //! ## Example
 //!
 //! ```
@@ -57,13 +77,14 @@
 //! assert!(results.iter().all(|r| r.rmse().unwrap() > 0.0));
 //! ```
 
+use crate::backoff::BackoffPolicy;
 use crate::config::SchemeKind;
 use crate::error::{ExperimentError, Result};
 use crate::fault::FaultMode;
 use crate::runner::parallel_map;
 use randrecon_core::engine::Attack;
 use randrecon_core::partial::{KnownAttributes, PartialKnowledgeBeDr};
-use randrecon_core::streaming::{MseSink, StreamingDriver};
+use randrecon_core::streaming::{CancelToken, MseSink, StreamingDriver};
 use randrecon_core::temporal::TemporalSmoother;
 use randrecon_core::ComponentSelection;
 use randrecon_data::chunks::{RecordChunkSource, SyntheticChunkSource};
@@ -80,7 +101,7 @@ use randrecon_stats::rng::{child_seed, seeded_rng};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Spec types
@@ -621,6 +642,12 @@ pub struct ScenarioResult {
     /// Wall-clock seconds spent in this scenario's attack runs (summed over
     /// trials; excludes workload generation shared with other scenarios).
     pub seconds: f64,
+    /// Graceful numerical-degradation notes accumulated across trials
+    /// (deduplicated, first-appearance order). Non-empty means the attack
+    /// completed only by repairing an ill-conditioned system — the fail-soft
+    /// runner reports such a cell as
+    /// [`ScenarioOutcome::Degraded`] rather than `Completed`.
+    pub warnings: Vec<String>,
 }
 
 impl ScenarioResult {
@@ -893,19 +920,44 @@ struct TrialMeasurement {
     components_kept: Option<usize>,
     seconds: f64,
     n_records: usize,
+    warnings: Vec<String>,
+}
+
+/// The error a cooperatively-cancelled cell surfaces: a
+/// [`randrecon_core::ReconError::Cancelled`] wrapped for this crate, which
+/// [`ExperimentError::is_timeout`] classifies as timed out.
+fn cancelled_error() -> ExperimentError {
+    ExperimentError::Recon(randrecon_core::ReconError::Cancelled {
+        reason: "cell deadline exceeded or cancel token tripped".to_string(),
+    })
 }
 
 /// Executes one workload group (scenarios sharing everything but the
 /// attack/metrics) and returns one result per member, in member order.
 fn execute_group(group: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>> {
+    execute_group_cancellable(group, &CancelToken::new())
+}
+
+/// [`execute_group`] with a cooperative [`CancelToken`]: checked before each
+/// trial, before each member attack, and once per chunk inside the
+/// streaming driver's pass 2 — a tripped token (or expired deadline) stops
+/// the group at the next check with a timeout-classified error.
+fn execute_group_cancellable(
+    group: &[ScenarioSpec],
+    cancel: &CancelToken,
+) -> Result<Vec<ScenarioResult>> {
     let proto = &group[0];
     let mut metric_sums: Vec<Vec<f64>> = group.iter().map(|s| vec![0.0; s.metrics.len()]).collect();
     let mut components: Vec<Option<usize>> = vec![None; group.len()];
     let mut seconds: Vec<f64> = vec![0.0; group.len()];
+    let mut warnings: Vec<Vec<String>> = vec![Vec::new(); group.len()];
     let mut n_records = 0usize;
     let mut measured_x_sum: Option<f64> = None;
 
     for trial in 0..proto.trials {
+        if cancel.is_cancelled() {
+            return Err(cancelled_error());
+        }
         let trial_seed = proto
             .dataset_seed
             .unwrap_or_else(|| child_seed(proto.seed, proto.seed_offset + trial as u64));
@@ -914,9 +966,9 @@ fn execute_group(group: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>> {
             .unwrap_or_else(|| child_seed(trial_seed, 1));
 
         let (measurements, measured_x) = match proto.engine {
-            EngineSpec::InMemory => run_in_memory_trial(group, trial_seed, noise_seed)?,
+            EngineSpec::InMemory => run_in_memory_trial(group, trial_seed, noise_seed, cancel)?,
             EngineSpec::Streaming { chunk_rows } => {
-                run_streaming_trial(group, chunk_rows, trial_seed, noise_seed)?
+                run_streaming_trial(group, chunk_rows, trial_seed, noise_seed, cancel)?
             }
         };
         if let Some(x) = measured_x {
@@ -929,6 +981,11 @@ fn execute_group(group: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>> {
             components[i] = m.components_kept;
             seconds[i] += m.seconds;
             n_records = m.n_records;
+            for w in m.warnings {
+                if !warnings[i].contains(&w) {
+                    warnings[i].push(w);
+                }
+            }
         }
     }
 
@@ -936,7 +993,8 @@ fn execute_group(group: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>> {
     Ok(group
         .iter()
         .enumerate()
-        .map(|(i, spec)| ScenarioResult {
+        .zip(warnings)
+        .map(|((i, spec), warnings)| ScenarioResult {
             label: spec.label.clone(),
             x: measured_x_sum.map(|s| s / trials).unwrap_or(spec.x),
             scheme: spec.attack.scheme(),
@@ -952,6 +1010,7 @@ fn execute_group(group: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>> {
                 .collect(),
             components_kept: components[i],
             seconds: seconds[i],
+            warnings,
         })
         .collect())
 }
@@ -986,6 +1045,7 @@ fn run_in_memory_trial(
     group: &[ScenarioSpec],
     trial_seed: u64,
     noise_seed: u64,
+    cancel: &CancelToken,
 ) -> Result<(Vec<TrialMeasurement>, Option<f64>)> {
     let proto = &group[0];
     let data = match &proto.data {
@@ -1011,6 +1071,9 @@ fn run_in_memory_trial(
 
     let mut out = Vec::with_capacity(group.len());
     for spec in group {
+        if cancel.is_cancelled() {
+            return Err(cancelled_error());
+        }
         if let AttackSpec::InjectedFault { mode } = &spec.attack {
             // Testing support: fire the planted fault; if it declines to
             // fire (transient budget exhausted), report zeroed metrics.
@@ -1020,11 +1083,12 @@ fn run_in_memory_trial(
                 components_kept: None,
                 seconds: 0.0,
                 n_records: original.n_records(),
+                warnings: Vec::new(),
             });
             continue;
         }
         let start = Instant::now();
-        let (reconstruction, components_kept) = match &spec.attack {
+        let (reconstruction, components_kept, warnings) = match &spec.attack {
             AttackSpec::PartialKnowledgeBeDr { known_attributes } => {
                 let known = KnownAttributes::new(known_attributes.clone())?;
                 let idx = known.indices();
@@ -1052,6 +1116,7 @@ fn run_in_memory_trial(
                         &known_values,
                     )?,
                     None,
+                    Vec::new(),
                 )
             }
             AttackSpec::Temporal { window } => (
@@ -1061,6 +1126,7 @@ fn run_in_memory_trial(
                     noise,
                 )?,
                 None,
+                Vec::new(),
             ),
             base => base
                 .core_attack()?
@@ -1083,6 +1149,7 @@ fn run_in_memory_trial(
             components_kept,
             seconds,
             n_records: original.n_records(),
+            warnings,
         });
     }
     Ok((out, measured_x))
@@ -1093,6 +1160,7 @@ fn run_streaming_trial(
     chunk_rows: usize,
     trial_seed: u64,
     noise_seed: u64,
+    cancel: &CancelToken,
 ) -> Result<(Vec<TrialMeasurement>, Option<f64>)> {
     let proto = &group[0];
     match &proto.data {
@@ -1110,9 +1178,13 @@ fn run_streaming_trial(
             )))?;
             let mut disguised = DisguisedChunkSource::new(original.clone(), randomizer, noise_seed);
             let noise = disguised.model().clone();
-            let measurements = sweep_streaming_group(group, &mut disguised, &noise, || {
-                Ok(Box::new(original.clone()))
-            })?;
+            let measurements = sweep_streaming_group(
+                group,
+                &mut disguised,
+                &noise,
+                || Ok(Box::new(original.clone())),
+                cancel,
+            )?;
             Ok((measurements, measured_x))
         }
         DataSpec::Csv { path } => {
@@ -1121,9 +1193,13 @@ fn run_streaming_trial(
             let mut disguised = DisguisedChunkSource::new(reader, randomizer, noise_seed);
             let noise = disguised.model().clone();
             let path = path.clone();
-            let measurements = sweep_streaming_group(group, &mut disguised, &noise, move || {
-                Ok(Box::new(CsvChunkReader::open(&path, chunk_rows)?))
-            })?;
+            let measurements = sweep_streaming_group(
+                group,
+                &mut disguised,
+                &noise,
+                move || Ok(Box::new(CsvChunkReader::open(&path, chunk_rows)?)),
+                cancel,
+            )?;
             Ok((measurements, measured_x))
         }
         DataSpec::Ar1Timeseries { .. } => Err(ExperimentError::InvalidConfig {
@@ -1139,25 +1215,33 @@ fn sweep_streaming_group<S, F>(
     disguised: &mut S,
     noise: &randrecon_noise::NoiseModel,
     mut fresh_original: F,
+    cancel: &CancelToken,
 ) -> Result<Vec<TrialMeasurement>>
 where
     S: RecordChunkSource + Send + ?Sized,
     F: FnMut() -> Result<Box<dyn RecordChunkSource>>,
 {
+    if cancel.is_cancelled() {
+        return Err(cancelled_error());
+    }
     let moments = StreamingDriver::accumulate_moments(disguised)?;
     let driver = StreamingDriver::default();
     let mut out = Vec::with_capacity(group.len());
     for spec in group {
+        if cancel.is_cancelled() {
+            return Err(cancelled_error());
+        }
         let chunk_attack = spec.attack.core_attack()?.chunk_reconstructor()?;
         let mut reference = fresh_original()?;
         let start = Instant::now();
         let mut sink = MseSink::new(reference.as_mut())?;
-        let report = driver.run_with_moments(
+        let report = driver.run_with_moments_cancellable(
             chunk_attack.as_ref(),
             &moments,
             disguised,
             noise,
             &mut sink,
+            cancel,
         )?;
         let seconds = start.elapsed().as_secs_f64();
         let mse_value = sink.mse();
@@ -1176,6 +1260,7 @@ where
             components_kept: report.components_kept,
             seconds,
             n_records: report.n_records,
+            warnings: report.warnings,
         });
     }
     Ok(out)
@@ -1193,7 +1278,13 @@ where
 /// **deterministic**, because all scenario randomness is spec-derived and a
 /// retry would replay the identical failure. Deterministic failures are
 /// therefore not retried unless [`retry_deterministic`] is set (useful only
-/// against external nondeterminism the classifier cannot see).
+/// against external nondeterminism the classifier cannot see). Failures
+/// classified as **timed out** ([`ExperimentError::is_timeout`]) are never
+/// retried — a replay under the same deadline would wedge identically.
+///
+/// Retries are spaced by the deterministic [`BackoffPolicy`] (stream 0 of
+/// the spec's own grid fingerprint); a retry whose backoff budget is
+/// exhausted is abandoned as if `max_attempts` had been reached.
 ///
 /// [`retry_deterministic`]: RetryPolicy::retry_deterministic
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1202,6 +1293,13 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// Also retry failures classified as deterministic.
     pub retry_deterministic: bool,
+    /// Cooperative per-attempt deadline: each attempt runs under a
+    /// [`CancelToken`] with this timeout, checked at trial, member, and
+    /// chunk boundaries. `None` = no deadline. An expired deadline reports
+    /// the cell as failed with a timed-out classification.
+    pub cell_timeout: Option<Duration>,
+    /// Deterministic delay schedule between in-process retry attempts.
+    pub backoff: BackoffPolicy,
 }
 
 impl Default for RetryPolicy {
@@ -1209,6 +1307,8 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             retry_deterministic: false,
+            cell_timeout: None,
+            backoff: BackoffPolicy::default(),
         }
     }
 }
@@ -1218,8 +1318,14 @@ impl RetryPolicy {
     pub fn transient_retries(max_attempts: u32) -> Self {
         RetryPolicy {
             max_attempts: max_attempts.max(1),
-            retry_deterministic: false,
+            ..RetryPolicy::default()
         }
+    }
+
+    /// This policy with a cooperative per-attempt cell deadline.
+    pub fn with_cell_timeout(mut self, timeout: Duration) -> Self {
+        self.cell_timeout = Some(timeout);
+        self
     }
 }
 
@@ -1237,33 +1343,74 @@ pub struct ScenarioFailure {
     pub error: String,
     /// Whether the last error was classified transient (panics are not).
     pub transient: bool,
+    /// Whether the last error was a cooperative timeout (an expired cell
+    /// deadline or a tripped cancel token). Timed-out failures are reported
+    /// distinctly and never retried.
+    pub timed_out: bool,
     /// Isolated attempts made before giving up.
     pub attempts: u32,
+}
+
+impl ScenarioFailure {
+    /// The failure-classification label reports render: `timed-out`,
+    /// `transient`, or `deterministic`.
+    pub fn classification(&self) -> &'static str {
+        if self.timed_out {
+            "timed-out"
+        } else if self.transient {
+            "transient"
+        } else {
+            "deterministic"
+        }
+    }
 }
 
 /// The outcome of one scenario under fail-soft execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioOutcome {
-    /// The scenario ran to completion.
+    /// The scenario ran to completion with no degradation warnings.
     Completed(ScenarioResult),
+    /// The scenario ran to completion, but only by degrading gracefully —
+    /// its result carries non-empty [`ScenarioResult::warnings`] (e.g.
+    /// BE-DR's eigenvalue-clipped SPD repair of an indefinite posterior
+    /// system). The metrics are real and usable; reports render these cells
+    /// distinctly so a silent numerical rescue cannot masquerade as a clean
+    /// run.
+    Degraded(ScenarioResult),
     /// The scenario errored or panicked on every attempt; the rest of the
     /// sweep ran anyway.
     Failed(ScenarioFailure),
 }
 
 impl ScenarioOutcome {
+    /// Wraps a runner result in the outcome its warnings dictate:
+    /// [`Completed`](ScenarioOutcome::Completed) when the warning list is
+    /// empty, [`Degraded`](ScenarioOutcome::Degraded) otherwise. Every
+    /// construction site of a successful outcome goes through here so the
+    /// degraded contract cannot be bypassed.
+    pub fn from_result(result: ScenarioResult) -> ScenarioOutcome {
+        if result.warnings.is_empty() {
+            ScenarioOutcome::Completed(result)
+        } else {
+            ScenarioOutcome::Degraded(result)
+        }
+    }
+
     /// The scenario's label.
     pub fn label(&self) -> &str {
         match self {
-            ScenarioOutcome::Completed(r) => &r.label,
+            ScenarioOutcome::Completed(r) | ScenarioOutcome::Degraded(r) => &r.label,
             ScenarioOutcome::Failed(f) => &f.label,
         }
     }
 
-    /// The completed result, if there is one.
+    /// The scenario result, if the scenario produced one — `Some` for both
+    /// [`Completed`](ScenarioOutcome::Completed) and
+    /// [`Degraded`](ScenarioOutcome::Degraded) (degraded metrics are real
+    /// measurements; only their provenance is flagged).
     pub fn as_completed(&self) -> Option<&ScenarioResult> {
         match self {
-            ScenarioOutcome::Completed(r) => Some(r),
+            ScenarioOutcome::Completed(r) | ScenarioOutcome::Degraded(r) => Some(r),
             ScenarioOutcome::Failed(_) => None,
         }
     }
@@ -1272,35 +1419,60 @@ impl ScenarioOutcome {
     pub fn is_failed(&self) -> bool {
         matches!(self, ScenarioOutcome::Failed(_))
     }
+
+    /// True for [`ScenarioOutcome::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, ScenarioOutcome::Degraded(_))
+    }
 }
 
 /// Runs one scenario in isolation, catching panics and applying the retry
-/// policy. Re-running a member standalone is bit-identical to running it
+/// policy (deadline per attempt, deterministic backoff between attempts).
+/// Re-running a member standalone is bit-identical to running it
 /// inside its workload group (sharing is purely a cost optimization; all
 /// seeding is spec-derived), so isolation never changes results.
 fn run_one_failsoft(spec: &ScenarioSpec, policy: RetryPolicy) -> ScenarioOutcome {
+    let fingerprint = crate::journal::grid_fingerprint(std::slice::from_ref(spec));
     let mut attempts = 0u32;
     loop {
         attempts += 1;
+        let cancel = match policy.cell_timeout {
+            Some(timeout) => CancelToken::with_deadline(timeout),
+            None => CancelToken::new(),
+        };
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_group(std::slice::from_ref(spec))
+            execute_group_cancellable(std::slice::from_ref(spec), &cancel)
         }));
-        let (error, transient) = match attempt {
+        let (error, transient, timed_out) = match attempt {
             Ok(Ok(mut results)) => match results.pop() {
-                Some(result) => return ScenarioOutcome::Completed(result),
-                None => ("scenario produced no result".to_string(), false),
+                Some(result) => return ScenarioOutcome::from_result(result),
+                None => ("scenario produced no result".to_string(), false, false),
             },
-            Ok(Err(e)) => (e.to_string(), e.is_transient()),
+            Ok(Err(e)) => (e.to_string(), e.is_transient(), e.is_timeout()),
             Err(payload) => (
                 format!(
                     "panic: {}",
                     randrecon_parallel::panic_message(payload.as_ref())
                 ),
                 false,
+                false,
             ),
         };
-        let retry =
-            attempts < policy.max_attempts.max(1) && (transient || policy.retry_deterministic);
+        let mut retry = !timed_out
+            && attempts < policy.max_attempts.max(1)
+            && (transient || policy.retry_deterministic);
+        if retry {
+            // Deterministic backoff before the next attempt; an exhausted
+            // delay budget abandons the retry instead of sleeping.
+            match policy.backoff.delay(fingerprint, 0, attempts) {
+                Some(delay) => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                None => retry = false,
+            }
+        }
         if !retry {
             return ScenarioOutcome::Failed(ScenarioFailure {
                 label: spec.label.clone(),
@@ -1308,6 +1480,7 @@ fn run_one_failsoft(spec: &ScenarioSpec, policy: RetryPolicy) -> ScenarioOutcome
                 engine: spec.engine.label(),
                 error,
                 transient,
+                timed_out,
                 attempts,
             });
         }
@@ -1315,16 +1488,24 @@ fn run_one_failsoft(spec: &ScenarioSpec, policy: RetryPolicy) -> ScenarioOutcome
 }
 
 /// Executes one workload group fail-soft: the shared (grouped) run is tried
-/// first; if any member poisons it — an error or a panic — each member is
-/// re-run in isolation so one bad cell cannot take down its group-mates.
+/// first; if any member poisons it — an error, a panic, or a blown group
+/// deadline — each member is re-run in isolation (under its own per-cell
+/// deadline) so one bad cell cannot take down its group-mates.
 fn execute_group_failsoft(group: &[ScenarioSpec], policy: RetryPolicy) -> Vec<ScenarioOutcome> {
     if group.len() > 1 {
-        let shared =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_group(group)));
+        // The shared run gets the whole group's worth of cell deadlines —
+        // it does the work of `group.len()` cells.
+        let cancel = match policy.cell_timeout {
+            Some(timeout) => CancelToken::with_deadline(timeout * group.len() as u32),
+            None => CancelToken::new(),
+        };
+        let shared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_group_cancellable(group, &cancel)
+        }));
         if let Ok(Ok(results)) = shared {
             return results
                 .into_iter()
-                .map(ScenarioOutcome::Completed)
+                .map(ScenarioOutcome::from_result)
                 .collect();
         }
     }
@@ -1394,6 +1575,7 @@ where
                         engine: specs[i].engine.label(),
                         error: format!("panic: {panic_msg}"),
                         transient: false,
+                        timed_out: false,
                         attempts: 1,
                     }));
                 }

@@ -25,8 +25,9 @@
 //!   pattern the re-exec determinism suites established).
 //! * Each worker ([`run_shard_worker`]) runs its slice through the same
 //!   fail-soft machinery as a single-process sweep, journaling every
-//!   outcome to a **shard journal** — a [`ResultJournal`] whose version-2
-//!   header carries the full-grid fingerprint *plus* the worker's global
+//!   outcome to a **shard journal** — a [`ResultJournal`] whose
+//!   shard-stamped header carries the full-grid fingerprint *plus* the
+//!   worker's global
 //!   index range (see the [journal module docs](crate::journal)). Record
 //!   indices are global grid indices, so merging needs no renumbering.
 //! * A worker that dies is re-spawned up to
@@ -43,9 +44,41 @@
 //! a single-process run — pinned by the re-exec suite in
 //! `tests/shard_tests.rs` and by CI comparing the `outcome hash:` lines of
 //! a sharded and an unsharded `scenarios` invocation.
+//!
+//! ## The heartbeat protocol and the watchdog
+//!
+//! A worker that *dies* is caught by its exit status; a worker that
+//! *wedges* — an infinite loop, a deadlock, an I/O stall — would hang a
+//! blocking `wait()` forever. Supervised runs therefore add a liveness
+//! side-channel:
+//!
+//! * Each worker writes a **heartbeat sidecar** next to its shard journal
+//!   ([`shard_heartbeat_path`]: same path, `heartbeat` extension). The file
+//!   holds one frame, `"<records> <cell>\n"` — the journal's monotonic
+//!   record count plus the global index of the cell just journaled —
+//!   rewritten at worker startup and then on journal appends, throttled to
+//!   at most one write per [`HEARTBEAT_INTERVAL`] (liveness needs no finer
+//!   granularity against a seconds-scale timeout, and per-append writes
+//!   would tax fast cells with small-write filesystem latency). Writes are
+//!   best-effort: a failed heartbeat never kills a healthy worker (the
+//!   watchdog will kill it later, which is the conservative failure mode).
+//! * The coordinator never blocks on a child. It polls `try_wait` on every
+//!   running worker, and — when [`ShardedRunConfig::worker_timeout`] is set
+//!   — re-reads each worker's heartbeat file. A worker whose heartbeat
+//!   content has not changed within the timeout is killed and counted in
+//!   [`ShardStatus::watchdog_kills`]; the kill burns an attempt and the
+//!   normal restart path resumes the shard from its journal.
+//! * Restarts are paced by a deterministic
+//!   [`BackoffPolicy`](crate::backoff::BackoffPolicy): the delay before
+//!   attempt `a` of shard `i` is a pure function of
+//!   `(grid fingerprint, i, a)`, so the whole restart schedule of any sweep
+//!   is derivable in advance. A shard whose cumulative backoff exceeds the
+//!   policy budget stops restarting ([`ShardStatus::backoff_exhausted`])
+//!   and its unjournaled cells surface as `Failed` outcomes in the merge.
 
+use crate::backoff::BackoffPolicy;
 use crate::error::{ExperimentError, Result};
-use crate::journal::{CrashPoint, ResultJournal, ResumableRun};
+use crate::journal::{grid_fingerprint, CrashPoint, ResultJournal, ResumableRun};
 use crate::scenario::{
     execute_specs_failsoft, workload_groups, RetryPolicy, ScenarioFailure, ScenarioOutcome,
     ScenarioSpec,
@@ -54,6 +87,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 fn config_err(reason: impl Into<String>) -> ExperimentError {
     ExperimentError::InvalidConfig {
@@ -202,9 +236,48 @@ pub fn shard_journal_path(dir: &Path, shard_index: usize) -> PathBuf {
     dir.join(format!("shard-{shard_index}.journal"))
 }
 
+/// The heartbeat sidecar conventionally paired with a shard journal: the
+/// same path with a `heartbeat` extension (`shard-0.journal` →
+/// `shard-0.heartbeat`). Both sides of the protocol derive it from the
+/// journal path, so no extra flag travels between coordinator and worker.
+pub fn shard_heartbeat_path(journal: &Path) -> PathBuf {
+    journal.with_extension("heartbeat")
+}
+
+/// The coordinator's view of a worker's heartbeat: the sidecar's current
+/// content, `None` when it does not exist (yet).
+fn read_heartbeat(journal: &Path) -> Option<String> {
+    std::fs::read_to_string(shard_heartbeat_path(journal)).ok()
+}
+
 // ---------------------------------------------------------------------------
 // Worker side
 // ---------------------------------------------------------------------------
+
+/// Supervision and fault-injection knobs for a shard worker, beyond the
+/// retry policy: the crash point, the heartbeat sidecar, and the
+/// deterministic hang used to exercise the coordinator's watchdog.
+#[derive(Debug, Default)]
+pub struct WorkerOptions {
+    /// Deterministic abort point installed on the shard journal — how the
+    /// coordinator's kill-and-restart path is exercised.
+    pub crash: Option<CrashPoint>,
+    /// Heartbeat sidecar to write (conventionally
+    /// [`shard_heartbeat_path`] of the journal). Rewritten best-effort at
+    /// startup and then on journaled cells, throttled to at most one write
+    /// per [`HEARTBEAT_INTERVAL`] — a liveness signal for a seconds-scale
+    /// watchdog needs no finer granularity, and per-append writes would tax
+    /// sweeps whose cells land faster than the filesystem's small-write
+    /// latency. `None` disables heartbeats (the worker is then only
+    /// supervisable by exit status).
+    pub heartbeat: Option<PathBuf>,
+    /// Testing support: once the journal holds this many records, the
+    /// worker wedges — it sleeps forever **while holding the journal lock**,
+    /// so no further cell can land and no heartbeat advances. Exactly this
+    /// many records reach the journal; only an external kill (the watchdog)
+    /// ends the process.
+    pub hang_after_records: Option<u64>,
+}
 
 /// The worker half of a sharded sweep: runs `specs[range]` with the same
 /// fail-soft + journal-resume semantics as
@@ -213,7 +286,8 @@ pub fn shard_journal_path(dir: &Path, shard_index: usize) -> PathBuf {
 /// journaling outcomes under their *global* indices. `crash` installs a
 /// deterministic [`CrashPoint`] — how the coordinator's kill-and-restart
 /// path is exercised. Returns one outcome per cell of `range`, in range
-/// order.
+/// order. Supervised runs use [`run_shard_worker_with`] for heartbeats and
+/// hang injection.
 pub fn run_shard_worker(
     specs: &[ScenarioSpec],
     range: ShardRange,
@@ -221,8 +295,53 @@ pub fn run_shard_worker(
     policy: RetryPolicy,
     crash: Option<CrashPoint>,
 ) -> Result<ResumableRun> {
+    run_shard_worker_with(
+        specs,
+        range,
+        journal_path,
+        policy,
+        WorkerOptions {
+            crash,
+            ..WorkerOptions::default()
+        },
+    )
+}
+
+/// [`run_shard_worker`] with full [`WorkerOptions`]: heartbeat emission and
+/// the deterministic hang injection, in addition to the crash point.
+pub fn run_shard_worker_with(
+    specs: &[ScenarioSpec],
+    range: ShardRange,
+    journal_path: impl Into<PathBuf>,
+    policy: RetryPolicy,
+    options: WorkerOptions,
+) -> Result<ResumableRun> {
     let (mut journal, recovered) = ResultJournal::open_or_create_shard(journal_path, specs, range)?;
-    journal.set_crash_point(crash);
+    journal.set_crash_point(options.crash);
+
+    // Best-effort heartbeat frame: monotonic record count + the global cell
+    // index that advanced it. A write failure is deliberately swallowed —
+    // the watchdog killing a silent-but-healthy worker is the conservative
+    // outcome, and the restart resumes from the journal anyway. Writes are
+    // throttled: the watchdog only watches for *content change* on a
+    // seconds-scale timeout, so one write per HEARTBEAT_INTERVAL carries
+    // the full liveness signal, while writing on every append would charge
+    // fast cells the filesystem's small-write latency per cell.
+    let last_beat: Mutex<Option<Instant>> = Mutex::new(None);
+    let beat = |records: u64, cell: usize| {
+        if let Some(path) = &options.heartbeat {
+            let mut last = last_beat.lock().unwrap_or_else(|e| e.into_inner());
+            let now = Instant::now();
+            if let Some(prev) = *last {
+                if now.duration_since(prev) < HEARTBEAT_INTERVAL {
+                    return;
+                }
+            }
+            *last = Some(now);
+            let _ = std::fs::write(path, format!("{records} {cell}\n"));
+        }
+    };
+    beat(journal.records_written(), range.start);
 
     let mut slots: Vec<Option<ScenarioOutcome>> = vec![None; range.len()];
     for (global, outcome) in recovered {
@@ -241,7 +360,19 @@ pub fn run_shard_worker(
     let journal = Mutex::new(journal);
     let fresh = execute_specs_failsoft(&pending_specs, policy, |sub_index, outcome| {
         let mut journal = journal.lock().unwrap_or_else(|e| e.into_inner());
-        journal.append(pending[sub_index], outcome)
+        journal.append(pending[sub_index], outcome)?;
+        beat(journal.records_written(), pending[sub_index]);
+        if let Some(k) = options.hang_after_records {
+            if journal.records_written() >= k {
+                // Wedge with the journal lock held: every other executor
+                // thread blocks on the next append, the heartbeat freezes,
+                // and only the watchdog's kill ends the process.
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+        }
+        Ok(())
     })?;
     for (sub_index, outcome) in fresh.into_iter().enumerate() {
         slots[pending[sub_index] - range.start] = Some(outcome);
@@ -294,6 +425,7 @@ pub fn merge_shard_journals(
                             restarts before journaling it)"
                         .to_string(),
                     transient: false,
+                    timed_out: false,
                     attempts: 0,
                 })
             })
@@ -309,11 +441,26 @@ pub struct ShardedRunConfig {
     /// worker resumes from its journal, so each restart recomputes only the
     /// cells that never landed.
     pub max_restarts: u32,
+    /// Heartbeat-stall watchdog: a worker whose heartbeat sidecar has not
+    /// changed within this window is killed (burning an attempt) and
+    /// restarted from its journal. `None` disables the watchdog — workers
+    /// are then supervised by exit status alone, the pre-supervision
+    /// behaviour.
+    pub worker_timeout: Option<Duration>,
+    /// Deterministic backoff paced before every restart; the delay ahead of
+    /// attempt `a` of shard `i` is a pure function of
+    /// `(grid fingerprint, i, a)`. Budget exhaustion stops restarting the
+    /// shard. [`BackoffPolicy::none`] restores immediate respawn.
+    pub backoff: BackoffPolicy,
 }
 
 impl Default for ShardedRunConfig {
     fn default() -> Self {
-        ShardedRunConfig { max_restarts: 2 }
+        ShardedRunConfig {
+            max_restarts: 2,
+            worker_timeout: None,
+            backoff: BackoffPolicy::default(),
+        }
     }
 }
 
@@ -342,6 +489,12 @@ pub struct ShardStatus {
     pub attempts: u32,
     /// Whether some attempt exited successfully.
     pub completed: bool,
+    /// Workers of this shard killed by the heartbeat watchdog.
+    pub watchdog_kills: u32,
+    /// Whether the restart backoff budget ran out before the shard
+    /// completed (the shard stops restarting; unjournaled cells surface as
+    /// `Failed` in the merge).
+    pub backoff_exhausted: bool,
 }
 
 /// What a sharded sweep produced.
@@ -356,6 +509,28 @@ pub struct ShardedRun {
     pub unrecovered: usize,
 }
 
+/// How often the coordinator polls `try_wait` and heartbeat files.
+const WATCHDOG_POLL: Duration = Duration::from_millis(10);
+
+/// Minimum spacing between a worker's heartbeat writes. The watchdog only
+/// watches for content *change* against a [`ShardedRunConfig::worker_timeout`]
+/// measured in seconds, so this granularity loses nothing — while writing on
+/// every journal append would charge sweeps whose cells complete faster than
+/// the filesystem's small-write latency (~hundreds of µs on overlay
+/// filesystems) per cell. Worker timeouts must be comfortably larger than
+/// this interval (they are validated positive and are seconds-scale in
+/// practice).
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A worker process under supervision: its shard, its child handle, and the
+/// last heartbeat frame observed with when it changed.
+struct RunningWorker {
+    shard: usize,
+    child: std::process::Child,
+    last_beat: Option<String>,
+    last_change: Instant,
+}
+
 /// The coordinator: spawns one worker process per shard (commands built by
 /// `command_for`, typically re-execing the current binary with
 /// `--shard-range`), restarts failed workers up to
@@ -364,8 +539,14 @@ pub struct ShardedRun {
 /// list. Fail-soft: a shard that exhausts its restarts surfaces its
 /// unjournaled cells as `Failed` outcomes rather than killing the sweep.
 ///
+/// Supervision (see the [module docs](self)): the coordinator polls
+/// `try_wait` instead of blocking, kills workers whose heartbeat stalls
+/// past [`ShardedRunConfig::worker_timeout`], and paces every restart with
+/// the deterministic [`ShardedRunConfig::backoff`] schedule.
+///
 /// Workers within a round run concurrently; `stdout`/`stderr` are
-/// inherited from the coordinator.
+/// inherited from the coordinator. Watchdog kills are reported on the
+/// coordinator's stderr.
 pub fn run_sharded<F>(
     specs: &[ScenarioSpec],
     plan: &[ShardRange],
@@ -381,6 +562,7 @@ where
         path: shard_dir.to_path_buf(),
         source: e,
     })?;
+    let fingerprint = grid_fingerprint(specs);
     let mut shards: Vec<ShardStatus> = plan
         .iter()
         .enumerate()
@@ -389,6 +571,8 @@ where
             journal: shard_journal_path(shard_dir, i),
             attempts: 0,
             completed: false,
+            watchdog_kills: 0,
+            backoff_exhausted: false,
         })
         .collect();
 
@@ -396,19 +580,36 @@ where
         let pending: Vec<usize> = shards
             .iter()
             .enumerate()
-            .filter(|(_, s)| !s.completed && s.attempts <= config.max_restarts)
+            .filter(|(_, s)| {
+                !s.completed && !s.backoff_exhausted && s.attempts <= config.max_restarts
+            })
             .map(|(i, _)| i)
             .collect();
         if pending.is_empty() {
             break;
         }
-        let mut children = Vec::with_capacity(pending.len());
+        let mut children: Vec<RunningWorker> = Vec::with_capacity(pending.len());
         for &i in &pending {
+            let attempt = shards[i].attempts;
+            // Deterministic restart pacing: attempt 0 is free; every
+            // restart sleeps its seed-derived slot, and budget exhaustion
+            // permanently retires the shard instead of hot-looping it.
+            match config.backoff.delay(fingerprint, i as u64, attempt) {
+                Some(delay) => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                None => {
+                    shards[i].backoff_exhausted = true;
+                    continue;
+                }
+            }
             let spawn = ShardSpawn {
                 index: i,
                 range: shards[i].range,
                 journal: &shards[i].journal,
-                attempt: shards[i].attempts,
+                attempt,
             };
             let mut command = command_for(&spawn);
             shards[i].attempts += 1;
@@ -416,12 +617,63 @@ where
             // instantly — the restart loop (and ultimately the fail-soft
             // merge) absorbs it.
             if let Ok(child) = command.spawn() {
-                children.push((i, child));
+                children.push(RunningWorker {
+                    shard: i,
+                    child,
+                    // Whatever frame a previous attempt left behind is the
+                    // baseline; spawning counts as liveness.
+                    last_beat: read_heartbeat(&shards[i].journal),
+                    last_change: Instant::now(),
+                });
             }
         }
-        for (i, mut child) in children {
-            if matches!(child.wait(), Ok(status) if status.success()) {
-                shards[i].completed = true;
+        // Poll every running worker: reap exits via `try_wait` (never a
+        // blocking `wait`) and kill any worker whose heartbeat stalls.
+        while !children.is_empty() {
+            let mut index = 0;
+            while index < children.len() {
+                let worker = &mut children[index];
+                match worker.child.try_wait() {
+                    Ok(Some(status)) => {
+                        if status.success() {
+                            shards[worker.shard].completed = true;
+                        }
+                        children.swap_remove(index);
+                        continue;
+                    }
+                    Ok(None) => {
+                        if let Some(timeout) = config.worker_timeout {
+                            let beat = read_heartbeat(&shards[worker.shard].journal);
+                            if beat.is_some() && beat != worker.last_beat {
+                                worker.last_beat = beat;
+                                worker.last_change = Instant::now();
+                            } else if worker.last_change.elapsed() > timeout {
+                                eprintln!(
+                                    "watchdog: shard {} heartbeat stalled past {:.1}s; \
+                                     killing worker (attempt {})",
+                                    worker.shard,
+                                    timeout.as_secs_f64(),
+                                    shards[worker.shard].attempts - 1,
+                                );
+                                let _ = worker.child.kill();
+                                let _ = worker.child.wait();
+                                shards[worker.shard].watchdog_kills += 1;
+                                children.swap_remove(index);
+                                continue;
+                            }
+                        }
+                    }
+                    // The child is unreachable (already reaped elsewhere or
+                    // an OS-level error): treat as a dead attempt.
+                    Err(_) => {
+                        children.swap_remove(index);
+                        continue;
+                    }
+                }
+                index += 1;
+            }
+            if !children.is_empty() {
+                std::thread::sleep(WATCHDOG_POLL);
             }
         }
     }

@@ -60,6 +60,7 @@ fn random_outcome(state: &mut u64, index: usize) -> ScenarioOutcome {
             engine,
             error: "boom, with\nnewline and, commas".to_string(),
             transient: mix(state).is_multiple_of(2),
+            timed_out: mix(state).is_multiple_of(3),
             attempts: (mix(state) % 5) as u32 + 1,
         })
     } else {
@@ -83,7 +84,7 @@ fn random_outcome(state: &mut u64, index: usize) -> ScenarioOutcome {
                 (kinds[k % 3], v)
             })
             .collect();
-        ScenarioOutcome::Completed(ScenarioResult {
+        let result = ScenarioResult {
             label,
             x: (mix(state) % 1000) as f64 / 8.0,
             scheme: schemes[(mix(state) % 6) as usize],
@@ -98,7 +99,18 @@ fn random_outcome(state: &mut u64, index: usize) -> ScenarioOutcome {
                 None
             },
             seconds: (mix(state) % 10_000) as f64 * 1.0e-3,
-        })
+            warnings: Vec::new(),
+        };
+        if mix(state).is_multiple_of(4) {
+            // Degraded records carry one or two non-empty warnings.
+            let n = (mix(state) % 2) as usize + 1;
+            let warnings = (0..n)
+                .map(|w| format!("warning {w}: SPD repair, with\nnewline and \"quotes\""))
+                .collect();
+            ScenarioOutcome::Degraded(ScenarioResult { warnings, ..result })
+        } else {
+            ScenarioOutcome::Completed(result)
+        }
     }
 }
 
@@ -224,7 +236,7 @@ fn duplicate_cell_indices_resolve_last_record_wins() {
     let first = loop {
         match random_outcome(&mut state, 1) {
             ScenarioOutcome::Completed(r) => break ScenarioOutcome::Completed(r),
-            ScenarioOutcome::Failed(_) => continue,
+            _ => continue,
         }
     };
     let second = ScenarioOutcome::Failed(ScenarioFailure {
@@ -233,6 +245,7 @@ fn duplicate_cell_indices_resolve_last_record_wins() {
         engine: "in-memory",
         error: "the second, surviving record".to_string(),
         transient: false,
+        timed_out: false,
         attempts: 1,
     });
     {

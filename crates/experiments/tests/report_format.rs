@@ -40,6 +40,7 @@ fn adversarial_result(tag: &str, components: Option<usize>, metric: f64) -> Scen
         ],
         components_kept: components,
         seconds: 0.25,
+        warnings: Vec::new(),
     }
 }
 
@@ -50,8 +51,20 @@ fn adversarial_failure(tag: &str) -> ScenarioFailure {
         engine: "streaming",
         error: "boom: expected \"x\", got \"y\",\nthen the disk\r\nwent away".to_string(),
         transient: true,
+        timed_out: false,
         attempts: 3,
     }
+}
+
+/// A degraded cell whose warnings carry the same CSV-hostile characters as
+/// the adversarial labels.
+fn adversarial_degraded(tag: &str) -> ScenarioResult {
+    let mut r = adversarial_result(tag, Some(1), 0.5);
+    r.warnings = vec![
+        "BE-DR: Cholesky failed (\"not positive definite\"),\nrepaired".to_string(),
+        "second warning, with commas".to_string(),
+    ];
+    r
 }
 
 fn mixed_outcomes() -> Vec<ScenarioOutcome> {
@@ -61,6 +74,7 @@ fn mixed_outcomes() -> Vec<ScenarioOutcome> {
         ScenarioOutcome::Failed(adversarial_failure("c")),
         ScenarioOutcome::Completed(adversarial_result("d", Some(2), f64::INFINITY)),
         ScenarioOutcome::Failed(adversarial_failure("e")),
+        ScenarioOutcome::Degraded(adversarial_degraded("g")),
     ]
 }
 
@@ -100,19 +114,32 @@ fn results_csv_rows_match_header_column_count() {
 fn outcomes_csv_rows_match_header_column_count() {
     let outcomes = mixed_outcomes();
     let records = assert_rectangular(&outcomes_to_csv(&outcomes), "outcomes_to_csv");
-    // results columns + status, attempts, error.
-    assert_eq!(records[0].len(), 14);
+    // results columns + status, classification, attempts, error.
+    assert_eq!(records[0].len(), 15);
     assert_eq!(records.len(), outcomes.len() + 1);
     // Failed rows round-trip their error text exactly — newlines and all.
     let failed = &records[3];
     assert_eq!(failed[11], "failed");
+    assert_eq!(failed[12], "transient");
+    assert_eq!(failed[13], "3");
     assert_eq!(
-        failed[13],
+        failed[14],
         "boom: expected \"x\", got \"y\",\nthen the disk\r\nwent away"
     );
-    // Completed rows carry an empty error field, not a missing one.
+    // Completed rows carry empty classification/error fields, not missing
+    // ones.
     assert_eq!(records[1][11], "completed");
-    assert_eq!(records[1][13], "");
+    assert_eq!(records[1][12], "");
+    assert_eq!(records[1][14], "");
+    // Degraded rows put their semicolon-joined warnings — CSV-hostile
+    // characters included — in the error column, round-tripped exactly.
+    let degraded = &records[6];
+    assert_eq!(degraded[11], "degraded");
+    assert_eq!(
+        degraded[14],
+        "BE-DR: Cholesky failed (\"not positive definite\"),\nrepaired; \
+         second warning, with commas"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -330,6 +357,7 @@ fn emitted_json_is_valid_with_non_finite_values() {
     let outcomes = vec![
         ScenarioOutcome::Completed(weird),
         ScenarioOutcome::Failed(adversarial_failure("f")),
+        ScenarioOutcome::Degraded(adversarial_degraded("g")),
     ];
     let doc = outcomes_to_json(&outcomes);
     Json::check(&doc)

@@ -17,10 +17,14 @@ use randrecon_experiments::scenario::{
     workload_groups, AttackSpec, EngineSpec, GridAxis, RetryPolicy, ScenarioGrid, ScenarioOutcome,
     ScenarioSpec,
 };
-use randrecon_experiments::shard::{plan_shards, run_shard_worker, run_sharded, ShardRange};
+use randrecon_experiments::shard::{
+    plan_shards, run_shard_worker_with, run_sharded, shard_heartbeat_path, ShardRange,
+    WorkerOptions,
+};
 use randrecon_experiments::{run_scenarios_failsoft, SchemeKind, ShardedRunConfig};
 use std::path::PathBuf;
 use std::process::Command;
+use std::time::Duration;
 
 /// Guard env var: set by the parent when re-executing this binary so only
 /// the child actually runs a shard.
@@ -31,6 +35,9 @@ const RANGE_VAR: &str = "RANDRECON_SHARD_RANGE";
 const JOURNAL_VAR: &str = "RANDRECON_SHARD_JOURNAL";
 /// Optional crash point (`records:<k>` / `byte:<b>`) handed to the child.
 const CRASH_VAR: &str = "RANDRECON_SHARD_CRASH";
+/// Optional hang injection: wedge forever once the journal holds this many
+/// records (the worker *stays alive* — only the watchdog can end it).
+const HANG_VAR: &str = "RANDRECON_SHARD_HANG";
 
 /// 6 real cells (2 engines × 3 schemes → two workload groups of three)
 /// plus one injected failure in its own group: 3 groups, so 3 shards with
@@ -72,8 +79,16 @@ fn child_run_shard_worker() {
     let crash = std::env::var(CRASH_VAR)
         .ok()
         .map(|v| parse_crash_point(&v).expect("crash point format"));
+    let hang_after_records = std::env::var(HANG_VAR)
+        .ok()
+        .map(|v| v.parse().expect("hang record count"));
     let specs = shard_grid();
-    let run = run_shard_worker(&specs, range, &journal, RetryPolicy::default(), crash)
+    let options = WorkerOptions {
+        crash,
+        heartbeat: Some(shard_heartbeat_path(&journal)),
+        hang_after_records,
+    };
+    let run = run_shard_worker_with(&specs, range, &journal, RetryPolicy::default(), options)
         .expect("shard worker");
     // Only reached when no crash point fired.
     println!(
@@ -137,7 +152,10 @@ fn killed_shard_worker_restarts_to_identical_report() {
         &specs,
         &plan,
         &dir,
-        &ShardedRunConfig { max_restarts: 2 },
+        &ShardedRunConfig {
+            max_restarts: 2,
+            ..ShardedRunConfig::default()
+        },
         |spawn| child_command(spawn, Some((1, "records:1"))),
     )
     .expect("sharded run");
@@ -158,6 +176,61 @@ fn killed_shard_worker_restarts_to_identical_report() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Watchdog supervision: a worker that *hangs* (stays alive, heartbeat
+/// frozen after journaling one record) is detected by the coordinator's
+/// heartbeat watchdog, killed, and restarted; the restart resumes from the
+/// shard journal and the merged report hashes identically to an
+/// uninterrupted single-process run.
+#[test]
+fn hung_shard_worker_is_killed_and_resumed_to_identical_report() {
+    let specs = shard_grid();
+    let reference = run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
+    let expected = outcomes_hash(&reference);
+
+    let plan = plan_shards(&specs, 3).unwrap();
+    let dir = temp_shard_dir("hang");
+    let run = run_sharded(
+        &specs,
+        &plan,
+        &dir,
+        &ShardedRunConfig {
+            max_restarts: 2,
+            worker_timeout: Some(Duration::from_secs(1)),
+            ..ShardedRunConfig::default()
+        },
+        |spawn| {
+            let mut cmd = child_command(spawn, None);
+            // Shard 1 wedges after its first journaled record, first
+            // attempt only (a restart resumes past the trigger anyway,
+            // but the intent mirrors `child_command`'s crash handling).
+            if spawn.index == 1 && spawn.attempt == 0 {
+                cmd.env(HANG_VAR, "1");
+            }
+            cmd
+        },
+    )
+    .expect("sharded run");
+
+    assert_eq!(
+        run.shards[1].watchdog_kills, 1,
+        "hung shard should have been killed by the watchdog exactly once"
+    );
+    assert_eq!(
+        run.shards[1].attempts, 2,
+        "watchdog kill should burn one attempt and trigger one restart"
+    );
+    assert!(run.shards[1].completed, "restart should have completed");
+    assert_eq!(run.shards[0].watchdog_kills, 0);
+    assert_eq!(run.shards[2].watchdog_kills, 0);
+    assert_eq!(run.unrecovered, 0);
+    assert_eq!(
+        outcomes_hash(&run.outcomes),
+        expected,
+        "merged post-watchdog report differs from a single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Fail-soft coordination: a shard whose worker dies on every attempt
 /// (crash before the first record, restarts exhausted) surfaces its cells
 /// as `Failed` outcomes; the other shards' results are unaffected.
@@ -170,7 +243,10 @@ fn exhausted_shard_restarts_surface_as_failed_cells() {
         &specs,
         &plan,
         &dir,
-        &ShardedRunConfig { max_restarts: 1 },
+        &ShardedRunConfig {
+            max_restarts: 1,
+            ..ShardedRunConfig::default()
+        },
         |spawn| {
             let exe = std::env::current_exe().expect("test binary path");
             let mut cmd = Command::new(exe);

@@ -27,8 +27,9 @@
 //! {1, 2, 4} to pin that results are worker-count-independent.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Workspace-wide threshold (in multiply-adds or equivalent inner-loop
 /// operations) above which data-parallel kernels fan out across the pool.
@@ -374,6 +375,63 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// A cooperative cancellation signal: a shared trip flag plus an optional
+/// deadline, checked at natural pause points (once per chunk in the
+/// streaming engine's pass 2, once per trial in the scenario runner).
+///
+/// Cancellation is **cooperative** — nothing is interrupted; the checked
+/// code observes [`is_cancelled`](CancelToken::is_cancelled) and unwinds
+/// with its own error. Clones share the trip flag (tripping any clone trips
+/// them all) but carry the same fixed deadline, so a token can be handed to
+/// a producer thread while the consumer keeps a clone.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    tripped: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that never fires on its own; only [`trip`](Self::trip)
+    /// cancels it.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            tripped: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A token that fires once `timeout` has elapsed from now (or earlier,
+    /// if manually tripped).
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        CancelToken {
+            tripped: Arc::new(AtomicBool::new(false)),
+            deadline: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// Manually cancels this token and every clone sharing its flag.
+    pub fn trip(&self) {
+        self.tripped.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.tripped.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
+
 /// Whether a two-stage streaming sweep overlaps its stages.
 ///
 /// [`DoubleBuffered`](PipelineMode::DoubleBuffered) runs the producer on a
@@ -632,6 +690,27 @@ mod tests {
         let result: Result<(), ()> =
             pipeline_two_slot(|| Ok(None::<u64>), |_| panic!("must not consume"));
         result.unwrap();
+    }
+
+    #[test]
+    fn cancel_token_trips_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.trip();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_token_deadline_fires() {
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(token.is_cancelled());
+        let patient = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!patient.is_cancelled());
+        patient.trip();
+        assert!(patient.is_cancelled());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the `micro` benchmark harness and dumps every measurement to a JSON
-# file (default BENCH_7.json at the repo root) for the perf trajectory.
+# file (default BENCH_8.json at the repo root) for the perf trajectory.
 #
 # Usage: scripts/bench_to_json.sh [output.json]
 #
@@ -27,14 +27,19 @@
 # sharded-runner numbers (`sharded/8` vs `plain/8` — the in-process
 # sharding protocol: per-shard journals with shard-stamped headers,
 # read-only recovery and the global-index merge must cost <=10% over a
-# single-process run of the same eight workloads).
-# BENCH_1.json … BENCH_6.json remain the frozen PR-1/…/6 records; pass
+# single-process run of the same eight workloads); and the `supervise`
+# group the PR-8 supervision numbers (`supervised/8` vs `sharded/8` —
+# per-shard heartbeat sidecars rewritten after every journaled cell plus
+# an armed-but-never-firing cell deadline checked at trial/member/chunk
+# boundaries must cost <=5% over bare in-process sharding of the same
+# eight workloads).
+# BENCH_1.json … BENCH_7.json remain the frozen PR-1/…/7 records; pass
 # one of them as the argument only to regenerate history deliberately.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -103,4 +108,9 @@ plain = results.get(("shard", "plain/8"))
 if sharded and plain:
     overhead = (sharded - plain) / plain * 100
     print(f"sharded runner over 8 workloads (2 in-process shards): plain {plain/1e6:.2f} ms vs sharded {sharded/1e6:.2f} ms  (coordination overhead {overhead:+.1f}%, acceptance <=10%)")
+supervised = results.get(("supervise", "supervised/8"))
+bare = results.get(("supervise", "sharded/8"))
+if supervised and bare:
+    overhead = (supervised - bare) / bare * 100
+    print(f"supervised sharding over 8 workloads: bare {bare/1e6:.2f} ms vs heartbeats+deadline {supervised/1e6:.2f} ms  (supervision overhead {overhead:+.1f}%, acceptance <=5%)")
 EOF
