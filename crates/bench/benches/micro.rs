@@ -461,8 +461,10 @@ fn bench_shard(c: &mut Criterion) {
     };
     let specs = grid.expand_validated().unwrap();
     assert_eq!(specs.len(), 8);
-    let plan = randrecon_experiments::plan_shards(&specs, 2).unwrap();
-    assert_eq!(plan.len(), 2);
+    let plan =
+        randrecon_experiments::plan_shards(&specs, 2, randrecon_experiments::SplitPolicy::Never)
+            .unwrap();
+    assert_eq!(plan.n_shards(), 2);
     let dir = std::env::temp_dir().join(format!("randrecon-bench-shard-{}", std::process::id()));
 
     group.bench_with_input(
@@ -513,7 +515,7 @@ fn bench_supervise(c: &mut Criterion) {
         GridAxis, GridAxisValue, Override, RetryPolicy, ScenarioGrid,
     };
     use randrecon_experiments::shard::{
-        merge_shard_journals, run_shard_worker_with, shard_heartbeat_path, shard_journal_path,
+        reduce_shard_journals, run_shard_worker_with, shard_heartbeat_path, shard_journal_path,
         WorkerOptions,
     };
 
@@ -535,8 +537,10 @@ fn bench_supervise(c: &mut Criterion) {
     };
     let specs = grid.expand_validated().unwrap();
     assert_eq!(specs.len(), 8);
-    let plan = randrecon_experiments::plan_shards(&specs, 2).unwrap();
-    assert_eq!(plan.len(), 2);
+    let plan =
+        randrecon_experiments::plan_shards(&specs, 2, randrecon_experiments::SplitPolicy::Never)
+            .unwrap();
+    assert_eq!(plan.n_shards(), 2);
     let dir =
         std::env::temp_dir().join(format!("randrecon-bench-supervise-{}", std::process::id()));
 
@@ -567,20 +571,83 @@ fn bench_supervise(c: &mut Criterion) {
             b.iter(|| {
                 let _ = std::fs::remove_dir_all(&dir);
                 std::fs::create_dir_all(&dir).unwrap();
-                let mut pairs = Vec::with_capacity(plan.len());
-                for (i, &range) in plan.iter().enumerate() {
+                let mut journals = Vec::with_capacity(plan.n_shards());
+                for (i, slice) in plan.slices.iter().enumerate() {
                     let path = shard_journal_path(&dir, i);
                     let options = WorkerOptions {
                         heartbeat: Some(shard_heartbeat_path(&path)),
                         ..WorkerOptions::default()
                     };
-                    run_shard_worker_with(specs, range, &path, policy, options).unwrap();
-                    pairs.push((range, path));
+                    run_shard_worker_with(specs, slice, &[], &path, policy, options).unwrap();
+                    journals.push(path);
                 }
-                black_box(merge_shard_journals(specs, &pairs).unwrap())
+                black_box(reduce_shard_journals(specs, &plan, &journals, policy).unwrap())
             })
         },
     );
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+/// The 8-workload grid rebuilt on the **streaming** engine through the
+/// sharded in-process path, plain whole-group split (`SplitPolicy::Never`)
+/// versus the distributed pass-1 moment merge (`SplitPolicy::Always`):
+/// every group's fixed-width moment segments are dealt across both shards,
+/// journaled as v5 moment frames, and reduced coordinator-side before
+/// pass 2. `merged/8` vs `never/8` is the tracked ≤10% moment-merge
+/// coordination-overhead acceptance ratio for PR 9 — the extra journal
+/// frames, recovery, and cross-shard merge must be nearly free against the
+/// reconstruction work itself.
+fn bench_moment_merge(c: &mut Criterion) {
+    use randrecon_experiments::scenario::{
+        EngineSpec, GridAxis, GridAxisValue, Override, RetryPolicy, ScenarioGrid,
+    };
+    use randrecon_experiments::SplitPolicy;
+
+    let mut group = c.benchmark_group("moment_merge");
+    group.sample_size(10);
+
+    let mut base = randrecon_experiments::ScenarioSpec::synthetic_quick("bench", 2_000, 16, 2);
+    base.engine = EngineSpec::Streaming { chunk_rows: 256 };
+    let grid = ScenarioGrid {
+        base,
+        axes: vec![GridAxis {
+            name: "seed".to_string(),
+            values: (0..8u64)
+                .map(|i| GridAxisValue {
+                    label: i.to_string(),
+                    x: None,
+                    overrides: vec![Override::Seed(0xBEC5 + i)],
+                })
+                .collect(),
+        }],
+    };
+    let specs = grid.expand_validated().unwrap();
+    assert_eq!(specs.len(), 8);
+    let dir = std::env::temp_dir().join(format!("randrecon-bench-moments-{}", std::process::id()));
+
+    for (policy, label) in [
+        (SplitPolicy::Never, "never"),
+        (SplitPolicy::Always, "merged"),
+    ] {
+        let plan = randrecon_experiments::plan_shards(&specs, 2, policy).unwrap();
+        group.bench_with_input(BenchmarkId::new(label, specs.len()), &specs, |b, specs| {
+            b.iter(|| {
+                // Fresh shard journals each iteration: resuming would skip
+                // all the work and measure nothing.
+                let _ = std::fs::remove_dir_all(&dir);
+                black_box(
+                    randrecon_experiments::run_sharded_in_process(
+                        specs,
+                        &plan,
+                        &dir,
+                        RetryPolicy::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
     let _ = std::fs::remove_dir_all(&dir);
     group.finish();
 }
@@ -595,6 +662,7 @@ criterion_group!(
     bench_scenario_runner,
     bench_journal,
     bench_shard,
-    bench_supervise
+    bench_supervise,
+    bench_moment_merge
 );
 criterion_main!(benches);

@@ -268,6 +268,65 @@ impl CovarianceAccumulator {
         self.shift.as_deref()
     }
 
+    /// The raw column sums `Σx` — one of the three state vectors a partial
+    /// accumulator serializes (shard journal moment frames persist `sum`,
+    /// [`raw_cross`](CovarianceAccumulator::raw_cross) and the anchor as raw
+    /// IEEE-754 bits so a deserialized partial merges bit-identically).
+    pub fn raw_sum(&self) -> &[f64] {
+        &self.sum
+    }
+
+    /// The raw anchored comoment storage `Σ (x−k)(x−k)ᵀ` — upper triangle
+    /// in full row-major `m × m` storage (the strict lower triangle is
+    /// zero). Exposed for bit-exact serialization; see
+    /// [`raw_sum`](CovarianceAccumulator::raw_sum).
+    pub fn raw_cross(&self) -> &[f64] {
+        &self.cross
+    }
+
+    /// Rebuilds an accumulator from previously exported raw state
+    /// ([`count`](CovarianceAccumulator::count),
+    /// [`raw_sum`](CovarianceAccumulator::raw_sum),
+    /// [`raw_cross`](CovarianceAccumulator::raw_cross),
+    /// [`shift`](CovarianceAccumulator::shift)). The round trip is bit-exact:
+    /// merging or reading out the rebuilt accumulator produces the same bits
+    /// as the original would have.
+    pub fn from_raw_parts(
+        count: usize,
+        sum: Vec<f64>,
+        cross: Vec<f64>,
+        shift: Option<Vec<f64>>,
+    ) -> Result<Self> {
+        let m = sum.len();
+        if cross.len() != m * m {
+            return Err(crate::error::ReconError::InvalidInput {
+                reason: format!(
+                    "comoment storage has {} entries, expected {m}×{m}",
+                    cross.len()
+                ),
+            });
+        }
+        if let Some(ref k) = shift {
+            if k.len() != m {
+                return Err(crate::error::ReconError::InvalidInput {
+                    reason: format!("anchor has {} attributes, expected {m}", k.len()),
+                });
+            }
+        }
+        if count > 0 && shift.is_none() {
+            return Err(crate::error::ReconError::InvalidInput {
+                reason: "a non-empty accumulator must carry its shift anchor".to_string(),
+            });
+        }
+        Ok(CovarianceAccumulator {
+            m,
+            count,
+            sum,
+            cross,
+            shift,
+        })
+    }
+
     /// Accumulates one chunk of records (rows) with a symmetric rank-update
     /// sweep over the upper triangle.
     pub fn update_chunk(&mut self, chunk: &Matrix) -> Result<()> {

@@ -80,7 +80,8 @@ pub use engine::{Attack, AttackEngine, AttackScheme, EngineReport};
 pub use error::{ReconError, Result};
 pub use selection::ComponentSelection;
 pub use streaming::{
-    ChunkReconstructor, RecordSink, StreamingBeDr, StreamingDriver, StreamingNdr, StreamingPcaDr,
-    StreamingSf, StreamingUdr,
+    accumulate_moment_segments, merge_moment_segments, moment_segment_count, ChunkReconstructor,
+    MomentSegment, RecordSink, StreamingBeDr, StreamingDriver, StreamingNdr, StreamingPcaDr,
+    StreamingSf, StreamingUdr, MOMENT_SEGMENT_CHUNKS,
 };
 pub use traits::Reconstructor;

@@ -260,17 +260,59 @@ impl RecordSink for MseSink<'_> {
 // Pass 1: parallel accumulation
 // ---------------------------------------------------------------------------
 
+/// Width of one pass-1 reduction **segment**, in chunks.
+///
+/// Pass 1 folds the stream at two levels: chunks fold into self-anchored
+/// segment partials ([`MomentSegment`]), and segment partials fold — in
+/// segment order — into the stream accumulator. The segment is the unit of
+/// *distribution*: a shard worker can compute any contiguous segment range
+/// on its own (chunk sources skip ahead bit-exactly), serialize the
+/// partials, and a coordinator folding them with
+/// [`merge_moment_segments`] reproduces the single-process moments **bit
+/// for bit**, because both paths run the identical two-level fold on the
+/// identical partials. The width is a fixed constant — never derived from
+/// the plan or the machine — precisely so that every process agrees on the
+/// segmentation.
+pub const MOMENT_SEGMENT_CHUNKS: usize = 4;
+
+/// Number of pass-1 segments a stream of `n_chunks` chunks folds into.
+pub fn moment_segment_count(n_chunks: usize) -> usize {
+    n_chunks.div_ceil(MOMENT_SEGMENT_CHUNKS).max(1)
+}
+
+/// One self-anchored pass-1 segment partial: the accumulator state of
+/// chunks `[index · W, index · W + n_chunks)` for
+/// `W = `[`MOMENT_SEGMENT_CHUNKS`].
+///
+/// The partial is anchored at the **segment's own first record**, so it is
+/// a pure function of its chunk range — computable by any process without
+/// access to the rest of the stream. Anchor differences are reconciled
+/// deterministically by [`CovarianceAccumulator::merge`]'s exact
+/// translation identity when the partials fold into the stream
+/// accumulator.
+#[derive(Debug, Clone)]
+pub struct MomentSegment {
+    /// 0-based segment index within the stream.
+    pub index: usize,
+    /// Chunks this segment actually covered (`W` except possibly the last).
+    pub n_chunks: usize,
+    /// The self-anchored partial accumulator.
+    pub accumulator: CovarianceAccumulator,
+}
+
 /// Sweeps the source once into a [`CovarianceAccumulator`].
 ///
-/// Chunks are pulled in batches of up to `max_threads()` and turned into
-/// per-chunk partial accumulators on the shared pool; the partials merge in
-/// chunk order. **Every** chunk — regardless of batch size or thread count
-/// — takes the identical path: a fresh partial pinned to the stream-global
-/// anchor (the first record of the first non-empty chunk), merged into the
-/// parent by plain elementwise addition. The per-chunk partials are
-/// functions of their chunk alone and the merge sequence is the chunk
-/// sequence, so the result is bit-identical on a 1-core laptop and a
-/// many-core server.
+/// The fold is two-level: chunks are pulled in batches of up to
+/// `max_threads()` (never crossing a segment boundary) and turned into
+/// per-chunk partial accumulators on the shared pool; the per-chunk
+/// partials merge in chunk order into a self-anchored *segment* partial
+/// every [`MOMENT_SEGMENT_CHUNKS`] chunks, and segment partials merge in
+/// segment order into the result. Per-chunk partials are functions of
+/// their chunk alone, each segment's anchor is its own first record, and
+/// both merge sequences are fixed by the stream — so the result is
+/// bit-identical on a 1-core laptop, a many-core server, **and** a
+/// distributed run whose shards each computed a segment range (see
+/// [`accumulate_moment_segments`] / [`merge_moment_segments`]).
 pub fn accumulate_source<S: RecordChunkSource + ?Sized>(
     source: &mut S,
 ) -> Result<(CovarianceAccumulator, usize)> {
@@ -284,12 +326,29 @@ pub fn accumulate_source_with_batch<S: RecordChunkSource + ?Sized>(
     batch_size: usize,
 ) -> Result<(CovarianceAccumulator, usize)> {
     let m = source.n_attributes();
-    let batch_size = batch_size.max(1);
     let mut acc = CovarianceAccumulator::new(m);
     let mut n_chunks = 0usize;
-    loop {
-        let mut batch: Vec<Matrix> = Vec::with_capacity(batch_size);
-        while batch.len() < batch_size {
+    while let Some((segment, chunks)) = next_segment_partial(source, batch_size)? {
+        n_chunks += chunks;
+        acc.merge(&segment)?;
+    }
+    Ok((acc, n_chunks))
+}
+
+/// Reads the next segment (up to [`MOMENT_SEGMENT_CHUNKS`] chunks) into a
+/// self-anchored partial. Returns `None` once the source is exhausted.
+fn next_segment_partial<S: RecordChunkSource + ?Sized>(
+    source: &mut S,
+    batch_size: usize,
+) -> Result<Option<(CovarianceAccumulator, usize)>> {
+    let m = source.n_attributes();
+    let batch_size = batch_size.max(1);
+    let mut acc = CovarianceAccumulator::new(m);
+    let mut chunks = 0usize;
+    while chunks < MOMENT_SEGMENT_CHUNKS {
+        let want = batch_size.min(MOMENT_SEGMENT_CHUNKS - chunks);
+        let mut batch: Vec<Matrix> = Vec::with_capacity(want);
+        while batch.len() < want {
             match source.next_chunk()? {
                 Some(c) => batch.push(c),
                 None => break,
@@ -298,8 +357,8 @@ pub fn accumulate_source_with_batch<S: RecordChunkSource + ?Sized>(
         if batch.is_empty() {
             break;
         }
-        n_chunks += batch.len();
-        // The global anchor: already established, or the first record of
+        chunks += batch.len();
+        // The segment anchor: already established, or the first record of
         // this batch. A batch of entirely empty chunks contributes nothing
         // and leaves the anchor for a later batch to establish.
         let anchor: Vec<f64> = match acc.shift() {
@@ -318,6 +377,70 @@ pub fn accumulate_source_with_batch<S: RecordChunkSource + ?Sized>(
         for partial in &partials {
             acc.merge(partial)?;
         }
+    }
+    if chunks == 0 {
+        Ok(None)
+    } else {
+        Ok(Some((acc, chunks)))
+    }
+}
+
+/// Computes the segment partials for segment range `[seg_lo, seg_hi)` of
+/// the source — the shard-worker half of the distributed pass 1.
+///
+/// The source is reset and skipped ahead to the range (a pure cursor jump
+/// for child-seeded synthetic/disguised sources), so a worker assigned a
+/// mid-stream range never generates the prefix records. Each returned
+/// partial is bit-identical to the one a full single-process sweep folds
+/// at the same segment index. A range extending past the end of the stream
+/// simply yields the segments that exist; the coordinator validates
+/// coverage when it merges.
+pub fn accumulate_moment_segments<S: RecordChunkSource + ?Sized>(
+    source: &mut S,
+    seg_lo: usize,
+    seg_hi: usize,
+) -> Result<Vec<MomentSegment>> {
+    let batch_size = randrecon_parallel::max_threads().max(1);
+    source.reset()?;
+    source.skip_chunks(seg_lo.saturating_mul(MOMENT_SEGMENT_CHUNKS))?;
+    let mut segments = Vec::new();
+    for index in seg_lo..seg_hi {
+        match next_segment_partial(source, batch_size)? {
+            Some((accumulator, n_chunks)) => segments.push(MomentSegment {
+                index,
+                n_chunks,
+                accumulator,
+            }),
+            None => break,
+        }
+    }
+    Ok(segments)
+}
+
+/// Folds segment partials — which must tile `[0, segments.len())` in
+/// order — into the stream accumulator, running the **identical** fold
+/// [`accumulate_source`] runs. This is the coordinator's reduce step: fed
+/// the journaled partials of a distributed pass 1, it reproduces the
+/// single-process accumulator bit for bit. Returns the accumulator and the
+/// total chunk count.
+pub fn merge_moment_segments(
+    m: usize,
+    segments: &[MomentSegment],
+) -> Result<(CovarianceAccumulator, usize)> {
+    let mut acc = CovarianceAccumulator::new(m);
+    let mut n_chunks = 0usize;
+    for (expected, segment) in segments.iter().enumerate() {
+        if segment.index != expected {
+            return Err(ReconError::InvalidInput {
+                reason: format!(
+                    "segment partials do not tile the stream: expected segment {expected}, \
+                     got {}",
+                    segment.index
+                ),
+            });
+        }
+        n_chunks += segment.n_chunks;
+        acc.merge(&segment.accumulator)?;
     }
     Ok((acc, n_chunks))
 }
@@ -344,6 +467,22 @@ impl StreamMoments {
     /// Number of attributes.
     pub fn n_attributes(&self) -> usize {
         self.mean.len()
+    }
+
+    /// Finalizes moments from a fully folded stream accumulator (validates
+    /// the stream shape exactly as
+    /// [`StreamingDriver::accumulate_moments`] does). This is how a
+    /// coordinator turns [`merge_moment_segments`]' output into the
+    /// prepared-attack input, so distributed and single-process pass 1
+    /// finalize through the same code.
+    pub fn from_accumulator(acc: &CovarianceAccumulator, n_chunks: usize) -> Result<Self> {
+        validate_stream(acc.n_attributes(), acc.count())?;
+        Ok(StreamMoments {
+            n_records: acc.count(),
+            n_chunks,
+            mean: acc.mean(),
+            covariance: acc.covariance(),
+        })
     }
 }
 
@@ -524,17 +663,9 @@ impl StreamingDriver {
     pub fn accumulate_moments<S: RecordChunkSource + ?Sized>(
         source: &mut S,
     ) -> Result<StreamMoments> {
-        let m = source.n_attributes();
         source.reset()?;
         let (acc, n_chunks) = accumulate_source(source)?;
-        let n = acc.count();
-        validate_stream(m, n)?;
-        Ok(StreamMoments {
-            n_records: n,
-            n_chunks,
-            mean: acc.mean(),
-            covariance: acc.covariance(),
-        })
+        StreamMoments::from_accumulator(&acc, n_chunks)
     }
 
     /// Runs `attack` end to end: two passes over `source`, reconstruction

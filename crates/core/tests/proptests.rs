@@ -4,8 +4,9 @@
 use proptest::prelude::*;
 use randrecon_core::streaming::accumulate_source_with_batch;
 use randrecon_core::{
-    be_dr::BeDr, ndr::Ndr, pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr,
-    ComponentSelection, CovarianceAccumulator, Reconstructor,
+    accumulate_moment_segments, be_dr::BeDr, merge_moment_segments, moment_segment_count, ndr::Ndr,
+    pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr, ComponentSelection,
+    CovarianceAccumulator, MomentSegment, Reconstructor,
 };
 use randrecon_data::chunks::TableChunkSource;
 use randrecon_data::synthetic::{EigenSpectrum, SyntheticDataset};
@@ -271,6 +272,84 @@ proptest! {
             cov_a.approx_eq(&cov_b, 0.0),
             "accumulated covariance changed with the batch size"
         );
+    }
+
+    /// Cross-shard moment merging (PR 9): the pass-1 segment partials of a
+    /// stream, accumulated window-by-window under ANY contiguous partition
+    /// of the segment range and with the windows visited in either order,
+    /// merge to an accumulator **bit-identical** to the one produced by a
+    /// single worker sweeping every segment in one pass — the invariant the
+    /// sharded coordinator's reduce step relies on. The merged moments must
+    /// also agree with the classic single-anchor fold (which reassociates
+    /// differently, so exact bits legitimately differ) to ≤ 1e-12 of their
+    /// own scale.
+    #[test]
+    fn moment_segments_merge_bit_identically_for_any_partition(
+        m in 2usize..7,
+        n in 64usize..1200,
+        chunk_rows in 1usize..130,
+        cuts in proptest::collection::vec(0usize..64, 0..6),
+        reverse in proptest::bool::ANY,
+        seed in 0u64..5_000,
+    ) {
+        let spectrum = EigenSpectrum::principal_plus_small(1, 250.0, m, 5.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, n, seed).unwrap();
+        let n_chunks = n.div_ceil(chunk_rows);
+        let n_segments = moment_segment_count(n_chunks);
+
+        // Reference: every segment accumulated by one worker in one pass.
+        let mut source = TableChunkSource::new(&ds.table, chunk_rows).unwrap();
+        let reference = accumulate_moment_segments(&mut source, 0, n_segments).unwrap();
+        let (ref_acc, ref_chunks) = merge_moment_segments(m, &reference).unwrap();
+        prop_assert_eq!(ref_chunks, n_chunks);
+
+        // Sharded: the segment range dealt into arbitrary contiguous
+        // windows (empty ones included), each accumulated by its own
+        // independent source pass — the windows visited in an arbitrary
+        // order, as restarted workers and shards genuinely interleave.
+        let mut windows = partition_from_cuts(n_segments, &cuts);
+        if reverse {
+            windows.reverse();
+        }
+        let mut collected: Vec<Option<MomentSegment>> = vec![None; n_segments];
+        for w in windows {
+            let mut source = TableChunkSource::new(&ds.table, chunk_rows).unwrap();
+            for segment in accumulate_moment_segments(&mut source, w.start, w.end).unwrap() {
+                let slot = segment.index;
+                prop_assert!(collected[slot].is_none(), "segment {} produced twice", slot);
+                collected[slot] = Some(segment);
+            }
+        }
+        let assembled: Vec<MomentSegment> =
+            collected.into_iter().map(|s| s.unwrap()).collect();
+        let (acc, chunks) = merge_moment_segments(m, &assembled).unwrap();
+        prop_assert_eq!(chunks, n_chunks);
+
+        // Bit-identity: the merged fold must not depend on how the segment
+        // range was partitioned across workers.
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        prop_assert_eq!(acc.count(), ref_acc.count());
+        prop_assert_eq!(bits(acc.raw_sum()), bits(ref_acc.raw_sum()));
+        prop_assert_eq!(bits(acc.raw_cross()), bits(ref_acc.raw_cross()));
+        prop_assert_eq!(acc.shift().map(bits), ref_acc.shift().map(bits));
+
+        // Cross-anchor agreement with the single-anchor fold.
+        let mut source = TableChunkSource::new(&ds.table, chunk_rows).unwrap();
+        let (plain, _) = accumulate_source_with_batch(&mut source, 1).unwrap();
+        let mean = acc.mean();
+        let plain_mean = plain.mean();
+        for j in 0..m {
+            let scale = plain_mean[j].abs().max(1.0);
+            prop_assert!((mean[j] - plain_mean[j]).abs() <= 1e-12 * scale);
+        }
+        let cov = acc.covariance();
+        let plain_cov = plain.covariance();
+        for i in 0..m {
+            for j in 0..m {
+                let scale = plain_cov.get(i, j).abs().max(1.0);
+                prop_assert!((cov.get(i, j) - plain_cov.get(i, j)).abs() <= 1e-12 * scale);
+            }
+        }
     }
 
     /// Attacks are deterministic: the same disguised input and noise model give

@@ -53,6 +53,24 @@ pub trait RecordChunkSource {
 
     /// Returns the next chunk, or `None` when the source is exhausted.
     fn next_chunk(&mut self) -> Result<Option<Matrix>>;
+
+    /// Skips the next `n_chunks` chunks without yielding them.
+    ///
+    /// Equivalent to calling [`next_chunk`](RecordChunkSource::next_chunk)
+    /// `n_chunks` times and discarding the results — the provided default
+    /// does exactly that, so the subsequent chunk sequence is identical
+    /// either way. Sources whose chunks are independently (child-)seeded
+    /// override this with a cursor jump, which is what makes distributed
+    /// pass-1 segment assignment cheap: a shard worker can start
+    /// accumulating at chunk `k` without generating the prefix.
+    fn skip_chunks(&mut self, n_chunks: usize) -> Result<()> {
+        for _ in 0..n_chunks {
+            if self.next_chunk()?.is_none() {
+                break;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Chunked views over an in-memory table (or bare record matrix).
@@ -114,6 +132,14 @@ impl RecordChunkSource for TableChunkSource<'_> {
             .submatrix(self.cursor, end, 0, self.values.cols())?;
         self.cursor = end;
         Ok(Some(chunk))
+    }
+
+    fn skip_chunks(&mut self, n_chunks: usize) -> Result<()> {
+        self.cursor = self
+            .cursor
+            .saturating_add(n_chunks.saturating_mul(self.chunk_rows))
+            .min(self.values.rows());
+        Ok(())
     }
 }
 
@@ -194,6 +220,11 @@ impl RecordChunkSource for SyntheticChunkSource {
 
     fn next_chunk(&mut self) -> Result<Option<Matrix>> {
         Ok(self.sampler.next_chunk())
+    }
+
+    fn skip_chunks(&mut self, n_chunks: usize) -> Result<()> {
+        self.sampler.skip_chunks(n_chunks);
+        Ok(())
     }
 }
 

@@ -29,9 +29,17 @@
 //!   heartbeat stalls past this many seconds is killed and restarted
 //!   (restarts are paced by deterministic exponential backoff and resume
 //!   from the shard journal, exactly like crash restarts).
-//! * `--shard-range <a..b>` — **worker mode** (spawned by the
-//!   coordinator): run only global cells `[a, b)` against the shard
-//!   journal given by `--journal`. `--crash records:<k>` / `--crash
+//! * `--moment-merge` — coordinator-mode distributed pass 1: splittable
+//!   workload groups (streaming MVN) have their per-trial moment segments
+//!   dealt across **all** shards as `--moment-task` assignments; workers
+//!   journal the partials, and the coordinator merges them bit-exactly and
+//!   finishes the split groups itself. The `outcome hash:` stays identical
+//!   to a single-process run.
+//! * `--shard-range <a..b[,c..d,…]>` — **worker mode** (spawned by the
+//!   coordinator): run only the listed global cells (possibly an empty
+//!   slice for a task-only worker) against the shard journal given by
+//!   `--journal`, after accumulating any `--moment-task <leader>:<lo>..<hi>`
+//!   pass-1 assignments. `--crash records:<k>` / `--crash
 //!   byte:<b>` installs a deterministic abort inside the journal append —
 //!   testing support, forwarded by the coordinator's `--kill-shard
 //!   <shard>:records:<k>` flag to exercise kill-and-restart. `--hang <k>`
@@ -55,12 +63,12 @@ use randrecon_experiments::report::{
     outcomes_hash, outcomes_summary, outcomes_table, write_outcomes_csv, write_outcomes_json,
 };
 use randrecon_experiments::scenario::{
-    EngineSpec, GridAxis, MetricKind, NoiseSpec, RetryPolicy, ScenarioGrid, ScenarioOutcome,
-    ScenarioSpec,
+    dataset_generations, EngineSpec, GridAxis, MetricKind, NoiseSpec, RetryPolicy, ScenarioGrid,
+    ScenarioOutcome, ScenarioSpec,
 };
 use randrecon_experiments::shard::{
     plan_shards, run_shard_worker_with, run_sharded, shard_heartbeat_path, shard_journal_path,
-    ShardRange, ShardedRunConfig, WorkerOptions,
+    MomentTask, ShardSlice, ShardedRunConfig, SplitPolicy, WorkerOptions,
 };
 use randrecon_experiments::SchemeKind;
 use std::path::PathBuf;
@@ -98,7 +106,9 @@ struct Args {
     resume: bool,
     shards: Option<usize>,
     shard_dir: PathBuf,
-    shard_range: Option<ShardRange>,
+    shard_range: Option<ShardSlice>,
+    moment_tasks: Vec<MomentTask>,
+    moment_merge: bool,
     crash: Option<CrashPoint>,
     kill_shard: Option<WorkerKill>,
     worker_timeout: Option<Duration>,
@@ -114,6 +124,8 @@ fn parse_args() -> Result<Args, String> {
         shards: None,
         shard_dir: PathBuf::from("results/shards"),
         shard_range: None,
+        moment_tasks: Vec::new(),
+        moment_merge: false,
         crash: None,
         kill_shard: None,
         worker_timeout: None,
@@ -137,10 +149,19 @@ fn parse_args() -> Result<Args, String> {
                 Some(dir) => args.shard_dir = PathBuf::from(dir),
                 None => return Err("--shard-dir needs a directory path".to_string()),
             },
-            "--shard-range" => match iter.next().as_deref().and_then(ShardRange::parse) {
-                Some(range) => args.shard_range = Some(range),
-                None => return Err("--shard-range needs a '<start>..<end>' range".to_string()),
+            "--shard-range" => match iter.next().as_deref().and_then(ShardSlice::parse) {
+                Some(slice) => args.shard_range = Some(slice),
+                None => {
+                    return Err("--shard-range needs a comma-joined '<start>..<end>' slice \
+                         (may be empty for a task-only worker)"
+                        .to_string())
+                }
             },
+            "--moment-task" => match iter.next().as_deref().and_then(MomentTask::parse) {
+                Some(task) => args.moment_tasks.push(task),
+                None => return Err("--moment-task needs '<leader>:<lo>..<hi>'".to_string()),
+            },
+            "--moment-merge" => args.moment_merge = true,
             "--crash" => match iter.next().as_deref().and_then(parse_crash_point) {
                 Some(point) => args.crash = Some(point),
                 None => {
@@ -195,6 +216,12 @@ fn parse_args() -> Result<Args, String> {
     if args.hang.is_some() && args.shard_range.is_none() {
         return Err("--hang only applies to worker mode (--shard-range)".to_string());
     }
+    if !args.moment_tasks.is_empty() && args.shard_range.is_none() {
+        return Err("--moment-task only applies to worker mode (--shard-range)".to_string());
+    }
+    if args.moment_merge && args.shards.is_none() {
+        return Err("--moment-merge only applies to coordinator mode (--shards)".to_string());
+    }
     if args.worker_timeout.is_some() && args.shards.is_none() {
         return Err("--worker-timeout only applies to coordinator mode (--shards)".to_string());
     }
@@ -221,24 +248,28 @@ fn fail(context: &str, e: impl std::fmt::Display) -> ! {
 /// spawn validity), not per-cell failures — failed cells are journaled as
 /// `Failed` outcomes and restarting the worker could not improve them.
 fn run_worker(args: &Args, specs: &[ScenarioSpec], policy: RetryPolicy) -> ! {
-    let range = args.shard_range.expect("worker mode");
+    let slice = args.shard_range.as_ref().expect("worker mode");
     let journal = args.journal.as_ref().expect("validated");
     let options = WorkerOptions {
         crash: args.crash,
         heartbeat: Some(shard_heartbeat_path(journal)),
         hang_after_records: args.hang,
     };
-    match run_shard_worker_with(specs, range, journal, policy, options) {
+    match run_shard_worker_with(specs, slice, &args.moment_tasks, journal, policy, options) {
         Ok(run) => {
             let failed = run.outcomes.iter().filter(|o| o.is_failed()).count();
             println!(
-                "shard {range}: {} cells resumed, {} executed, {failed} failed",
-                run.resumed, run.executed
+                "shard [{slice}]: {} records resumed, {} executed ({} moment task(s)), \
+                 {failed} failed; datasets generated: {}",
+                run.resumed,
+                run.executed,
+                args.moment_tasks.len(),
+                dataset_generations()
             );
             std::process::exit(0);
         }
         Err(e) => {
-            eprintln!("shard worker {range} failed: {e}");
+            eprintln!("shard worker [{slice}] failed: {e}");
             std::process::exit(1);
         }
     }
@@ -247,19 +278,38 @@ fn run_worker(args: &Args, specs: &[ScenarioSpec], policy: RetryPolicy) -> ! {
 /// Coordinator mode: plan shards, spawn/restart workers, merge journals.
 /// Returns the merged full-grid outcomes.
 fn run_coordinator(args: &Args, specs: &[ScenarioSpec]) -> Vec<ScenarioOutcome> {
-    let plan = match plan_shards(specs, args.shards.expect("coordinator mode")) {
+    let policy = if args.moment_merge {
+        SplitPolicy::Always
+    } else {
+        SplitPolicy::Never
+    };
+    let plan = match plan_shards(specs, args.shards.expect("coordinator mode"), policy) {
         Ok(plan) => plan,
         Err(e) => fail("shard planning failed", e),
     };
-    let ranges: Vec<String> = plan.iter().map(ShardRange::to_string).collect();
+    let slices: Vec<String> = plan
+        .slices
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let tasks = plan.tasks_for(i);
+            if tasks.is_empty() {
+                format!("[{s}]")
+            } else {
+                let tasks: Vec<String> = tasks.iter().map(MomentTask::to_string).collect();
+                format!("[{s}]+moments({})", tasks.join(","))
+            }
+        })
+        .collect();
     println!(
-        "planned {} shard(s) over {} cells: {}",
-        plan.len(),
+        "planned {} shard(s) over {} cells ({} split group(s)): {}",
+        plan.n_shards(),
         specs.len(),
-        ranges.join(", ")
+        plan.split.len(),
+        slices.join(", ")
     );
     if !args.resume {
-        for i in 0..plan.len() {
+        for i in 0..plan.n_shards() {
             let path = shard_journal_path(&args.shard_dir, i);
             if std::fs::metadata(&path)
                 .map(|m| m.len() > 0)
@@ -300,9 +350,12 @@ fn run_coordinator(args: &Args, specs: &[ScenarioSpec]) -> Vec<ScenarioOutcome> 
         }
         command
             .arg("--shard-range")
-            .arg(spawn.range.to_string())
+            .arg(spawn.slice.to_string())
             .arg("--journal")
             .arg(spawn.journal);
+        for task in spawn.tasks {
+            command.arg("--moment-task").arg(task.to_string());
+        }
         // Fault injections arm on the first attempt only: the restarted
         // worker resumes past its journaled records, and re-arming the
         // same trigger would trip it immediately, forever.
@@ -325,8 +378,8 @@ fn run_coordinator(args: &Args, specs: &[ScenarioSpec]) -> Vec<ScenarioOutcome> 
                     String::new()
                 };
                 println!(
-                    "shard {i} ({}): {} attempt(s), {}{kills}",
-                    shard.range,
+                    "shard {i} ([{}]): {} attempt(s), {}{kills}",
+                    shard.slice,
                     shard.attempts,
                     if shard.completed {
                         "completed"
@@ -356,9 +409,11 @@ fn main() {
             eprintln!("usage error: {e}");
             eprintln!(
                 "usage: scenarios [--smoke] [--journal <path> [--resume]] \
-                 [--shards <n> [--shard-dir <dir>] [--resume] [--worker-timeout <secs>] \
-                 [--kill-shard <spec>] [--hang-shard <shard>:<records>]] \
-                 [--shard-range <a..b> --journal <path> [--crash <point>] [--hang <records>]]"
+                 [--shards <n> [--moment-merge] [--shard-dir <dir>] [--resume] \
+                 [--worker-timeout <secs>] [--kill-shard <spec>] \
+                 [--hang-shard <shard>:<records>]] \
+                 [--shard-range <slice> --journal <path> [--moment-task <t>]... \
+                 [--crash <point>] [--hang <records>]]"
             );
             std::process::exit(2);
         }
@@ -438,6 +493,10 @@ fn main() {
         start.elapsed()
     );
     println!("outcome hash: {:016x}", outcomes_hash(&outcomes));
+    // The observable half of the two-level dataset economy: on a grid whose
+    // cells differ only in noise/attack this equals data-groups × trials,
+    // not workload-groups × trials (CI asserts the smoke-grid value).
+    println!("datasets generated: {}", dataset_generations());
 
     let failed = outcomes.iter().filter(|o| o.is_failed()).count();
     let degraded = outcomes.iter().filter(|o| o.is_degraded()).count();

@@ -44,6 +44,21 @@
 //! (v1) journal opened as a shard journal — or vice versa — is a hard
 //! error, never a silent resume.
 //!
+//! **Slice journals** (version 5, variable-length header) are the
+//! moment-merge generation of shard journals: the fixed range extension is
+//! replaced by `n_ranges` (`u32`) followed by `n_ranges` half-open
+//! `(start, end)` `u64` pairs — the worker's (possibly non-contiguous,
+//! possibly empty) [`ShardSlice`] — and the header CRC moves to the end of
+//! the variable block. Besides the outcome records above, a v5 journal may
+//! hold **moment frames** (payload tag `3`): one self-anchored pass-1
+//! [`MomentSegment`] of a split workload group, keyed by the group's leader
+//! cell index and trial, with the accumulator stored as raw IEEE-754 bits
+//! (`count`, optional anchor `shift`, `sum`, `cross`) so the coordinator's
+//! reduce ([`crate::shard::reduce_shard_journals`]) folds **bit-identical**
+//! state to a single-process pass 1. Versions 1–4 are byte-for-byte
+//! untouched by v5; each version is dispatched by its header and the wrong
+//! flavor is always a pointed hard error.
+//!
 //! Strings are `u32` length + UTF-8 bytes; `f64`s are stored as raw IEEE
 //! bits (`to_bits`/`from_bits`), so values — including the wall-clock
 //! `seconds` field — round-trip exactly.
@@ -77,8 +92,9 @@ use crate::scenario::{
     execute_specs_failsoft, MetricKind, RetryPolicy, ScenarioFailure, ScenarioOutcome,
     ScenarioResult, ScenarioSpec,
 };
-use crate::shard::ShardRange;
+use crate::shard::{ShardRange, ShardSlice};
 use crate::SchemeKind;
+use randrecon_core::{CovarianceAccumulator, MomentSegment};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -93,8 +109,20 @@ const HEADER_LEN: u64 = 32;
 /// Shard journals (see the module docs) carry a 16-byte range extension.
 const SHARD_VERSION: u32 = 4;
 const SHARD_HEADER_LEN: u64 = 48;
+/// Slice journals (see the module docs) carry a variable-length range-list
+/// extension and may hold moment frames.
+const SLICE_VERSION: u32 = 5;
+/// Fixed part of a v5 header: everything but the `n_ranges × 16` range
+/// pairs — magic (8) + version (4) + spec_count (4) + fingerprint (8) +
+/// n_ranges (4) + crc (8).
+const SLICE_HEADER_FIXED: usize = 36;
 /// Frame overhead preceding each record payload: `len` (4) + `crc` (8).
 const FRAME_OVERHEAD: usize = 12;
+
+/// Total v5 header length for a slice of `n` ranges.
+fn slice_header_len(n_ranges: usize) -> usize {
+    SLICE_HEADER_FIXED + 16 * n_ranges
+}
 
 // ---------------------------------------------------------------------------
 // FNV-1a
@@ -383,6 +411,100 @@ fn decode_record(payload: &[u8]) -> Option<(usize, ScenarioOutcome)> {
     Some((index, outcome))
 }
 
+/// Moment-frame payload (tag 3, v5 journals only): leader index, trial,
+/// then the segment with its accumulator's raw state — `count`, the
+/// optional anchor `shift`, `sum`, `cross` — all `f64`s as raw IEEE bits,
+/// so a recovered accumulator is **bit-identical** to the one journaled.
+fn encode_moment(leader: usize, trial: usize, segment: &MomentSegment) -> Vec<u8> {
+    let acc = &segment.accumulator;
+    let m = acc.n_attributes();
+    let mut out = Vec::with_capacity(64 + 8 * (2 * m + m * m));
+    put_u64(&mut out, leader as u64);
+    out.push(3);
+    put_u64(&mut out, trial as u64);
+    put_u64(&mut out, segment.index as u64);
+    put_u64(&mut out, segment.n_chunks as u64);
+    put_u32(&mut out, m as u32);
+    put_u64(&mut out, acc.count() as u64);
+    match acc.shift() {
+        Some(shift) => {
+            out.push(1);
+            for &v in shift {
+                put_f64(&mut out, v);
+            }
+        }
+        None => out.push(0),
+    }
+    for &v in acc.raw_sum() {
+        put_f64(&mut out, v);
+    }
+    for &v in acc.raw_cross() {
+        put_f64(&mut out, v);
+    }
+    out
+}
+
+fn decode_moment(leader: usize, d: &mut Dec<'_>) -> Option<MomentFrame> {
+    let trial = usize::try_from(d.u64()?).ok()?;
+    let seg_index = usize::try_from(d.u64()?).ok()?;
+    let n_chunks = usize::try_from(d.u64()?).ok()?;
+    let m = d.u32()? as usize;
+    // An attribute-count sanity cap keeps a corrupt frame from demanding a
+    // huge allocation before its CRC-checked payload runs out of bytes.
+    if m == 0 || m > 1 << 20 {
+        return None;
+    }
+    let count = usize::try_from(d.u64()?).ok()?;
+    fn take_f64s(d: &mut Dec<'_>, n: usize) -> Option<Vec<f64>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(d.f64()?);
+        }
+        Some(out)
+    }
+    let shift = match d.u8()? {
+        0 => None,
+        1 => Some(take_f64s(d, m)?),
+        _ => return None,
+    };
+    let sum = take_f64s(d, m)?;
+    let cross = take_f64s(d, m * m)?;
+    let accumulator = CovarianceAccumulator::from_raw_parts(count, sum, cross, shift).ok()?;
+    Some(MomentFrame {
+        leader,
+        trial,
+        segment: MomentSegment {
+            index: seg_index,
+            n_chunks,
+            accumulator,
+        },
+    })
+}
+
+/// Decodes any v5 frame payload: outcome tags 0/1/2 exactly as
+/// [`decode_record`], or the moment tag 3.
+fn decode_shard_frame(payload: &[u8]) -> Option<ShardFrame> {
+    if payload.len() < 9 {
+        return None;
+    }
+    if payload[8] != 3 {
+        let (index, outcome) = decode_record(payload)?;
+        return Some(ShardFrame::Outcome(index, outcome));
+    }
+    let mut d = Dec {
+        buf: payload,
+        pos: 0,
+    };
+    let leader = usize::try_from(d.u64()?).ok()?;
+    let tag = d.u8()?;
+    debug_assert_eq!(tag, 3);
+    let frame = decode_moment(leader, &mut d)?;
+    if d.pos != payload.len() {
+        return None;
+    }
+    Some(ShardFrame::Moment(frame))
+}
+
 // ---------------------------------------------------------------------------
 // The journal
 // ---------------------------------------------------------------------------
@@ -402,6 +524,102 @@ pub enum CrashPoint {
     AtByte(u64),
 }
 
+/// Which on-disk flavor a [`ResultJournal`] is (see the module docs):
+/// plain (v3), shard (v4, one contiguous range), or slice (v5, a range
+/// list plus moment frames). Each flavor has its own header layout and
+/// versions never mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Flavor {
+    Plain,
+    Shard(ShardRange),
+    Slice(ShardSlice),
+}
+
+impl Flavor {
+    fn version(&self) -> u32 {
+        match self {
+            Flavor::Plain => VERSION,
+            Flavor::Shard(_) => SHARD_VERSION,
+            Flavor::Slice(_) => SLICE_VERSION,
+        }
+    }
+
+    /// Whether an *outcome* record under global index `index` belongs in a
+    /// journal of this flavor over a `specs_len`-cell grid.
+    fn outcome_index_ok(&self, specs_len: usize, index: usize) -> bool {
+        match self {
+            Flavor::Plain => index < specs_len,
+            Flavor::Shard(range) => range.contains(index),
+            Flavor::Slice(slice) => slice.contains(index),
+        }
+    }
+}
+
+/// One recovered frame of a v5 slice journal (outcome or moment).
+#[derive(Debug, Clone)]
+enum ShardFrame {
+    Outcome(usize, ScenarioOutcome),
+    Moment(MomentFrame),
+}
+
+/// A recovered pass-1 moment frame: one self-anchored segment partial of
+/// the split workload group led by global cell `leader`, for one trial.
+#[derive(Debug, Clone)]
+pub struct MomentFrame {
+    /// Global index of the split group's leader cell.
+    pub leader: usize,
+    /// 0-based trial within the group.
+    pub trial: usize,
+    /// The segment partial (index, covered chunks, raw accumulator state).
+    pub segment: MomentSegment,
+}
+
+/// Everything recovered from a v5 slice journal.
+#[derive(Debug, Default)]
+pub struct ShardRecovery {
+    /// Recovered `(global index, outcome)` pairs, in journal order.
+    pub outcomes: Vec<(usize, ScenarioOutcome)>,
+    /// Recovered moment frames, in journal order.
+    pub moments: Vec<MomentFrame>,
+}
+
+/// Splits a recovered frame stream into its outcome and moment halves,
+/// preserving journal order within each.
+fn split_frames(frames: Vec<ShardFrame>) -> ShardRecovery {
+    let mut recovery = ShardRecovery::default();
+    for frame in frames {
+        match frame {
+            ShardFrame::Outcome(index, outcome) => recovery.outcomes.push((index, outcome)),
+            ShardFrame::Moment(m) => recovery.moments.push(m),
+        }
+    }
+    recovery
+}
+
+/// What one recovered frame of a given journal flavor decodes to — lets
+/// [`ResultJournal::open_impl`] share the open/truncate/recover machinery
+/// between the outcome-only flavors (v1–v4) and the v5 frame stream.
+trait JournalFrames: Sized {
+    fn scan(bytes: &[u8], offset: usize, specs_len: usize, flavor: &Flavor) -> (Vec<Self>, usize);
+}
+
+impl JournalFrames for (usize, ScenarioOutcome) {
+    fn scan(bytes: &[u8], offset: usize, specs_len: usize, flavor: &Flavor) -> (Vec<Self>, usize) {
+        ResultJournal::scan_frames(bytes, offset, |i| flavor.outcome_index_ok(specs_len, i))
+    }
+}
+
+impl JournalFrames for ShardFrame {
+    fn scan(bytes: &[u8], offset: usize, specs_len: usize, flavor: &Flavor) -> (Vec<Self>, usize) {
+        match flavor {
+            Flavor::Slice(slice) => {
+                ResultJournal::scan_slice_frames(bytes, offset, specs_len, slice)
+            }
+            _ => unreachable!("ShardFrame streams only exist in v5 slice journals"),
+        }
+    }
+}
+
 /// An append-only, checksummed, crash-recoverable log of scenario outcomes.
 /// See the [module docs](self) for the format and recovery rules.
 pub struct ResultJournal {
@@ -410,9 +628,10 @@ pub struct ResultJournal {
     bytes_written: u64,
     records_written: u64,
     crash: Option<CrashPoint>,
-    /// `Some` for shard journals: the half-open global index range this
-    /// journal owns; appends outside it are rejected.
-    shard: Option<ShardRange>,
+    /// The journal's on-disk flavor; appends a flavor does not permit (an
+    /// outcome outside the owned range/slice, a moment frame in a
+    /// non-slice journal) are rejected.
+    flavor: Flavor,
 }
 
 impl std::fmt::Debug for ResultJournal {
@@ -422,7 +641,7 @@ impl std::fmt::Debug for ResultJournal {
             .field("bytes_written", &self.bytes_written)
             .field("records_written", &self.records_written)
             .field("crash", &self.crash)
-            .field("shard", &self.shard)
+            .field("flavor", &self.flavor)
             .finish()
     }
 }
@@ -451,29 +670,36 @@ impl ResultJournal {
         }
     }
 
-    fn header_len(shard: Option<ShardRange>) -> u64 {
-        if shard.is_some() {
-            SHARD_HEADER_LEN
-        } else {
-            HEADER_LEN
+    fn header_len(flavor: &Flavor) -> u64 {
+        match flavor {
+            Flavor::Plain => HEADER_LEN,
+            Flavor::Shard(_) => SHARD_HEADER_LEN,
+            Flavor::Slice(slice) => slice_header_len(slice.ranges().len()) as u64,
         }
     }
 
-    fn header_bytes(specs: &[ScenarioSpec], shard: Option<ShardRange>) -> Vec<u8> {
-        let len = Self::header_len(shard) as usize;
+    fn header_bytes(specs: &[ScenarioSpec], flavor: &Flavor) -> Vec<u8> {
+        let len = Self::header_len(flavor) as usize;
         let mut header = vec![0u8; len];
         header[..8].copy_from_slice(MAGIC);
-        let version = if shard.is_some() {
-            SHARD_VERSION
-        } else {
-            VERSION
-        };
-        header[8..12].copy_from_slice(&version.to_le_bytes());
+        header[8..12].copy_from_slice(&flavor.version().to_le_bytes());
         header[12..16].copy_from_slice(&(specs.len() as u32).to_le_bytes());
         header[16..24].copy_from_slice(&grid_fingerprint(specs).to_le_bytes());
-        if let Some(range) = shard {
-            header[24..32].copy_from_slice(&(range.start as u64).to_le_bytes());
-            header[32..40].copy_from_slice(&(range.end as u64).to_le_bytes());
+        match flavor {
+            Flavor::Plain => {}
+            Flavor::Shard(range) => {
+                header[24..32].copy_from_slice(&(range.start as u64).to_le_bytes());
+                header[32..40].copy_from_slice(&(range.end as u64).to_le_bytes());
+            }
+            Flavor::Slice(slice) => {
+                let ranges = slice.ranges();
+                header[24..28].copy_from_slice(&(ranges.len() as u32).to_le_bytes());
+                for (i, range) in ranges.iter().enumerate() {
+                    let at = 28 + 16 * i;
+                    header[at..at + 8].copy_from_slice(&(range.start as u64).to_le_bytes());
+                    header[at + 8..at + 16].copy_from_slice(&(range.end as u64).to_le_bytes());
+                }
+            }
         }
         let crc_at = len - 8;
         let crc = fnv64(FNV_OFFSET, &header[..crc_at]);
@@ -481,13 +707,22 @@ impl ResultJournal {
         header
     }
 
-    /// A shard range must sit inside the grid it journals.
-    fn check_shard_range(path: &Path, specs: &[ScenarioSpec], range: ShardRange) -> Result<()> {
-        if range.end > specs.len() {
+    /// A shard range or slice must sit inside the grid it journals.
+    fn check_flavor_bounds(path: &Path, specs: &[ScenarioSpec], flavor: &Flavor) -> Result<()> {
+        let past_end = match flavor {
+            Flavor::Plain => None,
+            Flavor::Shard(range) => (range.end > specs.len()).then(|| range.to_string()),
+            Flavor::Slice(slice) => slice
+                .ranges()
+                .last()
+                .filter(|r| r.end > specs.len())
+                .map(|_| slice.to_string()),
+        };
+        if let Some(rendered) = past_end {
             return Err(Self::journal_err(
                 path,
                 format!(
-                    "shard range {range} extends past the {}-cell grid",
+                    "shard range {rendered} extends past the {}-cell grid",
                     specs.len()
                 ),
             ));
@@ -498,10 +733,10 @@ impl ResultJournal {
     /// Creates (or truncates) the journal at `path` for the given grid and
     /// writes a fresh header.
     pub fn create(path: impl Into<PathBuf>, specs: &[ScenarioSpec]) -> Result<ResultJournal> {
-        Self::create_impl(path.into(), specs, None)
+        Self::create_impl(path.into(), specs, Flavor::Plain)
     }
 
-    /// Creates (or truncates) a **shard** journal: a version-2 header
+    /// Creates (or truncates) a **shard** journal: a version-4 header
     /// carrying the full-grid fingerprint plus the worker's global index
     /// range (see the [module docs](self)).
     pub fn create_shard(
@@ -510,39 +745,35 @@ impl ResultJournal {
         range: ShardRange,
     ) -> Result<ResultJournal> {
         let path = path.into();
-        Self::check_shard_range(&path, specs, range)?;
-        Self::create_impl(path, specs, Some(range))
+        let flavor = Flavor::Shard(range);
+        Self::check_flavor_bounds(&path, specs, &flavor)?;
+        Self::create_impl(path, specs, flavor)
     }
 
-    fn create_impl(
-        path: PathBuf,
-        specs: &[ScenarioSpec],
-        shard: Option<ShardRange>,
-    ) -> Result<ResultJournal> {
+    fn create_impl(path: PathBuf, specs: &[ScenarioSpec], flavor: Flavor) -> Result<ResultJournal> {
         let mut file = File::create(&path).map_err(|e| Self::io_err(&path, e))?;
-        file.write_all(&Self::header_bytes(specs, shard))
+        file.write_all(&Self::header_bytes(specs, &flavor))
             .map_err(|e| Self::io_err(&path, e))?;
         Ok(ResultJournal {
             path,
             file,
-            bytes_written: Self::header_len(shard),
+            bytes_written: Self::header_len(&flavor),
             records_written: 0,
             crash: None,
-            shard,
+            flavor,
         })
     }
 
     /// Classifies existing journal bytes against the expected grid and
-    /// shard flavor. `Fresh` means start over (empty or torn header); any
+    /// flavor. `Fresh` means start over (empty or torn header); any
     /// mismatch — foreign file, wrong flavor, stale grid, wrong shard
-    /// range — is a hard error.
+    /// range or slice — is a hard error.
     fn check_header(
         path: &Path,
         bytes: &[u8],
         specs: &[ScenarioSpec],
-        shard: Option<ShardRange>,
+        flavor: &Flavor,
     ) -> Result<HeaderCheck> {
-        let header_len = Self::header_len(shard) as usize;
         if bytes.is_empty() {
             return Ok(HeaderCheck::Fresh);
         }
@@ -558,10 +789,19 @@ impl ResultJournal {
             return Ok(HeaderCheck::Fresh);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 header bytes"));
-        let expected = if shard.is_some() {
-            SHARD_VERSION
-        } else {
-            VERSION
+        let expected = flavor.version();
+        // On-disk header length for a given version; v5 is variable, so it
+        // reads `n_ranges` from the bytes (None = torn before the count).
+        let version_len = |v: u32| -> Option<usize> {
+            match v {
+                VERSION => Some(HEADER_LEN as usize),
+                SHARD_VERSION => Some(SHARD_HEADER_LEN as usize),
+                SLICE_VERSION => {
+                    let n = u32::from_le_bytes(bytes.get(24..28)?.try_into().expect("4 bytes"));
+                    Some(slice_header_len(n as usize))
+                }
+                _ => None,
+            }
         };
         if version != expected {
             // A complete, checksum-valid header of the *other* flavor is a
@@ -572,34 +812,34 @@ impl ResultJournal {
                     && fnv64(FNV_OFFSET, &bytes[..len - 8])
                         == u64::from_le_bytes(bytes[len - 8..len].try_into().expect("8 crc bytes"))
             };
-            if version == VERSION && valid_other(HEADER_LEN as usize) {
-                return Err(Self::journal_err(
-                    path,
-                    format!(
+            let other_valid = version_len(version).is_some_and(valid_other);
+            if other_valid {
+                let pointed = match version {
+                    VERSION => format!(
                         "journal belongs to an unsharded run (version {VERSION}); \
                          a shard worker cannot resume it"
                     ),
-                ));
-            }
-            if version == SHARD_VERSION && valid_other(SHARD_HEADER_LEN as usize) {
-                return Err(Self::journal_err(
-                    path,
-                    format!(
+                    SHARD_VERSION => format!(
                         "journal belongs to a sharded run (version {SHARD_VERSION}); \
                          recover it through the shard coordinator"
                     ),
-                ));
+                    _ => format!(
+                        "journal belongs to a moment-merge sharded run (version \
+                         {SLICE_VERSION}); recover it through the shard coordinator's reduce"
+                    ),
+                };
+                return Err(Self::journal_err(path, pointed));
             }
             return Err(Self::journal_err(
                 path,
                 format!("unsupported journal version {version} (this path expects {expected})"),
             ));
         }
-        if bytes.len() < header_len {
+        let Some(header_len) = version_len(version).filter(|&len| bytes.len() >= len) else {
             // Torn header of our own flavor: the creating process died
             // mid-create; start fresh.
             return Ok(HeaderCheck::Fresh);
-        }
+        };
         let crc_at = header_len - 8;
         let stored_crc = u64::from_le_bytes(
             bytes[crc_at..header_len]
@@ -621,28 +861,49 @@ impl ResultJournal {
                 ),
             ));
         }
-        if let Some(range) = shard {
-            let start = u64::from_le_bytes(bytes[24..32].try_into().expect("8 header bytes"));
-            let end = u64::from_le_bytes(bytes[32..40].try_into().expect("8 header bytes"));
-            if start != range.start as u64 || end != range.end as u64 {
-                return Err(Self::journal_err(
-                    path,
-                    format!("shard range mismatch: journal covers {start}..{end}, not {range}"),
-                ));
+        match flavor {
+            Flavor::Plain => {}
+            Flavor::Shard(range) => {
+                let start = u64::from_le_bytes(bytes[24..32].try_into().expect("8 header bytes"));
+                let end = u64::from_le_bytes(bytes[32..40].try_into().expect("8 header bytes"));
+                if start != range.start as u64 || end != range.end as u64 {
+                    return Err(Self::journal_err(
+                        path,
+                        format!("shard range mismatch: journal covers {start}..{end}, not {range}"),
+                    ));
+                }
+            }
+            Flavor::Slice(slice) => {
+                let n = u32::from_le_bytes(bytes[24..28].try_into().expect("4 header bytes"));
+                let mut stored = Vec::with_capacity(n as usize);
+                for i in 0..n as usize {
+                    let at = 28 + 16 * i;
+                    let start = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+                    let end =
+                        u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("8 bytes"));
+                    stored.push(format!("{start}..{end}"));
+                }
+                let stored = stored.join(",");
+                if stored != slice.to_string() {
+                    return Err(Self::journal_err(
+                        path,
+                        format!("shard slice mismatch: journal covers {stored}, not {slice}"),
+                    ));
+                }
             }
         }
         Ok(HeaderCheck::Valid)
     }
 
-    /// Scans record frames from `offset`, stopping at the first torn or
-    /// corrupt frame (or an index `index_ok` rejects). Returns the intact
-    /// `(index, outcome)` pairs in journal order plus the byte offset just
-    /// past the last intact frame.
-    fn scan_frames(
+    /// Scans checksummed frames from `offset`, decoding each intact payload
+    /// with `decode` (`None` = structurally invalid, ends the scan exactly
+    /// like a torn or corrupt frame). Returns the decoded frames in journal
+    /// order plus the byte offset just past the last intact frame.
+    fn scan_raw_frames<T>(
         bytes: &[u8],
         mut offset: usize,
-        index_ok: impl Fn(usize) -> bool,
-    ) -> (Vec<(usize, ScenarioOutcome)>, usize) {
+        decode: impl Fn(&[u8]) -> Option<T>,
+    ) -> (Vec<T>, usize) {
         let mut recovered = Vec::new();
         loop {
             let remaining = bytes.len() - offset;
@@ -664,16 +925,44 @@ impl ResultJournal {
             if fnv64(FNV_OFFSET, payload) != crc {
                 break; // corrupt payload
             }
-            let Some((index, outcome)) = decode_record(payload) else {
+            let Some(frame) = decode(payload) else {
                 break; // structurally invalid payload
             };
-            if !index_ok(index) {
-                break; // index outside the grid (or shard): corrupt
-            }
-            recovered.push((index, outcome));
+            recovered.push(frame);
             offset += FRAME_OVERHEAD + len;
         }
         (recovered, offset)
+    }
+
+    /// Outcome-record scan (journal versions 1–4): frames decode as
+    /// `(index, outcome)` pairs, and an index `index_ok` rejects ends the
+    /// scan as corruption.
+    fn scan_frames(
+        bytes: &[u8],
+        offset: usize,
+        index_ok: impl Fn(usize) -> bool,
+    ) -> (Vec<(usize, ScenarioOutcome)>, usize) {
+        Self::scan_raw_frames(bytes, offset, |payload| {
+            decode_record(payload).filter(|&(index, _)| index_ok(index))
+        })
+    }
+
+    /// v5 scan: outcome frames *and* moment frames. Outcome indices must
+    /// fall inside `slice`; moment leaders anywhere inside the grid (a
+    /// worker journals moment partials for groups whose cells it does not
+    /// own — that is the point of the split).
+    fn scan_slice_frames(
+        bytes: &[u8],
+        offset: usize,
+        specs_len: usize,
+        slice: &ShardSlice,
+    ) -> (Vec<ShardFrame>, usize) {
+        Self::scan_raw_frames(bytes, offset, |payload| {
+            decode_shard_frame(payload).filter(|frame| match frame {
+                ShardFrame::Outcome(index, _) => slice.contains(*index),
+                ShardFrame::Moment(m) => m.leader < specs_len,
+            })
+        })
     }
 
     /// Opens an existing journal for the given grid — recovering every
@@ -685,11 +974,11 @@ impl ResultJournal {
         path: impl Into<PathBuf>,
         specs: &[ScenarioSpec],
     ) -> Result<(ResultJournal, Vec<(usize, ScenarioOutcome)>)> {
-        Self::open_impl(path.into(), specs, None)
+        Self::open_impl(path.into(), specs, Flavor::Plain)
     }
 
     /// [`open_or_create`](Self::open_or_create) for a **shard** journal:
-    /// validates the version-2 header against both the full grid and the
+    /// validates the version-4 header against both the full grid and the
     /// worker's shard range, recovering only records whose global index
     /// falls inside the range.
     pub fn open_or_create_shard(
@@ -698,15 +987,33 @@ impl ResultJournal {
         range: ShardRange,
     ) -> Result<(ResultJournal, Vec<(usize, ScenarioOutcome)>)> {
         let path = path.into();
-        Self::check_shard_range(&path, specs, range)?;
-        Self::open_impl(path, specs, Some(range))
+        let flavor = Flavor::Shard(range);
+        Self::check_flavor_bounds(&path, specs, &flavor)?;
+        Self::open_impl(path, specs, flavor)
     }
 
-    fn open_impl(
+    /// [`open_or_create`](Self::open_or_create) for a **slice** (v5,
+    /// moment-merge) journal: validates the variable-length header against
+    /// the full grid and the worker's exact slice, recovering both outcome
+    /// records (inside the slice) and moment frames (any group leader in
+    /// the grid).
+    pub fn open_or_create_slice(
+        path: impl Into<PathBuf>,
+        specs: &[ScenarioSpec],
+        slice: &ShardSlice,
+    ) -> Result<(ResultJournal, ShardRecovery)> {
+        let path = path.into();
+        let flavor = Flavor::Slice(slice.clone());
+        Self::check_flavor_bounds(&path, specs, &flavor)?;
+        let (journal, frames) = Self::open_impl(path, specs, flavor)?;
+        Ok((journal, split_frames(frames)))
+    }
+
+    fn open_impl<T: JournalFrames>(
         path: PathBuf,
         specs: &[ScenarioSpec],
-        shard: Option<ShardRange>,
-    ) -> Result<(ResultJournal, Vec<(usize, ScenarioOutcome)>)> {
+        flavor: Flavor,
+    ) -> Result<(ResultJournal, Vec<T>)> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -718,20 +1025,21 @@ impl ResultJournal {
         file.read_to_end(&mut bytes)
             .map_err(|e| Self::io_err(&path, e))?;
 
-        if let HeaderCheck::Fresh = Self::check_header(&path, &bytes, specs, shard)? {
+        if let HeaderCheck::Fresh = Self::check_header(&path, &bytes, specs, &flavor)? {
             file.set_len(0).map_err(|e| Self::io_err(&path, e))?;
             file.seek(SeekFrom::Start(0))
                 .map_err(|e| Self::io_err(&path, e))?;
-            file.write_all(&Self::header_bytes(specs, shard))
+            file.write_all(&Self::header_bytes(specs, &flavor))
                 .map_err(|e| Self::io_err(&path, e))?;
+            let bytes_written = Self::header_len(&flavor);
             return Ok((
                 ResultJournal {
                     path,
                     file,
-                    bytes_written: Self::header_len(shard),
+                    bytes_written,
                     records_written: 0,
                     crash: None,
-                    shard,
+                    flavor,
                 },
                 Vec::new(),
             ));
@@ -739,12 +1047,12 @@ impl ResultJournal {
 
         // Scan record frames; the first torn or corrupt frame ends the
         // journal and everything from it on is truncated away.
-        let index_ok = move |i: usize| match shard {
-            Some(range) => range.contains(i),
-            None => i < specs.len(),
-        };
-        let (recovered, offset) =
-            Self::scan_frames(&bytes, Self::header_len(shard) as usize, index_ok);
+        let (recovered, offset) = T::scan(
+            &bytes,
+            Self::header_len(&flavor) as usize,
+            specs.len(),
+            &flavor,
+        );
 
         if offset < bytes.len() {
             file.set_len(offset as u64)
@@ -759,7 +1067,7 @@ impl ResultJournal {
                 bytes_written: offset as u64,
                 records_written: recovered.len() as u64,
                 crash: None,
-                shard,
+                flavor,
             },
             recovered,
         ))
@@ -777,13 +1085,14 @@ impl ResultJournal {
         range: ShardRange,
     ) -> Result<Vec<(usize, ScenarioOutcome)>> {
         let path = path.as_ref();
-        Self::check_shard_range(path, specs, range)?;
+        let flavor = Flavor::Shard(range);
+        Self::check_flavor_bounds(path, specs, &flavor)?;
         let bytes = match std::fs::read(path) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(Self::io_err(path, e)),
         };
-        match Self::check_header(path, &bytes, specs, Some(range))? {
+        match Self::check_header(path, &bytes, specs, &flavor)? {
             HeaderCheck::Fresh => Ok(Vec::new()),
             HeaderCheck::Valid => {
                 let (recovered, _) =
@@ -793,19 +1102,73 @@ impl ResultJournal {
         }
     }
 
+    /// Read-only recovery of a v5 slice journal — the coordinator's reduce
+    /// path: outcome records *and* moment frames. Missing/empty/torn files
+    /// recover empty, exactly like [`recover_shard`](Self::recover_shard).
+    pub fn recover_slice(
+        path: impl AsRef<Path>,
+        specs: &[ScenarioSpec],
+        slice: &ShardSlice,
+    ) -> Result<ShardRecovery> {
+        let path = path.as_ref();
+        let flavor = Flavor::Slice(slice.clone());
+        Self::check_flavor_bounds(path, specs, &flavor)?;
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(ShardRecovery::default())
+            }
+            Err(e) => return Err(Self::io_err(path, e)),
+        };
+        match Self::check_header(path, &bytes, specs, &flavor)? {
+            HeaderCheck::Fresh => Ok(ShardRecovery::default()),
+            HeaderCheck::Valid => {
+                let offset = slice_header_len(slice.ranges().len());
+                let (frames, _) = Self::scan_slice_frames(&bytes, offset, specs.len(), slice);
+                Ok(split_frames(frames))
+            }
+        }
+    }
+
     /// Appends one outcome, framed and checksummed. Writes go straight to
     /// the file (no user-space buffering), so a process abort immediately
     /// after `append` returns loses nothing.
     pub fn append(&mut self, index: usize, outcome: &ScenarioOutcome) -> Result<()> {
-        if let Some(range) = self.shard {
-            if !range.contains(index) {
-                return Err(Self::journal_err(
-                    &self.path,
-                    format!("record index {index} outside shard range {range}"),
-                ));
-            }
+        if !self.flavor.outcome_index_ok(usize::MAX, index) {
+            let owned = match &self.flavor {
+                Flavor::Shard(range) => format!("shard range {range}"),
+                Flavor::Slice(slice) => format!("shard slice {slice}"),
+                Flavor::Plain => unreachable!("plain journals accept every index"),
+            };
+            return Err(Self::journal_err(
+                &self.path,
+                format!("record index {index} outside {owned}"),
+            ));
         }
-        let payload = encode_record(index, outcome);
+        self.write_frame(encode_record(index, outcome))
+    }
+
+    /// Appends one pass-1 moment frame (v5 slice journals only): segment
+    /// `segment` of `trial` of the split group led by `leader`. Shares the
+    /// framing, crash-point, and durability semantics of
+    /// [`append`](Self::append) — `records_written` counts moment frames
+    /// too, so `CrashPoint::AfterRecords` can land mid-moment-task.
+    pub fn append_moment(
+        &mut self,
+        leader: usize,
+        trial: usize,
+        segment: &MomentSegment,
+    ) -> Result<()> {
+        if !matches!(self.flavor, Flavor::Slice(_)) {
+            return Err(Self::journal_err(
+                &self.path,
+                "moment frames belong to v5 slice journals only",
+            ));
+        }
+        self.write_frame(encode_moment(leader, trial, segment))
+    }
+
+    fn write_frame(&mut self, payload: Vec<u8>) -> Result<()> {
         let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
         put_u32(&mut frame, payload.len() as u32);
         put_u64(&mut frame, fnv64(FNV_OFFSET, &payload));
@@ -854,10 +1217,22 @@ impl ResultJournal {
         self.bytes_written
     }
 
-    /// The global index range this journal owns when it is a shard journal
-    /// (`None` for plain journals).
+    /// The global index range this journal owns when it is a v4 shard
+    /// journal (`None` for plain and v5 slice journals).
     pub fn shard_range(&self) -> Option<ShardRange> {
-        self.shard
+        match self.flavor {
+            Flavor::Shard(range) => Some(range),
+            _ => None,
+        }
+    }
+
+    /// The global cell slice this journal owns when it is a v5 slice
+    /// journal (`None` for plain and v4 shard journals).
+    pub fn shard_slice(&self) -> Option<&ShardSlice> {
+        match &self.flavor {
+            Flavor::Slice(slice) => Some(slice),
+            _ => None,
+        }
     }
 }
 
@@ -1030,7 +1405,7 @@ mod tests {
         let grid = specs(2);
         let path = temp_path("old-version");
         // Forge a checksum-valid version-1 (pre-supervision) plain header.
-        let mut header = ResultJournal::header_bytes(&grid, None);
+        let mut header = ResultJournal::header_bytes(&grid, &Flavor::Plain);
         header[8..12].copy_from_slice(&1u32.to_le_bytes());
         let crc_at = header.len() - 8;
         let crc = fnv64(FNV_OFFSET, &header[..crc_at]);
@@ -1231,7 +1606,7 @@ mod tests {
             .unwrap()
             .is_empty());
         // A header torn mid-create (prefix of a real shard header).
-        let full = ResultJournal::header_bytes(&grid, Some(range));
+        let full = ResultJournal::header_bytes(&grid, &Flavor::Shard(range));
         std::fs::write(&path, &full[..20]).unwrap();
         assert!(ResultJournal::recover_shard(&path, &grid, range)
             .unwrap()
@@ -1241,6 +1616,151 @@ mod tests {
             ResultJournal::open_or_create_shard(&path, &grid, range).unwrap();
         assert!(recovered.is_empty());
         assert_eq!(journal.bytes_written(), SHARD_HEADER_LEN);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn sample_segment(index: usize) -> MomentSegment {
+        // Deliberately awkward values (negatives, non-dyadic fractions, a
+        // subnormal) so the raw-bits round trip is actually exercised.
+        let acc = CovarianceAccumulator::from_raw_parts(
+            3,
+            vec![1.5, -2.25e-300],
+            vec![0.1 + 0.2, -4.0, -4.0, f64::MIN_POSITIVE / 4.0],
+            Some(vec![0.125, std::f64::consts::PI]),
+        )
+        .expect("valid raw parts");
+        MomentSegment {
+            index,
+            n_chunks: 4,
+            accumulator: acc,
+        }
+    }
+
+    fn assert_acc_bits_eq(a: &CovarianceAccumulator, b: &CovarianceAccumulator) {
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.shift().map(raw_bits), b.shift().map(raw_bits));
+        assert_eq!(raw_bits(a.raw_sum()), raw_bits(b.raw_sum()));
+        assert_eq!(raw_bits(a.raw_cross()), raw_bits(b.raw_cross()));
+    }
+
+    fn raw_bits(values: &[f64]) -> Vec<u64> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn slice_journal_round_trips_outcomes_and_moment_frames_bit_exactly() {
+        let grid = specs(6);
+        let slice = ShardSlice::parse("0..2,4..6").unwrap();
+        let path = temp_path("slice-roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, recovery) =
+                ResultJournal::open_or_create_slice(&path, &grid, &slice).unwrap();
+            assert!(recovery.outcomes.is_empty() && recovery.moments.is_empty());
+            assert_eq!(journal.shard_slice(), Some(&slice));
+            assert_eq!(journal.shard_range(), None);
+            journal.append(4, &sample_completed("cell4")).unwrap();
+            journal.append_moment(2, 1, &sample_segment(7)).unwrap();
+            journal.append(0, &sample_failed("cell0")).unwrap();
+            // Outcomes outside the slice are rejected, not written.
+            let err = journal.append(2, &sample_completed("ghost")).unwrap_err();
+            assert!(err.to_string().contains("outside shard slice"), "{err}");
+            assert_eq!(journal.records_written(), 3);
+        }
+        // Worker resume sees all three frames, moment state bit-identical.
+        let (journal, recovery) =
+            ResultJournal::open_or_create_slice(&path, &grid, &slice).unwrap();
+        assert_eq!(journal.records_written(), 3);
+        assert_eq!(
+            recovery.outcomes,
+            vec![(4, sample_completed("cell4")), (0, sample_failed("cell0"))]
+        );
+        assert_eq!(recovery.moments.len(), 1);
+        let frame = &recovery.moments[0];
+        assert_eq!((frame.leader, frame.trial), (2, 1));
+        assert_eq!(frame.segment.index, 7);
+        assert_eq!(frame.segment.n_chunks, 4);
+        assert_acc_bits_eq(&frame.segment.accumulator, &sample_segment(7).accumulator);
+        drop(journal);
+        // Read-only coordinator recovery sees the same.
+        let recovery = ResultJournal::recover_slice(&path, &grid, &slice).unwrap();
+        assert_eq!(recovery.outcomes.len(), 2);
+        assert_eq!(recovery.moments.len(), 1);
+        // A different slice is a hard error.
+        let other = ShardSlice::parse("0..3").unwrap();
+        let err = ResultJournal::recover_slice(&path, &grid, &other).unwrap_err();
+        assert!(err.to_string().contains("shard slice mismatch"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn slice_journals_do_not_mix_with_other_flavors() {
+        let grid = specs(4);
+        let slice = ShardSlice::parse("1..3").unwrap();
+        let range = ShardRange::new(1, 3).unwrap();
+        let path = temp_path("slice-flavor");
+        let _ = std::fs::remove_file(&path);
+        ResultJournal::open_or_create_slice(&path, &grid, &slice).unwrap();
+        // Plain and v4 shard opens refuse with pointed messages.
+        let err = ResultJournal::open_or_create(&path, &grid).unwrap_err();
+        assert!(err.to_string().contains("moment-merge"), "{err}");
+        let err = ResultJournal::open_or_create_shard(&path, &grid, range).unwrap_err();
+        assert!(err.to_string().contains("moment-merge"), "{err}");
+        // And a v4 journal refuses moment frames entirely.
+        let shard_path = temp_path("slice-flavor-v4");
+        let _ = std::fs::remove_file(&shard_path);
+        let mut v4 = ResultJournal::create_shard(&shard_path, &grid, range).unwrap();
+        let err = v4.append_moment(0, 0, &sample_segment(0)).unwrap_err();
+        assert!(err.to_string().contains("v5 slice journals only"), "{err}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&shard_path);
+    }
+
+    #[test]
+    fn empty_slice_journal_is_valid_and_task_only() {
+        // A worker can hold zero cells and only moment tasks.
+        let grid = specs(3);
+        let slice = ShardSlice::parse("").unwrap();
+        let path = temp_path("slice-empty");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut journal, _) =
+                ResultJournal::open_or_create_slice(&path, &grid, &slice).unwrap();
+            journal.append_moment(1, 0, &sample_segment(0)).unwrap();
+            let err = journal.append(1, &sample_completed("cell1")).unwrap_err();
+            assert!(err.to_string().contains("outside shard slice"), "{err}");
+        }
+        let recovery = ResultJournal::recover_slice(&path, &grid, &slice).unwrap();
+        assert!(recovery.outcomes.is_empty());
+        assert_eq!(recovery.moments.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_moment_frame_truncates_to_prefix() {
+        let grid = specs(3);
+        let slice = ShardSlice::parse("0..3").unwrap();
+        let path = temp_path("slice-torn");
+        let _ = std::fs::remove_file(&path);
+        let first_end;
+        {
+            let (mut journal, _) =
+                ResultJournal::open_or_create_slice(&path, &grid, &slice).unwrap();
+            journal.append_moment(0, 0, &sample_segment(0)).unwrap();
+            first_end = journal.bytes_written();
+            journal.append_moment(0, 0, &sample_segment(1)).unwrap();
+        }
+        // Tear the second moment frame mid-payload.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..first_end as usize + 20]).unwrap();
+        let recovery = ResultJournal::recover_slice(&path, &grid, &slice).unwrap();
+        assert_eq!(recovery.moments.len(), 1);
+        assert_eq!(recovery.moments[0].segment.index, 0);
+        // And the worker-side open truncates back to the intact frame.
+        let (journal, recovery) =
+            ResultJournal::open_or_create_slice(&path, &grid, &slice).unwrap();
+        assert_eq!(recovery.moments.len(), 1);
+        assert_eq!(journal.bytes_written(), first_end);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -63,15 +63,22 @@
 //! ## Sharding
 //!
 //! [`shard`] scales the same sweep across **worker processes** (PR 7):
-//! [`shard::plan_shards`] splits a grid into contiguous ranges that never
-//! cut through a workload group, [`shard::run_sharded`] spawns one worker
-//! per shard — each journaling to its own shard-stamped [`journal`] file
-//! and restarted (journal-resumed) if it dies — and
-//! [`shard::merge_shard_journals`] folds every journal back into one
-//! outcome list bit-identical to a single-process run. The `scenarios`
-//! binary exposes this as `--shards N` (coordinator) and `--shard-range`
-//! (worker), and [`report::outcomes_hash`] is the fingerprint both sides
-//! print so CI can compare them.
+//! [`shard::plan_shards`] splits a grid into balance-aware per-shard
+//! [`shard::ShardSlice`]s (LPT over group costs) that never cut through a
+//! workload group, [`shard::run_sharded`] spawns one worker per shard —
+//! each journaling to its own shard-stamped [`journal`] file and restarted
+//! (journal-resumed) if it dies — and [`shard::reduce_shard_journals`]
+//! folds every journal back into one outcome list bit-identical to a
+//! single-process run. Under [`shard::SplitPolicy::Auto`]/`Always`,
+//! pass 1 of a splittable streaming workload group becomes a
+//! **distributed reduction** (PR 9): its fixed-width self-anchored moment
+//! segments are dealt across shards as [`shard::MomentTask`]s, each worker
+//! journals its partials as v5 moment frames, and the coordinator merges
+//! them bit-exactly before finishing the group's pass 2 itself. The
+//! `scenarios` binary exposes this as `--shards N [--moment-merge]`
+//! (coordinator) and `--shard-range`/`--moment-task` (worker), and
+//! [`report::outcomes_hash`] is the fingerprint both sides print so CI can
+//! compare them.
 //!
 //! ## Supervision
 //!
@@ -130,6 +137,7 @@ pub use scenario::{
     ScenarioResult, ScenarioSpec,
 };
 pub use shard::{
-    merge_shard_journals, plan_shards, run_shard_worker, run_sharded, run_sharded_in_process,
-    ShardRange, ShardedRun, ShardedRunConfig,
+    merge_shard_journals, plan_shards, reduce_shard_journals, run_shard_worker,
+    run_shard_worker_with, run_sharded, run_sharded_in_process, MomentTask, ShardPlan, ShardRange,
+    ShardSlice, ShardedRun, ShardedRunConfig, SplitPolicy,
 };

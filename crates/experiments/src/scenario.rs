@@ -82,9 +82,13 @@ use crate::config::SchemeKind;
 use crate::error::{ExperimentError, Result};
 use crate::fault::FaultMode;
 use crate::runner::parallel_map;
+use crate::workload::SharePool;
 use randrecon_core::engine::Attack;
 use randrecon_core::partial::{KnownAttributes, PartialKnowledgeBeDr};
-use randrecon_core::streaming::{CancelToken, MseSink, StreamingDriver};
+use randrecon_core::streaming::{
+    accumulate_moment_segments, moment_segment_count, CancelToken, MomentSegment, MseSink,
+    StreamMoments, StreamingDriver,
+};
 use randrecon_core::temporal::TemporalSmoother;
 use randrecon_core::ComponentSelection;
 use randrecon_data::chunks::{RecordChunkSource, SyntheticChunkSource};
@@ -99,8 +103,11 @@ use randrecon_noise::additive::{AdditiveRandomizer, DisguisedChunkSource};
 use randrecon_noise::correlated::{interpolated_spectrum, noise_covariance, SimilarityLevel};
 use randrecon_stats::rng::{child_seed, seeded_rng};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -606,12 +613,62 @@ impl ScenarioSpec {
         )
     }
 
+    /// The *data fingerprint*: the subset of the workload fingerprint that
+    /// shapes the **generated dataset alone** — the data spec, trial count,
+    /// engine family, and the dataset-seed derivation, but *not* the noise
+    /// model, noise seed, attack, or metrics. Scenarios with equal data
+    /// fingerprints draw identical per-trial datasets, so the runner's
+    /// [`DatasetPool`] generates each `(fingerprint, trial)` dataset once and
+    /// shares it across workload groups that differ only in noise or attack.
+    ///
+    /// The engine is part of the fingerprint because the streaming
+    /// `SyntheticChunkSource` record stream deliberately differs from the
+    /// in-memory `SyntheticDataset::generate` realization for the same seed
+    /// (chunk-local child seeding; see `randrecon_data::chunks`).
+    pub fn data_fingerprint(&self) -> String {
+        let engine_family = match self.engine {
+            EngineSpec::InMemory => "mem".to_string(),
+            EngineSpec::Streaming { chunk_rows } => format!("stream:{chunk_rows}"),
+        };
+        format!(
+            "{:?}|{engine_family}|{}|{}|{}|{:?}",
+            self.data, self.trials, self.seed, self.seed_offset, self.dataset_seed
+        )
+    }
+
+    /// Pass-1 stream geometry — `(chunks, segments)` — for cells whose
+    /// pass 1 can run as a distributed segment reduction: the streaming
+    /// engine over a synthetic MVN workload. `None` for every other
+    /// engine/data combination (in-memory cells have no pass 1; CSV streams
+    /// cannot skip ahead without reading, so splitting them buys nothing).
+    pub fn stream_geometry(&self) -> Option<(usize, usize)> {
+        match (&self.engine, &self.data) {
+            (EngineSpec::Streaming { chunk_rows }, DataSpec::SyntheticMvn { records, .. }) => {
+                let chunks = records.div_ceil(*chunk_rows).max(1);
+                Some((chunks, moment_segment_count(chunks)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Approximate record count of the cell's dataset — the weight the
+    /// balance-aware shard planner's cost model uses. CSV sources would
+    /// need an I/O pass to count, so they get a flat nominal weight; the
+    /// planner only needs relative proportions, not exact sizes.
+    pub fn approx_records(&self) -> usize {
+        match &self.data {
+            DataSpec::SyntheticMvn { records, .. } => *records,
+            DataSpec::Ar1Timeseries { records, .. } => *records,
+            DataSpec::Csv { .. } => 4096,
+        }
+    }
+
     /// Runs this single scenario directly (no pool dispatch, no grouping) —
     /// the hand-rolled baseline the runner's scheduling overhead is
     /// benchmarked against.
     pub fn run(&self) -> Result<ScenarioResult> {
         self.validate()?;
-        let mut results = execute_group(std::slice::from_ref(self))?;
+        let mut results = execute_group(std::slice::from_ref(self), None)?;
         Ok(results.pop().expect("one scenario in, one result out"))
     }
 }
@@ -875,6 +932,91 @@ pub fn workload_groups(specs: &[ScenarioSpec]) -> Vec<Vec<usize>> {
     groups.into_iter().map(|(_, members)| members).collect()
 }
 
+/// Groups scenario indices by **data fingerprint**
+/// ([`ScenarioSpec::data_fingerprint`]), in first-appearance order — the
+/// coarser, second level of the two-level workload grouping. One data group
+/// may span several workload groups (same dataset, different noise models or
+/// attack families); the runner's [`DatasetPool`] generates each data
+/// group's per-trial dataset exactly once.
+pub fn data_groups(specs: &[ScenarioSpec]) -> Vec<Vec<usize>> {
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let fp = spec.data_fingerprint();
+        match groups.iter_mut().find(|(key, _)| *key == fp) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((fp, vec![i])),
+        }
+    }
+    groups.into_iter().map(|(_, members)| members).collect()
+}
+
+/// Process-wide count of dataset constructions (synthetic generations, AR(1)
+/// generations, CSV materializations, synthetic stream sources) since
+/// process start or the last [`reset_dataset_generations`]. The observable
+/// half of the two-level grouping acceptance: on a grid whose cells differ
+/// only in noise/attack, this counter equals `data groups × trials`, not
+/// `workload groups × trials`.
+static DATASET_GENERATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the process-wide dataset-construction counter.
+pub fn dataset_generations() -> u64 {
+    DATASET_GENERATIONS.load(Ordering::Relaxed)
+}
+
+/// Resets the dataset-construction counter (test/CLI observability hook).
+pub fn reset_dataset_generations() {
+    DATASET_GENERATIONS.store(0, Ordering::Relaxed);
+}
+
+fn note_dataset_generated() {
+    DATASET_GENERATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One built per-trial dataset, shareable across workload groups through the
+/// [`DatasetPool`]. A data fingerprint always maps to one variant: in-memory
+/// fingerprints build [`SharedData::Memory`], streaming synthetic
+/// fingerprints build [`SharedData::Stream`].
+pub(crate) enum SharedData {
+    /// A materialized in-memory dataset.
+    Memory(BuiltData),
+    /// A seeded synthetic chunk source (cheap to clone, replays exactly).
+    Stream(SyntheticChunkSource),
+}
+
+/// The runner's dataset pool: [`SharePool`] keyed on
+/// `(data fingerprint, trial seed)` holding [`SharedData`].
+pub(crate) type DatasetPool = SharePool<SharedData>;
+
+/// Consumer counts for a [`DatasetPool`]: how many workload groups share
+/// each data fingerprint (each group releases its fingerprint once, after
+/// its last trial).
+pub(crate) fn data_group_consumers(
+    specs: &[ScenarioSpec],
+    member_sets: &[Vec<usize>],
+) -> HashMap<String, usize> {
+    let mut consumers: HashMap<String, usize> = HashMap::new();
+    for set in member_sets {
+        if let Some(&leader) = set.first() {
+            *consumers
+                .entry(specs[leader].data_fingerprint())
+                .or_insert(0) += 1;
+        }
+    }
+    consumers
+}
+
+fn lease_shared(
+    pool: Option<&DatasetPool>,
+    data_fp: &str,
+    trial_seed: u64,
+    build: impl FnOnce() -> Result<SharedData>,
+) -> Result<Arc<SharedData>> {
+    match pool {
+        Some(pool) => pool.lease(data_fp, trial_seed, build),
+        None => Ok(Arc::new(build()?)),
+    }
+}
+
 /// Runs a list of scenarios on the shared workspace pool and returns their
 /// results **in input order**.
 ///
@@ -890,10 +1032,11 @@ pub fn run_scenarios(specs: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>> {
         spec.validate()?;
     }
     let member_sets = workload_groups(specs);
+    let pool = DatasetPool::new(data_group_consumers(specs, &member_sets));
 
     let group_results = parallel_map(member_sets, |members| {
         let group: Vec<ScenarioSpec> = members.iter().map(|&i| specs[i].clone()).collect();
-        let results = execute_group(&group)?;
+        let results = execute_group(&group, Some(&pool))?;
         Ok(members
             .iter()
             .copied()
@@ -934,8 +1077,11 @@ fn cancelled_error() -> ExperimentError {
 
 /// Executes one workload group (scenarios sharing everything but the
 /// attack/metrics) and returns one result per member, in member order.
-fn execute_group(group: &[ScenarioSpec]) -> Result<Vec<ScenarioResult>> {
-    execute_group_cancellable(group, &CancelToken::new())
+fn execute_group(
+    group: &[ScenarioSpec],
+    pool: Option<&DatasetPool>,
+) -> Result<Vec<ScenarioResult>> {
+    execute_group_inner(group, &CancelToken::new(), pool, None)
 }
 
 /// [`execute_group`] with a cooperative [`CancelToken`]: checked before each
@@ -946,7 +1092,34 @@ fn execute_group_cancellable(
     group: &[ScenarioSpec],
     cancel: &CancelToken,
 ) -> Result<Vec<ScenarioResult>> {
+    execute_group_inner(group, cancel, None, None)
+}
+
+/// The grouped-execution core. `pool` (when given) shares per-trial datasets
+/// across workload groups with equal data fingerprints; `prepared` (when
+/// given) supplies one already-reduced [`StreamMoments`] per trial — the
+/// coordinator's path for *split* streaming groups whose pass 1 was
+/// distributed across shard workers — and skips the local pass 1.
+fn execute_group_inner(
+    group: &[ScenarioSpec],
+    cancel: &CancelToken,
+    pool: Option<&DatasetPool>,
+    prepared: Option<&[StreamMoments]>,
+) -> Result<Vec<ScenarioResult>> {
     let proto = &group[0];
+    if let Some(prepared) = prepared {
+        if prepared.len() != proto.trials {
+            return Err(ExperimentError::InvalidConfig {
+                reason: format!(
+                    "scenario '{}': {} prepared moment sets for {} trials",
+                    proto.label,
+                    prepared.len(),
+                    proto.trials
+                ),
+            });
+        }
+    }
+    let data_fp = proto.data_fingerprint();
     let mut metric_sums: Vec<Vec<f64>> = group.iter().map(|s| vec![0.0; s.metrics.len()]).collect();
     let mut components: Vec<Option<usize>> = vec![None; group.len()];
     let mut seconds: Vec<f64> = vec![0.0; group.len()];
@@ -958,18 +1131,30 @@ fn execute_group_cancellable(
         if cancel.is_cancelled() {
             return Err(cancelled_error());
         }
-        let trial_seed = proto
-            .dataset_seed
-            .unwrap_or_else(|| child_seed(proto.seed, proto.seed_offset + trial as u64));
-        let noise_seed = proto
-            .noise_seed
-            .unwrap_or_else(|| child_seed(trial_seed, 1));
+        let (trial_seed, noise_seed) = trial_seeds(proto, trial);
 
         let (measurements, measured_x) = match proto.engine {
-            EngineSpec::InMemory => run_in_memory_trial(group, trial_seed, noise_seed, cancel)?,
-            EngineSpec::Streaming { chunk_rows } => {
-                run_streaming_trial(group, chunk_rows, trial_seed, noise_seed, cancel)?
+            EngineSpec::InMemory => {
+                if prepared.is_some() {
+                    return Err(ExperimentError::InvalidConfig {
+                        reason: format!(
+                            "scenario '{}': prepared stream moments on the in-memory engine",
+                            proto.label
+                        ),
+                    });
+                }
+                run_in_memory_trial(group, trial_seed, noise_seed, cancel, pool, &data_fp)?
             }
+            EngineSpec::Streaming { chunk_rows } => run_streaming_trial(
+                group,
+                chunk_rows,
+                trial_seed,
+                noise_seed,
+                cancel,
+                pool,
+                &data_fp,
+                prepared.map(|p| &p[trial]),
+            )?,
         };
         if let Some(x) = measured_x {
             *measured_x_sum.get_or_insert(0.0) += x;
@@ -987,6 +1172,12 @@ fn execute_group_cancellable(
                 }
             }
         }
+    }
+    // This group has consumed all its trials; the last sharing group's
+    // release evicts the cached datasets. (An errored group skips its
+    // release — its cache entries simply live until the pool drops.)
+    if let Some(pool) = pool {
+        pool.release(&data_fp);
     }
 
     let trials = proto.trials as f64;
@@ -1015,11 +1206,25 @@ fn execute_group_cancellable(
         .collect())
 }
 
+/// Derives the per-trial `(workload seed, disguise seed)` pair — the single
+/// source of truth shared by grouped execution, isolated re-runs, and the
+/// distributed pass-1 worker, so all three are bit-identical by
+/// construction.
+pub(crate) fn trial_seeds(spec: &ScenarioSpec, trial: usize) -> (u64, u64) {
+    let trial_seed = spec
+        .dataset_seed
+        .unwrap_or_else(|| child_seed(spec.seed, spec.seed_offset + trial as u64));
+    let noise_seed = spec.noise_seed.unwrap_or_else(|| child_seed(trial_seed, 1));
+    (trial_seed, noise_seed)
+}
+
 /// The materialized original data of an in-memory trial, with the synthetic
 /// ground-truth structure when available (the correlated noise model and the
 /// partial-knowledge attack need it).
-enum BuiltData {
+pub(crate) enum BuiltData {
+    /// A synthetic MVN draw with its ground-truth spectral structure.
     Synthetic(SyntheticDataset),
+    /// A plain table (AR(1) series or CSV load).
     Table(DataTable),
 }
 
@@ -1041,14 +1246,10 @@ impl BuiltData {
     }
 }
 
-fn run_in_memory_trial(
-    group: &[ScenarioSpec],
-    trial_seed: u64,
-    noise_seed: u64,
-    cancel: &CancelToken,
-) -> Result<(Vec<TrialMeasurement>, Option<f64>)> {
-    let proto = &group[0];
-    let data = match &proto.data {
+/// Builds one in-memory trial dataset (and counts the construction).
+fn build_memory_data(proto: &ScenarioSpec, trial_seed: u64) -> Result<SharedData> {
+    note_dataset_generated();
+    Ok(SharedData::Memory(match &proto.data {
         DataSpec::SyntheticMvn { spectrum, records } => BuiltData::Synthetic(
             SyntheticDataset::generate(&spectrum.build()?, *records, trial_seed)?,
         ),
@@ -1063,6 +1264,46 @@ fn run_in_memory_trial(
                 .generate_table(*records, *series, trial_seed)?,
         ),
         DataSpec::Csv { path } => BuiltData::Table(read_csv_file(path)?),
+    }))
+}
+
+/// Builds one streaming trial's synthetic chunk source (and counts the
+/// construction).
+fn build_stream_data(
+    spectrum: &SpectrumSpec,
+    records: usize,
+    chunk_rows: usize,
+    trial_seed: u64,
+) -> Result<SharedData> {
+    note_dataset_generated();
+    Ok(SharedData::Stream(SyntheticChunkSource::generate(
+        &spectrum.build()?,
+        records,
+        chunk_rows,
+        trial_seed,
+    )?))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_in_memory_trial(
+    group: &[ScenarioSpec],
+    trial_seed: u64,
+    noise_seed: u64,
+    cancel: &CancelToken,
+    pool: Option<&DatasetPool>,
+    data_fp: &str,
+) -> Result<(Vec<TrialMeasurement>, Option<f64>)> {
+    let proto = &group[0];
+    let shared = lease_shared(pool, data_fp, trial_seed, || {
+        build_memory_data(proto, trial_seed)
+    })?;
+    let SharedData::Memory(data) = shared.as_ref() else {
+        return Err(ExperimentError::InvalidConfig {
+            reason: format!(
+                "scenario '{}': dataset pool held a stream source for an in-memory fingerprint",
+                proto.label
+            ),
+        });
     };
     let (randomizer, measured_x) = proto.noise.build(data.structure())?;
     let original = data.table();
@@ -1155,22 +1396,32 @@ fn run_in_memory_trial(
     Ok((out, measured_x))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_streaming_trial(
     group: &[ScenarioSpec],
     chunk_rows: usize,
     trial_seed: u64,
     noise_seed: u64,
     cancel: &CancelToken,
+    pool: Option<&DatasetPool>,
+    data_fp: &str,
+    prepared: Option<&StreamMoments>,
 ) -> Result<(Vec<TrialMeasurement>, Option<f64>)> {
     let proto = &group[0];
     match &proto.data {
         DataSpec::SyntheticMvn { spectrum, records } => {
-            let original = SyntheticChunkSource::generate(
-                &spectrum.build()?,
-                *records,
-                chunk_rows,
-                trial_seed,
-            )?;
+            let shared = lease_shared(pool, data_fp, trial_seed, || {
+                build_stream_data(spectrum, *records, chunk_rows, trial_seed)
+            })?;
+            let SharedData::Stream(original) = shared.as_ref() else {
+                return Err(ExperimentError::InvalidConfig {
+                    reason: format!(
+                        "scenario '{}': dataset pool held an in-memory dataset for a streaming \
+                         fingerprint",
+                        proto.label
+                    ),
+                });
+            };
             let (randomizer, measured_x) = proto.noise.build(Some((
                 original.eigenvalues(),
                 original.eigenvectors(),
@@ -1178,16 +1429,27 @@ fn run_streaming_trial(
             )))?;
             let mut disguised = DisguisedChunkSource::new(original.clone(), randomizer, noise_seed);
             let noise = disguised.model().clone();
+            let fresh = original.clone();
             let measurements = sweep_streaming_group(
                 group,
                 &mut disguised,
                 &noise,
-                || Ok(Box::new(original.clone())),
+                move || Ok(Box::new(fresh.clone())),
                 cancel,
+                prepared,
             )?;
             Ok((measurements, measured_x))
         }
         DataSpec::Csv { path } => {
+            if prepared.is_some() {
+                return Err(ExperimentError::InvalidConfig {
+                    reason: format!(
+                        "scenario '{}': prepared stream moments on a CSV stream (only synthetic \
+                         streams split their pass 1)",
+                        proto.label
+                    ),
+                });
+            }
             let (randomizer, measured_x) = proto.noise.build(None)?;
             let reader = CsvChunkReader::open(path, chunk_rows)?;
             let mut disguised = DisguisedChunkSource::new(reader, randomizer, noise_seed);
@@ -1199,6 +1461,7 @@ fn run_streaming_trial(
                 &noise,
                 move || Ok(Box::new(CsvChunkReader::open(&path, chunk_rows)?)),
                 cancel,
+                None,
             )?;
             Ok((measurements, measured_x))
         }
@@ -1208,14 +1471,17 @@ fn run_streaming_trial(
     }
 }
 
-/// Streaming pass 1 once, then every member attack over the shared moments,
-/// each scored by a metrics-only MSE sink against a fresh original stream.
+/// Streaming pass 1 once (skipped when `prepared` moments are supplied —
+/// the coordinator's reduced cross-shard moments are bit-identical to a
+/// local pass 1), then every member attack over the shared moments, each
+/// scored by a metrics-only MSE sink against a fresh original stream.
 fn sweep_streaming_group<S, F>(
     group: &[ScenarioSpec],
     disguised: &mut S,
     noise: &randrecon_noise::NoiseModel,
     mut fresh_original: F,
     cancel: &CancelToken,
+    prepared: Option<&StreamMoments>,
 ) -> Result<Vec<TrialMeasurement>>
 where
     S: RecordChunkSource + Send + ?Sized,
@@ -1224,7 +1490,14 @@ where
     if cancel.is_cancelled() {
         return Err(cancelled_error());
     }
-    let moments = StreamingDriver::accumulate_moments(disguised)?;
+    let computed;
+    let moments = match prepared {
+        Some(moments) => moments,
+        None => {
+            computed = StreamingDriver::accumulate_moments(disguised)?;
+            &computed
+        }
+    };
     let driver = StreamingDriver::default();
     let mut out = Vec::with_capacity(group.len());
     for spec in group {
@@ -1237,7 +1510,7 @@ where
         let mut sink = MseSink::new(reference.as_mut())?;
         let report = driver.run_with_moments_cancellable(
             chunk_attack.as_ref(),
-            &moments,
+            moments,
             disguised,
             noise,
             &mut sink,
@@ -1491,8 +1764,12 @@ fn run_one_failsoft(spec: &ScenarioSpec, policy: RetryPolicy) -> ScenarioOutcome
 /// first; if any member poisons it — an error, a panic, or a blown group
 /// deadline — each member is re-run in isolation (under its own per-cell
 /// deadline) so one bad cell cannot take down its group-mates.
-fn execute_group_failsoft(group: &[ScenarioSpec], policy: RetryPolicy) -> Vec<ScenarioOutcome> {
-    if group.len() > 1 {
+pub(crate) fn execute_group_failsoft(
+    group: &[ScenarioSpec],
+    policy: RetryPolicy,
+    pool: Option<&DatasetPool>,
+) -> Vec<ScenarioOutcome> {
+    if group.len() > 1 || pool.is_some() {
         // The shared run gets the whole group's worth of cell deadlines —
         // it does the work of `group.len()` cells.
         let cancel = match policy.cell_timeout {
@@ -1500,7 +1777,7 @@ fn execute_group_failsoft(group: &[ScenarioSpec], policy: RetryPolicy) -> Vec<Sc
             None => CancelToken::new(),
         };
         let shared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_group_cancellable(group, &cancel)
+            execute_group_inner(group, &cancel, pool, None)
         }));
         if let Ok(Ok(results)) = shared {
             return results
@@ -1509,7 +1786,85 @@ fn execute_group_failsoft(group: &[ScenarioSpec], policy: RetryPolicy) -> Vec<Sc
                 .collect();
         }
     }
+    // Isolated (unpooled) per-member retries — bit-identical to the shared
+    // path, since dataset sharing is purely a cost optimization.
     group.iter().map(|s| run_one_failsoft(s, policy)).collect()
+}
+
+/// Finishes a *split* workload group coordinator-side from already-reduced
+/// per-trial stream moments (one [`StreamMoments`] per trial): builds the
+/// group's disguised stream — through the dataset `pool`, so the grid's
+/// shared datasets are constructed once — and runs every member's pass 2
+/// against the supplied moments. Because the reduced moments are
+/// bit-identical to the moments a local pass 1 would produce (same fixed
+/// segmentation, same fold), results equal single-process execution bit for
+/// bit. On error or panic the members fall back to isolated self-computing
+/// runs — again bit-identical, just without the distributed economy.
+pub(crate) fn execute_group_failsoft_with_moments(
+    group: &[ScenarioSpec],
+    moments: &[StreamMoments],
+    policy: RetryPolicy,
+    pool: Option<&DatasetPool>,
+) -> Vec<ScenarioOutcome> {
+    let cancel = match policy.cell_timeout {
+        Some(timeout) => CancelToken::with_deadline(timeout * group.len().max(1) as u32),
+        None => CancelToken::new(),
+    };
+    let shared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_group_inner(group, &cancel, pool, Some(moments))
+    }));
+    if let Ok(Ok(results)) = shared {
+        return results
+            .into_iter()
+            .map(ScenarioOutcome::from_result)
+            .collect();
+    }
+    group.iter().map(|s| run_one_failsoft(s, policy)).collect()
+}
+
+/// Worker half of the distributed pass 1: builds trial `trial`'s disguised
+/// stream for a splittable group prototype ([`ScenarioSpec::stream_geometry`]
+/// is `Some`) and accumulates its self-anchored moment segments
+/// `seg_lo..seg_hi`. Skipping to `seg_lo` is a pure seed-cursor jump (both
+/// the synthetic sampler and the disguise noise are child-seeded per chunk
+/// index), so the returned segments are bit-identical to the ones a full
+/// single-process pass folds — the property the coordinator's cross-shard
+/// reduce depends on.
+pub(crate) fn accumulate_split_segments(
+    proto: &ScenarioSpec,
+    trial: usize,
+    seg_lo: usize,
+    seg_hi: usize,
+) -> Result<Vec<MomentSegment>> {
+    let EngineSpec::Streaming { chunk_rows } = proto.engine else {
+        return Err(ExperimentError::InvalidConfig {
+            reason: format!(
+                "scenario '{}': moment segments need the streaming engine",
+                proto.label
+            ),
+        });
+    };
+    let DataSpec::SyntheticMvn { spectrum, records } = &proto.data else {
+        return Err(ExperimentError::InvalidConfig {
+            reason: format!(
+                "scenario '{}': moment segments need a synthetic MVN stream",
+                proto.label
+            ),
+        });
+    };
+    let (trial_seed, noise_seed) = trial_seeds(proto, trial);
+    let SharedData::Stream(original) =
+        build_stream_data(spectrum, *records, chunk_rows, trial_seed)?
+    else {
+        unreachable!("build_stream_data always builds a stream");
+    };
+    let (randomizer, _measured_x) = proto.noise.build(Some((
+        original.eigenvalues(),
+        original.eigenvectors(),
+        original.covariance(),
+    )))?;
+    let mut disguised = DisguisedChunkSource::new(original, randomizer, noise_seed);
+    Ok(accumulate_moment_segments(&mut disguised, seg_lo, seg_hi)?)
 }
 
 /// The fail-soft core: validates, groups, dispatches, and reports every
@@ -1530,11 +1885,12 @@ where
         spec.validate()?;
     }
     let member_sets = workload_groups(specs);
+    let pool = DatasetPool::new(data_group_consumers(specs, &member_sets));
 
     let callback_error: std::sync::Mutex<Option<ExperimentError>> = std::sync::Mutex::new(None);
     let group_outcomes = randrecon_parallel::parallel_map_catch(&member_sets, |members| {
         let group: Vec<ScenarioSpec> = members.iter().map(|&i| specs[i].clone()).collect();
-        let outcomes = execute_group_failsoft(&group, policy);
+        let outcomes = execute_group_failsoft(&group, policy, Some(&pool));
         for (&i, outcome) in members.iter().zip(outcomes.iter()) {
             if let Err(e) = on_done(i, outcome) {
                 let mut slot = callback_error.lock().unwrap_or_else(|e| e.into_inner());

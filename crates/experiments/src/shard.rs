@@ -1,49 +1,66 @@
-//! Sharded multi-process scenario execution: split a grid into contiguous
-//! shards, run each shard in its own worker process against its own
-//! journal, and merge the journals into one outcome list **bit-identical**
-//! to a single-process [`run_scenarios`](crate::scenario::run_scenarios)
-//! run.
+//! Sharded multi-process scenario execution: split a grid into per-shard
+//! cell slices (plus, optionally, distributed pass-1 moment tasks), run
+//! each shard in its own worker process against its own journal, and
+//! reduce the journals into one outcome list **bit-identical** to a
+//! single-process [`run_scenarios`](crate::scenario::run_scenarios) run.
 //!
-//! ## Why sharding composes cleanly here
+//! ## The balance-aware planner
 //!
 //! Every scenario's result is a pure function of its spec (all randomness
 //! is spec-derived), and workload groups — scenarios sharing {data, noise,
-//! engine, seeds} — are independent of each other. So the only constraint
-//! a shard split must respect is *group integrity*: a workload group must
-//! not straddle a shard boundary, or its members would regenerate the
-//! shared workload in two processes (still correct, but wasted work and a
-//! broken economy contract). [`plan_shards`] therefore only cuts the grid
-//! at positions no group spans, placing cuts as close to the balanced
-//! ideal as those positions allow — possibly yielding fewer shards than
-//! asked for, never an invalid split.
+//! engine, seeds} — are independent of each other. [`plan_shards`] costs
+//! each group as cells × records and places whole groups greedily by LPT
+//! (heaviest first, each onto the least-loaded shard; all ties broken by
+//! index, so the plan is a pure function of `(specs, n_shards, policy)`
+//! and coordinator and re-exec'd workers always agree on it). A shard's
+//! cells therefore form a possibly non-contiguous [`ShardSlice`], not a
+//! single range.
+//!
+//! Under [`SplitPolicy::Auto`]/[`SplitPolicy::Always`], a *splittable*
+//! group — streaming-MVN geometry, where pass 1 folds fixed-width
+//! self-anchored moment segments — may instead become a [`SplitGroup`]:
+//! its per-trial segment window is dealt contiguously across the shards as
+//! [`MomentTask`]s, so one workload group's pass 1 runs as a **distributed
+//! reduction** instead of pinning the whole group (and its dataset
+//! generation) to one worker.
 //!
 //! ## The worker ↔ coordinator protocol
 //!
 //! * The coordinator ([`run_sharded`]) expands the grid once, plans the
 //!   shards, and spawns one `std::process::Command` worker per shard
-//!   (typically the same binary re-exec'd with `--shard-range a..b`, the
-//!   pattern the re-exec determinism suites established).
-//! * Each worker ([`run_shard_worker`]) runs its slice through the same
-//!   fail-soft machinery as a single-process sweep, journaling every
-//!   outcome to a **shard journal** — a [`ResultJournal`] whose
-//!   shard-stamped header carries the full-grid fingerprint *plus* the
-//!   worker's global
-//!   index range (see the [journal module docs](crate::journal)). Record
-//!   indices are global grid indices, so merging needs no renumbering.
+//!   (typically the same binary re-exec'd with `--shard-range` and
+//!   repeated `--moment-task` flags, the pattern the re-exec determinism
+//!   suites established).
+//! * Each worker ([`run_shard_worker_with`]) first accumulates its moment
+//!   tasks — journaling one frame per `(leader, trial, segment)` partial —
+//!   then runs its cell slice through the same fail-soft machinery as a
+//!   single-process sweep, journaling every outcome under its *global*
+//!   grid index. Contiguous no-task shards keep the byte-stable **v4**
+//!   shard journal; slices and moment tasks ride the **v5** slice journal
+//!   (see the [journal module docs](crate::journal)).
 //! * A worker that dies is re-spawned up to
 //!   [`ShardedRunConfig::max_restarts`] times; on restart it resumes from
-//!   its journal, recomputing only the cells that never landed.
+//!   its journal, recomputing only the cells — and only the moment
+//!   segments — that never landed.
 //! * After all workers finish (or exhaust their restarts), the coordinator
-//!   recovers every shard journal read-only
-//!   ([`ResultJournal::recover_shard`]) and merges by global index
-//!   ([`merge_shard_journals`]). The coordinator is itself fail-soft: a
-//!   shard that never completed surfaces its unrecovered cells as
+//!   runs the **reduce** ([`reduce_shard_journals`]): it recovers every
+//!   journal read-only, merges outcomes by global index, reassembles each
+//!   split group's segment partials in segment order, folds them with the
+//!   *same* two-level merge a single process uses
+//!   ([`merge_moment_segments`]), and finishes the split groups' pass 2
+//!   coordinator-side against the reduced moments. Because the segmentation
+//!   is fixed-width and each partial is self-anchored, the reduced moments
+//!   are bit-identical to local accumulation — no f64 reassociation ever
+//!   happens. The reduce is fail-soft twice over: a group with incomplete
+//!   partials falls back to self-computing pass 1 (bit-identical, slower),
+//!   and cells no journal holds surface as
 //!   [`ScenarioOutcome::Failed`] entries, not a dead sweep.
 //!
-//! Wall-clock `seconds` aside, the merged outcome list is bit-identical to
-//! a single-process run — pinned by the re-exec suite in
+//! Wall-clock `seconds` aside, the reduced outcome list is bit-identical
+//! to a single-process run — pinned by the re-exec suite in
 //! `tests/shard_tests.rs` and by CI comparing the `outcome hash:` lines of
-//! a sharded and an unsharded `scenarios` invocation.
+//! sharded (plain and moment-merged) and unsharded `scenarios`
+//! invocations.
 //!
 //! ## The heartbeat protocol and the watchdog
 //!
@@ -78,11 +95,15 @@
 
 use crate::backoff::BackoffPolicy;
 use crate::error::{ExperimentError, Result};
-use crate::journal::{grid_fingerprint, CrashPoint, ResultJournal, ResumableRun};
+use crate::journal::{grid_fingerprint, CrashPoint, ResultJournal, ResumableRun, ShardRecovery};
 use crate::scenario::{
-    execute_specs_failsoft, workload_groups, RetryPolicy, ScenarioFailure, ScenarioOutcome,
-    ScenarioSpec,
+    accumulate_split_segments, data_group_consumers, execute_group_failsoft,
+    execute_group_failsoft_with_moments, execute_specs_failsoft, workload_groups, DatasetPool,
+    RetryPolicy, ScenarioFailure, ScenarioOutcome, ScenarioSpec,
 };
+use randrecon_core::streaming::StreamMoments;
+use randrecon_core::{merge_moment_segments, MomentSegment};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -150,82 +171,370 @@ impl fmt::Display for ShardRange {
     }
 }
 
-/// Splits `specs` into up to `n_shards` contiguous, workload-group-aware
-/// ranges tiling `0..specs.len()`.
+/// One shard's (possibly non-contiguous) set of global cell indices: a
+/// canonical list of sorted, disjoint, non-adjacent [`ShardRange`]s.
+/// Displays (and parses) as comma-joined ranges — `0..3,6..9` — the format
+/// the `scenarios` binary's `--shard-range` flag accepts. May be empty: a
+/// shard can carry only distributed pass-1 moment tasks and no whole cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSlice {
+    ranges: Vec<ShardRange>,
+}
+
+impl ShardSlice {
+    /// Builds a slice from arbitrary ranges: sorts them, rejects overlaps,
+    /// and coalesces adjacent ranges into canonical form (so two slices
+    /// covering the same cells always compare and render equal).
+    pub fn new(mut ranges: Vec<ShardRange>) -> Result<ShardSlice> {
+        ranges.sort_by_key(|r| r.start);
+        let mut canonical: Vec<ShardRange> = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            match canonical.last_mut() {
+                Some(prev) if range.start < prev.end => {
+                    return Err(config_err(format!(
+                        "shard slice ranges overlap: {prev} and {range}"
+                    )));
+                }
+                Some(prev) if range.start == prev.end => prev.end = range.end,
+                _ => canonical.push(range),
+            }
+        }
+        Ok(ShardSlice { ranges: canonical })
+    }
+
+    /// A slice of one contiguous range.
+    pub fn single(range: ShardRange) -> ShardSlice {
+        ShardSlice {
+            ranges: vec![range],
+        }
+    }
+
+    /// A slice over an explicit (deduplicated) cell set.
+    pub fn from_cells(mut cells: Vec<usize>) -> Result<ShardSlice> {
+        cells.sort_unstable();
+        cells.dedup();
+        let mut ranges = Vec::new();
+        for cell in cells {
+            match ranges.last_mut() {
+                Some(ShardRange { end, .. }) if *end == cell => *end += 1,
+                _ => ranges.push(ShardRange {
+                    start: cell,
+                    end: cell + 1,
+                }),
+            }
+        }
+        Ok(ShardSlice { ranges })
+    }
+
+    /// The canonical range list (sorted, disjoint, non-adjacent).
+    pub fn ranges(&self) -> &[ShardRange] {
+        &self.ranges
+    }
+
+    /// Total number of cells in the slice.
+    pub fn len(&self) -> usize {
+        self.ranges.iter().map(ShardRange::len).sum()
+    }
+
+    /// Whether the slice holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Whether global index `i` falls inside the slice.
+    pub fn contains(&self, i: usize) -> bool {
+        self.ranges.iter().any(|r| r.contains(i))
+    }
+
+    /// The slice's cells in ascending order.
+    pub fn cells(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ranges.iter().flat_map(|r| r.start..r.end)
+    }
+
+    /// The position of global index `i` within [`cells`](Self::cells)
+    /// order, or `None` when `i` is outside the slice.
+    pub fn position(&self, i: usize) -> Option<usize> {
+        let mut offset = 0usize;
+        for range in &self.ranges {
+            if range.contains(i) {
+                return Some(offset + (i - range.start));
+            }
+            offset += range.len();
+        }
+        None
+    }
+
+    /// The lowest cell index, or `None` for an empty slice.
+    pub fn first(&self) -> Option<usize> {
+        self.ranges.first().map(|r| r.start)
+    }
+
+    /// Parses the comma-joined rendering (the `--shard-range` flag);
+    /// an empty string is the empty slice.
+    pub fn parse(s: &str) -> Option<ShardSlice> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Some(ShardSlice { ranges: Vec::new() });
+        }
+        let ranges = s
+            .split(',')
+            .map(ShardRange::parse)
+            .collect::<Option<Vec<_>>>()?;
+        ShardSlice::new(ranges).ok()
+    }
+}
+
+impl fmt::Display for ShardSlice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, range) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{range}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One distributed pass-1 task: accumulate moment segments
+/// `seg_lo..seg_hi` (for every trial) of the workload group led by global
+/// cell `leader`. Displays/parses as `leader:lo..hi` (the `--moment-task`
+/// flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MomentTask {
+    /// Global index of the group's leader cell (lowest member index).
+    pub leader: usize,
+    /// First segment index (inclusive).
+    pub seg_lo: usize,
+    /// Last segment index (exclusive).
+    pub seg_hi: usize,
+}
+
+impl MomentTask {
+    /// Parses the `leader:lo..hi` rendering.
+    pub fn parse(s: &str) -> Option<MomentTask> {
+        let (leader, range) = s.split_once(':')?;
+        let range = ShardRange::parse(range)?;
+        Some(MomentTask {
+            leader: leader.trim().parse().ok()?,
+            seg_lo: range.start,
+            seg_hi: range.end,
+        })
+    }
+}
+
+impl fmt::Display for MomentTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}..{}", self.leader, self.seg_lo, self.seg_hi)
+    }
+}
+
+/// When the planner may split one workload group's pass-1 moment
+/// accumulation across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitPolicy {
+    /// Never split: every group's cells stay on one shard and pass 1 runs
+    /// locally (the PR-8 protocol; shard journals stay format v4).
+    #[default]
+    Never,
+    /// Split a group only when it is splittable (streaming MVN geometry)
+    /// and its cost exceeds an even per-shard share of the grid.
+    Auto,
+    /// Split every splittable group (used by tests and `--moment-merge`).
+    Always,
+}
+
+/// A workload group whose pass-1 moment fold is distributed across shards.
+#[derive(Debug, Clone)]
+pub struct SplitGroup {
+    /// Global index of the group leader (lowest member index).
+    pub leader: usize,
+    /// All member cell indices, ascending.
+    pub members: Vec<usize>,
+    /// Trials per member (identical across the group).
+    pub trials: usize,
+    /// Total moment segments per trial.
+    pub segments: usize,
+    /// `(shard index, task)` assignments partitioning `0..segments`.
+    pub tasks: Vec<(usize, MomentTask)>,
+}
+
+/// A balance-aware shard plan: per-shard cell slices plus the split groups
+/// whose pass-1 segments are distributed across shards.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// One (possibly empty) cell slice per shard.
+    pub slices: Vec<ShardSlice>,
+    /// Workload groups whose moment fold is sharded; their member cells are
+    /// *not* in any slice — the coordinator finishes them after the reduce.
+    pub split: Vec<SplitGroup>,
+}
+
+impl ShardPlan {
+    /// Number of shards in the plan.
+    pub fn n_shards(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The moment tasks assigned to shard `i`, in leader order.
+    pub fn tasks_for(&self, shard: usize) -> Vec<MomentTask> {
+        self.split
+            .iter()
+            .flat_map(|g| {
+                g.tasks
+                    .iter()
+                    .filter(move |(s, _)| *s == shard)
+                    .map(|&(_, t)| t)
+            })
+            .collect()
+    }
+}
+
+/// Per-group cost model for the balance-aware planner: cells × records.
+/// Records dominate both dataset generation and reconstruction time, and
+/// cells multiply the reconstruction sweeps, so the product tracks wall
+/// time well enough for LPT balancing without timing anything.
+fn group_cost(specs: &[ScenarioSpec], members: &[usize]) -> u128 {
+    let records = members
+        .iter()
+        .map(|&i| specs[i].approx_records() as u128)
+        .max()
+        .unwrap_or(1);
+    members.len() as u128 * records.max(1)
+}
+
+/// Splits `specs` into an `n_shards`-way balance-aware [`ShardPlan`].
 ///
-/// A cut position is *valid* if no workload group has members on both
-/// sides of it; each of the `n_shards - 1` ideal balanced cut points is
-/// moved to the nearest valid position (searching outward, nearer-lower
-/// first). When no valid position remains between two cuts the shard count
-/// degrades gracefully — a grid that is one giant group yields one shard —
-/// so the result always tiles the grid exactly and never splits a group.
-pub fn plan_shards(specs: &[ScenarioSpec], n_shards: usize) -> Result<Vec<ShardRange>> {
+/// Groups are costed as cells × records. Under [`SplitPolicy::Auto`] /
+/// [`SplitPolicy::Always`], workload groups with streaming-MVN geometry
+/// (and, for `Auto`, cost above an even per-shard share) become
+/// [`SplitGroup`]s: their pass-1 moment segments are dealt contiguously
+/// across all shards and their cells are finished coordinator-side after
+/// the reduce. The remaining groups are placed greedily by LPT — heaviest
+/// first (ties: lowest leader index), each onto the least-loaded shard
+/// (ties: lowest shard index) — then each shard's cells are coalesced into
+/// a canonical [`ShardSlice`]. The plan is a pure function of
+/// `(specs, n_shards, policy)`, so coordinator and re-executed workers
+/// always agree on it.
+pub fn plan_shards(
+    specs: &[ScenarioSpec],
+    n_shards: usize,
+    policy: SplitPolicy,
+) -> Result<ShardPlan> {
     if specs.is_empty() {
         return Err(config_err("cannot shard an empty scenario grid"));
     }
     if n_shards == 0 {
         return Err(config_err("shard count must be at least 1"));
     }
-    let len = specs.len();
-    let mut cut_ok = vec![true; len + 1];
-    for group in workload_groups(specs) {
-        let lo = *group.iter().min().expect("groups are non-empty");
-        let hi = *group.iter().max().expect("groups are non-empty");
-        for slot in cut_ok.iter_mut().take(hi + 1).skip(lo + 1) {
-            *slot = false;
+    let mut groups = workload_groups(specs);
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups.sort_by_key(|g| g[0]);
+
+    let total_cost: u128 = groups.iter().map(|g| group_cost(specs, g)).sum();
+    let share = total_cost / n_shards as u128;
+    let mut loads = vec![0u128; n_shards];
+    let mut split = Vec::new();
+    let mut unsplit = Vec::new();
+    for group in groups {
+        let leader = group[0];
+        let cost = group_cost(specs, &group);
+        let geometry = specs[leader].stream_geometry();
+        let do_split = n_shards > 1
+            && match policy {
+                SplitPolicy::Never => false,
+                SplitPolicy::Auto => geometry.is_some() && cost > share,
+                SplitPolicy::Always => geometry.is_some(),
+            };
+        match geometry {
+            Some((_, segments)) if do_split => {
+                // Deal the group's segments contiguously across shards and
+                // charge each shard a proportional piece of the group cost.
+                let mut tasks = Vec::new();
+                let mut lo = 0usize;
+                for (shard, load) in loads.iter_mut().enumerate() {
+                    let hi = segments * (shard + 1) / n_shards;
+                    if hi > lo {
+                        tasks.push((
+                            shard,
+                            MomentTask {
+                                leader,
+                                seg_lo: lo,
+                                seg_hi: hi,
+                            },
+                        ));
+                        *load += cost * (hi - lo) as u128 / segments.max(1) as u128;
+                        lo = hi;
+                    }
+                }
+                split.push(SplitGroup {
+                    leader,
+                    trials: specs[leader].trials,
+                    segments,
+                    members: group,
+                    tasks,
+                });
+            }
+            _ => unsplit.push((cost, group)),
         }
     }
-    let mut cuts: Vec<usize> = vec![0];
-    for k in 1..n_shards {
-        let ideal = (len * k + n_shards / 2) / n_shards;
-        let last = *cuts.last().expect("cuts start with 0");
-        let valid = |c: usize| c > last && c < len && cut_ok[c];
-        let mut chosen = None;
-        for d in 0..len {
-            let below = ideal.checked_sub(d).filter(|&c| valid(c));
-            let above = Some(ideal + d).filter(|&c| valid(c));
-            if let Some(c) = below.or(above) {
-                chosen = Some(c);
-                break;
-            }
-            if ideal.saturating_sub(d) <= last && ideal + d >= len {
-                break;
-            }
-        }
-        if let Some(c) = chosen {
-            cuts.push(c);
-        }
+
+    // LPT: heaviest group first (ties by first index for determinism), each
+    // onto the currently least-loaded shard (ties by lowest shard index).
+    unsplit.sort_by(|a, b| b.0.cmp(&a.0).then(a.1[0].cmp(&b.1[0])));
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+    for (cost, group) in unsplit {
+        let shard = (0..n_shards)
+            .min_by_key(|&s| loads[s])
+            .expect("n_shards >= 1");
+        loads[shard] += cost;
+        bins[shard].extend(group);
     }
-    cuts.push(len);
-    Ok(cuts
-        .windows(2)
-        .map(|w| ShardRange {
-            start: w[0],
-            end: w[1],
-        })
-        .collect())
+    let slices = bins
+        .into_iter()
+        .map(ShardSlice::from_cells)
+        .collect::<Result<Vec<_>>>()?;
+    Ok(ShardPlan { slices, split })
 }
 
-/// Checks that `plan` tiles `0..specs.len()` exactly — contiguous,
-/// in-order, no gaps or overlaps.
-fn validate_plan(specs: &[ScenarioSpec], plan: &[ShardRange]) -> Result<()> {
-    if plan.is_empty() {
+/// Checks that `plan` tiles `0..specs.len()` exactly: every cell appears in
+/// exactly one shard slice or exactly one split group, with located errors
+/// naming the first duplicated and first missing cell.
+fn validate_plan(specs: &[ScenarioSpec], plan: &ShardPlan) -> Result<()> {
+    if plan.slices.is_empty() {
         return Err(config_err("shard plan is empty"));
     }
-    let mut expected = 0usize;
-    for range in plan {
-        if range.start != expected || range.start >= range.end {
+    let mut owner: Vec<Option<String>> = vec![None; specs.len()];
+    let mut claim = |cell: usize, who: String| -> Result<()> {
+        if cell >= specs.len() {
             return Err(config_err(format!(
-                "shard plan does not tile the grid: expected a shard starting at {expected}, \
-                 found {range}"
+                "shard plan covers cell {cell} but the grid has {} cells",
+                specs.len()
             )));
         }
-        expected = range.end;
+        if let Some(prev) = &owner[cell] {
+            return Err(config_err(format!(
+                "shard plan overlaps: cell {cell} claimed by both {prev} and {who}"
+            )));
+        }
+        owner[cell] = Some(who);
+        Ok(())
+    };
+    for (i, slice) in plan.slices.iter().enumerate() {
+        for cell in slice.cells() {
+            claim(cell, format!("shard {i} ({slice})"))?;
+        }
     }
-    if expected != specs.len() {
+    for group in &plan.split {
+        for &cell in &group.members {
+            claim(cell, format!("split group {}", group.leader))?;
+        }
+    }
+    if let Some(missing) = owner.iter().position(Option::is_none) {
         return Err(config_err(format!(
-            "shard plan covers {expected} cells but the grid has {}",
-            specs.len()
+            "shard plan has a gap: cell {missing} is assigned to no shard"
         )));
     }
     Ok(())
@@ -245,9 +554,14 @@ pub fn shard_heartbeat_path(journal: &Path) -> PathBuf {
 }
 
 /// The coordinator's view of a worker's heartbeat: the sidecar's current
-/// content, `None` when it does not exist (yet).
+/// content, `None` when it does not exist (yet) **or is torn**. Heartbeat
+/// frames are newline-terminated by the writer; a read that races the
+/// write can observe a partial frame, and accepting it would feed the
+/// watchdog a phantom "change" (resetting the stall clock for a wedged
+/// worker) — so only complete, newline-terminated frames count.
 fn read_heartbeat(journal: &Path) -> Option<String> {
-    std::fs::read_to_string(shard_heartbeat_path(journal)).ok()
+    let content = std::fs::read_to_string(shard_heartbeat_path(journal)).ok()?;
+    content.ends_with('\n').then_some(content)
 }
 
 // ---------------------------------------------------------------------------
@@ -286,8 +600,8 @@ pub struct WorkerOptions {
 /// journaling outcomes under their *global* indices. `crash` installs a
 /// deterministic [`CrashPoint`] — how the coordinator's kill-and-restart
 /// path is exercised. Returns one outcome per cell of `range`, in range
-/// order. Supervised runs use [`run_shard_worker_with`] for heartbeats and
-/// hang injection.
+/// order. Supervised runs and moment-merge shards use
+/// [`run_shard_worker_with`].
 pub fn run_shard_worker(
     specs: &[ScenarioSpec],
     range: ShardRange,
@@ -297,7 +611,8 @@ pub fn run_shard_worker(
 ) -> Result<ResumableRun> {
     run_shard_worker_with(
         specs,
-        range,
+        &ShardSlice::single(range),
+        &[],
         journal_path,
         policy,
         WorkerOptions {
@@ -307,16 +622,43 @@ pub fn run_shard_worker(
     )
 }
 
-/// [`run_shard_worker`] with full [`WorkerOptions`]: heartbeat emission and
-/// the deterministic hang injection, in addition to the crash point.
+/// [`run_shard_worker`] generalized to the moment-merge protocol: the
+/// worker owns a (possibly non-contiguous, possibly empty) cell `slice`
+/// plus a set of distributed pass-1 `tasks`, and takes full
+/// [`WorkerOptions`] (heartbeats, crash point, hang injection).
+///
+/// Moment tasks run **first** — their partials are what other shards'
+/// groups wait on — and journal one frame per accumulated segment, so a
+/// restarted worker resumes segment-granular: recovered `(leader, trial,
+/// segment)` triples are skipped and only the gaps are re-accumulated
+/// (each contiguous gap in one seed-cursor skip-ahead call). Cells then
+/// execute exactly as in the contiguous protocol.
+///
+/// Journal format: a plain contiguous no-task shard keeps the v4 shard
+/// journal (byte-compatible with PR-8 coordinators); any slice with moment
+/// tasks or a non-contiguous/empty cell set gets a v5 slice journal.
 pub fn run_shard_worker_with(
     specs: &[ScenarioSpec],
-    range: ShardRange,
+    slice: &ShardSlice,
+    tasks: &[MomentTask],
     journal_path: impl Into<PathBuf>,
     policy: RetryPolicy,
     options: WorkerOptions,
 ) -> Result<ResumableRun> {
-    let (mut journal, recovered) = ResultJournal::open_or_create_shard(journal_path, specs, range)?;
+    let journal_path = journal_path.into();
+    let (mut journal, recovery) = if tasks.is_empty() && slice.ranges().len() == 1 {
+        let (journal, outcomes) =
+            ResultJournal::open_or_create_shard(&journal_path, specs, slice.ranges()[0])?;
+        (
+            journal,
+            ShardRecovery {
+                outcomes,
+                moments: Vec::new(),
+            },
+        )
+    } else {
+        ResultJournal::open_or_create_slice(&journal_path, specs, slice)?
+    };
     journal.set_crash_point(options.crash);
 
     // Best-effort heartbeat frame: monotonic record count + the global cell
@@ -341,29 +683,15 @@ pub fn run_shard_worker_with(
             let _ = std::fs::write(path, format!("{records} {cell}\n"));
         }
     };
-    beat(journal.records_written(), range.start);
+    let first_cell = slice
+        .first()
+        .or_else(|| tasks.first().map(|t| t.leader))
+        .unwrap_or(0);
+    beat(journal.records_written(), first_cell);
 
-    let mut slots: Vec<Option<ScenarioOutcome>> = vec![None; range.len()];
-    for (global, outcome) in recovered {
-        // Duplicate indices cannot arise from this runner, but a journal is
-        // just a file: last record wins, matching append order.
-        slots[global - range.start] = Some(outcome);
-    }
-    let resumed = slots.iter().filter(|s| s.is_some()).count();
-
-    let pending: Vec<usize> = (range.start..range.end)
-        .filter(|&i| slots[i - range.start].is_none())
-        .collect();
-    let pending_specs: Vec<ScenarioSpec> = pending.iter().map(|&i| specs[i].clone()).collect();
-    let executed = pending_specs.len();
-
-    let journal = Mutex::new(journal);
-    let fresh = execute_specs_failsoft(&pending_specs, policy, |sub_index, outcome| {
-        let mut journal = journal.lock().unwrap_or_else(|e| e.into_inner());
-        journal.append(pending[sub_index], outcome)?;
-        beat(journal.records_written(), pending[sub_index]);
+    let hang_if_due = |records: u64| {
         if let Some(k) = options.hang_after_records {
-            if journal.records_written() >= k {
+            if records >= k {
                 // Wedge with the journal lock held: every other executor
                 // thread blocks on the next append, the heartbeat freezes,
                 // and only the watchdog's kill ends the process.
@@ -372,17 +700,106 @@ pub fn run_shard_worker_with(
                 }
             }
         }
+    };
+
+    let mut resumed = recovery.moments.len();
+    let mut executed = 0usize;
+    let done: HashSet<(usize, usize, usize)> = recovery
+        .moments
+        .iter()
+        .map(|f| (f.leader, f.trial, f.segment.index))
+        .collect();
+    let journal = Mutex::new(journal);
+    for task in tasks {
+        let proto = specs.get(task.leader).ok_or_else(|| {
+            config_err(format!(
+                "moment task {task} names leader cell {} but the grid has {} cells",
+                task.leader,
+                specs.len()
+            ))
+        })?;
+        for trial in 0..proto.trials {
+            // Walk the task's segment window, batching each contiguous run
+            // of missing segments into one skip-ahead accumulation call.
+            let mut lo = task.seg_lo;
+            while lo < task.seg_hi {
+                if done.contains(&(task.leader, trial, lo)) {
+                    lo += 1;
+                    continue;
+                }
+                let mut hi = lo + 1;
+                while hi < task.seg_hi && !done.contains(&(task.leader, trial, hi)) {
+                    hi += 1;
+                }
+                let segments = accumulate_split_segments(proto, trial, lo, hi)?;
+                for segment in &segments {
+                    let mut journal = journal.lock().unwrap_or_else(|e| e.into_inner());
+                    journal.append_moment(task.leader, trial, segment)?;
+                    executed += 1;
+                    beat(journal.records_written(), task.leader);
+                    hang_if_due(journal.records_written());
+                }
+                lo = hi;
+            }
+        }
+    }
+
+    let cells: Vec<usize> = slice.cells().collect();
+    let mut slots: Vec<Option<ScenarioOutcome>> = vec![None; cells.len()];
+    for (global, outcome) in recovery.outcomes {
+        // Duplicate indices cannot arise from this runner, but a journal is
+        // just a file: last record wins, matching append order.
+        if let Some(pos) = slice.position(global) {
+            slots[pos] = Some(outcome);
+        }
+    }
+    resumed += slots.iter().filter(|s| s.is_some()).count();
+
+    let pending: Vec<usize> = cells
+        .iter()
+        .enumerate()
+        .filter(|&(pos, _)| slots[pos].is_none())
+        .map(|(_, &global)| global)
+        .collect();
+    let pending_specs: Vec<ScenarioSpec> = pending.iter().map(|&i| specs[i].clone()).collect();
+    executed += pending_specs.len();
+
+    let fresh = execute_specs_failsoft(&pending_specs, policy, |sub_index, outcome| {
+        let mut journal = journal.lock().unwrap_or_else(|e| e.into_inner());
+        journal.append(pending[sub_index], outcome)?;
+        beat(journal.records_written(), pending[sub_index]);
+        hang_if_due(journal.records_written());
         Ok(())
     })?;
     for (sub_index, outcome) in fresh.into_iter().enumerate() {
-        slots[pending[sub_index] - range.start] = Some(outcome);
+        let pos = slice
+            .position(pending[sub_index])
+            .expect("pending cells come from the slice");
+        slots[pos] = Some(outcome);
     }
 
+    let mut outcomes = Vec::with_capacity(cells.len());
+    for (pos, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(outcome) => outcomes.push(outcome),
+            // The fail-soft executor reports every input, so a hole here
+            // means the recovery/execution bookkeeping above disagrees with
+            // the slice — a protocol bug. Surface it as a located error
+            // instead of panicking the worker process.
+            None => {
+                return Err(ExperimentError::Journal {
+                    path: journal_path,
+                    reason: format!(
+                        "executed outcomes do not tile the shard: cell {} of slice {slice} \
+                         finished with no outcome",
+                        cells[pos]
+                    ),
+                });
+            }
+        }
+    }
     Ok(ResumableRun {
-        outcomes: slots
-            .into_iter()
-            .map(|s| s.expect("every shard cell has an outcome"))
-            .collect(),
+        outcomes,
         resumed,
         executed,
     })
@@ -392,24 +809,13 @@ pub fn run_shard_worker_with(
 // Coordinator side
 // ---------------------------------------------------------------------------
 
-/// Merges shard journals into one full-grid outcome list by global cell
-/// index (read-only recovery; last record wins within each journal). The
-/// `(range, journal path)` pairs must tile the grid. Cells no journal
-/// holds — a worker that exhausted its restarts mid-shard — surface as
-/// [`ScenarioOutcome::Failed`] entries; the second return value counts
-/// them.
-pub fn merge_shard_journals(
+/// Fills cells no journal recovered with located `Failed` outcomes and
+/// counts them — the shared fail-soft tail of [`merge_shard_journals`] and
+/// [`reduce_shard_journals`].
+fn fill_missing_cells(
     specs: &[ScenarioSpec],
-    shards: &[(ShardRange, PathBuf)],
-) -> Result<(Vec<ScenarioOutcome>, usize)> {
-    let plan: Vec<ShardRange> = shards.iter().map(|(range, _)| *range).collect();
-    validate_plan(specs, &plan)?;
-    let mut slots: Vec<Option<ScenarioOutcome>> = vec![None; specs.len()];
-    for (range, path) in shards {
-        for (global, outcome) in ResultJournal::recover_shard(path, specs, *range)? {
-            slots[global] = Some(outcome);
-        }
-    }
+    slots: Vec<Option<ScenarioOutcome>>,
+) -> (Vec<ScenarioOutcome>, usize) {
     let mut missing = 0usize;
     let outcomes = slots
         .into_iter()
@@ -431,7 +837,157 @@ pub fn merge_shard_journals(
             })
         })
         .collect();
-    Ok((outcomes, missing))
+    (outcomes, missing)
+}
+
+/// Merges contiguous-range shard journals into one full-grid outcome list
+/// by global cell index (read-only recovery; last record wins within each
+/// journal). The `(range, journal path)` pairs must **tile** the grid:
+/// overlaps and gaps in the range set are detected up front and reported
+/// as located errors naming the offending journals — a silently
+/// overlapping pair would otherwise resolve last-wins by iteration order,
+/// hiding a coordination bug behind plausible results. Cells no journal
+/// holds — a worker that exhausted its restarts mid-shard — surface as
+/// [`ScenarioOutcome::Failed`] entries; the second return value counts
+/// them.
+pub fn merge_shard_journals(
+    specs: &[ScenarioSpec],
+    shards: &[(ShardRange, PathBuf)],
+) -> Result<(Vec<ScenarioOutcome>, usize)> {
+    if shards.is_empty() {
+        return Err(config_err("cannot merge zero shard journals"));
+    }
+    let mut sorted: Vec<&(ShardRange, PathBuf)> = shards.iter().collect();
+    sorted.sort_by_key(|(range, _)| range.start);
+    let mut covered = 0usize;
+    let mut prev: Option<&(ShardRange, PathBuf)> = None;
+    for pair in sorted {
+        let (range, path) = pair;
+        if range.start < covered {
+            let (prev_range, prev_path) = prev.expect("overlap implies a predecessor");
+            return Err(config_err(format!(
+                "shard journals overlap: {range} ({}) intersects {prev_range} ({})",
+                path.display(),
+                prev_path.display(),
+            )));
+        }
+        if range.start > covered {
+            return Err(config_err(format!(
+                "shard journals leave a gap: cells {covered}..{} belong to no journal \
+                 (next is {range} at {})",
+                range.start,
+                path.display(),
+            )));
+        }
+        covered = range.end;
+        prev = Some(pair);
+    }
+    if covered != specs.len() {
+        return Err(config_err(format!(
+            "shard journals cover cells 0..{covered} but the grid has {} cells",
+            specs.len()
+        )));
+    }
+    let mut slots: Vec<Option<ScenarioOutcome>> = vec![None; specs.len()];
+    for (range, path) in shards {
+        for (global, outcome) in ResultJournal::recover_shard(path, specs, *range)? {
+            slots[global] = Some(outcome);
+        }
+    }
+    Ok(fill_missing_cells(specs, slots))
+}
+
+/// Assembles one reduced [`StreamMoments`] per trial of a split group from
+/// the journaled segment partials, or `None` when any trial is incomplete
+/// (a shard died before journaling all its segments) — the caller then
+/// falls back to self-computing pass 1, which is bit-identical.
+fn assemble_group_moments(
+    group: &SplitGroup,
+    segments: &HashMap<(usize, usize), BTreeMap<usize, MomentSegment>>,
+) -> Option<Vec<StreamMoments>> {
+    let mut prepared = Vec::with_capacity(group.trials);
+    for trial in 0..group.trials {
+        let by_index = segments.get(&(group.leader, trial))?;
+        if by_index.len() != group.segments {
+            return None;
+        }
+        let ordered: Vec<MomentSegment> = by_index.values().cloned().collect();
+        let m = ordered.first()?.accumulator.n_attributes();
+        let (accumulator, n_chunks) = merge_moment_segments(m, &ordered).ok()?;
+        prepared.push(StreamMoments::from_accumulator(&accumulator, n_chunks).ok()?);
+    }
+    Some(prepared)
+}
+
+/// The coordinator's **reduce** step for a moment-merge [`ShardPlan`]:
+/// recovers every shard journal read-only (`journals[i]` belongs to shard
+/// `i`), merges outcome frames by global index, reduces the journaled
+/// pass-1 segment partials of each [`SplitGroup`] into per-trial
+/// [`StreamMoments`] (the same two-level fixed-segment fold a
+/// single-process pass runs, so the reduced moments are **bit-identical**
+/// to local accumulation), and finishes the split groups' cells
+/// coordinator-side against those moments. A split group whose partials
+/// are incomplete — some shard exhausted its restarts mid-task — falls
+/// back to a self-computing group run: slower, but bit-identical. Cells no
+/// journal and no group run produced surface as `Failed`; the second
+/// return value counts them.
+pub fn reduce_shard_journals(
+    specs: &[ScenarioSpec],
+    plan: &ShardPlan,
+    journals: &[PathBuf],
+    policy: RetryPolicy,
+) -> Result<(Vec<ScenarioOutcome>, usize)> {
+    validate_plan(specs, plan)?;
+    if journals.len() != plan.n_shards() {
+        return Err(config_err(format!(
+            "reduce needs one journal per shard: plan has {} shards, got {} journals",
+            plan.n_shards(),
+            journals.len()
+        )));
+    }
+    let mut slots: Vec<Option<ScenarioOutcome>> = vec![None; specs.len()];
+    let mut segments: HashMap<(usize, usize), BTreeMap<usize, MomentSegment>> = HashMap::new();
+    for (shard, (slice, path)) in plan.slices.iter().zip(journals).enumerate() {
+        let recovery = if plan.tasks_for(shard).is_empty() && slice.ranges().len() == 1 {
+            ShardRecovery {
+                outcomes: ResultJournal::recover_shard(path, specs, slice.ranges()[0])?,
+                moments: Vec::new(),
+            }
+        } else {
+            ResultJournal::recover_slice(path, specs, slice)?
+        };
+        for (global, outcome) in recovery.outcomes {
+            slots[global] = Some(outcome);
+        }
+        for frame in recovery.moments {
+            segments
+                .entry((frame.leader, frame.trial))
+                .or_default()
+                .insert(frame.segment.index, frame.segment);
+        }
+    }
+
+    if !plan.split.is_empty() {
+        // Split groups share the grid's dataset economy: one pool scoped to
+        // the coordinator-side groups, so groups differing only in
+        // noise/attack still build each trial dataset once here.
+        let member_sets: Vec<Vec<usize>> = plan.split.iter().map(|g| g.members.clone()).collect();
+        let pool = DatasetPool::new(data_group_consumers(specs, &member_sets));
+        for group in &plan.split {
+            let members: Vec<ScenarioSpec> =
+                group.members.iter().map(|&i| specs[i].clone()).collect();
+            let outcomes = match assemble_group_moments(group, &segments) {
+                Some(moments) => {
+                    execute_group_failsoft_with_moments(&members, &moments, policy, Some(&pool))
+                }
+                None => execute_group_failsoft(&members, policy, Some(&pool)),
+            };
+            for (&global, outcome) in group.members.iter().zip(outcomes) {
+                slots[global] = Some(outcome);
+            }
+        }
+    }
+    Ok(fill_missing_cells(specs, slots))
 }
 
 /// How the coordinator treats worker processes.
@@ -452,6 +1008,10 @@ pub struct ShardedRunConfig {
     /// `(grid fingerprint, i, a)`. Budget exhaustion stops restarting the
     /// shard. [`BackoffPolicy::none`] restores immediate respawn.
     pub backoff: BackoffPolicy,
+    /// Retry policy used by the coordinator's reduce step when it finishes
+    /// split workload groups from the merged pass-1 moments (workers carry
+    /// their own policy on their command line).
+    pub policy: RetryPolicy,
 }
 
 impl Default for ShardedRunConfig {
@@ -460,6 +1020,7 @@ impl Default for ShardedRunConfig {
             max_restarts: 2,
             worker_timeout: None,
             backoff: BackoffPolicy::default(),
+            policy: RetryPolicy::default(),
         }
     }
 }
@@ -469,8 +1030,11 @@ impl Default for ShardedRunConfig {
 pub struct ShardSpawn<'a> {
     /// Shard number (index into the plan).
     pub index: usize,
-    /// The global cell range this worker owns.
-    pub range: ShardRange,
+    /// The global cell slice this worker owns (may be empty for a
+    /// task-only shard).
+    pub slice: &'a ShardSlice,
+    /// The distributed pass-1 moment tasks this worker must accumulate.
+    pub tasks: &'a [MomentTask],
     /// The shard journal the worker must write.
     pub journal: &'a Path,
     /// 0 on the first spawn, incremented on each restart — lets test
@@ -481,8 +1045,8 @@ pub struct ShardSpawn<'a> {
 /// Per-shard postmortem from [`run_sharded`].
 #[derive(Debug)]
 pub struct ShardStatus {
-    /// The global cell range the shard owned.
-    pub range: ShardRange,
+    /// The global cell slice the shard owned.
+    pub slice: ShardSlice,
     /// Its journal path.
     pub journal: PathBuf,
     /// Worker processes spawned (1 = no restarts).
@@ -549,7 +1113,7 @@ struct RunningWorker {
 /// coordinator's stderr.
 pub fn run_sharded<F>(
     specs: &[ScenarioSpec],
-    plan: &[ShardRange],
+    plan: &ShardPlan,
     shard_dir: &Path,
     config: &ShardedRunConfig,
     mut command_for: F,
@@ -563,11 +1127,14 @@ where
         source: e,
     })?;
     let fingerprint = grid_fingerprint(specs);
+    let shard_tasks: Vec<Vec<MomentTask>> =
+        (0..plan.n_shards()).map(|i| plan.tasks_for(i)).collect();
     let mut shards: Vec<ShardStatus> = plan
+        .slices
         .iter()
         .enumerate()
-        .map(|(i, &range)| ShardStatus {
-            range,
+        .map(|(i, slice)| ShardStatus {
+            slice: slice.clone(),
             journal: shard_journal_path(shard_dir, i),
             attempts: 0,
             completed: false,
@@ -607,7 +1174,8 @@ where
             }
             let spawn = ShardSpawn {
                 index: i,
-                range: shards[i].range,
+                slice: &shards[i].slice,
+                tasks: &shard_tasks[i],
                 journal: &shards[i].journal,
                 attempt,
             };
@@ -678,11 +1246,8 @@ where
         }
     }
 
-    let pairs: Vec<(ShardRange, PathBuf)> = shards
-        .iter()
-        .map(|s| (s.range, s.journal.clone()))
-        .collect();
-    let (outcomes, unrecovered) = merge_shard_journals(specs, &pairs)?;
+    let journals: Vec<PathBuf> = shards.iter().map(|s| s.journal.clone()).collect();
+    let (outcomes, unrecovered) = reduce_shard_journals(specs, plan, &journals, config.policy)?;
     Ok(ShardedRun {
         outcomes,
         shards,
@@ -691,15 +1256,16 @@ where
 }
 
 /// Runs a sharded sweep without spawning processes: each shard executes
-/// [`run_shard_worker`] in this process (sequentially), then the journals
-/// are merged exactly as [`run_sharded`] would. This is the bench/test
+/// [`run_shard_worker_with`] in this process (sequentially), then the
+/// journals are reduced exactly as [`run_sharded`] would — including the
+/// cross-shard moment merge for split groups. This is the bench/test
 /// harness for measuring pure coordination overhead — plan, per-shard
-/// journals, recovery, merge — without process spawn cost; existing shard
+/// journals, recovery, reduce — without process spawn cost; existing shard
 /// journals in `shard_dir` are resumed, so benches must clear the
 /// directory between iterations.
 pub fn run_sharded_in_process(
     specs: &[ScenarioSpec],
-    plan: &[ShardRange],
+    plan: &ShardPlan,
     shard_dir: &Path,
     policy: RetryPolicy,
 ) -> Result<Vec<ScenarioOutcome>> {
@@ -708,20 +1274,27 @@ pub fn run_sharded_in_process(
         path: shard_dir.to_path_buf(),
         source: e,
     })?;
-    let mut pairs = Vec::with_capacity(plan.len());
-    for (i, &range) in plan.iter().enumerate() {
+    let mut journals = Vec::with_capacity(plan.n_shards());
+    for (i, slice) in plan.slices.iter().enumerate() {
         let path = shard_journal_path(shard_dir, i);
-        run_shard_worker(specs, range, &path, policy, None)?;
-        pairs.push((range, path));
+        run_shard_worker_with(
+            specs,
+            slice,
+            &plan.tasks_for(i),
+            &path,
+            policy,
+            WorkerOptions::default(),
+        )?;
+        journals.push(path);
     }
-    merge_shard_journals(specs, &pairs).map(|(outcomes, _)| outcomes)
+    reduce_shard_journals(specs, plan, &journals, policy).map(|(outcomes, _)| outcomes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fault::FaultMode;
-    use crate::scenario::AttackSpec;
+    use crate::scenario::{AttackSpec, EngineSpec};
 
     /// `n` independent single-cell workloads (distinct seeds → no sharing).
     fn independent(n: usize) -> Vec<ScenarioSpec> {
@@ -765,23 +1338,101 @@ mod tests {
         assert!(!range.contains(11) && !range.contains(2));
     }
 
+    /// Two streaming workload groups of two cells each (the attack varies
+    /// within each group); 2000 records / 256-row chunks = 8 chunks = 2
+    /// moment segments per trial.
+    fn streaming_grouped() -> Vec<ScenarioSpec> {
+        use crate::SchemeKind;
+        let mut specs = Vec::new();
+        for seed in [11u64, 22u64] {
+            for scheme in [SchemeKind::Udr, SchemeKind::BeDr] {
+                let mut spec = ScenarioSpec::synthetic_quick("stream-group", 2000, 6, 2);
+                spec.engine = EngineSpec::Streaming { chunk_rows: 256 };
+                spec.seed = seed;
+                spec.attack = AttackSpec::Scheme(scheme);
+                specs.push(spec);
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn shard_slice_and_moment_task_roundtrip() {
+        let slice = ShardSlice::parse("0..3,6..9").unwrap();
+        assert_eq!(slice.to_string(), "0..3,6..9");
+        assert_eq!(slice.len(), 6);
+        assert_eq!(slice.cells().collect::<Vec<_>>(), vec![0, 1, 2, 6, 7, 8]);
+        assert_eq!(slice.position(7), Some(4));
+        assert_eq!(slice.position(4), None);
+        assert!(slice.contains(2) && !slice.contains(3));
+        // Adjacent ranges coalesce into canonical form; overlaps reject.
+        let joined = ShardSlice::new(vec![
+            ShardRange::new(3, 5).unwrap(),
+            ShardRange::new(0, 3).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(joined.to_string(), "0..5");
+        assert!(ShardSlice::new(vec![
+            ShardRange::new(0, 4).unwrap(),
+            ShardRange::new(3, 5).unwrap(),
+        ])
+        .is_err());
+        let empty = ShardSlice::parse("").unwrap();
+        assert!(empty.is_empty() && empty.first().is_none());
+        assert!(ShardSlice::parse("1..2,nope").is_none());
+        let task = MomentTask::parse("4:0..2").unwrap();
+        assert_eq!((task.leader, task.seg_lo, task.seg_hi), (4, 0, 2));
+        assert_eq!(task.to_string(), "4:0..2");
+        assert!(MomentTask::parse("x:0..2").is_none());
+        assert!(MomentTask::parse("4").is_none());
+    }
+
     #[test]
     fn plan_tiles_grid_and_balances_independent_cells() {
         let specs = independent(10);
-        let plan = plan_shards(&specs, 3).unwrap();
-        assert_eq!(plan.len(), 3);
-        assert_eq!(plan[0].start, 0);
-        assert_eq!(plan.last().unwrap().end, 10);
-        for pair in plan.windows(2) {
-            assert_eq!(pair[0].end, pair[1].start);
-        }
-        let sizes: Vec<usize> = plan.iter().map(|r| r.len()).collect();
+        let plan = plan_shards(&specs, 3, SplitPolicy::Never).unwrap();
+        assert_eq!(plan.n_shards(), 3);
+        assert!(plan.split.is_empty());
+        let mut cells: Vec<usize> = plan.slices.iter().flat_map(ShardSlice::cells).collect();
+        cells.sort_unstable();
+        assert_eq!(cells, (0..10).collect::<Vec<_>>());
+        // Equal-cost cells: LPT lands within one cell of perfectly even.
+        let sizes: Vec<usize> = plan.slices.iter().map(ShardSlice::len).collect();
         assert!(sizes.iter().all(|&s| (3..=4).contains(&s)), "{sizes:?}");
-        // One shard = the whole grid; shards > cells clamp to cell count.
-        assert_eq!(plan_shards(&specs, 1).unwrap().len(), 1);
-        assert_eq!(plan_shards(&specs, 100).unwrap().len(), 10);
-        assert!(plan_shards(&[], 2).is_err());
-        assert!(plan_shards(&specs, 0).is_err());
+        assert_eq!(
+            plan_shards(&specs, 1, SplitPolicy::Never)
+                .unwrap()
+                .n_shards(),
+            1
+        );
+        // More shards than groups: the surplus shards get empty slices.
+        let wide = plan_shards(&specs, 100, SplitPolicy::Never).unwrap();
+        assert_eq!(wide.n_shards(), 100);
+        assert_eq!(wide.slices.iter().filter(|s| !s.is_empty()).count(), 10);
+        assert!(plan_shards(&[], 2, SplitPolicy::Never).is_err());
+        assert!(plan_shards(&specs, 0, SplitPolicy::Never).is_err());
+    }
+
+    #[test]
+    fn plan_balances_uneven_group_costs() {
+        // One heavy group (4096 records) + four light cells (64 records):
+        // LPT puts the heavy group alone on a shard and spreads the rest.
+        let mut specs = independent(4);
+        let mut heavy = ScenarioSpec::synthetic_quick("heavy", 4096, 4, 2);
+        heavy.seed = 0xFEED;
+        specs.push(heavy);
+        let plan = plan_shards(&specs, 2, SplitPolicy::Never).unwrap();
+        let heavy_shard = plan
+            .slices
+            .iter()
+            .position(|s| s.contains(4))
+            .expect("heavy cell placed");
+        assert_eq!(
+            plan.slices[heavy_shard].len(),
+            1,
+            "heavy group should sit alone: {plan:?}"
+        );
+        assert_eq!(plan.slices[1 - heavy_shard].len(), 4);
     }
 
     #[test]
@@ -791,19 +1442,51 @@ mod tests {
         assert_eq!(groups.len(), 2, "fixture should form two groups");
         // Any shard count: every group stays within one shard.
         for n in 1..=6 {
-            let plan = plan_shards(&specs, n).unwrap();
+            let plan = plan_shards(&specs, n, SplitPolicy::Never).unwrap();
+            assert!(plan.split.is_empty());
             for group in &groups {
                 let holder: Vec<usize> = plan
+                    .slices
                     .iter()
                     .enumerate()
-                    .filter(|(_, r)| group.iter().any(|&i| r.contains(i)))
+                    .filter(|(_, s)| group.iter().any(|&i| s.contains(i)))
                     .map(|(s, _)| s)
                     .collect();
                 assert_eq!(holder.len(), 1, "group {group:?} split across {holder:?}");
             }
         }
-        // The only valid cut is at 3, so at most two shards exist.
-        assert_eq!(plan_shards(&specs, 6).unwrap().len(), 2);
+        // In-memory groups are never splittable, whatever the policy.
+        let plan = plan_shards(&specs, 3, SplitPolicy::Always).unwrap();
+        assert!(plan.split.is_empty());
+    }
+
+    #[test]
+    fn plan_splits_streaming_groups_into_dealt_segment_tasks() {
+        let specs = streaming_grouped();
+        let plan = plan_shards(&specs, 2, SplitPolicy::Always).unwrap();
+        assert_eq!(plan.split.len(), 2, "{plan:?}");
+        for group in &plan.split {
+            assert_eq!(group.segments, 2);
+            assert_eq!(group.trials, 1);
+            // Tasks deal 0..segments contiguously with no gap or overlap.
+            let mut covered = 0usize;
+            for &(_, task) in &group.tasks {
+                assert_eq!(task.leader, group.leader);
+                assert_eq!(task.seg_lo, covered);
+                assert!(task.seg_hi > task.seg_lo);
+                covered = task.seg_hi;
+            }
+            assert_eq!(covered, group.segments);
+            // Split members live in no shard slice — the coordinator
+            // finishes them after the reduce.
+            for &member in &group.members {
+                assert!(plan.slices.iter().all(|s| !s.contains(member)));
+            }
+        }
+        validate_plan(&specs, &plan).unwrap();
+        // A single shard never splits (there is nothing to distribute).
+        let solo = plan_shards(&specs, 1, SplitPolicy::Always).unwrap();
+        assert!(solo.split.is_empty());
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -825,31 +1508,45 @@ mod tests {
         let reference =
             crate::scenario::run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
         let dir = temp_dir("inproc");
-        let plan = plan_shards(&specs, 3).unwrap();
+        let plan = plan_shards(&specs, 3, SplitPolicy::Never).unwrap();
         let merged = run_sharded_in_process(&specs, &plan, &dir, RetryPolicy::default()).unwrap();
         assert_eq!(outcomes_hash(&merged), outcomes_hash(&reference));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn merge_reports_missing_cells_as_failed() {
+    fn in_process_moment_merge_matches_single_process() {
+        use crate::report::outcomes_hash;
+        let specs = streaming_grouped();
+        let reference =
+            crate::scenario::run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
+        let dir = temp_dir("moment-merge");
+        let plan = plan_shards(&specs, 3, SplitPolicy::Always).unwrap();
+        assert_eq!(plan.split.len(), 2, "both streaming groups split");
+        let merged = run_sharded_in_process(&specs, &plan, &dir, RetryPolicy::default()).unwrap();
+        assert_eq!(
+            outcomes_hash(&merged),
+            outcomes_hash(&reference),
+            "moment-merged sharded run must be bit-identical to single-process"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_reports_missing_cells_as_failed_and_checks_tiling() {
         let specs = independent(4);
         let dir = temp_dir("missing");
         std::fs::create_dir_all(&dir).unwrap();
-        let plan = plan_shards(&specs, 2).unwrap();
+        let r0 = ShardRange::new(0, 2).unwrap();
+        let r1 = ShardRange::new(2, 4).unwrap();
         // Only shard 0 ran; shard 1's journal never appeared.
         let first = shard_journal_path(&dir, 0);
-        run_shard_worker(&specs, plan[0], &first, RetryPolicy::default(), None).unwrap();
-        let pairs = vec![(plan[0], first), (plan[1], shard_journal_path(&dir, 1))];
+        run_shard_worker(&specs, r0, &first, RetryPolicy::default(), None).unwrap();
+        let pairs = vec![(r0, first.clone()), (r1, shard_journal_path(&dir, 1))];
         let (outcomes, missing) = merge_shard_journals(&specs, &pairs).unwrap();
         assert_eq!(outcomes.len(), 4);
-        assert_eq!(missing, plan[1].len());
-        for (i, outcome) in outcomes
-            .iter()
-            .enumerate()
-            .take(plan[1].end)
-            .skip(plan[1].start)
-        {
+        assert_eq!(missing, r1.len());
+        for (i, outcome) in outcomes.iter().enumerate().skip(2) {
             match outcome {
                 ScenarioOutcome::Failed(f) => {
                     assert!(f.error.contains("not recovered"), "{}", f.error);
@@ -858,9 +1555,57 @@ mod tests {
                 other => panic!("cell {i} should be Failed, got {other:?}"),
             }
         }
-        // A plan that does not tile the grid is rejected.
-        let bad = vec![(plan[0], shard_journal_path(&dir, 0))];
-        assert!(merge_shard_journals(&specs, &bad).is_err());
+        // Tiling violations are located errors, not silent last-wins merges.
+        let short = vec![(r0, first.clone())];
+        let err = merge_shard_journals(&specs, &short)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("cover cells 0..2"), "{err}");
+        let overlap = vec![
+            (r0, first.clone()),
+            (ShardRange::new(1, 4).unwrap(), shard_journal_path(&dir, 1)),
+        ];
+        let err = merge_shard_journals(&specs, &overlap)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("overlap"), "{err}");
+        let gap = vec![
+            (r0, first.clone()),
+            (ShardRange::new(3, 4).unwrap(), shard_journal_path(&dir, 1)),
+        ];
+        let err = merge_shard_journals(&specs, &gap).unwrap_err().to_string();
+        assert!(err.contains("gap"), "{err}");
+        assert!(merge_shard_journals(&specs, &[]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reduce_falls_back_when_a_split_group_is_incomplete() {
+        use crate::report::outcomes_hash;
+        let specs = streaming_grouped();
+        let reference =
+            crate::scenario::run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
+        let dir = temp_dir("reduce-fallback");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = plan_shards(&specs, 2, SplitPolicy::Always).unwrap();
+        // Run only shard 0's worker; shard 1 (and its moment tasks) never
+        // ran, so every split group's partials are incomplete and the
+        // coordinator self-computes pass 1 — bit-identical, fail-soft.
+        let first = shard_journal_path(&dir, 0);
+        run_shard_worker_with(
+            &specs,
+            &plan.slices[0],
+            &plan.tasks_for(0),
+            &first,
+            RetryPolicy::default(),
+            WorkerOptions::default(),
+        )
+        .unwrap();
+        let journals = vec![first, shard_journal_path(&dir, 1)];
+        let (outcomes, missing) =
+            reduce_shard_journals(&specs, &plan, &journals, RetryPolicy::default()).unwrap();
+        assert_eq!(missing, 0, "split groups are finished coordinator-side");
+        assert_eq!(outcomes_hash(&outcomes), outcomes_hash(&reference));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,5 +1,7 @@
 //! Shared workload evaluation: run a set of attacks against one disguised
-//! data set and report their RMSE.
+//! data set and report their RMSE — plus the two-level dataset pool that
+//! lets *workload groups* differing only in noise/attack/engine share one
+//! generated dataset per trial ([`SharePool`]).
 
 use crate::config::SchemeKind;
 use crate::error::Result;
@@ -7,6 +9,105 @@ use randrecon_core::engine::Attack;
 use randrecon_data::DataTable;
 use randrecon_metrics::rmse;
 use randrecon_noise::NoiseModel;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A reference-counted pool of built datasets keyed on
+/// `(data fingerprint, trial seed)`.
+///
+/// This is the second level of the two-level workload grouping: workload
+/// groups (scenarios identical up to their attack) that additionally share a
+/// *data fingerprint* — same data spec, engine family, trial count, and seed
+/// derivation, but possibly different noise models or attacks — lease their
+/// per-trial dataset from this pool, so the dataset is generated **once** per
+/// `(fingerprint, trial)` across the whole sweep instead of once per group.
+///
+/// The pool is constructed with the number of consumer groups per
+/// fingerprint; each group calls [`SharePool::release`] once after it
+/// finishes all its trials, and the last release evicts every cached trial
+/// dataset for that fingerprint. Entries are per-`(key, trial)` mutex cells,
+/// so distinct datasets build in parallel while two groups racing for the
+/// same dataset serialize on one build.
+///
+/// Bit-exactness: a leased dataset is produced by the *identical* generation
+/// call (same constructor, same seeds) the group would have made privately,
+/// so pooled and unpooled sweeps are bit-identical.
+pub(crate) struct SharePool<T> {
+    /// Consumer groups still to release each fingerprint.
+    remaining: Mutex<HashMap<String, usize>>,
+    /// Built datasets, one cell per `(fingerprint, trial seed)`.
+    cells: Mutex<HashMap<(String, u64), PoolCell<T>>>,
+}
+
+/// One lazily-built dataset cell: the outer mutex is the build latch
+/// (concurrent builders of the same cell serialize on it), the inner
+/// `Option` holds the shared value once built.
+type PoolCell<T> = Arc<Mutex<Option<Arc<T>>>>;
+
+impl<T> SharePool<T> {
+    /// Creates a pool expecting `consumers[fp]` releases per fingerprint.
+    pub fn new(consumers: HashMap<String, usize>) -> Self {
+        Self {
+            remaining: Mutex::new(consumers),
+            cells: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the dataset for `(key, trial_seed)`, building it with `build`
+    /// if no other consumer has yet. Concurrent leases of the same key block
+    /// on the single build; leases of distinct keys proceed in parallel.
+    pub fn lease(
+        &self,
+        key: &str,
+        trial_seed: u64,
+        build: impl FnOnce() -> Result<T>,
+    ) -> Result<Arc<T>> {
+        let cell = {
+            let mut cells = self.cells.lock().expect("share pool cell map poisoned");
+            cells
+                .entry((key.to_owned(), trial_seed))
+                .or_default()
+                .clone()
+        };
+        let mut slot = cell.lock().expect("share pool cell poisoned");
+        if let Some(data) = slot.as_ref() {
+            return Ok(Arc::clone(data));
+        }
+        let data = Arc::new(build()?);
+        *slot = Some(Arc::clone(&data));
+        Ok(data)
+    }
+
+    /// Records that one consumer group of `key` has finished all its trials;
+    /// the last release evicts every cached trial dataset for `key`.
+    pub fn release(&self, key: &str) {
+        let evict = {
+            let mut remaining = self.remaining.lock().expect("share pool counts poisoned");
+            match remaining.get_mut(key) {
+                Some(n) => {
+                    *n = n.saturating_sub(1);
+                    *n == 0
+                }
+                None => false,
+            }
+        };
+        if evict {
+            let mut cells = self.cells.lock().expect("share pool cell map poisoned");
+            cells.retain(|(k, _), _| k != key);
+        }
+    }
+
+    /// Number of currently cached datasets (test/observability hook).
+    #[cfg(test)]
+    pub fn cached(&self) -> usize {
+        self.cells
+            .lock()
+            .expect("share pool cell map poisoned")
+            .values()
+            .filter(|cell| cell.lock().expect("share pool cell poisoned").is_some())
+            .count()
+    }
+}
 
 /// Evaluates the requested schemes against a single disguised data set and
 /// returns `(scheme, RMSE against the original)` in the order requested.
@@ -82,6 +183,54 @@ mod tests {
         let ndr = results[0].1;
         let be = results[4].1;
         assert!(be < ndr);
+    }
+
+    #[test]
+    fn share_pool_builds_once_and_evicts_on_last_release() {
+        let pool: SharePool<u64> = SharePool::new(HashMap::from([
+            ("fp".to_owned(), 2),
+            ("other".to_owned(), 1),
+        ]));
+        let mut builds = 0u32;
+        let a = pool
+            .lease("fp", 7, || {
+                builds += 1;
+                Ok(41)
+            })
+            .unwrap();
+        let b = pool
+            .lease("fp", 7, || {
+                builds += 1;
+                Ok(99)
+            })
+            .unwrap();
+        assert_eq!(
+            (*a, *b, builds),
+            (41, 41, 1),
+            "second lease reuses the build"
+        );
+        pool.lease("fp", 8, || Ok(42)).unwrap();
+        pool.lease("other", 7, || Ok(1)).unwrap();
+        assert_eq!(pool.cached(), 3);
+        pool.release("fp");
+        assert_eq!(pool.cached(), 3, "one of two consumers released: keep");
+        pool.release("fp");
+        assert_eq!(pool.cached(), 1, "last consumer released: evict fp trials");
+        pool.release("unknown");
+        assert_eq!(pool.cached(), 1);
+    }
+
+    #[test]
+    fn share_pool_build_error_leaves_cell_reusable() {
+        let pool: SharePool<u64> = SharePool::new(HashMap::from([("fp".to_owned(), 1)]));
+        let err = pool.lease("fp", 0, || {
+            Err(crate::error::ExperimentError::InvalidConfig {
+                reason: "boom".to_string(),
+            })
+        });
+        assert!(err.is_err());
+        let ok = pool.lease("fp", 0, || Ok(5)).unwrap();
+        assert_eq!(*ok, 5);
     }
 
     #[test]

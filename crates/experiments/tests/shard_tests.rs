@@ -3,23 +3,25 @@
 //!
 //! Same re-exec pattern as `crash_resume.rs`: the parent drives
 //! [`run_sharded`] with a command factory that re-execs this test binary;
-//! the child half runs [`run_shard_worker`] against the shard journal from
-//! its environment, dying by real `std::process::abort()` when a crash
-//! point is set. The tier-1 test kills one worker mid-shard, lets the
-//! coordinator restart it (resuming from the shard journal), and requires
-//! the merged outcome hash to equal an uninterrupted in-process reference.
-//! A second test exhausts a shard's restarts and checks the fail-soft
-//! merge reports exactly that shard's cells as `Failed`.
+//! the child half runs [`run_shard_worker_with`] against the shard journal
+//! (and the moment tasks) from its environment, dying by real
+//! `std::process::abort()` when a crash point is set. The tier-1 tests
+//! kill one worker mid-shard — and, for the moment-merge protocol, mid
+//! *moment task* — let the coordinator restart it (resuming from the shard
+//! journal), and require the merged outcome hash to equal an uninterrupted
+//! in-process reference. A further test exhausts a shard's restarts and
+//! checks the fail-soft merge reports exactly that shard's cells as
+//! `Failed`.
 
 use randrecon_experiments::fault::{parse_crash_point, FaultMode};
 use randrecon_experiments::report::outcomes_hash;
 use randrecon_experiments::scenario::{
-    workload_groups, AttackSpec, EngineSpec, GridAxis, RetryPolicy, ScenarioGrid, ScenarioOutcome,
-    ScenarioSpec,
+    workload_groups, AttackSpec, EngineSpec, GridAxis, NoiseSpec, RetryPolicy, ScenarioGrid,
+    ScenarioOutcome, ScenarioSpec,
 };
 use randrecon_experiments::shard::{
-    plan_shards, run_shard_worker_with, run_sharded, shard_heartbeat_path, ShardRange,
-    WorkerOptions,
+    plan_shards, run_shard_worker_with, run_sharded, shard_heartbeat_path, MomentTask, ShardRange,
+    ShardSlice, SplitPolicy, WorkerOptions,
 };
 use randrecon_experiments::{run_scenarios_failsoft, SchemeKind, ShardedRunConfig};
 use std::path::PathBuf;
@@ -29,8 +31,13 @@ use std::time::Duration;
 /// Guard env var: set by the parent when re-executing this binary so only
 /// the child actually runs a shard.
 const CHILD_GUARD: &str = "RANDRECON_SHARD_CHILD";
-/// Global cell range handed to the child, as `start..end`.
+/// Global cell slice handed to the child, as comma-joined `start..end`
+/// ranges (possibly empty for a task-only worker).
 const RANGE_VAR: &str = "RANDRECON_SHARD_RANGE";
+/// Comma-joined moment tasks (`leader:lo..hi`) handed to the child.
+const TASKS_VAR: &str = "RANDRECON_SHARD_TASKS";
+/// Which fixture grid the child rebuilds: `plain` (default) or `stream`.
+const GRID_VAR: &str = "RANDRECON_SHARD_GRID";
 /// Shard journal path handed to the child.
 const JOURNAL_VAR: &str = "RANDRECON_SHARD_JOURNAL";
 /// Optional crash point (`records:<k>` / `byte:<b>`) handed to the child.
@@ -66,15 +73,45 @@ fn shard_grid() -> Vec<ScenarioSpec> {
     specs
 }
 
-/// Child half: run one shard against the journal from the environment,
-/// crashing if told to; on completion print resume counters.
+/// Moment-merge fixture: one streaming dataset under 2 noise models × 2
+/// schemes. Cells differ only in noise/attack, so the grid folds to one
+/// *data* group but two splittable workload groups of 2 cells each (2 000
+/// records / 256-row chunks = 8 chunks = 2 moment segments per trial).
+fn stream_grid() -> Vec<ScenarioSpec> {
+    let mut base = ScenarioSpec::synthetic_quick("moments", 2_000, 8, 2);
+    base.engine = EngineSpec::Streaming { chunk_rows: 256 };
+    let grid = ScenarioGrid {
+        base,
+        axes: vec![
+            GridAxis::noises(&[
+                ("g10", NoiseSpec::Gaussian { sigma: 10.0 }),
+                ("g5", NoiseSpec::Gaussian { sigma: 5.0 }),
+            ]),
+            GridAxis::schemes(&[SchemeKind::Udr, SchemeKind::BeDr]),
+        ],
+    };
+    grid.expand_validated().unwrap()
+}
+
+/// Child half: run one shard (slice + moment tasks) against the journal
+/// from the environment, crashing if told to; on completion print resume
+/// counters.
 #[test]
 fn child_run_shard_worker() {
     if std::env::var(CHILD_GUARD).is_err() {
         return;
     }
-    let range = ShardRange::parse(&std::env::var(RANGE_VAR).expect("shard range"))
-        .expect("valid shard range");
+    let slice = ShardSlice::parse(&std::env::var(RANGE_VAR).expect("shard slice"))
+        .expect("valid shard slice");
+    let tasks: Vec<MomentTask> = std::env::var(TASKS_VAR)
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(|v| {
+            v.split(',')
+                .map(|t| MomentTask::parse(t).expect("valid moment task"))
+                .collect()
+        })
+        .unwrap_or_default();
     let journal = PathBuf::from(std::env::var(JOURNAL_VAR).expect("journal path"));
     let crash = std::env::var(CRASH_VAR)
         .ok()
@@ -82,14 +119,24 @@ fn child_run_shard_worker() {
     let hang_after_records = std::env::var(HANG_VAR)
         .ok()
         .map(|v| v.parse().expect("hang record count"));
-    let specs = shard_grid();
+    let specs = match std::env::var(GRID_VAR).as_deref() {
+        Ok("stream") => stream_grid(),
+        _ => shard_grid(),
+    };
     let options = WorkerOptions {
         crash,
         heartbeat: Some(shard_heartbeat_path(&journal)),
         hang_after_records,
     };
-    let run = run_shard_worker_with(&specs, range, &journal, RetryPolicy::default(), options)
-        .expect("shard worker");
+    let run = run_shard_worker_with(
+        &specs,
+        &slice,
+        &tasks,
+        &journal,
+        RetryPolicy::default(),
+        options,
+    )
+    .expect("shard worker");
     // Only reached when no crash point fired.
     println!(
         "SHARD_RESUMED={} SHARD_EXECUTED={}",
@@ -110,13 +157,17 @@ fn temp_shard_dir(tag: &str) -> PathBuf {
 /// would abort it forever).
 fn child_command(
     spawn: &randrecon_experiments::shard::ShardSpawn<'_>,
+    grid: &str,
     kill_shard: Option<(usize, &str)>,
 ) -> Command {
     let exe = std::env::current_exe().expect("test binary path");
     let mut cmd = Command::new(exe);
+    let tasks: Vec<String> = spawn.tasks.iter().map(MomentTask::to_string).collect();
     cmd.args(["--exact", "child_run_shard_worker", "--nocapture"])
         .env(CHILD_GUARD, "1")
-        .env(RANGE_VAR, spawn.range.to_string())
+        .env(RANGE_VAR, spawn.slice.to_string())
+        .env(TASKS_VAR, tasks.join(","))
+        .env(GRID_VAR, grid)
         .env(JOURNAL_VAR, spawn.journal);
     match kill_shard {
         Some((shard, point)) if shard == spawn.index && spawn.attempt == 0 => {
@@ -137,15 +188,23 @@ fn killed_shard_worker_restarts_to_identical_report() {
     let reference = run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
     let expected = outcomes_hash(&reference);
 
-    let plan = plan_shards(&specs, 3).unwrap();
-    assert_eq!(plan.len(), 3, "fixture should shard cleanly: {plan:?}");
-    assert_eq!(plan[1], ShardRange { start: 3, end: 6 });
+    let plan = plan_shards(&specs, 3, SplitPolicy::Never).unwrap();
+    assert_eq!(plan.n_shards(), 3, "fixture should shard cleanly: {plan:?}");
+    assert!(plan.split.is_empty());
     // The plan respects workload groups: no group straddles a boundary.
     for group in workload_groups(&specs) {
-        let shard_of = |i: usize| plan.iter().position(|r| r.contains(i)).unwrap();
+        let shard_of = |i: usize| plan.slices.iter().position(|s| s.contains(i)).unwrap();
         let first = shard_of(group[0]);
         assert!(group.iter().all(|&i| shard_of(i) == first));
     }
+    // LPT puts the two heavy three-cell groups on shards 0/1, the light
+    // fault cell on shard 2 — find the shard that owns cells 3..6 so the
+    // kill targets a real workload.
+    let target = plan
+        .slices
+        .iter()
+        .position(|s| s.contains(3))
+        .expect("cell 3 is planned");
 
     let dir = temp_shard_dir("kill");
     let run = run_sharded(
@@ -156,22 +215,83 @@ fn killed_shard_worker_restarts_to_identical_report() {
             max_restarts: 2,
             ..ShardedRunConfig::default()
         },
-        |spawn| child_command(spawn, Some((1, "records:1"))),
+        |spawn| child_command(spawn, "plain", Some((target, "records:1"))),
     )
     .expect("sharded run");
 
     assert_eq!(
-        run.shards[1].attempts, 2,
+        run.shards[target].attempts, 2,
         "killed shard should have been restarted exactly once"
     );
-    assert!(run.shards[1].completed, "restart should have completed");
-    assert_eq!(run.shards[0].attempts, 1);
-    assert_eq!(run.shards[2].attempts, 1);
+    assert!(
+        run.shards[target].completed,
+        "restart should have completed"
+    );
+    for (i, shard) in run.shards.iter().enumerate() {
+        if i != target {
+            assert_eq!(shard.attempts, 1);
+        }
+    }
     assert_eq!(run.unrecovered, 0);
     assert_eq!(
         outcomes_hash(&run.outcomes),
         expected,
         "merged sharded report differs from a single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The moment-merge protocol under a mid-*task* kill: every workload group
+/// of the streaming fixture is split across both shards
+/// ([`SplitPolicy::Always`]), worker 0 is aborted right after journaling
+/// its first moment frame, the coordinator restarts it (the restart skips
+/// the journaled segment partial and accumulates only the missing ones),
+/// and the reduced report — cross-shard merged moments, coordinator-
+/// finished groups — hashes identically to an uninterrupted
+/// single-process run.
+#[test]
+fn killed_moment_task_worker_resumes_to_identical_report() {
+    let specs = stream_grid();
+    let reference = run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
+    let expected = outcomes_hash(&reference);
+
+    let plan = plan_shards(&specs, 2, SplitPolicy::Always).unwrap();
+    assert_eq!(plan.split.len(), 2, "both workload groups split: {plan:?}");
+    assert!(
+        plan.slices.iter().all(ShardSlice::is_empty),
+        "every cell belongs to a split group: {plan:?}"
+    );
+    // Each shard carries one segment of each group's two-segment window.
+    for shard in 0..plan.n_shards() {
+        assert_eq!(plan.tasks_for(shard).len(), 2);
+    }
+
+    let dir = temp_shard_dir("moment-kill");
+    let run = run_sharded(
+        &specs,
+        &plan,
+        &dir,
+        &ShardedRunConfig {
+            max_restarts: 2,
+            ..ShardedRunConfig::default()
+        },
+        // Worker 0 aborts after its first journaled moment frame — mid
+        // group, between its two tasks.
+        |spawn| child_command(spawn, "stream", Some((0, "records:1"))),
+    )
+    .expect("sharded run");
+
+    assert_eq!(
+        run.shards[0].attempts, 2,
+        "killed worker should have been restarted exactly once"
+    );
+    assert!(run.shards[0].completed);
+    assert_eq!(run.shards[1].attempts, 1);
+    assert_eq!(run.unrecovered, 0);
+    assert_eq!(
+        outcomes_hash(&run.outcomes),
+        expected,
+        "moment-merged sharded report differs from a single-process run"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -187,7 +307,12 @@ fn hung_shard_worker_is_killed_and_resumed_to_identical_report() {
     let reference = run_scenarios_failsoft(&specs, RetryPolicy::default()).unwrap();
     let expected = outcomes_hash(&reference);
 
-    let plan = plan_shards(&specs, 3).unwrap();
+    let plan = plan_shards(&specs, 3, SplitPolicy::Never).unwrap();
+    let target = plan
+        .slices
+        .iter()
+        .position(|s| s.contains(3))
+        .expect("cell 3 is planned");
     let dir = temp_shard_dir("hang");
     let run = run_sharded(
         &specs,
@@ -199,11 +324,12 @@ fn hung_shard_worker_is_killed_and_resumed_to_identical_report() {
             ..ShardedRunConfig::default()
         },
         |spawn| {
-            let mut cmd = child_command(spawn, None);
-            // Shard 1 wedges after its first journaled record, first
-            // attempt only (a restart resumes past the trigger anyway,
-            // but the intent mirrors `child_command`'s crash handling).
-            if spawn.index == 1 && spawn.attempt == 0 {
+            let mut cmd = child_command(spawn, "plain", None);
+            // The target shard wedges after its first journaled record,
+            // first attempt only (a restart resumes past the trigger
+            // anyway, but the intent mirrors `child_command`'s crash
+            // handling).
+            if spawn.index == target && spawn.attempt == 0 {
                 cmd.env(HANG_VAR, "1");
             }
             cmd
@@ -212,16 +338,22 @@ fn hung_shard_worker_is_killed_and_resumed_to_identical_report() {
     .expect("sharded run");
 
     assert_eq!(
-        run.shards[1].watchdog_kills, 1,
+        run.shards[target].watchdog_kills, 1,
         "hung shard should have been killed by the watchdog exactly once"
     );
     assert_eq!(
-        run.shards[1].attempts, 2,
+        run.shards[target].attempts, 2,
         "watchdog kill should burn one attempt and trigger one restart"
     );
-    assert!(run.shards[1].completed, "restart should have completed");
-    assert_eq!(run.shards[0].watchdog_kills, 0);
-    assert_eq!(run.shards[2].watchdog_kills, 0);
+    assert!(
+        run.shards[target].completed,
+        "restart should have completed"
+    );
+    for (i, shard) in run.shards.iter().enumerate() {
+        if i != target {
+            assert_eq!(shard.watchdog_kills, 0);
+        }
+    }
     assert_eq!(run.unrecovered, 0);
     assert_eq!(
         outcomes_hash(&run.outcomes),
@@ -237,7 +369,17 @@ fn hung_shard_worker_is_killed_and_resumed_to_identical_report() {
 #[test]
 fn exhausted_shard_restarts_surface_as_failed_cells() {
     let specs = shard_grid();
-    let plan = plan_shards(&specs, 3).unwrap();
+    let plan = plan_shards(&specs, 3, SplitPolicy::Never).unwrap();
+    let target = plan
+        .slices
+        .iter()
+        .position(|s| s.contains(3))
+        .expect("cell 3 is planned");
+    let healthy = plan
+        .slices
+        .iter()
+        .position(|s| s.contains(0))
+        .expect("cell 0 is planned");
     let dir = temp_shard_dir("exhaust");
     let run = run_sharded(
         &specs,
@@ -248,14 +390,10 @@ fn exhausted_shard_restarts_surface_as_failed_cells() {
             ..ShardedRunConfig::default()
         },
         |spawn| {
-            let exe = std::env::current_exe().expect("test binary path");
-            let mut cmd = Command::new(exe);
-            cmd.args(["--exact", "child_run_shard_worker", "--nocapture"])
-                .env(CHILD_GUARD, "1")
-                .env(RANGE_VAR, spawn.range.to_string())
-                .env(JOURNAL_VAR, spawn.journal);
-            // Shard 1 aborts before journaling anything, on EVERY attempt.
-            if spawn.index == 1 {
+            let mut cmd = child_command(spawn, "plain", None);
+            // The target shard aborts before journaling anything, on
+            // EVERY attempt.
+            if spawn.index == target {
                 cmd.env(CRASH_VAR, "records:0");
             }
             cmd
@@ -263,29 +401,39 @@ fn exhausted_shard_restarts_surface_as_failed_cells() {
     )
     .expect("sharded run");
 
-    assert!(!run.shards[1].completed);
-    assert_eq!(run.shards[1].attempts, 2, "initial attempt + 1 restart");
-    assert_eq!(run.unrecovered, plan[1].len());
-    for (i, spec) in specs
-        .iter()
-        .enumerate()
-        .take(plan[1].end)
-        .skip(plan[1].start)
-    {
+    assert!(!run.shards[target].completed);
+    assert_eq!(
+        run.shards[target].attempts, 2,
+        "initial attempt + 1 restart"
+    );
+    assert_eq!(run.unrecovered, plan.slices[target].len());
+    for i in plan.slices[target].cells() {
         match &run.outcomes[i] {
             ScenarioOutcome::Failed(f) => {
                 assert!(f.error.contains("not recovered"), "{}", f.error);
-                assert_eq!(f.label, spec.label);
+                assert_eq!(f.label, specs[i].label);
             }
             other => panic!("cell {i} should be Failed, got {other:?}"),
         }
     }
     // The healthy shards still completed normally.
-    for i in plan[0].start..plan[0].end {
+    for i in plan.slices[healthy].cells() {
         assert!(
             matches!(run.outcomes[i], ScenarioOutcome::Completed(_)),
             "cell {i} from a healthy shard should have completed"
         );
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A range kept for parse coverage of the worker env plumbing: the child
+/// accepts both a single `a..b` range (the v4 protocol) and a multi-range
+/// slice through the same `RANDRECON_SHARD_RANGE` variable.
+#[test]
+fn shard_slice_env_roundtrip() {
+    let range = ShardRange::new(2, 5).unwrap();
+    let slice = ShardSlice::single(range);
+    assert_eq!(ShardSlice::parse(&slice.to_string()), Some(slice));
+    let multi = ShardSlice::parse("0..2,4..6").unwrap();
+    assert_eq!(ShardSlice::parse(&multi.to_string()), Some(multi));
 }

@@ -182,6 +182,14 @@ impl<S: RecordChunkSource> RecordChunkSource for DisguisedChunkSource<S> {
             })?;
         Ok(Some(chunk.add(&noise)?))
     }
+
+    fn skip_chunks(&mut self, n_chunks: usize) -> randrecon_data::Result<()> {
+        // Noise chunk `i` is child-seeded by `i` alone, so skipping keeps
+        // the disguise of every later chunk bit-identical to a full sweep.
+        self.inner.skip_chunks(n_chunks)?;
+        self.chunk_index += n_chunks as u64;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -209,6 +209,18 @@ impl MvnChunkSampler {
         self.cursor = 0;
     }
 
+    /// Skips the next `n_chunks` chunks (saturating at the end of the
+    /// stream). Because chunk `i` is drawn from its own child-seeded RNG,
+    /// skipping is a pure cursor jump: the chunks produced afterwards are
+    /// bit-identical to the ones a full sequential sweep would produce at
+    /// the same positions.
+    pub fn skip_chunks(&mut self, n_chunks: usize) {
+        self.cursor = self
+            .cursor
+            .saturating_add(n_chunks.saturating_mul(self.chunk_rows))
+            .min(self.n);
+    }
+
     /// Returns the next chunk (`rows × dim`), or `None` after the last one.
     pub fn next_chunk(&mut self) -> Option<Matrix> {
         if self.cursor >= self.n {

@@ -32,14 +32,19 @@
 # per-shard heartbeat sidecars rewritten after every journaled cell plus
 # an armed-but-never-firing cell deadline checked at trial/member/chunk
 # boundaries must cost <=5% over bare in-process sharding of the same
-# eight workloads).
-# BENCH_1.json … BENCH_7.json remain the frozen PR-1/…/7 records; pass
+# eight workloads); and the `moment_merge` group the PR-9 distributed-
+# reduction numbers (`merged/8` vs `never/8` over eight streaming
+# workloads split across 2 in-process shards -- dealing each group's
+# pass-1 moment segments across shards as moment tasks, journaling the
+# partials as v5 moment frames, and merging them in the coordinator's
+# reduce step must cost <=10% over unsplit sharding of the same grid).
+# BENCH_1.json … BENCH_8.json remain the frozen PR-1/…/8 records; pass
 # one of them as the argument only to regenerate history deliberately.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -113,4 +118,9 @@ bare = results.get(("supervise", "sharded/8"))
 if supervised and bare:
     overhead = (supervised - bare) / bare * 100
     print(f"supervised sharding over 8 workloads: bare {bare/1e6:.2f} ms vs heartbeats+deadline {supervised/1e6:.2f} ms  (supervision overhead {overhead:+.1f}%, acceptance <=5%)")
+merged = results.get(("moment_merge", "merged/8"))
+never = results.get(("moment_merge", "never/8"))
+if merged and never:
+    overhead = (merged - never) / never * 100
+    print(f"moment-merged sharding over 8 streaming workloads: unsplit {never/1e6:.2f} ms vs split+merged {merged/1e6:.2f} ms  (moment-merge overhead {overhead:+.1f}%, acceptance <=10%)")
 EOF
