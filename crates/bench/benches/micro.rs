@@ -33,6 +33,14 @@
 //!   throughput), and `be_dr_streaming_seq/50000` — the forced-sequential
 //!   pass 2 against the default double-buffered pipeline, the tracked
 //!   ≥0.95× PR-4 acceptance ratio.
+//! * `pipeline_ring` — the PR-10 group: pass 2 through the N-slot ring
+//!   (depths 4 and 8) against the forced-sequential loop and the pinned
+//!   two-slot depth at 50 k × 64 and 500 k × 64
+//!   (`be_dr_ring4/50000` vs `be_dr_sequential/50000` is the tracked
+//!   ≥0.95× acceptance ratio), plus the `ROW_BLOCK`-panel covariance
+//!   rank-update against the preserved per-row sweep at n = 1000,
+//!   m ∈ {128, 256} (`sample_covariance_n1000/256` vs
+//!   `sample_covariance_rowsweep_n1000/256`, acceptance ≥1.3×).
 //! * `scenario` — the PR-5 scenario-runner group: `run_scenarios` over an
 //!   8-cell grid of *distinct* workloads against a hand-rolled loop over
 //!   the same specs (`runner/8` vs `handrolled/8`); the runner's scheduling
@@ -47,8 +55,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use randrecon_bench::{
-    be_dr_seed, cholesky_solve_seed, covariance_matrix_seed, matmul_blocked_axpy_seed,
-    mvn_sample_matrix_seed,
+    be_dr_seed, cholesky_solve_seed, covariance_matrix_rowsweep_seed, covariance_matrix_seed,
+    matmul_blocked_axpy_seed, mvn_sample_matrix_seed,
 };
 use randrecon_core::be_dr::BeDr;
 use randrecon_core::streaming::{
@@ -316,6 +324,96 @@ fn bench_streaming(c: &mut Criterion) {
             black_box(report.n_records)
         })
     });
+    group.finish();
+}
+
+/// The PR-10 ring group: pass 2 through the N-slot ring against the forced
+/// sequential loop and the ring pinned to the old two-slot depth, on the
+/// 50 k × 64 materialized workload and the 500 k × 64 fully-streamed
+/// flagship; `be_dr_ring4/50000` vs `be_dr_sequential/50000` is the
+/// tracked ≥0.95× acceptance ratio (the N-slot generalization of the PR-4
+/// double-buffer floor). The group also carries the wide-table covariance
+/// numbers: the `ROW_BLOCK`-panel rank-update against the preserved
+/// per-row sweep (`randrecon_bench::covariance_matrix_rowsweep_seed`) at
+/// n = 1000, m ∈ {128, 256}; `sample_covariance_n1000/256` vs
+/// `sample_covariance_rowsweep_n1000/256` is the tracked ≥1.3× acceptance
+/// ratio.
+fn bench_pipeline_ring(c: &mut Criterion) {
+    use randrecon_core::streaming::PipelineMode;
+
+    let mut group = c.benchmark_group("pipeline_ring");
+    group.sample_size(10);
+
+    // 50 k × 64, end to end through a TableSink, one mode per entry.
+    let n = 50_000usize;
+    let (disguised, randomizer) = kernel_workload(n);
+    let model = randomizer.model();
+    let modes: [(&str, PipelineMode); 4] = [
+        ("be_dr_sequential", PipelineMode::Sequential),
+        ("be_dr_two_slot", PipelineMode::two_slot()),
+        ("be_dr_ring4", PipelineMode::Pipelined { slots: 4 }),
+        ("be_dr_ring8", PipelineMode::Pipelined { slots: 8 }),
+    ];
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            b.iter(|| {
+                let mut source = TableChunkSource::new(&disguised, 4_096).unwrap();
+                let mut sink = TableSink::new(KERNEL_ATTRS);
+                StreamingDriver { pipeline: mode }
+                    .run(&StreamingBeDr::default(), &mut source, model, &mut sink)
+                    .unwrap();
+                black_box(sink.into_matrix().unwrap())
+            })
+        });
+    }
+
+    // Wide-table covariance: the blocked rank-update vs the preserved
+    // per-row sweep, identical input, identical output bits.
+    for &m in &[128usize, 256] {
+        let ds = workload(m);
+        let y = ds.table.values();
+        group.bench_with_input(
+            BenchmarkId::new("sample_covariance_n1000", m),
+            &m,
+            |b, _| b.iter(|| black_box(covariance_matrix(y))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sample_covariance_rowsweep_n1000", m),
+            &m,
+            |b, _| b.iter(|| black_box(covariance_matrix_rowsweep_seed(y))),
+        );
+    }
+
+    // 500 k × 64 fully streamed (generation + disguise + both passes),
+    // three samples per mode: enough for the harness's median to shed one
+    // interference burst while keeping the ~6 s runs affordable on 1 core.
+    group.sample_size(3);
+    let n = 500_000usize;
+    let spectrum = EigenSpectrum::principal_plus_small(6, 400.0, KERNEL_ATTRS, 4.0).unwrap();
+    let modes: [(&str, PipelineMode); 3] = [
+        ("be_dr_sequential", PipelineMode::Sequential),
+        ("be_dr_two_slot", PipelineMode::two_slot()),
+        ("be_dr_ring4", PipelineMode::Pipelined { slots: 4 }),
+    ];
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            b.iter(|| {
+                let original =
+                    SyntheticChunkSource::generate(&spectrum, n, 8_192, n as u64).unwrap();
+                let mut source = DisguisedChunkSource::new(
+                    original,
+                    AdditiveRandomizer::gaussian(10.0).unwrap(),
+                    n as u64 + 1,
+                );
+                let noise = source.model().clone();
+                let mut sink = DiscardSink::default();
+                let report = StreamingDriver { pipeline: mode }
+                    .run(&StreamingBeDr::default(), &mut source, &noise, &mut sink)
+                    .unwrap();
+                black_box(report.n_records)
+            })
+        });
+    }
     group.finish();
 }
 
@@ -659,6 +757,7 @@ criterion_group!(
     bench_kernels_v2,
     bench_kernels_v3,
     bench_streaming,
+    bench_pipeline_ring,
     bench_scenario_runner,
     bench_journal,
     bench_shard,

@@ -36,6 +36,47 @@ pub fn covariance_matrix_seed(data: &Matrix) -> Matrix {
     cov
 }
 
+/// Pre-blocking rank-update covariance: the PR-1…PR-9 single-pass sweep —
+/// one centered scratch row per record, one full pass over the upper
+/// comoment triangle per record (contiguous row `axpy`s, k-ascending) —
+/// **without** the PR-10 `ROW_BLOCK` panel blocking, which streams each
+/// triangle row through cache once per eight records instead of once per
+/// record. Preserved so the wide-table (m ∈ {128, 256}) cache-residency
+/// speedup is measured inside one binary. Numerically identical to the
+/// production kernel (same per-cell addition order), so the ratio is pure
+/// memory traffic.
+pub fn covariance_matrix_rowsweep_seed(data: &Matrix) -> Matrix {
+    let (n, m) = data.shape();
+    let mut cov = Matrix::zeros(m, m);
+    if n < 2 {
+        return cov;
+    }
+    let means = data.column_means();
+    let mut acc = vec![0.0; m * m];
+    let mut scratch = vec![0.0; m];
+    for r in 0..n {
+        let row = data.row(r);
+        for ((s, &x), &mu) in scratch.iter_mut().zip(row).zip(&means) {
+            *s = x - mu;
+        }
+        for i in 0..m {
+            let v = scratch[i];
+            for (o, &w) in acc[i * m + i..(i + 1) * m].iter_mut().zip(&scratch[i..]) {
+                *o += v * w;
+            }
+        }
+    }
+    let norm = 1.0 / (n - 1) as f64;
+    for i in 0..m {
+        for j in i..m {
+            let v = acc[i * m + j] * norm;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
+        }
+    }
+    cov
+}
+
 /// Seed-path blocked matmul: the PR-1/PR-2 cache-blocked, transpose-packed
 /// kernel **without** the PR-3 register microkernel — panel-major packing of
 /// `B` (`KC = 64 × NC = 256`, the production kernel's geometry) and a
@@ -296,6 +337,18 @@ mod tests {
         let seed = covariance_matrix_seed(ds.table.values());
         let fast = ds.table.covariance_matrix();
         assert!(seed.approx_eq(&fast, 1e-9));
+    }
+
+    #[test]
+    fn rowsweep_covariance_is_bit_identical_to_the_blocked_kernel() {
+        // Below the 2048-row chunking threshold both kernels run one
+        // uninterrupted sweep with identical per-cell addition order, so
+        // the PR-10 panel blocking must not move a single bit.
+        let spectrum = EigenSpectrum::principal_plus_small(2, 50.0, 9, 1.0).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, 1_000, 10).unwrap();
+        let seed = covariance_matrix_rowsweep_seed(ds.table.values());
+        let blocked = ds.table.covariance_matrix();
+        assert!(seed.approx_eq(&blocked, 0.0));
     }
 
     #[test]

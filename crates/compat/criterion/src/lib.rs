@@ -5,7 +5,9 @@
 //! `criterion_group!`, `criterion_main!`, `black_box`) on top of a plain
 //! wall-clock harness: each benchmark is warmed up, then timed over
 //! `sample_size` samples whose iteration counts are sized so a sample takes
-//! a measurable slice of time. Results print to stdout and, when the
+//! a measurable slice of time; the reported figure is the median across
+//! samples, so interference bursts on shared hosts cannot poison a
+//! measurement. Results print to stdout and, when the
 //! `CRITERION_JSON` environment variable names a file, are also appended to
 //! it as a JSON array — that is what `scripts/bench_to_json.sh` uses to
 //! produce `BENCH_1.json`.
@@ -57,7 +59,8 @@ pub struct BenchResult {
     pub group: String,
     /// Benchmark id within the group.
     pub bench: String,
-    /// Mean nanoseconds per iteration.
+    /// Nanoseconds per iteration — the median across samples (robust to
+    /// interference bursts on shared hosts; equals the mean on quiet runs).
     pub mean_ns: f64,
     /// Total iterations measured.
     pub iterations: u64,
@@ -69,9 +72,23 @@ pub struct BenchResult {
 #[derive(Debug, Default)]
 pub struct Criterion {
     results: Vec<BenchResult>,
+    filter: Option<String>,
 }
 
 impl Criterion {
+    /// Builds a harness honouring the CLI filter, mirroring real criterion:
+    /// `cargo bench --bench micro -- <substring>` runs only the benchmarks
+    /// whose `group/bench` label contains the substring (flag-style
+    /// arguments are ignored, as the real harness accepts e.g. `--bench`).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion {
+            results: Vec::new(),
+            filter,
+        }
+    }
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
@@ -189,17 +206,29 @@ impl Bencher {
             .max(self.samples as u64);
         let iters_per_sample = (total_iters / self.samples as u64).max(1);
 
-        let mut total = Duration::ZERO;
+        // Per-sample means, summarized by their MEDIAN rather than the
+        // pooled mean: on shared hosts a single interference burst (noisy
+        // neighbor, steal time) can multiply one sample's wall clock
+        // several-fold, and a pooled mean would report that artifact as
+        // the benchmark's cost. The median ignores any minority of
+        // poisoned samples while agreeing with the mean on quiet runs.
+        let mut sample_means: Vec<f64> = Vec::with_capacity(self.samples);
         let mut iterations = 0u64;
         for _ in 0..self.samples {
             let start = Instant::now();
             for _ in 0..iters_per_sample {
                 black_box(f());
             }
-            total += start.elapsed();
+            sample_means.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
             iterations += iters_per_sample;
         }
-        self.mean_ns = total.as_nanos() as f64 / iterations as f64;
+        sample_means.sort_by(|a, b| a.total_cmp(b));
+        let mid = sample_means.len() / 2;
+        self.mean_ns = if sample_means.len() % 2 == 1 {
+            sample_means[mid]
+        } else {
+            (sample_means[mid - 1] + sample_means[mid]) / 2.0
+        };
         self.iterations = iterations;
     }
 }
@@ -211,17 +240,22 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     samples: usize,
     mut f: F,
 ) {
+    let label = if group.is_empty() {
+        bench.to_string()
+    } else {
+        format!("{group}/{bench}")
+    };
+    if let Some(filter) = &criterion.filter {
+        if !label.contains(filter.as_str()) {
+            return;
+        }
+    }
     let mut bencher = Bencher {
         samples,
         mean_ns: 0.0,
         iterations: 0,
     };
     f(&mut bencher);
-    let label = if group.is_empty() {
-        bench.to_string()
-    } else {
-        format!("{group}/{bench}")
-    };
     println!(
         "bench {label}: {} per iter ({} iterations, {} samples)",
         format_ns(bencher.mean_ns),
@@ -264,7 +298,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            let mut c = $crate::Criterion::default();
+            let mut c = $crate::Criterion::from_args();
             $($group(&mut c);)+
             c.flush_json();
         }

@@ -23,14 +23,29 @@
 //!    state and pushing it into a pluggable [`RecordSink`] (in-memory
 //!    table, buffered CSV file, or a metrics-only MSE accumulator).
 //!
-//! Pass 2 is **double-buffered** by default
-//! ([`PipelineMode::DoubleBuffered`]): while the sink drains reconstructed
-//! chunk `i` on the calling thread, the next chunk is read and reconstructed
-//! on a dedicated producer thread (which draws on the shared pool for its
-//! kernels), so sink I/O overlaps compute. Chunks flow through a bounded
-//! two-slot channel in production order, which makes the output — and any
-//! error it stops on — identical to the [`PipelineMode::Sequential`]
-//! fallback, byte for byte, regardless of worker count.
+//! Both passes run on the bounded **N-slot ring**
+//! (`randrecon_parallel::pipeline_ring`, [`PipelineMode::Pipelined`]), which
+//! decomposes a sweep into explicit stages:
+//!
+//! * **read** — `source.next_chunk()` on a dedicated producer thread (for
+//!   disguised sources this stage *includes* the per-chunk noise draw, which
+//!   is child-seeded by chunk index and therefore order-independent);
+//! * **reconstruct** (pass 2) / **moment partial** (pass 1) — the per-chunk
+//!   map, fanned across the shared `randrecon-parallel` pool with up to
+//!   `slots / 2` chunks in flight at once;
+//! * **sink** (pass 2) / **merge** (pass 1) — the consumer, draining on the
+//!   calling thread strictly in chunk order.
+//!
+//! At most `slots` chunks are resident between read and consume. Because
+//! delivery is in read order, every per-chunk map is a pure function of its
+//! chunk, and pass 1's merge runs the same two-level segment fold at any
+//! depth, the output — and any error it stops on — is identical to the
+//! [`PipelineMode::Sequential`] fallback, **byte for byte**, at every slot
+//! count and worker count. A failing sink closes the ring's channel, which
+//! unblocks the producer (its next send fails and it stops cleanly), so
+//! sink errors surface without hangs at every depth. The depth defaults to
+//! `RANDRECON_PIPELINE_SLOTS` / the machine heuristic (see
+//! `randrecon_parallel::default_pipeline_slots`).
 //!
 //! Because every reconstruction map is per-record, the streamed output rows
 //! are computed by exactly the same kernels as the in-memory attacks; the
@@ -47,10 +62,11 @@ use randrecon_data::csv::CsvChunkWriter;
 use randrecon_linalg::decomposition::SymmetricEigen;
 use randrecon_linalg::Matrix;
 use randrecon_noise::NoiseModel;
-use randrecon_parallel::pipeline_two_slot;
+use randrecon_parallel::pipeline_ring;
 pub use randrecon_parallel::{CancelToken, PipelineMode};
 use randrecon_stats::posterior::PreparedPosterior;
 use std::io::Write;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Sinks
@@ -302,21 +318,102 @@ pub struct MomentSegment {
 
 /// Sweeps the source once into a [`CovarianceAccumulator`].
 ///
-/// The fold is two-level: chunks are pulled in batches of up to
-/// `max_threads()` (never crossing a segment boundary) and turned into
-/// per-chunk partial accumulators on the shared pool; the per-chunk
-/// partials merge in chunk order into a self-anchored *segment* partial
-/// every [`MOMENT_SEGMENT_CHUNKS`] chunks, and segment partials merge in
-/// segment order into the result. Per-chunk partials are functions of
-/// their chunk alone, each segment's anchor is its own first record, and
-/// both merge sequences are fixed by the stream — so the result is
-/// bit-identical on a 1-core laptop, a many-core server, **and** a
-/// distributed run whose shards each computed a segment range (see
-/// [`accumulate_moment_segments`] / [`merge_moment_segments`]).
-pub fn accumulate_source<S: RecordChunkSource + ?Sized>(
+/// Since PR 10 the sweep rides the same N-slot ring as pass 2
+/// ([`accumulate_source_pipelined`] at the process default depth): chunk
+/// reads overlap moment accumulation, with per-chunk partials computed
+/// across the shared pool. The fold is two-level: per-chunk partials merge
+/// in chunk order into a self-anchored *segment* partial every
+/// [`MOMENT_SEGMENT_CHUNKS`] chunks, and segment partials merge in segment
+/// order into the result. Per-chunk partials are functions of their chunk
+/// and their segment's anchor alone, each segment's anchor is its own first
+/// record, and both merge sequences are fixed by the stream — so the result
+/// is bit-identical at every ring depth, on a 1-core laptop, a many-core
+/// server, **and** a distributed run whose shards each computed a segment
+/// range (see [`accumulate_moment_segments`] / [`merge_moment_segments`];
+/// the batch-mode fold [`accumulate_source_with_batch`] is retained as the
+/// pinned reference the equivalence tests compare against).
+pub fn accumulate_source<S: RecordChunkSource + Send + ?Sized>(
     source: &mut S,
 ) -> Result<(CovarianceAccumulator, usize)> {
-    accumulate_source_with_batch(source, randrecon_parallel::max_threads().max(1))
+    accumulate_source_pipelined(source, randrecon_parallel::default_pipeline_slots())
+}
+
+/// [`accumulate_source`] over an explicit N-slot ring: the **read** stage
+/// pulls chunks (and captures each segment's anchor — the first record of
+/// the segment's first non-empty chunk — as it goes), the **transform**
+/// stage turns each chunk into a shift-anchored partial accumulator on the
+/// shared pool, and the **merge** stage folds partials in chunk order into
+/// segment partials and segments into the stream accumulator on the calling
+/// thread. The merge sequence is exactly the one
+/// [`accumulate_source_with_batch`] runs, so the result is bit-identical to
+/// the batch fold (and to a distributed segment fold) at every `slots`.
+pub fn accumulate_source_pipelined<S: RecordChunkSource + Send + ?Sized>(
+    source: &mut S,
+    slots: usize,
+) -> Result<(CovarianceAccumulator, usize)> {
+    /// What the read stage hands the transform stage: the chunk plus its
+    /// segment's shared shift anchor (absent until the segment sees its
+    /// first non-empty chunk).
+    type AnchoredChunk = (Option<Arc<Vec<f64>>>, Matrix);
+    let m = source.n_attributes();
+    let mut acc = CovarianceAccumulator::new(m);
+    let mut segment = CovarianceAccumulator::new(m);
+    let mut segment_chunks = 0usize;
+    let mut n_chunks = 0usize;
+
+    {
+        let source_ref = &mut *source;
+        let mut anchor: Option<Arc<Vec<f64>>> = None;
+        let mut read_index = 0usize;
+        let segment_ref = &mut segment;
+        let segment_chunks_ref = &mut segment_chunks;
+        let acc_ref = &mut acc;
+        let n_chunks_ref = &mut n_chunks;
+        pipeline_ring(
+            slots,
+            move || -> Result<Option<AnchoredChunk>> {
+                if read_index.is_multiple_of(MOMENT_SEGMENT_CHUNKS) {
+                    // Segment boundary: the next segment anchors itself.
+                    anchor = None;
+                }
+                match source_ref.next_chunk()? {
+                    Some(chunk) => {
+                        if anchor.is_none() && chunk.rows() > 0 {
+                            anchor = Some(Arc::new(chunk.row(0).to_vec()));
+                        }
+                        read_index += 1;
+                        Ok(Some((anchor.clone(), chunk)))
+                    }
+                    None => Ok(None),
+                }
+            },
+            move |_, (anchor, chunk)| {
+                // An empty chunk before its segment found an anchor carries
+                // no records and contributes an empty partial.
+                let mut partial = match anchor {
+                    Some(anchor) => CovarianceAccumulator::with_shift(anchor.as_ref().clone()),
+                    None => CovarianceAccumulator::new(m),
+                };
+                partial.update_chunk(&chunk)?;
+                Ok::<_, ReconError>(partial)
+            },
+            |_, partial| {
+                segment_ref.merge(&partial)?;
+                *segment_chunks_ref += 1;
+                *n_chunks_ref += 1;
+                if *segment_chunks_ref == MOMENT_SEGMENT_CHUNKS {
+                    acc_ref.merge(segment_ref)?;
+                    *segment_ref = CovarianceAccumulator::new(m);
+                    *segment_chunks_ref = 0;
+                }
+                Ok(())
+            },
+        )?;
+    }
+    if segment_chunks > 0 {
+        acc.merge(&segment)?;
+    }
+    Ok((acc, n_chunks))
 }
 
 /// [`accumulate_source`] with an explicit batch size (exposed so tests can
@@ -660,7 +757,7 @@ impl StreamingDriver {
     /// the *same* stream (the five-scheme sweeps) accumulate once and share
     /// the result via [`run_with_moments`](StreamingDriver::run_with_moments)
     /// instead of re-sweeping per scheme.
-    pub fn accumulate_moments<S: RecordChunkSource + ?Sized>(
+    pub fn accumulate_moments<S: RecordChunkSource + Send + ?Sized>(
         source: &mut S,
     ) -> Result<StreamMoments> {
         source.reset()?;
@@ -769,14 +866,20 @@ impl StreamingDriver {
                     produced += 1;
                 }
             }
-            PipelineMode::DoubleBuffered => {
+            PipelineMode::Pipelined { slots } => {
+                // The ring's explicit stages: read (+ on-the-fly disguise)
+                // on the producer thread, reconstruct across the pool with
+                // up to `slots / 2` chunks in flight, sink in chunk order on
+                // this thread. Delivery order and the per-chunk map are both
+                // independent of the depth, so the sink sees the exact
+                // sequential byte stream at every slot count.
                 let prepared_ref = &prepared;
                 let swept_ref = &mut swept;
                 let source_ref = &mut *source;
                 let producer_cancel = cancel.clone();
                 let mut produced = 0usize;
-                let mut consumed = 0usize;
-                pipeline_two_slot(
+                pipeline_ring(
+                    slots,
                     move || -> Result<Option<Matrix>> {
                         if producer_cancel.is_cancelled() {
                             return Err(at_chunk(produced, cancelled()));
@@ -784,21 +887,18 @@ impl StreamingDriver {
                         match source_ref.next_chunk().map_err(|e| at_chunk(produced, e))? {
                             Some(chunk) => {
                                 *swept_ref += chunk.rows();
-                                let out = prepared_ref
-                                    .map_chunk(chunk)
-                                    .map_err(|e| at_chunk(produced, e))?;
                                 produced += 1;
-                                Ok(Some(out))
+                                Ok(Some(chunk))
                             }
                             None => Ok(None),
                         }
                     },
-                    |out| {
-                        sink.consume_chunk(&out)
-                            .map_err(|e| at_chunk(consumed, e))?;
-                        consumed += 1;
-                        Ok(())
+                    |index, chunk| {
+                        prepared_ref
+                            .map_chunk(chunk)
+                            .map_err(|e| at_chunk(index, e))
                     },
+                    |index, out| sink.consume_chunk(&out).map_err(|e| at_chunk(index, e)),
                 )?;
             }
         }

@@ -2,7 +2,7 @@
 //! that must hold for any workload shape, noise level, and noise model.
 
 use proptest::prelude::*;
-use randrecon_core::streaming::accumulate_source_with_batch;
+use randrecon_core::streaming::{accumulate_source_pipelined, accumulate_source_with_batch};
 use randrecon_core::{
     accumulate_moment_segments, be_dr::BeDr, merge_moment_segments, moment_segment_count, ndr::Ndr,
     pca_dr::PcaDr, spectral::SpectralFiltering, udr::Udr, ComponentSelection,
@@ -272,6 +272,99 @@ proptest! {
             cov_a.approx_eq(&cov_b, 0.0),
             "accumulated covariance changed with the batch size"
         );
+    }
+
+    /// Pass 1 on the N-slot ring must reproduce the pinned batch fold **bit
+    /// for bit** at every ring depth, for every chunking: the ring merges
+    /// the same shared-anchor per-chunk partials in the same chunk order
+    /// through the same two-level segment fold, so no depth may move a
+    /// single ulp.
+    #[test]
+    fn pipelined_accumulation_is_bit_identical_to_the_batch_fold(
+        m in 2usize..7,
+        n in 2usize..150,
+        chunk_rows in 1usize..40,
+        seed in 0u64..5_000,
+    ) {
+        let spectrum = EigenSpectrum::principal_plus_small(1, 70.0, m, 2.5).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, n, seed).unwrap();
+
+        let mut source = TableChunkSource::new(&ds.table, chunk_rows).unwrap();
+        let (reference, ref_chunks) = accumulate_source_with_batch(&mut source, 1).unwrap();
+
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        for slots in [1usize, 2, 4, 8] {
+            let mut source = TableChunkSource::new(&ds.table, chunk_rows).unwrap();
+            let (acc, chunks) = accumulate_source_pipelined(&mut source, slots).unwrap();
+            prop_assert_eq!(chunks, ref_chunks, "chunk count changed at {} slots", slots);
+            prop_assert_eq!(acc.count(), reference.count());
+            prop_assert_eq!(bits(acc.raw_sum()), bits(reference.raw_sum()));
+            prop_assert_eq!(bits(acc.raw_cross()), bits(reference.raw_cross()));
+            prop_assert_eq!(acc.shift().map(bits), reference.shift().map(bits));
+        }
+    }
+
+    /// The blocked rank-update sweep (ROW_BLOCK-record panels, one cache
+    /// pass over each comoment-triangle row per panel) must reproduce the
+    /// plain per-row single-pass kernel **bit for bit** for every table
+    /// shape and every chunking: per cell the additions land in ascending
+    /// record order either way, so the blocking is pure memory-traffic
+    /// optimization with zero numerical freedom.
+    #[test]
+    fn blocked_rank_update_is_bit_identical_to_the_per_row_kernel(
+        m in 2usize..12,
+        n in 1usize..120,
+        cuts in proptest::collection::vec(0usize..120, 0..6),
+        seed in 0u64..5_000,
+    ) {
+        let spectrum = EigenSpectrum::principal_plus_small(1, 70.0, m, 2.5).unwrap();
+        let ds = SyntheticDataset::generate(&spectrum, n, seed).unwrap();
+        let data = ds.table.values();
+
+        // Per-row reference: the exact pre-blocking kernel — anchor on the
+        // first record, then one full rank-1 triangle update per record in
+        // stream order.
+        let shift: Vec<f64> = data.row(0).to_vec();
+        let mut ref_sum = vec![0.0; m];
+        let mut ref_cross = vec![0.0; m * m];
+        let mut scratch = vec![0.0; m];
+        for r in 0..n {
+            let row = data.row(r);
+            for ((s, &x), &k) in scratch.iter_mut().zip(row).zip(&shift) {
+                *s = x - k;
+            }
+            for (o, &x) in ref_sum.iter_mut().zip(row) {
+                *o += x;
+            }
+            for i in 0..m {
+                let v = scratch[i];
+                for (o, &w) in ref_cross[i * m + i..(i + 1) * m]
+                    .iter_mut()
+                    .zip(&scratch[i..])
+                {
+                    *o += v * w;
+                }
+            }
+        }
+
+        // Blocked kernel, fed the same records under a random chunking
+        // (empty chunks included) so panels straddle chunk boundaries in
+        // every possible way.
+        let mut acc = CovarianceAccumulator::new(m);
+        for range in partition_from_cuts(n, &cuts) {
+            if range.is_empty() {
+                continue; // a zero-row chunk is a no-op by contract
+            }
+            let rows: Vec<&[f64]> = range.map(|r| data.row(r)).collect();
+            let chunk = Matrix::from_rows(&rows).unwrap();
+            acc.update_chunk(&chunk).unwrap();
+        }
+
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        prop_assert_eq!(acc.count(), n);
+        prop_assert_eq!(acc.shift().map(bits), Some(bits(&shift)));
+        prop_assert_eq!(bits(acc.raw_sum()), bits(&ref_sum));
+        prop_assert_eq!(bits(acc.raw_cross()), bits(&ref_cross));
     }
 
     /// Cross-shard moment merging (PR 9): the pass-1 segment partials of a

@@ -1,16 +1,19 @@
-//! Pass-2 pipeline determinism and failure robustness.
+//! Pass-2 ring-pipeline determinism and failure robustness.
 //!
-//! The double-buffered sweep must be a pure latency optimization: its output
-//! must be **byte-identical** to the sequential fallback and independent of
-//! the worker count, so the overlap can never reorder, drop, or duplicate a
-//! chunk. Worker-count independence is pinned by re-executing this test
-//! binary under `RANDRECON_THREADS` ∈ {1, 2, 4} (the pool reads the
-//! variable once at startup, so varying it takes a fresh process) and
-//! comparing reconstruction hashes across processes.
+//! The N-slot ring must be a pure latency optimization: its output must be
+//! **byte-identical** to the sequential fallback at every slot count and
+//! independent of the worker count, so the overlap can never reorder, drop,
+//! or duplicate a chunk. Slot independence is pinned in-process (every depth
+//! in {1, 2, 4, 8} hashes identically to sequential); worker-count
+//! independence is pinned by re-executing this test binary under
+//! `RANDRECON_THREADS` ∈ {1, 2, 4} (the pool reads the variable once at
+//! startup, so varying it takes a fresh process) and comparing
+//! reconstruction hashes across processes — together the two give the full
+//! slots × workers matrix.
 //!
 //! The failure-path tests pin that an error from the sink mid-pipeline
 //! shuts the producer down and surfaces the located error instead of
-//! wedging the two-slot channel.
+//! wedging the ring's channel, at every slot count.
 
 use randrecon_core::streaming::{
     ChunkReconstructor, PipelineMode, RecordSink, StreamingBeDr, StreamingDriver, StreamingNdr,
@@ -27,6 +30,9 @@ use randrecon_stats::rng::seeded_rng;
 const N: usize = 1_200;
 const M: usize = 12;
 const CHUNK: usize = 128;
+
+/// The ring depths the determinism matrix sweeps.
+const SLOT_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Environment guard: set by the parent test when re-executing this binary
 /// so only the child emits a hash.
@@ -81,32 +87,40 @@ fn pipeline_hash(mode: PipelineMode) -> u64 {
     hash
 }
 
-#[test]
-fn double_buffered_output_is_byte_identical_to_sequential() {
-    assert_eq!(
-        pipeline_hash(PipelineMode::DoubleBuffered),
-        pipeline_hash(PipelineMode::Sequential),
-        "forcing the double-buffer on/off must not change a single output bit"
-    );
+/// The sequential reference hash plus the assertion that every ring depth
+/// reproduces it bit for bit *in this process* (i.e. at this worker count).
+fn sequential_hash_with_slot_matrix() -> u64 {
+    let reference = pipeline_hash(PipelineMode::Sequential);
+    for slots in SLOT_COUNTS {
+        assert_eq!(
+            pipeline_hash(PipelineMode::Pipelined { slots }),
+            reference,
+            "ring at {slots} slot(s) must not change a single output bit"
+        );
+    }
+    reference
 }
 
-/// Child half of the worker-count matrix: under the guard variable, emit the
-/// pipeline hash for the parent to compare; otherwise pass trivially.
+#[test]
+fn ring_output_is_byte_identical_to_sequential_at_every_slot_count() {
+    sequential_hash_with_slot_matrix();
+}
+
+/// Child half of the worker-count matrix: under the guard variable, run the
+/// full slot sweep at this process's worker count and emit the reference
+/// hash for the parent to compare; otherwise pass trivially.
 #[test]
 fn child_emit_pipeline_hash() {
     if std::env::var(CHILD_GUARD).is_err() {
         return;
     }
-    println!(
-        "PIPELINE_HASH={:016x}",
-        pipeline_hash(PipelineMode::DoubleBuffered)
-    );
+    println!("PIPELINE_HASH={:016x}", sequential_hash_with_slot_matrix());
 }
 
 #[test]
 fn pass2_output_is_byte_identical_across_worker_counts() {
     let exe = std::env::current_exe().expect("test binary path");
-    let reference = pipeline_hash(PipelineMode::DoubleBuffered);
+    let reference = sequential_hash_with_slot_matrix();
     for workers in [1usize, 2, 4] {
         let output = std::process::Command::new(&exe)
             .args(["--exact", "child_emit_pipeline_hash", "--nocapture"])
@@ -135,6 +149,39 @@ fn pass2_output_is_byte_identical_across_worker_counts() {
     }
 }
 
+/// The `RANDRECON_PIPELINE_SLOTS` override must reach the default driver the
+/// way the scenario engine constructs it; a child pinned to any depth must
+/// reproduce the parent's sequential bytes.
+#[test]
+fn env_pinned_slot_count_reproduces_sequential_bytes() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let reference = pipeline_hash(PipelineMode::Sequential);
+    for slots in [1usize, 4] {
+        let output = std::process::Command::new(&exe)
+            .args(["--exact", "child_emit_pipeline_hash", "--nocapture"])
+            .env(CHILD_GUARD, "1")
+            .env("RANDRECON_PIPELINE_SLOTS", slots.to_string())
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            output.status.success(),
+            "child with {slots} slots failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let hash = stdout
+            .split("PIPELINE_HASH=")
+            .nth(1)
+            .map(|rest| &rest[..16])
+            .unwrap_or_else(|| panic!("child with {slots} slots printed no hash:\n{stdout}"));
+        assert_eq!(
+            u64::from_str_radix(hash, 16).unwrap(),
+            reference,
+            "pipeline output changed with RANDRECON_PIPELINE_SLOTS={slots}"
+        );
+    }
+}
+
 /// A sink that accepts a fixed number of chunks and then fails, simulating
 /// a full disk / broken pipe mid-stream.
 struct FailingSink {
@@ -158,11 +205,19 @@ impl RecordSink for FailingSink {
     }
 }
 
+/// Every mode the failure-path tests sweep: sequential plus the ring at
+/// every depth in the determinism matrix.
+fn all_modes() -> Vec<PipelineMode> {
+    let mut modes = vec![PipelineMode::Sequential];
+    modes.extend(SLOT_COUNTS.map(|slots| PipelineMode::Pipelined { slots }));
+    modes
+}
+
 #[test]
 fn sink_failure_mid_pipeline_surfaces_the_error_instead_of_hanging() {
     let (disguised, randomizer) = disguised_workload();
     let noise = randomizer.model();
-    for mode in [PipelineMode::DoubleBuffered, PipelineMode::Sequential] {
+    for mode in all_modes() {
         let mut source = TableChunkSource::new(&disguised, CHUNK).unwrap();
         let mut sink = FailingSink {
             accepted: 0,
@@ -212,21 +267,23 @@ fn csv_sink_io_failure_mid_pipeline_surfaces_the_error() {
     let (disguised, randomizer) = disguised_workload();
     let noise = randomizer.model();
     let schema = randrecon_data::Schema::anonymous(M).unwrap();
-    let mut source = TableChunkSource::new(&disguised, CHUNK).unwrap();
-    // Enough budget for the header and a few chunks, then ENOSPC.
-    let mut sink = randrecon_data::csv::CsvChunkWriter::new(
-        FailingWriter {
-            written: 0,
-            budget: 16 * 1024,
-        },
-        &schema,
-    )
-    .unwrap();
-    let err = StreamingBeDr::default()
-        .run(&mut source, noise, &mut sink)
-        .expect_err("the I/O failure must propagate");
-    assert!(
-        err.to_string().contains("device full"),
-        "unexpected error: {err}"
-    );
+    for mode in all_modes() {
+        let mut source = TableChunkSource::new(&disguised, CHUNK).unwrap();
+        // Enough budget for the header and a few chunks, then ENOSPC.
+        let mut sink = randrecon_data::csv::CsvChunkWriter::new(
+            FailingWriter {
+                written: 0,
+                budget: 16 * 1024,
+            },
+            &schema,
+        )
+        .unwrap();
+        let err = StreamingDriver { pipeline: mode }
+            .run(&StreamingBeDr::default(), &mut source, noise, &mut sink)
+            .expect_err("the I/O failure must propagate");
+        assert!(
+            err.to_string().contains("device full"),
+            "{mode:?}: unexpected error: {err}"
+        );
+    }
 }

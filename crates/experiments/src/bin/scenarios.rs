@@ -24,6 +24,11 @@
 //!   shard journals), then merge the shard journals into a report
 //!   bit-identical to a single-process run. `--shard-dir` places the
 //!   shard journals (default `results/shards`).
+//! * `--pipeline-slots <n>` — pin the streaming chunk ring to `n` slots
+//!   (the in-flight bound; 1 = fully sequential). Defaults to the
+//!   `RANDRECON_PIPELINE_SLOTS` environment variable, else to twice the
+//!   worker-pool width clamped to [2, 8]. The coordinator forwards the
+//!   flag to every spawned shard worker, so sharded sweeps inherit it.
 //! * `--worker-timeout <secs>` — coordinator-mode watchdog: workers write
 //!   heartbeat frames next to their shard journals, and a worker whose
 //!   heartbeat stalls past this many seconds is killed and restarted
@@ -114,6 +119,7 @@ struct Args {
     worker_timeout: Option<Duration>,
     hang: Option<u64>,
     hang_shard: Option<WorkerHang>,
+    pipeline_slots: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -131,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
         worker_timeout: None,
         hang: None,
         hang_shard: None,
+        pipeline_slots: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -176,6 +183,10 @@ fn parse_args() -> Result<Args, String> {
                             .to_string(),
                     )
                 }
+            },
+            "--pipeline-slots" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(slots) if slots >= 1 => args.pipeline_slots = Some(slots),
+                _ => return Err("--pipeline-slots needs a positive integer".to_string()),
             },
             "--worker-timeout" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
                 Some(secs) if secs > 0.0 && secs.is_finite() => {
@@ -348,6 +359,9 @@ fn run_coordinator(args: &Args, specs: &[ScenarioSpec]) -> Vec<ScenarioOutcome> 
         if args.smoke {
             command.arg("--smoke");
         }
+        if let Some(slots) = args.pipeline_slots {
+            command.arg("--pipeline-slots").arg(slots.to_string());
+        }
         command
             .arg("--shard-range")
             .arg(spawn.slice.to_string())
@@ -408,7 +422,8 @@ fn main() {
         Err(e) => {
             eprintln!("usage error: {e}");
             eprintln!(
-                "usage: scenarios [--smoke] [--journal <path> [--resume]] \
+                "usage: scenarios [--smoke] [--pipeline-slots <n>] \
+                 [--journal <path> [--resume]] \
                  [--shards <n> [--moment-merge] [--shard-dir <dir>] [--resume] \
                  [--worker-timeout <secs>] [--kill-shard <spec>] \
                  [--hang-shard <shard>:<records>]] \
@@ -418,6 +433,16 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(slots) = args.pipeline_slots {
+        // Must land before the first StreamingDriver is built; losing the
+        // race to an env-var init would silently ignore the flag.
+        if !randrecon_parallel::set_default_pipeline_slots(slots) {
+            fail(
+                "--pipeline-slots",
+                "pipeline slot default was already initialized",
+            );
+        }
+    }
     let grid = if args.smoke {
         sweep_grid(2_000, 12, 256)
     } else {

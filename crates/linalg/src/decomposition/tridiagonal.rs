@@ -20,7 +20,11 @@
 //!   row-wise over the shared `randrecon-parallel` pool, as does the
 //!   trailing-block update of the reduction itself;
 //! * QL rotations act on two **adjacent rows** of `Qᵀ`, i.e. two contiguous
-//!   cache lines, never on strided column pairs.
+//!   cache lines, never on strided column pairs — and reach `Qᵀ` in
+//!   **wave-front batches** ([`MAX_WAVE`] consecutive chase rotations over
+//!   the band of rows they touch, one column panel at a time), so each band
+//!   streams through memory once per wave instead of once per rotation
+//!   while reproducing the one-rotation-at-a-time result bit for bit.
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
@@ -41,6 +45,19 @@ const PAR_MIN_ROWS: usize = 16;
 /// non-convergence. Symmetric tridiagonal QL converges cubically; real inputs
 /// need 2–3 iterations per eigenvalue, so 50 only trips on NaN-poisoned data.
 const MAX_QL_ITERS: usize = 50;
+
+/// Rotations buffered per wave before they are applied to `Qᵀ`. A bulge
+/// chase emits one rotation per step at consecutive descending indices, so a
+/// wave of `K` rotations touches a band of `K + 1` adjacent rows — applying
+/// them panel-by-panel loads that band once instead of streaming two full
+/// rows per rotation, cutting `Qᵀ` memory traffic by ~`K/2`× on wide
+/// (m ≥ 512) spectra.
+const MAX_WAVE: usize = 32;
+
+/// Column-panel width for the wave-front application. One panel's working
+/// set is `(MAX_WAVE + 1) · WAVE_PANEL_COLS` doubles ≈ 33 KB — L2-resident
+/// on any current core, so every rotation in the wave hits cache.
+const WAVE_PANEL_COLS: usize = 128;
 
 /// A symmetric matrix reduced to tridiagonal form `A = Q T Qᵀ`.
 #[derive(Debug, Clone)]
@@ -240,7 +257,10 @@ fn accumulate_q_transposed(n: usize, reflectors: &[(Vec<f64>, f64)]) -> Matrix {
 /// This is EISPACK `tql2`: per eigenvalue, find the deflation split, form the
 /// Wilkinson shift from the leading 2×2 block, and chase a bulge from the
 /// bottom of the block to the top with Givens rotations. Each rotation
-/// updates two adjacent, contiguous rows of `qt`.
+/// updates two adjacent, contiguous rows of `qt`; rotations reach `qt` in
+/// wave-front batches (see [`apply_rotation_wave`]) that replay them in
+/// chase order, so the accumulated eigenvectors are bit-identical to
+/// immediate per-rotation application.
 pub fn ql_implicit_shift(diagonal: &mut [f64], subdiagonal: &[f64], qt: &mut Matrix) -> Result<()> {
     debug_assert_eq!(qt.shape(), (diagonal.len(), diagonal.len()));
     ql_core(diagonal, subdiagonal, Some(qt))
@@ -309,13 +329,23 @@ fn ql_core(diagonal: &mut [f64], subdiagonal: &[f64], mut qt: Option<&mut Matrix
             let (mut s, mut c) = (1.0_f64, 1.0_f64);
             let mut p = 0.0;
             let mut underflowed = false;
+            // Rotations are buffered into a wave and applied to `Qᵀ` in
+            // batches: the chase emits them at consecutive descending
+            // indices, so `wave[k]` acts on rows `(wave_hi − k, wave_hi −
+            // k + 1)`. The wave-front application replays them in exactly
+            // the order the chase produced them, so `Qᵀ` is bit-identical
+            // to rotating after every step.
+            let mut wave: Vec<(f64, f64)> = Vec::with_capacity(MAX_WAVE);
+            let mut wave_hi = 0usize;
             for i in (l..m).rev() {
                 let f = s * e[i];
                 let b = c * e[i];
                 r = f.hypot(g);
                 e[i + 1] = r;
                 if r == 0.0 {
-                    // The bulge vanished mid-chase: deflate and restart.
+                    // The bulge vanished mid-chase: deflate and restart
+                    // (the rotations already emitted still apply — the
+                    // wave is flushed below before the restart).
                     diagonal[i + 1] -= p;
                     e[m] = 0.0;
                     underflowed = true;
@@ -329,8 +359,18 @@ fn ql_core(diagonal: &mut [f64], subdiagonal: &[f64], mut qt: Option<&mut Matrix
                 diagonal[i + 1] = g + p;
                 g = c * r - b;
                 if let Some(q) = qt.as_deref_mut() {
-                    rotate_adjacent_rows(q, i, c, s);
+                    if wave.is_empty() {
+                        wave_hi = i;
+                    }
+                    wave.push((c, s));
+                    if wave.len() == MAX_WAVE {
+                        apply_rotation_wave(q, wave_hi, &wave);
+                        wave.clear();
+                    }
                 }
+            }
+            if let (Some(q), false) = (qt.as_deref_mut(), wave.is_empty()) {
+                apply_rotation_wave(q, wave_hi, &wave);
             }
             if underflowed {
                 continue;
@@ -343,8 +383,44 @@ fn ql_core(diagonal: &mut [f64], subdiagonal: &[f64], mut qt: Option<&mut Matrix
     Ok(())
 }
 
-/// Applies the Givens rotation `(c, s)` to rows `i` and `i + 1` of `qt`
-/// (the eigenvector-candidate rows), touching only contiguous memory.
+/// Applies a wave of bulge-chase Givens rotations to `qt`: `rotations[k] =
+/// (c, s)` acts on the adjacent row pair `(hi − k, hi − k + 1)`, exactly as
+/// the chase emitted them (descending indices, overlapping pairs).
+///
+/// The band of `len + 1` rows the wave touches is processed one
+/// [`WAVE_PANEL_COLS`]-wide column panel at a time; within a panel every
+/// rotation runs over cache-hot row segments, so the band streams through
+/// memory once per wave instead of once per rotation. Column panels are
+/// independent and each element sees the same rotations in the same order
+/// as immediate application, so the result is **bit-identical** to rotating
+/// row pairs one at a time (the pinned scalar reference kept in the tests).
+fn apply_rotation_wave(qt: &mut Matrix, hi: usize, rotations: &[(f64, f64)]) {
+    let n = qt.cols();
+    let lo = hi + 1 - rotations.len();
+    // The touched band: rows lo ..= hi + 1.
+    let band = &mut qt.as_mut_slice()[lo * n..(hi + 2) * n];
+    let mut c0 = 0;
+    while c0 < n {
+        let w = WAVE_PANEL_COLS.min(n - c0);
+        for (k, &(c, s)) in rotations.iter().enumerate() {
+            let i = hi - k - lo; // band-local index of the pair's upper row
+            let (head, tail) = band.split_at_mut((i + 1) * n);
+            let seg_i = &mut head[i * n + c0..i * n + c0 + w];
+            let seg_i1 = &mut tail[c0..c0 + w];
+            for (a, b) in seg_i.iter_mut().zip(seg_i1.iter_mut()) {
+                let f = *b;
+                *b = s * *a + c * f;
+                *a = c * *a - s * f;
+            }
+        }
+        c0 += w;
+    }
+}
+
+/// Applies the Givens rotation `(c, s)` to rows `i` and `i + 1` of `qt` —
+/// the scalar per-rotation kernel the wave-front application must reproduce
+/// bit for bit; kept as the pinned reference for the tests.
+#[cfg(test)]
 fn rotate_adjacent_rows(qt: &mut Matrix, i: usize, c: f64, s: f64) {
     let n = qt.cols();
     let (head, tail) = qt.as_mut_slice().split_at_mut((i + 1) * n);
@@ -439,6 +515,50 @@ mod tests {
         let scale = a.frobenius_norm().max(1.0);
         for (x, y) in fast.iter().zip(full.eigenvalues.iter()) {
             assert!((x - y).abs() <= 1e-12 * scale, "{x} vs {y}");
+        }
+    }
+
+    /// The wave-front application must reproduce the pinned scalar
+    /// per-rotation kernel **bit for bit** — for full waves, partial
+    /// trailing waves, single-rotation waves, and matrix widths that do not
+    /// divide the column-panel width.
+    #[test]
+    fn rotation_waves_match_the_scalar_kernel_bit_for_bit() {
+        // Deterministic (c, s) pairs on the unit circle.
+        let rotation = |t: usize| -> (f64, f64) {
+            let angle = (t * 37 % 101) as f64 / 101.0 * std::f64::consts::TAU;
+            (angle.cos(), angle.sin())
+        };
+        for (n, chase_len) in [(7usize, 5usize), (50, 49), (200, 130), (137, 70)] {
+            let mut scalar = deterministic_symmetric(n);
+            let mut waved = scalar.clone();
+            // One synthetic bulge chase: rotations at descending indices
+            // hi, hi−1, …, hi−chase_len+1, exactly as ql_core emits them.
+            let hi = n - 2;
+            let lo = hi + 1 - chase_len;
+            for (t, i) in (lo..=hi).rev().enumerate() {
+                let (c, s) = rotation(t);
+                rotate_adjacent_rows(&mut scalar, i, c, s);
+            }
+            // Same rotations, batched the way ql_core batches them.
+            let mut wave: Vec<(f64, f64)> = Vec::new();
+            let mut wave_hi = 0usize;
+            for (t, i) in (lo..=hi).rev().enumerate() {
+                if wave.is_empty() {
+                    wave_hi = i;
+                }
+                wave.push(rotation(t));
+                if wave.len() == MAX_WAVE {
+                    apply_rotation_wave(&mut waved, wave_hi, &wave);
+                    wave.clear();
+                }
+            }
+            if !wave.is_empty() {
+                apply_rotation_wave(&mut waved, wave_hi, &wave);
+            }
+            let bits =
+                |m: &Matrix| -> Vec<u64> { m.as_slice().iter().map(|x| x.to_bits()).collect() };
+            assert_eq!(bits(&scalar), bits(&waved), "n={n}, chase_len={chase_len}");
         }
     }
 

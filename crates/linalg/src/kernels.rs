@@ -49,6 +49,23 @@ const MR: usize = 4;
 /// only the final panel of a non-multiple-of-8 matrix has a column tail).
 const NR: usize = 8;
 
+/// The one multiply-accumulate the hot kernels funnel through. Default
+/// build: a separately rounded multiply and add, so every kernel stays
+/// bit-identical to the naive reference loops. With the opt-in `fma`
+/// feature: a fused `mul_add`, which skips the intermediate rounding — one
+/// ulp tighter per step and, with `target-cpu=native` (see
+/// `.cargo/config.toml`), a single hardware FMA instruction. Outputs then
+/// differ from the default path in the last bits, which is why the `fma`
+/// goldens are baselined separately.
+#[inline(always)]
+pub(crate) fn fmadd(a: f64, b: f64, acc: f64) -> f64 {
+    if cfg!(feature = "fma") {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
 /// Dot product with four independent accumulators so the reduction
 /// vectorizes; used by `matmul_transpose_b`, Cholesky and the solvers.
 #[inline]
@@ -58,14 +75,14 @@ pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
     let mut a_it = a.chunks_exact(4);
     let mut b_it = b.chunks_exact(4);
     for (ca, cb) in (&mut a_it).zip(&mut b_it) {
-        acc[0] += ca[0] * cb[0];
-        acc[1] += ca[1] * cb[1];
-        acc[2] += ca[2] * cb[2];
-        acc[3] += ca[3] * cb[3];
+        acc[0] = fmadd(ca[0], cb[0], acc[0]);
+        acc[1] = fmadd(ca[1], cb[1], acc[1]);
+        acc[2] = fmadd(ca[2], cb[2], acc[2]);
+        acc[3] = fmadd(ca[3], cb[3], acc[3]);
     }
     let mut tail = 0.0;
     for (&x, &y) in a_it.remainder().iter().zip(b_it.remainder()) {
-        tail += x * y;
+        tail = fmadd(x, y, tail);
     }
     (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
@@ -75,7 +92,7 @@ pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
 pub(crate) fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
     debug_assert_eq!(y.len(), x.len());
     for (o, &v) in y.iter_mut().zip(x.iter()) {
-        *o += alpha * v;
+        *o = fmadd(alpha, v, *o);
     }
 }
 
@@ -151,7 +168,7 @@ fn microkernel_4x8(
         let av = [a0k, a1k, a2k, a3k];
         for (row_acc, &ark) in acc.iter_mut().zip(av.iter()) {
             for (o, &bv) in row_acc.iter_mut().zip(b.iter()) {
-                *o += ark * bv;
+                *o = fmadd(ark, bv, *o);
             }
         }
     }
@@ -276,13 +293,15 @@ mod tests {
                 .collect();
             let mut c = vec![0.0; m * n];
             matmul_blocked(&a, &b, &mut c, m, k, n);
-            // Naive i-k-j with the same k-ascending accumulation order.
+            // Naive i-k-j with the same k-ascending accumulation order,
+            // through the same `fmadd` step so the pin holds in both the
+            // bit-exact default profile and the contracted `fma` one.
             let mut expected = vec![0.0; m * n];
             for i in 0..m {
                 for kk in 0..k {
                     let aik = a[i * k + kk];
                     for j in 0..n {
-                        expected[i * n + j] += aik * b[kk * n + j];
+                        expected[i * n + j] = fmadd(aik, b[kk * n + j], expected[i * n + j]);
                     }
                 }
             }
@@ -319,7 +338,7 @@ mod tests {
                     continue;
                 }
                 for j in 0..n {
-                    expected[i * n + j] += aik * b[kk * n + j];
+                    expected[i * n + j] = fmadd(aik, b[kk * n + j], expected[i * n + j]);
                 }
             }
         }

@@ -77,7 +77,14 @@
 //!   as `Qᵀ` by right-multiplying reflectors in reverse order, so both the
 //!   back-transform and the trailing-block update are row-parallel over the
 //!   shared pool, and every QL rotation touches two *adjacent contiguous
-//!   rows* rather than strided column pairs. `O(n³)` with a small constant
+//!   rows* rather than strided column pairs. The QL chase additionally
+//!   applies its rotations in **waves**: up to 32 consecutive rotations are
+//!   buffered and replayed over `Qᵀ` in 128-column panels, so the ~33-row
+//!   rotation band makes one cache-resident pass per panel instead of 32
+//!   full-width row sweeps — same rotations, same order per element, so the
+//!   result is bit-identical to the scalar two-row kernel (pinned as a
+//!   `#[cfg(test)]` reference and cross-checked against Jacobi by the
+//!   property tests). `O(n³)` with a small constant
 //!   versus Jacobi's `O(n³ · sweeps)` — the swap that makes m = 256–512
 //!   attack audits tractable. Cyclic Jacobi survives as
 //!   [`decomposition::eigen_jacobi`], the pinned reference the property
@@ -99,13 +106,21 @@
 //!   produces the same rows as one big product — the matmul dispatch
 //!   (naive below ~32 K multiply-adds, blocked above) never changes a
 //!   value, only the speed — which is what makes the streaming and
-//!   in-memory attacks numerically interchangeable. Since PR 4 the sweep is
-//!   also *pipelined*: pass 2 evaluates chunk `i + 1` on a dedicated
-//!   producer thread (`randrecon-parallel::pipeline_two_slot`) while the
-//!   sink drains chunk `i` on the caller — the kernels themselves are
-//!   untouched, chunks cross a bounded channel in production order, and the
-//!   output stays byte-identical to the sequential sweep at any worker
-//!   count.
+//!   in-memory attacks numerically interchangeable. The sweep is also
+//!   *pipelined*: both passes flow through the bounded N-slot ring
+//!   (`randrecon-parallel::pipeline_ring`, which generalized PR 4's
+//!   two-slot pipeline) — a producer thread reads ahead while waves of
+//!   chunks are transformed on the shared pool and the consumer drains
+//!   results strictly in production order — the kernels themselves are
+//!   untouched, and the output stays byte-identical to the sequential
+//!   sweep at every slot count and worker count.
+//! * **One contraction funnel.** Every kernel accumulates through a single
+//!   `fmadd(a, b, acc)` helper. By default it is a separately rounded
+//!   multiply-then-add, so results are flag-independent and bit-exact
+//!   against the naive references; the opt-in `fma` cargo feature swaps in
+//!   `f64::mul_add`, which `target-cpu=native` lowers to one hardware FMA
+//!   per element (higher precision, different bits — the statistical
+//!   goldens are re-baselined separately for that profile).
 //!
 //! ## Example
 //!

@@ -14,6 +14,13 @@
 //!   eigenvector orthogonality;
 //! * deterministic large-m cases up to 512 (the 256/512 Jacobi cross-checks
 //!   are `#[ignore]`d and run by the release `--ignored` CI job).
+//!
+//! Since the QL chase applies its Givens rotations to `Qᵀ` in wave-front
+//! batches (buffered rotations replayed over cache-resident column panels),
+//! every Jacobi cross-check here also pins the wave kernel: the batched
+//! application is bit-identical to the scalar two-row kernel (asserted
+//! directly by the unit test in `decomposition::tridiagonal`), so any drift
+//! the waves introduced would surface against the Jacobi reference too.
 
 use proptest::prelude::*;
 use randrecon_linalg::decomposition::{

@@ -14,17 +14,24 @@
 //! rayon itself is not a dependency because the build environment is fully
 //! offline; this module provides the small subset the workspace needs.
 //!
-//! Besides the data-parallel dispatch, the crate owns the **two-slot
-//! pipeline** primitive ([`pipeline_two_slot`]): a producer/consumer overlap
-//! used by the streaming attack engine's pass 2 to reconstruct chunk `i + 1`
-//! on the pool while the sink drains chunk `i`. Items flow through a bounded
-//! channel in production order, so the overlap can never reorder or drop a
-//! chunk regardless of worker count.
+//! Besides the data-parallel dispatch, the crate owns the **N-slot ring
+//! pipeline** primitive ([`pipeline_ring`]): a staged producer/consumer
+//! overlap used by the streaming attack engine — pass 2 reads and
+//! reconstructs up to `N` chunks ahead of the sink, pass 1 computes moment
+//! partials while the next chunks are being read. The ring decomposes a
+//! sweep into three stages: a sequential **read** stage on a dedicated
+//! producer thread, a **transform** stage fanned across the shared pool
+//! (several in-flight items at once), and an in-order **consume** stage on
+//! the calling thread. Items flow through a bounded channel in read order,
+//! so the overlap can never reorder or drop an item regardless of slot or
+//! worker count.
 //!
 //! The pool size follows `available_parallelism`, but the `RANDRECON_THREADS`
 //! environment variable (read once, at first use) overrides it — the
 //! determinism tests re-execute themselves under `RANDRECON_THREADS` ∈
-//! {1, 2, 4} to pin that results are worker-count-independent.
+//! {1, 2, 4} to pin that results are worker-count-independent. The ring
+//! depth is governed the same way by `RANDRECON_PIPELINE_SLOTS` (see
+//! [`default_pipeline_slots`]).
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -432,66 +439,256 @@ impl CancelToken {
     }
 }
 
-/// Whether a two-stage streaming sweep overlaps its stages.
+/// The process-wide default ring depth, settable once (programmatically via
+/// [`set_default_pipeline_slots`] or by the `RANDRECON_PIPELINE_SLOTS`
+/// environment variable at first use).
+static PIPELINE_SLOTS: OnceLock<usize> = OnceLock::new();
+
+/// Fixes the process-wide default ring depth before first use.
 ///
-/// [`DoubleBuffered`](PipelineMode::DoubleBuffered) runs the producer on a
-/// dedicated thread feeding a bounded two-slot channel while the consumer
-/// drains on the calling thread; [`Sequential`](PipelineMode::Sequential) is
-/// the strict produce-then-consume fallback. Both orders are observationally
-/// identical (items arrive in production order either way); the mode only
-/// changes whether stage latencies overlap, which is why the streaming
-/// determinism tests compare the two byte for byte.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Returns `false` (and changes nothing) if the default was already fixed —
+/// by an earlier call, or because a pipeline already ran and latched the
+/// environment/heuristic value. The `scenarios` binary calls this from its
+/// `--pipeline-slots` flag before any sweep starts.
+pub fn set_default_pipeline_slots(slots: usize) -> bool {
+    assert!(slots >= 1, "pipeline slot count must be at least 1");
+    PIPELINE_SLOTS.set(slots).is_ok()
+}
+
+/// The default number of pipeline slots (in-flight items) a
+/// [`PipelineMode::default`] ring uses.
+///
+/// `RANDRECON_PIPELINE_SLOTS=n` pins it (read once, at first use; a set but
+/// unusable value — zero, non-numeric — panics rather than silently running
+/// at a depth the caller did not ask for, mirroring `RANDRECON_THREADS`).
+/// Without the override the depth scales with the pool: `2 × max_threads`,
+/// clamped to `[2, 8]` — on a single-core machine that is 2, the classic
+/// two-slot double-buffer.
+pub fn default_pipeline_slots() -> usize {
+    *PIPELINE_SLOTS.get_or_init(|| match std::env::var("RANDRECON_PIPELINE_SLOTS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(s) if s >= 1 => s,
+            _ => panic!("RANDRECON_PIPELINE_SLOTS must be a positive integer, got '{v}'"),
+        },
+        Err(_) => (2 * max_threads()).clamp(2, 8),
+    })
+}
+
+/// Whether a staged streaming sweep overlaps its stages, and how deeply.
+///
+/// [`Pipelined`](PipelineMode::Pipelined) runs the read stage on a dedicated
+/// thread, transforms up to `slots / 2` items at a time on the shared pool,
+/// and hands results to the consumer through a bounded channel — at most
+/// `slots` items are in flight (read but not yet consumed) at once.
+/// `slots = 2` is the classic double-buffer: one item being produced while
+/// one is being consumed. [`Sequential`](PipelineMode::Sequential) is the
+/// strict read-transform-consume fallback (observationally `slots = 1`).
+/// Every depth is observationally identical (items arrive in read order and
+/// each item's transform is a pure function of the item); the mode only
+/// changes which stage latencies overlap, which is why the streaming
+/// determinism tests compare all depths byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PipelineMode {
-    /// Overlap: produce item `i + 1` while the consumer handles item `i`.
-    #[default]
-    DoubleBuffered,
-    /// No overlap: each item is fully consumed before the next is produced.
+    /// Overlap with at most `slots` items in flight between the read stage
+    /// and the consumer.
+    Pipelined {
+        /// Bound on in-flight items; must be at least 1.
+        slots: usize,
+    },
+    /// No overlap: each item is fully consumed before the next is read.
     Sequential,
 }
 
-/// Runs a producer and a consumer as a two-slot pipeline: while the consumer
-/// handles item `i` on the **calling** thread, the producer computes item
-/// `i + 1` on a dedicated scoped thread (so producer-side [`parallel_for`]
-/// calls still draw on the shared pool — the producer thread participates in
-/// its own jobs like any caller).
-///
-/// `produce` is polled until it returns `Ok(None)`; each produced item is
-/// handed to `consume` **in production order** through a bounded channel
-/// holding at most one finished item while the next is being computed (the
-/// two slots). On the first error from either side the pipeline shuts down —
-/// the channel closing unblocks whichever side is still running, so a
-/// failing consumer can never leave the producer wedged on a full channel —
-/// and that error is returned (the consumer's error wins if both fail).
-/// Producer panics are re-raised on the calling thread.
-pub fn pipeline_two_slot<T, E, P, C>(produce: P, mut consume: C) -> Result<(), E>
+impl Default for PipelineMode {
+    /// A ring at the process-wide default depth
+    /// ([`default_pipeline_slots`]).
+    fn default() -> Self {
+        PipelineMode::Pipelined {
+            slots: default_pipeline_slots(),
+        }
+    }
+}
+
+impl PipelineMode {
+    /// The classic PR 4 double-buffer: one item producing, one consuming.
+    pub fn two_slot() -> Self {
+        PipelineMode::Pipelined { slots: 2 }
+    }
+
+    /// The in-flight bound this mode allows (1 for
+    /// [`Sequential`](PipelineMode::Sequential)).
+    pub fn slots(self) -> usize {
+        match self {
+            PipelineMode::Pipelined { slots } => slots,
+            PipelineMode::Sequential => 1,
+        }
+    }
+}
+
+/// Moves a wave of read items through `transform`, fanning across the shared
+/// pool, and returns the per-item results in wave order (so a transform
+/// failure at item `k` still lets items `< k` be delivered first, exactly as
+/// a sequential sweep would). Panics inside `transform` re-raise on the
+/// caller after the wave drains, via [`parallel_for`]'s panic protocol.
+fn transform_wave<T, U, E, X>(items: Vec<T>, base: usize, transform: &X) -> Vec<Result<U, E>>
 where
     T: Send,
+    U: Send,
     E: Send,
-    P: FnMut() -> Result<Option<T>, E> + Send,
-    C: FnMut(T) -> Result<(), E>,
+    X: Fn(usize, T) -> Result<U, E> + Sync,
 {
+    if items.len() == 1 {
+        let item = items.into_iter().next().expect("wave has one item");
+        return vec![transform(base, item)];
+    }
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let mut out: Vec<Mutex<Option<Result<U, E>>>> = Vec::with_capacity(inputs.len());
+    out.resize_with(inputs.len(), || Mutex::new(None));
+    parallel_for(inputs.len(), |i| {
+        let item = inputs[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("wave item already taken");
+        *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(transform(base + i, item));
+    });
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("wave slot not filled")
+        })
+        .collect()
+}
+
+/// Runs a three-stage pipeline as a bounded **N-slot ring**: a sequential
+/// `read` stage on a dedicated scoped thread, a `transform` stage fanned
+/// across the shared pool in waves, and an in-order `consume` stage on the
+/// **calling** thread. At most `slots` items are in flight (read but not yet
+/// consumed) at once: the read thread gathers waves of up to
+/// `min(slots / 2, max_threads())` items (a wave wider than the pool would
+/// only delay delivery, so the cap turns surplus slots into channel depth),
+/// transforms each wave concurrently (the read thread participates in
+/// its own pool jobs, so nested [`parallel_for`] calls inside `transform`
+/// remain deadlock-free), and sends results through a bounded channel
+/// holding the remaining `slots − wave` finished items.
+///
+/// **Ordering.** `read` is polled until it returns `Ok(None)`; every item is
+/// assigned the 0-based index of its read order, `transform` receives that
+/// index alongside the item, and `consume` receives the transformed items in
+/// exactly that order — the ring can never reorder or drop an item, which is
+/// what keeps pipelined sweeps byte-identical to sequential ones at every
+/// slot count.
+///
+/// **Errors.** On the first error the ring shuts down and that error is
+/// returned: a `transform` error at index `k` surfaces only after items
+/// `< k` were delivered (the same prefix a sequential sweep would consume);
+/// a `read` error surfaces after every successfully read item has been
+/// transformed and delivered; a `consume` error closes the channel, which
+/// unblocks the read thread (its next send fails and it stops cleanly), so
+/// a failing consumer can never leave the producer wedged on a full channel.
+/// The consumer's error wins if both sides fail. Read/transform panics are
+/// re-raised on the calling thread.
+///
+/// **Degenerate depths.** `slots = 1` runs the whole loop inline on the
+/// calling thread (strictly sequential, no thread spawned); `slots = 2` is
+/// the classic two-slot double-buffer this primitive generalizes (one item
+/// producing while one is being consumed).
+pub fn pipeline_ring<T, U, E, R, X, C>(
+    slots: usize,
+    mut read: R,
+    transform: X,
+    mut consume: C,
+) -> Result<(), E>
+where
+    T: Send,
+    U: Send,
+    E: Send,
+    R: FnMut() -> Result<Option<T>, E> + Send,
+    X: Fn(usize, T) -> Result<U, E> + Sync,
+    C: FnMut(usize, U) -> Result<(), E>,
+{
+    assert!(slots >= 1, "pipeline_ring needs at least one slot");
+    if slots == 1 {
+        // One slot ⇒ one live item ⇒ no overlap is possible: run inline.
+        let mut index = 0usize;
+        while let Some(item) = read()? {
+            let out = transform(index, item)?;
+            consume(index, out)?;
+            index += 1;
+        }
+        return Ok(());
+    }
+    // Wave width = how many items are transformed concurrently. Capping it
+    // at the pool's parallelism matters on small machines: a wave wider
+    // than the pool degenerates into the producer transforming items
+    // back-to-back, which only delays delivery (results go cache-cold
+    // before the consumer drains them) without adding any overlap. The
+    // remaining slots become channel depth instead, where they still buy
+    // read-ahead.
+    let wave = (slots / 2).min(max_threads()).max(1);
+    let buffered = slots - wave;
     std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::sync_channel::<T>(1);
+        let (tx, rx) = mpsc::sync_channel::<(usize, U)>(buffered);
+        let transform_ref = &transform;
         let producer = scope.spawn(move || -> Result<(), E> {
-            let mut produce = produce;
+            let mut next_index = 0usize;
             loop {
-                match produce()? {
-                    // A send only fails when the consumer bailed out and
-                    // dropped the receiver; stop producing, the consumer's
-                    // error is already recorded on the other side.
-                    Some(item) => {
-                        if tx.send(item).is_err() {
-                            return Ok(());
+                // Gather a wave; stop early at end-of-stream or a read error
+                // (items read before the error are still delivered first).
+                let mut items: Vec<T> = Vec::with_capacity(wave);
+                let mut read_error: Option<E> = None;
+                let mut done = false;
+                while items.len() < wave {
+                    match read() {
+                        Ok(Some(item)) => items.push(item),
+                        Ok(None) => {
+                            done = true;
+                            break;
+                        }
+                        Err(e) => {
+                            read_error = Some(e);
+                            done = true;
+                            break;
                         }
                     }
-                    None => return Ok(()),
+                }
+                if !items.is_empty() {
+                    let base = next_index;
+                    next_index += items.len();
+                    for (offset, result) in transform_wave(items, base, transform_ref)
+                        .into_iter()
+                        .enumerate()
+                    {
+                        match result {
+                            Ok(out) => {
+                                // A send only fails when the consumer bailed
+                                // out and dropped the receiver; stop, the
+                                // consumer's error is recorded on the other
+                                // side and wins.
+                                if tx.send((base + offset, out)).is_err() {
+                                    return Ok(());
+                                }
+                            }
+                            // The earliest transform error in read order —
+                            // exactly the one a sequential sweep would hit
+                            // (items before it in the wave were delivered
+                            // above; later ones are dropped).
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                if done {
+                    return match read_error {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    };
                 }
             }
         });
         let mut consumer_error: Option<E> = None;
-        while let Ok(item) = rx.recv() {
-            if let Err(e) = consume(item) {
+        while let Ok((index, item)) = rx.recv() {
+            if let Err(e) = consume(index, item) {
                 consumer_error = Some(e);
                 break;
             }
@@ -623,73 +820,136 @@ mod tests {
         assert!(max_threads() >= 1);
     }
 
+    /// Every slot depth the streaming byte-identity matrix exercises.
+    const RING_DEPTHS: [usize; 4] = [1, 2, 4, 8];
+
     #[test]
-    fn pipeline_preserves_order_and_drains_everything() {
-        let mut next = 0u64;
-        let mut seen = Vec::new();
-        let result: Result<(), ()> = pipeline_two_slot(
-            || {
-                next += 1;
-                Ok(if next <= 100 { Some(next) } else { None })
-            },
-            |item| {
-                seen.push(item);
-                Ok(())
-            },
-        );
-        result.unwrap();
-        assert_eq!(seen, (1..=100).collect::<Vec<u64>>());
+    fn ring_preserves_order_and_drains_everything_at_every_depth() {
+        for &slots in &RING_DEPTHS {
+            let mut next = 0u64;
+            let mut seen = Vec::new();
+            let mut indices = Vec::new();
+            let result: Result<(), ()> = pipeline_ring(
+                slots,
+                || {
+                    next += 1;
+                    Ok(if next <= 100 { Some(next) } else { None })
+                },
+                |index, item| Ok((index, item * 2)),
+                |index, (tindex, item)| {
+                    assert_eq!(index, tindex, "transform saw a different index");
+                    indices.push(index);
+                    seen.push(item);
+                    Ok(())
+                },
+            );
+            result.unwrap();
+            assert_eq!(seen, (1..=100).map(|x| x * 2).collect::<Vec<u64>>());
+            assert_eq!(indices, (0..100).collect::<Vec<usize>>());
+        }
     }
 
     #[test]
-    fn pipeline_surfaces_producer_error() {
-        let mut next = 0u64;
-        let mut seen = Vec::new();
-        let result: Result<(), String> = pipeline_two_slot(
-            || {
-                next += 1;
-                if next == 4 {
-                    Err("producer broke".to_string())
-                } else {
+    fn ring_surfaces_read_error_after_the_read_prefix() {
+        for &slots in &RING_DEPTHS {
+            let mut next = 0u64;
+            let mut seen = Vec::new();
+            let result: Result<(), String> = pipeline_ring(
+                slots,
+                || {
+                    next += 1;
+                    if next == 4 {
+                        Err("producer broke".to_string())
+                    } else {
+                        Ok(Some(next))
+                    }
+                },
+                |_, item| Ok(item),
+                |_, item| {
+                    seen.push(item);
+                    Ok(())
+                },
+            );
+            assert_eq!(result.unwrap_err(), "producer broke");
+            assert_eq!(seen, vec![1, 2, 3], "slots = {slots}");
+        }
+    }
+
+    #[test]
+    fn ring_surfaces_transform_error_at_its_stream_position() {
+        for &slots in &RING_DEPTHS {
+            let mut next = 0u64;
+            let mut seen = Vec::new();
+            let result: Result<(), String> = pipeline_ring(
+                slots,
+                || {
+                    next += 1;
                     Ok(Some(next))
-                }
-            },
-            |item| {
-                seen.push(item);
-                Ok(())
-            },
-        );
-        assert_eq!(result.unwrap_err(), "producer broke");
-        assert_eq!(seen, vec![1, 2, 3]);
+                },
+                |index, item| {
+                    if index == 5 {
+                        Err(format!("transform rejected item {item}"))
+                    } else {
+                        Ok(item)
+                    }
+                },
+                |_, item| {
+                    seen.push(item);
+                    Ok(())
+                },
+            );
+            assert_eq!(result.unwrap_err(), "transform rejected item 6");
+            // The consumer saw exactly the prefix a sequential sweep would.
+            assert!(seen.len() <= 5, "slots = {slots}: consumed {seen:?}");
+            assert_eq!(seen, (1..=seen.len() as u64).collect::<Vec<u64>>());
+        }
     }
 
     #[test]
-    fn pipeline_surfaces_consumer_error_without_hanging_the_producer() {
+    fn ring_surfaces_consumer_error_without_hanging_the_producer() {
         // The producer is unbounded; only the consumer's failure (and the
         // resulting channel closure) can stop it. A hang here fails the
         // test harness by timeout.
-        let mut next = 0u64;
-        let result: Result<(), String> = pipeline_two_slot(
-            || {
-                next += 1;
-                Ok(Some(next))
-            },
-            |item| {
-                if item == 5 {
-                    Err(format!("consumer rejected item {item}"))
-                } else {
-                    Ok(())
-                }
-            },
-        );
-        assert_eq!(result.unwrap_err(), "consumer rejected item 5");
+        for &slots in &RING_DEPTHS {
+            let mut next = 0u64;
+            let result: Result<(), String> = pipeline_ring(
+                slots,
+                || {
+                    next += 1;
+                    Ok(Some(next))
+                },
+                |_, item| Ok(item),
+                |_, item| {
+                    if item == 5 {
+                        Err(format!("consumer rejected item {item}"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+            assert_eq!(result.unwrap_err(), "consumer rejected item 5");
+        }
     }
 
     #[test]
-    fn pipeline_with_empty_stream_is_a_no_op() {
-        let result: Result<(), ()> =
-            pipeline_two_slot(|| Ok(None::<u64>), |_| panic!("must not consume"));
-        result.unwrap();
+    fn ring_with_empty_stream_is_a_no_op() {
+        for &slots in &RING_DEPTHS {
+            let result: Result<(), ()> = pipeline_ring(
+                slots,
+                || Ok(None::<u64>),
+                |_, item| Ok(item),
+                |_, _| panic!("must not consume"),
+            );
+            result.unwrap();
+        }
+    }
+
+    #[test]
+    fn ring_slot_accessors_are_consistent() {
+        assert_eq!(PipelineMode::Sequential.slots(), 1);
+        assert_eq!(PipelineMode::two_slot().slots(), 2);
+        assert_eq!(PipelineMode::Pipelined { slots: 7 }.slots(), 7);
+        assert!(PipelineMode::default().slots() >= 1);
     }
 
     #[test]
@@ -715,10 +975,23 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "producer panic")]
-    fn pipeline_reraises_producer_panics() {
-        let _: Result<(), ()> = pipeline_two_slot(
+    fn ring_reraises_read_panics() {
+        let _: Result<(), ()> = pipeline_ring(
+            4,
             || -> Result<Option<u64>, ()> { panic!("producer panic") },
-            |_| Ok(()),
+            |_, item| Ok(item),
+            |_, _| Ok(()),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "transform panic")]
+    fn ring_reraises_transform_panics() {
+        let _: Result<(), ()> = pipeline_ring(
+            4,
+            || Ok(Some(1u64)),
+            |_, _| -> Result<u64, ()> { panic!("transform panic") },
+            |_, _| Ok(()),
         );
     }
 }

@@ -83,27 +83,54 @@ fn covariance_from_rows(data: &Matrix, means: Option<&[f64]>) -> Matrix {
         return cov;
     }
 
-    // Upper-triangle accumulation over a row chunk; `scratch` holds the
-    // centered record so the inner axpy reads one contiguous slice.
+    // Upper-triangle accumulation over a row chunk, blocked over
+    // `ROW_BLOCK` records: each block is centered into one scratch panel,
+    // then every triangle row `acc[i, i..]` streams through cache a single
+    // time while all of the block's rank-1 contributions land on it —
+    // ROW_BLOCK× less comoment-triangle traffic on wide tables. Per cell
+    // the additions stay in ascending record order, so the blocked sweep is
+    // bit-identical to the per-row one.
+    const ROW_BLOCK: usize = 16;
     let accumulate = |rows: std::ops::Range<usize>| -> Vec<f64> {
         let mut acc = vec![0.0; m * m];
-        let mut scratch = vec![0.0; m];
-        for r in rows {
-            let row = data.row(r);
-            match means {
-                Some(mu) => {
-                    for ((s, &x), &mv) in scratch.iter_mut().zip(row).zip(mu) {
-                        *s = x - mv;
+        let mut block = vec![0.0; ROW_BLOCK * m];
+        let mut r0 = rows.start;
+        while r0 < rows.end {
+            let rb = ROW_BLOCK.min(rows.end - r0);
+            for r in 0..rb {
+                let row = data.row(r0 + r);
+                let centered = &mut block[r * m..(r + 1) * m];
+                match means {
+                    Some(mu) => {
+                        for ((s, &x), &mv) in centered.iter_mut().zip(row).zip(mu) {
+                            *s = x - mv;
+                        }
+                    }
+                    None => centered.copy_from_slice(row),
+                }
+            }
+            let panel = &block[..rb * m];
+            for i in 0..m {
+                let out = &mut acc[i * m + i..(i + 1) * m];
+                // Two records per pass halves the out-row load/store
+                // traffic; the two adds stay sequential per cell, keeping
+                // the ascending-record addition order.
+                let mut pairs = panel.chunks_exact(2 * m);
+                for pair in pairs.by_ref() {
+                    let (c0, c1) = pair.split_at(m);
+                    let (v0, v1) = (c0[i], c1[i]);
+                    for ((o, &w0), &w1) in out.iter_mut().zip(&c0[i..]).zip(&c1[i..]) {
+                        *o = (*o + v0 * w0) + v1 * w1;
                     }
                 }
-                None => scratch.copy_from_slice(row),
-            }
-            for i in 0..m {
-                let v = scratch[i];
-                for (o, &w) in acc[i * m + i..(i + 1) * m].iter_mut().zip(&scratch[i..]) {
-                    *o += v * w;
+                for centered in pairs.remainder().chunks_exact(m) {
+                    let v = centered[i];
+                    for (o, &w) in out.iter_mut().zip(&centered[i..]) {
+                        *o += v * w;
+                    }
                 }
             }
+            r0 += rb;
         }
         acc
     };

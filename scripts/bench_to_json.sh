@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the `micro` benchmark harness and dumps every measurement to a JSON
-# file (default BENCH_8.json at the repo root) for the perf trajectory.
+# file (default BENCH_10.json at the repo root) for the perf trajectory.
 #
 # Usage: scripts/bench_to_json.sh [output.json]
 #
@@ -37,14 +37,22 @@
 # workloads split across 2 in-process shards -- dealing each group's
 # pass-1 moment segments across shards as moment tasks, journaling the
 # partials as v5 moment frames, and merging them in the coordinator's
-# reduce step must cost <=10% over unsplit sharding of the same grid).
-# BENCH_1.json … BENCH_8.json remain the frozen PR-1/…/8 records; pass
+# reduce step must cost <=10% over unsplit sharding of the same grid);
+# and the `pipeline_ring` group the PR-10 chunk-engine numbers: pass 2
+# through the N-slot ring (depths 4 and 8) vs the forced-sequential loop
+# and the pinned two-slot depth at 50 k x 64 and the fully-streamed
+# 500 k x 64 flagship (`be_dr_ring4/50000` vs `be_dr_sequential/50000`
+# must hold >=0.95x throughput even on 1 core), plus the ROW_BLOCK-panel
+# wide-table covariance rank-update vs the preserved per-row sweep at
+# n = 1000, m in {128, 256} (`sample_covariance_n1000/256` vs
+# `sample_covariance_rowsweep_n1000/256`, acceptance >=1.3x).
+# BENCH_1.json … BENCH_9.json remain the frozen PR-1/…/9 records; pass
 # one of them as the argument only to regenerate history deliberately.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -123,4 +131,17 @@ never = results.get(("moment_merge", "never/8"))
 if merged and never:
     overhead = (merged - never) / never * 100
     print(f"moment-merged sharding over 8 streaming workloads: unsplit {never/1e6:.2f} ms vs split+merged {merged/1e6:.2f} ms  (moment-merge overhead {overhead:+.1f}%, acceptance <=10%)")
+for n in (50000, 500000):
+    seq = results.get(("pipeline_ring", f"be_dr_sequential/{n}"))
+    for depth in ("two_slot", "ring4", "ring8"):
+        t = results.get(("pipeline_ring", f"be_dr_{depth}/{n}"))
+        if t and seq:
+            note = "  (acceptance >=0.95x)" if (n, depth) == (50000, "ring4") else ""
+            print(f"pass-2 {depth} at {n} rows: sequential {seq/1e6:.2f} ms vs {t/1e6:.2f} ms  (throughput ratio {seq/t:.2f}x{note})")
+for m in (128, 256):
+    new = results.get(("pipeline_ring", f"sample_covariance_n1000/{m}"))
+    old = results.get(("pipeline_ring", f"sample_covariance_rowsweep_n1000/{m}"))
+    if new and old:
+        note = ", acceptance >=1.3x" if m == 256 else ""
+        print(f"covariance n=1000 m={m}: per-row sweep {old/1e6:.2f} ms -> blocked panels {new/1e6:.2f} ms  ({old/new:.2f}x{note})")
 EOF
